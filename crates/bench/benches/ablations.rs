@@ -1,0 +1,115 @@
+//! Ablations for the design decisions called out in DESIGN.md §4:
+//!
+//! 1. lasso normal form vs. naive windowed comparison;
+//! 2. memoized enumeration vs. per-child rhs recomputation;
+//! 3. Theorem 1 fast path vs. the general staggered-pair check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_bench::{dfm_quiescent_trace, naive, random_lasso};
+use eqp_core::smooth::is_smooth_independent;
+use eqp_core::{enumerate, Alphabet, EnumOptions};
+use eqp_processes::dfm;
+use eqp_trace::Value;
+use std::hint::black_box;
+
+fn bench_lasso_equality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/lasso-equality");
+    g.sample_size(30);
+    for size in [8usize, 64, 512] {
+        // the same infinite word in two raw shapes: canonical vs unrolled
+        // by one extra cycle copy
+        let base = random_lasso(1, size, size / 2, 0, 10);
+        let p1 = base.prefix().to_vec();
+        let c1 = base.cycle().to_vec();
+        let mut p2 = p1.clone();
+        p2.extend(c1.iter().copied());
+        let c2 = c1.clone();
+        // normal-form route: normalize the unrolled shape, then compare
+        // canonically (complete: equality of infinite words)
+        g.bench_with_input(
+            BenchmarkId::new("normalize + canonical Eq", size),
+            &(base.clone(), p2.clone(), c2.clone()),
+            |bch, (base, p2, c2)| {
+                bch.iter(|| {
+                    let rebuilt = eqp_trace::Lasso::lasso(p2.clone(), c2.clone());
+                    black_box(rebuilt == *base)
+                })
+            },
+        );
+        // naive route: compare raw words over a window (incomplete)
+        g.bench_with_input(
+            BenchmarkId::new("naive raw window (incomplete)", size),
+            &(p1, c1, p2, c2),
+            |bch, (p1, c1, p2, c2)| {
+                bch.iter(|| black_box(naive::raw_word_eq(p1, c1, p2, c2, 4 * size)))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_enumeration_memo(c: &mut Criterion) {
+    let desc = dfm::dfm_description();
+    let alpha = Alphabet::new()
+        .with_chan(dfm::B, [Value::Int(0), Value::Int(2)])
+        .with_chan(dfm::C, [Value::Int(1)])
+        .with_ints(dfm::D, 0, 2);
+    let mut g = c.benchmark_group("ablation/enumeration-memo");
+    g.sample_size(10);
+    for depth in [3usize, 4] {
+        g.bench_with_input(BenchmarkId::new("full enumerate (classifying)", depth), &depth, |b, &d| {
+            b.iter(|| {
+                black_box(
+                    enumerate(
+                        &desc,
+                        &alpha,
+                        EnumOptions {
+                            max_depth: d,
+                            max_nodes: 2_000_000,
+                        },
+                    )
+                    .nodes_visited,
+                )
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("minimal walk (rhs per child)", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| {
+                    black_box(naive::enumerate_unmemoized(&desc, &alpha, d, 2_000_000))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_theorem1_fast_path(c: &mut Criterion) {
+    let desc = dfm::dfm_description();
+    let mut g = c.benchmark_group("ablation/theorem1");
+    g.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let t = dfm_quiescent_trace(n);
+        let depth = 4 * n;
+        g.bench_with_input(
+            BenchmarkId::new("independent fast path", n),
+            &t,
+            |b, t| b.iter(|| black_box(is_smooth_independent(&desc, t, depth))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("general staggered check", n),
+            &t,
+            |b, t| b.iter(|| black_box(naive::smooth_general(&desc, t, depth))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lasso_equality,
+    bench_enumeration_memo,
+    bench_theorem1_fast_path
+);
+criterion_main!(benches);

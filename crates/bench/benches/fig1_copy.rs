@@ -1,0 +1,66 @@
+//! E1 — Figure 1: the copy networks. Regenerates the paper's two
+//! headline facts — plain loop converges immediately to (ε, ε); the
+//! seeded loop's 0^ω limit needs extrapolation — and measures how the
+//! solver and the operational simulator scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_core::kahn_eqs::SolveOptions;
+use eqp_kahn::{RoundRobin, RunOptions};
+use eqp_processes::copy;
+use std::hint::black_box;
+
+fn bench_kleene_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/kleene-solve");
+    g.sample_size(20);
+    g.bench_function("plain (stabilizes at bottom)", |b| {
+        b.iter(|| {
+            let sol = copy::plain_system()
+                .solve(SolveOptions::default())
+                .unwrap();
+            black_box(sol.stabilized)
+        })
+    });
+    for max_iter in [8usize, 16, 32, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("seeded (0^ω via extrapolation)", max_iter),
+            &max_iter,
+            |b, &mi| {
+                b.iter(|| {
+                    let sol = copy::seeded_system().solve(SolveOptions {
+                        max_iter: mi,
+                        max_stride: 4,
+                    });
+                    black_box(sol.is_some())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_operational(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/operational");
+    g.sample_size(20);
+    for steps in [32usize, 128, 512] {
+        g.bench_with_input(
+            BenchmarkId::new("seeded loop run", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| {
+                    let run = copy::seeded_network().run(
+                        &mut RoundRobin::new(),
+                        RunOptions {
+                            max_steps: steps,
+                            seed: 0,
+                        },
+                    );
+                    black_box(run.steps)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kleene_solve, bench_operational);
+criterion_main!(benches);

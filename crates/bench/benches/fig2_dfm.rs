@@ -1,0 +1,54 @@
+//! E2 — Figure 2: the discriminated fair merge. Measures the smooth
+//! predicate on quiescent traces of growing length (quadratic in depth:
+//! one evaluation per prefix pair) and the Section 3.3 enumeration tree's
+//! growth in depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_bench::dfm_quiescent_trace;
+use eqp_core::smooth::is_smooth;
+use eqp_core::{enumerate, Alphabet, EnumOptions};
+use eqp_processes::dfm;
+use eqp_trace::Value;
+use std::hint::black_box;
+
+fn bench_smooth_check(c: &mut Criterion) {
+    let desc = dfm::dfm_description();
+    let mut g = c.benchmark_group("fig2/smooth-check");
+    g.sample_size(20);
+    for n in [4usize, 16, 64] {
+        let t = dfm_quiescent_trace(n);
+        g.bench_with_input(BenchmarkId::new("quiescent trace 4n events", n), &t, |b, t| {
+            b.iter(|| black_box(is_smooth(&desc, t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let desc = dfm::dfm_description();
+    let alpha = Alphabet::new()
+        .with_chan(dfm::B, [Value::Int(0), Value::Int(2)])
+        .with_chan(dfm::C, [Value::Int(1)])
+        .with_ints(dfm::D, 0, 2);
+    let mut g = c.benchmark_group("fig2/enumeration");
+    g.sample_size(10);
+    for depth in [2usize, 3, 4, 5] {
+        g.bench_with_input(BenchmarkId::new("tree depth", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let e = enumerate(
+                    &desc,
+                    &alpha,
+                    EnumOptions {
+                        max_depth: d,
+                        max_nodes: 2_000_000,
+                    },
+                );
+                black_box(e.solutions.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_smooth_check, bench_enumeration);
+criterion_main!(benches);

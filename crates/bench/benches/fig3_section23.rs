@@ -1,0 +1,70 @@
+//! E3 — Figure 3: the P/Q/dfm network. Regenerates the x/y/z verdicts at
+//! growing block counts (the x prefix doubles per block, so this is the
+//! harness's exponential-input stress) and measures the operational
+//! network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_core::properties::{progress_naturals, safety_doubling};
+use eqp_core::smooth::{smoothness_holds, smoothness_violation};
+use eqp_kahn::{Oracle, RoundRobin, RunOptions};
+use eqp_processes::dfm;
+use std::hint::black_box;
+
+fn bench_xyz_verdicts(c: &mut Criterion) {
+    let desc = dfm::section23_description();
+    let mut g = c.benchmark_group("fig3/xyz-verdicts");
+    g.sample_size(10);
+    for m in [3u32, 4, 5] {
+        let x = dfm::x_prefix(m);
+        let y = dfm::y_prefix(m);
+        let z = dfm::z_prefix(m);
+        g.bench_with_input(BenchmarkId::new("x smooth-path", m), &x, |b, s| {
+            b.iter(|| black_box(smoothness_holds(&desc, &dfm::d_trace(s), s.len())))
+        });
+        g.bench_with_input(BenchmarkId::new("y smooth-path", m), &y, |b, s| {
+            b.iter(|| black_box(smoothness_holds(&desc, &dfm::d_trace(s), s.len())))
+        });
+        g.bench_with_input(BenchmarkId::new("z first-violation", m), &z, |b, s| {
+            b.iter(|| black_box(smoothness_violation(&desc, &dfm::d_trace(s), 8).is_some()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/equational-properties");
+    g.sample_size(10);
+    let x = dfm::x_prefix(7);
+    let t = dfm::d_trace(&x);
+    g.bench_function("progress: all n < 32 appear", |b| {
+        b.iter(|| black_box(progress_naturals(&t, dfm::D, 32, x.len())))
+    });
+    g.bench_function("safety: n precedes 2n", |b| {
+        b.iter(|| black_box(safety_doubling(&t, dfm::D, 16, x.len())))
+    });
+    g.finish();
+}
+
+fn bench_operational(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/operational");
+    g.sample_size(10);
+    for steps in [60usize, 120, 240] {
+        g.bench_with_input(BenchmarkId::new("network run", steps), &steps, |b, &steps| {
+            b.iter(|| {
+                let mut net = dfm::section23_network(Oracle::fair(7, 2));
+                let run = net.run(
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        max_steps: steps,
+                        seed: 7,
+                    },
+                );
+                black_box(run.steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_xyz_verdicts, bench_properties, bench_operational);
+criterion_main!(benches);

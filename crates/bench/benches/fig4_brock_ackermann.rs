@@ -1,0 +1,83 @@
+//! E4 — Figure 4: the Brock–Ackermann anomaly. Measures the exhaustive
+//! solution search (alphabet^depth), the smooth filter that separates the
+//! two solutions, and the operational network across schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_core::smooth::{is_smooth, limit_holds};
+use eqp_kahn::{Adversarial, Oracle, RandomSched, RoundRobin, RunOptions, Scheduler};
+use eqp_processes::brock_ackermann as ba;
+use std::hint::black_box;
+
+fn exhaustive_solutions(max_len: usize) -> Vec<Vec<i64>> {
+    let desc = ba::eliminated_description();
+    let mut out = Vec::new();
+    let mut stack: Vec<Vec<i64>> = vec![vec![]];
+    while let Some(seq) = stack.pop() {
+        if limit_holds(&desc, &ba::c_trace(&seq)) {
+            out.push(seq.clone());
+        }
+        if seq.len() < max_len {
+            for a in [0i64, 1, 2] {
+                let mut n = seq.clone();
+                n.push(a);
+                stack.push(n);
+            }
+        }
+    }
+    out
+}
+
+fn bench_solution_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/solution-search");
+    g.sample_size(10);
+    for depth in [3usize, 4, 5, 6] {
+        g.bench_with_input(BenchmarkId::new("exhaustive 3^n", depth), &depth, |b, &d| {
+            b.iter(|| black_box(exhaustive_solutions(d).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_smooth_filter(c: &mut Criterion) {
+    let desc = ba::eliminated_description();
+    let mut g = c.benchmark_group("fig4/smooth-filter");
+    g.sample_size(30);
+    g.bench_function("genuine ⟨0 2 1⟩", |b| {
+        b.iter(|| black_box(is_smooth(&desc, &ba::genuine_trace())))
+    });
+    g.bench_function("anomalous ⟨0 1 2⟩", |b| {
+        b.iter(|| black_box(is_smooth(&desc, &ba::anomalous_trace())))
+    });
+    g.finish();
+}
+
+fn bench_operational(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/operational");
+    g.sample_size(20);
+    type MkSched = fn(u64) -> Box<dyn Scheduler>;
+    let scheds: Vec<(&str, MkSched)> = vec![
+        ("round-robin", |_| Box::new(RoundRobin::new())),
+        ("random", |s| Box::new(RandomSched::new(s))),
+        ("adversarial", |s| Box::new(Adversarial::new(s))),
+    ];
+    for (name, mk) in scheds {
+        g.bench_function(BenchmarkId::new("network run", name), |b| {
+            b.iter(|| {
+                let mut sched = mk(11);
+                let mut net = ba::network(Oracle::fair(11, 2));
+                let run = net.run(
+                    &mut sched,
+                    RunOptions {
+                        max_steps: 200,
+                        seed: 11,
+                    },
+                );
+                black_box(run.quiescent)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solution_search, bench_smooth_filter, bench_operational);
+criterion_main!(benches);

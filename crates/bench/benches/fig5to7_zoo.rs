@@ -1,0 +1,107 @@
+//! E9–E12 — Figures 5–7: implication (auxiliary-channel enumeration),
+//! fork (oracle selection), and the fair-merge tagging pipeline (with its
+//! Section 7 elimination).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_core::smooth::is_smooth;
+use eqp_core::{eliminate, enumerate, Alphabet, EnumOptions};
+use eqp_kahn::{Oracle, RoundRobin, RunOptions};
+use eqp_processes::{fair_merge as fm, fork, implication};
+use eqp_trace::ChanSet;
+use std::hint::black_box;
+
+fn bench_fig5_implication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/implication");
+    g.sample_size(10);
+    let alpha = Alphabet::new()
+        .with_bits(implication::B)
+        .with_bits(implication::C)
+        .with_bits(implication::D);
+    for depth in [2usize, 3, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("enumerate+project (aux channel)", depth),
+            &depth,
+            |b, &d| {
+                b.iter(|| {
+                    let e = enumerate(
+                        &implication::description(),
+                        &alpha,
+                        EnumOptions {
+                            max_depth: d,
+                            max_nodes: 2_000_000,
+                        },
+                    );
+                    black_box(e.solutions_projected(&implication::visible_channels()).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig6_fork(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/fork");
+    g.sample_size(20);
+    for n in [8usize, 32, 128] {
+        let inputs: Vec<i64> = (0..n as i64).collect();
+        g.bench_with_input(BenchmarkId::new("operational split", n), &inputs, |b, ins| {
+            b.iter(|| {
+                let mut net = fork::network(ins);
+                let run = net.run(
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        max_steps: 10 * ins.len(),
+                        seed: 3,
+                    },
+                );
+                black_box(run.steps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_fair_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/fair-merge");
+    g.sample_size(10);
+    g.bench_function("variable elimination (c', d')", |b| {
+        b.iter(|| {
+            let s1 = eliminate(&fm::full_system(), fm::C_TAGGED).unwrap();
+            let s2 = eliminate(&s1, fm::D_TAGGED).unwrap();
+            black_box(s2.len())
+        })
+    });
+    for n in [4usize, 16, 64] {
+        let cs: Vec<i64> = (0..n as i64).map(|x| 2 * x).collect();
+        let ds: Vec<i64> = (0..n as i64).map(|x| 2 * x + 1).collect();
+        g.bench_with_input(
+            BenchmarkId::new("pipeline run + smooth check", n),
+            &(cs, ds),
+            |b, (cs, ds)| {
+                b.iter(|| {
+                    let mut net = fm::network(cs, ds, Oracle::fair(5, 2));
+                    let run = net.run(
+                        &mut RoundRobin::new(),
+                        RunOptions {
+                            max_steps: 40 * cs.len(),
+                            seed: 5,
+                        },
+                    );
+                    let t = run
+                        .trace
+                        .project(&ChanSet::from_chans([fm::C, fm::D, fm::E, fm::B]));
+                    black_box(is_smooth(&fm::eliminated_system().flatten(), &t))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_implication,
+    bench_fig6_fork,
+    bench_fig7_fair_merge
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! E13–E17 — the theorem machinery at scale: composition of growing
+//! networks (Theorem 2), Kleene iteration and smooth-solution enumeration
+//! over cpos (Theorem 4), and witness reconstruction (Theorem 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqp_core::compose::{sublemma_agrees, Component};
+use eqp_core::fixpoint::{enumerate_smooth_solutions_id, kleene_smooth_witness};
+use eqp_core::{reconstruct_witness, Description};
+use eqp_cpo::domains::{ClampedNat, Powerset};
+use eqp_cpo::fixpoint::KleeneOptions;
+use eqp_cpo::func::FnCont;
+use eqp_seqfn::paper::{ch, prepend_int, twice};
+use eqp_trace::{Chan, Event, Trace};
+use std::hint::black_box;
+
+/// A chain network: n workers, worker i doubling channel i into i+1.
+fn chain_components(n: usize) -> Vec<Component> {
+    (0..n)
+        .map(|i| {
+            let input = Chan::new(i as u32);
+            let output = Chan::new(i as u32 + 1);
+            Component::from_description(
+                Description::new(format!("w{i}")).defines(output, twice(ch(input))),
+            )
+        })
+        .collect()
+}
+
+fn chain_trace(n: usize) -> Trace {
+    // 1 flows through: channel i carries 2^i.
+    let mut ev = Vec::new();
+    ev.push(Event::int(Chan::new(0), 1));
+    for i in 0..n {
+        ev.push(Event::int(Chan::new(i as u32 + 1), 1i64 << (i + 1)));
+    }
+    Trace::finite(ev)
+}
+
+fn bench_composition_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory/composition-scaling");
+    g.sample_size(10);
+    for n in [2usize, 8, 32] {
+        let comps = chain_components(n);
+        let t = chain_trace(n);
+        g.bench_with_input(
+            BenchmarkId::new("sublemma on n-worker chain", n),
+            &(comps, t),
+            |b, (comps, t)| b.iter(|| black_box(sublemma_agrees(comps, t, 2 * comps.len() + 2))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_theorem4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory/theorem4");
+    g.sample_size(10);
+    for max in [64u64, 512, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("kleene witness on chain domain", max),
+            &max,
+            |b, &max| {
+                let d = ClampedNat::new(max);
+                let h = FnCont::new("inc", move |x: &u64| (x + 1).min(max));
+                b.iter(|| black_box(kleene_smooth_witness(&d, &h, KleeneOptions::default())))
+            },
+        );
+    }
+    for bits in [4u32, 6, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive uniqueness on powerset", bits),
+            &bits,
+            |b, &bits| {
+                let d = Powerset::new(bits);
+                let universe = d.enumerate();
+                let hf = move |s: &std::collections::BTreeSet<u32>| {
+                    let mut out = s.clone();
+                    out.insert(0);
+                    for &x in s {
+                        if x + 1 < bits {
+                            out.insert(x + 1);
+                        }
+                    }
+                    out
+                };
+                b.iter(|| {
+                    black_box(enumerate_smooth_solutions_id(&d, &universe, &hf).len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_theorem6_witness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory/theorem6-witness");
+    g.sample_size(10);
+    let (src, b_chan, out) = (Chan::new(200), Chan::new(201), Chan::new(202));
+    let h = prepend_int(0, twice(ch(src)));
+    let _ = out;
+    for n in [8usize, 32, 128] {
+        // a D2-smooth trace: out copies h(src) — build src events only;
+        // witness reconstruction interleaves the b-events.
+        let s = Trace::finite(
+            (0..n as i64)
+                .map(|i| Event::int(src, i))
+                .collect::<Vec<_>>(),
+        );
+        g.bench_with_input(BenchmarkId::new("reconstruct", n), &s, |bch, s| {
+            bch.iter(|| black_box(reconstruct_witness(s, b_chan, &h)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_composition_scaling,
+    bench_theorem4,
+    bench_theorem6_witness
+);
+criterion_main!(benches);

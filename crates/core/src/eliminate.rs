@@ -1,0 +1,394 @@
+//! **Variable elimination** (Section 7, Theorems 5 and 6): a channel `b`
+//! defined by `b ⟸ h` may be replaced by `h` in the remaining
+//! descriptions, preserving smooth solutions in both directions.
+//!
+//! Given a system D1 containing a defining equation `b ⟸ h` plus other
+//! descriptions `f ⟸ g`, elimination produces D2 = `f ⟸ g[b := h]`,
+//! subject to the paper's side conditions:
+//!
+//! 1. `h` and every `f` are *independent of* `b` (do not mention it);
+//! 2. `g` factors through `b` — automatic here, since [`SeqExpr`]s read
+//!    channels only by projection;
+//! 3. `f(⊥) = ⊥` — necessary for Theorem 6, as the paper's note shows
+//!    (reproduced in this module's tests).
+//!
+//! * **Theorem 5**: `t` smooth for D1 ⇒ `t_c` smooth for D2.
+//! * **Theorem 6**: `s` smooth for D2 (with `s_c = s`) ⇒ there is a
+//!   witness `t` with `t_c = s`, smooth for D1.
+//!   [`reconstruct_witness`] performs the proof's explicit interleaved
+//!   construction (`t_b^{2i+1} = h(sⁱ)`, `t_c^{2i+2} = s^{i+1}`).
+
+use crate::description::{Description, System};
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Event, Trace};
+use std::fmt;
+
+/// Why elimination of a channel failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElimError {
+    /// No description of the form `b ⟸ h` was found.
+    NoDefiningEquation(Chan),
+    /// More than one description defines `b`.
+    MultipleDefiningEquations(Chan),
+    /// The defining right side `h` mentions `b` itself.
+    RhsMentionsChan(Chan),
+    /// Another description's left side `f` mentions `b`.
+    LhsMentionsChan(Chan, String),
+    /// Condition (3) fails: some `f(⊥) ≠ ⊥`.
+    LhsNotStrict(String),
+    /// Substitution hit an opaque custom function.
+    Subst(eqp_seqfn::expr::SubstError),
+}
+
+impl fmt::Display for ElimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElimError::NoDefiningEquation(c) => {
+                write!(f, "no defining equation `{c} ⟸ h` in the system")
+            }
+            ElimError::MultipleDefiningEquations(c) => {
+                write!(f, "channel {c} has multiple defining equations")
+            }
+            ElimError::RhsMentionsChan(c) => {
+                write!(f, "defining right side mentions the eliminated channel {c}")
+            }
+            ElimError::LhsMentionsChan(c, name) => write!(
+                f,
+                "left side of `{name}` mentions the eliminated channel {c}"
+            ),
+            ElimError::LhsNotStrict(name) => {
+                write!(f, "left side of `{name}` is not strict: f(⊥) ≠ ⊥ (condition 3)")
+            }
+            ElimError::Subst(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ElimError {}
+
+impl From<eqp_seqfn::expr::SubstError> for ElimError {
+    fn from(e: eqp_seqfn::expr::SubstError) -> Self {
+        ElimError::Subst(e)
+    }
+}
+
+/// Finds the defining equation `b ⟸ h` in a system: an arity-1
+/// description whose left side is exactly the projection onto `b`.
+pub fn defining_equation(system: &System, b: Chan) -> Option<(usize, &SeqExpr)> {
+    let mut found = None;
+    for (i, d) in system.descriptions().iter().enumerate() {
+        if d.arity() == 1 && d.lhs()[0] == SeqExpr::chan(b) {
+            if found.is_some() {
+                return None; // ambiguous; eliminate() reports separately
+            }
+            found = Some((i, &d.rhs()[0]));
+        }
+    }
+    found
+}
+
+/// Eliminates channel `b` from the system: removes `b ⟸ h` and replaces
+/// `b` by `h` in every remaining right side (Section 7's transformation
+/// D1 → D2).
+///
+/// # Example
+///
+/// ```
+/// use eqp_core::{eliminate, Description, System};
+/// use eqp_seqfn::paper::{ch, twice};
+/// use eqp_trace::Chan;
+///
+/// let (src, aux, out) = (Chan::new(0), Chan::new(1), Chan::new(2));
+/// let sys = System::new()
+///     .with(Description::new("defAux").defines(aux, twice(ch(src))))
+///     .with(Description::new("useAux").defines(out, ch(aux)));
+/// let d2 = eliminate(&sys, aux)?;
+/// assert_eq!(d2.len(), 1);
+/// assert!(!d2.flatten().channels().contains(aux));
+/// # Ok::<(), eqp_core::ElimError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns an [`ElimError`] if the paper's side conditions fail: no unique
+/// defining equation, `h` or some left side mentions `b`, some left side is
+/// not strict (`f(⊥) ≠ ⊥`), or substitution hits an opaque function.
+pub fn eliminate(system: &System, b: Chan) -> Result<System, ElimError> {
+    let count = system
+        .descriptions()
+        .iter()
+        .filter(|d| d.arity() == 1 && d.lhs()[0] == SeqExpr::chan(b))
+        .count();
+    if count == 0 {
+        return Err(ElimError::NoDefiningEquation(b));
+    }
+    if count > 1 {
+        return Err(ElimError::MultipleDefiningEquations(b));
+    }
+    let (idx, h) = defining_equation(system, b).expect("counted above");
+    if h.channels().contains(b) {
+        return Err(ElimError::RhsMentionsChan(b));
+    }
+    let h = h.clone();
+    let bottom = Trace::empty();
+    let mut out = System::new();
+    for (i, d) in system.descriptions().iter().enumerate() {
+        if i == idx {
+            continue;
+        }
+        if d.lhs_channels().contains(b) {
+            return Err(ElimError::LhsMentionsChan(b, d.name().to_owned()));
+        }
+        // condition (3): f(⊥) = ⊥ componentwise
+        if d.eval_lhs(&bottom).iter().any(|s| !s.is_empty()) {
+            return Err(ElimError::LhsNotStrict(d.name().to_owned()));
+        }
+        let mut nd = Description::new(format!("{}[{b}:=h]", d.name()));
+        for (l, r) in d.lhs().iter().zip(d.rhs()) {
+            nd = nd.equation(l.clone(), r.subst_chan(b, &h)?);
+        }
+        out = out.with(nd);
+    }
+    Ok(out)
+}
+
+/// Theorem 6's witness construction: from a smooth solution `s` of D2
+/// (finite, containing no `b`-events), build the interleaved trace `t`
+/// with `t_c = s` and `t_b = h(s)`:
+///
+/// for each `i`, first extend with `b`-events until the `b`-sequence is
+/// `h(sⁱ)`, then append the `(i+1)`-th event of `s`.
+///
+/// Returns `None` if `s` already mentions `b` (the precondition `s_c = s`
+/// fails), if some `h(sⁱ)` is infinite (the witness would not be a finite
+/// interleaving; use lasso-level checks instead), or if `h` retracts
+/// (never happens for monotone `h`).
+pub fn reconstruct_witness(s: &Trace, b: Chan, h: &SeqExpr) -> Option<Trace> {
+    if s.channels().contains(b) {
+        return None;
+    }
+    let events = s.events()?;
+    let n = events.len();
+    let mut t: Vec<Event> = Vec::new();
+    let mut b_emitted = 0usize;
+    for i in 0..=n {
+        let si = Trace::finite(events[..i].to_vec());
+        let hsi = h.eval(&si);
+        let target = hsi.len().as_finite()?;
+        while b_emitted < target {
+            t.push(Event::new(b, *hsi.get(b_emitted)?));
+            b_emitted += 1;
+        }
+        if i < n {
+            t.push(events[i]);
+        }
+    }
+    Some(Trace::finite(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smooth::{is_smooth, is_smooth_at_depth};
+    use eqp_seqfn::paper::{ch, prepend_int, twice};
+    use eqp_trace::{ChanSet, Value};
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+    fn c() -> Chan {
+        Chan::new(1)
+    }
+    fn d() -> Chan {
+        Chan::new(2)
+    }
+
+    /// D1: b ⟸ 0; 2×c   ,   d ⟸ b  (copy-through-b)
+    fn d1() -> System {
+        System::new()
+            .with(Description::new("defB").defines(b(), prepend_int(0, twice(ch(c())))))
+            .with(Description::new("useB").defines(d(), ch(b())))
+    }
+
+    #[test]
+    fn eliminate_substitutes() {
+        let d2 = eliminate(&d1(), b()).unwrap();
+        assert_eq!(d2.len(), 1);
+        let only = &d2.descriptions()[0];
+        assert_eq!(only.rhs()[0], prepend_int(0, twice(ch(c()))));
+        assert!(!only.channels().contains(b()));
+    }
+
+    #[test]
+    fn eliminate_requires_defining_equation() {
+        let sys = System::new().with(Description::new("useB").defines(d(), ch(b())));
+        assert_eq!(
+            eliminate(&sys, b()).unwrap_err(),
+            ElimError::NoDefiningEquation(b())
+        );
+    }
+
+    #[test]
+    fn eliminate_rejects_self_referential_definition() {
+        let sys = System::new()
+            .with(Description::new("defB").defines(b(), prepend_int(0, ch(b()))))
+            .with(Description::new("useB").defines(d(), ch(b())));
+        assert_eq!(
+            eliminate(&sys, b()).unwrap_err(),
+            ElimError::RhsMentionsChan(b())
+        );
+    }
+
+    #[test]
+    fn eliminate_rejects_duplicate_definitions() {
+        let sys = System::new()
+            .with(Description::new("defB1").defines(b(), ch(c())))
+            .with(Description::new("defB2").defines(b(), ch(d())));
+        assert_eq!(
+            eliminate(&sys, b()).unwrap_err(),
+            ElimError::MultipleDefiningEquations(b())
+        );
+    }
+
+    #[test]
+    fn eliminate_rejects_lhs_mentioning_b() {
+        let sys = System::new()
+            .with(Description::new("defB").defines(b(), ch(c())))
+            .with(Description::new("bad").equation(ch(b()).clone(), ch(d())));
+        // `bad` is itself of shape b ⟸ d, so the system has two defining
+        // equations; craft a genuinely non-defining lhs with b inside:
+        let sys2 = System::new()
+            .with(Description::new("defB").defines(b(), ch(c())))
+            .with(Description::new("bad").equation(
+                eqp_seqfn::paper::even(ch(b())),
+                ch(d()),
+            ));
+        assert!(matches!(
+            eliminate(&sys2, b()).unwrap_err(),
+            ElimError::LhsMentionsChan(_, _)
+        ));
+        let _ = sys;
+    }
+
+    #[test]
+    fn eliminate_rejects_nonstrict_lhs() {
+        // f = constant ⟨0⟩ as a left side: f(⊥) = ⟨0⟩ ≠ ⊥.
+        let sys = System::new()
+            .with(Description::new("defB").defines(b(), ch(c())))
+            .with(Description::new("K").equation(SeqExpr::const_ints([0]), ch(b())));
+        assert_eq!(
+            eliminate(&sys, b()).unwrap_err(),
+            ElimError::LhsNotStrict("K".into())
+        );
+    }
+
+    /// Theorem 5 on a concrete smooth solution of D1.
+    #[test]
+    fn theorem5_projection_smooth_for_d2() {
+        let sys = d1();
+        let d2 = eliminate(&sys, b()).unwrap();
+        // A quiescent run: c gets 1, b emits 0 then 2, d copies 0 2.
+        let t = Trace::finite(vec![
+            Event::int(b(), 0),
+            Event::int(d(), 0),
+            Event::int(c(), 1),
+            Event::int(b(), 2),
+            Event::int(d(), 2),
+        ]);
+        let flat1 = sys.flatten();
+        assert!(is_smooth(&flat1, &t), "t should be smooth for D1");
+        let cset = ChanSet::from_chans([c(), d()]);
+        let tc = t.project(&cset);
+        let flat2 = d2.flatten();
+        assert!(is_smooth(&flat2, &tc), "t_c should be smooth for D2");
+    }
+
+    /// Theorem 6: reconstruct the witness from a D2 solution and check it
+    /// against D1.
+    #[test]
+    fn theorem6_witness_construction() {
+        let sys = d1();
+        let d2 = eliminate(&sys, b()).unwrap();
+        let flat2 = d2.flatten();
+        // s over channels {c, d}: d must equal 0; 2×c.
+        let s = Trace::finite(vec![
+            Event::int(d(), 0),
+            Event::int(c(), 3),
+            Event::int(d(), 6),
+        ]);
+        assert!(is_smooth(&flat2, &s));
+        let h = prepend_int(0, twice(ch(c())));
+        let t = reconstruct_witness(&s, b(), &h).expect("finite witness");
+        // witness projects back to s on c-channels…
+        let cset = ChanSet::from_chans([c(), d()]);
+        assert_eq!(t.project(&cset), s);
+        // …carries h(s) on b…
+        assert_eq!(t.seq_on(b()), h.eval(&s));
+        // …and is smooth for D1.
+        let flat1 = sys.flatten();
+        assert!(is_smooth(&flat1, &t), "witness not smooth for D1: {t}");
+    }
+
+    /// The paper's note on condition (3): with a non-strict `f`,
+    /// D2 = `f ⟸ f` has the smooth solution ⊥ while D1 = `b ⟸ f, f ⟸ b`
+    /// has none.
+    #[test]
+    fn nonstrict_note_reproduced() {
+        let f = SeqExpr::const_ints([0]); // f(⊥) = ⟨0⟩ ≠ ⊥
+        let d1 = System::new()
+            .with(Description::new("defB").defines(b(), f.clone()))
+            .with(Description::new("useB").equation(f.clone(), ch(b())));
+        // D2 (built by hand, since eliminate() refuses): f ⟸ f.
+        let d2 = Description::new("ff").equation(f.clone(), f.clone());
+        assert!(is_smooth(&d2, &Trace::empty())); // ⊥ solves D2
+        // D1 has no smooth solution among small traces:
+        let flat = d1.flatten();
+        assert!(!is_smooth(&flat, &Trace::empty())); // limit: b(⊥)=ε ≠ ⟨0⟩
+        let t1 = Trace::finite(vec![Event::int(b(), 0)]);
+        // any nonempty trace violates smoothness of the second description
+        // (f(v) = ⟨0⟩ ⋢ g(u) = b(u) = ε for u = ⊥):
+        assert!(!is_smooth(&flat, &t1));
+        // and eliminate() rejects the system up front:
+        assert_eq!(
+            eliminate(&d1, b()).unwrap_err(),
+            ElimError::LhsNotStrict("useB".into())
+        );
+    }
+
+    /// The paper's final note: D1 = {v ⟸ w, u ⟸ v} and
+    /// D2 = {v ⟸ w, u ⟸ w} do NOT have the same smooth solutions —
+    /// (w,0)(u,0)(v,0) is smooth for D2 but not D1.
+    #[test]
+    fn substitution_in_place_changes_solutions() {
+        let (w, v, u) = (Chan::new(10), Chan::new(11), Chan::new(12));
+        let d1 = System::new()
+            .with(Description::new("v").defines(v, ch(w)))
+            .with(Description::new("u").defines(u, ch(v)))
+            .flatten();
+        let d2 = System::new()
+            .with(Description::new("v").defines(v, ch(w)))
+            .with(Description::new("u").defines(u, ch(w)))
+            .flatten();
+        let t = Trace::finite(vec![
+            Event::int(w, 0),
+            Event::int(u, 0),
+            Event::int(v, 0),
+        ]);
+        assert!(is_smooth_at_depth(&d2, &t, 8));
+        assert!(!is_smooth_at_depth(&d1, &t, 8));
+    }
+
+    #[test]
+    fn witness_rejects_trace_already_mentioning_b() {
+        let h = prepend_int(0, twice(ch(c())));
+        let bad = Trace::finite(vec![Event::int(b(), 0), Event::int(c(), 1)]);
+        assert_eq!(reconstruct_witness(&bad, b(), &h), None);
+    }
+
+    #[test]
+    fn witness_fails_on_infinite_h() {
+        let h = SeqExpr::constant(eqp_trace::Lasso::repeat(vec![Value::Int(0)]));
+        let s = Trace::finite(vec![Event::int(c(), 1)]);
+        assert_eq!(reconstruct_witness(&s, b(), &h), None);
+    }
+}

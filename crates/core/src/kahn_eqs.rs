@@ -1,0 +1,337 @@
+//! Kahn-style equation systems `cᵢ = fᵢ(channel sequences)` and their
+//! least-fixpoint semantics (Sections 2.1 and 6).
+//!
+//! A deterministic network is a system of equations, one per channel; its
+//! behaviour is the least fixpoint of the induced continuous function on
+//! tuples of sequences (Kahn 1974). This module solves such systems by
+//! Kleene iteration with **verified lasso extrapolation**: when iteration
+//! is productive forever (`b = 0; c`, `c = b` has the limit `0^ω`), the
+//! solver conjectures an eventually periodic limit from the iterates'
+//! deltas and *proves* it by substituting back into the equations — exact,
+//! thanks to lasso arithmetic.
+//!
+//! The module also bridges to the smooth-solution view (Theorem 4 /
+//! Section 6): [`KahnSystem::to_description`] yields `c ⟸ f(c)`-shaped
+//! descriptions whose unique smooth solution must be this least fixpoint.
+
+use crate::description::Description;
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Event, Lasso, Seq, Trace};
+
+/// Builds a canonical trace carrying the given sequence on each channel.
+///
+/// [`SeqExpr`] evaluation only reads per-channel subsequences, so any
+/// interleaving represents the assignment; this one puts all finite
+/// prefixes first and rolls every cycle into the trace's cycle. At most
+/// one sequence may be infinite per *distinct cycle interleaving* — in
+/// fact any number may be infinite; their cycles are concatenated, which
+/// projects back to each channel's own cycle.
+pub fn trace_from_seqs(assignment: &[(Chan, Seq)]) -> Trace {
+    let mut prefix: Vec<Event> = Vec::new();
+    let mut cycle: Vec<Event> = Vec::new();
+    for (c, s) in assignment {
+        prefix.extend(s.prefix().iter().map(|v| Event::new(*c, *v)));
+        cycle.extend(s.cycle().iter().map(|v| Event::new(*c, *v)));
+    }
+    Trace::lasso(prefix, cycle)
+}
+
+/// A Kahn equation system: `vars[i] = rhs[i](…)`, where each right side
+/// reads channel sequences (possibly including the defined variables —
+/// feedback loops are the point).
+///
+/// # Example
+///
+/// Figure 1's seeded loop, whose least fixpoint is the infinite `0^ω`:
+///
+/// ```
+/// use eqp_core::kahn_eqs::{KahnSystem, SolveOptions};
+/// use eqp_seqfn::paper::{ch, prepend_int};
+/// use eqp_trace::{Chan, Lasso, Value};
+///
+/// let (b, c) = (Chan::new(0), Chan::new(1));
+/// let sys = KahnSystem::new()
+///     .equation(c, ch(b))
+///     .equation(b, prepend_int(0, ch(c)));
+/// let sol = sys.solve(SolveOptions::default()).expect("verified limit");
+/// assert_eq!(sol.seqs[0], Lasso::repeat(vec![Value::Int(0)]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KahnSystem {
+    vars: Vec<Chan>,
+    rhs: Vec<SeqExpr>,
+}
+
+/// Options for [`KahnSystem::solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolveOptions {
+    /// Maximum Kleene iterations before extrapolation is attempted.
+    pub max_iter: usize,
+    /// Strides tried when conjecturing a periodic delta (a stride `s`
+    /// means the limit grows by a fixed block every `s` iterations).
+    pub max_stride: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iter: 64,
+            max_stride: 4,
+        }
+    }
+}
+
+/// Outcome of solving a Kahn system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The per-variable least-fixpoint sequences, aligned with
+    /// [`KahnSystem::vars`].
+    pub seqs: Vec<Seq>,
+    /// Number of Kleene iterations performed.
+    pub iterations: usize,
+    /// True iff iteration stabilized exactly (false: verified lasso
+    /// extrapolation supplied the ω-limit).
+    pub stabilized: bool,
+}
+
+impl KahnSystem {
+    /// Creates an empty system.
+    pub fn new() -> KahnSystem {
+        KahnSystem {
+            vars: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Adds the equation `var = rhs`.
+    #[must_use]
+    pub fn equation(mut self, var: Chan, rhs: SeqExpr) -> KahnSystem {
+        self.vars.push(var);
+        self.rhs.push(rhs);
+        self
+    }
+
+    /// The defined channels.
+    pub fn vars(&self) -> &[Chan] {
+        &self.vars
+    }
+
+    /// The right-hand sides.
+    pub fn rhs(&self) -> &[SeqExpr] {
+        &self.rhs
+    }
+
+    /// Applies the induced function once: evaluates every right side under
+    /// the given assignment.
+    pub fn apply(&self, assignment: &[Seq]) -> Vec<Seq> {
+        let env: Vec<(Chan, Seq)> = self
+            .vars
+            .iter()
+            .copied()
+            .zip(assignment.iter().cloned())
+            .collect();
+        let t = trace_from_seqs(&env);
+        self.rhs.iter().map(|e| e.eval(&t)).collect()
+    }
+
+    /// Solves the system by Kleene iteration from `⊥ = (ε, …, ε)`, with
+    /// verified lasso extrapolation for productive systems. Returns `None`
+    /// if neither stabilization nor a verifiable periodic limit was found
+    /// within the option bounds.
+    pub fn solve(&self, opts: SolveOptions) -> Option<Solution> {
+        let n = self.vars.len();
+        let mut chain: Vec<Vec<Seq>> = vec![vec![Lasso::empty(); n]];
+        for i in 0..opts.max_iter {
+            let next = self.apply(chain.last().expect("nonempty"));
+            if &next == chain.last().expect("nonempty") {
+                return Some(Solution {
+                    seqs: next,
+                    iterations: i + 1,
+                    stabilized: true,
+                });
+            }
+            chain.push(next);
+        }
+        // Extrapolate: conjecture per-component constant deltas at some
+        // stride, then verify the candidate is a genuine fixpoint.
+        for stride in 1..=opts.max_stride {
+            if let Some(candidate) = conjecture(&chain, stride) {
+                if self.apply(&candidate) == candidate
+                    && chain
+                        .last()
+                        .expect("nonempty")
+                        .iter()
+                        .zip(&candidate)
+                        .all(|(x, l)| x.leq(l))
+                {
+                    return Some(Solution {
+                        seqs: candidate,
+                        iterations: opts.max_iter,
+                        stabilized: false,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// The description `c ⟸ f(c)` per equation — the form whose unique
+    /// smooth solution Theorem 4 equates with the least fixpoint.
+    pub fn to_description(&self, name: &str) -> Description {
+        let mut d = Description::new(name);
+        for (v, r) in self.vars.iter().zip(&self.rhs) {
+            d = d.defines(*v, r.clone());
+        }
+        d
+    }
+}
+
+impl Default for KahnSystem {
+    fn default() -> Self {
+        KahnSystem::new()
+    }
+}
+
+/// Conjectures an ω-limit for a chain of sequence tuples: for each
+/// component, if the last three stride-separated iterates grow by the same
+/// nonempty block `d`, propose `last · d^ω`; stabilized components keep
+/// their final value.
+fn conjecture(chain: &[Vec<Seq>], stride: usize) -> Option<Vec<Seq>> {
+    let k = chain.len();
+    if k < 3 * stride + 1 {
+        return None;
+    }
+    let n = chain[0].len();
+    let mut out = Vec::with_capacity(n);
+    let mut any_growth = false;
+    #[allow(clippy::needless_range_loop)] // j indexes three chain rows at once
+    for j in 0..n {
+        let a = &chain[k - 1 - 2 * stride][j];
+        let b = &chain[k - 1 - stride][j];
+        let c = &chain[k - 1][j];
+        let (la, lb, lc) = (
+            a.len().as_finite()?,
+            b.len().as_finite()?,
+            c.len().as_finite()?,
+        );
+        if la == lb && lb == lc {
+            // stabilized component (at this stride)
+            if a == b && b == c {
+                out.push(c.clone());
+                continue;
+            }
+            return None;
+        }
+        if !(a.leq(b) && b.leq(c)) || lb - la != lc - lb {
+            return None;
+        }
+        let d1: Vec<_> = c.take(lc)[lb..].to_vec();
+        let d0: Vec<_> = b.take(lb)[la..].to_vec();
+        if d1 != d0 || d1.is_empty() {
+            return None;
+        }
+        any_growth = true;
+        out.push(Lasso::lasso(c.take(lc), d1));
+    }
+    any_growth.then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_seqfn::paper::{ch, prepend_int};
+    use eqp_trace::Value;
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+    fn c() -> Chan {
+        Chan::new(1)
+    }
+
+    #[test]
+    fn figure1_plain_copies_have_empty_lfp() {
+        // c = b, b = c: least fixpoint is (ε, ε) (Section 2.1).
+        let sys = KahnSystem::new()
+            .equation(c(), ch(b()))
+            .equation(b(), ch(c()));
+        let sol = sys.solve(SolveOptions::default()).unwrap();
+        assert!(sol.stabilized);
+        assert_eq!(sol.seqs, vec![Lasso::empty(), Lasso::empty()]);
+        assert_eq!(sol.iterations, 1);
+    }
+
+    #[test]
+    fn figure1_variant_reaches_zero_omega() {
+        // c = b, b = 0; c: least solution b = c = 0^ω.
+        let sys = KahnSystem::new()
+            .equation(c(), ch(b()))
+            .equation(b(), prepend_int(0, ch(c())));
+        let sol = sys.solve(SolveOptions::default()).unwrap();
+        assert!(!sol.stabilized);
+        let zw = Lasso::repeat(vec![Value::Int(0)]);
+        assert_eq!(sol.seqs, vec![zw.clone(), zw]);
+    }
+
+    #[test]
+    fn finite_pipeline_stabilizes() {
+        // b = ⟨1 2⟩ const, c = 2×b.
+        let sys = KahnSystem::new()
+            .equation(b(), SeqExpr::const_ints([1, 2]))
+            .equation(c(), eqp_seqfn::paper::twice(ch(b())));
+        let sol = sys.solve(SolveOptions::default()).unwrap();
+        assert!(sol.stabilized);
+        assert_eq!(
+            sol.seqs[1],
+            Lasso::finite(vec![Value::Int(2), Value::Int(4)])
+        );
+    }
+
+    #[test]
+    fn unsolvable_returns_none_within_bounds() {
+        // b = b lengthens never… actually b = b stabilizes at ε. Use a
+        // doubling-growth system that defeats constant-delta conjecture:
+        // b = b ++ b is inexpressible here; instead use tiny max_iter so
+        // even 0^ω cannot be certified.
+        let sys = KahnSystem::new()
+            .equation(c(), ch(b()))
+            .equation(b(), prepend_int(0, ch(c())));
+        let sol = sys.solve(SolveOptions {
+            max_iter: 2,
+            max_stride: 4,
+        });
+        assert_eq!(sol, None);
+    }
+
+    #[test]
+    fn to_description_matches_theorem4_shape() {
+        let sys = KahnSystem::new().equation(b(), prepend_int(0, ch(b())));
+        let d = sys.to_description("loop");
+        assert_eq!(d.arity(), 1);
+        // unique smooth solution of b ⟸ 0;b is the lfp 0^ω:
+        let sol = sys.solve(SolveOptions::default()).unwrap();
+        let t = trace_from_seqs(&[(b(), sol.seqs[0].clone())]);
+        assert!(crate::smooth::is_smooth(&d, &t));
+        // and finite under-approximations are not smooth solutions
+        let short = Trace::finite(vec![Event::int(b(), 0)]);
+        assert!(!crate::smooth::is_smooth(&d, &short));
+    }
+
+    #[test]
+    fn trace_from_seqs_projects_back() {
+        let s1 = Lasso::lasso(vec![Value::Int(1)], vec![Value::Int(2)]);
+        let s2 = Lasso::finite(vec![Value::Int(9)]);
+        let t = trace_from_seqs(&[(b(), s1.clone()), (c(), s2.clone())]);
+        assert_eq!(t.seq_on(b()), s1);
+        assert_eq!(t.seq_on(c()), s2);
+    }
+
+    #[test]
+    fn trace_from_seqs_two_infinite_channels() {
+        let s1 = Lasso::repeat(vec![Value::Int(1)]);
+        let s2 = Lasso::repeat(vec![Value::Int(2), Value::Int(3)]);
+        let t = trace_from_seqs(&[(b(), s1.clone()), (c(), s2.clone())]);
+        assert_eq!(t.seq_on(b()), s1);
+        assert_eq!(t.seq_on(c()), s2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Processes as trace sets (Section 3.1.2): the paper's primitive notion
+//! of process — a set of incident channels plus a set of (quiescent)
+//! traces — independent of any description.
+//!
+//! This module makes the definitional layer executable:
+//!
+//! * [`ProcessSpec`] — a process given extensionally by its quiescent
+//!   traces (finite sets for finite processes; a membership predicate for
+//!   infinite ones).
+//! * [`network_traces`] — the network-trace definition: `t` is a network
+//!   trace iff `tᵢ` is a trace of process `i` for every component.
+//! * [`ProcessSpec::from_description`] — the bridge to descriptions: the
+//!   process *described by* `f ⟸ g` has the smooth solutions (projected
+//!   onto its channels) as its traces (Section 3.2.2), with auxiliary
+//!   channels existentially quantified (Section 8.2).
+//!
+//! The test suites use this to state the composition theorem in its
+//! original set-theoretic form and check it against the equational form.
+
+use crate::description::{Alphabet, Description};
+use crate::enumerate::{enumerate, EnumOptions};
+use eqp_trace::{ChanSet, Trace};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A process in the paper's primitive sense: incident channels and a set
+/// of quiescent traces over them.
+#[derive(Clone)]
+pub struct ProcessSpec {
+    name: String,
+    chans: ChanSet,
+    traces: BTreeSet<Trace>,
+}
+
+impl ProcessSpec {
+    /// Builds a process from an explicit (finite) trace set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some trace mentions a channel outside `chans` — the
+    /// definition requires every `(c, m)` in a trace to have `c` incident.
+    pub fn new<I: IntoIterator<Item = Trace>>(
+        name: impl Into<String>,
+        chans: ChanSet,
+        traces: I,
+    ) -> ProcessSpec {
+        let traces: BTreeSet<Trace> = traces.into_iter().collect();
+        for t in &traces {
+            assert!(
+                t.channels().is_subset(&chans),
+                "trace {t} mentions non-incident channels"
+            );
+        }
+        ProcessSpec {
+            name: name.into(),
+            chans,
+            traces,
+        }
+    }
+
+    /// The process described by `f ⟸ g` over `visible` channels
+    /// (Sections 3.2.2 + 8.2): its traces are the *projections onto
+    /// `visible`* of the description's smooth solutions, enumerated over
+    /// `alphabet` to the given bounds (auxiliary channels — those in the
+    /// description but not in `visible` — are existentially quantified
+    /// away by the projection).
+    pub fn from_description(
+        desc: &Description,
+        visible: &ChanSet,
+        alphabet: &Alphabet,
+        opts: EnumOptions,
+    ) -> ProcessSpec {
+        let e = enumerate(desc, alphabet, opts);
+        ProcessSpec {
+            name: desc.name().to_owned(),
+            chans: visible.clone(),
+            traces: e
+                .solutions
+                .iter()
+                .map(|s| s.project(visible))
+                .collect(),
+        }
+    }
+
+    /// The incident channels.
+    pub fn channels(&self) -> &ChanSet {
+        &self.chans
+    }
+
+    /// The quiescent traces.
+    pub fn traces(&self) -> impl Iterator<Item = &Trace> {
+        self.traces.iter()
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// True iff the process has no traces (an inconsistent spec: even ⊥
+    /// is usually a trace).
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Trace membership.
+    pub fn has_trace(&self, t: &Trace) -> bool {
+        self.traces.contains(t)
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All communication histories (prefixes of traces) up to length `n` —
+    /// "by taking the prefixes of all traces of a process we can derive
+    /// all possible communication sequences" (Section 3.1.1).
+    pub fn histories(&self, n: usize) -> BTreeSet<Trace> {
+        let mut out = BTreeSet::new();
+        for t in &self.traces {
+            for p in t.prefixes_up_to(n) {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    /// The *nonquiescent* histories: communication histories that are not
+    /// themselves quiescent traces (the process is guaranteed to extend
+    /// them).
+    pub fn nonquiescent_histories(&self, n: usize) -> BTreeSet<Trace> {
+        self.histories(n)
+            .into_iter()
+            .filter(|h| !self.traces.contains(h))
+            .collect()
+    }
+}
+
+impl fmt::Debug for ProcessSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProcessSpec({}, {} chans, {} traces)",
+            self.name,
+            self.chans.len(),
+            self.traces.len()
+        )
+    }
+}
+
+/// The network-trace definition (Section 3.1.2): `t` is a network trace
+/// iff its projection onto each component's channels is a trace of that
+/// component.
+pub fn is_network_trace_extensional(components: &[ProcessSpec], t: &Trace) -> bool {
+    components
+        .iter()
+        .all(|p| p.has_trace(&t.project(&p.chans)))
+}
+
+/// Enumerates the network traces over candidate traces drawn from the
+/// per-component trace sets' event alphabets — a brute-force reference
+/// implementation used to validate the composition theorem's equational
+/// route.
+pub fn network_traces(
+    components: &[ProcessSpec],
+    candidates: impl IntoIterator<Item = Trace>,
+) -> BTreeSet<Trace> {
+    candidates
+        .into_iter()
+        .filter(|t| is_network_trace_extensional(components, t))
+        .collect()
+}
+
+/// **Refinement**: `p` refines `q` iff every trace of `p` is a trace of
+/// `q` (over the same incident channels) — implementation conformance to
+/// a specification, in the paper's extensional terms. Returns the first
+/// violating trace, or `None` when the refinement holds.
+pub fn refinement_counterexample(p: &ProcessSpec, q: &ProcessSpec) -> Option<Trace> {
+    p.traces().find(|t| !q.has_trace(t)).cloned()
+}
+
+/// Convenience: `p` refines `q` (see [`refinement_counterexample`]).
+pub fn refines(p: &ProcessSpec, q: &ProcessSpec) -> bool {
+    refinement_counterexample(p, q).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_seqfn::paper::{ch, r_map, t_bar};
+    use eqp_trace::{Chan, Event};
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+
+    fn one_bit_spec() -> ProcessSpec {
+        ProcessSpec::new(
+            "random-bit",
+            ChanSet::from_chans([b()]),
+            [
+                Trace::finite(vec![Event::bit(b(), true)]),
+                Trace::finite(vec![Event::bit(b(), false)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn histories_include_bottom() {
+        let p = one_bit_spec();
+        let h = p.histories(4);
+        assert!(h.contains(&Trace::empty()));
+        assert_eq!(h.len(), 3); // ε, ⟨T⟩, ⟨F⟩
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn nonquiescent_histories_are_extendable() {
+        let p = one_bit_spec();
+        let nq = p.nonquiescent_histories(4);
+        assert_eq!(nq.len(), 1);
+        assert!(nq.contains(&Trace::empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-incident")]
+    fn foreign_channels_rejected() {
+        ProcessSpec::new(
+            "bad",
+            ChanSet::from_chans([b()]),
+            [Trace::finite(vec![Event::int(Chan::new(9), 1)])],
+        );
+    }
+
+    #[test]
+    fn from_description_matches_extensional_spec() {
+        let desc = Description::new("random-bit").equation(r_map(ch(b())), t_bar());
+        let alpha = Alphabet::new().with_bits(b());
+        let p = ProcessSpec::from_description(
+            &desc,
+            &ChanSet::from_chans([b()]),
+            &alpha,
+            EnumOptions {
+                max_depth: 3,
+                max_nodes: 10_000,
+            },
+        );
+        let q = one_bit_spec();
+        let pt: Vec<&Trace> = p.traces().collect();
+        let qt: Vec<&Trace> = q.traces().collect();
+        assert_eq!(pt, qt);
+        assert_eq!(p.name(), "random-bit");
+        assert!(format!("{p:?}").contains("2 traces"));
+    }
+
+    /// The FIFO buffer (a copy process, `d ⟸ c`) refines the unordered
+    /// bag specification — a queue is one legitimate bag implementation —
+    /// while the converse fails (the bag has reorderings the queue lacks).
+    #[test]
+    fn fifo_refines_bag() {
+        use crate::description::Alphabet;
+        let (cin, cout) = (Chan::new(0), Chan::new(1));
+        let chans = ChanSet::from_chans([cin, cout]);
+        let alpha = Alphabet::new().with_ints(cin, 0, 1).with_ints(cout, 0, 1);
+        let opts = EnumOptions {
+            max_depth: 4,
+            max_nodes: 500_000,
+        };
+        let fifo_desc = Description::new("fifo").defines(cout, eqp_seqfn::SeqExpr::chan(cin));
+        let fifo = ProcessSpec::from_description(&fifo_desc, &chans, &alpha, opts);
+        // bag spec over the same channels: per-value counting equations
+        let mut bag_desc = Description::new("bag");
+        for v in 0..=1 {
+            bag_desc = bag_desc.equation(
+                eqp_seqfn::SeqExpr::Filter(
+                    eqp_seqfn::ValuePred::IntIs(v),
+                    Box::new(eqp_seqfn::SeqExpr::chan(cout)),
+                ),
+                eqp_seqfn::SeqExpr::Filter(
+                    eqp_seqfn::ValuePred::IntIs(v),
+                    Box::new(eqp_seqfn::SeqExpr::chan(cin)),
+                ),
+            );
+        }
+        let bag = ProcessSpec::from_description(&bag_desc, &chans, &alpha, opts);
+        assert!(refines(&fifo, &bag), "a queue is a bag");
+        // the bag does NOT refine the queue: a reordered trace witnesses it
+        let cex = refinement_counterexample(&bag, &fifo).expect("bag ⊄ fifo");
+        assert!(bag.has_trace(&cex));
+        assert!(!fifo.has_trace(&cex));
+    }
+
+    #[test]
+    fn extensional_network_traces() {
+        // two single-channel processes; network traces are interleavings
+        // whose projections match.
+        let c = Chan::new(1);
+        let p = one_bit_spec();
+        let q = ProcessSpec::new(
+            "const",
+            ChanSet::from_chans([c]),
+            [Trace::finite(vec![Event::int(c, 7)])],
+        );
+        let candidates = vec![
+            Trace::finite(vec![Event::bit(b(), true), Event::int(c, 7)]),
+            Trace::finite(vec![Event::int(c, 7), Event::bit(b(), false)]),
+            Trace::finite(vec![Event::bit(b(), true)]), // q's projection ε not a q-trace
+        ];
+        let nets = network_traces(&[p, q], candidates);
+        assert_eq!(nets.len(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+//! Progress and safety properties in the equational style of Section 2.3.
+//!
+//! From the description `even(d) ⟸ 0; 2×d`, `odd(d) ⟸ 2×d + 1` the paper
+//! deduces, equationally, that every natural number eventually appears on
+//! `d` (*progress*) and that `2×n` is preceded by `n` (*safety*). These
+//! checkers verify such properties on concrete (bounded) solutions and on
+//! whole solution sets.
+
+use eqp_trace::{Chan, Lasso, Trace, Value};
+
+/// Position of the first occurrence of integer `n` on channel `c` in the
+/// trace, scanning at most `depth` events of the channel's sequence.
+pub fn first_occurrence(t: &Trace, c: Chan, n: i64, depth: usize) -> Option<usize> {
+    let seq = t.seq_on(c);
+    seq.take(depth)
+        .iter()
+        .position(|v| *v == Value::Int(n))
+}
+
+/// Progress: integer `n` appears on channel `c` within `depth` events.
+pub fn eventually(t: &Trace, c: Chan, n: i64, depth: usize) -> bool {
+    first_occurrence(t, c, n, depth).is_some()
+}
+
+/// Safety (precedence): if `after` occurs on `c` (within `depth`), then
+/// `before` occurs earlier. Vacuously true when `after` never occurs.
+pub fn precedes(t: &Trace, c: Chan, before: i64, after: i64, depth: usize) -> bool {
+    match first_occurrence(t, c, after, depth) {
+        None => true,
+        Some(j) => match first_occurrence(t, c, before, depth) {
+            Some(i) => i < j,
+            None => false,
+        },
+    }
+}
+
+/// The Section 2.3 progress property on a single solution: every natural
+/// `0 ≤ n < limit` eventually appears on `c` (scanning `depth` events).
+pub fn progress_naturals(t: &Trace, c: Chan, limit: i64, depth: usize) -> bool {
+    (0..limit).all(|n| eventually(t, c, n, depth))
+}
+
+/// The Section 2.3 safety property on a single solution: whenever `2×n`
+/// appears, `n` appeared before it.
+pub fn safety_doubling(t: &Trace, c: Chan, limit: i64, depth: usize) -> bool {
+    (1..limit).all(|n| precedes(t, c, n, 2 * n, depth))
+}
+
+/// Fair-merge check (Sections 2.2, 4.10) on sequences: `merged` is an
+/// interleaving of `xs` and `ys` — every element of `merged` consumes the
+/// head of one input, and both inputs are consumed in order. Returns
+/// `true` iff `merged` is a merge of prefixes of `xs` and `ys`, and
+/// `complete` additionally requires both inputs fully consumed.
+pub fn is_interleaving(merged: &[Value], xs: &[Value], ys: &[Value], complete: bool) -> bool {
+    // DP over (i, j) positions; sequences here are short (bounded checks).
+    let (n, m) = (xs.len(), ys.len());
+    let mut reachable = vec![vec![false; m + 1]; n + 1];
+    reachable[0][0] = true;
+    for (k, v) in merged.iter().enumerate() {
+        let mut next = vec![vec![false; m + 1]; n + 1];
+        let mut any = false;
+        for i in 0..=n {
+            for j in 0..=m {
+                if !reachable[i][j] || i + j != k {
+                    continue;
+                }
+                if i < n && xs[i] == *v {
+                    next[i + 1][j] = true;
+                    any = true;
+                }
+                if j < m && ys[j] == *v {
+                    next[i][j + 1] = true;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return false;
+        }
+        reachable = next;
+    }
+    if complete {
+        reachable[n][m]
+    } else {
+        reachable.iter().flatten().any(|&r| r)
+    }
+}
+
+/// Subsequence test: `xs` embeds into `ys` preserving order (not
+/// necessarily contiguously).
+pub fn is_subsequence(xs: &[Value], ys: &[Value]) -> bool {
+    let mut it = ys.iter();
+    xs.iter().all(|x| it.any(|y| y == x))
+}
+
+/// The paper's fairness clause, verbatim (Sections 2.2 and 4.10): "every
+/// finite prefix of `source` is a subsequence of some finite prefix of
+/// `merged`". Checked for all prefixes of `source` up to `depth`, with
+/// the witness prefix of `merged` bounded by `window`.
+pub fn prefix_fair(
+    merged: &Lasso<Value>,
+    source: &Lasso<Value>,
+    depth: usize,
+    window: usize,
+) -> bool {
+    (0..=depth).all(|k| {
+        let p = source.take(k);
+        if p.len() < k {
+            return true; // source exhausted: remaining prefixes equal
+        }
+        (p.len()..=window).any(|m| is_subsequence(&p, &merged.take(m)))
+    })
+}
+
+/// Fairness on a finite window: in the first `window` elements of
+/// `merged`, elements drawn from each nonempty source appear, provided the
+/// source has pending items (the paper's "every finite prefix of b is a
+/// subsequence of some finite prefix of d"). This bounded form checks that
+/// a source with at least `k` pending items has contributed at least one of
+/// them by the end of the window.
+pub fn window_fair(merged: &Lasso<Value>, source: &Lasso<Value>, window: usize) -> bool {
+    let w = merged.take(window);
+    match source.get(0) {
+        None => true,
+        Some(first) => w.contains(first),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_trace::Event;
+
+    fn d() -> Chan {
+        Chan::new(2)
+    }
+
+    fn ints_trace(ns: &[i64]) -> Trace {
+        Trace::finite(ns.iter().map(|&n| Event::int(d(), n)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn occurrence_and_eventually() {
+        let t = ints_trace(&[0, 0, 1, 2]);
+        assert_eq!(first_occurrence(&t, d(), 1, 10), Some(2));
+        assert_eq!(first_occurrence(&t, d(), 9, 10), None);
+        assert!(eventually(&t, d(), 2, 10));
+        assert!(!eventually(&t, d(), 2, 3));
+    }
+
+    #[test]
+    fn precedence() {
+        let t = ints_trace(&[1, 2, 4]);
+        assert!(precedes(&t, d(), 1, 2, 10));
+        assert!(precedes(&t, d(), 2, 4, 10));
+        assert!(precedes(&t, d(), 9, 8, 10)); // vacuous: 8 absent
+        let bad = ints_trace(&[2, 1]);
+        assert!(!precedes(&bad, d(), 1, 2, 10));
+    }
+
+    #[test]
+    fn progress_and_safety_on_x_blocks() {
+        // x = B0 B1 B2 B3 = 0 | 0 1 | 0 1 2 3 | 0..7
+        let mut xs = Vec::new();
+        for i in 0..4 {
+            xs.extend(0..(1i64 << i));
+        }
+        let t = ints_trace(&xs);
+        assert!(progress_naturals(&t, d(), 8, 64));
+        assert!(safety_doubling(&t, d(), 4, 64));
+    }
+
+    #[test]
+    fn interleaving_dp() {
+        let xs: Vec<Value> = [0, 2].map(Value::Int).into();
+        let ys: Vec<Value> = [1, 3].map(Value::Int).into();
+        let good: Vec<Value> = [0, 1, 2, 3].map(Value::Int).into();
+        let also: Vec<Value> = [1, 0, 3, 2].map(Value::Int).into();
+        let bad: Vec<Value> = [2, 0, 1, 3].map(Value::Int).into();
+        assert!(is_interleaving(&good, &xs, &ys, true));
+        assert!(is_interleaving(&also, &xs, &ys, true));
+        assert!(!is_interleaving(&bad, &xs, &ys, true));
+        // partial merge of prefixes
+        let part: Vec<Value> = [0, 1].map(Value::Int).into();
+        assert!(is_interleaving(&part, &xs, &ys, false));
+        assert!(!is_interleaving(&part, &xs, &ys, true));
+    }
+
+    #[test]
+    fn interleaving_with_duplicates() {
+        // ambiguity: both sources start with 0
+        let xs: Vec<Value> = [0, 1].map(Value::Int).into();
+        let ys: Vec<Value> = [0, 2].map(Value::Int).into();
+        let m: Vec<Value> = [0, 0, 2, 1].map(Value::Int).into();
+        assert!(is_interleaving(&m, &xs, &ys, true));
+    }
+
+    #[test]
+    fn subsequence_basics() {
+        let v = |ns: &[i64]| ns.iter().map(|&n| Value::Int(n)).collect::<Vec<_>>();
+        assert!(is_subsequence(&v(&[1, 3]), &v(&[1, 2, 3])));
+        assert!(is_subsequence(&v(&[]), &v(&[])));
+        assert!(!is_subsequence(&v(&[3, 1]), &v(&[1, 2, 3])));
+        assert!(!is_subsequence(&v(&[1, 1]), &v(&[1, 2])));
+    }
+
+    #[test]
+    fn prefix_fairness_on_alternating_merge() {
+        let merged = Lasso::repeat(vec![Value::Int(0), Value::Int(1)]);
+        let evens = Lasso::repeat(vec![Value::Int(0)]);
+        let odds = Lasso::repeat(vec![Value::Int(1)]);
+        assert!(prefix_fair(&merged, &evens, 8, 32));
+        assert!(prefix_fair(&merged, &odds, 8, 32));
+        // a starving merge fails the clause
+        let starving = Lasso::repeat(vec![Value::Int(0)]);
+        assert!(!prefix_fair(&starving, &odds, 4, 64));
+        // exhausted finite sources are vacuously fair beyond their length
+        let short = Lasso::finite(vec![Value::Int(0)]);
+        assert!(prefix_fair(&merged, &short, 8, 8));
+    }
+
+    #[test]
+    fn window_fairness() {
+        let merged = Lasso::repeat(vec![Value::Int(0), Value::Int(1)]);
+        let src = Lasso::finite(vec![Value::Int(1)]);
+        assert!(window_fair(&merged, &src, 2));
+        let starved = Lasso::repeat(vec![Value::Int(0)]);
+        assert!(!window_fair(&starved, &src, 16));
+        assert!(window_fair(&starved, &Lasso::empty(), 4));
+    }
+}

@@ -1,0 +1,222 @@
+//! The Section 3.3 tree as an explicit data structure.
+//!
+//! [`crate::enumerate()`] streams over the tree; this module *materializes*
+//! it — nodes, edges, and per-node verdicts — for inspection, rendering
+//! (Graphviz DOT), and the explorer example. The root is `⊥`; node `u` has
+//! son `v = u·(c,m)` iff `f(v) ⊑ g(u)`; a node is marked a *solution* iff
+//! the limit condition holds there.
+
+use crate::description::{tuple_leq, Alphabet, Description};
+use crate::smooth::limit_holds;
+use eqp_trace::{Event, Trace};
+
+/// A node of the materialized smooth-solution tree.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// The finite trace labelling this node.
+    pub trace: Trace,
+    /// Index of the parent node (`None` for the root).
+    pub parent: Option<usize>,
+    /// The event extending the parent into this node (`None` for root).
+    pub via: Option<Event>,
+    /// Whether the limit condition holds here (a finite smooth solution).
+    pub is_solution: bool,
+    /// Indices of the children.
+    pub children: Vec<usize>,
+    /// Depth (trace length).
+    pub depth: usize,
+}
+
+/// The materialized tree.
+#[derive(Debug, Clone)]
+pub struct SmoothTree {
+    nodes: Vec<TreeNode>,
+    truncated: bool,
+}
+
+impl SmoothTree {
+    /// Builds the tree of `desc` over `alphabet` to `max_depth`, capping
+    /// at `max_nodes`.
+    pub fn build(
+        desc: &Description,
+        alphabet: &Alphabet,
+        max_depth: usize,
+        max_nodes: usize,
+    ) -> SmoothTree {
+        let root = TreeNode {
+            trace: Trace::empty(),
+            parent: None,
+            via: None,
+            is_solution: limit_holds(desc, &Trace::empty()),
+            children: Vec::new(),
+            depth: 0,
+        };
+        let mut nodes = vec![root];
+        let mut truncated = false;
+        let mut cursor = 0usize;
+        while cursor < nodes.len() {
+            if nodes.len() >= max_nodes {
+                truncated = true;
+                break;
+            }
+            let (u, depth) = (nodes[cursor].trace.clone(), nodes[cursor].depth);
+            if depth >= max_depth {
+                cursor += 1;
+                continue;
+            }
+            let rhs_u = desc.eval_rhs(&u);
+            'expand: for (c, msgs) in alphabet.iter() {
+                for m in msgs {
+                    if nodes.len() >= max_nodes {
+                        truncated = true;
+                        break 'expand;
+                    }
+                    let ev = Event::new(c, *m);
+                    let v = u.pushed(ev).expect("finite node");
+                    if tuple_leq(&desc.eval_lhs(&v), &rhs_u) {
+                        let idx = nodes.len();
+                        nodes.push(TreeNode {
+                            is_solution: limit_holds(desc, &v),
+                            trace: v,
+                            parent: Some(cursor),
+                            via: Some(ev),
+                            children: Vec::new(),
+                            depth: depth + 1,
+                        });
+                        nodes[cursor].children.push(idx);
+                    }
+                }
+            }
+            cursor += 1;
+        }
+        SmoothTree { nodes, truncated }
+    }
+
+    /// The nodes, root first, in BFS order.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Whether the node cap stopped expansion.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The solution nodes (finite smooth solutions within the depth).
+    pub fn solutions(&self) -> impl Iterator<Item = &TreeNode> {
+        self.nodes.iter().filter(|n| n.is_solution)
+    }
+
+    /// Leaves: nodes without sons (within the built depth).
+    pub fn leaves(&self) -> impl Iterator<Item = &TreeNode> {
+        self.nodes.iter().filter(|n| n.children.is_empty())
+    }
+
+    /// Renders the tree in Graphviz DOT, labelling edges by events and
+    /// double-circling solution nodes.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{title}\" {{");
+        let _ = writeln!(out, "  rankdir=TB; node [fontname=monospace];");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if n.is_solution {
+                "doublecircle"
+            } else {
+                "circle"
+            };
+            let label = if n.depth == 0 {
+                "⊥".to_owned()
+            } else {
+                n.via.map(|e| e.to_string()).unwrap_or_default()
+            };
+            let _ = writeln!(out, "  n{i} [shape={shape} label=\"{label}\"];");
+            if let Some(p) = n.parent {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Per-depth node counts — the branching profile used by the benches.
+    pub fn profile(&self) -> Vec<usize> {
+        let max_depth = self.nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+        let mut counts = vec![0usize; max_depth + 1];
+        for n in &self.nodes {
+            counts[n.depth] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_seqfn::paper::{ch, r_map, t_bar};
+    use eqp_trace::{Chan, Value};
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+
+    fn random_bit_tree() -> SmoothTree {
+        let desc = Description::new("random-bit").equation(r_map(ch(b())), t_bar());
+        let alpha = Alphabet::new().with_bits(b());
+        SmoothTree::build(&desc, &alpha, 3, 10_000)
+    }
+
+    #[test]
+    fn tree_shape_matches_random_bit() {
+        let t = random_bit_tree();
+        // root + two one-bit children, no deeper sons
+        assert_eq!(t.len(), 3);
+        assert!(!t.truncated());
+        assert_eq!(t.solutions().count(), 2);
+        assert_eq!(t.leaves().count(), 2);
+        assert_eq!(t.profile(), vec![1, 2]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn parent_child_links_consistent() {
+        let t = random_bit_tree();
+        for (i, n) in t.nodes().iter().enumerate() {
+            for &c in &n.children {
+                assert_eq!(t.nodes()[c].parent, Some(i));
+                assert_eq!(t.nodes()[c].depth, n.depth + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_output_wellformed() {
+        let t = random_bit_tree();
+        let dot = t.to_dot("random-bit");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("doublecircle"));
+        assert_eq!(dot.matches("->").count(), 2);
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn truncation_respects_cap() {
+        let chaos = Description::new("chaos")
+            .equation(eqp_seqfn::SeqExpr::epsilon(), eqp_seqfn::SeqExpr::epsilon());
+        let alpha = Alphabet::new().with_ints(b(), 0, 9);
+        let t = SmoothTree::build(&chaos, &alpha, 5, 20);
+        assert!(t.truncated());
+        assert!(t.len() <= 20);
+        let _ = Value::Int(0);
+    }
+}

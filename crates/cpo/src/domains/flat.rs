@@ -1,0 +1,95 @@
+//! Flat domains: `⊥` below pairwise-incomparable values.
+
+use crate::order::{Cpo, Poset};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// An element of a flat domain: either `⊥` or an injected value.
+///
+/// In the paper's Random Bit process (Section 4.3) the domain of `R` is the
+/// flat domain over `{T, F}`: `⊥ ⊑ T`, `⊥ ⊑ F`, and `T`, `F` incomparable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FlatElem<T> {
+    /// The bottom element `⊥`.
+    Bottom,
+    /// An injected value, incomparable with every other injected value.
+    Value(T),
+}
+
+impl<T> FlatElem<T> {
+    /// Returns the injected value, or `None` for `⊥`.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            FlatElem::Bottom => None,
+            FlatElem::Value(v) => Some(v),
+        }
+    }
+}
+
+impl<T> From<T> for FlatElem<T> {
+    fn from(v: T) -> Self {
+        FlatElem::Value(v)
+    }
+}
+
+/// The flat domain over values of type `T`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flat<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Flat<T> {
+    /// Creates the flat domain over `T`.
+    pub fn new() -> Self {
+        Flat {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Clone + Eq + Debug> Poset for Flat<T> {
+    type Elem = FlatElem<T>;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        matches!(a, FlatElem::Bottom) || a == b
+    }
+}
+
+impl<T: Clone + Eq + Debug> Cpo for Flat<T> {
+    fn bottom(&self) -> Self::Elem {
+        FlatElem::Bottom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_below_everything() {
+        let d = Flat::<char>::new();
+        assert!(d.leq(&FlatElem::Bottom, &FlatElem::Value('x')));
+        assert!(d.leq(&FlatElem::Bottom, &FlatElem::Bottom));
+    }
+
+    #[test]
+    fn values_incomparable() {
+        let d = Flat::<char>::new();
+        assert!(!d.leq(&FlatElem::Value('x'), &FlatElem::Value('y')));
+        assert!(!d.leq(&FlatElem::Value('y'), &FlatElem::Value('x')));
+        assert!(d.leq(&FlatElem::Value('x'), &FlatElem::Value('x')));
+    }
+
+    #[test]
+    fn value_not_below_bottom() {
+        let d = Flat::<char>::new();
+        assert!(!d.leq(&FlatElem::Value('x'), &FlatElem::Bottom));
+    }
+
+    #[test]
+    fn value_accessor_and_from() {
+        let e: FlatElem<u8> = 5u8.into();
+        assert_eq!(e.value(), Some(&5));
+        assert_eq!(FlatElem::<u8>::Bottom.value(), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! A clamped-naturals lattice `{0, …, n}` under `≤` — the simplest family of
+//! finite linear cpos, convenient for exhaustively checking fixpoint
+//! statements (Theorem 4) because every monotone endofunction can be tested.
+
+use crate::order::{Cpo, Poset};
+
+/// An element of [`ClampedNat`]: a natural `≤ max`.
+pub type ClampedNatElem = u64;
+
+/// The finite linear cpo `{0, 1, …, max}` under the usual `≤`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClampedNat {
+    max: u64,
+}
+
+impl ClampedNat {
+    /// Creates the chain-domain `{0, …, max}`.
+    pub fn new(max: u64) -> Self {
+        ClampedNat { max }
+    }
+
+    /// Largest element of the domain.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Enumerates the whole (small) domain.
+    pub fn enumerate(&self) -> impl Iterator<Item = u64> + '_ {
+        0..=self.max
+    }
+
+    /// Returns `true` iff `x` is in the domain.
+    pub fn contains_elem(&self, x: u64) -> bool {
+        x <= self.max
+    }
+}
+
+impl Poset for ClampedNat {
+    type Elem = ClampedNatElem;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a <= b
+    }
+}
+
+impl Cpo for ClampedNat {
+    fn bottom(&self) -> Self::Elem {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_order() {
+        let d = ClampedNat::new(5);
+        assert!(d.leq(&0, &5));
+        assert!(!d.leq(&5, &4));
+        assert_eq!(d.bottom(), 0);
+        assert_eq!(d.max(), 5);
+    }
+
+    #[test]
+    fn enumeration_and_membership() {
+        let d = ClampedNat::new(3);
+        let all: Vec<u64> = d.enumerate().collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(d.contains_elem(3));
+        assert!(!d.contains_elem(4));
+    }
+}

@@ -1,0 +1,102 @@
+//! Lifting: adjoining a fresh bottom below an existing poset.
+//!
+//! `Lift<D>` turns any poset into a cpo-with-⊥ (the classic construction
+//! that makes flat domains out of discrete sets: `Flat<T>` is
+//! `Lift<Discrete<T>>` conceptually). Used by tests that need a cpo whose
+//! bottom is *not* an element of the original order.
+
+use crate::order::{Cpo, Poset};
+
+/// An element of the lifted domain: the new bottom, or an injected
+/// element of the base poset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Lifted<E> {
+    /// The adjoined bottom, strictly below every injected element.
+    Bottom,
+    /// An element of the base poset, ordered as before.
+    Up(E),
+}
+
+impl<E> Lifted<E> {
+    /// Returns the injected element, or `None` for the new bottom.
+    pub fn up(&self) -> Option<&E> {
+        match self {
+            Lifted::Bottom => None,
+            Lifted::Up(e) => Some(e),
+        }
+    }
+}
+
+/// The lift of a poset `D`: same order on injected elements, plus a fresh
+/// least element.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lift<D> {
+    base: D,
+}
+
+impl<D> Lift<D> {
+    /// Lifts `base`.
+    pub fn new(base: D) -> Lift<D> {
+        Lift { base }
+    }
+
+    /// The base poset.
+    pub fn base(&self) -> &D {
+        &self.base
+    }
+}
+
+impl<D: Poset> Poset for Lift<D> {
+    type Elem = Lifted<D::Elem>;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        match (a, b) {
+            (Lifted::Bottom, _) => true,
+            (Lifted::Up(_), Lifted::Bottom) => false,
+            (Lifted::Up(x), Lifted::Up(y)) => self.base.leq(x, y),
+        }
+    }
+}
+
+impl<D: Poset> Cpo for Lift<D> {
+    fn bottom(&self) -> Self::Elem {
+        Lifted::Bottom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::Powerset;
+    use crate::laws::check_all_laws;
+
+    #[test]
+    fn lift_of_powerset_laws() {
+        let d = Lift::new(Powerset::new(3));
+        let mut samples: Vec<Lifted<_>> = Powerset::new(3)
+            .enumerate()
+            .into_iter()
+            .map(Lifted::Up)
+            .collect();
+        samples.push(Lifted::Bottom);
+        assert!(check_all_laws(&d, &samples).is_ok());
+    }
+
+    #[test]
+    fn new_bottom_strictly_below_old_bottom() {
+        let d = Lift::new(Powerset::new(2));
+        let old_bot = Lifted::Up(Powerset::new(2).bottom());
+        assert!(d.lt(&Lifted::Bottom, &old_bot));
+        assert!(!d.leq(&old_bot, &Lifted::Bottom));
+        assert_eq!(d.bottom(), Lifted::Bottom);
+    }
+
+    #[test]
+    fn up_accessor() {
+        let e: Lifted<u8> = Lifted::Up(5);
+        assert_eq!(e.up(), Some(&5));
+        assert_eq!(Lifted::<u8>::Bottom.up(), None);
+        let d = Lift::new(Powerset::new(2));
+        assert_eq!(d.base().universe_size(), 2);
+    }
+}

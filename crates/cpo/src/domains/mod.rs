@@ -1,0 +1,33 @@
+//! Concrete cpos used across the workspace and in the Theorem 4 test suite.
+//!
+//! * [`Flat`] — the flat domain `⊥ ⊑ v` for incomparable values `v` (the
+//!   paper's `{T, F, ⊥}` in Section 4.3 is `Flat<Bit>`).
+//! * [`NatOmega`] — the ordinal ω+1: naturals under `≤` with a top `ω`; a
+//!   linearly ordered cpo with a genuinely infinite chain.
+//! * [`Powerset`] — finite powersets ordered by inclusion; a non-linear cpo
+//!   exercising Theorem 4 away from sequence-like domains.
+//! * [`Product`] — the componentwise product of two cpos (the paper's note
+//!   in Section 4 on combining multiple descriptions into one uses exactly
+//!   this ordering on pairs).
+//! * [`VecProduct`] — an n-ary homogeneous product, used for tuple-valued
+//!   descriptions.
+//! * [`Lift`] — adjoins a fresh bottom below any poset.
+//! * [`FiniteSeq`] — finite sequences under prefix ordering (a cpo once the
+//!   eventually-periodic limits of `eqp-trace` are adjoined; on its own it
+//!   is the finite skeleton every computation observes).
+
+mod flat;
+mod lattice_interval;
+mod lift;
+mod nat;
+mod powerset;
+mod product;
+mod seq;
+
+pub use flat::{Flat, FlatElem};
+pub use lattice_interval::{ClampedNat, ClampedNatElem};
+pub use lift::{Lift, Lifted};
+pub use nat::{NatOmega, NatOrOmega};
+pub use powerset::{Powerset, PowersetElem};
+pub use product::{Product, VecProduct};
+pub use seq::FiniteSeq;

@@ -1,0 +1,114 @@
+//! The ordinal ω+1 as a cpo: naturals under `≤` with a top element ω.
+
+use crate::order::{Cpo, Poset};
+
+/// An element of ω+1: a natural number or the limit ordinal ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatOrOmega {
+    /// A finite natural number.
+    Nat(u64),
+    /// The limit ω, above every natural.
+    Omega,
+}
+
+impl NatOrOmega {
+    /// Successor, saturating at ω (which is its own successor here only in
+    /// the sense that ω has no finite successor; `succ(ω) = ω`).
+    pub fn succ(self) -> Self {
+        match self {
+            NatOrOmega::Nat(n) => NatOrOmega::Nat(n + 1),
+            NatOrOmega::Omega => NatOrOmega::Omega,
+        }
+    }
+
+    /// Returns the natural number, or `None` for ω.
+    pub fn as_nat(self) -> Option<u64> {
+        match self {
+            NatOrOmega::Nat(n) => Some(n),
+            NatOrOmega::Omega => None,
+        }
+    }
+}
+
+impl PartialOrd for NatOrOmega {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NatOrOmega {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use NatOrOmega::*;
+        match (self, other) {
+            (Nat(a), Nat(b)) => a.cmp(b),
+            (Nat(_), Omega) => std::cmp::Ordering::Less,
+            (Omega, Nat(_)) => std::cmp::Ordering::Greater,
+            (Omega, Omega) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl From<u64> for NatOrOmega {
+    fn from(n: u64) -> Self {
+        NatOrOmega::Nat(n)
+    }
+}
+
+/// The cpo ω+1. Linearly ordered; every chain has a lub (a maximum if the
+/// chain is finite or stabilizes, ω otherwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NatOmega;
+
+impl Poset for NatOmega {
+    type Elem = NatOrOmega;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a <= b
+    }
+}
+
+impl Cpo for NatOmega {
+    fn bottom(&self) -> Self::Elem {
+        NatOrOmega::Nat(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_order() {
+        let d = NatOmega;
+        assert!(d.leq(&NatOrOmega::Nat(1), &NatOrOmega::Nat(2)));
+        assert!(!d.leq(&NatOrOmega::Nat(2), &NatOrOmega::Nat(1)));
+        assert!(d.leq(&NatOrOmega::Nat(1_000_000), &NatOrOmega::Omega));
+        assert!(!d.leq(&NatOrOmega::Omega, &NatOrOmega::Nat(1_000_000)));
+        assert!(d.leq(&NatOrOmega::Omega, &NatOrOmega::Omega));
+    }
+
+    #[test]
+    fn bottom_is_zero() {
+        assert_eq!(NatOmega.bottom(), NatOrOmega::Nat(0));
+    }
+
+    #[test]
+    fn succ_behaviour() {
+        assert_eq!(NatOrOmega::Nat(3).succ(), NatOrOmega::Nat(4));
+        assert_eq!(NatOrOmega::Omega.succ(), NatOrOmega::Omega);
+        assert_eq!(NatOrOmega::from(2u64).as_nat(), Some(2));
+        assert_eq!(NatOrOmega::Omega.as_nat(), None);
+    }
+
+    #[test]
+    fn lub_finite_is_max() {
+        let d = NatOmega;
+        let chain = vec![
+            NatOrOmega::Nat(0),
+            NatOrOmega::Nat(3),
+            NatOrOmega::Nat(3),
+            NatOrOmega::Omega,
+        ];
+        assert_eq!(d.lub_finite(&chain), Some(NatOrOmega::Omega));
+    }
+}

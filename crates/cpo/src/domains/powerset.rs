@@ -1,0 +1,121 @@
+//! Finite powerset cpos ordered by inclusion.
+
+use crate::order::{Cpo, Poset};
+use std::collections::BTreeSet;
+
+/// An element of a powerset domain: a subset of the universe, kept sorted
+/// for canonical equality.
+pub type PowersetElem = BTreeSet<u32>;
+
+/// The powerset of a finite universe `{0, 1, …, n-1}` ordered by `⊆`.
+///
+/// This is a complete lattice, hence a cpo, and — unlike the sequence
+/// domains the paper works in — it is *not* linearly ordered, which makes it
+/// a useful stress domain for Theorem 4 (least fixpoint as the unique smooth
+/// solution of `id ⟸ h` must hold in any cpo).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Powerset {
+    universe_size: u32,
+}
+
+impl Powerset {
+    /// Creates the powerset domain over `{0, …, universe_size - 1}`.
+    pub fn new(universe_size: u32) -> Self {
+        Powerset { universe_size }
+    }
+
+    /// Size of the underlying universe.
+    pub fn universe_size(&self) -> u32 {
+        self.universe_size
+    }
+
+    /// Returns `true` iff `s` only mentions universe members.
+    pub fn contains_elem(&self, s: &PowersetElem) -> bool {
+        s.iter().all(|&x| x < self.universe_size)
+    }
+
+    /// The top element: the full universe.
+    pub fn top(&self) -> PowersetElem {
+        (0..self.universe_size).collect()
+    }
+
+    /// Enumerates every element of the domain (2^n subsets). Intended for
+    /// exhaustive checks with small universes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universe has more than 20 members (enumeration would
+    /// exceed 2²⁰ subsets).
+    pub fn enumerate(&self) -> Vec<PowersetElem> {
+        assert!(
+            self.universe_size <= 20,
+            "refusing to enumerate 2^{} subsets",
+            self.universe_size
+        );
+        let n = self.universe_size;
+        (0u32..(1 << n))
+            .map(|mask| (0..n).filter(|i| mask & (1 << i) != 0).collect())
+            .collect()
+    }
+}
+
+impl Poset for Powerset {
+    type Elem = PowersetElem;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a.is_subset(b)
+    }
+}
+
+impl Cpo for Powerset {
+    fn bottom(&self) -> Self::Elem {
+        BTreeSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(xs: &[u32]) -> PowersetElem {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn inclusion_order() {
+        let d = Powerset::new(4);
+        assert!(d.leq(&set(&[1]), &set(&[1, 2])));
+        assert!(!d.leq(&set(&[1, 3]), &set(&[1, 2])));
+        assert!(d.leq(&d.bottom(), &set(&[0, 1, 2, 3])));
+    }
+
+    #[test]
+    fn top_and_membership() {
+        let d = Powerset::new(3);
+        assert_eq!(d.top(), set(&[0, 1, 2]));
+        assert!(d.contains_elem(&set(&[2])));
+        assert!(!d.contains_elem(&set(&[3])));
+        assert_eq!(d.universe_size(), 3);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_distinct() {
+        let d = Powerset::new(3);
+        let all = d.enumerate();
+        assert_eq!(all.len(), 8);
+        let distinct: std::collections::BTreeSet<_> = all.iter().cloned().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn incomparable_elements_exist() {
+        let d = Powerset::new(2);
+        assert!(!d.comparable(&set(&[0]), &set(&[1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing")]
+    fn enumerate_refuses_large_universe() {
+        Powerset::new(25).enumerate();
+    }
+}

@@ -1,0 +1,134 @@
+//! Product cpos: pairs and homogeneous n-tuples ordered componentwise.
+
+use crate::order::{Cpo, Poset};
+
+/// The product of two cpos ordered componentwise:
+/// `(a₁, b₁) ⊑ (a₂, b₂)` iff `a₁ ⊑ a₂` and `b₁ ⊑ b₂`.
+///
+/// The paper uses exactly this construction in its "Note on Multiple
+/// Descriptions" (Section 4): two descriptions `f' ⟸ g'` and `f'' ⟸ g''`
+/// combine into one description whose sides are pairs, with
+/// `f(v) ⊑ g(u) ≡ f'(v) ⊑ g'(u) ∧ f''(v) ⊑ g''(u)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Product<A, B> {
+    /// Left component domain.
+    pub left: A,
+    /// Right component domain.
+    pub right: B,
+}
+
+impl<A, B> Product<A, B> {
+    /// Creates the product of `left` and `right`.
+    pub fn new(left: A, right: B) -> Self {
+        Product { left, right }
+    }
+}
+
+impl<A: Poset, B: Poset> Poset for Product<A, B> {
+    type Elem = (A::Elem, B::Elem);
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        self.left.leq(&a.0, &b.0) && self.right.leq(&a.1, &b.1)
+    }
+}
+
+impl<A: Cpo, B: Cpo> Cpo for Product<A, B> {
+    fn bottom(&self) -> Self::Elem {
+        (self.left.bottom(), self.right.bottom())
+    }
+}
+
+/// A homogeneous n-ary product `Dⁿ` ordered componentwise.
+///
+/// Elements are `Vec`s of length `n`; comparing elements of differing
+/// lengths yields `false` (they live in different domains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VecProduct<D> {
+    component: D,
+    arity: usize,
+}
+
+impl<D> VecProduct<D> {
+    /// Creates the `arity`-fold product of `component`.
+    pub fn new(component: D, arity: usize) -> Self {
+        VecProduct { component, arity }
+    }
+
+    /// The shared component domain.
+    pub fn component(&self) -> &D {
+        &self.component
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+impl<D: Poset> Poset for VecProduct<D> {
+    type Elem = Vec<D::Elem>;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a.len() == self.arity
+            && b.len() == self.arity
+            && a.iter().zip(b).all(|(x, y)| self.component.leq(x, y))
+    }
+}
+
+impl<D: Cpo> Cpo for VecProduct<D> {
+    fn bottom(&self) -> Self::Elem {
+        (0..self.arity).map(|_| self.component.bottom()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{Flat, FlatElem, NatOmega, NatOrOmega};
+
+    #[test]
+    fn pair_order_is_componentwise() {
+        let d = Product::new(NatOmega, Flat::<char>::new());
+        let lo = (NatOrOmega::Nat(1), FlatElem::Bottom);
+        let hi = (NatOrOmega::Nat(2), FlatElem::Value('a'));
+        assert!(d.leq(&lo, &hi));
+        assert!(!d.leq(&hi, &lo));
+    }
+
+    #[test]
+    fn pair_incomparable_when_components_disagree() {
+        let d = Product::new(NatOmega, NatOmega);
+        let a = (NatOrOmega::Nat(1), NatOrOmega::Nat(5));
+        let b = (NatOrOmega::Nat(2), NatOrOmega::Nat(3));
+        assert!(!d.comparable(&a, &b));
+    }
+
+    #[test]
+    fn pair_bottom() {
+        let d = Product::new(NatOmega, Flat::<char>::new());
+        assert_eq!(d.bottom(), (NatOrOmega::Nat(0), FlatElem::Bottom));
+    }
+
+    #[test]
+    fn vec_product_order_and_bottom() {
+        let d = VecProduct::new(NatOmega, 3);
+        let bot = d.bottom();
+        assert_eq!(bot.len(), 3);
+        let mid = vec![
+            NatOrOmega::Nat(1),
+            NatOrOmega::Nat(0),
+            NatOrOmega::Omega,
+        ];
+        assert!(d.leq(&bot, &mid));
+        assert!(!d.leq(&mid, &bot));
+        assert_eq!(d.arity(), 3);
+    }
+
+    #[test]
+    fn vec_product_rejects_wrong_arity() {
+        let d = VecProduct::new(NatOmega, 2);
+        let wrong = vec![NatOrOmega::Nat(0)];
+        assert!(!d.leq(&wrong, &d.bottom()));
+        assert!(!d.leq(&d.bottom(), &wrong));
+    }
+}

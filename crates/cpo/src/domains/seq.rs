@@ -1,0 +1,86 @@
+//! Finite sequences under prefix ordering.
+
+use crate::order::{Cpo, Poset};
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Finite sequences over `T` ordered by *prefix*: `u ⊑ v` iff `u` is a
+/// prefix of `v`.
+///
+/// Strictly, finite sequences alone form a cpo only for chains that
+/// stabilize; the genuine cpo of the paper adjoins infinite sequences as
+/// limits. The `eqp-trace` crate supplies those limits as eventually
+/// periodic *lassos*; this domain is the finite skeleton, and it is all that
+/// a finite computation (or a finite prefix check) ever observes. The
+/// [`Cpo`] impl here is therefore sound for every chain that arises in this
+/// workspace's finite-chain APIs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FiniteSeq<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> FiniteSeq<T> {
+    /// Creates the prefix-ordered domain of finite sequences over `T`.
+    pub fn new() -> Self {
+        FiniteSeq {
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns `true` iff `u` is a prefix of `v`.
+    pub fn is_prefix(u: &[T], v: &[T]) -> bool
+    where
+        T: Eq,
+    {
+        u.len() <= v.len() && u.iter().zip(v).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Clone + Eq + Debug> Poset for FiniteSeq<T> {
+    type Elem = Vec<T>;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        Self::is_prefix(a, b)
+    }
+}
+
+impl<T: Clone + Eq + Debug> Cpo for FiniteSeq<T> {
+    fn bottom(&self) -> Self::Elem {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_order_basics() {
+        let d = FiniteSeq::<u8>::new();
+        assert!(d.leq(&vec![], &vec![1, 2]));
+        assert!(d.leq(&vec![1], &vec![1, 2]));
+        assert!(!d.leq(&vec![2], &vec![1, 2]));
+        assert!(!d.leq(&vec![1, 2, 3], &vec![1, 2]));
+        assert!(d.leq(&vec![1, 2], &vec![1, 2]));
+    }
+
+    #[test]
+    fn bottom_is_empty() {
+        let d = FiniteSeq::<u8>::new();
+        assert_eq!(d.bottom(), Vec::<u8>::new());
+        assert!(d.is_bottom(&vec![]));
+    }
+
+    #[test]
+    fn incomparable_branches() {
+        let d = FiniteSeq::<u8>::new();
+        assert!(!d.comparable(&vec![1, 2], &vec![1, 3]));
+    }
+
+    #[test]
+    fn lub_finite_of_prefix_chain() {
+        let d = FiniteSeq::<u8>::new();
+        let chain = vec![vec![], vec![5], vec![5, 6]];
+        assert_eq!(d.lub_finite(&chain), Some(vec![5, 6]));
+    }
+}

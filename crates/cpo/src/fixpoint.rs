@@ -1,0 +1,251 @@
+//! The Fixpoint Theorem (paper's Theorem 3): Kleene iteration.
+//!
+//! For a continuous `h : D → D`, the chain `T = {hⁱ(⊥) | i ≥ 0}` is
+//! ascending and `lub(T)` is the least fixpoint of `h`. [`kleene`] computes
+//! that chain, detecting stabilization; for domains whose infinite limits
+//! are representable (eventually periodic sequences in `eqp-trace`), an
+//! [`Extrapolate`] hook conjectures the ω-limit from the chain's shape and
+//! *verifies* `h(lim) = lim` before accepting it, keeping the result sound.
+
+use crate::func::ContinuousFn;
+use crate::order::Cpo;
+
+/// Options controlling Kleene iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct KleeneOptions {
+    /// Maximum number of applications of `h` before giving up (or invoking
+    /// the extrapolation hook).
+    pub max_iter: usize,
+}
+
+impl Default for KleeneOptions {
+    fn default() -> Self {
+        KleeneOptions { max_iter: 10_000 }
+    }
+}
+
+/// Outcome of a Kleene iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixpointResult<E> {
+    /// The least fixpoint, if found (stabilized or verified extrapolation).
+    pub value: Option<E>,
+    /// Number of applications of `h` performed.
+    pub iterations: usize,
+    /// The recorded ascent `⊥, h(⊥), …` (truncated to what was computed).
+    pub chain: Vec<E>,
+    /// True iff the chain stabilized exactly (as opposed to a verified
+    /// ω-limit extrapolation).
+    pub stabilized: bool,
+}
+
+/// Computes the least fixpoint of `h` by Kleene iteration from `⊥`.
+///
+/// Iterates until `h(x) = x` (stabilization) or `opts.max_iter` steps. The
+/// ascent chain is recorded in the result; on non-convergence `value` is
+/// `None` and the caller may inspect the chain (e.g. to extrapolate an
+/// ω-limit with [`kleene_extrapolated`]).
+///
+/// # Panics
+///
+/// Panics if the iteration ever *descends* — that would mean `h` is not
+/// monotone on the ascent, violating the continuity contract.
+pub fn kleene<D, H>(d: &D, h: &H, opts: KleeneOptions) -> FixpointResult<D::Elem>
+where
+    D: Cpo,
+    H: ContinuousFn<D, D>,
+{
+    let mut chain = vec![d.bottom()];
+    let mut x = d.bottom();
+    for i in 0..opts.max_iter {
+        let next = h.apply(&x);
+        assert!(
+            d.leq(&x, &next),
+            "Kleene ascent violated at step {i}: h is not monotone (h named {:?})",
+            h.name()
+        );
+        if next == x {
+            return FixpointResult {
+                value: Some(x),
+                iterations: i + 1,
+                chain,
+                stabilized: true,
+            };
+        }
+        chain.push(next.clone());
+        x = next;
+    }
+    FixpointResult {
+        value: None,
+        iterations: opts.max_iter,
+        chain,
+        stabilized: false,
+    }
+}
+
+/// A hook that conjectures the ω-limit of a non-stabilizing ascent chain.
+///
+/// Implementations inspect the recorded prefix of `{hⁱ(⊥)}` and propose a
+/// candidate limit element (e.g. a lasso for sequence domains).
+/// [`kleene_extrapolated`] only accepts the candidate after verifying
+/// `h(candidate) = candidate` *and* that it dominates the computed chain, so
+/// a wrong conjecture can cause a miss but never an unsound answer.
+pub trait Extrapolate<D: Cpo> {
+    /// Conjectures a limit for the ascending `chain`, or `None`.
+    fn extrapolate(&self, chain: &[D::Elem]) -> Option<D::Elem>;
+}
+
+/// Kleene iteration with ω-limit extrapolation for productive (never
+/// stabilizing) functions such as `h(x) = 0; x`, whose least fixpoint is the
+/// infinite sequence `0^ω`.
+///
+/// Returns a stabilized result when plain iteration converges; otherwise
+/// asks `extra` for a candidate limit and verifies both `h(lim) = lim` and
+/// that the limit is an upper bound of the computed ascent. The result's
+/// `stabilized` flag is `false` for an extrapolated limit.
+pub fn kleene_extrapolated<D, H, X>(
+    d: &D,
+    h: &H,
+    extra: &X,
+    opts: KleeneOptions,
+) -> FixpointResult<D::Elem>
+where
+    D: Cpo,
+    H: ContinuousFn<D, D>,
+    X: Extrapolate<D>,
+{
+    let mut result = kleene(d, h, opts);
+    if result.value.is_some() {
+        return result;
+    }
+    if let Some(candidate) = extra.extrapolate(&result.chain) {
+        let fixed = h.apply(&candidate) == candidate;
+        let dominates = result.chain.iter().all(|x| d.leq(x, &candidate));
+        if fixed && dominates {
+            result.value = Some(candidate);
+        }
+    }
+    result
+}
+
+/// Verifies the defining property of a least fixpoint against a set of
+/// candidate fixpoints: `z` is a fixpoint and `z ⊑ y` for every fixpoint
+/// `y` among `candidates`. Used by Theorem 4 tests.
+pub fn is_least_fixpoint_among<D, H>(d: &D, h: &H, z: &D::Elem, candidates: &[D::Elem]) -> bool
+where
+    D: Cpo,
+    H: ContinuousFn<D, D>,
+{
+    h.apply(z) == *z
+        && candidates
+            .iter()
+            .filter(|y| h.apply(y) == **y)
+            .all(|y| d.leq(z, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{ClampedNat, NatOmega, NatOrOmega, Powerset};
+    use crate::func::FnCont;
+
+    #[test]
+    fn kleene_converges_on_clamped_increment() {
+        let d = ClampedNat::new(10);
+        let h = FnCont::new("inc-clamped", |x: &u64| (x + 1).min(10));
+        let r = kleene(&d, &h, KleeneOptions::default());
+        assert_eq!(r.value, Some(10));
+        assert!(r.stabilized);
+        assert_eq!(r.chain.first(), Some(&0));
+        assert_eq!(r.iterations, 11);
+    }
+
+    #[test]
+    fn kleene_finds_identity_fixpoint_at_bottom() {
+        let d = NatOmega;
+        let h = FnCont::new("id", |x: &NatOrOmega| *x);
+        let r = kleene(&d, &h, KleeneOptions::default());
+        assert_eq!(r.value, Some(NatOrOmega::Nat(0)));
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn kleene_gives_up_on_unbounded_ascent() {
+        let d = NatOmega;
+        let h = FnCont::new("succ", |x: &NatOrOmega| x.succ());
+        let r = kleene(&d, &h, KleeneOptions { max_iter: 50 });
+        assert_eq!(r.value, None);
+        assert!(!r.stabilized);
+        assert_eq!(r.chain.len(), 51);
+    }
+
+    struct OmegaExtra;
+
+    impl Extrapolate<NatOmega> for OmegaExtra {
+        fn extrapolate(&self, chain: &[NatOrOmega]) -> Option<NatOrOmega> {
+            // Strictly increasing naturals conjecture ω.
+            chain
+                .windows(2)
+                .all(|w| w[0] < w[1])
+                .then_some(NatOrOmega::Omega)
+        }
+    }
+
+    #[test]
+    fn extrapolation_reaches_omega() {
+        let d = NatOmega;
+        let h = FnCont::new("succ", |x: &NatOrOmega| x.succ());
+        let r = kleene_extrapolated(&d, &h, &OmegaExtra, KleeneOptions { max_iter: 20 });
+        assert_eq!(r.value, Some(NatOrOmega::Omega));
+        assert!(!r.stabilized);
+    }
+
+    #[test]
+    fn extrapolation_rejects_non_fixpoint_candidate() {
+        struct Bad;
+        impl Extrapolate<NatOmega> for Bad {
+            fn extrapolate(&self, _chain: &[NatOrOmega]) -> Option<NatOrOmega> {
+                Some(NatOrOmega::Nat(7)) // h(7) = 8 ≠ 7, must be rejected
+            }
+        }
+        let d = NatOmega;
+        let h = FnCont::new("succ", |x: &NatOrOmega| x.succ());
+        let r = kleene_extrapolated(&d, &h, &Bad, KleeneOptions { max_iter: 20 });
+        assert_eq!(r.value, None);
+    }
+
+    #[test]
+    fn least_fixpoint_on_powerset_closure() {
+        // h(S) = S ∪ {0} ∪ {x+1 | x ∈ S, x+1 < 4} over universe {0..5}:
+        // least fixpoint is {0,1,2,3}, even though {0,..,4} etc. are also
+        // fixpoints-dominating sets.
+        let d = Powerset::new(6);
+        let h = FnCont::new("closure", |s: &std::collections::BTreeSet<u32>| {
+            let mut out = s.clone();
+            out.insert(0);
+            for &x in s {
+                if x + 1 < 4 {
+                    out.insert(x + 1);
+                }
+            }
+            out
+        });
+        let r = kleene(&d, &h, KleeneOptions::default());
+        let expect: std::collections::BTreeSet<u32> = (0..4).collect();
+        assert_eq!(r.value, Some(expect.clone()));
+        // check minimality among all fixpoints of the (small) domain
+        let all = d.enumerate();
+        assert!(is_least_fixpoint_among(&d, &h, &expect, &all));
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn non_monotone_ascent_panics() {
+        let d = NatOmega;
+        let h = FnCont::new("oscillate", |x: &NatOrOmega| match x {
+            NatOrOmega::Nat(0) => NatOrOmega::Nat(5),
+            NatOrOmega::Nat(5) => NatOrOmega::Nat(1),
+            other => *other,
+        });
+        let _ = kleene(&d, &h, KleeneOptions::default());
+    }
+}

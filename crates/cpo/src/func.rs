@@ -1,0 +1,288 @@
+//! Continuous functions between cpos.
+//!
+//! A function `f : D → E` between cpos is *continuous* iff it is monotone
+//! and preserves lubs of chains (paper, Section 3). Continuity of a Rust
+//! closure cannot be checked statically, so this module takes the standard
+//! shallow-embedding approach:
+//!
+//! * [`ContinuousFn`] is the trait contract — implementors *assert*
+//!   continuity;
+//! * [`check_monotone_on`] and [`check_preserves_finite_lubs`] are runtime
+//!   validators used by unit and property tests to falsify bogus
+//!   implementations on sampled inputs;
+//! * the `eqp-seqfn` crate builds continuous functions *by construction*
+//!   from a combinator algebra, so the trusted base stays small.
+
+use crate::chain::Chain;
+use crate::order::{Cpo, Poset};
+use std::fmt;
+use std::sync::Arc;
+
+/// A (asserted-)continuous function from domain `D` to domain `E`.
+///
+/// Implementations must be monotone and preserve lubs of chains. The
+/// checkers in this module falsify violations on sampled data; the
+/// combinator algebra in `eqp-seqfn` guarantees the property structurally.
+pub trait ContinuousFn<D: Poset, E: Poset> {
+    /// Applies the function to an element of `D`.
+    fn apply(&self, x: &D::Elem) -> E::Elem;
+
+    /// A short human-readable name, used in diagnostics.
+    fn name(&self) -> &str {
+        "<anonymous>"
+    }
+}
+
+/// A continuous function wrapped from a closure, with a diagnostic name.
+///
+/// The caller asserts continuity; tests should validate with
+/// [`check_monotone_on`].
+#[derive(Clone)]
+pub struct FnCont<A, B> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&A) -> B + Send + Sync>,
+}
+
+impl<A, B> FnCont<A, B> {
+    /// Wraps `f` under diagnostic name `name`.
+    pub fn new(name: impl Into<String>, f: impl Fn(&A) -> B + Send + Sync + 'static) -> Self {
+        FnCont {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// Applies the wrapped closure directly.
+    pub fn call(&self, x: &A) -> B {
+        (self.f)(x)
+    }
+}
+
+impl<A, B> fmt::Debug for FnCont<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnCont({})", self.name)
+    }
+}
+
+impl<D, E> ContinuousFn<D, E> for FnCont<D::Elem, E::Elem>
+where
+    D: Poset,
+    E: Poset,
+{
+    fn apply(&self, x: &D::Elem) -> E::Elem {
+        (self.f)(x)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The identity function on a domain — the `id` of the paper's Theorem 4
+/// (`id ⟸ h` has the least fixpoint of `h` as its unique smooth solution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityFn;
+
+impl<D: Poset> ContinuousFn<D, D> for IdentityFn {
+    fn apply(&self, x: &D::Elem) -> D::Elem {
+        x.clone()
+    }
+
+    fn name(&self) -> &str {
+        "id"
+    }
+}
+
+/// A constant function — continuous for any constant; `K ⟸ K` is the
+/// paper's description of CHAOS (Section 4.1).
+#[derive(Debug, Clone)]
+pub struct ConstFn<B> {
+    value: B,
+}
+
+impl<B> ConstFn<B> {
+    /// Creates the constant function returning `value`.
+    pub fn new(value: B) -> Self {
+        ConstFn { value }
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> &B {
+        &self.value
+    }
+}
+
+impl<D: Poset, E: Poset> ContinuousFn<D, E> for ConstFn<E::Elem> {
+    fn apply(&self, _x: &D::Elem) -> E::Elem {
+        self.value.clone()
+    }
+
+    fn name(&self) -> &str {
+        "const"
+    }
+}
+
+/// Composition `g ∘ f` of continuous functions — continuous because
+/// continuity is closed under composition.
+///
+/// The middle domain `Mid` appears as a type parameter so the compiler can
+/// relate `F : D → Mid` and `G : Mid → R`.
+pub struct Compose<F, G, Mid> {
+    first: F,
+    second: G,
+    name: String,
+    _mid: std::marker::PhantomData<fn() -> Mid>,
+}
+
+impl<F, G, Mid> Compose<F, G, Mid> {
+    /// Creates `second ∘ first` (apply `first`, then `second`).
+    pub fn new(first: F, second: G) -> Self {
+        Compose {
+            first,
+            second,
+            name: String::from("compose"),
+            _mid: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<D, Mid, R, F, G> ContinuousFn<D, R> for Compose<F, G, Mid>
+where
+    D: Poset,
+    Mid: Poset,
+    R: Poset,
+    F: ContinuousFn<D, Mid>,
+    G: ContinuousFn<Mid, R>,
+{
+    fn apply(&self, x: &D::Elem) -> R::Elem {
+        self.second.apply(&self.first.apply(x))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Checks monotonicity of `f` on every ordered pair drawn from `samples`:
+/// whenever `x ⊑ y`, require `f(x) ⊑ f(y)`. Returns the first violating
+/// pair, or `None` if monotone on the sample.
+pub fn check_monotone_on<D: Poset, E: Poset, F: ContinuousFn<D, E>>(
+    d: &D,
+    e: &E,
+    f: &F,
+    samples: &[D::Elem],
+) -> Option<(D::Elem, D::Elem)> {
+    for x in samples {
+        for y in samples {
+            if d.leq(x, y) && !e.leq(&f.apply(x), &f.apply(y)) {
+                return Some((x.clone(), y.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Checks that `f` preserves the lub of a finite chain:
+/// `f(lub S) = lub f(S)`. Returns `false` on violation.
+///
+/// For finite chains the lub is the maximum, so this validates the finite
+/// shadow of continuity (full continuity additionally needs ω-chains, which
+/// the lasso-based tests in `eqp-trace`/`eqp-seqfn` cover).
+pub fn check_preserves_finite_lubs<D: Cpo, E: Cpo, F: ContinuousFn<D, E>>(
+    d: &D,
+    e: &E,
+    f: &F,
+    chain: &Chain<D::Elem>,
+) -> bool {
+    let _ = d;
+    let image = chain.map(|x| f.apply(x));
+    // the image of a chain under a monotone f must itself be ascending
+    let ascending = image.elems().windows(2).all(|w| e.leq(&w[0], &w[1]));
+    let lhs = f.apply(chain.lub());
+    ascending && e.lub_finite(image.elems()) == Some(lhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{NatOmega, NatOrOmega};
+
+    fn inc() -> FnCont<NatOrOmega, NatOrOmega> {
+        FnCont::new("inc", |x: &NatOrOmega| x.succ())
+    }
+
+    #[test]
+    fn identity_applies() {
+        let id = IdentityFn;
+        let x = NatOrOmega::Nat(4);
+        assert_eq!(
+            <IdentityFn as ContinuousFn<NatOmega, NatOmega>>::apply(&id, &x),
+            x
+        );
+        assert_eq!(
+            <IdentityFn as ContinuousFn<NatOmega, NatOmega>>::name(&id),
+            "id"
+        );
+    }
+
+    #[test]
+    fn const_ignores_input() {
+        let k = ConstFn::new(NatOrOmega::Nat(9));
+        assert_eq!(
+            <ConstFn<_> as ContinuousFn<NatOmega, NatOmega>>::apply(&k, &NatOrOmega::Omega),
+            NatOrOmega::Nat(9)
+        );
+        assert_eq!(k.value(), &NatOrOmega::Nat(9));
+    }
+
+    #[test]
+    fn compose_applies_in_order() {
+        let c = Compose::new(inc(), inc());
+        let out = <Compose<_, _, NatOmega> as ContinuousFn<NatOmega, NatOmega>>::apply(
+            &c,
+            &NatOrOmega::Nat(0),
+        );
+        assert_eq!(out, NatOrOmega::Nat(2));
+    }
+
+    #[test]
+    fn monotone_checker_accepts_inc() {
+        let samples = vec![
+            NatOrOmega::Nat(0),
+            NatOrOmega::Nat(1),
+            NatOrOmega::Nat(5),
+            NatOrOmega::Omega,
+        ];
+        assert!(check_monotone_on(&NatOmega, &NatOmega, &inc(), &samples).is_none());
+    }
+
+    #[test]
+    fn monotone_checker_rejects_decreasing() {
+        let dec = FnCont::new("dec-ish", |x: &NatOrOmega| match x {
+            NatOrOmega::Nat(n) => NatOrOmega::Nat(100u64.saturating_sub(*n)),
+            NatOrOmega::Omega => NatOrOmega::Nat(0),
+        });
+        let samples = vec![NatOrOmega::Nat(0), NatOrOmega::Nat(1)];
+        assert!(check_monotone_on(&NatOmega, &NatOmega, &dec, &samples).is_some());
+    }
+
+    #[test]
+    fn finite_lub_preservation_for_inc() {
+        let chain = Chain::new(
+            &NatOmega,
+            vec![NatOrOmega::Nat(0), NatOrOmega::Nat(2), NatOrOmega::Nat(7)],
+        )
+        .unwrap();
+        assert!(check_preserves_finite_lubs(
+            &NatOmega, &NatOmega, &inc(), &chain
+        ));
+    }
+
+    #[test]
+    fn fncont_debug_shows_name() {
+        let f = inc();
+        assert_eq!(format!("{f:?}"), "FnCont(inc)");
+        assert_eq!(f.call(&NatOrOmega::Nat(1)), NatOrOmega::Nat(2));
+    }
+}

@@ -1,0 +1,121 @@
+//! Law checkers for [`Poset`]/[`Cpo`] implementations.
+//!
+//! Property tests across the workspace call these with sampled elements to
+//! falsify broken order implementations. Each checker returns the first
+//! counterexample it finds (`None` means the law held on the sample).
+
+use crate::order::{Cpo, Poset};
+
+/// Reflexivity: `x ⊑ x` for every sample.
+pub fn check_reflexive<D: Poset>(d: &D, samples: &[D::Elem]) -> Option<D::Elem> {
+    samples.iter().find(|x| !d.leq(x, x)).cloned()
+}
+
+/// Antisymmetry: `x ⊑ y ∧ y ⊑ x ⇒ x = y` on all sample pairs.
+pub fn check_antisymmetric<D: Poset>(d: &D, samples: &[D::Elem]) -> Option<(D::Elem, D::Elem)> {
+    for x in samples {
+        for y in samples {
+            if d.leq(x, y) && d.leq(y, x) && x != y {
+                return Some((x.clone(), y.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Transitivity: `x ⊑ y ∧ y ⊑ z ⇒ x ⊑ z` on all sample triples.
+pub fn check_transitive<D: Poset>(
+    d: &D,
+    samples: &[D::Elem],
+) -> Option<(D::Elem, D::Elem, D::Elem)> {
+    for x in samples {
+        for y in samples {
+            if !d.leq(x, y) {
+                continue;
+            }
+            for z in samples {
+                if d.leq(y, z) && !d.leq(x, z) {
+                    return Some((x.clone(), y.clone(), z.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Bottom: `⊥ ⊑ x` for every sample.
+pub fn check_bottom_least<D: Cpo>(d: &D, samples: &[D::Elem]) -> Option<D::Elem> {
+    let bot = d.bottom();
+    samples.iter().find(|x| !d.leq(&bot, x)).cloned()
+}
+
+/// Runs all four law checkers; returns a description of the first failure.
+pub fn check_all_laws<D: Cpo>(d: &D, samples: &[D::Elem]) -> Result<(), String> {
+    if let Some(x) = check_reflexive(d, samples) {
+        return Err(format!("reflexivity failed at {x:?}"));
+    }
+    if let Some((x, y)) = check_antisymmetric(d, samples) {
+        return Err(format!("antisymmetry failed at {x:?}, {y:?}"));
+    }
+    if let Some((x, y, z)) = check_transitive(d, samples) {
+        return Err(format!("transitivity failed at {x:?}, {y:?}, {z:?}"));
+    }
+    if let Some(x) = check_bottom_least(d, samples) {
+        return Err(format!("bottom not least at {x:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{Flat, FlatElem, NatOmega, NatOrOmega, Powerset};
+
+    #[test]
+    fn flat_satisfies_all_laws() {
+        let d = Flat::<u8>::new();
+        let samples = vec![
+            FlatElem::Bottom,
+            FlatElem::Value(1),
+            FlatElem::Value(2),
+            FlatElem::Value(3),
+        ];
+        assert!(check_all_laws(&d, &samples).is_ok());
+    }
+
+    #[test]
+    fn nat_omega_satisfies_all_laws() {
+        let samples = vec![
+            NatOrOmega::Nat(0),
+            NatOrOmega::Nat(1),
+            NatOrOmega::Nat(10),
+            NatOrOmega::Omega,
+        ];
+        assert!(check_all_laws(&NatOmega, &samples).is_ok());
+    }
+
+    #[test]
+    fn powerset_satisfies_all_laws() {
+        let d = Powerset::new(3);
+        assert!(check_all_laws(&d, &d.enumerate()).is_ok());
+    }
+
+    #[test]
+    fn broken_order_is_caught() {
+        // An intentionally broken "poset" where leq is `<` (not reflexive).
+        struct Strict;
+        impl Poset for Strict {
+            type Elem = u8;
+            fn leq(&self, a: &u8, b: &u8) -> bool {
+                a < b
+            }
+        }
+        impl Cpo for Strict {
+            fn bottom(&self) -> u8 {
+                0
+            }
+        }
+        let err = check_all_laws(&Strict, &[0, 1, 2]).unwrap_err();
+        assert!(err.contains("reflexivity"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Complete partial orders, chains, continuous functions, and Kleene least
+//! fixpoints.
+//!
+//! This crate is the order-theoretic substrate of the `eqp` workspace, which
+//! reproduces Misra's *"Equational Reasoning About Nondeterministic
+//! Processes"* (PODC 1989). Section 3 of the paper leans on a small number of
+//! facts about complete partial orders (cpos) taken from Loeckx & Sieber
+//! (1984); this crate implements those facts as executable, testable code:
+//!
+//! * [`Poset`] and [`Cpo`] — partial orders, bottom elements, and lubs of
+//!   chains, with *domains as values* so that domains carrying runtime data
+//!   (a powerset over a chosen universe, sequences over a chosen alphabet)
+//!   fit the same trait.
+//! * [`Chain`] — a validated ascending chain together with lub computation
+//!   and the paper's **Lemma 1** (domination of chains implies ordering of
+//!   lubs).
+//! * [`ContinuousFn`] — monotone, lub-preserving functions, with composition
+//!   and identity, plus property-test helpers that *check* monotonicity and
+//!   (finite) continuity on sampled chains.
+//! * [`fixpoint`] — the **Fixpoint Theorem** (Theorem 3 in the paper):
+//!   Kleene iteration `⊥, h(⊥), h²(⊥), …` with convergence detection and a
+//!   pluggable ω-limit extrapolation hook for domains (such as eventually
+//!   periodic sequences) where the limit of a non-stabilizing chain is
+//!   representable and `h(lim) = lim` is decidable.
+//! * [`domains`] — concrete cpos used throughout the workspace and in the
+//!   Theorem 4 test suite: flat domains, ω+1, finite powersets, products,
+//!   and prefix-ordered finite sequences.
+//!
+//! # Example
+//!
+//! Computing a least fixpoint by Kleene iteration over the ω+1 cpo:
+//!
+//! ```
+//! use eqp_cpo::domains::NatOmega;
+//! use eqp_cpo::fixpoint::{kleene, KleeneOptions};
+//! use eqp_cpo::func::FnCont;
+//! use eqp_cpo::domains::NatOrOmega;
+//!
+//! // h(x) = min(x + 1, 3): continuous on ω+1; least fixpoint is 3.
+//! let d = NatOmega;
+//! let h = FnCont::new("clamp3", |x: &NatOrOmega| match *x {
+//!     NatOrOmega::Nat(n) => NatOrOmega::Nat((n + 1).min(3)),
+//!     NatOrOmega::Omega => NatOrOmega::Omega,
+//! });
+//! let r = kleene(&d, &h, KleeneOptions::default());
+//! assert_eq!(r.value, Some(NatOrOmega::Nat(3)));
+//! assert_eq!(r.iterations, 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod domains;
+pub mod fixpoint;
+pub mod func;
+pub mod laws;
+pub mod order;
+
+pub use chain::Chain;
+pub use fixpoint::{kleene, FixpointResult, KleeneOptions};
+pub use func::{Compose, ConstFn, ContinuousFn, FnCont, IdentityFn};
+pub use order::{Cpo, Poset};

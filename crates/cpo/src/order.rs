@@ -1,0 +1,180 @@
+//! Partial orders and complete partial orders, with domains as values.
+//!
+//! A *domain* is a value of a type implementing [`Poset`] (and usually
+//! [`Cpo`]). Elements of the domain are values of the associated type
+//! [`Poset::Elem`]. Representing domains as values (rather than as bare
+//! types) lets a domain carry runtime data: the universe of a powerset
+//! domain, the alphabet of a sequence domain, the component domains of a
+//! product.
+
+use std::fmt::Debug;
+
+/// A partially ordered set over elements of type [`Poset::Elem`].
+///
+/// Implementors must guarantee that [`leq`](Poset::leq) is reflexive,
+/// antisymmetric (with respect to `Elem`'s `Eq`), and transitive. The
+/// [`laws`](crate::laws) module provides checkers that property tests use to
+/// validate these guarantees on sampled elements.
+pub trait Poset {
+    /// The element type of this ordered set.
+    type Elem: Clone + Eq + Debug;
+
+    /// Returns `true` iff `a ⊑ b` in this order.
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool;
+
+    /// Returns `true` iff `a ⊑ b` and `a ≠ b`.
+    fn lt(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a != b && self.leq(a, b)
+    }
+
+    /// Returns `true` iff `a ⊑ b` or `b ⊑ a` (the pair lies on a chain).
+    fn comparable(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        self.leq(a, b) || self.leq(b, a)
+    }
+}
+
+/// A complete partial order: a [`Poset`] with a bottom element in which
+/// every chain has a least upper bound.
+///
+/// Rust cannot represent "every chain" of an infinite domain, so the lub
+/// obligation is split:
+///
+/// * [`lub_finite`](Cpo::lub_finite) — the lub of a *finite* chain, which is
+///   always its maximum element; the default implementation scans for it and
+///   returns `None` when the input is not actually a chain.
+/// * ω-limits of non-stabilizing chains are handled per-domain by the
+///   extrapolation hooks in [`crate::fixpoint`]; a domain whose infinite
+///   elements are representable (e.g. eventually periodic sequences)
+///   supplies one, other domains simply never produce such chains in this
+///   workspace.
+pub trait Cpo: Poset {
+    /// The bottom element `⊥`, below every element of the domain.
+    fn bottom(&self) -> Self::Elem;
+
+    /// Least upper bound of a finite chain, i.e. its maximum element.
+    ///
+    /// Returns `None` if `chain` is empty or its elements are not totally
+    /// ordered by [`leq`](Poset::leq) (the set is not a chain).
+    fn lub_finite(&self, chain: &[Self::Elem]) -> Option<Self::Elem> {
+        let mut max: Option<&Self::Elem> = None;
+        for x in chain {
+            match max {
+                None => max = Some(x),
+                Some(m) => {
+                    if self.leq(m, x) {
+                        max = Some(x);
+                    } else if !self.leq(x, m) {
+                        return None; // incomparable pair: not a chain
+                    }
+                }
+            }
+        }
+        // `max` dominates everything it was compared against, but scanning
+        // keeps only a running maximum; verify domination of all elements.
+        let m = max?;
+        if chain.iter().all(|x| self.leq(x, m)) {
+            Some(m.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` iff `x` is the bottom element.
+    fn is_bottom(&self, x: &Self::Elem) -> bool {
+        *x == self.bottom()
+    }
+}
+
+/// An upper bound check: `z` is an upper bound of `set` iff every element of
+/// `set` is `⊑ z`.
+pub fn is_upper_bound<D: Poset>(d: &D, set: &[D::Elem], z: &D::Elem) -> bool {
+    set.iter().all(|x| d.leq(x, z))
+}
+
+/// A least-upper-bound check: `z` is a lub of `set` iff it is an upper bound
+/// below every upper bound drawn from `candidates`.
+///
+/// Since an infinite domain cannot be scanned exhaustively, the caller
+/// supplies the candidate upper bounds to compare against; property tests
+/// use sampled candidates.
+pub fn is_lub_among<D: Poset>(
+    d: &D,
+    set: &[D::Elem],
+    z: &D::Elem,
+    candidates: &[D::Elem],
+) -> bool {
+    is_upper_bound(d, set, z)
+        && candidates
+            .iter()
+            .filter(|y| is_upper_bound(d, set, y))
+            .all(|y| d.leq(z, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{Flat, FlatElem};
+
+    fn flat() -> Flat<u8> {
+        Flat::new()
+    }
+
+    #[test]
+    fn lub_finite_of_singleton_is_the_element() {
+        let d = flat();
+        let x = FlatElem::Value(7u8);
+        assert_eq!(d.lub_finite(std::slice::from_ref(&x)), Some(x));
+    }
+
+    #[test]
+    fn lub_finite_of_empty_is_none() {
+        let d = flat();
+        assert_eq!(d.lub_finite(&[]), None);
+    }
+
+    #[test]
+    fn lub_finite_rejects_non_chain() {
+        let d = flat();
+        let a = FlatElem::Value(1u8);
+        let b = FlatElem::Value(2u8);
+        assert_eq!(d.lub_finite(&[a, b]), None);
+    }
+
+    #[test]
+    fn lub_finite_bottom_then_value() {
+        let d = flat();
+        let chain = [FlatElem::Bottom, FlatElem::Value(3u8)];
+        assert_eq!(d.lub_finite(&chain), Some(FlatElem::Value(3u8)));
+    }
+
+    #[test]
+    fn upper_bound_checks() {
+        let d = flat();
+        let set = [FlatElem::Bottom, FlatElem::Value(3u8)];
+        assert!(is_upper_bound(&d, &set, &FlatElem::Value(3u8)));
+        assert!(!is_upper_bound(&d, &set, &FlatElem::Value(4u8)));
+        assert!(!is_upper_bound(&d, &set, &FlatElem::Bottom));
+    }
+
+    #[test]
+    fn lub_among_candidates() {
+        let d = flat();
+        let set = [FlatElem::Bottom];
+        let candidates = [
+            FlatElem::Bottom,
+            FlatElem::Value(1u8),
+            FlatElem::Value(2u8),
+        ];
+        assert!(is_lub_among(&d, &set, &FlatElem::Bottom, &candidates));
+        assert!(!is_lub_among(&d, &set, &FlatElem::Value(1u8), &candidates));
+    }
+
+    #[test]
+    fn lt_and_comparable() {
+        let d = flat();
+        assert!(d.lt(&FlatElem::Bottom, &FlatElem::Value(1u8)));
+        assert!(!d.lt(&FlatElem::Bottom, &FlatElem::Bottom));
+        assert!(d.comparable(&FlatElem::Bottom, &FlatElem::Value(1u8)));
+        assert!(!d.comparable(&FlatElem::Value(2u8), &FlatElem::Value(1u8)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the cpo substrate: order laws, Lemma 1, and the
+//! fixpoint theorem on randomly sampled instances.
+
+use eqp_cpo::chain::{lemma1_dominated_lubs, Chain};
+use eqp_cpo::domains::{ClampedNat, Flat, FlatElem, NatOmega, NatOrOmega, Powerset, Product};
+use eqp_cpo::fixpoint::{is_least_fixpoint_among, kleene, KleeneOptions};
+use eqp_cpo::func::{check_monotone_on, FnCont};
+use eqp_cpo::laws::check_all_laws;
+use eqp_cpo::Cpo;
+use proptest::prelude::*;
+
+fn flat_elem() -> impl Strategy<Value = FlatElem<u8>> {
+    prop_oneof![
+        Just(FlatElem::Bottom),
+        any::<u8>().prop_map(FlatElem::Value),
+    ]
+}
+
+fn nat_or_omega() -> impl Strategy<Value = NatOrOmega> {
+    prop_oneof![
+        (0u64..100).prop_map(NatOrOmega::Nat),
+        Just(NatOrOmega::Omega),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn flat_laws(samples in proptest::collection::vec(flat_elem(), 1..12)) {
+        prop_assert!(check_all_laws(&Flat::<u8>::new(), &samples).is_ok());
+    }
+
+    #[test]
+    fn nat_omega_laws(samples in proptest::collection::vec(nat_or_omega(), 1..12)) {
+        prop_assert!(check_all_laws(&NatOmega, &samples).is_ok());
+    }
+
+    #[test]
+    fn powerset_laws(
+        samples in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..6, 0..6), 1..10)
+    ) {
+        prop_assert!(check_all_laws(&Powerset::new(6), &samples).is_ok());
+    }
+
+    #[test]
+    fn product_laws(
+        samples in proptest::collection::vec((nat_or_omega(), flat_elem()), 1..10)
+    ) {
+        let d = Product::new(NatOmega, Flat::<u8>::new());
+        prop_assert!(check_all_laws(&d, &samples).is_ok());
+    }
+
+    /// Lemma 1: whenever the domination hypothesis holds between two chains,
+    /// the lub ordering must follow. On ω+1 we build chains from sorted
+    /// random draws.
+    #[test]
+    fn lemma1_never_falsified(
+        mut xs in proptest::collection::vec(0u64..50, 1..8),
+        mut ys in proptest::collection::vec(0u64..50, 1..8),
+    ) {
+        xs.sort_unstable();
+        ys.sort_unstable();
+        let d = NatOmega;
+        let s = Chain::new(&d, xs.into_iter().map(NatOrOmega::Nat).collect()).unwrap();
+        let t = Chain::new(&d, ys.into_iter().map(NatOrOmega::Nat).collect()).unwrap();
+        // Whenever the hypothesis applies, the conclusion must hold.
+        if let Some(ok) = lemma1_dominated_lubs(&d, &s, &t) {
+            prop_assert!(ok, "Lemma 1 falsified: {:?} vs {:?}", s, t);
+        }
+    }
+
+    /// Fixpoint theorem on the finite chain-domain {0..max}: for every
+    /// monotone h given by a sorted table, Kleene iteration finds a fixpoint
+    /// that is least among all fixpoints of the (exhaustively enumerated)
+    /// domain.
+    #[test]
+    fn kleene_yields_least_fixpoint(table in proptest::collection::vec(0u64..12, 13)) {
+        // Sort the table to force monotonicity: h(x) = sorted_table[x].
+        let mut t = table;
+        t.sort_unstable();
+        let d = ClampedNat::new(12);
+        let tbl = t.clone();
+        let h = FnCont::new("table", move |x: &u64| tbl[*x as usize]);
+        // h must satisfy h(x) ≥ ... not necessarily inflationary; Kleene
+        // ascends only if h(0) ≥ 0 — always true — and monotone keeps it
+        // ascending.
+        let r = kleene(&d, &h, KleeneOptions::default());
+        let z = r.value.expect("finite domain must converge");
+        let all: Vec<u64> = d.enumerate().collect();
+        prop_assert!(is_least_fixpoint_among(&d, &h, &z, &all));
+    }
+
+    /// Monotone-by-construction table functions pass the monotonicity
+    /// checker.
+    #[test]
+    fn sorted_tables_are_monotone(table in proptest::collection::vec(0u64..12, 13)) {
+        let mut t = table;
+        t.sort_unstable();
+        let d = ClampedNat::new(12);
+        let tbl = t.clone();
+        let h = FnCont::new("table", move |x: &u64| tbl[*x as usize]);
+        let samples: Vec<u64> = d.enumerate().collect();
+        prop_assert!(check_monotone_on(&d, &d, &h, &samples).is_none());
+    }
+
+    /// lub_finite agrees with the maximum on ascending chains.
+    #[test]
+    fn lub_finite_is_max_of_chain(mut xs in proptest::collection::vec(0u64..100, 1..10)) {
+        xs.sort_unstable();
+        let elems: Vec<NatOrOmega> = xs.iter().copied().map(NatOrOmega::Nat).collect();
+        let d = NatOmega;
+        let lub = d.lub_finite(&elems).unwrap();
+        prop_assert_eq!(lub, NatOrOmega::Nat(*xs.last().unwrap()));
+    }
+}

@@ -1,0 +1,56 @@
+//! An operational Kahn-style dataflow network simulator.
+//!
+//! The paper's central semantic claim is an *adequacy* statement: the
+//! smooth solutions of a network's description are exactly the traces of
+//! its computations. Checking that claim needs an operational side — a
+//! machine that actually runs message-communicating processes. This crate
+//! is that machine:
+//!
+//! * [`Process`] — a state machine with input and output channels that
+//!   consumes queued messages and produces sends.
+//! * [`Network`] — processes wired by unbounded FIFO channels, with every
+//!   send recorded in a global [`Trace`] (the paper's communication
+//!   history: sends only, Section 3.1.1).
+//! * [`Scheduler`] — pluggable nondeterminism: round-robin, seeded-random,
+//!   and adversarial (skews towards starving late processes) schedulers.
+//!   Every schedule of a Kahn network produces a trace whose projections
+//!   are component histories; at quiescence the trace must satisfy the
+//!   network description's smooth-solution conditions.
+//! * [`procs`] — a standard library of small processes (sources, pointwise
+//!   maps, copies, prefixers, oracle-driven merges) from which the paper's
+//!   networks are assembled in `eqp-processes`.
+//! * **Quiescence detection** — a run ends when no process can make
+//!   progress (Section 3.1.1's "quiescent trace"), or at a step bound for
+//!   networks that never quiesce (Ticks).
+//!
+//! # Example
+//!
+//! ```
+//! use eqp_kahn::{Network, RunOptions, procs};
+//! use eqp_trace::{Chan, Value};
+//!
+//! // A source feeding a doubling process: c carries 1 2 3, d = 2×c.
+//! let (c, d) = (Chan::new(0), Chan::new(1));
+//! let mut net = Network::new();
+//! net.add(procs::Source::new("env", c, [Value::Int(1), Value::Int(2), Value::Int(3)]));
+//! net.add(procs::Apply::int_affine("double", c, d, 2, 0));
+//! let run = net.run(&mut eqp_kahn::RoundRobin::new(), RunOptions::default());
+//! assert!(run.quiescent);
+//! assert_eq!(run.trace.seq_on(d).take(3), vec![Value::Int(2), Value::Int(4), Value::Int(6)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod oracle;
+pub mod procs;
+pub mod process;
+pub mod scheduler;
+
+pub use network::{Network, RunOptions, RunResult};
+pub use oracle::Oracle;
+pub use process::{Process, StepCtx, StepResult};
+pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
+
+pub use eqp_trace::Trace;

@@ -1,0 +1,271 @@
+//! Networks: processes wired by FIFO channels, run to quiescence.
+
+use crate::process::{Process, StepCtx, StepResult};
+use crate::scheduler::Scheduler;
+use eqp_trace::{Chan, Event, Trace, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
+
+/// Options bounding a network run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Maximum total process steps (guards non-quiescing networks like
+    /// Ticks).
+    pub max_steps: usize,
+    /// Seed for the in-process nondeterminism RNG ([`StepCtx::flip`]).
+    pub seed: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_steps: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a network run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The communication history: every send, in global order.
+    pub trace: Trace,
+    /// True iff the network quiesced (a full round with no progress);
+    /// false iff the step bound was hit first.
+    pub quiescent: bool,
+    /// Progress-making steps performed.
+    pub steps: usize,
+}
+
+/// A dataflow network: a bag of processes communicating over unbounded
+/// FIFO channels. Channels are implicit — any channel a process sends on
+/// is queued for whoever reads it. Single-reader discipline is validated
+/// at [`Network::add`] for processes that declare their
+/// [`Process::inputs`].
+#[derive(Default)]
+pub struct Network {
+    processes: Vec<Box<dyn Process>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Adds a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process declares an input channel already consumed by
+    /// a previously added process — Kahn networks require a single
+    /// consumer per channel, and a second reader would silently steal
+    /// messages.
+    pub fn add<P: Process + 'static>(&mut self, p: P) -> &mut Network {
+        for c in p.inputs() {
+            for q in &self.processes {
+                assert!(
+                    !q.inputs().contains(&c),
+                    "channel {c} already consumed by process `{}`; `{}` cannot also read it",
+                    q.name(),
+                    p.name()
+                );
+            }
+        }
+        self.processes.push(Box::new(p));
+        self
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// True iff the network has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Pre-loads messages on a channel (environment input that is *not*
+    /// recorded in the trace — prefer a `Source` process when the sends
+    /// should appear in the history, as the paper's traces include them).
+    pub fn preload<I: IntoIterator<Item = Value>>(
+        &mut self,
+        chan: Chan,
+        values: I,
+    ) -> PreloadedNetwork {
+        let mut queues: HashMap<Chan, VecDeque<Value>> = HashMap::new();
+        queues.entry(chan).or_default().extend(values);
+        PreloadedNetwork {
+            net: std::mem::take(self),
+            queues,
+        }
+    }
+
+    /// Runs the network under `sched` until quiescence or the step bound.
+    pub fn run<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunResult {
+        run_with_queues(&mut self.processes, HashMap::new(), sched, opts)
+    }
+}
+
+/// A network with pre-loaded channel contents (see [`Network::preload`]).
+pub struct PreloadedNetwork {
+    net: Network,
+    queues: HashMap<Chan, VecDeque<Value>>,
+}
+
+impl PreloadedNetwork {
+    /// Runs the preloaded network.
+    pub fn run<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunResult {
+        run_with_queues(
+            &mut self.net.processes,
+            std::mem::take(&mut self.queues),
+            sched,
+            opts,
+        )
+    }
+}
+
+fn run_with_queues(
+    processes: &mut [Box<dyn Process>],
+    mut queues: HashMap<Chan, VecDeque<Value>>,
+    sched: &mut dyn Scheduler,
+    opts: RunOptions,
+) -> RunResult {
+    let mut trace: Vec<Event> = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut steps = 0usize;
+    loop {
+        let mut progressed = false;
+        for i in sched.round(processes.len()) {
+            if steps >= opts.max_steps {
+                return RunResult {
+                    trace: Trace::finite(trace),
+                    quiescent: false,
+                    steps,
+                };
+            }
+            let mut ctx = StepCtx {
+                queues: &mut queues,
+                trace: &mut trace,
+                rng: &mut rng,
+            };
+            if processes[i].step(&mut ctx) == StepResult::Progress {
+                progressed = true;
+                steps += 1;
+            }
+        }
+        if !progressed {
+            return RunResult {
+                trace: Trace::finite(trace),
+                quiescent: true,
+                steps,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::procs::{Apply, Source};
+    use crate::scheduler::{Adversarial, RandomSched, RoundRobin};
+
+    fn c() -> Chan {
+        Chan::new(0)
+    }
+    fn d() -> Chan {
+        Chan::new(1)
+    }
+
+    fn pipeline() -> Network {
+        let mut net = Network::new();
+        net.add(Source::new(
+            "env",
+            c(),
+            [Value::Int(1), Value::Int(2), Value::Int(3)],
+        ));
+        net.add(Apply::int_affine("double", c(), d(), 2, 0));
+        net
+    }
+
+    #[test]
+    fn pipeline_quiesces_with_expected_history() {
+        let run = pipeline().run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(
+            run.trace.seq_on(d()).take(10),
+            vec![Value::Int(2), Value::Int(4), Value::Int(6)]
+        );
+        assert_eq!(
+            run.trace.seq_on(c()).take(10),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn kahn_determinism_across_schedulers() {
+        // per-channel histories agree under all schedulers (Kahn's
+        // determinism theorem for deterministic processes).
+        let a = pipeline().run(&mut RoundRobin::new(), RunOptions::default());
+        let b = pipeline().run(&mut RandomSched::new(9), RunOptions::default());
+        let cc = pipeline().run(&mut Adversarial::new(5), RunOptions::default());
+        for run in [&b, &cc] {
+            assert!(run.quiescent);
+            assert_eq!(run.trace.seq_on(c()), a.trace.seq_on(c()));
+            assert_eq!(run.trace.seq_on(d()), a.trace.seq_on(d()));
+        }
+    }
+
+    #[test]
+    fn step_bound_halts_runaway() {
+        // a source with an infinite lasso never quiesces
+        let mut net = Network::new();
+        net.add(Source::lasso(
+            "ticks",
+            c(),
+            eqp_trace::Lasso::repeat(vec![Value::tt()]),
+        ));
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 25,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent);
+        assert_eq!(run.steps, 25);
+        assert_eq!(run.trace.seq_on(c()).take(100).len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "already consumed")]
+    fn double_consumer_rejected() {
+        let mut net = Network::new();
+        net.add(Apply::int_affine("w1", c(), d(), 1, 0));
+        net.add(Apply::int_affine("w2", c(), Chan::new(9), 1, 0));
+    }
+
+    #[test]
+    fn empty_network_quiesces_immediately() {
+        let mut net = Network::new();
+        assert!(net.is_empty());
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(run.steps, 0);
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn preloaded_input_consumed_but_unrecorded() {
+        let mut net = Network::new();
+        net.add(Apply::int_affine("double", c(), d(), 2, 0));
+        let mut pre = net.preload(c(), [Value::Int(5)]);
+        let run = pre.run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(run.trace.seq_on(d()).take(4), vec![Value::Int(10)]);
+        // the preloaded input itself is not in the trace
+        assert_eq!(run.trace.seq_on(c()).take(4), Vec::<Value>::new());
+    }
+}

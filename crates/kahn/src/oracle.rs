@@ -1,0 +1,143 @@
+//! Oracles: fair bit streams driving nondeterministic choices (Park
+//! 1982, used by the paper in Sections 4.6–4.10).
+//!
+//! An oracle is an infinite bit sequence consumed one bit per choice. For
+//! *fair* processes (fair merge, fair random sequence) the oracle must
+//! contain infinitely many `T`s and infinitely many `F`s; the seeded
+//! generator here enforces a stronger *bounded alternation* property —
+//! every window of `bound` bits contains both values — which realizes
+//! fairness on every finite prefix (all a finite computation observes).
+
+use eqp_trace::Lasso;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fair bit stream with bounded alternation.
+///
+/// # Example
+///
+/// ```
+/// use eqp_kahn::Oracle;
+///
+/// let mut o = Oracle::fair(7, 3); // runs of equal bits never exceed 3
+/// let bits = o.take(100);
+/// assert!(bits.iter().any(|&b| b) && bits.iter().any(|&b| !b));
+/// ```
+#[derive(Debug)]
+pub struct Oracle {
+    rng: StdRng,
+    bound: usize,
+    run_value: bool,
+    run_len: usize,
+    fixed: Option<(Lasso<bool>, usize)>,
+}
+
+impl Oracle {
+    /// A seeded random oracle whose runs of equal bits never exceed
+    /// `bound` (so both values occur in every window of `bound + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn fair(seed: u64, bound: usize) -> Oracle {
+        assert!(bound > 0, "alternation bound must be positive");
+        Oracle {
+            rng: StdRng::seed_from_u64(seed),
+            bound,
+            run_value: false,
+            run_len: 0,
+            fixed: None,
+        }
+    }
+
+    /// A deterministic oracle replaying the given (finite or lasso) bit
+    /// sequence; after a finite sequence is exhausted it alternates
+    /// `T F T F …`. Useful for steering a run onto a chosen solution.
+    pub fn scripted(bits: Lasso<bool>) -> Oracle {
+        Oracle {
+            rng: StdRng::seed_from_u64(0),
+            bound: 1,
+            run_value: false,
+            run_len: 0,
+            fixed: Some((bits, 0)),
+        }
+    }
+
+    /// Draws the next bit.
+    pub fn next_bit(&mut self) -> bool {
+        if let Some((bits, pos)) = &mut self.fixed {
+            let b = match bits.get(*pos) {
+                Some(&b) => b,
+                None => (*pos - bits.prefix().len()) % 2 == 0, // alternate
+            };
+            *pos += 1;
+            return b;
+        }
+        let forced = self.run_len >= self.bound;
+        let b = if forced {
+            !self.run_value
+        } else {
+            self.rng.random_bool(0.5)
+        };
+        if b == self.run_value {
+            self.run_len += 1;
+        } else {
+            self.run_value = b;
+            self.run_len = 1;
+        }
+        b
+    }
+
+    /// Draws `n` bits.
+    pub fn take(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_oracle_bounded_runs() {
+        let mut o = Oracle::fair(11, 3);
+        let bits = o.take(500);
+        let mut run = 1;
+        for w in bits.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                assert!(run <= 3, "run of {run} exceeds bound");
+            } else {
+                run = 1;
+            }
+        }
+        // both values occur
+        assert!(bits.iter().any(|&b| b));
+        assert!(bits.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn fair_is_reproducible() {
+        let a = Oracle::fair(5, 4).take(64);
+        let b = Oracle::fair(5, 4).take(64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scripted_replays_then_alternates() {
+        let mut o = Oracle::scripted(Lasso::finite(vec![true, true, false]));
+        assert_eq!(o.take(6), vec![true, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn scripted_lasso_loops() {
+        let mut o = Oracle::scripted(Lasso::repeat(vec![true, false, false]));
+        assert_eq!(o.take(6), vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternation bound")]
+    fn zero_bound_rejected() {
+        let _ = Oracle::fair(0, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! The process trait and the step context through which processes touch
+//! their channels.
+
+use eqp_trace::{Chan, Event, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::{HashMap, VecDeque};
+
+/// What a process accomplished in one scheduled step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// The process consumed input and/or produced output.
+    Progress,
+    /// The process cannot currently act (waiting for input, or done).
+    Idle,
+}
+
+/// The channel interface handed to a process during a step: FIFO reads on
+/// the input side, recorded sends on the output side, and a seeded RNG for
+/// internal nondeterministic choices.
+pub struct StepCtx<'a> {
+    pub(crate) queues: &'a mut HashMap<Chan, VecDeque<Value>>,
+    pub(crate) trace: &'a mut Vec<Event>,
+    pub(crate) rng: &'a mut StdRng,
+}
+
+impl StepCtx<'_> {
+    /// Number of messages waiting on `c`.
+    pub fn available(&self, c: Chan) -> usize {
+        self.queues.get(&c).map_or(0, VecDeque::len)
+    }
+
+    /// Looks at the `i`-th waiting message on `c` without consuming it.
+    pub fn peek(&self, c: Chan, i: usize) -> Option<Value> {
+        self.queues.get(&c).and_then(|q| q.get(i)).copied()
+    }
+
+    /// Consumes the head message of `c`.
+    pub fn pop(&mut self, c: Chan) -> Option<Value> {
+        self.queues.get_mut(&c).and_then(VecDeque::pop_front)
+    }
+
+    /// Sends `v` along `c`: appended to the global trace and to `c`'s
+    /// queue for its consumer.
+    pub fn send(&mut self, c: Chan, v: Value) {
+        self.trace.push(Event::new(c, v));
+        self.queues.entry(c).or_default().push_back(v);
+    }
+
+    /// A nondeterministic coin flip (seeded at the network level, so runs
+    /// are reproducible).
+    pub fn flip(&mut self) -> bool {
+        self.rng.random_bool(0.5)
+    }
+
+    /// A nondeterministic choice in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn choose(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choose(0)");
+        self.rng.random_range(0..n)
+    }
+}
+
+/// A message-communicating process: a state machine stepped by the
+/// scheduler.
+///
+/// `step` should perform a bounded amount of work (typically: consume at
+/// most one input and/or emit at most one output) and report whether it
+/// made progress; the network detects quiescence when every process
+/// reports [`StepResult::Idle`] in a full round.
+pub trait Process {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// The channels this process consumes from. Kahn networks require a
+    /// single consumer per channel; [`crate::Network::add`] validates the
+    /// declarations of all added processes for disjointness. The default
+    /// (empty) opts out of validation — declare inputs wherever possible.
+    fn inputs(&self) -> Vec<Chan> {
+        Vec::new()
+    }
+
+    /// The channels this process sends on (diagnostic only).
+    fn outputs(&self) -> Vec<Chan> {
+        Vec::new()
+    }
+
+    /// Performs one step against the channel context.
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_parts() -> (HashMap<Chan, VecDeque<Value>>, Vec<Event>, StdRng) {
+        (HashMap::new(), Vec::new(), StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn send_records_and_queues() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let mut ctx = StepCtx {
+            queues: &mut q,
+            trace: &mut t,
+            rng: &mut r,
+        };
+        let c = Chan::new(0);
+        ctx.send(c, Value::Int(1));
+        ctx.send(c, Value::Int(2));
+        assert_eq!(ctx.available(c), 2);
+        assert_eq!(ctx.peek(c, 1), Some(Value::Int(2)));
+        assert_eq!(ctx.pop(c), Some(Value::Int(1)));
+        assert_eq!(ctx.available(c), 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let mut ctx = StepCtx {
+            queues: &mut q,
+            trace: &mut t,
+            rng: &mut r,
+        };
+        assert_eq!(ctx.pop(Chan::new(3)), None);
+        assert_eq!(ctx.peek(Chan::new(3), 0), None);
+        assert_eq!(ctx.available(Chan::new(3)), 0);
+    }
+
+    #[test]
+    fn rng_choices_in_range() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let mut ctx = StepCtx {
+            queues: &mut q,
+            trace: &mut t,
+            rng: &mut r,
+        };
+        for _ in 0..50 {
+            assert!(ctx.choose(3) < 3);
+            let _ = ctx.flip();
+        }
+    }
+}

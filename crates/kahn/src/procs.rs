@@ -1,0 +1,514 @@
+//! A standard library of small processes, from which the paper's networks
+//! are assembled.
+
+use crate::oracle::Oracle;
+use crate::process::{Process, StepCtx, StepResult};
+use eqp_trace::{Chan, Lasso, Value};
+
+/// Emits a fixed (finite or eventually periodic) sequence on a channel,
+/// one message per step.
+#[derive(Debug, Clone)]
+pub struct Source {
+    name: String,
+    out: Chan,
+    seq: Lasso<Value>,
+    pos: usize,
+}
+
+impl Source {
+    /// A source emitting the given finite sequence.
+    pub fn new<I: IntoIterator<Item = Value>>(
+        name: impl Into<String>,
+        out: Chan,
+        values: I,
+    ) -> Source {
+        Source::lasso(name, out, Lasso::finite(values))
+    }
+
+    /// A source emitting a lasso (never quiesces if infinite).
+    pub fn lasso(name: impl Into<String>, out: Chan, seq: Lasso<Value>) -> Source {
+        Source {
+            name: name.into(),
+            out,
+            seq,
+            pos: 0,
+        }
+    }
+}
+
+impl Process for Source {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.out]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match self.seq.get(self.pos) {
+            Some(&v) => {
+                ctx.send(self.out, v);
+                self.pos += 1;
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// Applies a pointwise function to every input message — the deterministic
+/// one-in-one-out worker (the paper's P and Q are `Apply` with affine
+/// maps, modulo P's prefixed `0`).
+pub struct Apply {
+    name: String,
+    input: Chan,
+    output: Chan,
+    f: Box<dyn FnMut(Value) -> Value + Send>,
+}
+
+impl Apply {
+    /// A pointwise process computing `f` on each message.
+    pub fn new(
+        name: impl Into<String>,
+        input: Chan,
+        output: Chan,
+        f: impl FnMut(Value) -> Value + Send + 'static,
+    ) -> Apply {
+        Apply {
+            name: name.into(),
+            input,
+            output,
+            f: Box::new(f),
+        }
+    }
+
+    /// The affine worker `n ↦ a·n + b` on integers.
+    pub fn int_affine(
+        name: impl Into<String>,
+        input: Chan,
+        output: Chan,
+        a: i64,
+        b: i64,
+    ) -> Apply {
+        Apply::new(name, input, output, move |v| match v {
+            Value::Int(n) => Value::Int(a * n + b),
+            other => other,
+        })
+    }
+}
+
+impl Process for Apply {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(self.input) {
+            Some(v) => {
+                let out = (self.f)(v);
+                ctx.send(self.output, out);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// Copies input to output; optionally emits a fixed prelude first (the
+/// second process of Figure 1's variant is `Copy::with_prelude(…, [0])`,
+/// the paper's `b = 0; c`).
+#[derive(Debug, Clone)]
+pub struct Copy {
+    name: String,
+    input: Chan,
+    output: Chan,
+    prelude: Vec<Value>,
+    sent_prelude: usize,
+}
+
+impl Copy {
+    /// A plain copy process (`c = b` of Figure 1).
+    pub fn new(name: impl Into<String>, input: Chan, output: Chan) -> Copy {
+        Copy::with_prelude(name, input, output, [])
+    }
+
+    /// A copy process that first emits `prelude` unprompted.
+    pub fn with_prelude<I: IntoIterator<Item = Value>>(
+        name: impl Into<String>,
+        input: Chan,
+        output: Chan,
+        prelude: I,
+    ) -> Copy {
+        Copy {
+            name: name.into(),
+            input,
+            output,
+            prelude: prelude.into_iter().collect(),
+            sent_prelude: 0,
+        }
+    }
+}
+
+impl Process for Copy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.sent_prelude < self.prelude.len() {
+            let v = self.prelude[self.sent_prelude];
+            self.sent_prelude += 1;
+            ctx.send(self.output, v);
+            return StepResult::Progress;
+        }
+        match ctx.pop(self.input) {
+            Some(v) => {
+                ctx.send(self.output, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// An oracle-driven two-way merge: when both inputs have messages the
+/// oracle bit picks (T → left), when one has messages it is taken, and the
+/// per-source order is preserved — the operational fair merge of Sections
+/// 2.2 and 4.10 (Park-style oracle).
+pub struct Merge2 {
+    name: String,
+    left: Chan,
+    right: Chan,
+    output: Chan,
+    oracle: Oracle,
+}
+
+impl Merge2 {
+    /// A fair merge with the given oracle.
+    pub fn new(
+        name: impl Into<String>,
+        left: Chan,
+        right: Chan,
+        output: Chan,
+        oracle: Oracle,
+    ) -> Merge2 {
+        Merge2 {
+            name: name.into(),
+            left,
+            right,
+            output,
+            oracle,
+        }
+    }
+}
+
+impl Process for Merge2 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.left, self.right]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        let l = ctx.available(self.left) > 0;
+        let r = ctx.available(self.right) > 0;
+        let pick_left = match (l, r) {
+            (false, false) => return StepResult::Idle,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => self.oracle.next_bit(),
+        };
+        let c = if pick_left { self.left } else { self.right };
+        let v = ctx.pop(c).expect("checked nonempty");
+        ctx.send(self.output, v);
+        StepResult::Progress
+    }
+}
+
+/// A unit-delay buffer: emits `initial` values first, then copies input
+/// to output — the classic Kahn feedback element (`followed-by`). With
+/// `initial = [v]` the output stream is `v` followed by the input stream.
+#[derive(Debug, Clone)]
+pub struct Delay {
+    name: String,
+    input: Chan,
+    output: Chan,
+    initial: std::collections::VecDeque<Value>,
+}
+
+impl Delay {
+    /// Creates a delay buffer pre-loaded with `initial`.
+    pub fn new<I: IntoIterator<Item = Value>>(
+        name: impl Into<String>,
+        input: Chan,
+        output: Chan,
+        initial: I,
+    ) -> Delay {
+        Delay {
+            name: name.into(),
+            input,
+            output,
+            initial: initial.into_iter().collect(),
+        }
+    }
+}
+
+impl Process for Delay {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if let Some(v) = self.initial.pop_front() {
+            ctx.send(self.output, v);
+            return StepResult::Progress;
+        }
+        match ctx.pop(self.input) {
+            Some(v) => {
+                ctx.send(self.output, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// A pointwise binary worker: pops one value from each input (waiting
+/// until both are available) and emits `f(a, b)` — the Kahn `zip`.
+pub struct Zip2 {
+    name: String,
+    left: Chan,
+    right: Chan,
+    output: Chan,
+    f: Box<dyn FnMut(Value, Value) -> Value + Send>,
+}
+
+impl Zip2 {
+    /// Creates the binary worker.
+    pub fn new(
+        name: impl Into<String>,
+        left: Chan,
+        right: Chan,
+        output: Chan,
+        f: impl FnMut(Value, Value) -> Value + Send + 'static,
+    ) -> Zip2 {
+        Zip2 {
+            name: name.into(),
+            left,
+            right,
+            output,
+            f: Box::new(f),
+        }
+    }
+
+    /// Integer addition.
+    pub fn add(name: impl Into<String>, left: Chan, right: Chan, output: Chan) -> Zip2 {
+        Zip2::new(name, left, right, output, |a, b| match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            _ => Value::Int(0),
+        })
+    }
+}
+
+impl Process for Zip2 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.left, self.right]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if ctx.available(self.left) > 0 && ctx.available(self.right) > 0 {
+            let a = ctx.pop(self.left).expect("nonempty");
+            let b = ctx.pop(self.right).expect("nonempty");
+            let out = (self.f)(a, b);
+            ctx.send(self.output, out);
+            StepResult::Progress
+        } else {
+            StepResult::Idle
+        }
+    }
+}
+
+/// A process built from a closure — the escape hatch for bespoke state
+/// machines (Brock–Ackermann's process B, the implication process, …).
+pub struct FromFn<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: FnMut(&mut StepCtx<'_>) -> StepResult + Send> FromFn<F> {
+    /// Wraps a step closure as a process.
+    pub fn new(name: impl Into<String>, f: F) -> FromFn<F> {
+        FromFn {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: FnMut(&mut StepCtx<'_>) -> StepResult + Send> Process for FromFn<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        (self.f)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, RunOptions};
+    use crate::scheduler::RoundRobin;
+
+    fn chans() -> (Chan, Chan, Chan) {
+        (Chan::new(0), Chan::new(1), Chan::new(2))
+    }
+
+    #[test]
+    fn source_emits_sequence_once() {
+        let (c, _, _) = chans();
+        let mut net = Network::new();
+        net.add(Source::new("s", c, [Value::Int(1), Value::Int(2)]));
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(
+            run.trace.seq_on(c).take(10),
+            vec![Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn copy_with_prelude_is_figure1_variant() {
+        // Fig 1 variant: second process emits 0 then copies c to b; first
+        // copies b to c. Bounded run produces 0^k on both channels.
+        let (b, c, _) = chans();
+        let mut net = Network::new();
+        net.add(Copy::new("top", b, c));
+        net.add(Copy::with_prelude("bottom", c, b, [Value::Int(0)]));
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 40,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent); // 0^ω: never quiesces
+        let bs = run.trace.seq_on(b).take(100);
+        let cs = run.trace.seq_on(c).take(100);
+        assert!(bs.iter().all(|v| *v == Value::Int(0)));
+        assert!(cs.iter().all(|v| *v == Value::Int(0)));
+        assert!(bs.len() >= 10 && cs.len() >= 10);
+    }
+
+    #[test]
+    fn plain_copy_network_quiesces_empty() {
+        // Fig 1 as-is: both processes plain copies, no input → ⊥ traces,
+        // matching the least fixpoint b = c = ε.
+        let (b, c, _) = chans();
+        let mut net = Network::new();
+        net.add(Copy::new("top", b, c));
+        net.add(Copy::new("bottom", c, b));
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn merge_preserves_per_source_order() {
+        let (l, r, o) = chans();
+        let mut net = Network::new();
+        net.add(Source::new("ls", l, [Value::Int(0), Value::Int(2), Value::Int(4)]));
+        net.add(Source::new("rs", r, [Value::Int(1), Value::Int(3)]));
+        net.add(Merge2::new("m", l, r, o, Oracle::fair(3, 2)));
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        let out = run.trace.seq_on(o).take(10);
+        assert_eq!(out.len(), 5);
+        let evens: Vec<Value> = out.iter().copied().filter(|v| v.is_even_int()).collect();
+        let odds: Vec<Value> = out.iter().copied().filter(|v| v.is_odd_int()).collect();
+        assert_eq!(evens, vec![Value::Int(0), Value::Int(2), Value::Int(4)]);
+        assert_eq!(odds, vec![Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn scripted_merge_realizes_chosen_interleaving() {
+        let (l, r, o) = chans();
+        let mut net = Network::new();
+        net.add(Source::new("ls", l, [Value::Int(0), Value::Int(2)]));
+        net.add(Source::new("rs", r, [Value::Int(1)]));
+        net.add(Merge2::new(
+            "m",
+            l,
+            r,
+            o,
+            Oracle::scripted(Lasso::finite(vec![false, true])),
+        ));
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        let out = run.trace.seq_on(o).take(10);
+        // The oracle is only consulted when both queues are nonempty; with
+        // round-robin arrival the first contested pick goes right (F).
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out.iter().filter(|v| v.is_odd_int()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn from_fn_process() {
+        let (c, d, _) = chans();
+        let mut net = Network::new();
+        net.add(Source::new("s", c, [Value::Int(7)]));
+        net.add(FromFn::new("negate", move |ctx: &mut StepCtx<'_>| {
+            match ctx.pop(c) {
+                Some(Value::Int(n)) => {
+                    ctx.send(d, Value::Int(-n));
+                    StepResult::Progress
+                }
+                _ => StepResult::Idle,
+            }
+        }));
+        let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+        assert_eq!(run.trace.seq_on(d).take(4), vec![Value::Int(-7)]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Schedulers: the external nondeterminism of a network run.
+//!
+//! A scheduler orders the processes within each round. Kahn's determinism
+//! result says the *final* channel histories of a deterministic network do
+//! not depend on this order; for nondeterministic networks different
+//! schedules realize different smooth solutions. The test suites use all
+//! three schedulers to cover the space.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Orders process indices for one scheduling round.
+pub trait Scheduler {
+    /// Returns the order in which the `n` processes should be offered a
+    /// step this round.
+    fn round(&mut self, n: usize) -> Vec<usize>;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "<scheduler>"
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn round(&mut self, n: usize) -> Vec<usize> {
+        (**self).round(n)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn round(&mut self, n: usize) -> Vec<usize> {
+        (**self).round(n)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// Fixed round-robin order `0, 1, …, n-1`, rotating the starting point
+/// each round so no process is permanently favored.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    offset: usize,
+}
+
+impl RoundRobin {
+    /// Creates a rotating round-robin scheduler.
+    pub fn new() -> RoundRobin {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn round(&mut self, n: usize) -> Vec<usize> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = self.offset % n;
+        self.offset = self.offset.wrapping_add(1);
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Uniformly random permutation each round, from a fixed seed
+/// (reproducible runs).
+#[derive(Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+}
+
+impl RandomSched {
+    /// Creates a seeded random scheduler.
+    pub fn new(seed: u64) -> RandomSched {
+        RandomSched {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn round(&mut self, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut self.rng);
+        order
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// An adversarial scheduler: repeatedly favors a single victim ordering for
+/// long bursts before switching, maximizing transient starvation. Kahn
+/// quiescence is scheduler-independent, so even this schedule must land on
+/// a smooth solution — the tests rely on that.
+#[derive(Debug)]
+pub struct Adversarial {
+    rng: StdRng,
+    burst_left: usize,
+    order: Vec<usize>,
+}
+
+impl Adversarial {
+    /// Creates a seeded adversarial scheduler.
+    pub fn new(seed: u64) -> Adversarial {
+        Adversarial {
+            rng: StdRng::seed_from_u64(seed),
+            burst_left: 0,
+            order: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for Adversarial {
+    fn round(&mut self, n: usize) -> Vec<usize> {
+        if self.burst_left == 0 || self.order.len() != n {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut self.rng);
+            self.order = order;
+            self.burst_left = 1 + (self.rng.random_range(0..16usize));
+        }
+        self.burst_left -= 1;
+        self.order.clone()
+    }
+
+    fn name(&self) -> &str {
+        "adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobin::new();
+        assert_eq!(s.round(3), vec![0, 1, 2]);
+        assert_eq!(s.round(3), vec![1, 2, 0]);
+        assert_eq!(s.round(3), vec![2, 0, 1]);
+        assert_eq!(s.round(0), Vec::<usize>::new());
+        assert_eq!(s.name(), "round-robin");
+    }
+
+    #[test]
+    fn random_is_permutation() {
+        let mut s = RandomSched::new(42);
+        for _ in 0..10 {
+            let mut r = s.round(5);
+            r.sort_unstable();
+            assert_eq!(r, vec![0, 1, 2, 3, 4]);
+        }
+        assert_eq!(s.name(), "random");
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let a: Vec<Vec<usize>> = {
+            let mut s = RandomSched::new(7);
+            (0..5).map(|_| s.round(4)).collect()
+        };
+        let b: Vec<Vec<usize>> = {
+            let mut s = RandomSched::new(7);
+            (0..5).map(|_| s.round(4)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_bursts_are_permutations() {
+        let mut s = Adversarial::new(3);
+        for _ in 0..40 {
+            let mut r = s.round(4);
+            r.sort_unstable();
+            assert_eq!(r, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(s.name(), "adversarial");
+    }
+}

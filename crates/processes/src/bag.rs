@@ -1,0 +1,214 @@
+//! Descriptions as specifications (Section 8.3): an **unordered buffer**
+//! ("bag") — a module that is not a stream function at all.
+//!
+//! The paper remarks that the method "is not limited to defining process
+//! networks; arbitrary nonfunctional modules may be so defined", and
+//! recommends descriptions as *specifications*. The bag is the classic
+//! example: it re-emits every input exactly once, in **any** order — so
+//! its output is not a function, not even a prefix-monotone relation, of
+//! the input order alone.
+//!
+//! Per-value counting makes it a description: over a finite message
+//! alphabet `V`, the bag over input `c` and output `d` is specified by
+//! one equation per value,
+//!
+//! ```text
+//! (=v)(d) ⟸ (=v)(c)        for each v ∈ V
+//! ```
+//!
+//! — the subsequence of `v`s output equals the subsequence of `v`s
+//! received. The smoothness condition supplies causality (no item out
+//! before it came in); the limit condition supplies exactness (everything
+//! in comes out, nothing is invented); the *order* across different
+//! values is left completely free. The operational bag draws a random
+//! held item per step.
+
+use eqp_core::Description;
+use eqp_kahn::{Network, Process, StepCtx, StepResult};
+use eqp_seqfn::{SeqExpr, ValuePred};
+use eqp_trace::{Chan, Value};
+
+/// The request/input channel.
+pub const C: Chan = Chan::new(120);
+/// The response/output channel.
+pub const D: Chan = Chan::new(121);
+
+/// The bag specification over the integer alphabet `lo..=hi`: one
+/// per-value counting equation for each message value.
+pub fn specification(lo: i64, hi: i64) -> Description {
+    let mut d = Description::new("bag");
+    for v in lo..=hi {
+        d = d.equation(
+            SeqExpr::Filter(ValuePred::IntIs(v), Box::new(SeqExpr::chan(D))),
+            SeqExpr::Filter(ValuePred::IntIs(v), Box::new(SeqExpr::chan(C))),
+        );
+    }
+    d
+}
+
+/// The operational bag: holds received items in a multiset and emits a
+/// uniformly random held item per step.
+pub struct BagProc {
+    held: Vec<Value>,
+}
+
+impl BagProc {
+    /// Creates an empty bag.
+    pub fn new() -> BagProc {
+        BagProc { held: Vec::new() }
+    }
+}
+
+impl Default for BagProc {
+    fn default() -> Self {
+        BagProc::new()
+    }
+}
+
+impl Process for BagProc {
+    fn name(&self) -> &str {
+        "bag"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        // drain one pending input if present, else emit one held item
+        if let Some(v) = ctx.pop(C) {
+            self.held.push(v);
+            return StepResult::Progress;
+        }
+        if self.held.is_empty() {
+            return StepResult::Idle;
+        }
+        let i = ctx.choose(self.held.len());
+        let v = self.held.swap_remove(i);
+        ctx.send(D, v);
+        StepResult::Progress
+    }
+}
+
+/// A bag fed with the given inputs.
+pub fn network(inputs: &[i64]) -> Network {
+    let mut net = Network::new();
+    net.add(eqp_kahn::procs::Source::new(
+        "env",
+        C,
+        inputs.iter().map(|&n| Value::Int(n)).collect::<Vec<_>>(),
+    ));
+    net.add(BagProc::new());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::{Event, Trace};
+
+    fn spec() -> Description {
+        specification(0, 3)
+    }
+
+    fn tr(pairs: &[(bool, i64)]) -> Trace {
+        // (true, n) = input on C; (false, n) = output on D
+        Trace::finite(
+            pairs
+                .iter()
+                .map(|&(is_in, n)| Event::int(if is_in { C } else { D }, n))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn reorderings_are_smooth() {
+        // in 1, 2, 3 — out 2, 3, 1 is a legal bag behaviour.
+        let t = tr(&[
+            (true, 1),
+            (true, 2),
+            (false, 2),
+            (true, 3),
+            (false, 3),
+            (false, 1),
+        ]);
+        assert!(is_smooth(&spec(), &t));
+        // FIFO order is of course also legal.
+        let fifo = tr(&[(true, 1), (false, 1), (true, 2), (false, 2)]);
+        assert!(is_smooth(&spec(), &fifo));
+    }
+
+    #[test]
+    fn output_before_input_rejected() {
+        let t = tr(&[(false, 1), (true, 1)]);
+        assert!(!is_smooth(&spec(), &t));
+    }
+
+    #[test]
+    fn fabrication_and_duplication_rejected() {
+        // never received 3
+        let fab = tr(&[(true, 1), (false, 3)]);
+        assert!(!is_smooth(&spec(), &fab));
+        // 1 emitted twice
+        let dup = tr(&[(true, 1), (false, 1), (false, 1)]);
+        assert!(!is_smooth(&spec(), &dup));
+    }
+
+    #[test]
+    fn withheld_item_is_not_quiescent() {
+        let t = tr(&[(true, 1)]);
+        assert!(!is_smooth(&spec(), &t));
+    }
+
+    #[test]
+    fn the_bag_is_not_order_functional() {
+        // Two runs with the SAME input order and different output orders
+        // are both smooth — the module is genuinely non-functional.
+        let a = tr(&[(true, 1), (true, 2), (false, 1), (false, 2)]);
+        let b = tr(&[(true, 1), (true, 2), (false, 2), (false, 1)]);
+        assert!(is_smooth(&spec(), &a));
+        assert!(is_smooth(&spec(), &b));
+        assert_ne!(a.seq_on(D), b.seq_on(D));
+    }
+
+    #[test]
+    fn operational_bags_meet_the_specification() {
+        for seed in 0..12u64 {
+            let mut net = network(&[0, 1, 2, 3, 1]);
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 100,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            assert!(
+                is_smooth(&spec(), &run.trace),
+                "seed {seed}: {}",
+                run.trace
+            );
+        }
+        // different seeds produce different orders (nondeterminism real)
+        let orders: std::collections::BTreeSet<_> = (0..12u64)
+            .map(|seed| {
+                let mut net = network(&[0, 1, 2, 3]);
+                let run = net.run(
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        max_steps: 100,
+                        seed,
+                    },
+                );
+                run.trace.seq_on(D).take(8)
+            })
+            .collect();
+        assert!(orders.len() > 1);
+    }
+}

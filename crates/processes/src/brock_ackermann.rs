@@ -1,0 +1,304 @@
+//! The Brock–Ackermann anomaly (Section 2.4, Figure 4).
+//!
+//! Process A fair-merges its input `b` (odd numbers) with the internally
+//! stored `⟨0, 2⟩` and outputs on `c`; process B computes
+//! `f(n; m; x) = ⟨n + 1⟩` (an answer only after *two* inputs) back into
+//! `b`. The network description, after eliminating `b`:
+//!
+//! ```text
+//! even(c) ⟸ ⟨0 2⟩ ,  odd(c) ⟸ f(c)
+//! ```
+//!
+//! Exactly two sequences solve these as equations — `c = ⟨0 1 2⟩` and
+//! `c = ⟨0 2 1⟩` — but only `⟨0 2 1⟩` is **smooth**: A must output both
+//! `0` and `2` before B can produce the `1`. History-insensitive
+//! (set-of-sequences) semantics cannot make this distinction; smoothness
+//! can. This module verifies the solution count exhaustively, the
+//! smoothness verdicts, and that *no* operational schedule ever produces
+//! `⟨0 1 2⟩`.
+
+use eqp_core::{Description, System};
+use eqp_kahn::{Network, Oracle, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{brock_ackermann_f, ch, even, odd};
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Event, Lasso, Trace, Value};
+
+/// Channel `b`: B's answer back into A.
+pub const B: Chan = Chan::new(104);
+/// Channel `c`: A's merged output.
+pub const C: Chan = Chan::new(105);
+
+/// The stored constant `⟨0, 2⟩`.
+pub fn stored() -> Lasso<Value> {
+    Lasso::finite(vec![Value::Int(0), Value::Int(2)])
+}
+
+/// Process A's description: `even(c) ⟸ ⟨0 2⟩`, `odd(c) ⟸ b`.
+pub fn a_description() -> Description {
+    Description::new("A")
+        .equation(even(ch(C)), SeqExpr::constant(stored()))
+        .equation(odd(ch(C)), ch(B))
+}
+
+/// Process B's description: `b ⟸ f(c)`.
+pub fn b_description() -> Description {
+    Description::new("B").defines(B, brock_ackermann_f(ch(C)))
+}
+
+/// The two-process system.
+pub fn system() -> System {
+    System::new().with(a_description()).with(b_description())
+}
+
+/// The network description after eliminating `b`:
+/// `even(c) ⟸ ⟨0 2⟩`, `odd(c) ⟸ f(c)`.
+pub fn eliminated_description() -> Description {
+    eqp_core::eliminate(&system(), B)
+        .expect("b is eliminable")
+        .flatten()
+}
+
+/// The anomalous non-computable solution `⟨0 1 2⟩` as a `c`-trace.
+pub fn anomalous_trace() -> Trace {
+    c_trace(&[0, 1, 2])
+}
+
+/// The genuine computation `⟨0 2 1⟩` as a `c`-trace.
+pub fn genuine_trace() -> Trace {
+    c_trace(&[0, 2, 1])
+}
+
+/// A `c`-only trace from integers.
+pub fn c_trace(ns: &[i64]) -> Trace {
+    Trace::finite(ns.iter().map(|&n| Event::int(C, n)).collect::<Vec<_>>())
+}
+
+/// Operational process A: fair merge of the stored `⟨0, 2⟩` with `b`.
+struct ProcA {
+    pending: std::collections::VecDeque<Value>,
+    oracle: Oracle,
+}
+
+impl ProcA {
+    fn new(oracle: Oracle) -> ProcA {
+        ProcA {
+            pending: [Value::Int(0), Value::Int(2)].into_iter().collect(),
+            oracle,
+        }
+    }
+}
+
+impl Process for ProcA {
+    fn name(&self) -> &str {
+        "A"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        let stored_ready = !self.pending.is_empty();
+        let input_ready = ctx.available(B) > 0;
+        let take_stored = match (stored_ready, input_ready) {
+            (false, false) => return StepResult::Idle,
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => self.oracle.next_bit(),
+        };
+        let v = if take_stored {
+            self.pending.pop_front().expect("nonempty")
+        } else {
+            ctx.pop(B).expect("nonempty")
+        };
+        ctx.send(C, v);
+        StepResult::Progress
+    }
+}
+
+/// Operational process B: answers `first + 1` after two inputs.
+struct ProcB {
+    first: Option<i64>,
+    seen: usize,
+    answered: bool,
+}
+
+impl Process for ProcB {
+    fn name(&self) -> &str {
+        "B"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.answered {
+            return StepResult::Idle;
+        }
+        match ctx.pop(C) {
+            Some(Value::Int(n)) => {
+                if self.first.is_none() {
+                    self.first = Some(n);
+                }
+                self.seen += 1;
+                if self.seen >= 2 {
+                    self.answered = true;
+                    ctx.send(B, Value::Int(self.first.expect("set") + 1));
+                }
+                StepResult::Progress
+            }
+            _ => StepResult::Idle,
+        }
+    }
+}
+
+/// The operational Figure 4 network. A's output `c` is consumed by B, so
+/// the run's `c`-history is the network output.
+pub fn network(oracle: Oracle) -> Network {
+    let mut net = Network::new();
+    net.add(ProcA::new(oracle));
+    net.add(ProcB {
+        first: None,
+        seen: 0,
+        answered: false,
+    });
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::{is_smooth, limit_holds, smoothness_violation};
+    use eqp_trace::ChanSet;
+    use eqp_kahn::{Adversarial, RandomSched, RoundRobin, RunOptions, Scheduler};
+
+    /// Exhaustive over every integer sequence of length ≤ 4 drawn from
+    /// {0, 1, 2}: the *equation* solutions are exactly ⟨0 1 2⟩ and
+    /// ⟨0 2 1⟩.
+    #[test]
+    fn exactly_two_solutions() {
+        let desc = eliminated_description();
+        let mut solutions = Vec::new();
+        let alphabet = [0i64, 1, 2];
+        let mut stack: Vec<Vec<i64>> = vec![vec![]];
+        while let Some(seq) = stack.pop() {
+            if limit_holds(&desc, &c_trace(&seq)) {
+                solutions.push(seq.clone());
+            }
+            if seq.len() < 4 {
+                for &a in &alphabet {
+                    let mut next = seq.clone();
+                    next.push(a);
+                    stack.push(next);
+                }
+            }
+        }
+        solutions.sort();
+        assert_eq!(solutions, vec![vec![0, 1, 2], vec![0, 2, 1]]);
+    }
+
+    /// The paper's verdicts: ⟨0 2 1⟩ smooth, ⟨0 1 2⟩ not — with the exact
+    /// violating pair (`odd(⟨0 1⟩) ⋢ f(⟨0⟩)`).
+    #[test]
+    fn smoothness_separates_the_solutions() {
+        let desc = eliminated_description();
+        assert!(is_smooth(&desc, &genuine_trace()));
+        assert!(!is_smooth(&desc, &anomalous_trace()));
+        let (u, v) = smoothness_violation(&desc, &anomalous_trace(), 8).unwrap();
+        assert_eq!(u, c_trace(&[0]));
+        assert_eq!(v, c_trace(&[0, 1]));
+    }
+
+    /// The full (uneliminated) system agrees once `b` is interleaved: the
+    /// genuine computation has a smooth witness, and *no* interleaving of
+    /// `b` events makes ⟨0 1 2⟩ smooth.
+    #[test]
+    fn full_system_agrees() {
+        let flat = system().flatten();
+        // genuine: 0, 2 out; B sees two, answers 1; A forwards 1.
+        let genuine_full = Trace::finite(vec![
+            Event::int(C, 0),
+            Event::int(C, 2),
+            Event::int(B, 1),
+            Event::int(C, 1),
+        ]);
+        assert!(is_smooth(&flat, &genuine_full));
+        // anomalous: try every insertion of the single b-event (B,1) into
+        // ⟨0 1 2⟩ — none is smooth.
+        for pos in 0..=3 {
+            let mut events = vec![Event::int(C, 0), Event::int(C, 1), Event::int(C, 2)];
+            events.insert(pos, Event::int(B, 1));
+            let t = Trace::finite(events);
+            assert!(!is_smooth(&flat, &t), "anomalous witness found: {t}");
+        }
+    }
+
+    /// Theorem 5/6 sanity on this example: projecting the genuine full
+    /// trace eliminates `b` and stays smooth; the witness reconstruction
+    /// regenerates a smooth full trace.
+    #[test]
+    fn elimination_roundtrip() {
+        let flat = system().flatten();
+        let genuine_full = Trace::finite(vec![
+            Event::int(C, 0),
+            Event::int(C, 2),
+            Event::int(B, 1),
+            Event::int(C, 1),
+        ]);
+        assert!(is_smooth(&flat, &genuine_full));
+        let projected = genuine_full.project(&ChanSet::from_chans([C]));
+        assert!(is_smooth(&eliminated_description(), &projected));
+        let h = brock_ackermann_f(ch(C));
+        let w = eqp_core::reconstruct_witness(&projected, B, &h).unwrap();
+        assert!(is_smooth(&flat, &w));
+        assert_eq!(w.project(&ChanSet::from_chans([C])), projected);
+    }
+
+    /// No schedule, seed, or oracle ever produces the anomalous ⟨0 1 2⟩.
+    #[test]
+    fn operations_never_realize_the_anomaly() {
+        let mut outputs = std::collections::BTreeSet::new();
+        for seed in 0..20u64 {
+            let mut scheds: Vec<Box<dyn Scheduler>> = vec![
+                Box::new(RoundRobin::new()),
+                Box::new(RandomSched::new(seed)),
+                Box::new(Adversarial::new(seed)),
+            ];
+            for sched in scheds.iter_mut() {
+                let mut net = network(Oracle::fair(seed, 2));
+                let run = net.run(
+                    sched,
+                    RunOptions {
+                        max_steps: 200,
+                        seed,
+                    },
+                );
+                assert!(run.quiescent);
+                let cs: Vec<i64> = run
+                    .trace
+                    .seq_on(C)
+                    .take(8)
+                    .iter()
+                    .map(|v| v.as_int().unwrap())
+                    .collect();
+                outputs.insert(cs);
+            }
+        }
+        assert!(outputs.contains(&vec![0, 2, 1]), "genuine run must occur");
+        assert!(
+            !outputs.contains(&vec![0, 1, 2]),
+            "anomalous output realized operationally!"
+        );
+        // every observed output is the genuine one
+        assert_eq!(outputs.len(), 1, "outputs: {outputs:?}");
+    }
+}

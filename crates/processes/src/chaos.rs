@@ -1,0 +1,151 @@
+//! CHAOS (Section 4.1): the process that may send *any* sequence along its
+//! output channel. Every trace is a quiescent trace; the description is
+//! `K ⟸ K` for any constant `K` — the paper *synthesizes* this description
+//! from the requirement that all traces be smooth solutions, and this
+//! module's tests replay that synthesis argument.
+
+use eqp_core::Description;
+use eqp_kahn::{Process, StepCtx, StepResult};
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Value};
+
+/// CHAOS's output channel.
+pub const B: Chan = Chan::new(32);
+
+/// The description `K ⟸ K` with `K = ε`.
+pub fn description() -> Description {
+    Description::new("CHAOS").equation(SeqExpr::epsilon(), SeqExpr::epsilon())
+}
+
+/// A `K ⟸ K` description with an arbitrary constant (any constant works;
+/// tests verify the choice is irrelevant).
+pub fn description_with_constant(k: eqp_trace::Seq) -> Description {
+    Description::new("CHAOS-K").equation(SeqExpr::constant(k.clone()), SeqExpr::constant(k))
+}
+
+/// Operational CHAOS: each step, nondeterministically emit a random
+/// integer from `0..range` or halt forever.
+pub struct ChaosProc {
+    range: i64,
+    halted: bool,
+}
+
+impl ChaosProc {
+    /// Creates operational CHAOS over messages `0..range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not positive.
+    pub fn new(range: i64) -> ChaosProc {
+        assert!(range > 0, "CHAOS needs a nonempty message alphabet");
+        ChaosProc {
+            range,
+            halted: false,
+        }
+    }
+}
+
+impl Process for ChaosProc {
+    fn name(&self) -> &str {
+        "CHAOS"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.halted {
+            return StepResult::Idle;
+        }
+        if ctx.flip() {
+            self.halted = true;
+            return StepResult::Idle;
+        }
+        let v = ctx.choose(self.range as usize) as i64;
+        ctx.send(B, Value::Int(v));
+        StepResult::Progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::is_smooth;
+    use eqp_core::{enumerate, Alphabet, EnumOptions};
+    use eqp_kahn::{Network, RoundRobin, RunOptions};
+    use eqp_trace::{Event, Lasso, Trace};
+
+    #[test]
+    fn every_trace_is_smooth() {
+        let d = description();
+        let samples = [
+            Trace::empty(),
+            Trace::finite(vec![Event::int(B, 3)]),
+            Trace::finite(vec![Event::int(B, 1), Event::int(B, 1)]),
+            Trace::lasso([], [Event::int(B, 5)]),
+        ];
+        for t in &samples {
+            assert!(is_smooth(&d, t), "CHAOS rejects {t}");
+        }
+    }
+
+    #[test]
+    fn constant_choice_is_irrelevant() {
+        let k = Lasso::finite(vec![Value::Int(42)]);
+        let d = description_with_constant(k);
+        let t = Trace::finite(vec![Event::int(B, 7)]);
+        assert!(is_smooth(&d, &t));
+        assert!(is_smooth(&d, &Trace::empty()));
+    }
+
+    /// The paper's synthesis argument (Section 4.1): if all traces are
+    /// smooth solutions of `f ⟸ g`, then `f` is constant on successive
+    /// prefixes — checked here as: for the candidate description, f(u) =
+    /// f(v) whenever `u pre v`, across samples.
+    #[test]
+    fn synthesis_argument_f_constant() {
+        let d = description();
+        let t = Trace::finite(vec![Event::int(B, 0), Event::int(B, 9)]);
+        let mut prev = None;
+        for p in t.prefixes_up_to(2) {
+            let f = d.eval_lhs(&p);
+            if let Some(q) = prev {
+                assert_eq!(f, q, "f must be constant along prefixes");
+            }
+            prev = Some(f);
+        }
+    }
+
+    #[test]
+    fn enumeration_accepts_every_node() {
+        let alpha = Alphabet::new().with_ints(B, 0, 1);
+        let e = enumerate(
+            &description(),
+            &alpha,
+            EnumOptions {
+                max_depth: 3,
+                max_nodes: 10_000,
+            },
+        );
+        // nodes: 1 + 2 + 4 + 8 = 15, all solutions
+        assert_eq!(e.solutions.len(), 15);
+        assert!(e.dead_ends.is_empty());
+    }
+
+    #[test]
+    fn operational_chaos_traces_are_smooth() {
+        for seed in 0..10u64 {
+            let mut net = Network::new();
+            net.add(ChaosProc::new(4));
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 50,
+                    seed,
+                },
+            );
+            assert!(is_smooth(&description(), &run.trace));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The copy networks of Section 2.1 (Figure 1) and Kahn's deterministic
+//! semantics.
+//!
+//! Two processes, each copying its input to its output, wired in a loop:
+//! `c = b`, `b = c`. The least fixpoint is `b = c = ε` — the network never
+//! communicates. The variant where the second process first emits a `0`
+//! (`b = 0; c`) has least fixpoint `b = c = 0^ω` — the network runs
+//! forever.
+
+use eqp_core::kahn_eqs::KahnSystem;
+use eqp_core::Description;
+use eqp_kahn::{procs, Network};
+use eqp_seqfn::paper::{ch, prepend_int};
+use eqp_trace::{Chan, Value};
+
+/// Channel `b`: output of the bottom process, input of the top one.
+pub const B: Chan = Chan::new(0);
+/// Channel `c`: output of the top process, input of the bottom one.
+pub const C: Chan = Chan::new(1);
+
+/// The plain two-copy loop as a Kahn equation system: `c = b`, `b = c`.
+pub fn plain_system() -> KahnSystem {
+    KahnSystem::new()
+        .equation(C, ch(B))
+        .equation(B, ch(C))
+}
+
+/// The variant system `c = b`, `b = 0; c` whose least solution is `0^ω`.
+pub fn seeded_system() -> KahnSystem {
+    KahnSystem::new()
+        .equation(C, ch(B))
+        .equation(B, prepend_int(0, ch(C)))
+}
+
+/// The variant as a description (`c ⟸ b`, `b ⟸ 0; c`): its unique smooth
+/// solution corresponds to the least fixpoint (Theorem 4 / Section 6).
+pub fn seeded_description() -> Description {
+    seeded_system().to_description("fig1-seeded")
+}
+
+/// The operational plain network (quiesces immediately, empty trace).
+pub fn plain_network() -> Network {
+    let mut net = Network::new();
+    net.add(procs::Copy::new("top", B, C));
+    net.add(procs::Copy::new("bottom", C, B));
+    net
+}
+
+/// The operational seeded network (`0` prelude; never quiesces).
+pub fn seeded_network() -> Network {
+    let mut net = Network::new();
+    net.add(procs::Copy::new("top", B, C));
+    net.add(procs::Copy::with_prelude("bottom", C, B, [Value::Int(0)]));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::kahn_eqs::{trace_from_seqs, SolveOptions};
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::Lasso;
+
+    #[test]
+    fn plain_lfp_is_empty_and_matches_operation() {
+        let sol = plain_system().solve(SolveOptions::default()).unwrap();
+        assert_eq!(sol.seqs, vec![Lasso::empty(), Lasso::empty()]);
+        let run = plain_network().run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert!(run.trace.is_empty());
+    }
+
+    #[test]
+    fn seeded_lfp_is_zero_omega_and_operation_approximates_it() {
+        let sol = seeded_system().solve(SolveOptions::default()).unwrap();
+        let zw = Lasso::repeat(vec![Value::Int(0)]);
+        assert_eq!(sol.seqs, vec![zw.clone(), zw.clone()]);
+        // every finite computation is a prefix of the limit
+        let run = seeded_network().run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 30,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent, "the seeded loop never terminates");
+        assert!(run.trace.seq_on(B).leq(&zw));
+        assert!(run.trace.seq_on(C).leq(&zw));
+        assert!(!run.trace.seq_on(B).is_empty());
+    }
+
+    #[test]
+    fn lfp_is_smooth_solution_of_description() {
+        let sol = seeded_system().solve(SolveOptions::default()).unwrap();
+        // Smoothness is interleaving-sensitive: the causally correct
+        // interleaving alternates B (the producer of the seed) before C.
+        let t = trace_from_seqs(&[(B, sol.seqs[1].clone()), (C, sol.seqs[0].clone())]);
+        assert!(is_smooth(&seeded_description(), &t));
+        // The reversed interleaving (C's echo before B's cause) violates
+        // smoothness even though the limit condition still holds.
+        let rev = trace_from_seqs(&[(C, sol.seqs[0].clone()), (B, sol.seqs[1].clone())]);
+        assert!(eqp_core::smooth::limit_holds(&seeded_description(), &rev));
+        assert!(!is_smooth(&seeded_description(), &rev));
+    }
+
+    #[test]
+    fn non_least_solutions_are_not_smooth() {
+        // b = c = 3̄ solves the *plain* equations but is not smooth for
+        // c ⟸ b, b ⟸ c — only ⊥ is (Section 2.1's discussion).
+        let desc = plain_system().to_description("fig1-plain");
+        let three = Lasso::finite(vec![Value::Int(3)]);
+        let t = trace_from_seqs(&[(B, three.clone()), (C, three)]);
+        // limit condition holds (both sides equal ⟨3⟩ on each equation):
+        assert!(eqp_core::smooth::limit_holds(&desc, &t));
+        // …but smoothness fails: the first event justifies itself.
+        assert!(!is_smooth(&desc, &t));
+        // and ⊥ is smooth.
+        assert!(is_smooth(&desc, &eqp_trace::Trace::empty()));
+    }
+}

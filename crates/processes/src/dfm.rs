@@ -1,0 +1,499 @@
+//! Discriminated fair merge (Section 2.2, Figure 2) and the three-process
+//! network of Section 2.3 (Figure 3).
+//!
+//! dfm merges even integers from `b` and odd integers from `c` fairly onto
+//! `d`; its description is the pair of equations
+//!
+//! ```text
+//! even(d) ⟸ b ,  odd(d) ⟸ c
+//! ```
+//!
+//! The Section 2.3 network feeds dfm with P (`b = 0; 2×d`) and Q
+//! (`c = 2×d + 1`). Eliminating `b`, `c` leaves the description
+//!
+//! ```text
+//! even(d) ⟸ 0; 2×d      (1)
+//! odd(d)  ⟸ 2×d + 1     (2)
+//! ```
+//!
+//! whose solutions include the block sequences `x` (concatenated `Bᵢ`) and
+//! `y` (concatenated `rev(Bᵢ)`) — both smooth — and `z` (concatenated
+//! `Cᵢ`, starting `-1`), a solution that is **not** smooth and corresponds
+//! to no computation.
+
+use eqp_core::{Description, System};
+use eqp_kahn::{procs, Network, Oracle, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, even, odd, prepend_int, twice, twice_plus_one};
+use eqp_trace::{Chan, Trace, Value};
+
+/// Channel `b`: even integers into dfm (output of P).
+pub const B: Chan = Chan::new(16);
+/// Channel `c`: odd integers into dfm (output of Q).
+pub const C: Chan = Chan::new(17);
+/// Channel `d`: dfm's merged output.
+pub const D: Chan = Chan::new(18);
+
+/// The dfm description: `even(d) ⟸ b`, `odd(d) ⟸ c`.
+pub fn dfm_description() -> Description {
+    Description::new("dfm")
+        .equation(even(ch(D)), ch(B))
+        .equation(odd(ch(D)), ch(C))
+}
+
+/// P's description: `b ⟸ 0; 2×d`.
+pub fn p_description() -> Description {
+    Description::new("P").defines(B, prepend_int(0, twice(ch(D))))
+}
+
+/// Q's description: `c ⟸ 2×d + 1`.
+pub fn q_description() -> Description {
+    Description::new("Q").defines(C, twice_plus_one(ch(D)))
+}
+
+/// The full Section 2.3 network as a system {P, Q, dfm}.
+pub fn section23_system() -> System {
+    System::new()
+        .with(p_description())
+        .with(q_description())
+        .with(dfm_description())
+}
+
+/// The network description after eliminating `b` and `c` — the paper's
+/// equations (1, 2) over `d` alone.
+pub fn section23_description() -> Description {
+    Description::new("sec23")
+        .equation(even(ch(D)), prepend_int(0, twice(ch(D))))
+        .equation(odd(ch(D)), twice_plus_one(ch(D)))
+}
+
+/// The block `Bᵢ = ⟨0, 1, …, 2ⁱ - 1⟩`.
+pub fn block(i: u32) -> Vec<i64> {
+    (0..(1i64 << i)).collect()
+}
+
+/// The sequence `x`: concatenation of `B₀ B₁ … Bₘ`.
+pub fn x_prefix(m: u32) -> Vec<i64> {
+    (0..=m).flat_map(block).collect()
+}
+
+/// The sequence `y`: concatenation of `rev(B₀) rev(B₁) … rev(Bₘ)`.
+pub fn y_prefix(m: u32) -> Vec<i64> {
+    (0..=m)
+        .flat_map(|i| {
+            let mut b = block(i);
+            b.reverse();
+            b
+        })
+        .collect()
+}
+
+/// The blocks `Cᵢ` of the non-computable solution `z`: `C₀ = ⟨-1⟩`,
+/// `C₁ = ⟨0, -2⟩`, and `Cᵢ₊₁` replaces each `m` of `Cᵢ` by `2m, 2m+1`.
+pub fn z_block(i: u32) -> Vec<i64> {
+    match i {
+        0 => vec![-1],
+        1 => vec![0, -2],
+        _ => z_block(i - 1)
+            .into_iter()
+            .flat_map(|m| [2 * m, 2 * m + 1])
+            .collect(),
+    }
+}
+
+/// The sequence `z`: concatenation of `C₀ C₁ … Cₘ`.
+pub fn z_prefix(m: u32) -> Vec<i64> {
+    (0..=m).flat_map(z_block).collect()
+}
+
+/// A `d`-channel trace from an integer sequence.
+pub fn d_trace(ns: &[i64]) -> Trace {
+    Trace::finite(ns.iter().map(|&n| eqp_trace::Event::int(D, n)).collect::<Vec<_>>())
+}
+
+/// The operational process P: outputs `0`, then `2×n` for every `n`
+/// received on its input relay of `d`.
+struct ProcP {
+    input: Chan,
+    sent_zero: bool,
+}
+
+impl Process for ProcP {
+    fn name(&self) -> &str {
+        "P"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if !self.sent_zero {
+            self.sent_zero = true;
+            ctx.send(B, Value::Int(0));
+            return StepResult::Progress;
+        }
+        match ctx.pop(self.input) {
+            Some(Value::Int(n)) => {
+                ctx.send(B, Value::Int(2 * n));
+                StepResult::Progress
+            }
+            _ => StepResult::Idle,
+        }
+    }
+}
+
+/// The operational Section 2.3 network: P, Q, and an oracle-driven dfm.
+///
+/// P and Q both consume `d`, so dfm's output is *broadcast* internally: a
+/// fan-out relay copies `d` into the private channels [`D_TO_P`] and
+/// [`D_TO_Q`] feeding P and Q. Trace-wise only `b`, `c`, `d` are paper
+/// channels; the relays are auxiliary (Section 8.2), so tests project them
+/// away.
+pub fn section23_network(oracle: Oracle) -> Network {
+    let mut net = Network::new();
+    net.add(ProcP {
+        input: D_TO_P,
+        sent_zero: false,
+    });
+    net.add(procs::Apply::int_affine("Q", D_TO_Q, C, 2, 1));
+    net.add(procs::Merge2::new("dfm", B, C, D, oracle));
+    net.add(Fanout);
+    net
+}
+
+/// Auxiliary channel: relay of `d` to P.
+pub const D_TO_P: Chan = Chan::new(19);
+/// Auxiliary channel: relay of `d` to Q.
+pub const D_TO_Q: Chan = Chan::new(20);
+
+/// A *strict* scripted merge: consumes inputs in exactly the order given
+/// by a bit schedule (`T` = take from `b`, `F` = take from `c`), waiting
+/// (Idle) until the designated side has data. This realizes the paper's
+/// two named computations exactly:
+///
+/// * schedule `T (T F)^ω` — "receive from b; output; receive from c;
+///   output" after the initial `0` — produces the solution **x**;
+/// * schedule `T (F T)^ω` — the swapped loop — produces **y**.
+pub struct StrictMerge {
+    schedule: eqp_trace::Lasso<bool>,
+    pos: usize,
+}
+
+impl StrictMerge {
+    /// Creates a strict merge following `schedule`.
+    pub fn new(schedule: eqp_trace::Lasso<bool>) -> StrictMerge {
+        StrictMerge { schedule, pos: 0 }
+    }
+
+    /// The schedule producing the paper's sequence x.
+    pub fn x_schedule() -> eqp_trace::Lasso<bool> {
+        eqp_trace::Lasso::lasso(vec![true], vec![true, false])
+    }
+
+    /// The schedule producing the paper's sequence y.
+    pub fn y_schedule() -> eqp_trace::Lasso<bool> {
+        eqp_trace::Lasso::lasso(vec![true], vec![false, true])
+    }
+}
+
+impl Process for StrictMerge {
+    fn name(&self) -> &str {
+        "dfm-strict"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![B, C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        let Some(&take_b) = self.schedule.get(self.pos) else {
+            return StepResult::Idle;
+        };
+        let side = if take_b { B } else { C };
+        match ctx.pop(side) {
+            Some(v) => {
+                self.pos += 1;
+                ctx.send(D, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// The Section 2.3 network with the strict scripted merge instead of the
+/// oracle merge — used to replay the paper's computations x and y.
+pub fn section23_network_scripted(schedule: eqp_trace::Lasso<bool>) -> Network {
+    let mut net = Network::new();
+    net.add(ProcP {
+        input: D_TO_P,
+        sent_zero: false,
+    });
+    net.add(procs::Apply::int_affine("Q", D_TO_Q, C, 2, 1));
+    net.add(StrictMerge::new(schedule));
+    net.add(Fanout);
+    net
+}
+
+/// Copies every `d` message to both relay channels (without recording the
+/// relays as paper-channels — they are auxiliary, Section 8.2; they *are*
+/// in the raw trace, so tests project them away).
+struct Fanout;
+
+impl Process for Fanout {
+    fn name(&self) -> &str {
+        "fanout-d"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D_TO_P, D_TO_Q]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(D) {
+            Some(v) => {
+                ctx.send(D_TO_P, v);
+                ctx.send(D_TO_Q, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::properties::{progress_naturals, safety_doubling};
+    use eqp_core::smooth::{limit_holds, smoothness_holds, smoothness_violation};
+    use eqp_trace::Lasso;
+
+    /// The paper's block identities: `even(Bᵢ₊₁) = 2×Bᵢ` and
+    /// `odd(Bᵢ₊₁) = 2×Bᵢ + 1`.
+    #[test]
+    fn block_identities() {
+        for i in 0..6 {
+            let bi = block(i);
+            let bi1 = block(i + 1);
+            let evens: Vec<i64> = bi1.iter().copied().filter(|n| n % 2 == 0).collect();
+            let odds: Vec<i64> = bi1.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+            let twice: Vec<i64> = bi.iter().map(|n| 2 * n).collect();
+            let twice1: Vec<i64> = bi.iter().map(|n| 2 * n + 1).collect();
+            assert_eq!(evens, twice);
+            assert_eq!(odds, twice1);
+        }
+    }
+
+    /// x and y satisfy the *solution* identity on prefixes: the evens of
+    /// `B₀…Bₘ₊₁` are exactly `0; 2×(B₀…Bₘ)` (and correspondingly for
+    /// odds) — the finite shadow of equations (1, 2).
+    #[test]
+    fn x_and_y_satisfy_prefix_solution_identity() {
+        for m in 0..5 {
+            for seq in [x_prefix(m + 1), y_prefix(m + 1)] {
+                let evens: Vec<i64> = seq.iter().copied().filter(|n| n % 2 == 0).collect();
+                let odds: Vec<i64> =
+                    seq.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+                let base = if seq == x_prefix(m + 1) {
+                    x_prefix(m)
+                } else {
+                    y_prefix(m)
+                };
+                let mut zero_two: Vec<i64> = vec![0];
+                zero_two.extend(base.iter().map(|n| 2 * n));
+                let two_plus: Vec<i64> = base.iter().map(|n| 2 * n + 1).collect();
+                assert_eq!(evens, zero_two, "even identity fails at m={m}");
+                assert_eq!(odds, two_plus, "odd identity fails at m={m}");
+            }
+        }
+    }
+
+    /// z also satisfies the solution identity on prefixes…
+    #[test]
+    fn z_satisfies_prefix_solution_identity() {
+        for m in 1..5 {
+            let seq = z_prefix(m + 1);
+            let base = z_prefix(m);
+            let evens: Vec<i64> = seq.iter().copied().filter(|n| n % 2 == 0).collect();
+            let odds: Vec<i64> = seq.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+            let mut zero_two: Vec<i64> = vec![0];
+            zero_two.extend(base.iter().map(|n| 2 * n));
+            let two_plus: Vec<i64> = base.iter().map(|n| 2 * n + 1).collect();
+            assert_eq!(evens, zero_two, "even identity fails at m={m}");
+            assert_eq!(odds, two_plus, "odd identity fails at m={m}");
+        }
+    }
+
+    /// …but z violates smoothness at its very first element: with `u = ε`,
+    /// `v = ⟨-1⟩`: `odd(v) = ⟨-1⟩ ⋢ 2×ε + 1 = ε` (Section 2.3).
+    #[test]
+    fn z_is_not_smooth() {
+        let desc = section23_description();
+        let z = d_trace(&z_prefix(4));
+        let (u, v) = smoothness_violation(&desc, &z, 8).expect("z must violate smoothness");
+        assert!(u.is_empty());
+        assert_eq!(v.seq_on(D), Lasso::finite(vec![Value::Int(-1)]));
+    }
+
+    /// x and y satisfy the smoothness condition on deep prefixes.
+    #[test]
+    fn x_and_y_are_smooth_paths() {
+        let desc = section23_description();
+        for seq in [x_prefix(5), y_prefix(5)] {
+            let t = d_trace(&seq);
+            assert!(smoothness_holds(&desc, &t, seq.len()));
+        }
+    }
+
+    /// Finite prefixes of x do not satisfy the limit condition (the
+    /// network always owes more output) — only the infinite x does.
+    #[test]
+    fn x_prefixes_fail_limit() {
+        let desc = section23_description();
+        assert!(!limit_holds(&desc, &d_trace(&x_prefix(4))));
+    }
+
+    /// Progress and safety (Section 2.3's equational conclusions) hold on
+    /// x and y prefixes.
+    #[test]
+    fn progress_and_safety_on_x_y() {
+        for seq in [x_prefix(6), y_prefix(6)] {
+            let t = d_trace(&seq);
+            assert!(progress_naturals(&t, D, 32, seq.len()));
+            assert!(safety_doubling(&t, D, 16, seq.len()));
+        }
+    }
+
+    /// The dfm description alone: its quiescent traces include the
+    /// Section 3.1.1 examples; order of outputs must respect per-source
+    /// order (interleaving property).
+    #[test]
+    fn dfm_solutions_are_interleavings() {
+        use eqp_core::properties::is_interleaving;
+        let desc = dfm_description();
+        let alpha = eqp_core::Alphabet::new()
+            .with_chan(B, [Value::Int(0), Value::Int(2)])
+            .with_chan(C, [Value::Int(1)])
+            .with_ints(D, 0, 2);
+        let e = eqp_core::enumerate(
+            &desc,
+            &alpha,
+            eqp_core::EnumOptions {
+                max_depth: 4,
+                max_nodes: 100_000,
+            },
+        );
+        assert!(!e.truncated);
+        for s in &e.solutions {
+            let d_out: Vec<Value> = s.seq_on(D).take(8);
+            let bs: Vec<Value> = s.seq_on(B).take(8);
+            let cs: Vec<Value> = s.seq_on(C).take(8);
+            assert!(
+                is_interleaving(&d_out, &bs, &cs, true),
+                "solution {s} output is not a complete merge"
+            );
+        }
+    }
+
+    /// Operational runs of the Section 2.3 network produce histories whose
+    /// d-sequence always satisfies the smoothness condition of (1, 2), and
+    /// under the alternating oracle the run realizes the x-pattern prefix
+    /// `0 0 1 …`.
+    #[test]
+    fn operational_runs_are_smooth_paths() {
+        use eqp_kahn::{RoundRobin, RunOptions};
+        for seed in [1u64, 7, 23] {
+            let mut net = section23_network(Oracle::fair(seed, 2));
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 120,
+                    seed,
+                },
+            );
+            assert!(!run.quiescent);
+            let dseq: Vec<i64> = run
+                .trace
+                .seq_on(D)
+                .take(64)
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            assert!(!dseq.is_empty());
+            let t = d_trace(&dseq);
+            // Every operational history is on a smooth path of (1,2):
+            assert!(
+                smoothness_holds(&section23_description(), &t, dseq.len()),
+                "seed {seed} produced non-smooth prefix {dseq:?}"
+            );
+            // first output must be 0 (P's unprompted seed, doubled path)
+            assert_eq!(dseq[0], 0);
+        }
+    }
+
+    /// The strict schedules reproduce the paper's x and y **exactly**.
+    #[test]
+    fn strict_schedules_realize_x_and_y_exactly() {
+        use eqp_kahn::{RoundRobin, RunOptions};
+        for (sched, expect, name) in [
+            (StrictMerge::x_schedule(), x_prefix(4), "x"),
+            (StrictMerge::y_schedule(), y_prefix(4), "y"),
+        ] {
+            let mut net = section23_network_scripted(sched);
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 400,
+                    seed: 0,
+                },
+            );
+            assert!(!run.quiescent);
+            let got: Vec<i64> = run
+                .trace
+                .seq_on(D)
+                .take(expect.len())
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            assert_eq!(got, expect, "schedule for {name} diverged");
+        }
+    }
+
+    #[test]
+    fn scripted_oracle_realizes_x_prefix() {
+        use eqp_kahn::{RoundRobin, RunOptions};
+        // Alternating oracle bits reproduce x's strict b/c alternation
+        // after the initial 0: x = 0 | 0 1 | 0 1 2 3 … pattern depends on
+        // queue timing; we check the weaker, characteristic property that
+        // both parities appear within the first 8 outputs (fairness).
+        let mut net = section23_network(Oracle::scripted(Lasso::repeat(vec![true, false])));
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 150,
+                seed: 0,
+            },
+        );
+        let dseq: Vec<i64> = run
+            .trace
+            .seq_on(D)
+            .take(8)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert!(dseq.iter().any(|n| n % 2 == 0));
+        assert!(dseq.iter().any(|n| n.rem_euclid(2) == 1));
+    }
+}

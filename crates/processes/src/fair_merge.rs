@@ -1,0 +1,214 @@
+//! Fair Merge (Section 4.10, Figure 7): merges integer streams `c` and `d`
+//! onto `e` such that every output is a unique input item and every finite
+//! input prefix eventually appears.
+//!
+//! The paper implements it with tagging: A tags `c`-items with 0, B tags
+//! `d`-items with 1, D fair-merges tagged streams onto the auxiliary `b`
+//! (`ZERO(b) ⟸ c'`, `ONE(b) ⟸ d'`), and C strips tags (`e ⟸ r(b)`).
+//! Eliminating `c'`, `d'` (Section 7 — done here with
+//! [`eqp_core::eliminate()`], exercising Theorems 5/6 on the paper's own
+//! example) leaves
+//!
+//! ```text
+//! ZERO(b) ⟸ t0(c) ,  ONE(b) ⟸ t1(d) ,  e ⟸ r(b)
+//! ```
+
+use eqp_core::{Description, System};
+use eqp_kahn::{procs, Network, Oracle};
+use eqp_seqfn::paper::{ch, one_filter, tag, untag, zero_filter};
+use eqp_trace::{Chan, ChanSet, Value};
+
+/// Input channel `c`.
+pub const C: Chan = Chan::new(96);
+/// Input channel `d`.
+pub const D: Chan = Chan::new(97);
+/// Output channel `e`.
+pub const E: Chan = Chan::new(98);
+/// Auxiliary tagged stream from A.
+pub const C_TAGGED: Chan = Chan::new(99);
+/// Auxiliary tagged stream from B.
+pub const D_TAGGED: Chan = Chan::new(100);
+/// Auxiliary merged tagged stream.
+pub const B: Chan = Chan::new(101);
+
+/// The five-description system before elimination.
+pub fn full_system() -> System {
+    System::new()
+        .with(Description::new("A").defines(C_TAGGED, tag(0, ch(C))))
+        .with(Description::new("B").defines(D_TAGGED, tag(1, ch(D))))
+        .with(
+            Description::new("D")
+                .equation(zero_filter(ch(B)), ch(C_TAGGED))
+                .equation(one_filter(ch(B)), ch(D_TAGGED)),
+        )
+        .with(Description::new("C").defines(E, untag(ch(B))))
+}
+
+/// The system after eliminating the tagged intermediaries `c'` and `d'`
+/// via [`eqp_core::eliminate()`].
+///
+/// # Panics
+///
+/// Panics if elimination fails — it cannot, and the tests pin that.
+pub fn eliminated_system() -> System {
+    let s1 = eqp_core::eliminate(&full_system(), C_TAGGED).expect("eliminate c'");
+    eqp_core::eliminate(&s1, D_TAGGED).expect("eliminate d'")
+}
+
+/// The hand-written target of elimination (the paper's final form).
+pub fn expected_eliminated() -> Vec<(String, Description)> {
+    vec![
+        (
+            "D".into(),
+            Description::new("D")
+                .equation(zero_filter(ch(B)), tag(0, ch(C)))
+                .equation(one_filter(ch(B)), tag(1, ch(D))),
+        ),
+        ("C".into(), Description::new("C").defines(E, untag(ch(B)))),
+    ]
+}
+
+/// Externally visible channels.
+pub fn visible_channels() -> ChanSet {
+    ChanSet::from_chans([C, D, E])
+}
+
+/// The operational Figure 7 pipeline fed by two scripted sources.
+pub fn network(cs: &[i64], ds: &[i64], oracle: Oracle) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env-c",
+        C,
+        cs.iter().map(|&n| Value::Int(n)).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Source::new(
+        "env-d",
+        D,
+        ds.iter().map(|&n| Value::Int(n)).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Apply::new("A", C, C_TAGGED, |v| match v {
+        Value::Int(n) => Value::Pair(0, n),
+        other => other,
+    }));
+    net.add(procs::Apply::new("B", D, D_TAGGED, |v| match v {
+        Value::Int(n) => Value::Pair(1, n),
+        other => other,
+    }));
+    net.add(procs::Merge2::new("D", C_TAGGED, D_TAGGED, B, oracle));
+    net.add(procs::Apply::new("C", B, E, |v| match v {
+        Value::Pair(_, n) => Value::Int(n),
+        other => other,
+    }));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::properties::is_interleaving;
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{Adversarial, RandomSched, RoundRobin, RunOptions, Scheduler};
+    use eqp_trace::{Event, Trace};
+
+    /// Elimination mechanically reproduces the paper's final description.
+    #[test]
+    fn elimination_matches_paper() {
+        let got = eliminated_system();
+        assert_eq!(got.len(), 2);
+        let expect = expected_eliminated();
+        for ((_, e), g) in expect.iter().zip(got.descriptions()) {
+            assert_eq!(e.lhs(), g.lhs(), "lhs mismatch in {}", g.name());
+            assert_eq!(e.rhs(), g.rhs(), "rhs mismatch in {}", g.name());
+        }
+    }
+
+    /// A hand-built quiescent merge trace is smooth for both the full and
+    /// the eliminated system.
+    #[test]
+    fn sample_merge_trace_is_smooth() {
+        // c = ⟨1⟩, d = ⟨7⟩, order: tag, merge (c first), untag.
+        let t = Trace::finite(vec![
+            Event::int(C, 1),
+            Event::new(C_TAGGED, Value::Pair(0, 1)),
+            Event::new(B, Value::Pair(0, 1)),
+            Event::int(E, 1),
+            Event::int(D, 7),
+            Event::new(D_TAGGED, Value::Pair(1, 7)),
+            Event::new(B, Value::Pair(1, 7)),
+            Event::int(E, 7),
+        ]);
+        assert!(is_smooth(&full_system().flatten(), &t));
+        // the eliminated system no longer mentions c', d':
+        let t_elim = t.project(&ChanSet::from_chans([C, D, E, B]));
+        assert!(is_smooth(&eliminated_system().flatten(), &t_elim));
+    }
+
+    /// Violating per-source order in the merged stream breaks smoothness
+    /// (the limit, in fact).
+    #[test]
+    fn out_of_order_merge_is_rejected() {
+        let t = Trace::finite(vec![
+            Event::int(C, 1),
+            Event::int(C, 2),
+            Event::new(B, Value::Pair(0, 2)),
+            Event::new(B, Value::Pair(0, 1)),
+            Event::int(E, 2),
+            Event::int(E, 1),
+        ]);
+        assert!(!is_smooth(&eliminated_system().flatten(), &t));
+    }
+
+    /// Operational runs under all three schedulers: `e` is a complete
+    /// order-preserving interleaving of the inputs.
+    #[test]
+    fn operational_merge_is_complete_and_ordered() {
+        let cs = [2, 4, 6, 8];
+        let ds = [1, 3, 5];
+        let mut scheds: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RoundRobin::new()),
+            Box::new(RandomSched::new(11)),
+            Box::new(Adversarial::new(13)),
+        ];
+        for sched in scheds.iter_mut() {
+            let mut net = network(&cs, &ds, Oracle::fair(3, 2));
+            let run = net.run(
+                sched,
+                RunOptions {
+                    max_steps: 500,
+                    seed: 1,
+                },
+            );
+            assert!(run.quiescent);
+            let es = run.trace.seq_on(E).take(16);
+            let cvals: Vec<Value> = cs.iter().map(|&n| Value::Int(n)).collect();
+            let dvals: Vec<Value> = ds.iter().map(|&n| Value::Int(n)).collect();
+            assert!(
+                is_interleaving(&es, &cvals, &dvals, true),
+                "scheduler {} produced a bad merge: {es:?}",
+                sched.name()
+            );
+        }
+    }
+
+    /// Operational quiescent traces satisfy the eliminated description
+    /// (projected off the tagged intermediaries).
+    #[test]
+    fn operational_traces_are_smooth() {
+        for seed in 0..6u64 {
+            let mut net = network(&[2, 4], &[1], Oracle::fair(seed, 2));
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 200,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            let t = run.trace.project(&ChanSet::from_chans([C, D, E, B]));
+            assert!(
+                is_smooth(&eliminated_system().flatten(), &t),
+                "seed {seed}: {t}"
+            );
+        }
+    }
+}

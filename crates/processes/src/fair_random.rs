@@ -1,0 +1,133 @@
+//! Fair Random Sequence (Section 4.7): outputs an infinite bit sequence
+//! with infinitely many `T`s **and** infinitely many `F`s:
+//!
+//! ```text
+//! TRUE(c) ⟸ trues ,  FALSE(c) ⟸ falses
+//! ```
+//!
+//! Fairness lives entirely in the limit condition: a sequence that is
+//! eventually all-`T` has `FALSE(c)` finite, which can never equal the
+//! infinite `falses`.
+
+use eqp_core::Description;
+use eqp_kahn::{Network, Oracle, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, false_filter, falses, true_filter, trues};
+use eqp_trace::{Chan, Event, Trace, Value};
+
+/// The output channel.
+pub const C: Chan = Chan::new(72);
+
+/// The description `TRUE(c) ⟸ trues`, `FALSE(c) ⟸ falses`.
+pub fn description() -> Description {
+    Description::new("fair-random")
+        .equation(true_filter(ch(C)), trues())
+        .equation(false_filter(ch(C)), falses())
+}
+
+/// A fair eventually-periodic trace realizing the process (the canonical
+/// `(T F)^ω` up to the scripted pattern).
+pub fn fair_trace(pattern: &[bool]) -> Trace {
+    Trace::lasso(
+        [],
+        pattern.iter().map(|&b| Event::bit(C, b)).collect::<Vec<_>>(),
+    )
+}
+
+/// Operational fair random sequence: an oracle-driven emitter (bounded
+/// alternation realizes fairness on every finite window).
+pub struct FairRandomProc {
+    oracle: Oracle,
+}
+
+impl FairRandomProc {
+    /// Creates the emitter.
+    pub fn new(oracle: Oracle) -> FairRandomProc {
+        FairRandomProc { oracle }
+    }
+}
+
+impl Process for FairRandomProc {
+    fn name(&self) -> &str {
+        "fair-random"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        let b = self.oracle.next_bit();
+        ctx.send(C, Value::Bit(b));
+        StepResult::Progress
+    }
+}
+
+/// The emitter as a one-process network.
+pub fn network(seed: u64, bound: usize) -> Network {
+    let mut net = Network::new();
+    net.add(FairRandomProc::new(Oracle::fair(seed, bound)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::{is_smooth, limit_holds};
+    use eqp_kahn::{RoundRobin, RunOptions};
+
+    #[test]
+    fn fair_lassos_are_smooth() {
+        let d = description();
+        for pattern in [
+            vec![true, false],
+            vec![false, true],
+            vec![true, true, false],
+            vec![false, false, true, true],
+        ] {
+            let t = fair_trace(&pattern);
+            assert!(is_smooth(&d, &t), "fair pattern {pattern:?} rejected");
+        }
+    }
+
+    #[test]
+    fn unfair_limits_are_rejected() {
+        let d = description();
+        // eventually all-T: FALSE(c) finite ≠ falses.
+        let all_t = fair_trace(&[true]);
+        assert!(!limit_holds(&d, &all_t));
+        let eventually_t = Trace::lasso([Event::bit(C, false)], [Event::bit(C, true)]);
+        assert!(!limit_holds(&d, &eventually_t));
+        // finite sequences are never quiescent for this process
+        assert!(!is_smooth(&d, &Trace::empty()));
+        assert!(!is_smooth(&d, &all_t.take(5)));
+    }
+
+    #[test]
+    fn finite_prefixes_stay_on_smooth_paths() {
+        let d = description();
+        let t = fair_trace(&[true, false]);
+        // smoothness (not limit) holds along every finite prefix
+        assert!(eqp_core::smooth::smoothness_holds(&d, &t, 32));
+    }
+
+    #[test]
+    fn operational_windows_contain_both_bits() {
+        let run = network(9, 3).run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 64,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent);
+        let bits = run.trace.seq_on(C).take(64);
+        for w in bits.windows(4) {
+            assert!(
+                w.iter().any(|v| *v == Value::tt()) || w.iter().any(|v| *v == Value::ff()),
+                "window without any bit?"
+            );
+        }
+        assert!(bits.contains(&Value::tt()));
+        assert!(bits.contains(&Value::ff()));
+    }
+}

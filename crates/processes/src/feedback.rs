@@ -1,0 +1,169 @@
+//! Deterministic feedback networks beyond the paper's examples —
+//! Kahn-classic loops (the naturals stream, running sums) that probe the
+//! boundary of the lasso solver and validate denotational/operational
+//! agreement where limits are *not* eventually periodic.
+//!
+//! The paper's own networks all have eventually periodic limits; the
+//! naturals network (`nats = 0; (nats + 1̄)`) does not — its least fixpoint
+//! is `0 1 2 3 …`. The Kleene solver therefore (honestly) reports failure
+//! to close the limit, while every finite iterate still agrees exactly
+//! with the operational simulator. This module pins both facts.
+
+use eqp_core::kahn_eqs::KahnSystem;
+use eqp_kahn::{procs, Network};
+use eqp_seqfn::paper::ch;
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Lasso, Value};
+
+/// The naturals stream channel.
+pub const NATS: Chan = Chan::new(112);
+/// The successor stream (internal).
+pub const SUCC: Chan = Chan::new(113);
+/// The constant ones channel (internal).
+pub const ONES: Chan = Chan::new(114);
+
+/// The naturals feedback system: `nats = 0; (nats + 1̄)` with `1̄ = 1^ω`.
+pub fn nats_system() -> KahnSystem {
+    KahnSystem::new().equation(
+        NATS,
+        SeqExpr::concat(
+            [Value::Int(0)],
+            SeqExpr::add(
+                ch(NATS),
+                SeqExpr::constant(Lasso::repeat(vec![Value::Int(1)])),
+            ),
+        ),
+    )
+}
+
+/// The operational naturals network: a feedback loop through an adder and
+/// a delay seeded with `0`.
+///
+/// `ones → (+) ← nats-delayed; (+) → succ; delay(0) of succ → nats`.
+pub fn nats_network() -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::lasso(
+        "ones",
+        ONES,
+        Lasso::repeat(vec![Value::Int(1)]),
+    ));
+    net.add(procs::Zip2::add("plus", NATS, ONES, SUCC));
+    net.add(procs::Delay::new("delay0", SUCC, NATS, [Value::Int(0)]));
+    net
+}
+
+/// The expected prefix `0, 1, 2, …, n-1`.
+pub fn nats_prefix(n: usize) -> Vec<i64> {
+    (0..n as i64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::kahn_eqs::SolveOptions;
+    use eqp_kahn::{RoundRobin, RunOptions};
+
+    /// The lasso solver cannot close a non-periodic limit — and says so
+    /// rather than fabricating one.
+    #[test]
+    fn solver_honestly_fails_on_nonperiodic_limit() {
+        let sol = nats_system().solve(SolveOptions {
+            max_iter: 48,
+            max_stride: 6,
+        });
+        assert_eq!(sol, None, "0 1 2 3 … is not eventually periodic");
+    }
+
+    /// Finite Kleene iterates agree with the operational prefixes at every
+    /// depth: iterate k yields the first k naturals (plus the seed).
+    #[test]
+    fn iterates_agree_with_operation() {
+        let sys = nats_system();
+        // manual Kleene iteration to depth 10
+        let mut x = vec![Lasso::empty()];
+        for _ in 0..10 {
+            x = sys.apply(&x);
+        }
+        let denot: Vec<i64> = x[0]
+            .take(64)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        let mut net = nats_network();
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 60,
+                seed: 0,
+            },
+        );
+        let oper: Vec<i64> = run
+            .trace
+            .seq_on(NATS)
+            .take(denot.len())
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        let n = denot.len().min(oper.len());
+        assert!(n >= 8, "need a meaningful overlap, got {n}");
+        assert_eq!(&denot[..n], &oper[..n]);
+        assert_eq!(&denot[..n], &nats_prefix(n)[..]);
+    }
+
+    /// Scheduler independence (Kahn determinism) on the feedback loop.
+    #[test]
+    fn nats_network_is_schedule_independent() {
+        use eqp_kahn::{Adversarial, RandomSched};
+        let reference = {
+            let mut net = nats_network();
+            net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 45,
+                    seed: 0,
+                },
+            )
+            .trace
+            .seq_on(NATS)
+            .take(10)
+        };
+        for seed in 0..4u64 {
+            let mut net = nats_network();
+            let run = net.run(
+                &mut RandomSched::new(seed),
+                RunOptions {
+                    max_steps: 60,
+                    seed,
+                },
+            );
+            let got = run.trace.seq_on(NATS).take(10);
+            assert_eq!(got, reference, "random seed {seed}");
+            let mut net = nats_network();
+            let run = net.run(
+                &mut Adversarial::new(seed),
+                RunOptions {
+                    max_steps: 60,
+                    seed,
+                },
+            );
+            let got = run.trace.seq_on(NATS).take(10);
+            assert_eq!(got, reference, "adversarial seed {seed}");
+        }
+    }
+
+    /// The smooth-tree view still applies: finite prefixes of the naturals
+    /// stream satisfy the smoothness condition of `nats ⟸ 0; (nats + 1̄)`.
+    #[test]
+    fn nats_prefixes_are_smooth_paths() {
+        let desc = nats_system().to_description("nats");
+        let t = eqp_trace::Trace::finite(
+            nats_prefix(8)
+                .iter()
+                .map(|&n| eqp_trace::Event::int(NATS, n))
+                .collect::<Vec<_>>(),
+        );
+        assert!(eqp_core::smooth::smoothness_holds(&desc, &t, 16));
+        // limit fails on any finite prefix (the stream never quiesces)
+        assert!(!eqp_core::smooth::limit_holds(&desc, &t));
+    }
+}

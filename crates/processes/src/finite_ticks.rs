@@ -1,0 +1,171 @@
+//! Finite Sequence of Ticks (Section 4.8): sends a finite — but unbounded
+//! — number of `T`s on `d`, then halts. `(d,T)^ω` is *not* a trace even
+//! though every `(d,T)ⁱ` is: a liveness/fairness constraint.
+//!
+//! Implementation: an auxiliary fair random sequence on `c` (Section 4.7)
+//! is copied to `d` until its first `F`:
+//!
+//! ```text
+//! d ⟸ g(c)        (g = longest F-free prefix)
+//! ```
+//!
+//! plus the fair-random description for `c`.
+
+use eqp_core::{Description, System};
+use eqp_kahn::{Network, Oracle, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, until_first_false};
+use eqp_trace::{Chan, ChanSet, Event, Trace, Value};
+
+/// The auxiliary fair-random channel.
+pub const C: Chan = Chan::new(80);
+/// The tick output channel.
+pub const D: Chan = Chan::new(81);
+
+/// The copying stage only: `d ⟸ g(c)`.
+pub fn stage_description() -> Description {
+    Description::new("finite-ticks-stage").defines(D, until_first_false(ch(C)))
+}
+
+/// The full system: the stage plus the fair-random source for `c` — the
+/// Section 4.7 description instantiated at this module's channel via
+/// [`Description::rename_channel`].
+pub fn full_system() -> System {
+    let fair_c = crate::fair_random::description()
+        .rename_channel(crate::fair_random::C, C)
+        .expect("no opaque functions in the fair-random description");
+    System::new().with(fair_c).with(stage_description())
+}
+
+/// Externally visible channels.
+pub fn visible_channels() -> ChanSet {
+    ChanSet::from_chans([D])
+}
+
+/// A quiescent trace with `n` ticks: the oracle runs `Tⁿ F …` and `d`
+/// copies the `n` ticks (the infinite fair oracle tail keeps the limit
+/// condition of the fair-random component satisfiable).
+pub fn n_tick_trace(n: usize) -> Trace {
+    let mut prefix: Vec<Event> = Vec::new();
+    for _ in 0..n {
+        prefix.push(Event::bit(C, true));
+        prefix.push(Event::bit(D, true));
+    }
+    prefix.push(Event::bit(C, false));
+    // fair tail on c only
+    Trace::lasso(prefix, [Event::bit(C, true), Event::bit(C, false)])
+}
+
+/// Operational finite ticks: consumes oracle bits, forwards ticks until
+/// the first `F`.
+pub struct FiniteTicksProc {
+    oracle: Oracle,
+    stopped: bool,
+}
+
+impl FiniteTicksProc {
+    /// Creates the process.
+    pub fn new(oracle: Oracle) -> FiniteTicksProc {
+        FiniteTicksProc {
+            oracle,
+            stopped: false,
+        }
+    }
+}
+
+impl Process for FiniteTicksProc {
+    fn name(&self) -> &str {
+        "finite-ticks"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.stopped {
+            return StepResult::Idle;
+        }
+        if self.oracle.next_bit() {
+            ctx.send(D, Value::tt());
+            StepResult::Progress
+        } else {
+            self.stopped = true;
+            StepResult::Idle
+        }
+    }
+}
+
+/// A one-process network.
+pub fn network(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.add(FiniteTicksProc::new(Oracle::fair(seed, 4)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::{is_smooth, limit_holds};
+    use eqp_kahn::{RoundRobin, RunOptions};
+
+    #[test]
+    fn n_tick_traces_are_smooth() {
+        let sys = full_system().flatten();
+        for n in 0..5 {
+            let t = n_tick_trace(n);
+            assert!(is_smooth(&sys, &t), "{n}-tick trace rejected: {t}");
+            assert_eq!(t.seq_on(D).take(10).len(), n);
+        }
+    }
+
+    #[test]
+    fn infinite_ticks_violate_the_limit() {
+        // (d,T)^ω with an all-T oracle: the fair-random component's
+        // FALSE(c) ⟸ falses fails — fairness excludes the infinite tick
+        // stream.
+        let sys = full_system().flatten();
+        let t = Trace::lasso([], [Event::bit(C, true), Event::bit(D, true)]);
+        assert!(!limit_holds(&sys, &t));
+        assert!(!is_smooth(&sys, &t));
+    }
+
+    #[test]
+    fn stage_alone_copies_until_first_false() {
+        let d = stage_description();
+        let t = Trace::finite(vec![
+            Event::bit(C, true),
+            Event::bit(D, true),
+            Event::bit(C, false),
+        ]);
+        assert!(is_smooth(&d, &t));
+        // copying past the F is rejected
+        let over = Trace::finite(vec![
+            Event::bit(C, true),
+            Event::bit(D, true),
+            Event::bit(C, false),
+            Event::bit(D, true),
+        ]);
+        assert!(!is_smooth(&d, &over));
+        // stopping early (tick owed) is not quiescent
+        let owing = Trace::finite(vec![Event::bit(C, true)]);
+        assert!(!is_smooth(&d, &owing));
+    }
+
+    #[test]
+    fn operational_tick_counts_vary_but_are_finite() {
+        let mut counts = std::collections::BTreeSet::new();
+        for seed in 0..12u64 {
+            let run = network(seed).run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 1_000,
+                    seed,
+                },
+            );
+            assert!(run.quiescent, "finite ticks must halt");
+            counts.insert(run.trace.seq_on(D).take(1_000).len());
+        }
+        assert!(counts.len() > 1, "nondeterminism should vary tick counts");
+        assert!(counts.iter().all(|&n| n <= 4 * 3), "alternation bound caps runs");
+    }
+}

@@ -1,0 +1,192 @@
+//! The folklore claim of Section 4.10: "any nondeterministic process can
+//! be implemented by a network consisting of deterministic processes and
+//! Fair-Merges." This module demonstrates the claim on two instances,
+//! checking trace-set agreement with the zoo's native processes:
+//!
+//! * **Fair Random Sequence from a fair merge** — merging the
+//!   deterministic streams `T^ω` and `F^ω` yields exactly a fair random
+//!   sequence (infinitely many of each bit — fairness of the merge *is*
+//!   the fairness of the output).
+//! * **Random Bit from a fair merge** — merging the one-element streams
+//!   `⟨T⟩` and `⟨F⟩` and keeping the first arrival implements the Random
+//!   Bit process of Section 4.3; the derived trace set refines (and here
+//!   equals) the native one.
+
+use eqp_kahn::{procs, Network, Oracle, Process, StepCtx, StepResult};
+use eqp_trace::{Chan, Lasso, Value};
+
+/// Internal: the all-`T` stream.
+pub const TRUES: Chan = Chan::new(128);
+/// Internal: the all-`F` stream.
+pub const FALSES: Chan = Chan::new(129);
+/// The merged output (fair random sequence instance).
+pub const MERGED: Chan = Chan::new(130);
+/// The random-bit output (random bit instance).
+pub const BIT: Chan = Chan::new(131);
+
+/// Fair random sequence as `fair-merge(T^ω, F^ω)`.
+pub fn fair_random_network(oracle: Oracle) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::lasso(
+        "trues",
+        TRUES,
+        Lasso::repeat(vec![Value::tt()]),
+    ));
+    net.add(procs::Source::lasso(
+        "falses",
+        FALSES,
+        Lasso::repeat(vec![Value::ff()]),
+    ));
+    net.add(procs::Merge2::new("fm", TRUES, FALSES, MERGED, oracle));
+    net
+}
+
+/// Keeps only the first message, then halts (deterministic).
+struct First {
+    input: Chan,
+    output: Chan,
+    done: bool,
+}
+
+impl Process for First {
+    fn name(&self) -> &str {
+        "first"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(self.input) {
+            Some(v) if !self.done => {
+                self.done = true;
+                ctx.send(self.output, v);
+                StepResult::Progress
+            }
+            Some(_) => StepResult::Progress, // drain and discard the rest
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// Random Bit as `first(fair-merge(⟨T⟩, ⟨F⟩))`.
+pub fn random_bit_network(oracle: Oracle) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::new("one-t", TRUES, [Value::tt()]));
+    net.add(procs::Source::new("one-f", FALSES, [Value::ff()]));
+    net.add(procs::Merge2::new("fm", TRUES, FALSES, MERGED, oracle));
+    net.add(First {
+        input: MERGED,
+        output: BIT,
+        done: false,
+    });
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::Trace;
+
+    /// The merged stream satisfies the fair-random description's
+    /// smoothness along every prefix, and both bits keep occurring —
+    /// fairness of the merge is fairness of the output.
+    #[test]
+    fn merged_ticks_form_a_fair_random_sequence() {
+        // channel-rename the §4.7 description onto MERGED:
+        let desc = crate::fair_random::description()
+            .rename_channel(crate::fair_random::C, MERGED)
+            .unwrap();
+        for seed in 0..6u64 {
+            let mut net = fair_random_network(Oracle::fair(seed, 3));
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 120,
+                    seed,
+                },
+            );
+            assert!(!run.quiescent);
+            let merged_only = run
+                .trace
+                .project(&eqp_trace::ChanSet::from_chans([MERGED]));
+            assert!(
+                eqp_core::smooth::smoothness_holds(&desc, &merged_only, 40),
+                "seed {seed}"
+            );
+            let bits = run.trace.seq_on(MERGED).take(40);
+            // bounded fairness: both bits in every window of 8
+            for w in bits.windows(8) {
+                assert!(w.contains(&Value::tt()) && w.contains(&Value::ff()));
+            }
+        }
+    }
+
+    /// The derived random bit has exactly the native trace set on its
+    /// visible channel: {⟨T⟩, ⟨F⟩}, both realized.
+    #[test]
+    fn derived_random_bit_equals_native() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..12u64 {
+            let mut net = random_bit_network(Oracle::fair(seed, 2));
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 60,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            let bit = run.trace.seq_on(BIT).take(4);
+            assert_eq!(bit.len(), 1, "exactly one bit");
+            seen.insert(bit[0]);
+            // the visible trace is smooth for the (renamed) Random Bit
+            // description:
+            let desc = crate::random_bit::bit_description()
+                .rename_channel(crate::random_bit::B, BIT)
+                .unwrap();
+            let visible = run.trace.project(&eqp_trace::ChanSet::from_chans([BIT]));
+            assert!(eqp_core::smooth::is_smooth(&desc, &visible));
+        }
+        assert_eq!(seen.len(), 2, "both bits must be realizable: {seen:?}");
+    }
+
+    /// The derived trace set, computed extensionally, equals the native
+    /// Random Bit spec (refinement in both directions).
+    #[test]
+    fn extensional_equality_with_native_spec() {
+        use eqp_core::process_spec::{refines, ProcessSpec};
+        use eqp_trace::{ChanSet, Event};
+        let native = ProcessSpec::new(
+            "random-bit",
+            ChanSet::from_chans([BIT]),
+            [
+                Trace::finite(vec![Event::bit(BIT, true)]),
+                Trace::finite(vec![Event::bit(BIT, false)]),
+            ],
+        );
+        // derive the folklore implementation's trace set operationally:
+        let derived_traces: std::collections::BTreeSet<Trace> = (0..16u64)
+            .map(|seed| {
+                let mut net = random_bit_network(Oracle::fair(seed, 2));
+                let run = net.run(
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        max_steps: 60,
+                        seed,
+                    },
+                );
+                run.trace.project(&ChanSet::from_chans([BIT]))
+            })
+            .collect();
+        let derived = ProcessSpec::new("derived", ChanSet::from_chans([BIT]), derived_traces);
+        assert!(refines(&derived, &native));
+        assert!(refines(&native, &derived), "both bits realized");
+    }
+}

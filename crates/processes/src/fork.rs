@@ -1,0 +1,159 @@
+//! Fork (Section 4.6, Figure 6): every item received on `c` is sent on
+//! one of `d`, `e` — no fairness requirement. The implementation draws an
+//! oracle bit per item from an auxiliary random bit sequence `b` (Park's
+//! oracle): `T` routes to `d`, `F` routes to `e`:
+//!
+//! ```text
+//! d ⟸ g(c, b) ,  e ⟸ h(c, b)
+//! ```
+//!
+//! where `g`/`h` select the data items at `T`/`F` oracle positions.
+
+use eqp_core::Description;
+use eqp_kahn::{Network, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, oracle_false, oracle_true};
+use eqp_trace::{Chan, ChanSet, Value};
+
+/// The auxiliary oracle channel.
+pub const B: Chan = Chan::new(64);
+/// The data input channel.
+pub const C: Chan = Chan::new(65);
+/// The first output channel (oracle `T`).
+pub const D: Chan = Chan::new(66);
+/// The second output channel (oracle `F`).
+pub const E: Chan = Chan::new(67);
+
+/// The fork description `d ⟸ g(c,b)`, `e ⟸ h(c,b)` (with the auxiliary
+/// oracle left *unconstrained* — any bit sequence on `b` steers a run; the
+/// full implementation of Figure 6 also pipes `b` from the Random Bit
+/// Sequence of Section 4.4).
+pub fn description() -> Description {
+    Description::new("fork")
+        .equation(ch(D), oracle_true(ch(C), ch(B)))
+        .equation(ch(E), oracle_false(ch(C), ch(B)))
+}
+
+/// The externally visible channels (the oracle is auxiliary).
+pub fn visible_channels() -> ChanSet {
+    ChanSet::from_chans([C, D, E])
+}
+
+/// Operational fork: routes each input per a coin flip.
+pub struct ForkProc;
+
+impl Process for ForkProc {
+    fn name(&self) -> &str {
+        "fork"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D, E]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(C) {
+            Some(v) => {
+                let to_d = ctx.flip();
+                ctx.send(if to_d { D } else { E }, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// A network feeding the given integers through the fork.
+pub fn network(inputs: &[i64]) -> Network {
+    let mut net = Network::new();
+    net.add(eqp_kahn::procs::Source::new(
+        "env",
+        C,
+        inputs.iter().map(|&n| Value::Int(n)).collect::<Vec<_>>(),
+    ));
+    net.add(ForkProc);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::properties::is_interleaving;
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::{Event, Trace};
+
+    /// Route 1, 2, 3 with oracle T F T: d gets 1 3, e gets 2.
+    #[test]
+    fn scripted_routing_is_smooth() {
+        let t = Trace::finite(vec![
+            Event::int(C, 1),
+            Event::bit(B, true),
+            Event::int(D, 1),
+            Event::int(C, 2),
+            Event::bit(B, false),
+            Event::int(E, 2),
+            Event::int(C, 3),
+            Event::bit(B, true),
+            Event::int(D, 3),
+        ]);
+        assert!(is_smooth(&description(), &t));
+    }
+
+    #[test]
+    fn routing_against_oracle_is_rejected() {
+        // oracle says T (→ d) but the item goes to e: limit fails.
+        let t = Trace::finite(vec![
+            Event::int(C, 1),
+            Event::bit(B, true),
+            Event::int(E, 1),
+        ]);
+        assert!(!is_smooth(&description(), &t));
+    }
+
+    #[test]
+    fn output_before_input_is_rejected() {
+        let t = Trace::finite(vec![
+            Event::bit(B, true),
+            Event::int(D, 1),
+            Event::int(C, 1),
+        ]);
+        assert!(!is_smooth(&description(), &t));
+    }
+
+    #[test]
+    fn unrouted_item_with_oracle_pending_is_quiescent() {
+        // An item waits but the oracle has not decided: g and h are both
+        // empty; the process may legitimately be quiescent only if no
+        // oracle bit is available — which is this trace.
+        let t = Trace::finite(vec![Event::int(C, 1)]);
+        assert!(is_smooth(&description(), &t));
+        // once the oracle bit exists, the item must be routed:
+        let owing = Trace::finite(vec![Event::int(C, 1), Event::bit(B, true)]);
+        assert!(!is_smooth(&description(), &owing));
+    }
+
+    #[test]
+    fn operational_fork_splits_preserving_order() {
+        for seed in 0..10u64 {
+            let run = network(&[1, 2, 3, 4, 5]).run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 100,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            let ds = run.trace.seq_on(D).take(8);
+            let es = run.trace.seq_on(E).take(8);
+            let cs = run.trace.seq_on(C).take(8);
+            assert!(
+                is_interleaving(&cs, &ds, &es, true),
+                "outputs are not an order-preserving split"
+            );
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Implication (Section 4.5, Figure 5): receives at most one bit on `c`,
+//! then outputs one bit on `d` — `F` if the input was `F`, arbitrary
+//! otherwise.
+//!
+//! Quiescent traces: `⊥`, `(c,T)(d,T)`, `(c,T)(d,F)`, `(c,F)(d,F)` (and
+//! their reorderings with `d` after `c`). The description uses an
+//! *auxiliary* random-bit channel `b` (Section 8.2) and the strict
+//! pointwise `AND`:
+//!
+//! ```text
+//! R(b) ⟸ T̄ ,  d ⟸ b AND c
+//! ```
+//!
+//! The module also demonstrates why `d ⟸ c AND d` is *not* a description
+//! of this process (the note the paper leaves to the reader): `(c,T)`
+//! alone — the process still owing its answer — would wrongly be
+//! quiescent, and `(c,T)(d,T)(d,T)…` self-justifies.
+
+use eqp_core::{Description, System};
+use eqp_kahn::{Network, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{and, ch, r_map, t_bar};
+use eqp_trace::{Chan, ChanSet, Value};
+
+/// The auxiliary random-bit channel (internal, Section 8.2).
+pub const B: Chan = Chan::new(56);
+/// The input channel.
+pub const C: Chan = Chan::new(57);
+/// The output channel.
+pub const D: Chan = Chan::new(58);
+
+/// The full description, including the auxiliary `b`:
+/// `R(b) ⟸ T̄`, `d ⟸ b AND c`.
+pub fn description() -> Description {
+    Description::new("implication")
+        .equation(r_map(ch(B)), t_bar())
+        .equation(ch(D), and(ch(B), ch(C)))
+}
+
+/// The same as a system (handy for composition examples).
+pub fn system() -> System {
+    System::new().with(description())
+}
+
+/// The *wrong* candidate `d ⟸ c AND d` from the paper's note.
+pub fn wrong_description() -> Description {
+    Description::new("implication-wrong").equation(ch(D), and(ch(C), ch(D)))
+}
+
+/// The non-auxiliary (externally visible) channels.
+pub fn visible_channels() -> ChanSet {
+    ChanSet::from_chans([C, D])
+}
+
+/// Operational implication: waits for one input bit, then answers.
+pub struct ImplicationProc {
+    answered: bool,
+}
+
+impl ImplicationProc {
+    /// Creates the process.
+    pub fn new() -> ImplicationProc {
+        ImplicationProc { answered: false }
+    }
+}
+
+impl Default for ImplicationProc {
+    fn default() -> Self {
+        ImplicationProc::new()
+    }
+}
+
+impl Process for ImplicationProc {
+    fn name(&self) -> &str {
+        "implication"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.answered {
+            return StepResult::Idle;
+        }
+        match ctx.pop(C) {
+            Some(Value::Bit(input)) => {
+                self.answered = true;
+                let out = if input { ctx.flip() } else { false };
+                ctx.send(D, Value::Bit(out));
+                StepResult::Progress
+            }
+            _ => StepResult::Idle,
+        }
+    }
+}
+
+/// A network feeding one scripted bit to the process.
+pub fn network(input: bool) -> Network {
+    let mut net = Network::new();
+    net.add(eqp_kahn::procs::Source::new("env", C, [Value::Bit(input)]));
+    net.add(ImplicationProc::new());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::is_smooth;
+    use eqp_core::{enumerate, Alphabet, EnumOptions};
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::{Event, Trace};
+
+    fn alpha() -> Alphabet {
+        Alphabet::new().with_bits(B).with_bits(C).with_bits(D)
+    }
+
+    /// Projected on the visible channels, the smooth solutions are exactly
+    /// the paper's four traces (as *sets of projections*; the auxiliary b
+    /// interleaves freely).
+    #[test]
+    fn visible_solutions_match_paper() {
+        let e = enumerate(
+            &description(),
+            &alpha(),
+            EnumOptions {
+                max_depth: 3,
+                max_nodes: 200_000,
+            },
+        );
+        assert!(!e.truncated);
+        let projected = e.solutions_projected(&visible_channels());
+        let expect = [
+            Trace::empty(),
+            Trace::finite(vec![Event::bit(C, true), Event::bit(D, true)]),
+            Trace::finite(vec![Event::bit(C, true), Event::bit(D, false)]),
+            Trace::finite(vec![Event::bit(C, false), Event::bit(D, false)]),
+        ];
+        for t in &expect {
+            assert!(projected.contains(t), "missing expected solution {t}");
+        }
+        // no projected solution answers T to input F
+        let bad = Trace::finite(vec![Event::bit(C, false), Event::bit(D, true)]);
+        assert!(!projected.contains(&bad));
+        // and none outputs without input (d before any c)
+        for t in &projected {
+            if let Some(events) = t.events() {
+                if let Some(first) = events.first() {
+                    assert_ne!(first.chan, D, "output before input in {t}");
+                }
+            }
+        }
+    }
+
+    /// Why `d ⟸ c AND d` is not a description of this process (the note
+    /// the paper leaves to the reader): with the strict AND, the right
+    /// side is `ε` until `d` itself is nonempty — so the smoothness
+    /// condition makes the *first output unjustifiable*. The wrong
+    /// description describes a process that never answers: its smooth
+    /// solutions are exactly the output-free traces.
+    #[test]
+    fn wrong_description_fails() {
+        let w = wrong_description();
+        // The correct quiescent trace (c,T)(d,T) is REJECTED by the wrong
+        // description — d(v) = ⟨T⟩ ⋢ (c AND d)(u) = ε:
+        let one = Trace::finite(vec![Event::bit(C, true), Event::bit(D, true)]);
+        assert!(!is_smooth(&w, &one));
+        // …and the answer-owing trace (c,T) is wrongly ACCEPTED as
+        // quiescent (limit: d = ε = c AND ε):
+        let owes = Trace::finite(vec![Event::bit(C, true)]);
+        assert!(is_smooth(&w, &owes));
+        // the real description rejects the owing trace:
+        assert!(!is_smooth(&description(), &owes));
+        // same defect on input F:
+        let lazy_f = Trace::finite(vec![Event::bit(C, false)]);
+        assert!(is_smooth(&w, &lazy_f));
+        assert!(!is_smooth(&description(), &lazy_f));
+    }
+
+    #[test]
+    fn operational_runs_project_into_solution_set() {
+        for input in [true, false] {
+            for seed in 0..6u64 {
+                let run = network(input).run(
+                    &mut RoundRobin::new(),
+                    RunOptions {
+                        max_steps: 20,
+                        seed,
+                    },
+                );
+                assert!(run.quiescent);
+                let out = run.trace.seq_on(D).take(4);
+                assert_eq!(out.len(), 1, "exactly one answer");
+                if !input {
+                    assert_eq!(out[0], Value::ff(), "F input forces F output");
+                }
+                // the operational trace (over visible channels) plus some
+                // auxiliary b assignment must be smooth; check against the
+                // visible projection of enumerated solutions:
+                let vis = run.trace.project(&visible_channels());
+                let e = enumerate(
+                    &description(),
+                    &alpha(),
+                    EnumOptions {
+                        max_depth: 3,
+                        max_nodes: 200_000,
+                    },
+                );
+                assert!(e.solutions_projected(&visible_channels()).contains(&vis));
+            }
+        }
+    }
+
+    /// The strictness question from the paper's note: with the strict AND,
+    /// `d`'s output cannot precede `c`'s input even when the oracle bit is
+    /// already `F`. (A non-strict AND would allow `F AND ⊥ = F`,
+    /// producing output before input — a different process.)
+    #[test]
+    fn strict_and_blocks_early_output() {
+        let d = description();
+        let early = Trace::finite(vec![
+            Event::bit(B, false),
+            Event::bit(D, false),
+            Event::bit(C, true),
+        ]);
+        assert!(!is_smooth(&d, &early), "strict AND must forbid {early}");
+    }
+}

@@ -1,0 +1,46 @@
+//! The PODC'89 process zoo: every example process of the paper, each with
+//! **both** a denotational description (`eqp-core`) and an operational
+//! implementation (`eqp-kahn`), so the central adequacy claim — *smooth
+//! solutions ↔ computations* — is testable process by process.
+//!
+//! | Module | Paper section | Process |
+//! |---|---|---|
+//! | [`copy`] | 2.1, Fig. 1 | copy network, `b = 0; c` variant, Kahn lfp |
+//! | [`dfm`] | 2.2–2.3, Figs. 2–3 | discriminated fair merge; the P/Q/dfm network; sequences `x`, `y`, `z` |
+//! | [`brock_ackermann`] | 2.4, Fig. 4 | the anomaly network (processes A and B) |
+//! | [`chaos`] | 4.1 | CHAOS (`K ⟸ K`) |
+//! | [`ticks`] | 4.2 | the unending tick stream (`b ⟸ T; b`) |
+//! | [`random_bit`] | 4.3–4.4 | one random bit; random bit per tick |
+//! | [`implication`] | 4.5, Fig. 5 | the implication process and its AND-of-oracle implementation |
+//! | [`fork`] | 4.6, Fig. 6 | oracle-steered fork |
+//! | [`fair_random`] | 4.7 | fair random sequence (`TRUE(c) ⟸ trues`, `FALSE(c) ⟸ falses`) |
+//! | [`finite_ticks`] | 4.8 | finitely many ticks (fairness as a liveness constraint) |
+//! | [`random_number`] | 4.9 | a random natural number |
+//! | [`fair_merge`] | 4.10, Fig. 7 | general fair merge via tagging (A, B, C, D) |
+//! | [`feedback`] | beyond the paper | Kahn-classic feedback loops (the naturals stream) probing the non-periodic-limit boundary |
+//! | [`bag`] | 8.3 | descriptions as specifications: the unordered buffer |
+//! | [`folklore`] | 4.10 | the folklore claim: nondeterministic processes from deterministic ones + fair merge |
+//!
+//! Channel numbering: each module declares its own `chans()` constants;
+//! modules never share channels, so descriptions can be composed across
+//! modules without collisions (each module's channels live in a distinct
+//! 16-wide block).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bag;
+pub mod brock_ackermann;
+pub mod chaos;
+pub mod copy;
+pub mod dfm;
+pub mod fair_merge;
+pub mod fair_random;
+pub mod feedback;
+pub mod folklore;
+pub mod finite_ticks;
+pub mod fork;
+pub mod implication;
+pub mod random_bit;
+pub mod random_number;
+pub mod ticks;

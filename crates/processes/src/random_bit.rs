@@ -1,0 +1,207 @@
+//! Random Bit (Section 4.3) and Random Bit Sequence (Section 4.4).
+//!
+//! Random Bit outputs a single `T` or `F` on `b` and halts; its
+//! description is `R(b) ⟸ T̄`, where `R` maps any defined bit to `T`. The
+//! two smooth solutions are exactly `⟨(b,T)⟩` and `⟨(b,F)⟩` — and *not*
+//! `ε`, since the process must output.
+//!
+//! Random Bit Sequence receives ticks on `c` and emits one random bit per
+//! tick: `R(b) ⟸ c`.
+
+use eqp_core::Description;
+use eqp_kahn::{Network, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, r_map, t_bar};
+use eqp_trace::{Chan, Value};
+
+/// The random bit output channel.
+pub const B: Chan = Chan::new(48);
+/// The tick input channel (Random Bit Sequence).
+pub const C: Chan = Chan::new(49);
+
+/// Random Bit: `R(b) ⟸ T̄`.
+pub fn bit_description() -> Description {
+    Description::new("random-bit").equation(r_map(ch(B)), t_bar())
+}
+
+/// Random Bit Sequence: `R(b) ⟸ c`.
+pub fn sequence_description() -> Description {
+    Description::new("random-bit-seq").equation(r_map(ch(B)), ch(C))
+}
+
+/// Operational Random Bit: flips a coin, emits the bit, halts.
+pub struct RandomBitProc {
+    done: bool,
+}
+
+impl RandomBitProc {
+    /// Creates the process.
+    pub fn new() -> RandomBitProc {
+        RandomBitProc { done: false }
+    }
+}
+
+impl Default for RandomBitProc {
+    fn default() -> Self {
+        RandomBitProc::new()
+    }
+}
+
+impl Process for RandomBitProc {
+    fn name(&self) -> &str {
+        "random-bit"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.done {
+            return StepResult::Idle;
+        }
+        self.done = true;
+        let bit = ctx.flip();
+        ctx.send(B, Value::Bit(bit));
+        StepResult::Progress
+    }
+}
+
+/// Operational Random Bit Sequence: one random bit per tick received.
+pub struct RandomBitSeqProc;
+
+impl Process for RandomBitSeqProc {
+    fn name(&self) -> &str {
+        "random-bit-seq"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![C]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![B]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(C) {
+            Some(_) => {
+                let bit = ctx.flip();
+                ctx.send(B, Value::Bit(bit));
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+}
+
+/// A network feeding `n` ticks into the random bit sequence process.
+pub fn sequence_network(n: usize) -> Network {
+    let mut net = Network::new();
+    net.add(eqp_kahn::procs::Source::new(
+        "ticker",
+        C,
+        std::iter::repeat_n(Value::tt(), n),
+    ));
+    net.add(RandomBitSeqProc);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::is_smooth;
+    use eqp_core::{enumerate, Alphabet, EnumOptions};
+    use eqp_kahn::{RoundRobin, RunOptions};
+    use eqp_trace::{Event, Trace};
+
+    #[test]
+    fn exactly_two_smooth_solutions() {
+        let alpha = Alphabet::new().with_bits(B);
+        let e = enumerate(
+            &bit_description(),
+            &alpha,
+            EnumOptions {
+                max_depth: 3,
+                max_nodes: 10_000,
+            },
+        );
+        assert_eq!(e.solutions.len(), 2);
+        let t = Trace::finite(vec![Event::bit(B, true)]);
+        let f = Trace::finite(vec![Event::bit(B, false)]);
+        assert!(e.solutions.contains(&t));
+        assert!(e.solutions.contains(&f));
+        // ε is not a solution — the process must output.
+        assert!(!is_smooth(&bit_description(), &Trace::empty()));
+        // two bits are too many.
+        let tt = Trace::finite(vec![Event::bit(B, true), Event::bit(B, false)]);
+        assert!(!is_smooth(&bit_description(), &tt));
+    }
+
+    #[test]
+    fn sequence_matches_ticks_received() {
+        let d = sequence_description();
+        // one bit per tick, bit before tick is not smooth
+        let ok = Trace::finite(vec![Event::bit(C, true), Event::bit(B, false)]);
+        assert!(is_smooth(&d, &ok));
+        let early = Trace::finite(vec![Event::bit(B, false), Event::bit(C, true)]);
+        assert!(!is_smooth(&d, &early));
+        // owing a bit is not quiescent
+        let owing = Trace::finite(vec![Event::bit(C, true)]);
+        assert!(!is_smooth(&d, &owing));
+        assert!(is_smooth(&d, &Trace::empty()));
+    }
+
+    #[test]
+    fn infinite_bit_stream_from_infinite_ticks() {
+        // c = T^ω, b alternating bits: R(b) = T^ω = c — smooth.
+        let d = sequence_description();
+        let t = Trace::lasso(
+            [],
+            [
+                Event::bit(C, true),
+                Event::bit(B, true),
+                Event::bit(C, true),
+                Event::bit(B, false),
+            ],
+        );
+        assert!(is_smooth(&d, &t));
+    }
+
+    #[test]
+    fn operational_bit_is_a_smooth_solution() {
+        for seed in 0..8u64 {
+            let mut net = Network::new();
+            net.add(RandomBitProc::new());
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 10,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            assert!(is_smooth(&bit_description(), &run.trace));
+        }
+    }
+
+    #[test]
+    fn operational_sequence_is_smooth() {
+        for seed in 0..8u64 {
+            let mut net = sequence_network(5);
+            let run = net.run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 100,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            assert!(
+                is_smooth(&sequence_description(), &run.trace),
+                "seed {seed}: {}",
+                run.trace
+            );
+            assert_eq!(run.trace.seq_on(B).take(10).len(), 5);
+        }
+    }
+}

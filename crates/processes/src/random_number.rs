@@ -1,0 +1,170 @@
+//! Random Number (Section 4.9): outputs one arbitrary natural number on
+//! `d`, then halts. Implemented by counting the `T`s of an auxiliary fair
+//! random sequence `c` up to its first `F`:
+//!
+//! ```text
+//! d ⟸ h(c)        (h = the tick count, emitted at the first F)
+//! ```
+//!
+//! This is the paper's witness that auxiliary channels are *essential*
+//! (Section 8.2): the process has unbounded nondeterminism on a single
+//! output channel.
+
+use eqp_core::{Description, System};
+use eqp_kahn::{Network, Oracle, Process, StepCtx, StepResult};
+use eqp_seqfn::paper::{ch, count_ticks};
+use eqp_trace::{Chan, ChanSet, Event, Trace, Value};
+
+/// The auxiliary fair-random channel.
+pub const C: Chan = Chan::new(88);
+/// The number output channel.
+pub const D: Chan = Chan::new(89);
+
+/// The counting stage: `d ⟸ h(c)`.
+pub fn stage_description() -> Description {
+    Description::new("random-number-stage").defines(D, count_ticks(ch(C)))
+}
+
+/// The full system including the fair-random source on `c` (the Section
+/// 4.7 description renamed onto this module's channel).
+pub fn full_system() -> System {
+    let fair_c = crate::fair_random::description()
+        .rename_channel(crate::fair_random::C, C)
+        .expect("no opaque functions in the fair-random description");
+    System::new().with(fair_c).with(stage_description())
+}
+
+/// Externally visible channels.
+pub fn visible_channels() -> ChanSet {
+    ChanSet::from_chans([D])
+}
+
+/// A quiescent trace emitting the number `n`.
+pub fn n_trace(n: usize) -> Trace {
+    let mut prefix: Vec<Event> = (0..n).map(|_| Event::bit(C, true)).collect();
+    prefix.push(Event::bit(C, false));
+    prefix.push(Event::int(D, n as i64));
+    Trace::lasso(prefix, [Event::bit(C, true), Event::bit(C, false)])
+}
+
+/// Operational random number: counts coin flips until the first `F`.
+pub struct RandomNumberProc {
+    oracle: Oracle,
+    count: i64,
+    done: bool,
+}
+
+impl RandomNumberProc {
+    /// Creates the process.
+    pub fn new(oracle: Oracle) -> RandomNumberProc {
+        RandomNumberProc {
+            oracle,
+            count: 0,
+            done: false,
+        }
+    }
+}
+
+impl Process for RandomNumberProc {
+    fn name(&self) -> &str {
+        "random-number"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![D]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.done {
+            return StepResult::Idle;
+        }
+        if self.oracle.next_bit() {
+            self.count += 1;
+            StepResult::Progress
+        } else {
+            self.done = true;
+            ctx.send(D, Value::Int(self.count));
+            StepResult::Progress
+        }
+    }
+}
+
+/// A one-process network.
+pub fn network(seed: u64) -> Network {
+    let mut net = Network::new();
+    net.add(RandomNumberProc::new(Oracle::fair(seed, 5)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{RoundRobin, RunOptions};
+
+    #[test]
+    fn every_natural_has_a_smooth_trace() {
+        let sys = full_system().flatten();
+        for n in 0..6 {
+            let t = n_trace(n);
+            assert!(is_smooth(&sys, &t), "{n}-trace rejected: {t}");
+            assert_eq!(t.seq_on(D).take(4), vec![Value::Int(n as i64)]);
+        }
+    }
+
+    #[test]
+    fn emitting_before_the_first_false_is_rejected() {
+        let d = stage_description();
+        // count announced before F arrives: smoothness violation
+        let early = Trace::finite(vec![
+            Event::bit(C, true),
+            Event::int(D, 1),
+            Event::bit(C, false),
+        ]);
+        assert!(!is_smooth(&d, &early));
+    }
+
+    #[test]
+    fn wrong_count_is_rejected() {
+        let d = stage_description();
+        let wrong = Trace::finite(vec![
+            Event::bit(C, true),
+            Event::bit(C, false),
+            Event::int(D, 2),
+        ]);
+        assert!(!is_smooth(&d, &wrong));
+        let right = Trace::finite(vec![
+            Event::bit(C, true),
+            Event::bit(C, false),
+            Event::int(D, 1),
+        ]);
+        assert!(is_smooth(&d, &right));
+    }
+
+    #[test]
+    fn withholding_the_answer_is_not_quiescent() {
+        let d = stage_description();
+        let owing = Trace::finite(vec![Event::bit(C, true), Event::bit(C, false)]);
+        assert!(!is_smooth(&d, &owing));
+    }
+
+    #[test]
+    fn operational_numbers_vary() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..16u64 {
+            let run = network(seed).run(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 1_000,
+                    seed,
+                },
+            );
+            assert!(run.quiescent);
+            let out = run.trace.seq_on(D).take(4);
+            assert_eq!(out.len(), 1);
+            seen.insert(out[0].as_int().unwrap());
+        }
+        assert!(seen.len() > 2, "unbounded choice should vary: {seen:?}");
+        assert!(seen.iter().all(|&n| (0..=5).contains(&n)));
+    }
+}

@@ -1,0 +1,91 @@
+//! Ticks (Section 4.2): the deterministic process emitting an unending
+//! stream of `T`s. Its only quiescent trace is `(b, T)^ω`; its description
+//! is `b ⟸ T; b`, whose unique smooth solution — per Theorem 4, the least
+//! fixpoint of `h(x) = T; x` — is exactly that infinite trace.
+
+use eqp_core::kahn_eqs::KahnSystem;
+use eqp_core::Description;
+use eqp_kahn::{procs, Network};
+use eqp_seqfn::paper::ch;
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Event, Lasso, Trace, Value};
+
+/// Ticks' output channel.
+pub const B: Chan = Chan::new(40);
+
+/// The description `b ⟸ T; b`.
+pub fn description() -> Description {
+    Description::new("ticks").defines(B, SeqExpr::concat([Value::tt()], ch(B)))
+}
+
+/// The same equation as a Kahn system (for least-fixpoint solving).
+pub fn system() -> KahnSystem {
+    KahnSystem::new().equation(B, SeqExpr::concat([Value::tt()], ch(B)))
+}
+
+/// The unique quiescent trace `(b, T)^ω`.
+pub fn omega_trace() -> Trace {
+    Trace::lasso([], [Event::bit(B, true)])
+}
+
+/// Operational Ticks: a lasso source.
+pub fn network() -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::lasso(
+        "ticks",
+        B,
+        Lasso::repeat(vec![Value::tt()]),
+    ));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_core::kahn_eqs::SolveOptions;
+    use eqp_core::smooth::is_smooth;
+    use eqp_kahn::{RoundRobin, RunOptions};
+
+    #[test]
+    fn omega_trace_is_smooth() {
+        assert!(is_smooth(&description(), &omega_trace()));
+    }
+
+    #[test]
+    fn finite_prefixes_are_not_solutions() {
+        let d = description();
+        for n in 0..5 {
+            assert!(!is_smooth(&d, &omega_trace().take(n)));
+        }
+    }
+
+    #[test]
+    fn lfp_of_system_is_t_omega() {
+        let sol = system().solve(SolveOptions::default()).unwrap();
+        assert_eq!(sol.seqs[0], Lasso::repeat(vec![Value::tt()]));
+        assert!(!sol.stabilized);
+    }
+
+    #[test]
+    fn wrong_bits_are_rejected() {
+        let d = description();
+        let bad = Trace::lasso([], [Event::bit(B, false)]);
+        assert!(!is_smooth(&d, &bad));
+        let mixed = Trace::lasso([Event::bit(B, true)], [Event::bit(B, false)]);
+        assert!(!is_smooth(&d, &mixed));
+    }
+
+    #[test]
+    fn operational_prefixes_approximate_omega() {
+        let run = network().run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 20,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent);
+        assert!(run.trace.leq(&omega_trace()));
+        assert_eq!(run.trace.events().unwrap().len(), 20);
+    }
+}

@@ -1,0 +1,55 @@
+//! User-defined continuous sequence functions (escape hatch).
+
+use eqp_trace::{ChanSet, Seq, Trace};
+use std::fmt::Debug;
+
+/// A user-supplied continuous function from traces to sequences.
+///
+/// Implementors **assert** continuity (monotone + lub-preserving); the
+/// workspace's property tests can check monotonicity on samples via
+/// `eqp-core`'s helpers. A custom function must also report its channel
+/// support so that Theorem 1's independence test and the composition
+/// theorem's *dc* constraint remain meaningful; `eval` must depend only on
+/// the projection of the trace onto [`SeqFunction::channels`].
+pub trait SeqFunction: Debug + Send + Sync {
+    /// Applies the function.
+    fn eval(&self, t: &Trace) -> Seq;
+
+    /// The channel support: `eval(t)` must equal `eval(t_L)` for `L` this
+    /// set.
+    fn channels(&self) -> ChanSet;
+
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_trace::{Chan, Lasso};
+
+    #[derive(Debug)]
+    struct LenCounter(Chan);
+
+    impl SeqFunction for LenCounter {
+        fn eval(&self, t: &Trace) -> Seq {
+            // ⟨T, T, …⟩ one tick per message on the channel (continuous).
+            t.seq_on(self.0).map(|_| eqp_trace::Value::Bit(true))
+        }
+        fn channels(&self) -> ChanSet {
+            ChanSet::from_chans([self.0])
+        }
+        fn name(&self) -> &str {
+            "len-counter"
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let f: Box<dyn SeqFunction> = Box::new(LenCounter(Chan::new(0)));
+        let t = Trace::finite(vec![eqp_trace::Event::int(Chan::new(0), 5)]);
+        assert_eq!(f.eval(&t), Lasso::finite(vec![eqp_trace::Value::tt()]));
+        assert_eq!(f.name(), "len-counter");
+        assert!(f.channels().contains(Chan::new(0)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Pointwise value operations: the predicates, maps, and binary combiners
+//! that [`crate::SeqExpr`] lifts over sequences.
+//!
+//! These are first-order enums (not closures) so that expressions are
+//! `Clone + Eq + Hash + Debug` — the substitution and independence
+//! machinery of the core theory depends on that.
+
+use eqp_trace::Value;
+use std::fmt;
+
+/// A pointwise predicate on message values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValuePred {
+    /// Even integers — the paper's `even` (Section 2.2).
+    IsEvenInt,
+    /// Odd integers — the paper's `odd`.
+    IsOddInt,
+    /// The bit `T` — the paper's `TRUE` filter (Section 4.7).
+    IsTrue,
+    /// The bit `F` — the paper's `FALSE` filter.
+    IsFalse,
+    /// Tagged pairs with the given tag — `ZERO`/`ONE` of Section 4.10.
+    TagIs(u8),
+    /// Integers equal to the given constant.
+    IntIs(i64),
+}
+
+impl ValuePred {
+    /// Evaluates the predicate on one value.
+    pub fn test(self, v: &Value) -> bool {
+        match self {
+            ValuePred::IsEvenInt => v.is_even_int(),
+            ValuePred::IsOddInt => v.is_odd_int(),
+            ValuePred::IsTrue => *v == Value::Bit(true),
+            ValuePred::IsFalse => *v == Value::Bit(false),
+            ValuePred::TagIs(t) => matches!(v, Value::Pair(tag, _) if *tag == t),
+            ValuePred::IntIs(n) => matches!(v, Value::Int(m) if *m == n),
+        }
+    }
+}
+
+impl fmt::Display for ValuePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValuePred::IsEvenInt => write!(f, "even"),
+            ValuePred::IsOddInt => write!(f, "odd"),
+            ValuePred::IsTrue => write!(f, "TRUE"),
+            ValuePred::IsFalse => write!(f, "FALSE"),
+            ValuePred::TagIs(0) => write!(f, "ZERO"),
+            ValuePred::TagIs(1) => write!(f, "ONE"),
+            ValuePred::TagIs(t) => write!(f, "TAG={t}"),
+            ValuePred::IntIs(n) => write!(f, "={n}"),
+        }
+    }
+}
+
+/// A pointwise map on message values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueMap {
+    /// `n ↦ a·n + b` on integers — the paper's `2×d` is `Affine{a:2,b:0}`,
+    /// `2×d + 1` is `Affine{a:2,b:1}`. Non-integers pass through
+    /// unchanged (the paper never mixes them).
+    Affine {
+        /// Multiplier.
+        a: i64,
+        /// Offset.
+        b: i64,
+    },
+    /// The paper's `R` (Section 4.3): `T ↦ T`, `F ↦ T` — the pointwise
+    /// map that erases which bit was chosen.
+    R,
+    /// `n ↦ (tag, n)` — the tagging functions `t0`, `t1` of Section 4.10.
+    Tag(u8),
+    /// `(tag, n) ↦ n` — the projection `r` of Section 4.10 (process C
+    /// outputs the second component of every pair).
+    Untag,
+}
+
+impl ValueMap {
+    /// Applies the map to one value.
+    pub fn apply(self, v: &Value) -> Value {
+        match self {
+            ValueMap::Affine { a, b } => match v {
+                Value::Int(n) => Value::Int(a * n + b),
+                other => *other,
+            },
+            ValueMap::R => match v {
+                Value::Bit(_) => Value::Bit(true),
+                other => *other,
+            },
+            ValueMap::Tag(t) => match v {
+                Value::Int(n) => Value::Pair(t, *n),
+                other => *other,
+            },
+            ValueMap::Untag => match v {
+                Value::Pair(_, n) => Value::Int(*n),
+                other => *other,
+            },
+        }
+    }
+}
+
+impl fmt::Display for ValueMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueMap::Affine { a, b } if *b == 0 => write!(f, "{a}×"),
+            ValueMap::Affine { a, b } => write!(f, "{a}×+{b}"),
+            ValueMap::R => write!(f, "R"),
+            ValueMap::Tag(t) => write!(f, "tag{t}"),
+            ValueMap::Untag => write!(f, "untag"),
+        }
+    }
+}
+
+/// A pointwise binary combiner on message values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueZip {
+    /// The strict `AND` of Section 4.5: `T AND T = T`, anything else
+    /// involving a defined bit is `F`. (Strictness in ⊥ is modeled by the
+    /// zip's length being the min of the operand lengths: a missing
+    /// operand element yields *no* output element, exactly "result is ⊥ if
+    /// either argument is ⊥" pointwise.)
+    And,
+    /// Pairing: `x, y ↦` a tagged pair is not expressible in [`Value`];
+    /// instead `AddInts` combines two integer streams by addition (used in
+    /// tests and synthetic workloads).
+    AddInts,
+}
+
+impl ValueZip {
+    /// Applies the combiner to one pair of values.
+    pub fn apply(self, x: &Value, y: &Value) -> Value {
+        match self {
+            ValueZip::And => match (x, y) {
+                (Value::Bit(a), Value::Bit(b)) => Value::Bit(*a && *b),
+                _ => Value::Bit(false),
+            },
+            ValueZip::AddInts => match (x, y) {
+                (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                _ => Value::Int(0),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ValueZip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueZip::And => write!(f, "AND"),
+            ValueZip::AddInts => write!(f, "+"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preds() {
+        assert!(ValuePred::IsEvenInt.test(&Value::Int(4)));
+        assert!(ValuePred::IsOddInt.test(&Value::Int(-3)));
+        assert!(ValuePred::IsTrue.test(&Value::tt()));
+        assert!(ValuePred::IsFalse.test(&Value::ff()));
+        assert!(ValuePred::TagIs(1).test(&Value::Pair(1, 5)));
+        assert!(!ValuePred::TagIs(0).test(&Value::Pair(1, 5)));
+        assert!(ValuePred::IntIs(7).test(&Value::Int(7)));
+        assert!(!ValuePred::IntIs(7).test(&Value::Bit(true)));
+    }
+
+    #[test]
+    fn maps() {
+        assert_eq!(
+            ValueMap::Affine { a: 2, b: 1 }.apply(&Value::Int(3)),
+            Value::Int(7)
+        );
+        assert_eq!(ValueMap::R.apply(&Value::ff()), Value::tt());
+        assert_eq!(ValueMap::R.apply(&Value::tt()), Value::tt());
+        assert_eq!(ValueMap::Tag(0).apply(&Value::Int(9)), Value::Pair(0, 9));
+        assert_eq!(ValueMap::Untag.apply(&Value::Pair(1, 9)), Value::Int(9));
+    }
+
+    #[test]
+    fn zips() {
+        assert_eq!(
+            ValueZip::And.apply(&Value::tt(), &Value::tt()),
+            Value::tt()
+        );
+        assert_eq!(
+            ValueZip::And.apply(&Value::tt(), &Value::ff()),
+            Value::ff()
+        );
+        assert_eq!(
+            ValueZip::AddInts.apply(&Value::Int(2), &Value::Int(3)),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ValuePred::IsEvenInt.to_string(), "even");
+        assert_eq!(ValuePred::TagIs(0).to_string(), "ZERO");
+        assert_eq!(ValueMap::Affine { a: 2, b: 0 }.to_string(), "2×");
+        assert_eq!(ValueMap::Affine { a: 2, b: 1 }.to_string(), "2×+1");
+        assert_eq!(ValueZip::And.to_string(), "AND");
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's named functions, as convenience constructors.
+//!
+//! Each function here mirrors one introduced in Sections 2 and 4, so that
+//! descriptions in `eqp-processes` read like the paper's equations.
+
+use crate::expr::SeqExpr;
+use crate::ops::{ValuePred, ValueZip};
+use eqp_trace::{Chan, Lasso, Value};
+
+/// `even(e)` — subsequence of even integers (Section 2.2).
+pub fn even(e: SeqExpr) -> SeqExpr {
+    SeqExpr::even(e)
+}
+
+/// `odd(e)` — subsequence of odd integers (Section 2.2).
+pub fn odd(e: SeqExpr) -> SeqExpr {
+    SeqExpr::odd(e)
+}
+
+/// `2 × e` — every element doubled (Section 2.3).
+pub fn twice(e: SeqExpr) -> SeqExpr {
+    SeqExpr::affine(2, 0, e)
+}
+
+/// `2 × e + 1` (Section 2.3).
+pub fn twice_plus_one(e: SeqExpr) -> SeqExpr {
+    SeqExpr::affine(2, 1, e)
+}
+
+/// `n; e` — prepend the integer `n` (Section 2.1's `b = 0; c`).
+pub fn prepend_int(n: i64, e: SeqExpr) -> SeqExpr {
+    SeqExpr::concat([Value::Int(n)], e)
+}
+
+/// `R(e)` — Section 4.3's pointwise `R`: any defined bit becomes `T`.
+pub fn r_map(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Map(crate::ops::ValueMap::R, Box::new(e))
+}
+
+/// The constant sequence `T̄` = ⟨T⟩ (Section 4.3).
+pub fn t_bar() -> SeqExpr {
+    SeqExpr::constant(Lasso::finite(vec![Value::tt()]))
+}
+
+/// `trues` — the infinite sequence of `T`s (Section 4.7).
+pub fn trues() -> SeqExpr {
+    SeqExpr::constant(Lasso::repeat(vec![Value::tt()]))
+}
+
+/// `falses` — the infinite sequence of `F`s (Section 4.7).
+pub fn falses() -> SeqExpr {
+    SeqExpr::constant(Lasso::repeat(vec![Value::ff()]))
+}
+
+/// `TRUE(e)` — subsequence of `T`s (Section 4.7).
+pub fn true_filter(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Filter(ValuePred::IsTrue, Box::new(e))
+}
+
+/// `FALSE(e)` — subsequence of `F`s (Section 4.7).
+pub fn false_filter(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Filter(ValuePred::IsFalse, Box::new(e))
+}
+
+/// `e₁ AND e₂` — pointwise strict AND (Section 4.5).
+pub fn and(a: SeqExpr, b: SeqExpr) -> SeqExpr {
+    SeqExpr::Zip(ValueZip::And, Box::new(a), Box::new(b))
+}
+
+/// Section 4.6's `g(c, b)`: elements of `data` where `oracle` reads `T`.
+pub fn oracle_true(data: SeqExpr, oracle: SeqExpr) -> SeqExpr {
+    SeqExpr::OracleSelect {
+        data: Box::new(data),
+        oracle: Box::new(oracle),
+        keep: true,
+    }
+}
+
+/// Section 4.6's `h(c, b)`: elements of `data` where `oracle` reads `F`.
+pub fn oracle_false(data: SeqExpr, oracle: SeqExpr) -> SeqExpr {
+    SeqExpr::OracleSelect {
+        data: Box::new(data),
+        oracle: Box::new(oracle),
+        keep: false,
+    }
+}
+
+/// Section 4.8's `g`: longest prefix containing no `F`.
+pub fn until_first_false(e: SeqExpr) -> SeqExpr {
+    SeqExpr::TakeWhile(ValuePred::IsTrue, Box::new(e))
+}
+
+/// Section 4.9's `h`: the count of `T`s, emitted at the first `F`.
+pub fn count_ticks(e: SeqExpr) -> SeqExpr {
+    SeqExpr::CountTicks(Box::new(e))
+}
+
+/// Section 4.10's `t0`/`t1`: tag every integer with 0 or 1.
+pub fn tag(tag: u8, e: SeqExpr) -> SeqExpr {
+    SeqExpr::Map(crate::ops::ValueMap::Tag(tag), Box::new(e))
+}
+
+/// Section 4.10's `r`: drop tags, keeping the integer payloads.
+pub fn untag(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Map(crate::ops::ValueMap::Untag, Box::new(e))
+}
+
+/// Section 4.10's `ZERO`: subsequence of pairs tagged 0.
+pub fn zero_filter(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Filter(ValuePred::TagIs(0), Box::new(e))
+}
+
+/// Section 4.10's `ONE`: subsequence of pairs tagged 1.
+pub fn one_filter(e: SeqExpr) -> SeqExpr {
+    SeqExpr::Filter(ValuePred::TagIs(1), Box::new(e))
+}
+
+/// Section 2.4's Brock–Ackermann `f`: `f(ε) = f(⟨n⟩) = ε`,
+/// `f(n; m; x) = ⟨n + 1⟩`.
+pub fn brock_ackermann_f(e: SeqExpr) -> SeqExpr {
+    SeqExpr::EmitFirstAfter {
+        need: 2,
+        add: 1,
+        input: Box::new(e),
+    }
+}
+
+/// Shorthand: the projection onto a channel, the paper's use of a channel
+/// name as a function.
+pub fn ch(c: Chan) -> SeqExpr {
+    SeqExpr::chan(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqp_trace::{Event, Trace};
+
+    fn c0() -> Chan {
+        Chan::new(0)
+    }
+
+    #[test]
+    fn paper_names_evaluate() {
+        let t = Trace::finite(vec![
+            Event::int(c0(), 1),
+            Event::int(c0(), 2),
+            Event::int(c0(), 3),
+        ]);
+        assert_eq!(
+            twice(ch(c0())).eval(&t),
+            Lasso::finite(vec![Value::Int(2), Value::Int(4), Value::Int(6)])
+        );
+        assert_eq!(
+            twice_plus_one(ch(c0())).eval(&t),
+            Lasso::finite(vec![Value::Int(3), Value::Int(5), Value::Int(7)])
+        );
+        assert_eq!(
+            prepend_int(0, ch(c0())).eval(&t).take(1),
+            vec![Value::Int(0)]
+        );
+    }
+
+    #[test]
+    fn trues_falses_are_infinite() {
+        assert!(trues().eval(&Trace::empty()).is_infinite());
+        assert!(falses().eval(&Trace::empty()).is_infinite());
+        assert_eq!(t_bar().eval(&Trace::empty()).take(2), vec![Value::tt()]);
+    }
+
+    #[test]
+    fn tagging_roundtrip() {
+        let t = Trace::finite(vec![Event::int(c0(), 5)]);
+        let tagged = tag(1, ch(c0())).eval(&t);
+        assert_eq!(tagged, Lasso::finite(vec![Value::Pair(1, 5)]));
+        let back = untag(tag(1, ch(c0()))).eval(&t);
+        assert_eq!(back, Lasso::finite(vec![Value::Int(5)]));
+    }
+
+    #[test]
+    fn zero_one_filters() {
+        let t = Trace::finite(vec![
+            Event::new(c0(), Value::Pair(0, 1)),
+            Event::new(c0(), Value::Pair(1, 2)),
+            Event::new(c0(), Value::Pair(0, 3)),
+        ]);
+        assert_eq!(
+            zero_filter(ch(c0())).eval(&t),
+            Lasso::finite(vec![Value::Pair(0, 1), Value::Pair(0, 3)])
+        );
+        assert_eq!(
+            one_filter(ch(c0())).eval(&t),
+            Lasso::finite(vec![Value::Pair(1, 2)])
+        );
+    }
+
+    #[test]
+    fn r_map_erases_choice() {
+        let t = Trace::finite(vec![Event::bit(c0(), false), Event::bit(c0(), true)]);
+        assert_eq!(
+            r_map(ch(c0())).eval(&t),
+            Lasso::finite(vec![Value::tt(), Value::tt()])
+        );
+    }
+}

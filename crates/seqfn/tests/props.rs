@@ -1,0 +1,199 @@
+//! Property tests: every generated `SeqExpr` is monotone, continuous on
+//! prefix chains, and depends only on its reported channel support.
+
+use eqp_seqfn::{SeqExpr, ValueMap, ValuePred, ValueZip};
+use eqp_trace::{Chan, Event, Trace, Value};
+use proptest::prelude::*;
+
+fn leaf() -> impl Strategy<Value = SeqExpr> {
+    prop_oneof![
+        (0u32..3).prop_map(|c| SeqExpr::chan(Chan::new(c))),
+        proptest::collection::vec(-3i64..4, 0..3)
+            .prop_map(SeqExpr::const_ints),
+        Just(SeqExpr::constant(eqp_trace::Lasso::repeat(vec![
+            Value::Int(0),
+            Value::Int(1)
+        ]))),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = ValuePred> {
+    prop_oneof![
+        Just(ValuePred::IsEvenInt),
+        Just(ValuePred::IsOddInt),
+        Just(ValuePred::IsTrue),
+        Just(ValuePred::IsFalse),
+        Just(ValuePred::TagIs(0)),
+        Just(ValuePred::IntIs(1)),
+    ]
+}
+
+fn vmap() -> impl Strategy<Value = ValueMap> {
+    prop_oneof![
+        (-2i64..3, -2i64..3).prop_map(|(a, b)| ValueMap::Affine { a, b }),
+        Just(ValueMap::R),
+        Just(ValueMap::Tag(0)),
+        Just(ValueMap::Untag),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = SeqExpr> {
+    leaf().prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (proptest::collection::vec(-2i64..3, 0..3), inner.clone()).prop_map(
+                |(ns, e)| SeqExpr::concat(ns.into_iter().map(Value::Int), e)
+            ),
+            (vmap(), inner.clone()).prop_map(|(m, e)| SeqExpr::Map(m, Box::new(e))),
+            (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::Filter(p, Box::new(e))),
+            (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::TakeWhile(p, Box::new(e))),
+            (0usize..4, inner.clone()).prop_map(|(n, e)| SeqExpr::Skip(n, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SeqExpr::Zip(
+                ValueZip::And,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(d, o, k)| {
+                SeqExpr::OracleSelect {
+                    data: Box::new(d),
+                    oracle: Box::new(o),
+                    keep: k,
+                }
+            }),
+            inner.clone().prop_map(|e| SeqExpr::CountTicks(Box::new(e))),
+            (1usize..4, -1i64..2, inner).prop_map(|(need, add, e)| {
+                SeqExpr::EmitFirstAfter {
+                    need,
+                    add,
+                    input: Box::new(e),
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u32..3, prop_oneof![
+        (-3i64..4).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bit),
+        (0u8..2, -2i64..3).prop_map(|(t, n)| Value::Pair(t, n)),
+    ])
+        .prop_map(|(c, v)| Event::new(Chan::new(c), v))
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(arb_event(), 0..8),
+        proptest::collection::vec(arb_event(), 0..4),
+    )
+        .prop_map(|(p, c)| Trace::lasso(p, c))
+}
+
+fn arb_finite_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(arb_event(), 0..10).prop_map(Trace::finite)
+}
+
+proptest! {
+    /// Monotonicity: u ⊑ v ⇒ eval(u) ⊑ eval(v), with v an extension of u.
+    #[test]
+    fn monotone_on_extensions(
+        e in expr(),
+        t in arb_finite_trace(),
+        extra in proptest::collection::vec(arb_event(), 0..5),
+        cut in 0usize..10,
+    ) {
+        let events = t.events().unwrap().to_vec();
+        let cut = cut.min(events.len());
+        let u = Trace::finite(events[..cut].to_vec());
+        let mut w = events.clone();
+        w.extend(extra);
+        let v = Trace::finite(w);
+        prop_assert!(u.leq(&v));
+        prop_assert!(
+            e.eval(&u).leq(&e.eval(&v)),
+            "expr {} not monotone: {} vs {}", e, e.eval(&u), e.eval(&v)
+        );
+    }
+
+    /// Monotonicity along a lasso's own prefix chain, converging to the
+    /// lasso's value: eval(t.take(n)) ⊑ eval(t) for all n (continuity's
+    /// "bounded by the limit" half on infinite inputs).
+    #[test]
+    fn prefix_evals_below_limit(e in expr(), t in arb_trace(), n in 0usize..24) {
+        let p = t.take(n);
+        prop_assert!(
+            e.eval(&p).leq(&e.eval(&t)),
+            "expr {} at prefix {}: {} ⋢ {}", e, n, e.eval(&p), e.eval(&t)
+        );
+    }
+
+    /// Finite continuity: on a finite trace, the eval of the full trace is
+    /// the lub (last element) of the evals of its prefix chain.
+    #[test]
+    fn finite_chain_reaches_eval(e in expr(), t in arb_finite_trace()) {
+        let evals: Vec<_> = t
+            .prefixes_up_to(t.events().unwrap().len())
+            .map(|p| e.eval(&p))
+            .collect();
+        // ascending
+        for w in evals.windows(2) {
+            prop_assert!(w[0].leq(&w[1]));
+        }
+        prop_assert_eq!(evals.last().unwrap(), &e.eval(&t));
+    }
+
+    /// Support: eval(t) = eval(t projected onto the reported channels).
+    #[test]
+    fn eval_depends_only_on_support(e in expr(), t in arb_trace()) {
+        let l = e.channels();
+        prop_assert_eq!(e.eval(&t), e.eval(&t.project(&l)));
+    }
+
+    /// Substituting a channel outside the support is the identity.
+    #[test]
+    fn subst_outside_support_is_identity(e in expr(), t in arb_trace()) {
+        let free = Chan::new(99);
+        let sub = e.subst_chan(free, &SeqExpr::epsilon()).unwrap();
+        prop_assert_eq!(e.eval(&t), sub.eval(&t));
+    }
+
+    /// Substitution semantics: replacing channel c by expression h in e,
+    /// then evaluating on t, equals evaluating e on a trace where channel
+    /// c's events are replaced by h(t)'s values — for e whose only use of
+    /// c is via projection (always true in this AST).
+    #[test]
+    fn subst_semantic_on_rebuilt_trace(e in expr(), t in arb_finite_trace()) {
+        let c = Chan::new(1);
+        let h = SeqExpr::affine(2, 0, SeqExpr::chan(Chan::new(0)));
+        let e2 = e.subst_chan(c, &h).unwrap();
+        // Build t' = t without channel-1 events, followed by h(t) sent on
+        // channel 1. Since all our combinators read channels as whole
+        // sequences (order across channels is irrelevant), eval(e2, t)
+        // must equal eval(e, t').
+        let keep: Vec<Event> = t
+            .events()
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|ev| ev.chan != c)
+            .collect();
+        let hv = h.eval(&t);
+        let mut rebuilt = keep;
+        if let Some(n) = hv.len().as_finite() {
+            for i in 0..n {
+                rebuilt.push(Event::new(c, *hv.get(i).unwrap()));
+            }
+            let tp = Trace::finite(rebuilt);
+            prop_assert_eq!(e2.eval(&t), e.eval(&tp));
+        }
+    }
+
+    /// Expression evaluation on eventually periodic traces yields lassos
+    /// that agree with evaluation on long finite unrollings.
+    #[test]
+    fn lasso_eval_agrees_with_unrolling(e in expr(), t in arb_trace()) {
+        let limit = e.eval(&t);
+        let deep = e.eval(&t.take(96));
+        // the deep finite approximation must be a prefix of the limit
+        prop_assert!(deep.leq(&limit), "expr {}: {} ⋢ {}", e, deep, limit);
+    }
+}

@@ -1,0 +1,187 @@
+//! Channel identifiers and channel sets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A channel identifier.
+///
+/// The paper fixes a set *channels*; we identify channels by small integers
+/// and let networks attach human-readable names where useful. `Chan` is
+/// deliberately a cheap `Copy` key so traces and channel sets stay compact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Chan(u32);
+
+impl Chan {
+    /// Creates the channel with index `id`.
+    pub const fn new(id: u32) -> Chan {
+        Chan(id)
+    }
+
+    /// The underlying index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Chan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+impl From<u32> for Chan {
+    fn from(id: u32) -> Self {
+        Chan(id)
+    }
+}
+
+/// A finite set of channels — the *incident channels* of a process, or the
+/// subset `L` a trace is projected on.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChanSet {
+    chans: BTreeSet<Chan>,
+}
+
+impl ChanSet {
+    /// The empty channel set.
+    pub fn new() -> ChanSet {
+        ChanSet::default()
+    }
+
+    /// Builds a channel set from the given channels.
+    pub fn from_chans<I: IntoIterator<Item = Chan>>(chans: I) -> ChanSet {
+        ChanSet {
+            chans: chans.into_iter().collect(),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Chan) -> bool {
+        self.chans.contains(&c)
+    }
+
+    /// Adds a channel; returns `true` if it was new.
+    pub fn insert(&mut self, c: Chan) -> bool {
+        self.chans.insert(c)
+    }
+
+    /// Removes a channel; returns `true` if it was present.
+    pub fn remove(&mut self, c: Chan) -> bool {
+        self.chans.remove(&c)
+    }
+
+    /// Number of channels in the set.
+    pub fn len(&self) -> usize {
+        self.chans.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chans.is_empty()
+    }
+
+    /// Iterates the channels in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = Chan> + '_ {
+        self.chans.iter().copied()
+    }
+
+    /// Set union — the incident channels of a network are the union of the
+    /// incident channels of its components (Section 3.1.2).
+    pub fn union(&self, other: &ChanSet) -> ChanSet {
+        ChanSet {
+            chans: self.chans.union(&other.chans).copied().collect(),
+        }
+    }
+
+    /// Set difference: channels in `self` but not `other` — used by
+    /// variable elimination (`c` is *channels* minus the eliminated `b`,
+    /// Section 7).
+    pub fn difference(&self, other: &ChanSet) -> ChanSet {
+        ChanSet {
+            chans: self.chans.difference(&other.chans).copied().collect(),
+        }
+    }
+
+    /// True iff the two sets share no channel — the *independence* premise
+    /// of Theorem 1 requires disjoint supports.
+    pub fn is_disjoint(&self, other: &ChanSet) -> bool {
+        self.chans.is_disjoint(&other.chans)
+    }
+
+    /// True iff every channel of `self` is in `other`.
+    pub fn is_subset(&self, other: &ChanSet) -> bool {
+        self.chans.is_subset(&other.chans)
+    }
+}
+
+impl FromIterator<Chan> for ChanSet {
+    fn from_iter<I: IntoIterator<Item = Chan>>(iter: I) -> Self {
+        ChanSet::from_chans(iter)
+    }
+}
+
+impl Extend<Chan> for ChanSet {
+    fn extend<I: IntoIterator<Item = Chan>>(&mut self, iter: I) {
+        self.chans.extend(iter);
+    }
+}
+
+impl fmt::Display for ChanSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(ids: &[u32]) -> ChanSet {
+        ids.iter().map(|&i| Chan::new(i)).collect()
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let s = cs(&[0, 2, 5]);
+        assert!(s.contains(Chan::new(2)));
+        assert!(!s.contains(Chan::new(1)));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(ChanSet::new().is_empty());
+    }
+
+    #[test]
+    fn union_difference_disjoint() {
+        let a = cs(&[0, 1]);
+        let b = cs(&[1, 2]);
+        assert_eq!(a.union(&b), cs(&[0, 1, 2]));
+        assert_eq!(a.difference(&b), cs(&[0]));
+        assert!(!a.is_disjoint(&b));
+        assert!(cs(&[0]).is_disjoint(&cs(&[1])));
+        assert!(cs(&[0]).is_subset(&cs(&[0, 1])));
+        assert!(!cs(&[0, 2]).is_subset(&cs(&[0, 1])));
+    }
+
+    #[test]
+    fn insert_remove() {
+        let mut s = ChanSet::new();
+        assert!(s.insert(Chan::new(3)));
+        assert!(!s.insert(Chan::new(3)));
+        assert!(s.remove(Chan::new(3)));
+        assert!(!s.remove(Chan::new(3)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(cs(&[1, 0]).to_string(), "{ch0, ch1}");
+        assert_eq!(Chan::new(7).to_string(), "ch7");
+        assert_eq!(Chan::from(4u32).index(), 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! The cpos of sequences and traces (Fact F1).
+
+use crate::lasso::Lasso;
+use crate::trace::Trace;
+use crate::value::Value;
+use eqp_cpo::{Cpo, Poset};
+
+/// The cpo of message sequences (finite and eventually periodic) under
+/// prefix ordering, with `⊥ = ε`.
+///
+/// This is the domain the paper's channel variables range over. The
+/// eventually periodic fragment is closed under every operation the
+/// workspace performs, and contains every limit the paper's examples
+/// manipulate, so it serves as the working cpo. (The full cpo of all
+/// infinite sequences strictly contains it; see DESIGN.md for the
+/// substitution argument.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeqDomain;
+
+impl Poset for SeqDomain {
+    type Elem = Lasso<Value>;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a.leq(b)
+    }
+}
+
+impl Cpo for SeqDomain {
+    fn bottom(&self) -> Self::Elem {
+        Lasso::empty()
+    }
+}
+
+/// The cpo of traces under prefix ordering, with `⊥` the empty trace
+/// (Fact F1: "the set of traces is a cpo under prefix ordering").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceDomain;
+
+impl Poset for TraceDomain {
+    type Elem = Trace;
+
+    fn leq(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a.leq(b)
+    }
+}
+
+impl Cpo for TraceDomain {
+    fn bottom(&self) -> Self::Elem {
+        Trace::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chan::Chan;
+    use crate::event::Event;
+    use eqp_cpo::laws::check_all_laws;
+
+    #[test]
+    fn seq_domain_laws_on_samples() {
+        let d = SeqDomain;
+        let samples = vec![
+            Lasso::empty(),
+            Lasso::finite(vec![Value::Int(1)]),
+            Lasso::finite(vec![Value::Int(1), Value::Int(2)]),
+            Lasso::lasso(vec![Value::Int(1)], vec![Value::Int(2)]),
+            Lasso::repeat(vec![Value::Int(0)]),
+        ];
+        assert!(check_all_laws(&d, &samples).is_ok());
+    }
+
+    #[test]
+    fn trace_domain_laws_on_samples() {
+        let d = TraceDomain;
+        let b = Chan::new(0);
+        let samples = vec![
+            Trace::empty(),
+            Trace::finite(vec![Event::int(b, 0)]),
+            Trace::finite(vec![Event::int(b, 0), Event::int(b, 1)]),
+            Trace::lasso([], [Event::int(b, 0)]),
+        ];
+        assert!(check_all_laws(&d, &samples).is_ok());
+    }
+
+    #[test]
+    fn bottoms() {
+        assert_eq!(SeqDomain.bottom(), Lasso::empty());
+        assert_eq!(TraceDomain.bottom(), Trace::empty());
+        assert!(TraceDomain.is_bottom(&Trace::empty()));
+    }
+
+    #[test]
+    fn lub_finite_of_prefix_chain_of_traces() {
+        let d = TraceDomain;
+        let b = Chan::new(0);
+        let t2 = Trace::finite(vec![Event::int(b, 0), Event::int(b, 1)]);
+        let chain = vec![Trace::empty(), t2.take(1), t2.clone()];
+        assert_eq!(d.lub_finite(&chain), Some(t2));
+    }
+}

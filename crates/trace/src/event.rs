@@ -1,0 +1,58 @@
+//! Communication events: the `(c, m)` pairs that traces are made of.
+
+use crate::chan::Chan;
+use crate::value::Value;
+use std::fmt;
+
+/// One communication: message `value` sent along channel `chan`.
+///
+/// Per Section 3.1.1, a trace records *sends* only — the receipt of a data
+/// item is not shown in a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Event {
+    /// The channel the message was sent on.
+    pub chan: Chan,
+    /// The message.
+    pub value: Value,
+}
+
+impl Event {
+    /// Creates the event `(chan, value)`.
+    pub const fn new(chan: Chan, value: Value) -> Event {
+        Event { chan, value }
+    }
+
+    /// Convenience: an integer send `(chan, Int(n))`.
+    pub const fn int(chan: Chan, n: i64) -> Event {
+        Event::new(chan, Value::Int(n))
+    }
+
+    /// Convenience: a bit send `(chan, Bit(b))`.
+    pub const fn bit(chan: Chan, b: bool) -> Event {
+        Event::new(chan, Value::Bit(b))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.chan, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = Chan::new(1);
+        assert_eq!(Event::int(c, 5), Event::new(c, Value::Int(5)));
+        assert_eq!(Event::bit(c, true), Event::new(c, Value::Bit(true)));
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let e = Event::int(Chan::new(2), 0);
+        assert_eq!(e.to_string(), "(ch2, 0)");
+    }
+}

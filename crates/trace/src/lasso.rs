@@ -1,0 +1,599 @@
+//! Eventually periodic sequences in canonical *lasso* form.
+//!
+//! A [`Lasso`] denotes either a finite sequence (empty cycle) or the
+//! infinite word `prefix · cycle^ω`. Lassos are kept in a **canonical
+//! normal form** — primitive cycle, minimally rolled-back prefix — so that
+//! the derived `Eq`/`Hash` coincide with equality of the denoted words.
+//! This is what makes the paper's *limit condition* `f(t) = g(t)` decidable
+//! for the infinite traces that arise in practice (all of which are
+//! eventually periodic for the paper's networks).
+
+use std::fmt;
+
+/// The length of a lasso: a natural number or ω.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Length {
+    /// A finite length.
+    Finite(usize),
+    /// The sequence is infinite.
+    Infinite,
+}
+
+impl Length {
+    /// Minimum of two lengths (ω is absorbing for `max`, identity for
+    /// neither; here: the smaller).
+    pub fn min(self, other: Length) -> Length {
+        match (self, other) {
+            (Length::Finite(a), Length::Finite(b)) => Length::Finite(a.min(b)),
+            (Length::Finite(a), Length::Infinite) => Length::Finite(a),
+            (Length::Infinite, Length::Finite(b)) => Length::Finite(b),
+            (Length::Infinite, Length::Infinite) => Length::Infinite,
+        }
+    }
+
+    /// Returns the finite length, or `None` for ω.
+    pub fn as_finite(self) -> Option<usize> {
+        match self {
+            Length::Finite(n) => Some(n),
+            Length::Infinite => None,
+        }
+    }
+}
+
+/// A canonical eventually periodic sequence: `prefix · cycle^ω`, or a
+/// finite sequence when the cycle is empty.
+///
+/// # Normal form
+///
+/// Constructors normalize so that:
+///
+/// 1. the cycle is *primitive* (not a repetition of a shorter word), and
+/// 2. the prefix is minimal (no element can be rolled from the end of the
+///    prefix into a rotation of the cycle).
+///
+/// Two lassos denote the same (finite or infinite) word **iff** their
+/// normal forms are equal, so the derived `PartialEq`/`Eq`/`Hash` are
+/// semantic equality. A unit-test suite plus property tests validate this.
+///
+/// # Example
+///
+/// ```
+/// use eqp_trace::Lasso;
+///
+/// // 1 (2 1)^ω and (1 2)^ω are the same infinite word:
+/// let a = Lasso::lasso(vec![1], vec![2, 1]);
+/// let b = Lasso::repeat(vec![1, 2]);
+/// assert_eq!(a, b);
+/// // prefix order: ⟨1 2 1⟩ ⊑ (1 2)^ω
+/// assert!(Lasso::finite(vec![1, 2, 1]).leq(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lasso<T> {
+    prefix: Vec<T>,
+    cycle: Vec<T>,
+}
+
+impl<T: Clone + Eq> Lasso<T> {
+    /// The empty sequence `ε` (the paper's ⊥ in the domain of sequences).
+    pub fn empty() -> Lasso<T> {
+        Lasso {
+            prefix: Vec::new(),
+            cycle: Vec::new(),
+        }
+    }
+
+    /// A finite sequence.
+    pub fn finite<I: IntoIterator<Item = T>>(items: I) -> Lasso<T> {
+        Lasso {
+            prefix: items.into_iter().collect(),
+            cycle: Vec::new(),
+        }
+    }
+
+    /// The eventually periodic word `prefix · cycle^ω` (finite if `cycle`
+    /// is empty), normalized.
+    #[allow(clippy::self_named_constructors)] // `Lasso::lasso(p, c)` reads as intended
+    pub fn lasso<P, C>(prefix: P, cycle: C) -> Lasso<T>
+    where
+        P: IntoIterator<Item = T>,
+        C: IntoIterator<Item = T>,
+    {
+        let mut l = Lasso {
+            prefix: prefix.into_iter().collect(),
+            cycle: cycle.into_iter().collect(),
+        };
+        l.normalize();
+        l
+    }
+
+    /// The purely periodic word `cycle^ω`.
+    pub fn repeat<C: IntoIterator<Item = T>>(cycle: C) -> Lasso<T> {
+        Lasso::lasso(Vec::new(), cycle)
+    }
+
+    fn normalize(&mut self) {
+        if self.cycle.is_empty() {
+            return;
+        }
+        // 1. Reduce the cycle to its primitive root.
+        let n = self.cycle.len();
+        for d in 1..n {
+            if n.is_multiple_of(d) && (d..n).all(|i| self.cycle[i] == self.cycle[i % d]) {
+                self.cycle.truncate(d);
+                break;
+            }
+        }
+        // 2. Roll prefix tail into the cycle: while the prefix ends with
+        //    the cycle's last element, rotate the cycle right and shorten
+        //    the prefix; the denoted word is unchanged.
+        while let (Some(p), Some(c)) = (self.prefix.last(), self.cycle.last()) {
+            if p == c {
+                self.prefix.pop();
+                self.cycle.rotate_right(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// True iff the sequence is finite.
+    pub fn is_finite(&self) -> bool {
+        self.cycle.is_empty()
+    }
+
+    /// True iff the sequence is infinite.
+    pub fn is_infinite(&self) -> bool {
+        !self.cycle.is_empty()
+    }
+
+    /// The length, finite or ω.
+    pub fn len(&self) -> Length {
+        if self.is_finite() {
+            Length::Finite(self.prefix.len())
+        } else {
+            Length::Infinite
+        }
+    }
+
+    /// True iff this is the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.prefix.is_empty() && self.cycle.is_empty()
+    }
+
+    /// The normalized non-repeating prefix.
+    pub fn prefix(&self) -> &[T] {
+        &self.prefix
+    }
+
+    /// The normalized primitive cycle (empty for finite sequences).
+    pub fn cycle(&self) -> &[T] {
+        &self.cycle
+    }
+
+    /// The `i`-th element (0-based), or `None` past the end of a finite
+    /// sequence.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.prefix.len() {
+            Some(&self.prefix[i])
+        } else if self.cycle.is_empty() {
+            None
+        } else {
+            Some(&self.cycle[(i - self.prefix.len()) % self.cycle.len()])
+        }
+    }
+
+    /// The first `n` elements (fewer if the sequence is shorter).
+    pub fn take(&self, n: usize) -> Vec<T> {
+        (0..n).map_while(|i| self.get(i).cloned()).collect()
+    }
+
+    /// Iterates the elements; **unbounded** for infinite lassos — always
+    /// pair with `take`/a bound.
+    pub fn iter_unbounded(&self) -> impl Iterator<Item = &T> + '_ {
+        (0..).map_while(move |i| {
+            if self.is_finite() && i >= self.prefix.len() {
+                None
+            } else {
+                self.get(i)
+            }
+        })
+    }
+
+    /// Prefix ordering `self ⊑ other` on the denoted words: finite `u` is
+    /// below `v` iff `u` is a word prefix of `v`; an infinite word is below
+    /// only itself.
+    pub fn leq(&self, other: &Lasso<T>) -> bool {
+        match self.len() {
+            Length::Finite(n) => match other.len() {
+                Length::Finite(m) if m < n => false,
+                _ => (0..n).all(|i| self.get(i) == other.get(i)),
+            },
+            Length::Infinite => self == other,
+        }
+    }
+
+    /// Applies `f` pointwise. The image of an eventually periodic word is
+    /// eventually periodic with the same shape.
+    pub fn map<U: Clone + Eq, F: Fn(&T) -> U>(&self, f: F) -> Lasso<U> {
+        Lasso::lasso(
+            self.prefix.iter().map(&f).collect::<Vec<_>>(),
+            self.cycle.iter().map(&f).collect::<Vec<_>>(),
+        )
+    }
+
+    /// Keeps the elements satisfying `pred`. Filtering distributes over
+    /// concatenation, so `filter(p · c^ω) = filter(p) · filter(c)^ω`; if the
+    /// cycle contributes nothing the result is finite (e.g. `even` applied
+    /// to an all-odd cycle).
+    pub fn filter<F: Fn(&T) -> bool>(&self, pred: F) -> Lasso<T> {
+        let p: Vec<T> = self.prefix.iter().filter(|x| pred(x)).cloned().collect();
+        let c: Vec<T> = self.cycle.iter().filter(|x| pred(x)).cloned().collect();
+        Lasso::lasso(p, c)
+    }
+
+    /// Prepends a finite sequence: `front · self` (the paper's `;` with a
+    /// finite left operand, as in `b = 0; c`).
+    pub fn concat_front(&self, front: &[T]) -> Lasso<T> {
+        let mut p: Vec<T> = front.to_vec();
+        p.extend(self.prefix.iter().cloned());
+        Lasso::lasso(p, self.cycle.clone())
+    }
+
+    /// Concatenation `self · other`, defined when `self` is finite
+    /// (concatenating after an infinite word is a no-op mathematically;
+    /// we return `None` to surface likely bugs).
+    pub fn then(&self, other: &Lasso<T>) -> Option<Lasso<T>> {
+        if self.is_infinite() {
+            return None;
+        }
+        Some(other.concat_front(&self.prefix))
+    }
+
+    /// Extends a finite sequence by one element; `None` if infinite.
+    pub fn pushed(&self, item: T) -> Option<Lasso<T>> {
+        if self.is_infinite() {
+            return None;
+        }
+        let mut p = self.prefix.clone();
+        p.push(item);
+        Some(Lasso::finite(p))
+    }
+
+    /// Pointwise combination of two sequences; the result has the length of
+    /// the shorter (the paper's `AND` on bit sequences, Section 4.5).
+    pub fn zip_with<U: Clone + Eq, V: Clone + Eq, F: Fn(&T, &U) -> V>(
+        &self,
+        other: &Lasso<U>,
+        f: F,
+    ) -> Lasso<V> {
+        match (self.len(), other.len()) {
+            (Length::Finite(n), _) | (_, Length::Finite(n)) => {
+                let n = match (self.len().as_finite(), other.len().as_finite()) {
+                    (Some(a), Some(b)) => a.min(b),
+                    _ => n,
+                };
+                Lasso::finite(
+                    (0..n)
+                        .map(|i| f(self.get(i).unwrap(), other.get(i).unwrap()))
+                        .collect::<Vec<_>>(),
+                )
+            }
+            (Length::Infinite, Length::Infinite) => {
+                let start = self.prefix.len().max(other.prefix.len());
+                let period = lcm(self.cycle.len(), other.cycle.len());
+                let p: Vec<V> = (0..start)
+                    .map(|i| f(self.get(i).unwrap(), other.get(i).unwrap()))
+                    .collect();
+                let c: Vec<V> = (start..start + period)
+                    .map(|i| f(self.get(i).unwrap(), other.get(i).unwrap()))
+                    .collect();
+                Lasso::lasso(p, c)
+            }
+        }
+    }
+
+    /// The longest prefix all of whose elements satisfy `pred` (the
+    /// function `g` of Section 4.8: "longest prefix that contains no F").
+    /// If every element of prefix and cycle satisfies `pred`, that is the
+    /// whole sequence.
+    pub fn take_while<F: Fn(&T) -> bool>(&self, pred: F) -> Lasso<T> {
+        for (i, x) in self.prefix.iter().enumerate() {
+            if !pred(x) {
+                return Lasso::finite(self.prefix[..i].to_vec());
+            }
+        }
+        for (j, x) in self.cycle.iter().enumerate() {
+            if !pred(x) {
+                let mut p = self.prefix.clone();
+                p.extend(self.cycle[..j].iter().cloned());
+                return Lasso::finite(p);
+            }
+        }
+        self.clone()
+    }
+
+    /// Drops the first `n` elements.
+    pub fn drop_front(&self, n: usize) -> Lasso<T> {
+        if n <= self.prefix.len() {
+            return Lasso::lasso(self.prefix[n..].to_vec(), self.cycle.clone());
+        }
+        if self.cycle.is_empty() {
+            return Lasso::empty();
+        }
+        let k = (n - self.prefix.len()) % self.cycle.len();
+        let mut c = self.cycle.clone();
+        c.rotate_left(k);
+        Lasso::lasso(Vec::new(), c)
+    }
+
+    /// All finite prefixes of length `0..=n` (ascending). For finite lassos
+    /// the iterator stops at the full sequence.
+    pub fn prefixes_up_to(&self, n: usize) -> impl Iterator<Item = Vec<T>> + '_ {
+        let max = match self.len() {
+            Length::Finite(m) => m.min(n),
+            Length::Infinite => n,
+        };
+        (0..=max).map(move |k| self.take(k))
+    }
+
+    /// Counts elements satisfying `pred`, if that count is finite:
+    /// `None` when infinitely many cycle elements match.
+    pub fn count_matching<F: Fn(&T) -> bool>(&self, pred: F) -> Option<usize> {
+        if self.cycle.iter().any(&pred) {
+            return None;
+        }
+        Some(self.prefix.iter().filter(|x| pred(x)).count())
+    }
+
+    /// Index of the first element satisfying `pred`, or `None` if no
+    /// element ever does.
+    pub fn position<F: Fn(&T) -> bool>(&self, pred: F) -> Option<usize> {
+        if let Some(i) = self.prefix.iter().position(&pred) {
+            return Some(i);
+        }
+        self.cycle
+            .iter()
+            .position(&pred)
+            .map(|j| self.prefix.len() + j)
+    }
+}
+
+impl<T: Clone + Eq> Default for Lasso<T> {
+    fn default() -> Self {
+        Lasso::empty()
+    }
+}
+
+impl<T: Clone + Eq> FromIterator<T> for Lasso<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Lasso::finite(iter)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Lasso<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, x) in self.prefix.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        if !self.cycle.is_empty() {
+            if !self.prefix.is_empty() {
+                write!(f, " ")?;
+            }
+            write!(f, "(")?;
+            for (i, x) in self.cycle.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, ")^ω")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Least common multiple (saturating is unnecessary at our scales).
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fin(xs: &[u8]) -> Lasso<u8> {
+        Lasso::finite(xs.to_vec())
+    }
+
+    #[test]
+    fn normalization_primitive_cycle() {
+        let a = Lasso::lasso(vec![], vec![1u8, 2, 1, 2]);
+        assert_eq!(a.cycle(), &[1, 2]);
+        let b = Lasso::repeat(vec![3u8, 3, 3]);
+        assert_eq!(b.cycle(), &[3]);
+    }
+
+    #[test]
+    fn normalization_rolls_prefix() {
+        // 1 (2 1)^ω  ==  (1 2)^ω
+        let a = Lasso::lasso(vec![1u8], vec![2, 1]);
+        let b = Lasso::repeat(vec![1u8, 2]);
+        assert_eq!(a, b);
+        assert!(a.prefix().is_empty());
+    }
+
+    #[test]
+    fn normalization_full_example() {
+        // 0 0 (1 0 0)^ω == 0 0 (1 0 0)^ω; rolled: prefix "0 0" ends with 0,
+        // cycle ends with 0 → roll twice → (0 0 1)^ω.
+        let a = Lasso::lasso(vec![0u8, 0], vec![1, 0, 0]);
+        let b = Lasso::repeat(vec![0u8, 0, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn semantic_equality_distinguishes() {
+        let a = Lasso::repeat(vec![0u8, 1]);
+        let b = Lasso::repeat(vec![1u8, 0]);
+        assert_ne!(a, b); // words 0101… vs 1010… differ
+    }
+
+    #[test]
+    fn get_indexes_into_cycle() {
+        let l = Lasso::lasso(vec![9u8], vec![1, 2]);
+        let got: Vec<u8> = (0..6).map(|i| *l.get(i).unwrap()).collect();
+        assert_eq!(got, vec![9, 1, 2, 1, 2, 1]);
+        assert_eq!(fin(&[1]).get(1), None);
+    }
+
+    #[test]
+    fn lengths() {
+        assert_eq!(fin(&[1, 2]).len(), Length::Finite(2));
+        assert_eq!(Lasso::repeat(vec![1u8]).len(), Length::Infinite);
+        assert_eq!(Length::Finite(3).min(Length::Infinite), Length::Finite(3));
+        assert_eq!(Length::Infinite.min(Length::Infinite), Length::Infinite);
+        assert_eq!(Length::Infinite.as_finite(), None);
+    }
+
+    #[test]
+    fn prefix_order_finite() {
+        assert!(fin(&[]).leq(&fin(&[1])));
+        assert!(fin(&[1]).leq(&fin(&[1, 2])));
+        assert!(!fin(&[2]).leq(&fin(&[1, 2])));
+        assert!(!fin(&[1, 2, 3]).leq(&fin(&[1, 2])));
+    }
+
+    #[test]
+    fn prefix_order_with_infinite() {
+        let w = Lasso::lasso(vec![0u8], vec![1]);
+        assert!(fin(&[0, 1, 1]).leq(&w));
+        assert!(!fin(&[0, 1, 0]).leq(&w));
+        assert!(w.leq(&w));
+        assert!(!w.leq(&fin(&[0, 1])));
+        let v = Lasso::repeat(vec![1u8]);
+        assert!(!w.leq(&v));
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let l = Lasso::lasso(vec![1u8], vec![2, 3]);
+        let m = l.map(|x| x * 2);
+        assert_eq!(m, Lasso::lasso(vec![2u8], vec![4, 6]));
+    }
+
+    #[test]
+    fn filter_can_make_finite() {
+        let l = Lasso::lasso(vec![2u8, 3], vec![5, 7]); // evens: just [2]
+        let evens = l.filter(|x| x % 2 == 0);
+        assert_eq!(evens, fin(&[2]));
+        let odds = l.filter(|x| x % 2 == 1);
+        assert_eq!(odds, Lasso::lasso(vec![3u8], vec![5, 7]));
+    }
+
+    #[test]
+    fn concat_front_and_then() {
+        let w = Lasso::repeat(vec![0u8]);
+        let l = w.concat_front(&[5]);
+        assert_eq!(l, Lasso::lasso(vec![5u8], vec![0]));
+        assert_eq!(fin(&[1]).then(&fin(&[2])), Some(fin(&[1, 2])));
+        assert_eq!(w.then(&fin(&[2])), None);
+    }
+
+    #[test]
+    fn pushed_extends_finite_only() {
+        assert_eq!(fin(&[1]).pushed(2), Some(fin(&[1, 2])));
+        assert_eq!(Lasso::repeat(vec![1u8]).pushed(2), None);
+    }
+
+    #[test]
+    fn zip_finite_truncates() {
+        let a = fin(&[1, 2, 3]);
+        let b = Lasso::repeat(vec![10u8]);
+        let z = a.zip_with(&b, |x, y| x + y);
+        assert_eq!(z, fin(&[11, 12, 13]));
+    }
+
+    #[test]
+    fn zip_infinite_takes_lcm_period() {
+        let a = Lasso::repeat(vec![0u8, 1]); // period 2
+        let b = Lasso::repeat(vec![0u8, 0, 1]); // period 3
+        let z = a.zip_with(&b, |x, y| x + y);
+        // elementwise sums of 010101… and 001001…: 0 1 1 1 0 2 repeating
+        assert_eq!(z, Lasso::repeat(vec![0u8, 1, 1, 1, 0, 2]));
+    }
+
+    #[test]
+    fn take_while_cases() {
+        let l = Lasso::lasso(vec![1u8, 1], vec![1, 2]);
+        assert_eq!(l.take_while(|&x| x == 1), fin(&[1, 1, 1]));
+        let all1 = Lasso::repeat(vec![1u8]);
+        assert_eq!(all1.take_while(|&x| x == 1), all1);
+        assert_eq!(fin(&[2, 1]).take_while(|&x| x == 1), fin(&[]));
+    }
+
+    #[test]
+    fn drop_front_rotates_cycle() {
+        let l = Lasso::lasso(vec![9u8], vec![1, 2]);
+        assert_eq!(l.drop_front(1), Lasso::repeat(vec![1u8, 2]));
+        assert_eq!(l.drop_front(2), Lasso::repeat(vec![2u8, 1]));
+        assert_eq!(l.drop_front(4), Lasso::repeat(vec![2u8, 1]));
+        assert_eq!(fin(&[1, 2]).drop_front(5), fin(&[]));
+    }
+
+    #[test]
+    fn prefixes_are_ascending() {
+        let l = Lasso::repeat(vec![7u8]);
+        let ps: Vec<Vec<u8>> = l.prefixes_up_to(3).collect();
+        assert_eq!(ps, vec![vec![], vec![7], vec![7, 7], vec![7, 7, 7]]);
+        let f = fin(&[1]);
+        let ps: Vec<Vec<u8>> = f.prefixes_up_to(5).collect();
+        assert_eq!(ps, vec![vec![], vec![1]]);
+    }
+
+    #[test]
+    fn count_and_position() {
+        let l = Lasso::lasso(vec![1u8, 2, 1], vec![3]);
+        assert_eq!(l.count_matching(|&x| x == 1), Some(2));
+        assert_eq!(l.count_matching(|&x| x == 3), None);
+        assert_eq!(l.position(|&x| x == 2), Some(1));
+        assert_eq!(l.position(|&x| x == 3), Some(3));
+        assert_eq!(l.position(|&x| x == 9), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(fin(&[1, 2]).to_string(), "⟨1 2⟩");
+        assert_eq!(Lasso::lasso(vec![0u8], vec![1, 2]).to_string(), "⟨0 (1 2)^ω⟩");
+        assert_eq!(fin(&[]).to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn iter_unbounded_finite_stops() {
+        let f = fin(&[4, 5]);
+        let v: Vec<u8> = f.iter_unbounded().copied().collect();
+        assert_eq!(v, vec![4, 5]);
+        let w = Lasso::repeat(vec![1u8]);
+        let v: Vec<u8> = w.iter_unbounded().take(4).copied().collect();
+        assert_eq!(v, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn from_iterator_and_default() {
+        let l: Lasso<u8> = vec![1, 2].into_iter().collect();
+        assert_eq!(l, fin(&[1, 2]));
+        assert_eq!(Lasso::<u8>::default(), Lasso::empty());
+        assert!(Lasso::<u8>::empty().is_empty());
+    }
+}

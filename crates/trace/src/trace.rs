@@ -1,0 +1,270 @@
+//! Traces: sequences of communication events, with projection and the
+//! `u pre v in t` relation.
+
+use crate::chan::{Chan, ChanSet};
+use crate::event::Event;
+use crate::lasso::{Lasso, Length};
+use crate::value::Value;
+use std::fmt;
+
+/// A trace: a finite or eventually periodic sequence of events `(c, m)`.
+///
+/// The traces that *define* a process are its maximal (quiescent) traces
+/// (Section 3.1.2, Note); finite prefixes of traces are the communication
+/// histories a computation passes through.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Trace {
+    events: Lasso<Event>,
+}
+
+impl Trace {
+    /// The empty trace `⊥`.
+    pub fn empty() -> Trace {
+        Trace {
+            events: Lasso::empty(),
+        }
+    }
+
+    /// A finite trace from the given events.
+    pub fn finite<I: IntoIterator<Item = Event>>(events: I) -> Trace {
+        Trace {
+            events: Lasso::finite(events),
+        }
+    }
+
+    /// An eventually periodic trace `prefix · cycle^ω`.
+    pub fn lasso<P, C>(prefix: P, cycle: C) -> Trace
+    where
+        P: IntoIterator<Item = Event>,
+        C: IntoIterator<Item = Event>,
+    {
+        Trace {
+            events: Lasso::lasso(prefix, cycle),
+        }
+    }
+
+    /// Wraps an event lasso as a trace.
+    pub fn from_lasso(events: Lasso<Event>) -> Trace {
+        Trace { events }
+    }
+
+    /// The underlying event lasso.
+    pub fn as_lasso(&self) -> &Lasso<Event> {
+        &self.events
+    }
+
+    /// Length of the trace (finite or ω).
+    pub fn len(&self) -> Length {
+        self.events.len()
+    }
+
+    /// True iff the trace is `⊥`.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True iff the trace is finite.
+    pub fn is_finite(&self) -> bool {
+        self.events.is_finite()
+    }
+
+    /// True iff the trace is infinite.
+    pub fn is_infinite(&self) -> bool {
+        self.events.is_infinite()
+    }
+
+    /// The `i`-th event.
+    pub fn get(&self, i: usize) -> Option<Event> {
+        self.events.get(i).copied()
+    }
+
+    /// The first `n` events as a finite trace.
+    pub fn take(&self, n: usize) -> Trace {
+        Trace::finite(self.events.take(n))
+    }
+
+    /// The finite events of a finite trace; `None` if infinite.
+    pub fn events(&self) -> Option<&[Event]> {
+        self.is_finite().then(|| self.events.prefix())
+    }
+
+    /// Extends a finite trace by one event; `None` if infinite.
+    pub fn pushed(&self, e: Event) -> Option<Trace> {
+        self.events.pushed(e).map(Trace::from_lasso)
+    }
+
+    /// **Projection** `t_L` (Section 3.1.2): the subsequence of events on
+    /// channels in `L`. Continuous (Fact F3) — monotone and
+    /// lub-preserving, which the property tests verify.
+    pub fn project(&self, l: &ChanSet) -> Trace {
+        Trace {
+            events: self.events.filter(|e| l.contains(e.chan)),
+        }
+    }
+
+    /// The message sequence carried by channel `c` — the paper's use of a
+    /// channel name as the function mapping a trace to "the sequence
+    /// associated with c in the trace" (Section 4).
+    pub fn seq_on(&self, c: Chan) -> Lasso<Value> {
+        self.events.filter(|e| e.chan == c).map(|e| e.value)
+    }
+
+    /// The set of channels mentioned in the trace.
+    pub fn channels(&self) -> ChanSet {
+        let mut s = ChanSet::new();
+        for e in self.events.prefix().iter().chain(self.events.cycle()) {
+            s.insert(e.chan);
+        }
+        s
+    }
+
+    /// Prefix ordering on traces: `self ⊑ other`.
+    pub fn leq(&self, other: &Trace) -> bool {
+        self.events.leq(&other.events)
+    }
+
+    /// All finite prefixes of length `0..=n`, ascending (Fact F2: they form
+    /// a chain whose lub is the trace, when the trace is finite or `n → ω`).
+    pub fn prefixes_up_to(&self, n: usize) -> impl Iterator<Item = Trace> + '_ {
+        self.events.prefixes_up_to(n).map(Trace::finite)
+    }
+
+    /// The pairs `u pre v in t` with `|v| ≤ n` — `u`, `v` finite prefixes
+    /// of `t` with `|v| = |u| + 1` (Section 3.1.2). For a finite trace the
+    /// built-in bound is its length.
+    pub fn pre_pairs_up_to(&self, n: usize) -> impl Iterator<Item = (Trace, Trace)> + '_ {
+        let max = match self.len() {
+            Length::Finite(m) => m.min(n),
+            Length::Infinite => n,
+        };
+        (1..=max).map(move |k| (self.take(k - 1), self.take(k)))
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace::finite(iter)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.events.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+    fn c() -> Chan {
+        Chan::new(1)
+    }
+    fn d() -> Chan {
+        Chan::new(2)
+    }
+
+    /// The dfm history from Section 3.1.1:
+    /// (b,0)(c,1)(c,3)(d,0)(d,1)(b,2)
+    fn sample() -> Trace {
+        Trace::finite(vec![
+            Event::int(b(), 0),
+            Event::int(c(), 1),
+            Event::int(c(), 3),
+            Event::int(d(), 0),
+            Event::int(d(), 1),
+            Event::int(b(), 2),
+        ])
+    }
+
+    #[test]
+    fn projection_keeps_order() {
+        let t = sample();
+        let l = ChanSet::from_chans([b(), d()]);
+        let p = t.project(&l);
+        assert_eq!(
+            p.events().unwrap(),
+            &[
+                Event::int(b(), 0),
+                Event::int(d(), 0),
+                Event::int(d(), 1),
+                Event::int(b(), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn seq_on_extracts_values() {
+        let t = sample();
+        assert_eq!(
+            t.seq_on(c()),
+            Lasso::finite(vec![Value::Int(1), Value::Int(3)])
+        );
+        assert_eq!(t.seq_on(Chan::new(9)), Lasso::empty());
+    }
+
+    #[test]
+    fn channels_of_trace() {
+        let t = sample();
+        assert_eq!(t.channels(), ChanSet::from_chans([b(), c(), d()]));
+        let w = Trace::lasso([], [Event::bit(b(), true)]);
+        assert_eq!(w.channels(), ChanSet::from_chans([b()]));
+    }
+
+    #[test]
+    fn prefix_order_and_take() {
+        let t = sample();
+        let u = t.take(2);
+        assert!(u.leq(&t));
+        assert!(!t.leq(&u));
+        assert!(Trace::empty().leq(&t));
+        assert_eq!(u.len(), Length::Finite(2));
+    }
+
+    #[test]
+    fn pre_pairs_shapes() {
+        let t = sample();
+        let pairs: Vec<_> = t.pre_pairs_up_to(100).collect();
+        assert_eq!(pairs.len(), 6);
+        for (u, v) in &pairs {
+            let (Length::Finite(lu), Length::Finite(lv)) = (u.len(), v.len()) else {
+                panic!("finite prefixes expected")
+            };
+            assert_eq!(lu + 1, lv);
+            assert!(u.leq(v));
+        }
+    }
+
+    #[test]
+    fn infinite_trace_pre_pairs_bounded() {
+        let w = Trace::lasso([], [Event::bit(b(), true)]);
+        assert_eq!(w.pre_pairs_up_to(4).count(), 4);
+        assert!(w.is_infinite());
+    }
+
+    #[test]
+    fn pushed_and_events() {
+        let t = Trace::empty().pushed(Event::int(b(), 0)).unwrap();
+        assert_eq!(t.events().unwrap().len(), 1);
+        let w = Trace::lasso([], [Event::bit(b(), true)]);
+        assert!(w.pushed(Event::int(b(), 0)).is_none());
+        assert!(w.events().is_none());
+    }
+
+    #[test]
+    fn projection_of_infinite_trace() {
+        // ((b,0)(c,1))^ω projected on {b} is (b,0)^ω.
+        let t = Trace::lasso([], [Event::int(b(), 0), Event::int(c(), 1)]);
+        let p = t.project(&ChanSet::from_chans([b()]));
+        assert_eq!(p, Trace::lasso([], [Event::int(b(), 0)]));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let t = Trace::finite(vec![Event::int(b(), 0)]);
+        assert_eq!(t.to_string(), "⟨(ch0, 0)⟩");
+    }
+}

@@ -1,0 +1,130 @@
+//! Message values carried on channels.
+
+use std::fmt;
+
+/// A message: the data item of a communication pair `(c, m)`.
+///
+/// The paper's examples use three message shapes, all covered here:
+///
+/// * integers (the merge networks of Sections 2.2–2.4),
+/// * bits `T` / `F` (ticks, random bits, oracles — Sections 4.2–4.8),
+/// * tagged pairs `(tag, n)` with tag 0 or 1 (the fair-merge implementation
+///   of Section 4.10, where processes A and B tag their inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An integer message.
+    Int(i64),
+    /// A bit message: `Bit(true)` is the paper's `T`, `Bit(false)` its `F`.
+    Bit(bool),
+    /// A tagged integer `(tag, n)`; Section 4.10's processes A/B emit
+    /// `(0, n)` / `(1, n)`.
+    Pair(u8, i64),
+}
+
+impl Value {
+    /// The tick/true bit `T`.
+    pub fn tt() -> Value {
+        Value::Bit(true)
+    }
+
+    /// The false bit `F`.
+    pub fn ff() -> Value {
+        Value::Bit(false)
+    }
+
+    /// Returns the integer payload of an `Int`, or `None`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Returns the bit payload of a `Bit`, or `None`.
+    pub fn as_bit(self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the `(tag, n)` payload of a `Pair`, or `None`.
+    pub fn as_pair(self) -> Option<(u8, i64)> {
+        match self {
+            Value::Pair(t, n) => Some((t, n)),
+            _ => None,
+        }
+    }
+
+    /// True iff this is an even integer — the paper's `even` classifier
+    /// (Section 2.2: channel `b` of dfm carries only even integers).
+    pub fn is_even_int(self) -> bool {
+        matches!(self, Value::Int(n) if n.rem_euclid(2) == 0)
+    }
+
+    /// True iff this is an odd integer.
+    pub fn is_odd_int(self) -> bool {
+        matches!(self, Value::Int(n) if n.rem_euclid(2) == 1)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bit(true) => write!(f, "T"),
+            Value::Bit(false) => write!(f, "F"),
+            Value::Pair(t, n) => write!(f, "({t},{n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bit(true).as_int(), None);
+        assert_eq!(Value::tt().as_bit(), Some(true));
+        assert_eq!(Value::ff().as_bit(), Some(false));
+        assert_eq!(Value::Pair(1, 9).as_pair(), Some((1, 9)));
+        assert_eq!(Value::Int(0).as_pair(), None);
+    }
+
+    #[test]
+    fn parity_uses_euclidean_remainder() {
+        assert!(Value::Int(-2).is_even_int());
+        assert!(Value::Int(-1).is_odd_int());
+        assert!(Value::Int(0).is_even_int());
+        assert!(!Value::Bit(true).is_even_int());
+        assert!(!Value::Bit(true).is_odd_int());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Value::tt().to_string(), "T");
+        assert_eq!(Value::ff().to_string(), "F");
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Pair(0, 4).to_string(), "(0,4)");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bit(true));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests: lasso normal form is semantic equality; prefix order
+//! laws; Facts F2–F5 on random finite and eventually periodic traces.
+
+use eqp_trace::facts::{check_f2_prefix_chain, check_f3_projection_continuous, check_f4, check_f5};
+use eqp_trace::{Chan, ChanSet, Event, Lasso, Trace, Value};
+use proptest::prelude::*;
+
+const CMP_DEPTH: usize = 64;
+
+fn small_val() -> impl Strategy<Value = u8> {
+    0u8..4
+}
+
+/// An arbitrary lasso over a tiny alphabet: possibly-empty prefix and cycle.
+fn lasso() -> impl Strategy<Value = Lasso<u8>> {
+    (
+        proptest::collection::vec(small_val(), 0..6),
+        proptest::collection::vec(small_val(), 0..5),
+    )
+        .prop_map(|(p, c)| Lasso::lasso(p, c))
+}
+
+/// An arbitrary raw (pre-normalization) representation, kept so we can test
+/// that differently-shaped representations of the same word normalize equal.
+fn raw_parts() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        proptest::collection::vec(small_val(), 0..5),
+        proptest::collection::vec(small_val(), 1..4),
+    )
+}
+
+fn word(l: &Lasso<u8>, n: usize) -> Vec<u8> {
+    l.take(n)
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let ev = (0u32..3, -3i64..4).prop_map(|(c, n)| Event::int(Chan::new(c), n));
+    (
+        proptest::collection::vec(ev.clone(), 0..6),
+        proptest::collection::vec(ev, 0..4),
+    )
+        .prop_map(|(p, c)| Trace::lasso(p, c))
+}
+
+fn arb_chanset() -> impl Strategy<Value = ChanSet> {
+    proptest::collection::btree_set(0u32..3, 0..3)
+        .prop_map(|s| s.into_iter().map(Chan::new).collect())
+}
+
+proptest! {
+    /// Unrolling a lasso by any number of cycle copies leaves the denoted
+    /// word — and hence the normal form — unchanged.
+    #[test]
+    fn normal_form_invariant_under_unrolling(
+        (p, c) in raw_parts(), k in 0usize..4
+    ) {
+        let base = Lasso::lasso(p.clone(), c.clone());
+        let mut unrolled_prefix = p;
+        for _ in 0..k {
+            unrolled_prefix.extend(c.iter().copied());
+        }
+        let unrolled = Lasso::lasso(unrolled_prefix, c.clone());
+        prop_assert_eq!(&base, &unrolled);
+    }
+
+    /// Repeating the cycle description (c → cc) does not change the word.
+    #[test]
+    fn normal_form_invariant_under_cycle_doubling((p, c) in raw_parts()) {
+        let once = Lasso::lasso(p.clone(), c.clone());
+        let mut cc = c.clone();
+        cc.extend(c.iter().copied());
+        let twice = Lasso::lasso(p, cc);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Equal normal forms ⇒ equal words; unequal ⇒ words differ within a
+    /// bounded window (prefixes + lcm of cycles suffices; we use a margin).
+    #[test]
+    fn eq_coincides_with_word_equality(a in lasso(), b in lasso()) {
+        let wa = word(&a, CMP_DEPTH);
+        let wb = word(&b, CMP_DEPTH);
+        if a == b {
+            prop_assert_eq!(wa, wb);
+        } else {
+            // Distinct normal forms must differ as words: either in the
+            // first CMP_DEPTH letters, or by one being finite.
+            let differs = wa != wb || a.len() != b.len();
+            prop_assert!(differs, "distinct lassos {a:?} vs {b:?} look equal");
+        }
+    }
+
+    /// leq is a partial order compatible with word-prefix semantics.
+    #[test]
+    fn leq_matches_word_prefix(a in lasso(), b in lasso()) {
+        let wa = word(&a, CMP_DEPTH);
+        let wb = word(&b, CMP_DEPTH);
+        let word_prefix = match (a.len().as_finite(), b.len().as_finite()) {
+            (Some(_), _) => wb.len() >= wa.len() && wb[..wa.len().min(wb.len())] == wa[..],
+            (None, None) => a == b,
+            (None, Some(_)) => false,
+        };
+        prop_assert_eq!(a.leq(&b), word_prefix);
+    }
+
+    /// map/filter/zip agree with their word-level counterparts on a window.
+    #[test]
+    fn map_agrees_with_word(l in lasso()) {
+        let mapped = l.map(|x| x.wrapping_mul(2));
+        let expect: Vec<u8> = word(&l, CMP_DEPTH).iter().map(|x| x.wrapping_mul(2)).collect();
+        prop_assert_eq!(word(&mapped, CMP_DEPTH), expect);
+    }
+
+    #[test]
+    fn filter_agrees_with_word(l in lasso()) {
+        let f = l.filter(|x| x % 2 == 0);
+        let lw = word(&l, 4 * CMP_DEPTH);
+        let expect: Vec<u8> = lw.iter().copied().filter(|x| x % 2 == 0).collect();
+        let got = word(&f, 4 * CMP_DEPTH);
+        let n = got.len().min(expect.len()).min(CMP_DEPTH);
+        prop_assert_eq!(&got[..n], &expect[..n]);
+        // finiteness must agree: filter is finite iff the cycle has no match
+        let cycle_has_match = l.cycle().iter().any(|x| x % 2 == 0);
+        prop_assert_eq!(f.is_infinite(), cycle_has_match);
+    }
+
+    #[test]
+    fn zip_agrees_with_word(a in lasso(), b in lasso()) {
+        let z = a.zip_with(&b, |x, y| x.wrapping_add(*y));
+        let wa = word(&a, CMP_DEPTH);
+        let wb = word(&b, CMP_DEPTH);
+        let expect: Vec<u8> = wa.iter().zip(&wb).map(|(x, y)| x.wrapping_add(*y)).collect();
+        let got = word(&z, CMP_DEPTH);
+        let n = got.len().min(expect.len());
+        prop_assert_eq!(&got[..n], &expect[..n]);
+        // length = min of lengths
+        match (a.len().as_finite(), b.len().as_finite()) {
+            (None, None) => prop_assert!(z.is_infinite()),
+            _ => prop_assert!(z.is_finite()),
+        }
+    }
+
+    #[test]
+    fn take_while_agrees_with_word(l in lasso()) {
+        let t = l.take_while(|x| x % 2 == 0);
+        let lw = word(&l, CMP_DEPTH);
+        let expect: Vec<u8> = lw.iter().copied().take_while(|x| x % 2 == 0).collect();
+        if t.is_finite() && (t.len().as_finite().unwrap() < CMP_DEPTH) {
+            prop_assert_eq!(word(&t, CMP_DEPTH), expect);
+        } else {
+            // whole (infinite) sequence passes: expect covers the window
+            prop_assert_eq!(word(&t, CMP_DEPTH), lw);
+        }
+    }
+
+    #[test]
+    fn drop_front_agrees_with_word(l in lasso(), n in 0usize..12) {
+        let d = l.drop_front(n);
+        let lw = word(&l, CMP_DEPTH + n);
+        let expect: Vec<u8> = lw.into_iter().skip(n).collect();
+        let got = word(&d, CMP_DEPTH);
+        let k = got.len().min(expect.len());
+        prop_assert_eq!(&got[..k], &expect[..k]);
+    }
+
+    /// Facts F2–F5 hold on random (finite and lasso) traces.
+    #[test]
+    fn facts_hold(t in arb_trace(), l in arb_chanset()) {
+        prop_assert!(check_f2_prefix_chain(&t, 12));
+        prop_assert!(check_f3_projection_continuous(&t, &l, 12));
+        prop_assert!(check_f4(&t, &l, 12));
+        prop_assert!(check_f5(&t, &l, 8));
+    }
+
+    /// Projection is idempotent and shrinks channel support.
+    #[test]
+    fn projection_idempotent(t in arb_trace(), l in arb_chanset()) {
+        let p = t.project(&l);
+        prop_assert_eq!(p.project(&l), p.clone());
+        prop_assert!(p.channels().is_subset(&l));
+    }
+
+    /// seq_on(c) equals projecting on {c} then dropping channel tags.
+    #[test]
+    fn seq_on_is_single_channel_projection(t in arb_trace(), c in 0u32..3) {
+        let ch = Chan::new(c);
+        let via_proj = t
+            .project(&ChanSet::from_chans([ch]))
+            .as_lasso()
+            .map(|e| e.value);
+        prop_assert_eq!(t.seq_on(ch), via_proj);
+    }
+
+    /// Values survive a display/shape sanity pass (no panics on any value).
+    #[test]
+    fn value_display_total(n in -100i64..100) {
+        let _ = Value::Int(n).to_string();
+        let _ = Value::Pair(1, n).to_string();
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: descriptions, smooth solutions, and the Figure 1 copy
+//! networks.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eqp::core::kahn_eqs::SolveOptions;
+use eqp::core::smooth::{is_smooth, limit_holds};
+use eqp::kahn::{RoundRobin, RunOptions};
+use eqp::processes::copy;
+use eqp::trace::{Lasso, Trace, Value};
+
+fn main() {
+    println!("== eqp quickstart: the Figure 1 copy networks ==\n");
+
+    // --- The plain loop: c = b, b = c -------------------------------
+    let plain = copy::plain_system();
+    let sol = plain
+        .solve(SolveOptions::default())
+        .expect("the plain system stabilizes");
+    println!("plain loop  c = b, b = c");
+    println!("  least fixpoint: b = {}, c = {}", sol.seqs[1], sol.seqs[0]);
+    println!("  ({} Kleene iteration(s), stabilized)", sol.iterations);
+
+    let run = copy::plain_network().run(&mut RoundRobin::new(), RunOptions::default());
+    println!(
+        "  operational run: quiescent = {}, trace = {}\n",
+        run.quiescent, run.trace
+    );
+
+    // --- The seeded loop: c = b, b = 0; c ----------------------------
+    let seeded = copy::seeded_system();
+    let sol = seeded
+        .solve(SolveOptions::default())
+        .expect("the seeded system has a verified lasso limit");
+    println!("seeded loop  c = b, b = 0; c");
+    println!("  least fixpoint: b = {}, c = {}", sol.seqs[1], sol.seqs[0]);
+    println!("  (verified lasso extrapolation after {} iterations)", sol.iterations);
+
+    // Every finite computation approximates the 0^ω limit:
+    let run = copy::seeded_network().run(
+        &mut RoundRobin::new(),
+        RunOptions {
+            max_steps: 12,
+            seed: 0,
+        },
+    );
+    let zw: Lasso<Value> = Lasso::repeat(vec![Value::Int(0)]);
+    println!(
+        "  12-step operational prefix on b: {} (⊑ 0^ω: {})",
+        run.trace.seq_on(copy::B),
+        run.trace.seq_on(copy::B).leq(&zw)
+    );
+
+    // --- Smooth solutions distinguish least from arbitrary solutions --
+    println!("\nsolutions vs smooth solutions (plain loop):");
+    let desc = copy::plain_system().to_description("fig1");
+    let three = Lasso::finite(vec![Value::Int(3)]);
+    let t = eqp::core::kahn_eqs::trace_from_seqs(&[
+        (copy::B, three.clone()),
+        (copy::C, three),
+    ]);
+    println!(
+        "  b = c = ⟨3⟩ : solution = {}, smooth = {}",
+        limit_holds(&desc, &t),
+        is_smooth(&desc, &t)
+    );
+    println!(
+        "  b = c = ε   : solution = {}, smooth = {}",
+        limit_holds(&desc, &Trace::empty()),
+        is_smooth(&desc, &Trace::empty())
+    );
+    println!("\nOnly the least fixpoint survives the smoothness (causality) test.");
+}

@@ -1,0 +1,74 @@
+//! The Section 2.3 network (Figure 3): P, Q, and the discriminated fair
+//! merge, with the solutions x, y (computations) and z (a non-computable
+//! solution), plus equational progress/safety properties.
+//!
+//! Run with: `cargo run --example section23_network`
+
+use eqp::core::properties::{progress_naturals, safety_doubling};
+use eqp::core::smooth::{limit_holds, smoothness_holds, smoothness_violation};
+use eqp::kahn::{Oracle, RoundRobin, RunOptions};
+use eqp::processes::dfm;
+
+fn main() {
+    println!("== The P / Q / dfm network of Section 2.3 ==\n");
+    let desc = dfm::section23_description();
+    println!("{desc}");
+
+    // The three candidate solutions.
+    let x = dfm::x_prefix(5);
+    let y = dfm::y_prefix(5);
+    let z = dfm::z_prefix(5);
+    println!("x (B-blocks)      starts {:?}…", &x[..10.min(x.len())]);
+    println!("y (reversed)      starts {:?}…", &y[..10.min(y.len())]);
+    println!("z (C-blocks)      starts {:?}…\n", &z[..10.min(z.len())]);
+
+    for (name, seq) in [("x", &x), ("y", &y), ("z", &z)] {
+        let t = dfm::d_trace(seq);
+        let smooth_path = smoothness_holds(&desc, &t, seq.len());
+        println!(
+            "{name}: prefix satisfies smoothness: {smooth_path:5}  (finite prefix solves equations: {})",
+            limit_holds(&desc, &t)
+        );
+        if !smooth_path {
+            let (u, v) = smoothness_violation(&desc, &t, seq.len()).unwrap();
+            println!("   first violation: u = {u}, v = {v}");
+        }
+    }
+
+    // Equational properties (the paper proves these from (1, 2) directly).
+    let xt = dfm::d_trace(&dfm::x_prefix(7));
+    println!(
+        "\nprogress: every n < 32 appears in x's output       : {}",
+        progress_naturals(&xt, dfm::D, 32, 1 << 9)
+    );
+    println!(
+        "safety:   every 2n is preceded by n in x's output  : {}",
+        safety_doubling(&xt, dfm::D, 16, 1 << 9)
+    );
+
+    // Operational: the network realizes smooth paths, never z.
+    println!("\noperational runs (first 12 outputs on d):");
+    for seed in [1u64, 7, 23] {
+        let mut net = dfm::section23_network(Oracle::fair(seed, 2));
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 120,
+                seed,
+            },
+        );
+        let out: Vec<i64> = run
+            .trace
+            .seq_on(dfm::D)
+            .take(12)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        println!("  seed {seed:2}: {out:?}");
+        assert!(
+            smoothness_holds(&desc, &dfm::d_trace(&out), out.len()),
+            "operational output left the smooth tree!"
+        );
+    }
+    println!("\nEvery run stays on the smooth tree; -1 (z's first item) can never appear.");
+}

@@ -1,0 +1,61 @@
+//! Explore the Section 3.3 smooth-solution tree of a chosen process and
+//! emit it as Graphviz DOT.
+//!
+//! Run with: `cargo run --example tree_explorer -- [process] [depth]`
+//! where `process` is one of `random-bit`, `dfm`, `ticks`,
+//! `brock-ackermann` (default `random-bit`) and `depth` defaults to 3.
+
+use eqp::core::tree::SmoothTree;
+use eqp::core::{Alphabet, Description};
+use eqp::processes::{brock_ackermann as ba, dfm, random_bit, ticks};
+use eqp::trace::Value;
+
+fn pick(name: &str) -> (Description, Alphabet) {
+    match name {
+        "dfm" => (
+            dfm::dfm_description(),
+            Alphabet::new()
+                .with_chan(dfm::B, [Value::Int(0), Value::Int(2)])
+                .with_chan(dfm::C, [Value::Int(1)])
+                .with_ints(dfm::D, 0, 2),
+        ),
+        "ticks" => (
+            ticks::description(),
+            Alphabet::new().with_chan(ticks::B, [Value::tt()]),
+        ),
+        "brock-ackermann" => (
+            ba::eliminated_description(),
+            Alphabet::new().with_ints(ba::C, 0, 2),
+        ),
+        _ => (
+            random_bit::bit_description(),
+            Alphabet::new().with_bits(random_bit::B),
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("random-bit");
+    let depth: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let (desc, alpha) = pick(name);
+    eprintln!("building the Section 3.3 tree for `{name}` to depth {depth}…");
+    let tree = SmoothTree::build(&desc, &alpha, depth, 100_000);
+    eprintln!(
+        "{} nodes, {} finite smooth solutions, {} leaves, profile {:?}{}",
+        tree.len(),
+        tree.solutions().count(),
+        tree.leaves().count(),
+        tree.profile(),
+        if tree.truncated() { " (truncated)" } else { "" }
+    );
+    for s in tree.solutions() {
+        eprintln!("  solution: {}", s.trace);
+    }
+    // DOT on stdout: pipe into `dot -Tsvg` to render.
+    println!("{}", tree.to_dot(name));
+}

@@ -1,0 +1,62 @@
+//! **eqp** — Equational Reasoning About Nondeterministic Processes.
+//!
+//! A Rust implementation of Jayadev Misra's PODC 1989 theory: a
+//! nondeterministic message-communicating process is characterized by a
+//! **description** — an ordered pair of continuous functions `f ⟸ g` —
+//! and its behaviours are the **smooth solutions** of that description:
+//! solutions of `f(t) = g(t)` whose every one-step prefix extension also
+//! satisfies the causality constraint `f(v) ⊑ g(u)`. Smooth solutions
+//! generalize Kahn's least fixpoints (deterministic networks fall out as
+//! the `id ⟸ h` special case) and resolve the Brock–Ackermann anomaly.
+//!
+//! # Crate map
+//!
+//! * [`cpo`] — order theory: cpos, chains, continuous functions, Kleene
+//!   fixpoints.
+//! * [`trace`] — channels, messages, finite and eventually periodic
+//!   (lasso) traces, projection, prefix order.
+//! * [`seqfn`] — the combinator algebra of continuous trace-to-sequence
+//!   functions (`even`, `odd`, affine maps, `AND`, oracle selection, …).
+//! * [`core`] — descriptions, the smooth-solution predicate, solution
+//!   enumeration, and the paper's theorems (composition, fixpoint,
+//!   variable elimination, induction).
+//! * [`kahn`] — the operational side: a Kahn-style dataflow simulator
+//!   with pluggable schedulers and quiescence detection.
+//! * [`processes`] — the paper's process zoo, each example with both its
+//!   description and an operational implementation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use eqp::core::{smooth::is_smooth, Description};
+//! use eqp::seqfn::paper::{ch, even, odd};
+//! use eqp::trace::{Chan, Event, Trace};
+//!
+//! // The discriminated fair merge of the paper's Section 2.2:
+//! //   even(d) ⟸ b ,  odd(d) ⟸ c
+//! let (b, c, d) = (Chan::new(0), Chan::new(1), Chan::new(2));
+//! let dfm = Description::new("dfm")
+//!     .equation(even(ch(d)), ch(b))
+//!     .equation(odd(ch(d)), ch(c));
+//!
+//! // Quiescent histories are smooth solutions…
+//! let quiet = Trace::finite(vec![Event::int(b, 0), Event::int(d, 0)]);
+//! assert!(is_smooth(&dfm, &quiet));
+//! // …histories still owing output are not.
+//! let owing = Trace::finite(vec![Event::int(b, 0)]);
+//! assert!(!is_smooth(&dfm, &owing));
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs (quickstart, the
+//! Brock–Ackermann anomaly, the Section 2.3 merge network, the fair-merge
+//! pipeline) and `EXPERIMENTS.md` for the paper-versus-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eqp_core as core;
+pub use eqp_cpo as cpo;
+pub use eqp_kahn as kahn;
+pub use eqp_processes as processes;
+pub use eqp_seqfn as seqfn;
+pub use eqp_trace as trace;

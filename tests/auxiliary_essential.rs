@@ -1,0 +1,130 @@
+//! E19 — Section 8.2's claim, made computational: **auxiliary channels are
+//! essential** — some processes cannot be described using their incident
+//! channels alone. The paper's witness is the finite-ticks process
+//! (Section 4.8): every finite `(d,T)ⁱ` is a trace but `(d,T)^ω` is not.
+//!
+//! We verify the claim for a *bounded grammar* of descriptions: every
+//! description `f ⟸ g` whose two sides are drawn from a combinator
+//! grammar over the single visible channel `d` (sizes ≤ 3, the full
+//! vocabulary the paper uses on tick streams) fails to have the
+//! finite-ticks trace set as its smooth solutions. The obstruction is the
+//! one the paper alludes to: with `d` alone, accepting every `Tⁱ` forces
+//! accepting the limit `T^ω` too (smooth solution sets over a single
+//! channel are limit-closed for these equation shapes), so the fairness
+//! constraint is inexpressible.
+
+use eqp::core::smooth::{is_smooth, is_smooth_at_depth};
+use eqp::core::Description;
+use eqp::seqfn::{SeqExpr, ValueMap, ValuePred};
+use eqp::trace::{Chan, Event, Lasso, Trace, Value};
+
+const D: Chan = Chan::new(0);
+
+/// All grammar expressions of size ≤ 3 over channel `d` and tick
+/// constants: projections, the constants ε / ⟨T⟩ / T^ω, `T;·`, `R(·)`,
+/// `TRUE(·)`, `takeWhile_T(·)`, `skip(1, ·)`.
+fn grammar() -> Vec<SeqExpr> {
+    let mut level0 = vec![
+        SeqExpr::chan(D),
+        SeqExpr::epsilon(),
+        SeqExpr::constant(Lasso::finite(vec![Value::tt()])),
+        SeqExpr::constant(Lasso::repeat(vec![Value::tt()])),
+    ];
+    let unary: Vec<Box<dyn Fn(SeqExpr) -> SeqExpr>> = vec![
+        Box::new(|e| SeqExpr::concat([Value::tt()], e)),
+        Box::new(|e| SeqExpr::Map(ValueMap::R, Box::new(e))),
+        Box::new(|e| SeqExpr::Filter(ValuePred::IsTrue, Box::new(e))),
+        Box::new(|e| SeqExpr::TakeWhile(ValuePred::IsTrue, Box::new(e))),
+        Box::new(|e| SeqExpr::skip(1, e)),
+    ];
+    let mut level1: Vec<SeqExpr> = Vec::new();
+    for f in &unary {
+        for e in &level0 {
+            level1.push(f(e.clone()));
+        }
+    }
+    let mut level2: Vec<SeqExpr> = Vec::new();
+    for f in &unary {
+        for e in &level1 {
+            level2.push(f(e.clone()));
+        }
+    }
+    level0.extend(level1);
+    level0.extend(level2);
+    level0
+}
+
+fn tick_trace(n: usize) -> Trace {
+    Trace::finite(vec![Event::bit(D, true); n])
+}
+
+fn omega_ticks() -> Trace {
+    Trace::lasso([], [Event::bit(D, true)])
+}
+
+/// Does `desc` describe the finite-ticks process over `d` alone? It must
+/// accept every `Tⁱ` (i ≤ 4 suffices to reject most candidates) and
+/// reject `T^ω`.
+fn describes_finite_ticks(desc: &Description) -> bool {
+    (0..=4).all(|i| is_smooth_at_depth(desc, &tick_trace(i), 8)) && !is_smooth(desc, &omega_ticks())
+}
+
+#[test]
+fn no_single_channel_description_of_finite_ticks() {
+    let exprs = grammar();
+    let mut candidates = 0usize;
+    for lhs in &exprs {
+        for rhs in &exprs {
+            let desc = Description::new("cand").equation(lhs.clone(), rhs.clone());
+            candidates += 1;
+            assert!(
+                !describes_finite_ticks(&desc),
+                "grammar description found for finite ticks: {lhs} ⟸ {rhs}"
+            );
+        }
+    }
+    // make sure the search space was non-trivial
+    assert!(candidates > 500, "searched only {candidates} candidates");
+}
+
+/// The obstruction in isolation: for every candidate that accepts all
+/// finite tick sequences, the limit `T^ω` is accepted too.
+#[test]
+fn accepting_all_finite_ticks_forces_the_limit() {
+    let exprs = grammar();
+    let mut accept_all_finite = 0usize;
+    for lhs in &exprs {
+        for rhs in &exprs {
+            let desc = Description::new("cand").equation(lhs.clone(), rhs.clone());
+            if (0..=4).all(|i| is_smooth_at_depth(&desc, &tick_trace(i), 8)) {
+                accept_all_finite += 1;
+                assert!(
+                    is_smooth(&desc, &omega_ticks()),
+                    "counterexample to limit-closure: {lhs} ⟸ {rhs}"
+                );
+            }
+        }
+    }
+    // CHAOS-like candidates (K ⟸ K) do accept all finite tick traces, so
+    // the inner assertion is exercised.
+    assert!(accept_all_finite > 0);
+}
+
+/// With the auxiliary channel admitted (Section 4.8's own description),
+/// the process IS describable — the positive side of the claim.
+#[test]
+fn auxiliary_channel_makes_it_describable() {
+    use eqp::processes::finite_ticks;
+    let sys = finite_ticks::full_system().flatten();
+    for n in 0..=4 {
+        assert!(is_smooth(&sys, &finite_ticks::n_tick_trace(n)));
+    }
+    let all_ticks = Trace::lasso(
+        [],
+        [
+            Event::bit(finite_ticks::C, true),
+            Event::bit(finite_ticks::D, true),
+        ],
+    );
+    assert!(!is_smooth(&sys, &all_ticks));
+}

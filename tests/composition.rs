@@ -1,0 +1,126 @@
+//! E14 — the composition theorem (Theorem 2) across crates: networks
+//! assembled from zoo components, checked on random traces with proptest.
+
+use eqp::core::compose::{compose, is_network_trace, sublemma_agrees, Component};
+use eqp::core::smooth::is_smooth_at_depth;
+use eqp::processes::{brock_ackermann as ba, dfm};
+use eqp::trace::{Chan, Event, Trace};
+use proptest::prelude::*;
+
+fn ba_components() -> Vec<Component> {
+    vec![
+        Component::from_description(ba::a_description()),
+        Component::from_description(ba::b_description()),
+    ]
+}
+
+fn sec23_components() -> Vec<Component> {
+    vec![
+        Component::from_description(dfm::p_description()),
+        Component::from_description(dfm::q_description()),
+        Component::from_description(dfm::dfm_description()),
+    ]
+}
+
+fn arb_ba_trace() -> impl Strategy<Value = Trace> {
+    let ev = prop_oneof![
+        (-1i64..4).prop_map(|n| Event::int(ba::B, n)),
+        (-1i64..4).prop_map(|n| Event::int(ba::C, n)),
+    ];
+    proptest::collection::vec(ev, 0..8).prop_map(Trace::finite)
+}
+
+fn arb_sec23_trace() -> impl Strategy<Value = Trace> {
+    let ev = (0u32..3, -2i64..5).prop_map(|(c, n)| {
+        let chan = [dfm::B, dfm::C, dfm::D][c as usize];
+        Event::int(chan, n)
+    });
+    proptest::collection::vec(ev, 0..8).prop_map(Trace::finite)
+}
+
+proptest! {
+    #[test]
+    fn brock_ackermann_sublemma(t in arb_ba_trace()) {
+        prop_assert!(sublemma_agrees(&ba_components(), &t, 24));
+    }
+
+    #[test]
+    fn section23_sublemma(t in arb_sec23_trace()) {
+        prop_assert!(sublemma_agrees(&sec23_components(), &t, 24));
+    }
+
+    /// The network-trace characterization (Section 3.1.2) coincides with
+    /// composite smoothness when components cover all channels.
+    #[test]
+    fn network_trace_iff_composite_smooth(t in arb_sec23_trace()) {
+        let comps = sec23_components();
+        let net = compose(&comps.iter().map(|c| c.desc.clone()).collect::<Vec<_>>());
+        prop_assert_eq!(
+            is_network_trace(&comps, &t, 24),
+            is_smooth_at_depth(&net, &t, 24)
+        );
+    }
+
+    /// dc holds by construction for every component on every trace.
+    #[test]
+    fn dc_everywhere(t in arb_sec23_trace()) {
+        for c in sec23_components() {
+            prop_assert!(c.dc_holds_on(&t));
+        }
+    }
+}
+
+/// A known quiescent network trace of the Brock–Ackermann system is a
+/// smooth solution of the composite, and each projection is smooth for its
+/// component (the sublemma, instantiated concretely).
+#[test]
+fn concrete_ba_network_trace() {
+    let comps = ba_components();
+    let t = Trace::finite(vec![
+        Event::int(ba::C, 0),
+        Event::int(ba::C, 2),
+        Event::int(ba::B, 1),
+        Event::int(ba::C, 1),
+    ]);
+    let net = compose(&comps.iter().map(|c| c.desc.clone()).collect::<Vec<_>>());
+    assert!(is_smooth_at_depth(&net, &t, 16));
+    for c in &comps {
+        assert!(is_smooth_at_depth(&c.desc, &t.project(&c.chans), 16));
+    }
+    assert!(is_network_trace(&comps, &t, 16));
+}
+
+/// Cross-module composition: the fork piped into a doubling worker — a
+/// network never stated in the paper, exercising the theorem beyond its
+/// own examples.
+#[test]
+fn fork_plus_worker_composition() {
+    use eqp::processes::fork;
+    use eqp::seqfn::paper::{ch, twice};
+    let worker_out = Chan::new(120);
+    let worker =
+        eqp::core::Description::new("worker").defines(worker_out, twice(ch(fork::D)));
+    let comps = vec![
+        Component::from_description(fork::description()),
+        Component::from_description(worker),
+    ];
+    // route 3 to d (oracle T), worker doubles it; e unused.
+    let t = Trace::finite(vec![
+        Event::int(fork::C, 3),
+        Event::bit(fork::B, true),
+        Event::int(fork::D, 3),
+        Event::int(worker_out, 6),
+    ]);
+    let net = compose(&comps.iter().map(|c| c.desc.clone()).collect::<Vec<_>>());
+    assert!(is_smooth_at_depth(&net, &t, 16));
+    assert!(sublemma_agrees(&comps, &t, 16));
+    // breaking the worker's output breaks the whole network
+    let bad = Trace::finite(vec![
+        Event::int(fork::C, 3),
+        Event::bit(fork::B, true),
+        Event::int(fork::D, 3),
+        Event::int(worker_out, 7),
+    ]);
+    assert!(!is_smooth_at_depth(&net, &bad, 16));
+    assert!(sublemma_agrees(&comps, &bad, 16));
+}

@@ -1,0 +1,231 @@
+//! The experiment index E1–E12 of DESIGN.md, pinned as one assertion per
+//! headline claim of the paper — the executable summary that
+//! EXPERIMENTS.md reports from.
+
+use eqp::core::kahn_eqs::SolveOptions;
+use eqp::core::smooth::{is_smooth, limit_holds, smoothness_holds, smoothness_violation};
+use eqp::core::{enumerate, Alphabet, EnumOptions};
+use eqp::kahn::{Oracle, RoundRobin, RunOptions};
+use eqp::processes::*;
+use eqp::trace::{Event, Lasso, Trace, Value};
+
+/// E1 — Figure 1: plain loop has lfp (ε, ε); seeded loop has lfp 0^ω.
+#[test]
+fn e1_figure1_copy_networks() {
+    let plain = copy::plain_system().solve(SolveOptions::default()).unwrap();
+    assert_eq!(plain.seqs, vec![Lasso::empty(), Lasso::empty()]);
+    let seeded = copy::seeded_system().solve(SolveOptions::default()).unwrap();
+    let zw = Lasso::repeat(vec![Value::Int(0)]);
+    assert_eq!(seeded.seqs, vec![zw.clone(), zw]);
+    assert!(!seeded.stabilized, "0^ω must come from verified extrapolation");
+}
+
+/// E2 — Figure 2: dfm's quiescent traces from Section 3.1.1 are exactly
+/// classified.
+#[test]
+fn e2_dfm_quiescence_classification() {
+    let d = dfm::dfm_description();
+    let quiescent = [
+        Trace::empty(),
+        Trace::finite(vec![Event::int(dfm::B, 0), Event::int(dfm::D, 0)]),
+        Trace::finite(vec![
+            Event::int(dfm::B, 0),
+            Event::int(dfm::C, 1),
+            Event::int(dfm::C, 3),
+            Event::int(dfm::D, 1),
+            Event::int(dfm::D, 3),
+            Event::int(dfm::D, 0),
+        ]),
+    ];
+    for t in &quiescent {
+        assert!(is_smooth(&d, t), "expected quiescent: {t}");
+    }
+    let non_quiescent = [
+        Trace::finite(vec![Event::int(dfm::B, 0)]),
+        Trace::finite(vec![
+            Event::int(dfm::B, 0),
+            Event::int(dfm::D, 0),
+            Event::int(dfm::C, 1),
+        ]),
+    ];
+    for t in &non_quiescent {
+        assert!(!is_smooth(&d, t), "expected non-quiescent: {t}");
+    }
+    // the infinite (b,0)(d,0) repetition is a quiescent trace:
+    let w = Trace::lasso([], [Event::int(dfm::B, 0), Event::int(dfm::D, 0)]);
+    assert!(is_smooth(&d, &w));
+}
+
+/// E3 — Figure 3: x, y smooth paths; z a solution-shaped sequence failing
+/// smoothness at its first element.
+#[test]
+fn e3_section23_xyz() {
+    let desc = dfm::section23_description();
+    for seq in [dfm::x_prefix(5), dfm::y_prefix(5)] {
+        assert!(smoothness_holds(&desc, &dfm::d_trace(&seq), seq.len()));
+    }
+    let z = dfm::z_prefix(4);
+    let (u, v) = smoothness_violation(&desc, &dfm::d_trace(&z), 8).unwrap();
+    assert!(u.is_empty());
+    assert_eq!(v.seq_on(dfm::D).take(1), vec![Value::Int(-1)]);
+}
+
+/// E4 — Figure 4: Brock–Ackermann — two solutions, one smooth.
+#[test]
+fn e4_brock_ackermann() {
+    let desc = brock_ackermann::eliminated_description();
+    assert!(limit_holds(&desc, &brock_ackermann::genuine_trace()));
+    assert!(limit_holds(&desc, &brock_ackermann::anomalous_trace()));
+    assert!(is_smooth(&desc, &brock_ackermann::genuine_trace()));
+    assert!(!is_smooth(&desc, &brock_ackermann::anomalous_trace()));
+}
+
+/// E5 — CHAOS: every trace smooth.
+#[test]
+fn e5_chaos() {
+    let d = chaos::description();
+    assert!(is_smooth(&d, &Trace::empty()));
+    assert!(is_smooth(
+        &d,
+        &Trace::lasso([], [Event::int(chaos::B, 1), Event::int(chaos::B, 9)])
+    ));
+}
+
+/// E6 — Ticks: unique smooth solution (b,T)^ω.
+#[test]
+fn e6_ticks() {
+    assert!(is_smooth(&ticks::description(), &ticks::omega_trace()));
+    let alpha = Alphabet::new().with_chan(ticks::B, [Value::tt()]);
+    let e = enumerate(
+        &ticks::description(),
+        &alpha,
+        EnumOptions {
+            max_depth: 6,
+            max_nodes: 1000,
+        },
+    );
+    assert!(e.solutions.is_empty(), "no finite solutions");
+    assert_eq!(e.frontier.len(), 1, "single infinite path");
+}
+
+/// E7/E8 — Random Bit (exactly {T, F}) and Random Bit Sequence.
+#[test]
+fn e7_e8_random_bits() {
+    let alpha = Alphabet::new().with_bits(random_bit::B);
+    let e = enumerate(
+        &random_bit::bit_description(),
+        &alpha,
+        EnumOptions {
+            max_depth: 3,
+            max_nodes: 1000,
+        },
+    );
+    assert_eq!(e.solutions.len(), 2);
+    let seq = random_bit::sequence_description();
+    let ok = Trace::finite(vec![
+        Event::bit(random_bit::C, true),
+        Event::bit(random_bit::B, false),
+    ]);
+    assert!(is_smooth(&seq, &ok));
+}
+
+/// E9 — Implication (Figure 5): the four visible quiescent traces.
+#[test]
+fn e9_implication() {
+    let e = enumerate(
+        &implication::description(),
+        &Alphabet::new()
+            .with_bits(implication::B)
+            .with_bits(implication::C)
+            .with_bits(implication::D),
+        EnumOptions {
+            max_depth: 3,
+            max_nodes: 200_000,
+        },
+    );
+    let projected = e.solutions_projected(&implication::visible_channels());
+    let expect = [
+        Trace::empty(),
+        Trace::finite(vec![
+            Event::bit(implication::C, true),
+            Event::bit(implication::D, true),
+        ]),
+        Trace::finite(vec![
+            Event::bit(implication::C, true),
+            Event::bit(implication::D, false),
+        ]),
+        Trace::finite(vec![
+            Event::bit(implication::C, false),
+            Event::bit(implication::D, false),
+        ]),
+    ];
+    for t in &expect {
+        assert!(projected.contains(t));
+    }
+    assert!(!projected.contains(&Trace::finite(vec![
+        Event::bit(implication::C, false),
+        Event::bit(implication::D, true),
+    ])));
+}
+
+/// E10 — Fork (Figure 6): routing follows the oracle.
+#[test]
+fn e10_fork() {
+    let t = Trace::finite(vec![
+        Event::int(fork::C, 1),
+        Event::bit(fork::B, false),
+        Event::int(fork::E, 1),
+    ]);
+    assert!(is_smooth(&fork::description(), &t));
+    let wrong = Trace::finite(vec![
+        Event::int(fork::C, 1),
+        Event::bit(fork::B, false),
+        Event::int(fork::D, 1),
+    ]);
+    assert!(!is_smooth(&fork::description(), &wrong));
+}
+
+/// E11 — Fair random / finite ticks / random number: fairness lives in
+/// the limit condition.
+#[test]
+fn e11_fairness_family() {
+    // fair random: (T F)^ω accepted, T^ω rejected.
+    let fr = fair_random::description();
+    assert!(is_smooth(&fr, &fair_random::fair_trace(&[true, false])));
+    assert!(!limit_holds(&fr, &fair_random::fair_trace(&[true])));
+    // finite ticks: every n has a trace; the infinite tick stream fails.
+    let ft = finite_ticks::full_system().flatten();
+    assert!(is_smooth(&ft, &finite_ticks::n_tick_trace(3)));
+    let all_ticks = Trace::lasso(
+        [],
+        [Event::bit(finite_ticks::C, true), Event::bit(finite_ticks::D, true)],
+    );
+    assert!(!limit_holds(&ft, &all_ticks));
+    // random number: every natural expressible.
+    let rn = random_number::full_system().flatten();
+    for n in 0..4 {
+        assert!(is_smooth(&rn, &random_number::n_trace(n)));
+    }
+}
+
+/// E12 — Fair merge (Figure 7): mechanical elimination matches the paper
+/// and operational merges are fair interleavings.
+#[test]
+fn e12_fair_merge() {
+    let got = fair_merge::eliminated_system();
+    let expect = fair_merge::expected_eliminated();
+    for ((_, e), g) in expect.iter().zip(got.descriptions()) {
+        assert_eq!(e.lhs(), g.lhs());
+        assert_eq!(e.rhs(), g.rhs());
+    }
+    let mut net = fair_merge::network(&[2, 4], &[1, 3], Oracle::fair(1, 2));
+    let run = net.run(
+        &mut RoundRobin::new(),
+        RunOptions {
+            max_steps: 200,
+            seed: 1,
+        },
+    );
+    assert!(run.quiescent);
+    assert_eq!(run.trace.seq_on(fair_merge::E).take(8).len(), 4);
+}

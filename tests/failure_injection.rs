@@ -1,0 +1,151 @@
+//! Negative validation: injected faults — unfair merges, starved inputs,
+//! truncated runs, wrong-order deliveries — must be *rejected* by the
+//! smooth-solution machinery. A checker that accepts everything proves
+//! nothing; these tests pin the rejection side.
+
+use eqp::core::properties::window_fair;
+use eqp::core::smooth::{is_smooth, limit_holds, smoothness_holds};
+use eqp::kahn::{procs, Network, Oracle, Process, RoundRobin, RunOptions, StepCtx, StepResult};
+use eqp::processes::{dfm, fair_merge as fm, fair_random};
+use eqp::trace::{ChanSet, Event, Lasso, Trace, Value};
+
+/// An *unfair* merge: after forwarding `quota` items from the right
+/// input, it ignores that side forever.
+struct UnfairMerge {
+    left: eqp::trace::Chan,
+    right: eqp::trace::Chan,
+    output: eqp::trace::Chan,
+    right_quota: usize,
+}
+
+impl Process for UnfairMerge {
+    fn name(&self) -> &str {
+        "unfair-merge"
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if ctx.available(self.left) > 0 {
+            let v = ctx.pop(self.left).expect("nonempty");
+            ctx.send(self.output, v);
+            return StepResult::Progress;
+        }
+        if self.right_quota > 0 && ctx.available(self.right) > 0 {
+            self.right_quota -= 1;
+            let v = ctx.pop(self.right).expect("nonempty");
+            ctx.send(self.output, v);
+            return StepResult::Progress;
+        }
+        StepResult::Idle
+    }
+}
+
+/// An unfair dfm starves channel c: the quiescent trace violates the
+/// description's limit condition (odd(d) ≠ c) and is rejected.
+#[test]
+fn unfair_merge_quiescent_trace_rejected() {
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env-b",
+        dfm::B,
+        [Value::Int(0), Value::Int(2)],
+    ));
+    net.add(procs::Source::new(
+        "env-c",
+        dfm::C,
+        [Value::Int(1), Value::Int(3)],
+    ));
+    net.add(UnfairMerge {
+        left: dfm::B,
+        right: dfm::C,
+        output: dfm::D,
+        right_quota: 1, // drops c's second item forever
+    });
+    let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+    assert!(run.quiescent);
+    let desc = dfm::dfm_description();
+    assert!(
+        !is_smooth(&desc, &run.trace),
+        "an unfair quiescent trace must be rejected: {}",
+        run.trace
+    );
+    // diagnosis: it is specifically the limit (fairness) that fails, not
+    // causality along the way.
+    assert!(!limit_holds(&desc, &run.trace));
+    assert!(smoothness_holds(&desc, &run.trace, 32));
+}
+
+/// A *truncated* (non-quiescent) fair run is also not a smooth solution —
+/// smooth solutions are quiescent traces, not arbitrary histories.
+#[test]
+fn truncated_fair_run_is_not_a_solution() {
+    let mut net = fm::network(&[2, 4, 6], &[1, 3], Oracle::fair(3, 2));
+    let run = net.run(
+        &mut RoundRobin::new(),
+        RunOptions {
+            max_steps: 4, // cut off mid-flight
+            seed: 3,
+        },
+    );
+    assert!(!run.quiescent);
+    let t = run
+        .trace
+        .project(&ChanSet::from_chans([fm::C, fm::D, fm::E, fm::B]));
+    assert!(!is_smooth(&fm::eliminated_system().flatten(), &t));
+}
+
+/// A biased "fair random" source that eventually emits only T: its limit
+/// is rejected by the fair-random description, and the window-fairness
+/// monitor flags the starvation on finite windows.
+#[test]
+fn biased_oracle_rejected_by_limit_and_monitor() {
+    let eventually_all_t = Trace::lasso(
+        [Event::bit(fair_random::C, false)],
+        [Event::bit(fair_random::C, true)],
+    );
+    let desc = fair_random::description();
+    assert!(!limit_holds(&desc, &eventually_all_t));
+    // the finite-window fairness monitor sees the F-source starve:
+    let merged = eventually_all_t.seq_on(fair_random::C).drop_front(1);
+    let f_source = Lasso::repeat(vec![Value::ff()]);
+    assert!(!window_fair(&merged, &f_source, 32));
+}
+
+/// Reordered delivery: swapping two d-outputs of a valid dfm history
+/// breaks per-source order and the trace is rejected.
+#[test]
+fn reordered_outputs_rejected() {
+    let good = Trace::finite(vec![
+        Event::int(dfm::B, 0),
+        Event::int(dfm::B, 2),
+        Event::int(dfm::D, 0),
+        Event::int(dfm::D, 2),
+    ]);
+    let desc = dfm::dfm_description();
+    assert!(is_smooth(&desc, &good));
+    let swapped = Trace::finite(vec![
+        Event::int(dfm::B, 0),
+        Event::int(dfm::B, 2),
+        Event::int(dfm::D, 2),
+        Event::int(dfm::D, 0),
+    ]);
+    assert!(!is_smooth(&desc, &swapped));
+}
+
+/// Duplicated delivery: emitting an input twice violates "every item in d
+/// is a unique item from b or c".
+#[test]
+fn duplicated_outputs_rejected() {
+    let dup = Trace::finite(vec![
+        Event::int(dfm::B, 0),
+        Event::int(dfm::D, 0),
+        Event::int(dfm::D, 0),
+    ]);
+    assert!(!is_smooth(&dfm::dfm_description(), &dup));
+}
+
+/// Fabricated delivery: outputting a value never received.
+#[test]
+fn fabricated_outputs_rejected() {
+    let fab = Trace::finite(vec![Event::int(dfm::B, 0), Event::int(dfm::D, 4)]);
+    assert!(!is_smooth(&dfm::dfm_description(), &fab));
+}

@@ -1,0 +1,116 @@
+//! Behavioral tests for the Kahn standard-process library additions
+//! (`Delay`, `Zip2`) and their interaction with the equational layer.
+
+use eqp::core::kahn_eqs::{KahnSystem, SolveOptions};
+use eqp::kahn::{procs, Network, RoundRobin, RunOptions};
+use eqp::seqfn::paper::ch;
+use eqp::seqfn::SeqExpr;
+use eqp::trace::{Chan, Lasso, Value};
+
+fn chan(i: u32) -> Chan {
+    Chan::new(i)
+}
+
+#[test]
+fn delay_emits_initial_then_copies() {
+    let (a, b) = (chan(0), chan(1));
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "src",
+        a,
+        [Value::Int(10), Value::Int(20)],
+    ));
+    net.add(procs::Delay::new("delay", a, b, [Value::Int(0)]));
+    let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+    assert!(run.quiescent);
+    assert_eq!(
+        run.trace.seq_on(b).take(8),
+        vec![Value::Int(0), Value::Int(10), Value::Int(20)]
+    );
+}
+
+#[test]
+fn zip2_adds_pointwise_and_waits_for_both() {
+    let (a, b, c) = (chan(0), chan(1), chan(2));
+    let mut net = Network::new();
+    net.add(procs::Source::new("sa", a, [Value::Int(1), Value::Int(2)]));
+    net.add(procs::Source::new(
+        "sb",
+        b,
+        [Value::Int(10), Value::Int(20), Value::Int(30)],
+    ));
+    net.add(procs::Zip2::add("plus", a, b, c));
+    let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+    assert!(run.quiescent);
+    // min-length semantics: the third b-item never pairs.
+    assert_eq!(
+        run.trace.seq_on(c).take(8),
+        vec![Value::Int(11), Value::Int(22)]
+    );
+}
+
+/// The running-sum feedback loop: sums = input + (0 ; sums). Operational
+/// network vs. the equational system iterated to the same depth.
+#[test]
+fn running_sum_feedback_agrees_with_equations() {
+    let (input, sums, delayed) = (chan(0), chan(1), chan(2));
+    // operational
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env",
+        input,
+        [1, 2, 3, 4].map(Value::Int),
+    ));
+    net.add(procs::Zip2::add("plus", input, delayed, sums));
+    net.add(procs::Delay::new("delay0", sums, delayed, [Value::Int(0)]));
+    let run = net.run(&mut RoundRobin::new(), RunOptions::default());
+    assert!(run.quiescent);
+    let oper: Vec<i64> = run
+        .trace
+        .seq_on(sums)
+        .take(8)
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(oper, vec![1, 3, 6, 10]);
+
+    // equational: sums = input + (0; sums), input = ⟨1 2 3 4⟩ const.
+    let sys = KahnSystem::new()
+        .equation(input, SeqExpr::const_ints([1, 2, 3, 4]))
+        .equation(
+            sums,
+            SeqExpr::add(ch(input), SeqExpr::concat([Value::Int(0)], ch(sums))),
+        );
+    let sol = sys.solve(SolveOptions::default()).expect("stabilizes");
+    assert!(sol.stabilized);
+    let denot: Vec<i64> = sol.seqs[1]
+        .take(8)
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(denot, oper);
+}
+
+/// Delay of an infinite source shifts the lasso.
+#[test]
+fn delay_of_lasso_source() {
+    let (a, b) = (chan(0), chan(1));
+    let mut net = Network::new();
+    net.add(procs::Source::lasso(
+        "src",
+        a,
+        Lasso::repeat(vec![Value::Int(7)]),
+    ));
+    net.add(procs::Delay::new("delay", a, b, [Value::Int(9)]));
+    let run = net.run(
+        &mut RoundRobin::new(),
+        RunOptions {
+            max_steps: 20,
+            seed: 0,
+        },
+    );
+    assert!(!run.quiescent);
+    let out = run.trace.seq_on(b).take(5);
+    assert_eq!(out[0], Value::Int(9));
+    assert!(out[1..].iter().all(|v| *v == Value::Int(7)));
+}

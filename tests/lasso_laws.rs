@@ -1,0 +1,132 @@
+//! Algebraic laws of the lasso algebra — the equational backbone that the
+//! exactness claims (DESIGN.md §2) rest on, checked with proptest at the
+//! workspace level.
+
+use eqp::trace::{Lasso, Value};
+use proptest::prelude::*;
+
+fn val() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-3i64..4).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bit),
+    ]
+}
+
+fn lasso() -> impl Strategy<Value = Lasso<Value>> {
+    (
+        proptest::collection::vec(val(), 0..5),
+        proptest::collection::vec(val(), 0..4),
+    )
+        .prop_map(|(p, c)| Lasso::lasso(p, c))
+}
+
+fn finite() -> impl Strategy<Value = Lasso<Value>> {
+    proptest::collection::vec(val(), 0..6).prop_map(Lasso::finite)
+}
+
+const W: usize = 48;
+
+proptest! {
+    /// Concatenation is associative on finite sequences:
+    /// (a · b) · c = a · (b · c).
+    #[test]
+    fn then_associative(a in finite(), b in finite(), c in lasso()) {
+        let left = a.then(&b).unwrap().then(&c).unwrap();
+        let right = a.then(&b.then(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// ε is a unit for concatenation.
+    #[test]
+    fn epsilon_unit(a in lasso()) {
+        prop_assert_eq!(Lasso::empty().then(&a).unwrap(), a.clone());
+        if a.is_finite() {
+            prop_assert_eq!(a.then(&Lasso::empty()).unwrap(), a);
+        }
+    }
+
+    /// Map fusion: map f ∘ map g = map (f ∘ g).
+    #[test]
+    fn map_fusion(a in lasso()) {
+        let f = |v: &Value| match v { Value::Int(n) => Value::Int(n + 1), x => *x };
+        let g = |v: &Value| match v { Value::Int(n) => Value::Int(2 * n), x => *x };
+        prop_assert_eq!(a.map(g).map(f), a.map(|v| f(&g(v))));
+    }
+
+    /// Filter idempotence and commutation: filter p ∘ filter q =
+    /// filter (p ∧ q) = filter q ∘ filter p.
+    #[test]
+    fn filter_commutes(a in lasso()) {
+        let p = |v: &Value| v.is_even_int();
+        let q = |v: &Value| matches!(v, Value::Int(n) if *n >= 0);
+        prop_assert_eq!(a.filter(p).filter(q), a.filter(q).filter(p));
+        prop_assert_eq!(a.filter(p).filter(p), a.filter(p));
+        prop_assert_eq!(
+            a.filter(p).filter(q),
+            a.filter(|v| p(v) && q(v))
+        );
+    }
+
+    /// Filter–map exchange for a predicate invariant under the map.
+    #[test]
+    fn filter_map_exchange(a in lasso()) {
+        // doubling preserves evenness-of-int and bit-ness
+        let f = |v: &Value| match v { Value::Int(n) => Value::Int(2 * n), x => *x };
+        let is_bit = |v: &Value| matches!(v, Value::Bit(_));
+        prop_assert_eq!(a.map(f).filter(is_bit), a.filter(is_bit).map(f));
+    }
+
+    /// take(n) ++ drop(n) reassembles the word (on a window).
+    #[test]
+    fn take_drop_reassemble(a in lasso(), n in 0usize..10) {
+        let head = Lasso::finite(a.take(n));
+        let tail = a.drop_front(n);
+        let rebuilt = head.then(&tail).unwrap();
+        prop_assert_eq!(rebuilt.take(W), a.take(W));
+        prop_assert_eq!(rebuilt.is_infinite(), a.is_infinite());
+    }
+
+    /// drop is additive: drop(m) ∘ drop(n) = drop(n + m).
+    #[test]
+    fn drop_additive(a in lasso(), n in 0usize..6, m in 0usize..6) {
+        prop_assert_eq!(a.drop_front(n).drop_front(m), a.drop_front(n + m));
+    }
+
+    /// concat_front agrees with then.
+    #[test]
+    fn concat_front_is_then(a in finite(), b in lasso()) {
+        let via_then = a.then(&b).unwrap();
+        let via_front = b.concat_front(a.prefix());
+        prop_assert_eq!(via_then, via_front);
+    }
+
+    /// leq is a partial order: reflexive, antisymmetric, transitive (on
+    /// sampled triples).
+    #[test]
+    fn leq_partial_order(a in lasso(), b in lasso(), c in lasso()) {
+        prop_assert!(a.leq(&a));
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    /// zip_with projections: mapping fst over a zip recovers the shorter
+    /// operand's prefix.
+    #[test]
+    fn zip_fst_projection(a in lasso(), b in lasso()) {
+        let zipped = a.zip_with(&b, |x, y| (*x, *y));
+        let fst = zipped.map(|(x, _)| *x);
+        let n = fst.take(W).len();
+        prop_assert_eq!(fst.take(W), a.take(n));
+    }
+
+    /// Normal form is a fixed point: rebuilding from parts is identity.
+    #[test]
+    fn normal_form_idempotent(a in lasso()) {
+        let rebuilt = Lasso::lasso(a.prefix().to_vec(), a.cycle().to_vec());
+        prop_assert_eq!(rebuilt, a);
+    }
+}

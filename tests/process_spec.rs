@@ -1,0 +1,130 @@
+//! The set-theoretic process layer (Section 3.1.2) against the equational
+//! layer: network traces computed extensionally (projections land in
+//! component trace sets) must coincide with the composite description's
+//! smooth solutions (Theorem 2, stated the paper's original way).
+
+use eqp::core::process_spec::{is_network_trace_extensional, network_traces, ProcessSpec};
+use eqp::core::smooth::is_smooth;
+use eqp::core::{compose, Alphabet, Description, EnumOptions};
+use eqp::seqfn::paper::{ch, even, odd};
+use eqp::trace::{Chan, ChanSet, Event, Trace, Value};
+
+fn b() -> Chan {
+    Chan::new(0)
+}
+fn c() -> Chan {
+    Chan::new(1)
+}
+fn d() -> Chan {
+    Chan::new(2)
+}
+
+fn dfm_desc() -> Description {
+    Description::new("dfm")
+        .equation(even(ch(d())), ch(b()))
+        .equation(odd(ch(d())), ch(c()))
+}
+
+fn alpha() -> Alphabet {
+    Alphabet::new()
+        .with_chan(b(), [Value::Int(0)])
+        .with_chan(c(), [Value::Int(1)])
+        .with_ints(d(), 0, 1)
+}
+
+fn source_desc(chan: Chan, vals: &[i64]) -> Description {
+    Description::new("src").defines(chan, eqp::seqfn::SeqExpr::const_ints(vals.to_vec()))
+}
+
+/// Build ProcessSpecs from descriptions, compose extensionally, and
+/// compare against the equational composite on every bounded trace.
+#[test]
+fn extensional_composition_matches_equational() {
+    let opts = EnumOptions {
+        max_depth: 4,
+        max_nodes: 500_000,
+    };
+    // components: a source of ⟨0⟩ on b, a source of ⟨1⟩ on c, dfm.
+    let src_b = source_desc(b(), &[0]);
+    let src_c = source_desc(c(), &[1]);
+    let dfm = dfm_desc();
+    let specs = vec![
+        ProcessSpec::from_description(&src_b, &ChanSet::from_chans([b()]), &alpha(), opts),
+        ProcessSpec::from_description(&src_c, &ChanSet::from_chans([c()]), &alpha(), opts),
+        ProcessSpec::from_description(
+            &dfm,
+            &ChanSet::from_chans([b(), c(), d()]),
+            &alpha(),
+            opts,
+        ),
+    ];
+    let net = compose(&[src_b, src_c, dfm]);
+
+    // all candidate traces up to 4 events over the alphabet:
+    let mut all = vec![Trace::empty()];
+    let mut level = vec![Trace::empty()];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for u in &level {
+            for (cn, msgs) in alpha().iter() {
+                for m in msgs {
+                    let v = u.pushed(Event::new(cn, *m)).unwrap();
+                    next.push(v.clone());
+                    all.push(v);
+                }
+            }
+        }
+        level = next;
+    }
+
+    let extensional = network_traces(&specs, all.iter().cloned());
+    for t in &all {
+        let equational = is_smooth(&net, t);
+        let ext = extensional.contains(t);
+        assert_eq!(
+            equational, ext,
+            "composition layers disagree on {t}: equational={equational} extensional={ext}"
+        );
+    }
+    // the canonical full run is a network trace both ways:
+    let full = Trace::finite(vec![
+        Event::int(b(), 0),
+        Event::int(c(), 1),
+        Event::int(d(), 0),
+        Event::int(d(), 1),
+    ]);
+    assert!(is_network_trace_extensional(&specs, &full));
+    assert!(is_smooth(&net, &full));
+}
+
+/// Histories and nonquiescent histories partition correctly for a spec
+/// derived from a description.
+#[test]
+fn histories_partition() {
+    let spec = ProcessSpec::from_description(
+        &dfm_desc(),
+        &ChanSet::from_chans([b(), c(), d()]),
+        &alpha(),
+        EnumOptions {
+            max_depth: 3,
+            max_nodes: 500_000,
+        },
+    );
+    let histories = spec.histories(3);
+    let nonquiescent = spec.nonquiescent_histories(3);
+    for h in &histories {
+        let quiescent = spec.has_trace(h);
+        assert_eq!(
+            !quiescent,
+            nonquiescent.contains(h),
+            "partition broken at {h}"
+        );
+        // every history must satisfy the smoothness condition (it lies on
+        // a path of the tree)
+        assert!(eqp::core::smooth::smoothness_holds(&dfm_desc(), h, 8));
+    }
+    // (b,0) is a history but not quiescent:
+    let owing = Trace::finite(vec![Event::int(b(), 0)]);
+    assert!(histories.contains(&owing));
+    assert!(nonquiescent.contains(&owing));
+}

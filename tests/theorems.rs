@@ -1,0 +1,146 @@
+//! E13 / E15 / E16 — cross-crate checks of Theorems 1, 4, 5/6 on instances
+//! larger and more varied than the per-crate unit tests.
+
+use eqp::core::fixpoint::{enumerate_smooth_solutions_id, kleene_smooth_witness};
+use eqp::core::smooth::{is_smooth, is_smooth_independent};
+use eqp::core::{eliminate, reconstruct_witness, Description, System};
+use eqp::cpo::domains::{ClampedNat, Powerset};
+use eqp::cpo::fixpoint::KleeneOptions;
+use eqp::cpo::func::FnCont;
+use eqp::seqfn::paper::{ch, even, odd, prepend_int, twice};
+use eqp::trace::{Chan, ChanSet, Event, Trace};
+use proptest::prelude::*;
+
+// Theorem 4, exhaustively on ClampedNat(8): for *every* monotone
+// endofunction given by a random sorted table, the set of smooth
+// solutions of `id ⟸ h` is exactly `{lfp(h)}`.
+proptest! {
+    #[test]
+    fn theorem4_uniqueness_clamped_nat(table in proptest::collection::vec(0u64..9, 9)) {
+        let mut t = table;
+        t.sort_unstable();
+        let d = ClampedNat::new(8);
+        let tblc = t.clone();
+        let h = FnCont::new("table", move |x: &u64| tblc[*x as usize]);
+        let (_chain, lfp) =
+            kleene_smooth_witness(&d, &h, KleeneOptions::default()).expect("finite domain");
+        let universe: Vec<u64> = d.enumerate().collect();
+        let tble = t.clone();
+        let sols = enumerate_smooth_solutions_id(&d, &universe, &|x: &u64| tble[*x as usize]);
+        prop_assert_eq!(sols.len(), 1, "smooth solutions must be unique");
+        prop_assert!(sols.contains(&lfp));
+    }
+
+    // Theorem 4 on the powerset lattice with random union-closure maps:
+    // h(S) = S ∪ seeds ∪ {succ(x) | x ∈ S, x+1 ∈ allowed}.
+    #[test]
+    fn theorem4_uniqueness_powerset(
+        seeds in proptest::collection::btree_set(0u32..4, 0..3),
+        allowed in proptest::collection::btree_set(1u32..4, 0..4),
+    ) {
+        let d = Powerset::new(4);
+        let universe = d.enumerate();
+        let s2 = seeds.clone();
+        let a2 = allowed.clone();
+        let hf = move |s: &std::collections::BTreeSet<u32>| {
+            let mut out = s.clone();
+            out.extend(seeds.iter().copied());
+            for &x in s {
+                if allowed.contains(&(x + 1)) {
+                    out.insert(x + 1);
+                }
+            }
+            out
+        };
+        let h = FnCont::new("closure", {
+            let hf = hf.clone();
+            move |s: &std::collections::BTreeSet<u32>| hf(s)
+        });
+        let (_c, lfp) =
+            kleene_smooth_witness(&d, &h, KleeneOptions::default()).expect("finite lattice");
+        let sols = enumerate_smooth_solutions_id(&d, &universe, &hf);
+        prop_assert_eq!(sols.len(), 1);
+        prop_assert!(sols.contains(&lfp));
+        let _ = (s2, a2);
+    }
+}
+
+// Theorem 1 stress: an independent description with *tuple* sides over
+// three channels; the staggered and per-prefix checks agree on random
+// traces.
+proptest! {
+    #[test]
+    fn theorem1_tuple_agreement(
+        evs in proptest::collection::vec((0u32..3, -2i64..4), 0..8)
+    ) {
+        let (b, c, d) = (Chan::new(0), Chan::new(1), Chan::new(2));
+        let desc = Description::new("ind")
+            .equation(even(ch(d)), ch(b))
+            .equation(odd(ch(d)), twice(ch(c)));
+        let t = Trace::finite(
+            evs.into_iter()
+                .map(|(ci, n)| Event::int([b, c, d][ci as usize], n))
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(
+            is_smooth(&desc, &t),
+            is_smooth_independent(&desc, &t, 16)
+        );
+    }
+}
+
+/// Theorems 5/6 on a two-stage elimination (a chain of definitions
+/// b₁ := h₁, b₂ := h₂(b₁)), round-tripping witnesses through both stages.
+#[test]
+fn two_stage_elimination_roundtrip() {
+    let (src, b1, b2, out) = (Chan::new(0), Chan::new(1), Chan::new(2), Chan::new(3));
+    let sys = System::new()
+        .with(Description::new("defB1").defines(b1, twice(ch(src))))
+        .with(Description::new("defB2").defines(b2, prepend_int(0, ch(b1))))
+        .with(Description::new("useB2").defines(out, ch(b2)));
+    // eliminate b2 first (its rhs mentions b1, fine), then b1.
+    let s1 = eliminate(&sys, b2).expect("eliminate b2");
+    let s2 = eliminate(&s1, b1).expect("eliminate b1");
+    assert_eq!(s2.len(), 1);
+    let final_desc = s2.flatten();
+    // out = 0; 2×src — a quiescent run:
+    let s = Trace::finite(vec![
+        Event::int(out, 0),
+        Event::int(src, 5),
+        Event::int(out, 10),
+    ]);
+    assert!(is_smooth(&final_desc, &s));
+    // reconstruct b1 then b2 witnesses, landing on a full-system solution.
+    let h1 = twice(ch(src));
+    let with_b1 = reconstruct_witness(&s, b1, &h1).expect("finite");
+    let h2 = prepend_int(0, ch(b1));
+    let with_b2 = reconstruct_witness(&with_b1, b2, &h2).expect("finite");
+    let flat = sys.flatten();
+    assert!(
+        is_smooth(&flat, &with_b2),
+        "two-stage witness not smooth: {with_b2}"
+    );
+    assert_eq!(
+        with_b2.project(&ChanSet::from_chans([src, out])),
+        s.project(&ChanSet::from_chans([src, out]))
+    );
+}
+
+/// Elimination ordering degrees of freedom: for the fair-merge system,
+/// eliminating c' then d' equals eliminating d' then c'.
+#[test]
+fn elimination_commutes() {
+    use eqp::processes::fair_merge as fm;
+    let a = {
+        let s = eliminate(&fm::full_system(), fm::C_TAGGED).unwrap();
+        eliminate(&s, fm::D_TAGGED).unwrap()
+    };
+    let b = {
+        let s = eliminate(&fm::full_system(), fm::D_TAGGED).unwrap();
+        eliminate(&s, fm::C_TAGGED).unwrap()
+    };
+    for (da, db) in a.descriptions().iter().zip(b.descriptions()) {
+        assert_eq!(da.lhs(), db.lhs());
+        assert_eq!(da.rhs(), db.rhs());
+    }
+}

@@ -1,0 +1,220 @@
+//! A consolidated zoo sweep: for every process description in the zoo, pin
+//! the structural invariants a reader would check first — arity, channel
+//! support, Theorem 1 independence, and the classification of the empty
+//! trace. A regression in any module's description shape fails here with
+//! the process named.
+
+use eqp::core::smooth::is_smooth;
+use eqp::core::Description;
+use eqp::processes::*;
+use eqp::trace::Trace;
+
+struct Row {
+    name: &'static str,
+    desc: Description,
+    arity: usize,
+    independent: bool,
+    /// Is ⊥ (the empty trace) a quiescent trace of this description?
+    bottom_quiescent: bool,
+}
+
+fn zoo() -> Vec<Row> {
+    vec![
+        Row {
+            name: "copy/plain",
+            desc: copy::plain_system().to_description("fig1-plain"),
+            arity: 2,
+            independent: false, // b and c appear on both sides across the tuple
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "copy/seeded",
+            desc: copy::seeded_description(),
+            arity: 2,
+            independent: false,
+            bottom_quiescent: false, // owes the unprompted 0
+        },
+        Row {
+            name: "dfm",
+            desc: dfm::dfm_description(),
+            arity: 2,
+            independent: true,
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "section23 (eliminated)",
+            desc: dfm::section23_description(),
+            arity: 2,
+            independent: false, // d on both sides
+            bottom_quiescent: false, // even(ε) = ε ≠ 0; 2×ε
+        },
+        Row {
+            name: "brock-ackermann (eliminated)",
+            desc: brock_ackermann::eliminated_description(),
+            arity: 2,
+            independent: false,
+            bottom_quiescent: false, // even(ε) ≠ ⟨0 2⟩
+        },
+        Row {
+            name: "chaos",
+            desc: chaos::description(),
+            arity: 1,
+            independent: true, // both sides constant: empty supports
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "ticks",
+            desc: ticks::description(),
+            arity: 1,
+            independent: false, // b ⟸ T; b
+            bottom_quiescent: false,
+        },
+        Row {
+            name: "random-bit",
+            desc: random_bit::bit_description(),
+            arity: 1,
+            independent: true,
+            bottom_quiescent: false, // must output one bit
+        },
+        Row {
+            name: "random-bit-sequence",
+            desc: random_bit::sequence_description(),
+            arity: 1,
+            independent: true,
+            bottom_quiescent: true, // no ticks yet, nothing owed
+        },
+        Row {
+            name: "implication",
+            desc: implication::description(),
+            arity: 2,
+            independent: false, // auxiliary b read by both equations' sides
+            bottom_quiescent: false, // the R(b) ⟸ T̄ equation owes a bit
+        },
+        Row {
+            name: "fork",
+            desc: fork::description(),
+            arity: 2,
+            independent: true,
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "fair-random",
+            desc: fair_random::description(),
+            arity: 2,
+            independent: true,
+            bottom_quiescent: false, // TRUE(ε) = ε ≠ trues
+        },
+        Row {
+            name: "finite-ticks (full)",
+            desc: finite_ticks::full_system().flatten(),
+            arity: 3,
+            independent: false, // the auxiliary c is read on both sides
+            bottom_quiescent: false,
+        },
+        Row {
+            name: "random-number (full)",
+            desc: random_number::full_system().flatten(),
+            arity: 3,
+            independent: false, // the auxiliary c is read on both sides
+            bottom_quiescent: false,
+        },
+        Row {
+            name: "fair-merge (eliminated)",
+            desc: fair_merge::eliminated_system().flatten(),
+            arity: 3,
+            independent: false, // the merged stream b is read on both sides
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "bag (0..=3)",
+            desc: bag::specification(0, 3),
+            arity: 4,
+            independent: true,
+            bottom_quiescent: true,
+        },
+        Row {
+            name: "nats feedback",
+            desc: feedback::nats_system().to_description("nats"),
+            arity: 1,
+            independent: false,
+            bottom_quiescent: false,
+        },
+    ]
+}
+
+#[test]
+fn zoo_structural_invariants() {
+    for row in zoo() {
+        assert_eq!(
+            row.desc.arity(),
+            row.arity,
+            "{}: arity changed",
+            row.name
+        );
+        assert_eq!(
+            row.desc.is_independent(),
+            row.independent,
+            "{}: independence flag changed",
+            row.name
+        );
+        assert_eq!(
+            is_smooth(&row.desc, &Trace::empty()),
+            row.bottom_quiescent,
+            "{}: ⊥-quiescence classification changed",
+            row.name
+        );
+    }
+}
+
+/// Every zoo description's sides evaluate without panicking on ⊥ and on a
+/// junk trace mentioning a foreign channel (total evaluation).
+#[test]
+fn zoo_total_evaluation() {
+    use eqp::trace::{Chan, Event};
+    let junk = Trace::finite(vec![Event::int(Chan::new(250), 99)]);
+    for row in zoo() {
+        let _ = row.desc.eval_lhs(&Trace::empty());
+        let _ = row.desc.eval_rhs(&Trace::empty());
+        let _ = row.desc.eval_lhs(&junk);
+        let _ = row.desc.eval_rhs(&junk);
+    }
+}
+
+/// Channel supports stay within each module's declared block (the crate's
+/// 8-wide channel numbering convention prevents accidental collisions
+/// when composing across modules).
+#[test]
+fn zoo_channel_blocks_disjoint() {
+    let modules: Vec<(&str, Vec<eqp::trace::Chan>)> = zoo()
+        .iter()
+        .map(|r| (r.name, r.desc.channels().iter().collect::<Vec<_>>()))
+        .collect();
+    // dfm-family and copy-family intentionally share within themselves;
+    // check that distinct module families never overlap.
+    let family = |name: &str| -> &str {
+        if name.starts_with("copy") {
+            "copy"
+        } else if name.contains("section23") || name == "dfm" {
+            "dfm"
+        } else if name.contains("brock") {
+            "ba"
+        } else if name.starts_with("random-bit") {
+            "random-bit"
+        } else {
+            name
+        }
+    };
+    for (i, (n1, c1)) in modules.iter().enumerate() {
+        for (n2, c2) in modules.iter().skip(i + 1) {
+            if family(n1) == family(n2) {
+                continue;
+            }
+            for ch in c1 {
+                assert!(
+                    !c2.contains(ch),
+                    "channel {ch} shared between `{n1}` and `{n2}`"
+                );
+            }
+        }
+    }
+}
