@@ -57,29 +57,29 @@ fn bench_enumeration_memo(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/enumeration-memo");
     g.sample_size(10);
     for depth in [3usize, 4] {
-        g.bench_with_input(BenchmarkId::new("full enumerate (classifying)", depth), &depth, |b, &d| {
-            b.iter(|| {
-                black_box(
-                    enumerate(
-                        &desc,
-                        &alpha,
-                        EnumOptions {
-                            max_depth: d,
-                            max_nodes: 2_000_000,
-                        },
-                    )
-                    .nodes_visited,
-                )
-            })
-        });
         g.bench_with_input(
-            BenchmarkId::new("minimal walk (rhs per child)", depth),
+            BenchmarkId::new("full enumerate (classifying)", depth),
             &depth,
             |b, &d| {
                 b.iter(|| {
-                    black_box(naive::enumerate_unmemoized(&desc, &alpha, d, 2_000_000))
+                    black_box(
+                        enumerate(
+                            &desc,
+                            &alpha,
+                            EnumOptions {
+                                max_depth: d,
+                                max_nodes: 2_000_000,
+                            },
+                        )
+                        .nodes_visited,
+                    )
                 })
             },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("minimal walk (rhs per child)", depth),
+            &depth,
+            |b, &d| b.iter(|| black_box(naive::enumerate_unmemoized(&desc, &alpha, d, 2_000_000))),
         );
     }
     g.finish();
@@ -92,11 +92,9 @@ fn bench_theorem1_fast_path(c: &mut Criterion) {
     for n in [8usize, 32, 128] {
         let t = dfm_quiescent_trace(n);
         let depth = 4 * n;
-        g.bench_with_input(
-            BenchmarkId::new("independent fast path", n),
-            &t,
-            |b, t| b.iter(|| black_box(is_smooth_independent(&desc, t, depth))),
-        );
+        g.bench_with_input(BenchmarkId::new("independent fast path", n), &t, |b, t| {
+            b.iter(|| black_box(is_smooth_independent(&desc, t, depth)))
+        });
         g.bench_with_input(
             BenchmarkId::new("general staggered check", n),
             &t,

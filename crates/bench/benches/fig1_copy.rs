@@ -14,9 +14,7 @@ fn bench_kleene_solve(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("plain (stabilizes at bottom)", |b| {
         b.iter(|| {
-            let sol = copy::plain_system()
-                .solve(SolveOptions::default())
-                .unwrap();
+            let sol = copy::plain_system().solve(SolveOptions::default()).unwrap();
             black_box(sol.stabilized)
         })
     });

@@ -17,9 +17,11 @@ fn bench_smooth_check(c: &mut Criterion) {
     g.sample_size(20);
     for n in [4usize, 16, 64] {
         let t = dfm_quiescent_trace(n);
-        g.bench_with_input(BenchmarkId::new("quiescent trace 4n events", n), &t, |b, t| {
-            b.iter(|| black_box(is_smooth(&desc, t)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("quiescent trace 4n events", n),
+            &t,
+            |b, t| b.iter(|| black_box(is_smooth(&desc, t))),
+        );
     }
     g.finish();
 }

@@ -49,22 +49,31 @@ fn bench_operational(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3/operational");
     g.sample_size(10);
     for steps in [60usize, 120, 240] {
-        g.bench_with_input(BenchmarkId::new("network run", steps), &steps, |b, &steps| {
-            b.iter(|| {
-                let mut net = dfm::section23_network(Oracle::fair(7, 2));
-                let run = net.run(
-                    &mut RoundRobin::new(),
-                    RunOptions {
-                        max_steps: steps,
-                        seed: 7,
-                    },
-                );
-                black_box(run.steps)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("network run", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| {
+                    let mut net = dfm::section23_network(Oracle::fair(7, 2));
+                    let run = net.run(
+                        &mut RoundRobin::new(),
+                        RunOptions {
+                            max_steps: steps,
+                            seed: 7,
+                        },
+                    );
+                    black_box(run.steps)
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_xyz_verdicts, bench_properties, bench_operational);
+criterion_group!(
+    benches,
+    bench_xyz_verdicts,
+    bench_properties,
+    bench_operational
+);
 criterion_main!(benches);

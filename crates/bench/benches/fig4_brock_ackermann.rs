@@ -31,9 +31,11 @@ fn bench_solution_search(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4/solution-search");
     g.sample_size(10);
     for depth in [3usize, 4, 5, 6] {
-        g.bench_with_input(BenchmarkId::new("exhaustive 3^n", depth), &depth, |b, &d| {
-            b.iter(|| black_box(exhaustive_solutions(d).len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive 3^n", depth),
+            &depth,
+            |b, &d| b.iter(|| black_box(exhaustive_solutions(d).len())),
+        );
     }
     g.finish();
 }
@@ -79,5 +81,10 @@ fn bench_operational(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solution_search, bench_smooth_filter, bench_operational);
+criterion_group!(
+    benches,
+    bench_solution_search,
+    bench_smooth_filter,
+    bench_operational
+);
 criterion_main!(benches);

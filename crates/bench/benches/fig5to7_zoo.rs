@@ -31,7 +31,10 @@ fn bench_fig5_implication(c: &mut Criterion) {
                             max_nodes: 2_000_000,
                         },
                     );
-                    black_box(e.solutions_projected(&implication::visible_channels()).len())
+                    black_box(
+                        e.solutions_projected(&implication::visible_channels())
+                            .len(),
+                    )
                 })
             },
         );
@@ -44,19 +47,23 @@ fn bench_fig6_fork(c: &mut Criterion) {
     g.sample_size(20);
     for n in [8usize, 32, 128] {
         let inputs: Vec<i64> = (0..n as i64).collect();
-        g.bench_with_input(BenchmarkId::new("operational split", n), &inputs, |b, ins| {
-            b.iter(|| {
-                let mut net = fork::network(ins);
-                let run = net.run(
-                    &mut RoundRobin::new(),
-                    RunOptions {
-                        max_steps: 10 * ins.len(),
-                        seed: 3,
-                    },
-                );
-                black_box(run.steps)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("operational split", n),
+            &inputs,
+            |b, ins| {
+                b.iter(|| {
+                    let mut net = fork::network(ins);
+                    let run = net.run(
+                        &mut RoundRobin::new(),
+                        RunOptions {
+                            max_steps: 10 * ins.len(),
+                            seed: 3,
+                        },
+                    );
+                    black_box(run.steps)
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -82,9 +82,7 @@ fn bench_theorem4(c: &mut Criterion) {
                     }
                     out
                 };
-                b.iter(|| {
-                    black_box(enumerate_smooth_solutions_id(&d, &universe, &hf).len())
-                })
+                b.iter(|| black_box(enumerate_smooth_solutions_id(&d, &universe, &hf).len()))
             },
         );
     }

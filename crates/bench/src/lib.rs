@@ -169,10 +169,7 @@ mod tests {
     fn naive_lasso_eq_is_incomplete() {
         // two words equal on a short window but different later —
         // the naive check wrongly equates them at depth 4.
-        let a = Lasso::lasso(
-            vec![Value::Int(0); 4],
-            vec![Value::Int(0), Value::Int(1)],
-        );
+        let a = Lasso::lasso(vec![Value::Int(0); 4], vec![Value::Int(0), Value::Int(1)]);
         let b = Lasso::repeat(vec![Value::Int(0)]);
         assert!(naive::lasso_eq_by_unrolling(&a, &b, 4));
         assert_ne!(a, b); // the normal form knows better

@@ -57,7 +57,10 @@ impl fmt::Display for ElimError {
                 "left side of `{name}` mentions the eliminated channel {c}"
             ),
             ElimError::LhsNotStrict(name) => {
-                write!(f, "left side of `{name}` is not strict: f(⊥) ≠ ⊥ (condition 3)")
+                write!(
+                    f,
+                    "left side of `{name}` is not strict: f(⊥) ≠ ⊥ (condition 3)"
+                )
             }
             ElimError::Subst(e) => write!(f, "{e}"),
         }
@@ -259,10 +262,7 @@ mod tests {
         // equations; craft a genuinely non-defining lhs with b inside:
         let sys2 = System::new()
             .with(Description::new("defB").defines(b(), ch(c())))
-            .with(Description::new("bad").equation(
-                eqp_seqfn::paper::even(ch(b())),
-                ch(d()),
-            ));
+            .with(Description::new("bad").equation(eqp_seqfn::paper::even(ch(b())), ch(d())));
         assert!(matches!(
             eliminate(&sys2, b()).unwrap_err(),
             ElimError::LhsMentionsChan(_, _)
@@ -341,7 +341,7 @@ mod tests {
         // D2 (built by hand, since eliminate() refuses): f ⟸ f.
         let d2 = Description::new("ff").equation(f.clone(), f.clone());
         assert!(is_smooth(&d2, &Trace::empty())); // ⊥ solves D2
-        // D1 has no smooth solution among small traces:
+                                                  // D1 has no smooth solution among small traces:
         let flat = d1.flatten();
         assert!(!is_smooth(&flat, &Trace::empty())); // limit: b(⊥)=ε ≠ ⟨0⟩
         let t1 = Trace::finite(vec![Event::int(b(), 0)]);
@@ -369,11 +369,7 @@ mod tests {
             .with(Description::new("v").defines(v, ch(w)))
             .with(Description::new("u").defines(u, ch(w)))
             .flatten();
-        let t = Trace::finite(vec![
-            Event::int(w, 0),
-            Event::int(u, 0),
-            Event::int(v, 0),
-        ]);
+        let t = Trace::finite(vec![Event::int(w, 0), Event::int(u, 0), Event::int(v, 0)]);
         assert!(is_smooth_at_depth(&d2, &t, 8));
         assert!(!is_smooth_at_depth(&d1, &t, 8));
     }

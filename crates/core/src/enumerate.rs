@@ -60,11 +60,16 @@ pub struct Enumeration {
 impl Enumeration {
     /// The solutions projected on a channel set, deduplicated — process
     /// traces when the description used auxiliary channels (Section 8.2).
+    /// First-occurrence order is preserved; the hash-set membership test
+    /// keeps this O(n) where the former `Vec::contains` scan was O(n²)
+    /// (auxiliary channels routinely collapse thousands of solutions onto
+    /// a handful of projections).
     pub fn solutions_projected(&self, l: &eqp_trace::ChanSet) -> Vec<Trace> {
+        let mut seen: std::collections::HashSet<Trace> = std::collections::HashSet::new();
         let mut out: Vec<Trace> = Vec::new();
         for s in &self.solutions {
             let p = s.project(l);
-            if !out.contains(&p) {
+            if seen.insert(p.clone()) {
                 out.push(p);
             }
         }
@@ -154,20 +159,13 @@ pub fn enumerate(desc: &Description, alphabet: &Alphabet, opts: EnumOptions) -> 
 ///
 /// For Ticks this synthesizes `(b,T)^ω` from the depth-5 frontier node;
 /// for dfm it finds the periodic merges such as `((b,0)(d,0))^ω`.
-pub fn lasso_candidates(
-    desc: &Description,
-    frontier: &[Trace],
-    max_cycle: usize,
-) -> Vec<Trace> {
+pub fn lasso_candidates(desc: &Description, frontier: &[Trace], max_cycle: usize) -> Vec<Trace> {
     let mut out: Vec<Trace> = Vec::new();
     for t in frontier {
         let Some(events) = t.events() else { continue };
         let n = events.len();
         for cl in 1..=max_cycle.min(n) {
-            let candidate = Trace::lasso(
-                events[..n - cl].to_vec(),
-                events[n - cl..].to_vec(),
-            );
+            let candidate = Trace::lasso(events[..n - cl].to_vec(), events[n - cl..].to_vec());
             if !out.contains(&candidate) && crate::smooth::is_smooth(desc, &candidate) {
                 out.push(candidate);
             }
@@ -176,12 +174,7 @@ pub fn lasso_candidates(
     out
 }
 
-fn has_son(
-    desc: &Description,
-    u: &Trace,
-    rhs_u: &[eqp_trace::Seq],
-    alphabet: &Alphabet,
-) -> bool {
+fn has_son(desc: &Description, u: &Trace, rhs_u: &[eqp_trace::Seq], alphabet: &Alphabet) -> bool {
     alphabet.iter().any(|(c, msgs)| {
         msgs.iter().any(|m| {
             let v = u.pushed(Event::new(c, *m)).expect("finite node");
@@ -231,10 +224,16 @@ mod tests {
         // (b,0) only; ε itself already satisfies… it does not: 2×ε = ε ≠
         // ⟨0⟩). Use CHAOS-style constant sides over a singleton alphabet
         // instead: K ⟸ K has both ε and (b,0) smooth.
-        let desc = Description::new("maybe-zero")
-            .equation(SeqExpr::epsilon(), SeqExpr::epsilon());
+        let desc = Description::new("maybe-zero").equation(SeqExpr::epsilon(), SeqExpr::epsilon());
         let alpha = Alphabet::new().with_ints(b(), 0, 0);
-        let e = enumerate(&desc, &alpha, EnumOptions { max_depth: 2, max_nodes: 100 });
+        let e = enumerate(
+            &desc,
+            &alpha,
+            EnumOptions {
+                max_depth: 2,
+                max_nodes: 100,
+            },
+        );
         // All nodes are solutions (CHAOS): lengths 0, 1, 2.
         assert_eq!(e.solutions.len(), 3);
         assert_eq!(e.frontier.len(), 1); // the depth-2 node still extends
@@ -242,12 +241,16 @@ mod tests {
 
     #[test]
     fn ticks_has_no_finite_solutions_but_a_frontier() {
-        let ticks = Description::new("ticks").defines(
-            b(),
-            SeqExpr::concat([Value::tt()], ch(b())),
-        );
+        let ticks = Description::new("ticks").defines(b(), SeqExpr::concat([Value::tt()], ch(b())));
         let alpha = Alphabet::new().with_chan(b(), [Value::tt()]);
-        let e = enumerate(&ticks, &alpha, EnumOptions { max_depth: 5, max_nodes: 100 });
+        let e = enumerate(
+            &ticks,
+            &alpha,
+            EnumOptions {
+                max_depth: 5,
+                max_nodes: 100,
+            },
+        );
         assert!(e.solutions.is_empty());
         assert_eq!(e.frontier.len(), 1);
         assert!(e.dead_ends.is_empty());
@@ -265,7 +268,14 @@ mod tests {
             .with_chan(b(), [Value::Int(0), Value::Int(2)])
             .with_chan(c(), [Value::Int(1)])
             .with_ints(d(), 0, 2);
-        let e = enumerate(&dfm, &alpha, EnumOptions { max_depth: 4, max_nodes: 50_000 });
+        let e = enumerate(
+            &dfm,
+            &alpha,
+            EnumOptions {
+                max_depth: 4,
+                max_nodes: 50_000,
+            },
+        );
         assert!(!e.truncated);
         for s in &e.solutions {
             assert!(
@@ -282,12 +292,16 @@ mod tests {
 
     #[test]
     fn lasso_synthesis_finds_ticks_omega() {
-        let ticks = Description::new("ticks").defines(
-            b(),
-            SeqExpr::concat([Value::tt()], ch(b())),
-        );
+        let ticks = Description::new("ticks").defines(b(), SeqExpr::concat([Value::tt()], ch(b())));
         let alpha = Alphabet::new().with_chan(b(), [Value::tt()]);
-        let e = enumerate(&ticks, &alpha, EnumOptions { max_depth: 5, max_nodes: 100 });
+        let e = enumerate(
+            &ticks,
+            &alpha,
+            EnumOptions {
+                max_depth: 5,
+                max_nodes: 100,
+            },
+        );
         let lassos = lasso_candidates(&ticks, &e.frontier, 3);
         let omega = Trace::lasso([], [Event::bit(b(), true)]);
         assert_eq!(lassos, vec![omega]);
@@ -302,7 +316,14 @@ mod tests {
             .with_chan(b(), [Value::Int(0)])
             .with_chan(c(), [Value::Int(1)])
             .with_ints(d(), 0, 1);
-        let e = enumerate(&dfm, &alpha, EnumOptions { max_depth: 4, max_nodes: 100_000 });
+        let e = enumerate(
+            &dfm,
+            &alpha,
+            EnumOptions {
+                max_depth: 4,
+                max_nodes: 100_000,
+            },
+        );
         let lassos = lasso_candidates(&dfm, &e.frontier, 4);
         let expect = Trace::lasso([], [Event::int(b(), 0), Event::int(d(), 0)]);
         assert!(
@@ -317,10 +338,16 @@ mod tests {
 
     #[test]
     fn enumeration_respects_node_cap() {
-        let chaos = Description::new("chaos")
-            .equation(SeqExpr::epsilon(), SeqExpr::epsilon());
+        let chaos = Description::new("chaos").equation(SeqExpr::epsilon(), SeqExpr::epsilon());
         let alpha = Alphabet::new().with_ints(b(), 0, 9);
-        let e = enumerate(&chaos, &alpha, EnumOptions { max_depth: 10, max_nodes: 50 });
+        let e = enumerate(
+            &chaos,
+            &alpha,
+            EnumOptions {
+                max_depth: 10,
+                max_nodes: 50,
+            },
+        );
         assert!(e.truncated);
         assert!(e.nodes_visited <= 50);
     }
@@ -330,12 +357,42 @@ mod tests {
         // A description over channels b (auxiliary) and d where d copies…
         // keep it simple: CHAOS over two channels; projecting solutions on
         // {d} dedups traces differing only on b.
-        let chaos = Description::new("chaos")
-            .equation(SeqExpr::epsilon(), SeqExpr::epsilon());
+        let chaos = Description::new("chaos").equation(SeqExpr::epsilon(), SeqExpr::epsilon());
         let alpha = Alphabet::new().with_ints(b(), 0, 0).with_ints(d(), 0, 0);
-        let e = enumerate(&chaos, &alpha, EnumOptions { max_depth: 2, max_nodes: 1000 });
+        let e = enumerate(
+            &chaos,
+            &alpha,
+            EnumOptions {
+                max_depth: 2,
+                max_nodes: 1000,
+            },
+        );
         let projected = e.solutions_projected(&ChanSet::from_chans([d()]));
         // projected traces: ε, (d,0), (d,0)(d,0) — three distinct.
         assert_eq!(projected.len(), 3);
+    }
+
+    #[test]
+    fn projection_dedup_scales_and_preserves_order() {
+        // CHAOS over a wide auxiliary channel b and a unary data channel d:
+        // ~1.5k depth-≤3 solutions collapse onto just four projections, the
+        // regime where the old O(n²) `Vec::contains` dedup was quadratic.
+        let chaos = Description::new("chaos").equation(SeqExpr::epsilon(), SeqExpr::epsilon());
+        let alpha = Alphabet::new().with_ints(b(), 0, 9).with_ints(d(), 0, 0);
+        let e = enumerate(
+            &chaos,
+            &alpha,
+            EnumOptions {
+                max_depth: 3,
+                max_nodes: 1_000_000,
+            },
+        );
+        assert!(e.solutions.len() > 1000, "want a collapse-heavy workload");
+        let projected = e.solutions_projected(&ChanSet::from_chans([d()]));
+        // ε, (d,0), (d,0)², (d,0)³ — in first-occurrence (BFS) order.
+        assert_eq!(projected.len(), 4);
+        for (i, t) in projected.iter().enumerate() {
+            assert_eq!(t.events().unwrap().len(), i, "order not preserved");
+        }
     }
 }

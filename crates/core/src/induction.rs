@@ -83,7 +83,6 @@ pub fn soundness_counterexample<Phi: Fn(&Trace) -> bool>(
     e.solutions.into_iter().find(|s| !phi(s))
 }
 
-
 /// The rule over an *arbitrary* cpo (the form Section 8.4 actually
 /// states, before the trace-specific strengthening): for an admissible
 /// `φ` and description `f ⟸ g`,
@@ -185,10 +184,7 @@ mod tests {
         };
         let out = check_induction(&dfm(), &dfm_alpha(), phi, 4);
         assert_eq!(out, InductionOutcome::Proved);
-        assert_eq!(
-            soundness_counterexample(&dfm(), &dfm_alpha(), phi, 4),
-            None
-        );
+        assert_eq!(soundness_counterexample(&dfm(), &dfm_alpha(), phi, 4), None);
     }
 
     #[test]
@@ -202,12 +198,7 @@ mod tests {
     fn step_failure_detected_with_witness() {
         // "no b-events ever" is falsified by the guarded extension ⊥ →
         // (b,0) (receiving input is always guarded: f(v) grows only on d).
-        let phi = |t: &Trace| {
-            t.events()
-                .unwrap_or(&[])
-                .iter()
-                .all(|e| e.chan != b())
-        };
+        let phi = |t: &Trace| t.events().unwrap_or(&[]).iter().all(|e| e.chan != b());
         match check_induction(&dfm(), &dfm_alpha(), phi, 2) {
             InductionOutcome::StepFails(pair) => {
                 let (u, v) = *pair;
@@ -256,7 +247,13 @@ mod tests {
             t.insert(0);
             t
         };
-        let out = check(&d, |s: &std::collections::BTreeSet<u32>| s.clone(), h, |s: &std::collections::BTreeSet<u32>| s.len() <= 4, &universe);
+        let out = check(
+            &d,
+            |s: &std::collections::BTreeSet<u32>| s.clone(),
+            h,
+            |s: &std::collections::BTreeSet<u32>| s.len() <= 4,
+            &universe,
+        );
         assert_eq!(out, Outcome::Proved);
     }
 
@@ -267,10 +264,7 @@ mod tests {
     /// ⊥ to (b,T) is guarded and breaks it.
     #[test]
     fn rule_weakness_documented() {
-        let ticks = Description::new("ticks").defines(
-            b(),
-            SeqExpr::concat([Value::tt()], ch(b())),
-        );
+        let ticks = Description::new("ticks").defines(b(), SeqExpr::concat([Value::tt()], ch(b())));
         let alpha = Alphabet::new().with_chan(b(), [Value::tt()]);
         let phi = |t: &Trace| t.events().map(<[_]>::len) != Some(1);
         let out = check_induction(&ticks, &alpha, phi, 3);

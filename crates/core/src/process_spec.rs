@@ -74,11 +74,7 @@ impl ProcessSpec {
         ProcessSpec {
             name: desc.name().to_owned(),
             chans: visible.clone(),
-            traces: e
-                .solutions
-                .iter()
-                .map(|s| s.project(visible))
-                .collect(),
+            traces: e.solutions.iter().map(|s| s.project(visible)).collect(),
         }
     }
 
@@ -153,9 +149,7 @@ impl fmt::Debug for ProcessSpec {
 /// iff its projection onto each component's channels is a trace of that
 /// component.
 pub fn is_network_trace_extensional(components: &[ProcessSpec], t: &Trace) -> bool {
-    components
-        .iter()
-        .all(|p| p.has_trace(&t.project(&p.chans)))
+    components.iter().all(|p| p.has_trace(&t.project(&p.chans)))
 }
 
 /// Enumerates the network traces over candidate traces drawn from the

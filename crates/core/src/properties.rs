@@ -12,9 +12,7 @@ use eqp_trace::{Chan, Lasso, Trace, Value};
 /// trace, scanning at most `depth` events of the channel's sequence.
 pub fn first_occurrence(t: &Trace, c: Chan, n: i64, depth: usize) -> Option<usize> {
     let seq = t.seq_on(c);
-    seq.take(depth)
-        .iter()
-        .position(|v| *v == Value::Int(n))
+    seq.take(depth).iter().position(|v| *v == Value::Int(n))
 }
 
 /// Progress: integer `n` appears on channel `c` within `depth` events.

@@ -236,10 +236,7 @@ mod tests {
     #[test]
     fn ticks_infinite_solution_is_smooth() {
         // b ⟸ T; b : unique smooth solution (b,T)^ω (Section 4.2).
-        let ticks = Description::new("ticks").defines(
-            b(),
-            SeqExpr::concat([Value::tt()], ch(b())),
-        );
+        let ticks = Description::new("ticks").defines(b(), SeqExpr::concat([Value::tt()], ch(b())));
         let w = Trace::lasso([], [Event::bit(b(), true)]);
         assert!(is_smooth(&ticks, &w));
         // ε is NOT smooth: limit fails (ε ≠ T; ε).
@@ -250,10 +247,7 @@ mod tests {
 
     #[test]
     fn certificate_depth_scales_with_cycle() {
-        let ticks = Description::new("ticks").defines(
-            b(),
-            SeqExpr::concat([Value::tt()], ch(b())),
-        );
+        let ticks = Description::new("ticks").defines(b(), SeqExpr::concat([Value::tt()], ch(b())));
         let w = Trace::lasso([], [Event::bit(b(), true)]);
         let depth = default_certificate_depth(&ticks, &w);
         assert!(depth >= 8);

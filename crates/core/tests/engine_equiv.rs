@@ -1,0 +1,133 @@
+//! Differential property tests for the enumeration engines: on random
+//! small descriptions, alphabets, depths, and node caps, [`enumerate_par`]
+//! and [`enumerate_memo`] must return an [`Enumeration`] *identical* to
+//! the seed [`enumerate`] — same solutions, dead ends, frontier, visit
+//! count, and truncation flag, all in the same order, for every thread
+//! count.
+//!
+//! The generated descriptions deliberately mix delta-supported sides with
+//! sides the incremental evaluator cannot handle (infinite constants), so
+//! both the fast path and the full-re-evaluation fallback are exercised,
+//! as are budget expiries in the middle of a BFS level.
+
+use eqp_core::description::{Alphabet, Description};
+use eqp_core::{enumerate, enumerate_memo, enumerate_par, EnumOptions, Enumeration};
+use eqp_seqfn::paper::ch;
+use eqp_seqfn::SeqExpr;
+use eqp_trace::{Chan, Lasso, Value};
+use proptest::prelude::*;
+
+fn chan_pool() -> [Chan; 3] {
+    [Chan::new(0), Chan::new(1), Chan::new(2)]
+}
+
+/// A random continuous expression over the three pooled channels —
+/// including delta-unsupported infinite constants.
+fn arb_expr() -> impl Strategy<Value = SeqExpr> {
+    let leaf = prop_oneof![
+        (0u32..3).prop_map(|i| ch(chan_pool()[i as usize])),
+        Just(SeqExpr::epsilon()),
+        proptest::collection::vec(-1i64..3, 0..3).prop_map(SeqExpr::const_ints),
+        // Infinite constant: forces the engine's full-evaluation fallback.
+        (-1i64..3).prop_map(|n| SeqExpr::constant(Lasso::repeat(vec![Value::Int(n)]))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(SeqExpr::even),
+            inner.clone().prop_map(SeqExpr::odd),
+            (-1i64..3, 0i64..2, inner.clone()).prop_map(|(a, b, e)| SeqExpr::affine(a, b, e)),
+            (0usize..3, inner.clone()).prop_map(|(n, e)| SeqExpr::skip(n, e)),
+            (-1i64..3, inner.clone()).prop_map(|(n, e)| SeqExpr::concat([Value::Int(n)], e)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SeqExpr::add(a, b)),
+            (0usize..3, 0i64..2, inner).prop_map(|(need, add, e)| {
+                SeqExpr::EmitFirstAfter {
+                    need,
+                    add,
+                    input: Box::new(e),
+                }
+            }),
+        ]
+        .boxed()
+    })
+}
+
+/// A random 1–2 equation description.
+fn arb_description() -> impl Strategy<Value = Description> {
+    proptest::collection::vec((arb_expr(), arb_expr()), 1..3).prop_map(|eqs| {
+        eqs.into_iter()
+            .fold(Description::new("random"), |d, (f, g)| d.equation(f, g))
+    })
+}
+
+/// A random alphabet over a subset of the pooled channels.
+fn arb_alphabet() -> impl Strategy<Value = Alphabet> {
+    proptest::collection::vec((0u32..3, -1i64..2, 0i64..3), 1..3).prop_map(|entries| {
+        entries
+            .into_iter()
+            .fold(Alphabet::new(), |a, (ci, lo, width)| {
+                a.with_ints(chan_pool()[ci as usize], lo, lo + width)
+            })
+    })
+}
+
+fn assert_identical(tag: &str, got: &Enumeration, want: &Enumeration) {
+    assert_eq!(got.solutions, want.solutions, "{tag}: solutions differ");
+    assert_eq!(got.dead_ends, want.dead_ends, "{tag}: dead ends differ");
+    assert_eq!(got.frontier, want.frontier, "{tag}: frontier differs");
+    assert_eq!(
+        got.nodes_visited, want.nodes_visited,
+        "{tag}: visit count differs"
+    );
+    assert_eq!(got.truncated, want.truncated, "{tag}: truncation differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: all engines agree with the seed, at every
+    /// thread count, including under mid-level budget expiry.
+    #[test]
+    fn engines_identical_to_seed(
+        desc in arb_description(),
+        alpha in arb_alphabet(),
+        max_depth in 0usize..4,
+        max_nodes in 0usize..400,
+    ) {
+        let opts = EnumOptions { max_depth, max_nodes };
+        let seed = enumerate(&desc, &alpha, opts);
+        assert_identical("memo", &enumerate_memo(&desc, &alpha, opts), &seed);
+        for threads in [2, 5] {
+            assert_identical(
+                &format!("par×{threads}"),
+                &enumerate_par(&desc, &alpha, opts, threads),
+                &seed,
+            );
+        }
+    }
+
+    /// `solutions_projected` after the hash-set dedup still returns
+    /// distinct projections in first-occurrence order.
+    #[test]
+    fn projection_dedup_distinct_and_ordered(
+        desc in arb_description(),
+        alpha in arb_alphabet(),
+    ) {
+        let opts = EnumOptions { max_depth: 3, max_nodes: 2000 };
+        let e = enumerate(&desc, &alpha, opts);
+        let l = eqp_trace::ChanSet::from_chans([chan_pool()[0]]);
+        let projected = e.solutions_projected(&l);
+        // distinct…
+        for (i, t) in projected.iter().enumerate() {
+            prop_assert!(!projected[..i].contains(t), "duplicate projection");
+        }
+        // …and a subsequence of the naive first-occurrence scan.
+        let mut naive: Vec<_> = Vec::new();
+        for s in &e.solutions {
+            let p = s.project(&l);
+            if !naive.contains(&p) {
+                naive.push(p);
+            }
+        }
+        prop_assert_eq!(projected, naive);
+    }
+}

@@ -175,9 +175,6 @@ mod tests {
             NatOrOmega::Nat(n) => NatOrOmega::Nat(n + 1),
             NatOrOmega::Omega => NatOrOmega::Omega,
         });
-        assert_eq!(
-            mapped.elems(),
-            &[NatOrOmega::Nat(1), NatOrOmega::Nat(3)]
-        );
+        assert_eq!(mapped.elems(), &[NatOrOmega::Nat(1), NatOrOmega::Nat(3)]);
     }
 }

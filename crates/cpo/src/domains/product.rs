@@ -114,11 +114,7 @@ mod tests {
         let d = VecProduct::new(NatOmega, 3);
         let bot = d.bottom();
         assert_eq!(bot.len(), 3);
-        let mid = vec![
-            NatOrOmega::Nat(1),
-            NatOrOmega::Nat(0),
-            NatOrOmega::Omega,
-        ];
+        let mid = vec![NatOrOmega::Nat(1), NatOrOmega::Nat(0), NatOrOmega::Omega];
         assert!(d.leq(&bot, &mid));
         assert!(!d.leq(&mid, &bot));
         assert_eq!(d.arity(), 3);

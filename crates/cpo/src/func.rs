@@ -275,7 +275,10 @@ mod tests {
         )
         .unwrap();
         assert!(check_preserves_finite_lubs(
-            &NatOmega, &NatOmega, &inc(), &chain
+            &NatOmega,
+            &NatOmega,
+            &inc(),
+            &chain
         ));
     }
 

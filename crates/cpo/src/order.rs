@@ -97,12 +97,7 @@ pub fn is_upper_bound<D: Poset>(d: &D, set: &[D::Elem], z: &D::Elem) -> bool {
 /// Since an infinite domain cannot be scanned exhaustively, the caller
 /// supplies the candidate upper bounds to compare against; property tests
 /// use sampled candidates.
-pub fn is_lub_among<D: Poset>(
-    d: &D,
-    set: &[D::Elem],
-    z: &D::Elem,
-    candidates: &[D::Elem],
-) -> bool {
+pub fn is_lub_among<D: Poset>(d: &D, set: &[D::Elem], z: &D::Elem, candidates: &[D::Elem]) -> bool {
     is_upper_bound(d, set, z)
         && candidates
             .iter()
@@ -160,11 +155,7 @@ mod tests {
     fn lub_among_candidates() {
         let d = flat();
         let set = [FlatElem::Bottom];
-        let candidates = [
-            FlatElem::Bottom,
-            FlatElem::Value(1u8),
-            FlatElem::Value(2u8),
-        ];
+        let candidates = [FlatElem::Bottom, FlatElem::Value(1u8), FlatElem::Value(2u8)];
         assert!(is_lub_among(&d, &set, &FlatElem::Bottom, &candidates));
         assert!(!is_lub_among(&d, &set, &FlatElem::Value(1u8), &candidates));
     }

@@ -44,8 +44,8 @@
 
 pub mod network;
 pub mod oracle;
-pub mod procs;
 pub mod process;
+pub mod procs;
 pub mod scheduler;
 
 pub use network::{Network, RunOptions, RunResult};

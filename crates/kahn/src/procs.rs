@@ -84,13 +84,7 @@ impl Apply {
     }
 
     /// The affine worker `n ↦ a·n + b` on integers.
-    pub fn int_affine(
-        name: impl Into<String>,
-        input: Chan,
-        output: Chan,
-        a: i64,
-        b: i64,
-    ) -> Apply {
+    pub fn int_affine(name: impl Into<String>, input: Chan, output: Chan, a: i64, b: i64) -> Apply {
         Apply::new(name, input, output, move |v| match v {
             Value::Int(n) => Value::Int(a * n + b),
             other => other,
@@ -457,7 +451,11 @@ mod tests {
     fn merge_preserves_per_source_order() {
         let (l, r, o) = chans();
         let mut net = Network::new();
-        net.add(Source::new("ls", l, [Value::Int(0), Value::Int(2), Value::Int(4)]));
+        net.add(Source::new(
+            "ls",
+            l,
+            [Value::Int(0), Value::Int(2), Value::Int(4)],
+        ));
         net.add(Source::new("rs", r, [Value::Int(1), Value::Int(3)]));
         net.add(Merge2::new("m", l, r, o, Oracle::fair(3, 2)));
         let run = net.run(&mut RoundRobin::new(), RunOptions::default());
@@ -488,10 +486,7 @@ mod tests {
         // The oracle is only consulted when both queues are nonempty; with
         // round-robin arrival the first contested pick goes right (F).
         assert_eq!(out.len(), 3);
-        assert_eq!(
-            out.iter().filter(|v| v.is_odd_int()).count(),
-            1
-        );
+        assert_eq!(out.iter().filter(|v| v.is_odd_int()).count(), 1);
     }
 
     #[test]
@@ -499,15 +494,16 @@ mod tests {
         let (c, d, _) = chans();
         let mut net = Network::new();
         net.add(Source::new("s", c, [Value::Int(7)]));
-        net.add(FromFn::new("negate", move |ctx: &mut StepCtx<'_>| {
-            match ctx.pop(c) {
+        net.add(FromFn::new(
+            "negate",
+            move |ctx: &mut StepCtx<'_>| match ctx.pop(c) {
                 Some(Value::Int(n)) => {
                     ctx.send(d, Value::Int(-n));
                     StepResult::Progress
                 }
                 _ => StepResult::Idle,
-            }
-        }));
+            },
+        ));
         let run = net.run(&mut RoundRobin::new(), RunOptions::default());
         assert_eq!(run.trace.seq_on(d).take(4), vec![Value::Int(-7)]);
     }

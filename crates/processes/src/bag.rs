@@ -189,11 +189,7 @@ mod tests {
                 },
             );
             assert!(run.quiescent);
-            assert!(
-                is_smooth(&spec(), &run.trace),
-                "seed {seed}: {}",
-                run.trace
-            );
+            assert!(is_smooth(&spec(), &run.trace), "seed {seed}: {}", run.trace);
         }
         // different seeds produce different orders (nondeterminism real)
         let orders: std::collections::BTreeSet<_> = (0..12u64)

@@ -178,8 +178,8 @@ pub fn network(oracle: Oracle) -> Network {
 mod tests {
     use super::*;
     use eqp_core::smooth::{is_smooth, limit_holds, smoothness_violation};
-    use eqp_trace::ChanSet;
     use eqp_kahn::{Adversarial, RandomSched, RoundRobin, RunOptions, Scheduler};
+    use eqp_trace::ChanSet;
 
     /// Exhaustive over every integer sequence of length ≤ 4 drawn from
     /// {0, 1, 2}: the *equation* solutions are exactly ⟨0 1 2⟩ and

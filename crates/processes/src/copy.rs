@@ -20,9 +20,7 @@ pub const C: Chan = Chan::new(1);
 
 /// The plain two-copy loop as a Kahn equation system: `c = b`, `b = c`.
 pub fn plain_system() -> KahnSystem {
-    KahnSystem::new()
-        .equation(C, ch(B))
-        .equation(B, ch(C))
+    KahnSystem::new().equation(C, ch(B)).equation(B, ch(C))
 }
 
 /// The variant system `c = b`, `b = 0; c` whose least solution is `0^ω`.

@@ -107,7 +107,11 @@ pub fn z_prefix(m: u32) -> Vec<i64> {
 
 /// A `d`-channel trace from an integer sequence.
 pub fn d_trace(ns: &[i64]) -> Trace {
-    Trace::finite(ns.iter().map(|&n| eqp_trace::Event::int(D, n)).collect::<Vec<_>>())
+    Trace::finite(
+        ns.iter()
+            .map(|&n| eqp_trace::Event::int(D, n))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// The operational process P: outputs `0`, then `2×n` for every `n`
@@ -288,7 +292,11 @@ mod tests {
             let bi = block(i);
             let bi1 = block(i + 1);
             let evens: Vec<i64> = bi1.iter().copied().filter(|n| n % 2 == 0).collect();
-            let odds: Vec<i64> = bi1.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+            let odds: Vec<i64> = bi1
+                .iter()
+                .copied()
+                .filter(|n| n.rem_euclid(2) == 1)
+                .collect();
             let twice: Vec<i64> = bi.iter().map(|n| 2 * n).collect();
             let twice1: Vec<i64> = bi.iter().map(|n| 2 * n + 1).collect();
             assert_eq!(evens, twice);
@@ -304,8 +312,11 @@ mod tests {
         for m in 0..5 {
             for seq in [x_prefix(m + 1), y_prefix(m + 1)] {
                 let evens: Vec<i64> = seq.iter().copied().filter(|n| n % 2 == 0).collect();
-                let odds: Vec<i64> =
-                    seq.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+                let odds: Vec<i64> = seq
+                    .iter()
+                    .copied()
+                    .filter(|n| n.rem_euclid(2) == 1)
+                    .collect();
                 let base = if seq == x_prefix(m + 1) {
                     x_prefix(m)
                 } else {
@@ -327,7 +338,11 @@ mod tests {
             let seq = z_prefix(m + 1);
             let base = z_prefix(m);
             let evens: Vec<i64> = seq.iter().copied().filter(|n| n % 2 == 0).collect();
-            let odds: Vec<i64> = seq.iter().copied().filter(|n| n.rem_euclid(2) == 1).collect();
+            let odds: Vec<i64> = seq
+                .iter()
+                .copied()
+                .filter(|n| n.rem_euclid(2) == 1)
+                .collect();
             let mut zero_two: Vec<i64> = vec![0];
             zero_two.extend(base.iter().map(|n| 2 * n));
             let two_plus: Vec<i64> = base.iter().map(|n| 2 * n + 1).collect();

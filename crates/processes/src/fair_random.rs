@@ -29,7 +29,10 @@ pub fn description() -> Description {
 pub fn fair_trace(pattern: &[bool]) -> Trace {
     Trace::lasso(
         [],
-        pattern.iter().map(|&b| Event::bit(C, b)).collect::<Vec<_>>(),
+        pattern
+            .iter()
+            .map(|&b| Event::bit(C, b))
+            .collect::<Vec<_>>(),
     )
 }
 

@@ -84,11 +84,7 @@ mod tests {
         for _ in 0..10 {
             x = sys.apply(&x);
         }
-        let denot: Vec<i64> = x[0]
-            .take(64)
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
+        let denot: Vec<i64> = x[0].take(64).iter().map(|v| v.as_int().unwrap()).collect();
         let mut net = nats_network();
         let run = net.run(
             &mut RoundRobin::new(),

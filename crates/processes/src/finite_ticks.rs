@@ -166,6 +166,9 @@ mod tests {
             counts.insert(run.trace.seq_on(D).take(1_000).len());
         }
         assert!(counts.len() > 1, "nondeterminism should vary tick counts");
-        assert!(counts.iter().all(|&n| n <= 4 * 3), "alternation bound caps runs");
+        assert!(
+            counts.iter().all(|&n| n <= 4 * 3),
+            "alternation bound caps runs"
+        );
     }
 }

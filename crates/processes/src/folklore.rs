@@ -113,9 +113,7 @@ mod tests {
                 },
             );
             assert!(!run.quiescent);
-            let merged_only = run
-                .trace
-                .project(&eqp_trace::ChanSet::from_chans([MERGED]));
+            let merged_only = run.trace.project(&eqp_trace::ChanSet::from_chans([MERGED]));
             assert!(
                 eqp_core::smooth::smoothness_holds(&desc, &merged_only, 40),
                 "seed {seed}"

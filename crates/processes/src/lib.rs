@@ -37,8 +37,8 @@ pub mod dfm;
 pub mod fair_merge;
 pub mod fair_random;
 pub mod feedback;
-pub mod folklore;
 pub mod finite_ticks;
+pub mod folklore;
 pub mod fork;
 pub mod implication;
 pub mod random_bit;

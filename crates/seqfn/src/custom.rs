@@ -1,6 +1,6 @@
 //! User-defined continuous sequence functions (escape hatch).
 
-use eqp_trace::{ChanSet, Seq, Trace};
+use eqp_trace::{ChanSet, Event, Seq, Trace, Value};
 use std::fmt::Debug;
 
 /// A user-supplied continuous function from traces to sequences.
@@ -21,6 +21,34 @@ pub trait SeqFunction: Debug + Send + Sync {
 
     /// Diagnostic name.
     fn name(&self) -> &str;
+
+    /// Optional incremental-evaluation hook for the enumeration engine.
+    ///
+    /// Returning `Some((state, out))` asserts that `out` is the (finite)
+    /// value of this function on the empty trace and that stepping `state`
+    /// with each appended event yields exactly the values `eval` would
+    /// append — i.e. the function's output on finite traces is append-only
+    /// under one-event extension (which continuity guarantees). The default
+    /// is `None`: the engine then falls back to full re-evaluation, which
+    /// is always sound.
+    fn delta_init(&self) -> Option<(Box<dyn CustomDeltaState>, Vec<Value>)> {
+        None
+    }
+}
+
+/// Incremental per-path state for a custom function that opted into delta
+/// evaluation via [`SeqFunction::delta_init`].
+///
+/// States are cloned at every branch of the enumeration tree, so they
+/// should be small; `clone_box` stands in for `Clone` (which is not object
+/// safe).
+pub trait CustomDeltaState: Debug + Send + Sync {
+    /// Clones the state for a sibling branch.
+    fn clone_box(&self) -> Box<dyn CustomDeltaState>;
+
+    /// Advances by one appended event, returning the appended output
+    /// values.
+    fn step(&mut self, ev: Event) -> Vec<Value>;
 }
 
 #[cfg(test)]

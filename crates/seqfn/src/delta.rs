@@ -1,0 +1,586 @@
+//! One-step (delta) evaluation of [`SeqExpr`] under trace extension.
+//!
+//! The Section 3.3 enumeration extends a finite trace one event at a time,
+//! and every combinator in the expression language is continuous, so its
+//! output on `u·e` extends its output on `u` — outputs are *append-only*
+//! along a path of the tree. This module exploits that: a [`DeltaState`]
+//! carries the small amount of per-node state (counters, flags, pending
+//! buffers) needed to compute the values appended by one more event in
+//! O(|appended|) instead of replaying the whole trace through the
+//! expression tree.
+//!
+//! Not every expression supports delta evaluation: an infinite
+//! [`SeqExpr::Const`] has no finite output to append to, and opaque
+//! [`SeqExpr::Custom`] functions only participate if they implement the
+//! [`crate::custom::SeqFunction::delta_init`] hook. [`SeqExpr::delta_init`]
+//! returns `None` for those, and callers fall back to full re-evaluation —
+//! soundness never depends on the fast path being available.
+
+use crate::custom::CustomDeltaState;
+use crate::ops::{ValueMap, ValuePred, ValueZip};
+use crate::SeqExpr;
+use eqp_trace::{Chan, Event, Value};
+use std::collections::VecDeque;
+
+/// Incremental evaluation state for one [`SeqExpr`] along one tree path.
+///
+/// Obtain it from [`SeqExpr::delta_init`]; advance it with
+/// [`DeltaState::step`]. States are cheap to clone (tree-structured
+/// scalars plus usually-empty pending buffers), which is what lets every
+/// node of the enumeration tree own its own state.
+#[derive(Debug)]
+pub enum DeltaState {
+    /// `Chan(c)`: appends `m` on every event `(c, m)`.
+    Chan(Chan),
+    /// Output fully emitted at init (finite constants); never appends.
+    Fixed,
+    /// Pointwise map over the inner appends.
+    Map(ValueMap, Box<DeltaState>),
+    /// Pointwise filter over the inner appends.
+    Filter(ValuePred, Box<DeltaState>),
+    /// Pointwise zip; the pending buffers hold the surplus of whichever
+    /// operand is currently ahead (at most one is non-empty).
+    Zip {
+        /// The combiner.
+        op: ValueZip,
+        /// Left operand state.
+        a: Box<DeltaState>,
+        /// Right operand state.
+        b: Box<DeltaState>,
+        /// Unconsumed left values.
+        pa: VecDeque<Value>,
+        /// Unconsumed right values.
+        pb: VecDeque<Value>,
+    },
+    /// Longest satisfying prefix; `done` is absorbing.
+    TakeWhile {
+        /// The predicate.
+        pred: ValuePred,
+        /// Inner state.
+        inner: Box<DeltaState>,
+        /// Whether a failing element has been seen.
+        done: bool,
+    },
+    /// Drops the first `remaining` further inner values.
+    Skip {
+        /// Inner state.
+        inner: Box<DeltaState>,
+        /// How many inner values are still to be dropped.
+        remaining: usize,
+    },
+    /// Oracle selection (zip + filter + project).
+    OracleSelect {
+        /// Data operand state.
+        data: Box<DeltaState>,
+        /// Oracle operand state.
+        oracle: Box<DeltaState>,
+        /// Which oracle bit keeps an element.
+        keep: bool,
+        /// Unconsumed data values.
+        pd: VecDeque<Value>,
+        /// Unconsumed oracle values.
+        po: VecDeque<Value>,
+    },
+    /// Counts `T`s until the first `F`; emits the count once.
+    CountTicks {
+        /// Inner state.
+        inner: Box<DeltaState>,
+        /// `T`s seen so far (before any `F`).
+        ticks: i64,
+        /// Whether the `F` has arrived (output emitted; absorbing).
+        done: bool,
+    },
+    /// Emits `first + add` once `need` input elements have arrived.
+    EmitFirstAfter {
+        /// Inner state.
+        inner: Box<DeltaState>,
+        /// Effective threshold (`max(need, 1)`).
+        need: usize,
+        /// Offset added to the first element.
+        add: i64,
+        /// Inner elements seen so far.
+        seen: usize,
+        /// The first inner element, once seen.
+        first: Option<Value>,
+        /// Whether the output has been emitted (absorbing).
+        emitted: bool,
+    },
+    /// A custom function's own incremental state (via the
+    /// [`crate::custom::SeqFunction::delta_init`] hook).
+    Custom(Box<dyn CustomDeltaState>),
+}
+
+impl Clone for DeltaState {
+    fn clone(&self) -> DeltaState {
+        match self {
+            DeltaState::Chan(c) => DeltaState::Chan(*c),
+            DeltaState::Fixed => DeltaState::Fixed,
+            DeltaState::Map(m, s) => DeltaState::Map(*m, s.clone()),
+            DeltaState::Filter(p, s) => DeltaState::Filter(*p, s.clone()),
+            DeltaState::Zip { op, a, b, pa, pb } => DeltaState::Zip {
+                op: *op,
+                a: a.clone(),
+                b: b.clone(),
+                pa: pa.clone(),
+                pb: pb.clone(),
+            },
+            DeltaState::TakeWhile { pred, inner, done } => DeltaState::TakeWhile {
+                pred: *pred,
+                inner: inner.clone(),
+                done: *done,
+            },
+            DeltaState::Skip { inner, remaining } => DeltaState::Skip {
+                inner: inner.clone(),
+                remaining: *remaining,
+            },
+            DeltaState::OracleSelect {
+                data,
+                oracle,
+                keep,
+                pd,
+                po,
+            } => DeltaState::OracleSelect {
+                data: data.clone(),
+                oracle: oracle.clone(),
+                keep: *keep,
+                pd: pd.clone(),
+                po: po.clone(),
+            },
+            DeltaState::CountTicks { inner, ticks, done } => DeltaState::CountTicks {
+                inner: inner.clone(),
+                ticks: *ticks,
+                done: *done,
+            },
+            DeltaState::EmitFirstAfter {
+                inner,
+                need,
+                add,
+                seen,
+                first,
+                emitted,
+            } => DeltaState::EmitFirstAfter {
+                inner: inner.clone(),
+                need: *need,
+                add: *add,
+                seen: *seen,
+                first: *first,
+                emitted: *emitted,
+            },
+            DeltaState::Custom(s) => DeltaState::Custom(s.clone_box()),
+        }
+    }
+}
+
+impl SeqExpr {
+    /// True iff the expression supports delta evaluation end to end.
+    pub fn delta_supported(&self) -> bool {
+        self.delta_init().is_some()
+    }
+
+    /// Builds the incremental state for the empty trace, returning the
+    /// state plus the expression's (finite) value at `⊥`.
+    ///
+    /// Returns `None` when the expression cannot be evaluated
+    /// incrementally (infinite constants; custom functions without a
+    /// delta hook) — callers must then fall back to [`SeqExpr::eval`].
+    pub fn delta_init(&self) -> Option<(DeltaState, Vec<Value>)> {
+        match self {
+            SeqExpr::Chan(c) => Some((DeltaState::Chan(*c), Vec::new())),
+            SeqExpr::Const(s) => {
+                if s.is_finite() {
+                    Some((DeltaState::Fixed, s.prefix().to_vec()))
+                } else {
+                    None // no finite output to extend
+                }
+            }
+            SeqExpr::Concat(front, e) => {
+                // The front is a fixed finite prefix: emit it at init and
+                // pass the inner appends through unchanged thereafter.
+                let (st, out) = e.delta_init()?;
+                let mut full = front.clone();
+                full.extend(out);
+                Some((st, full))
+            }
+            SeqExpr::Map(m, e) => {
+                let (st, out) = e.delta_init()?;
+                let mapped = out.iter().map(|v| m.apply(v)).collect();
+                Some((DeltaState::Map(*m, Box::new(st)), mapped))
+            }
+            SeqExpr::Filter(p, e) => {
+                let (st, out) = e.delta_init()?;
+                let kept = out.into_iter().filter(|v| p.test(v)).collect();
+                Some((DeltaState::Filter(*p, Box::new(st)), kept))
+            }
+            SeqExpr::Zip(z, a, b) => {
+                let (sa, oa) = a.delta_init()?;
+                let (sb, ob) = b.delta_init()?;
+                let mut st = DeltaState::Zip {
+                    op: *z,
+                    a: Box::new(sa),
+                    b: Box::new(sb),
+                    pa: VecDeque::new(),
+                    pb: VecDeque::new(),
+                };
+                let out = st.absorb_zip(oa, ob);
+                Some((st, out))
+            }
+            SeqExpr::TakeWhile(p, e) => {
+                let (st, inner_out) = e.delta_init()?;
+                let mut done = false;
+                let mut out = Vec::new();
+                for v in inner_out {
+                    if p.test(&v) {
+                        out.push(v);
+                    } else {
+                        done = true;
+                        break;
+                    }
+                }
+                Some((
+                    DeltaState::TakeWhile {
+                        pred: *p,
+                        inner: Box::new(st),
+                        done,
+                    },
+                    out,
+                ))
+            }
+            SeqExpr::Skip(n, e) => {
+                let (st, inner_out) = e.delta_init()?;
+                let dropped = (*n).min(inner_out.len());
+                let out = inner_out[dropped..].to_vec();
+                Some((
+                    DeltaState::Skip {
+                        inner: Box::new(st),
+                        remaining: *n - dropped,
+                    },
+                    out,
+                ))
+            }
+            SeqExpr::OracleSelect { data, oracle, keep } => {
+                let (sd, od) = data.delta_init()?;
+                let (so, oo) = oracle.delta_init()?;
+                let mut st = DeltaState::OracleSelect {
+                    data: Box::new(sd),
+                    oracle: Box::new(so),
+                    keep: *keep,
+                    pd: VecDeque::new(),
+                    po: VecDeque::new(),
+                };
+                let out = st.absorb_select(od, oo);
+                Some((st, out))
+            }
+            SeqExpr::CountTicks(e) => {
+                let (st, inner_out) = e.delta_init()?;
+                let mut state = DeltaState::CountTicks {
+                    inner: Box::new(st),
+                    ticks: 0,
+                    done: false,
+                };
+                let out = state.absorb_count(inner_out);
+                Some((state, out))
+            }
+            SeqExpr::EmitFirstAfter { need, add, input } => {
+                let (st, inner_out) = input.delta_init()?;
+                let mut state = DeltaState::EmitFirstAfter {
+                    inner: Box::new(st),
+                    need: (*need).max(1),
+                    add: *add,
+                    seen: 0,
+                    first: None,
+                    emitted: false,
+                };
+                let out = state.absorb_emit(inner_out);
+                Some((state, out))
+            }
+            SeqExpr::Custom(f) => {
+                let (st, out) = f.delta_init()?;
+                Some((DeltaState::Custom(st), out))
+            }
+        }
+    }
+}
+
+impl DeltaState {
+    /// Advances the state by one appended event, returning the values the
+    /// expression's output gains — O(|appended|) amortized.
+    pub fn step(&mut self, ev: Event) -> Vec<Value> {
+        match self {
+            DeltaState::Chan(c) => {
+                if ev.chan == *c {
+                    vec![ev.value]
+                } else {
+                    Vec::new()
+                }
+            }
+            DeltaState::Fixed => Vec::new(),
+            DeltaState::Map(m, inner) => {
+                let m = *m;
+                inner.step(ev).iter().map(|v| m.apply(v)).collect()
+            }
+            DeltaState::Filter(p, inner) => {
+                let p = *p;
+                inner.step(ev).into_iter().filter(|v| p.test(v)).collect()
+            }
+            DeltaState::Zip { a, b, .. } => {
+                let (da, db) = {
+                    let da = a.step(ev);
+                    let db = b.step(ev);
+                    (da, db)
+                };
+                self.absorb_zip(da, db)
+            }
+            DeltaState::TakeWhile { pred, inner, done } => {
+                if *done {
+                    return Vec::new();
+                }
+                let p = *pred;
+                let mut out = Vec::new();
+                for v in inner.step(ev) {
+                    if p.test(&v) {
+                        out.push(v);
+                    } else {
+                        *done = true;
+                        break;
+                    }
+                }
+                out
+            }
+            DeltaState::Skip { inner, remaining } => {
+                let vals = inner.step(ev);
+                let dropped = (*remaining).min(vals.len());
+                *remaining -= dropped;
+                vals[dropped..].to_vec()
+            }
+            DeltaState::OracleSelect { data, oracle, .. } => {
+                let dd = data.step(ev);
+                let doo = oracle.step(ev);
+                self.absorb_select(dd, doo)
+            }
+            DeltaState::CountTicks { inner, done, .. } => {
+                if *done {
+                    return Vec::new();
+                }
+                let vals = inner.step(ev);
+                self.absorb_count(vals)
+            }
+            DeltaState::EmitFirstAfter { inner, emitted, .. } => {
+                if *emitted {
+                    // The output is a function of the first element and the
+                    // count threshold only; both are settled.
+                    let _ = inner.step(ev);
+                    return Vec::new();
+                }
+                let vals = inner.step(ev);
+                self.absorb_emit(vals)
+            }
+            DeltaState::Custom(st) => st.step(ev),
+        }
+    }
+
+    fn absorb_zip(&mut self, da: Vec<Value>, db: Vec<Value>) -> Vec<Value> {
+        let DeltaState::Zip { op, pa, pb, .. } = self else {
+            unreachable!("absorb_zip on non-zip state")
+        };
+        pa.extend(da);
+        pb.extend(db);
+        let mut out = Vec::new();
+        while let (Some(x), Some(y)) = (pa.front(), pb.front()) {
+            out.push(op.apply(x, y));
+            pa.pop_front();
+            pb.pop_front();
+        }
+        out
+    }
+
+    fn absorb_select(&mut self, dd: Vec<Value>, doo: Vec<Value>) -> Vec<Value> {
+        let DeltaState::OracleSelect { keep, pd, po, .. } = self else {
+            unreachable!("absorb_select on non-select state")
+        };
+        pd.extend(dd);
+        po.extend(doo);
+        let mut out = Vec::new();
+        while let (Some(x), Some(y)) = (pd.front(), po.front()) {
+            if *y == Value::Bit(*keep) {
+                out.push(*x);
+            }
+            pd.pop_front();
+            po.pop_front();
+        }
+        out
+    }
+
+    fn absorb_count(&mut self, vals: Vec<Value>) -> Vec<Value> {
+        let DeltaState::CountTicks { ticks, done, .. } = self else {
+            unreachable!("absorb_count on non-count state")
+        };
+        let mut out = Vec::new();
+        for v in vals {
+            if *done {
+                break;
+            }
+            if ValuePred::IsFalse.test(&v) {
+                out.push(Value::Int(*ticks));
+                *done = true;
+            } else if ValuePred::IsTrue.test(&v) {
+                *ticks += 1;
+            }
+            // Non-bit values neither tick nor terminate, matching
+            // `SeqExpr::eval`'s position/count logic.
+        }
+        out
+    }
+
+    fn absorb_emit(&mut self, vals: Vec<Value>) -> Vec<Value> {
+        let DeltaState::EmitFirstAfter {
+            need,
+            add,
+            seen,
+            first,
+            emitted,
+            ..
+        } = self
+        else {
+            unreachable!("absorb_emit on non-emit state")
+        };
+        for v in vals {
+            if first.is_none() {
+                *first = Some(v);
+            }
+            *seen += 1;
+        }
+        if !*emitted && *seen >= *need {
+            *emitted = true;
+            match first {
+                Some(Value::Int(n)) => return vec![Value::Int(*n + *add)],
+                // A non-integer first element means the output is empty
+                // forever (matching `SeqExpr::eval`); stay emitted-empty.
+                _ => return Vec::new(),
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{ch, even, r_map};
+    use eqp_trace::{Lasso, Trace};
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+    fn d() -> Chan {
+        Chan::new(2)
+    }
+
+    /// Delta evaluation must agree with full evaluation on every prefix.
+    fn assert_delta_agrees(e: &SeqExpr, events: &[Event]) {
+        let (mut st, mut acc) = e.delta_init().expect("delta supported");
+        assert_eq!(
+            Lasso::finite(acc.clone()),
+            e.eval(&Trace::empty()),
+            "init mismatch for {e}"
+        );
+        let mut prefix = Vec::new();
+        for &ev in events {
+            prefix.push(ev);
+            acc.extend(st.step(ev));
+            assert_eq!(
+                Lasso::finite(acc.clone()),
+                e.eval(&Trace::finite(prefix.clone())),
+                "mismatch for {e} after {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chan_and_filters() {
+        let evs = [
+            Event::int(d(), 0),
+            Event::int(b(), 7),
+            Event::int(d(), 1),
+            Event::int(d(), 2),
+        ];
+        assert_delta_agrees(&ch(d()), &evs);
+        assert_delta_agrees(&even(ch(d())), &evs);
+        assert_delta_agrees(&SeqExpr::affine(2, 1, ch(d())), &evs);
+        assert_delta_agrees(&SeqExpr::concat([Value::Int(9)], ch(d())), &evs);
+        assert_delta_agrees(&SeqExpr::skip(2, ch(d())), &evs);
+    }
+
+    #[test]
+    fn zip_and_select() {
+        let evs = [
+            Event::int(d(), 1),
+            Event::int(b(), 10),
+            Event::int(d(), 2),
+            Event::bit(b(), true),
+        ];
+        assert_delta_agrees(&SeqExpr::add(ch(b()), ch(d())), &evs);
+        let sel = SeqExpr::OracleSelect {
+            data: Box::new(ch(d())),
+            oracle: Box::new(ch(b())),
+            keep: true,
+        };
+        let evs2 = [
+            Event::int(d(), 1),
+            Event::bit(b(), true),
+            Event::int(d(), 2),
+            Event::bit(b(), false),
+            Event::int(d(), 3),
+        ];
+        assert_delta_agrees(&sel, &evs2);
+    }
+
+    #[test]
+    fn count_ticks_and_emit_first() {
+        let count = SeqExpr::CountTicks(Box::new(ch(b())));
+        let evs = [
+            Event::bit(b(), true),
+            Event::bit(b(), true),
+            Event::bit(b(), false),
+            Event::bit(b(), true),
+        ];
+        assert_delta_agrees(&count, &evs);
+
+        let baf = SeqExpr::EmitFirstAfter {
+            need: 2,
+            add: 1,
+            input: Box::new(ch(d())),
+        };
+        let evs2 = [Event::int(d(), 5), Event::int(b(), 0), Event::int(d(), 7)];
+        assert_delta_agrees(&baf, &evs2);
+        // need = 0 behaves like need = 1
+        let baf0 = SeqExpr::EmitFirstAfter {
+            need: 0,
+            add: 3,
+            input: Box::new(ch(d())),
+        };
+        assert_delta_agrees(&baf0, &evs2);
+    }
+
+    #[test]
+    fn r_map_and_takewhile() {
+        let evs = [
+            Event::bit(b(), false),
+            Event::bit(b(), true),
+            Event::bit(b(), false),
+        ];
+        assert_delta_agrees(&r_map(ch(b())), &evs);
+        assert_delta_agrees(
+            &SeqExpr::TakeWhile(ValuePred::IsTrue, Box::new(ch(b()))),
+            &evs,
+        );
+    }
+
+    #[test]
+    fn infinite_const_not_supported() {
+        let e = SeqExpr::constant(Lasso::repeat(vec![Value::Int(0)]));
+        assert!(e.delta_init().is_none());
+        assert!(!e.delta_supported());
+        // finite const is
+        assert!(SeqExpr::const_ints([1, 2]).delta_supported());
+    }
+}

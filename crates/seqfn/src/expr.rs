@@ -211,9 +211,7 @@ impl SeqExpr {
             | SeqExpr::CountTicks(e)
             | SeqExpr::EmitFirstAfter { input: e, .. } => e.channels(),
             SeqExpr::Zip(_, a, b) => a.channels().union(&b.channels()),
-            SeqExpr::OracleSelect { data, oracle, .. } => {
-                data.channels().union(&oracle.channels())
-            }
+            SeqExpr::OracleSelect { data, oracle, .. } => data.channels().union(&oracle.channels()),
             SeqExpr::Custom(f) => f.channels(),
         }
     }
@@ -360,7 +358,11 @@ impl fmt::Display for SeqExpr {
             SeqExpr::TakeWhile(p, e) => write!(f, "takeWhile[{p}]({e})"),
             SeqExpr::Skip(n, e) => write!(f, "skip[{n}]({e})"),
             SeqExpr::OracleSelect { data, oracle, keep } => {
-                write!(f, "select[{}]({data}, {oracle})", if *keep { "T" } else { "F" })
+                write!(
+                    f,
+                    "select[{}]({data}, {oracle})",
+                    if *keep { "T" } else { "F" }
+                )
             }
             SeqExpr::CountTicks(e) => write!(f, "countTicks({e})"),
             SeqExpr::EmitFirstAfter { need, add, input } => {
@@ -392,7 +394,11 @@ mod tests {
 
     #[test]
     fn chan_projection_evaluates() {
-        let t = Trace::finite(vec![Event::int(b(), 1), Event::int(c(), 2), Event::int(b(), 3)]);
+        let t = Trace::finite(vec![
+            Event::int(b(), 1),
+            Event::int(c(), 2),
+            Event::int(b(), 3),
+        ]);
         assert_eq!(SeqExpr::chan(b()).eval(&t), ints(&[1, 3]));
         assert_eq!(SeqExpr::chan(d()).eval(&t), Lasso::empty());
     }
@@ -461,11 +467,7 @@ mod tests {
     #[test]
     fn count_ticks_until_first_false() {
         let seq = |bits: &[bool]| {
-            Trace::finite(
-                bits.iter()
-                    .map(|&x| Event::bit(c(), x))
-                    .collect::<Vec<_>>(),
-            )
+            Trace::finite(bits.iter().map(|&x| Event::bit(c(), x)).collect::<Vec<_>>())
         };
         let h = SeqExpr::CountTicks(Box::new(SeqExpr::chan(c())));
         assert_eq!(h.eval(&seq(&[true, true, false])), ints(&[2]));
@@ -484,7 +486,11 @@ mod tests {
         let t0 = Trace::empty();
         let t1 = Trace::finite(vec![Event::int(c(), 0)]);
         let t2 = Trace::finite(vec![Event::int(c(), 0), Event::int(c(), 2)]);
-        let t3 = Trace::finite(vec![Event::int(c(), 0), Event::int(c(), 2), Event::int(c(), 9)]);
+        let t3 = Trace::finite(vec![
+            Event::int(c(), 0),
+            Event::int(c(), 2),
+            Event::int(c(), 9),
+        ]);
         assert_eq!(f.eval(&t0), Lasso::empty());
         assert_eq!(f.eval(&t1), Lasso::empty());
         assert_eq!(f.eval(&t2), ints(&[1]));
@@ -555,10 +561,7 @@ mod tests {
 
     #[test]
     fn display_readable() {
-        let e = SeqExpr::concat(
-            [Value::Int(0)],
-            SeqExpr::affine(2, 0, SeqExpr::chan(d())),
-        );
+        let e = SeqExpr::concat([Value::Int(0)], SeqExpr::affine(2, 0, SeqExpr::chan(d())));
         assert_eq!(e.to_string(), "0; 2×(ch2)");
         let f = SeqExpr::even(SeqExpr::chan(d()));
         assert_eq!(f.to_string(), "even(ch2)");

@@ -51,10 +51,12 @@
 #![warn(missing_docs)]
 
 pub mod custom;
+pub mod delta;
 pub mod expr;
 pub mod ops;
 pub mod paper;
 
-pub use custom::SeqFunction;
+pub use custom::{CustomDeltaState, SeqFunction};
+pub use delta::DeltaState;
 pub use expr::SeqExpr;
 pub use ops::{ValueMap, ValuePred, ValueZip};

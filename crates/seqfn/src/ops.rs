@@ -182,14 +182,8 @@ mod tests {
 
     #[test]
     fn zips() {
-        assert_eq!(
-            ValueZip::And.apply(&Value::tt(), &Value::tt()),
-            Value::tt()
-        );
-        assert_eq!(
-            ValueZip::And.apply(&Value::tt(), &Value::ff()),
-            Value::ff()
-        );
+        assert_eq!(ValueZip::And.apply(&Value::tt(), &Value::tt()), Value::tt());
+        assert_eq!(ValueZip::And.apply(&Value::tt(), &Value::ff()), Value::ff());
         assert_eq!(
             ValueZip::AddInts.apply(&Value::Int(2), &Value::Int(3)),
             Value::Int(5)

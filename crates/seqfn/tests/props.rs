@@ -8,8 +8,7 @@ use proptest::prelude::*;
 fn leaf() -> impl Strategy<Value = SeqExpr> {
     prop_oneof![
         (0u32..3).prop_map(|c| SeqExpr::chan(Chan::new(c))),
-        proptest::collection::vec(-3i64..4, 0..3)
-            .prop_map(SeqExpr::const_ints),
+        proptest::collection::vec(-3i64..4, 0..3).prop_map(SeqExpr::const_ints),
         Just(SeqExpr::constant(eqp_trace::Lasso::repeat(vec![
             Value::Int(0),
             Value::Int(1)
@@ -40,9 +39,8 @@ fn vmap() -> impl Strategy<Value = ValueMap> {
 fn expr() -> impl Strategy<Value = SeqExpr> {
     leaf().prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (proptest::collection::vec(-2i64..3, 0..3), inner.clone()).prop_map(
-                |(ns, e)| SeqExpr::concat(ns.into_iter().map(Value::Int), e)
-            ),
+            (proptest::collection::vec(-2i64..3, 0..3), inner.clone())
+                .prop_map(|(ns, e)| SeqExpr::concat(ns.into_iter().map(Value::Int), e)),
             (vmap(), inner.clone()).prop_map(|(m, e)| SeqExpr::Map(m, Box::new(e))),
             (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::Filter(p, Box::new(e))),
             (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::TakeWhile(p, Box::new(e))),
@@ -72,11 +70,14 @@ fn expr() -> impl Strategy<Value = SeqExpr> {
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (0u32..3, prop_oneof![
-        (-3i64..4).prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bit),
-        (0u8..2, -2i64..3).prop_map(|(t, n)| Value::Pair(t, n)),
-    ])
+    (
+        0u32..3,
+        prop_oneof![
+            (-3i64..4).prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bit),
+            (0u8..2, -2i64..3).prop_map(|(t, n)| Value::Pair(t, n)),
+        ],
+    )
         .prop_map(|(c, v)| Event::new(Chan::new(c), v))
 }
 

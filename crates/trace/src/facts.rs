@@ -61,9 +61,7 @@ pub fn check_f4(t: &Trace, l: &ChanSet, n: usize) -> bool {
         // both are prefixes of t_L.
         let lu = ul.events().map(<[_]>::len);
         let lv = vl.events().map(<[_]>::len);
-        matches!((lu, lv), (Some(a), Some(b)) if a + 1 == b)
-            && ul.leq(&vl)
-            && vl.leq(&t.project(l))
+        matches!((lu, lv), (Some(a), Some(b)) if a + 1 == b) && ul.leq(&vl) && vl.leq(&t.project(l))
     })
 }
 
@@ -71,7 +69,13 @@ pub fn check_f4(t: &Trace, l: &ChanSet, n: usize) -> bool {
 /// and `v_L = y`. Returns the witnessing pair `(u, v)`, or `None` if no
 /// witness exists within the first `n` prefixes of `t` (which would
 /// falsify F5 for finite `t` fully covered by `n`).
-pub fn f5_witness(t: &Trace, l: &ChanSet, x: &Trace, y: &Trace, n: usize) -> Option<(Trace, Trace)> {
+pub fn f5_witness(
+    t: &Trace,
+    l: &ChanSet,
+    x: &Trace,
+    y: &Trace,
+    n: usize,
+) -> Option<(Trace, Trace)> {
     t.pre_pairs_up_to(n)
         .find(|(u, v)| &u.project(l) == x && &v.project(l) == y)
 }

@@ -575,7 +575,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(fin(&[1, 2]).to_string(), "⟨1 2⟩");
-        assert_eq!(Lasso::lasso(vec![0u8], vec![1, 2]).to_string(), "⟨0 (1 2)^ω⟩");
+        assert_eq!(
+            Lasso::lasso(vec![0u8], vec![1, 2]).to_string(),
+            "⟨0 (1 2)^ω⟩"
+        );
         assert_eq!(fin(&[]).to_string(), "⟨⟩");
     }
 

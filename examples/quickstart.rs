@@ -34,7 +34,10 @@ fn main() {
         .expect("the seeded system has a verified lasso limit");
     println!("seeded loop  c = b, b = 0; c");
     println!("  least fixpoint: b = {}, c = {}", sol.seqs[1], sol.seqs[0]);
-    println!("  (verified lasso extrapolation after {} iterations)", sol.iterations);
+    println!(
+        "  (verified lasso extrapolation after {} iterations)",
+        sol.iterations
+    );
 
     // Every finite computation approximates the 0^ω limit:
     let run = copy::seeded_network().run(
@@ -55,10 +58,7 @@ fn main() {
     println!("\nsolutions vs smooth solutions (plain loop):");
     let desc = copy::plain_system().to_description("fig1");
     let three = Lasso::finite(vec![Value::Int(3)]);
-    let t = eqp::core::kahn_eqs::trace_from_seqs(&[
-        (copy::B, three.clone()),
-        (copy::C, three),
-    ]);
+    let t = eqp::core::kahn_eqs::trace_from_seqs(&[(copy::B, three.clone()), (copy::C, three)]);
     println!(
         "  b = c = ⟨3⟩ : solution = {}, smooth = {}",
         limit_holds(&desc, &t),

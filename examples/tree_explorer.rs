@@ -37,10 +37,7 @@ fn pick(name: &str) -> (Description, Alphabet) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let name = args.get(1).map(String::as_str).unwrap_or("random-bit");
-    let depth: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3);
+    let depth: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
 
     let (desc, alpha) = pick(name);
     eprintln!("building the Section 3.3 tree for `{name}` to depth {depth}…");

@@ -1,0 +1,274 @@
+//! A workspace-local stand-in for the subset of the crates.io `criterion`
+//! API that the `eqp` benches use: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment for this repository is fully offline, so this
+//! shim provides a small but honest wall-clock harness instead of the real
+//! statistical machinery: each benchmark is warmed up, then timed over
+//! `sample_size` samples whose per-sample iteration count is calibrated so
+//! a sample takes a measurable amount of time. Results (median and mean
+//! ns/iter) are printed and collected; callers can drain them with
+//! [`Criterion::take_results`] to emit machine-readable reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { text: s }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::default().configure_from_args()` — the shim has
+    /// no CLI arguments.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+
+    /// Benches directly at the top level.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Criterion {
+        let id = id.into();
+        let r = run_bench(id.text.clone(), 10, Duration::from_millis(200), &mut f);
+        self.results.push(r);
+        self
+    }
+
+    /// Drains the results collected so far (used for report emission).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benches a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.text);
+        let r = run_bench(full, self.sample_size, self.measurement_time, &mut f);
+        self.parent.results.push(r);
+        self
+    }
+
+    /// Benches a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; results were reported live).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) -> BenchResult {
+    // Calibrate: grow the per-sample iteration count until one sample takes
+    // at least measurement_time / sample_size (or a floor of 1 ms).
+    let target = (measurement_time / sample_size as u32).max(Duration::from_millis(1));
+    let mut iters: u64 = 1;
+    loop {
+        let t = time_once(f, iters);
+        if t >= target || iters >= 1 << 20 {
+            break;
+        }
+        // Aim directly for the target with 2x headroom, at least doubling.
+        let scale = (target.as_secs_f64() / t.as_secs_f64().max(1e-9)).ceil() as u64;
+        iters = (iters * scale.clamp(2, 100)).min(1 << 20);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let t = time_once(f, iters);
+        per_iter.push(t.as_nanos() as f64 / iters as f64);
+        total_iters += iters;
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!("bench {id:<60} median {median:>12.1} ns/iter (mean {mean:.1}, {total_iters} iters)");
+    BenchResult {
+        id,
+        median_ns: median,
+        mean_ns: mean,
+        iterations: total_iters,
+    }
+}
+
+/// Declares a group runner, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box` (deprecated there
+/// in favor of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.measurement_time(Duration::from_millis(6));
+            g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+            g.bench_with_input(BenchmarkId::new("sum-n", 50), &50u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        let rs = c.take_results();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|r| r.median_ns > 0.0 && r.iterations > 0));
+        assert_eq!(rs[0].id, "shim/sum");
+        assert_eq!(rs[1].id, "shim/sum-n/50");
+    }
+}

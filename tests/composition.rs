@@ -98,8 +98,7 @@ fn fork_plus_worker_composition() {
     use eqp::processes::fork;
     use eqp::seqfn::paper::{ch, twice};
     let worker_out = Chan::new(120);
-    let worker =
-        eqp::core::Description::new("worker").defines(worker_out, twice(ch(fork::D)));
+    let worker = eqp::core::Description::new("worker").defines(worker_out, twice(ch(fork::D)));
     let comps = vec![
         Component::from_description(fork::description()),
         Component::from_description(worker),

@@ -54,7 +54,13 @@ fn build(input: &[i64], stages: &[Stage]) -> (Network, KahnSystem, Chan) {
         let out = fresh();
         match s {
             Stage::Affine(a, b) => {
-                net.add(procs::Apply::int_affine(format!("affine{i}"), cur, out, *a, *b));
+                net.add(procs::Apply::int_affine(
+                    format!("affine{i}"),
+                    cur,
+                    out,
+                    *a,
+                    *b,
+                ));
                 sys = sys.equation(out, SeqExpr::affine(*a, *b, ch(cur)));
             }
             Stage::Delay(prelude) => {

@@ -14,10 +14,15 @@ use eqp::trace::{Event, Lasso, Trace, Value};
 fn e1_figure1_copy_networks() {
     let plain = copy::plain_system().solve(SolveOptions::default()).unwrap();
     assert_eq!(plain.seqs, vec![Lasso::empty(), Lasso::empty()]);
-    let seeded = copy::seeded_system().solve(SolveOptions::default()).unwrap();
+    let seeded = copy::seeded_system()
+        .solve(SolveOptions::default())
+        .unwrap();
     let zw = Lasso::repeat(vec![Value::Int(0)]);
     assert_eq!(seeded.seqs, vec![zw.clone(), zw]);
-    assert!(!seeded.stabilized, "0^ω must come from verified extrapolation");
+    assert!(
+        !seeded.stabilized,
+        "0^ω must come from verified extrapolation"
+    );
 }
 
 /// E2 — Figure 2: dfm's quiescent traces from Section 3.1.1 are exactly
@@ -198,7 +203,10 @@ fn e11_fairness_family() {
     assert!(is_smooth(&ft, &finite_ticks::n_tick_trace(3)));
     let all_ticks = Trace::lasso(
         [],
-        [Event::bit(finite_ticks::C, true), Event::bit(finite_ticks::D, true)],
+        [
+            Event::bit(finite_ticks::C, true),
+            Event::bit(finite_ticks::D, true),
+        ],
     );
     assert!(!limit_holds(&ft, &all_ticks));
     // random number: every natural expressible.

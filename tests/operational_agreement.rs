@@ -28,7 +28,13 @@ fn random_bit_soundness_and_completeness() {
         for sched in schedulers(seed).iter_mut() {
             let mut net = Network::new();
             net.add(random_bit::RandomBitProc::new());
-            let run = net.run(sched, RunOptions { max_steps: 10, seed });
+            let run = net.run(
+                sched,
+                RunOptions {
+                    max_steps: 10,
+                    seed,
+                },
+            );
             assert!(run.quiescent);
             assert!(is_smooth(&desc, &run.trace));
             realized.insert(format!("{}", run.trace));
@@ -59,7 +65,13 @@ fn brock_ackermann_soundness_all_schedules() {
     for seed in 0..12u64 {
         for sched in schedulers(seed).iter_mut() {
             let mut net = ba::network(Oracle::fair(seed, 2));
-            let run = net.run(sched, RunOptions { max_steps: 300, seed });
+            let run = net.run(
+                sched,
+                RunOptions {
+                    max_steps: 300,
+                    seed,
+                },
+            );
             assert!(run.quiescent);
             assert!(
                 is_smooth(&flat, &run.trace),
@@ -78,7 +90,13 @@ fn fair_merge_soundness_all_schedules() {
     for seed in 0..8u64 {
         for sched in schedulers(seed).iter_mut() {
             let mut net = fm::network(&[2, 4, 6], &[1, 3], Oracle::fair(seed, 2));
-            let run = net.run(sched, RunOptions { max_steps: 400, seed });
+            let run = net.run(
+                sched,
+                RunOptions {
+                    max_steps: 400,
+                    seed,
+                },
+            );
             assert!(run.quiescent);
             let t = run.trace.project(&keep);
             assert!(
@@ -111,7 +129,13 @@ fn implication_soundness_and_answer_coverage() {
     for seed in 0..16u64 {
         for sched in schedulers(seed).iter_mut() {
             let mut net = implication::network(true);
-            let run = net.run(sched, RunOptions { max_steps: 30, seed });
+            let run = net.run(
+                sched,
+                RunOptions {
+                    max_steps: 30,
+                    seed,
+                },
+            );
             assert!(run.quiescent);
             let vis = run.trace.project(&implication::visible_channels());
             assert!(visible.contains(&vis), "unexpected visible trace {vis}");
@@ -168,7 +192,13 @@ fn fork_soundness_with_reconstructed_oracle() {
     use eqp::trace::{Event, Trace, Value};
     for seed in 0..10u64 {
         let mut net = fork::network(&[1, 2, 3, 4]);
-        let run = net.run(&mut RoundRobin::new(), RunOptions { max_steps: 60, seed });
+        let run = net.run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 60,
+                seed,
+            },
+        );
         assert!(run.quiescent);
         // reconstruct: walk the trace; every output event (D/E) reveals
         // one oracle bit; interleave a (B, bit) immediately before it.

@@ -51,12 +51,7 @@ fn extensional_composition_matches_equational() {
     let specs = vec![
         ProcessSpec::from_description(&src_b, &ChanSet::from_chans([b()]), &alpha(), opts),
         ProcessSpec::from_description(&src_c, &ChanSet::from_chans([c()]), &alpha(), opts),
-        ProcessSpec::from_description(
-            &dfm,
-            &ChanSet::from_chans([b(), c(), d()]),
-            &alpha(),
-            opts,
-        ),
+        ProcessSpec::from_description(&dfm, &ChanSet::from_chans([b(), c(), d()]), &alpha(), opts),
     ];
     let net = compose(&[src_b, src_c, dfm]);
 

@@ -45,7 +45,7 @@ fn zoo() -> Vec<Row> {
             name: "section23 (eliminated)",
             desc: dfm::section23_description(),
             arity: 2,
-            independent: false, // d on both sides
+            independent: false,      // d on both sides
             bottom_quiescent: false, // even(ε) = ε ≠ 0; 2×ε
         },
         Row {
@@ -87,7 +87,7 @@ fn zoo() -> Vec<Row> {
             name: "implication",
             desc: implication::description(),
             arity: 2,
-            independent: false, // auxiliary b read by both equations' sides
+            independent: false,      // auxiliary b read by both equations' sides
             bottom_quiescent: false, // the R(b) ⟸ T̄ equation owes a bit
         },
         Row {
@@ -145,12 +145,7 @@ fn zoo() -> Vec<Row> {
 #[test]
 fn zoo_structural_invariants() {
     for row in zoo() {
-        assert_eq!(
-            row.desc.arity(),
-            row.arity,
-            "{}: arity changed",
-            row.name
-        );
+        assert_eq!(row.desc.arity(), row.arity, "{}: arity changed", row.name);
         assert_eq!(
             row.desc.is_independent(),
             row.independent,
@@ -191,7 +186,7 @@ fn zoo_channel_blocks_disjoint() {
         .collect();
     // dfm-family and copy-family intentionally share within themselves;
     // check that distinct module families never overlap.
-    let family = |name: &str| -> &str {
+    fn family(name: &str) -> &str {
         if name.starts_with("copy") {
             "copy"
         } else if name.contains("section23") || name == "dfm" {
@@ -203,7 +198,7 @@ fn zoo_channel_blocks_disjoint() {
         } else {
             name
         }
-    };
+    }
     for (i, (n1, c1)) in modules.iter().enumerate() {
         for (n2, c2) in modules.iter().skip(i + 1) {
             if family(n1) == family(n2) {
