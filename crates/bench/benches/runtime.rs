@@ -1,0 +1,146 @@
+//! Runtime hardening overheads: what telemetry and conformance checking
+//! cost on top of a bare run.
+//!
+//! Three questions, each its own group:
+//! * `run` vs `run_report` — the per-step price of channel meters,
+//!   starvation streaks, and runtime consumer checks;
+//! * `conformance/check` — replaying `eqp_core::diagnose` over a finished
+//!   run's trace (off the hot path: pay only when certifying);
+//! * `faults/link` — a `FaultyLink` interposed on the merge output versus
+//!   the unfaulted network (the link is one extra process, so the delta
+//!   is mostly scheduling).
+
+use criterion::Criterion;
+use eqp_core::Description;
+use eqp_kahn::conformance::{check_report, ConformanceOptions};
+use eqp_kahn::faults::{Fault, FaultyLink};
+use eqp_kahn::{procs, Network, Oracle, RoundRobin, RunOptions};
+use eqp_processes::dfm;
+use eqp_trace::{Chan, Value};
+use std::hint::black_box;
+
+const RAW: Chan = Chan::new(230);
+
+fn section23_opts() -> RunOptions {
+    RunOptions {
+        max_steps: 120,
+        seed: 7,
+    }
+}
+
+fn faulted_merge(fault: Fault) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env-b",
+        dfm::B,
+        (0..16).map(|i| Value::Int(2 * i)).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Source::new(
+        "env-c",
+        dfm::C,
+        (0..16).map(|i| Value::Int(2 * i + 1)).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Merge2::new(
+        "merge",
+        dfm::B,
+        dfm::C,
+        RAW,
+        Oracle::fair(7, 2),
+    ));
+    net.add(FaultyLink::new("link", RAW, dfm::D, fault));
+    net
+}
+
+fn bench_run_vs_report(c: &mut Criterion, desc: &Description) {
+    let mut g = c.benchmark_group("runtime/section23");
+    g.sample_size(20);
+    g.bench_function("run", |b| {
+        b.iter(|| {
+            let mut net = dfm::section23_network(Oracle::fair(7, 2));
+            black_box(net.run(&mut RoundRobin::new(), section23_opts()).steps)
+        })
+    });
+    g.bench_function("run_report", |b| {
+        b.iter(|| {
+            let mut net = dfm::section23_network(Oracle::fair(7, 2));
+            black_box(
+                net.run_report(&mut RoundRobin::new(), section23_opts())
+                    .steps,
+            )
+        })
+    });
+    g.bench_function("run_report+conformance", |b| {
+        b.iter(|| {
+            let mut net = dfm::section23_network(Oracle::fair(7, 2));
+            let report = net.run_report(&mut RoundRobin::new(), section23_opts());
+            black_box(check_report(desc, &report, &ConformanceOptions::default()).is_conformant())
+        })
+    });
+    g.finish();
+}
+
+fn bench_conformance_only(c: &mut Criterion, desc: &Description) {
+    // One fixed finished run; measure certification alone.
+    let mut net = dfm::section23_network(Oracle::fair(7, 2));
+    let report = net.run_report(&mut RoundRobin::new(), section23_opts());
+    let mut g = c.benchmark_group("conformance");
+    g.sample_size(20);
+    g.bench_function("check", |b| {
+        b.iter(|| black_box(check_report(desc, &report, &ConformanceOptions::default()).verdict))
+    });
+    g.finish();
+}
+
+fn bench_faulty_link(c: &mut Criterion) {
+    let opts = RunOptions {
+        max_steps: 400,
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(20);
+    g.bench_function("unfaulted-merge", |b| {
+        b.iter(|| {
+            // same topology minus the link: merge writes straight to d
+            let mut net = Network::new();
+            net.add(procs::Source::new(
+                "env-b",
+                dfm::B,
+                (0..16).map(|i| Value::Int(2 * i)).collect::<Vec<_>>(),
+            ));
+            net.add(procs::Source::new(
+                "env-c",
+                dfm::C,
+                (0..16).map(|i| Value::Int(2 * i + 1)).collect::<Vec<_>>(),
+            ));
+            net.add(procs::Merge2::new(
+                "merge",
+                dfm::B,
+                dfm::C,
+                dfm::D,
+                Oracle::fair(7, 2),
+            ));
+            black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+        })
+    });
+    g.bench_function("delay-link", |b| {
+        b.iter(|| {
+            let mut net = faulted_merge(Fault::Delay { slack: 2 });
+            black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+        })
+    });
+    g.bench_function("reorder-link", |b| {
+        b.iter(|| {
+            let mut net = faulted_merge(Fault::Reorder { window: 3, seed: 7 });
+            black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let desc = dfm::section23_description();
+    let mut c = Criterion::default().configure_from_args();
+    bench_run_vs_report(&mut c, &desc);
+    bench_conformance_only(&mut c, &desc);
+    bench_faulty_link(&mut c);
+}

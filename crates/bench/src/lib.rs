@@ -74,7 +74,7 @@ pub mod naive {
 
     /// Section 3.3 enumeration *without* memoizing the parent's
     /// right-hand side: re-evaluates `g(u)` for every candidate child,
-    /// but otherwise does the same work as [`eqp_core::enumerate`]
+    /// but otherwise does the same work as [`eqp_core::enumerate()`]
     /// (limit check per node, solution collection) so the two are
     /// comparable.
     pub fn enumerate_unmemoized(

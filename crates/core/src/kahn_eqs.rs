@@ -175,6 +175,25 @@ impl KahnSystem {
         None
     }
 
+    /// Kahn-determinism bridge for operational runs: true iff every
+    /// defined channel's history in `t` is a prefix of the corresponding
+    /// least-fixpoint sequence of `sol`.
+    ///
+    /// This is the checkable half of Kahn's theorem for the operational
+    /// layer (`eqp-kahn`): any finite computation of a deterministic
+    /// network — under *any* scheduler and *any* step-bound cut point —
+    /// only ever approximates the least fixpoint from below. The
+    /// conformance suite pairs it with
+    /// [`to_description`](KahnSystem::to_description) so a run is checked
+    /// both against the smooth-solution conditions and against the solved
+    /// lfp.
+    pub fn histories_within(&self, sol: &Solution, t: &Trace) -> bool {
+        self.vars
+            .iter()
+            .zip(&sol.seqs)
+            .all(|(c, limit)| t.seq_on(*c).leq(limit))
+    }
+
     /// The description `c ⟸ f(c)` per equation — the form whose unique
     /// smooth solution Theorem 4 equates with the least fixpoint.
     pub fn to_description(&self, name: &str) -> Description {
@@ -259,6 +278,27 @@ mod tests {
         assert!(sol.stabilized);
         assert_eq!(sol.seqs, vec![Lasso::empty(), Lasso::empty()]);
         assert_eq!(sol.iterations, 1);
+    }
+
+    #[test]
+    fn histories_within_accepts_prefixes_and_rejects_deviations() {
+        let sys = KahnSystem::new()
+            .equation(c(), ch(b()))
+            .equation(b(), prepend_int(0, ch(c())));
+        let sol = sys.solve(SolveOptions::default()).unwrap();
+        // a finite approximation from below: b = c = ⟨0 0⟩
+        let approx = Trace::finite(vec![
+            Event::int(b(), 0),
+            Event::int(c(), 0),
+            Event::int(b(), 0),
+            Event::int(c(), 0),
+        ]);
+        assert!(sys.histories_within(&sol, &approx));
+        // ⊥ approximates everything
+        assert!(sys.histories_within(&sol, &Trace::empty()));
+        // a deviating value is not a prefix of the lfp
+        let wrong = Trace::finite(vec![Event::int(b(), 0), Event::int(c(), 1)]);
+        assert!(!sys.histories_within(&sol, &wrong));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Fault injection: perturbed channel links and crashing processes.
+//!
+//! The conformance bridge ([`crate::conformance`]) makes the paper's
+//! adequacy claim executable; this module supplies the perturbations that
+//! stress it. Each [`Fault`] wraps a channel as a [`FaultyLink`] process
+//! interposed between producer and consumer (the producer sends on a raw
+//! channel, the link forwards — faultily — onto the real one), and
+//! [`CrashAt`] wraps any process so it dies after a fixed number of
+//! steps.
+//!
+//! The taxonomy follows the paper's asynchronous-channel semantics:
+//!
+//! * **Delay** is *not* a fault at all — channels are unbounded FIFOs
+//!   with no timing guarantees, so a delayed but order-and-content
+//!   preserving link yields exactly the same quiescent channel histories
+//!   and the conformance bridge still certifies the run.
+//! * **Reorder** breaks the FIFO discipline: per-channel histories are
+//!   permuted within a window, violating order-sensitive descriptions
+//!   (though order-free specifications such as the bag accept it).
+//! * **Duplicate** and **Drop** corrupt the history itself; at
+//!   quiescence the description's limit condition `f(t) = g(t)` fails
+//!   and [`diagnose`](eqp_core::diagnose::diagnose) names the component.
+//! * **Crash** silences a process; whatever it still owed its
+//!   description is missing at quiescence (a limit failure), and the
+//!   residual queue on its input shows up in [`crate::RunReport`].
+
+use crate::process::{Process, StepCtx, StepResult};
+use eqp_trace::{Chan, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// A channel perturbation applied by a [`FaultyLink`].
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// Forward every message, order intact, but hold up to `slack`
+    /// messages back. Benign: preserves quiescent channel histories.
+    Delay {
+        /// Messages the link may buffer before it must forward.
+        slack: usize,
+    },
+    /// Forward every message, but release them in a random order from a
+    /// sliding window of up to `window` buffered messages.
+    Reorder {
+        /// Maximum number of messages buffered for permutation.
+        window: usize,
+        /// Seed for the link's private release order RNG.
+        seed: u64,
+    },
+    /// Forward every message, sending every `period`-th one twice.
+    Duplicate {
+        /// Duplicate each `period`-th message (1 = every message).
+        period: usize,
+    },
+    /// Silently discard every `period`-th message.
+    Drop {
+        /// Drop each `period`-th message (1 = every message).
+        period: usize,
+    },
+}
+
+enum LinkState {
+    Delay {
+        buffer: VecDeque<Value>,
+        slack: usize,
+    },
+    Reorder {
+        buffer: Vec<Value>,
+        window: usize,
+        rng: StdRng,
+    },
+    Duplicate {
+        period: usize,
+        seen: usize,
+    },
+    Drop {
+        period: usize,
+        seen: usize,
+    },
+}
+
+/// A faulty channel: reads `input`, forwards onto `output` subject to a
+/// [`Fault`]. Interpose it by renaming the producer's output channel to a
+/// fresh raw channel and letting the link feed the original one.
+pub struct FaultyLink {
+    name: String,
+    input: Chan,
+    output: Chan,
+    state: LinkState,
+}
+
+impl FaultyLink {
+    /// Creates a link forwarding `input` to `output` under `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic fault has `period == 0` or a reorder fault
+    /// has `window == 0`.
+    pub fn new(name: impl Into<String>, input: Chan, output: Chan, fault: Fault) -> FaultyLink {
+        let state = match fault {
+            Fault::Delay { slack } => LinkState::Delay {
+                buffer: VecDeque::new(),
+                slack,
+            },
+            Fault::Reorder { window, seed } => {
+                assert!(window > 0, "reorder window must be positive");
+                LinkState::Reorder {
+                    buffer: Vec::new(),
+                    window,
+                    rng: StdRng::seed_from_u64(seed),
+                }
+            }
+            Fault::Duplicate { period } => {
+                assert!(period > 0, "duplicate period must be positive");
+                LinkState::Duplicate { period, seen: 0 }
+            }
+            Fault::Drop { period } => {
+                assert!(period > 0, "drop period must be positive");
+                LinkState::Drop { period, seen: 0 }
+            }
+        };
+        FaultyLink {
+            name: name.into(),
+            input,
+            output,
+            state,
+        }
+    }
+}
+
+impl Process for FaultyLink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![self.input]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![self.output]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match &mut self.state {
+            LinkState::Delay { buffer, slack } => {
+                // Hold up to `slack` messages; once the buffer exceeds the
+                // slack (or the upstream goes quiet) release the oldest,
+                // so every message is eventually delivered in order.
+                if buffer.len() > *slack {
+                    let v = buffer.pop_front().expect("nonempty");
+                    ctx.send(self.output, v);
+                    StepResult::Progress
+                } else if ctx.available(self.input) > 0 {
+                    let v = ctx.pop(self.input).expect("nonempty");
+                    buffer.push_back(v);
+                    StepResult::Progress
+                } else if let Some(v) = buffer.pop_front() {
+                    ctx.send(self.output, v);
+                    StepResult::Progress
+                } else {
+                    StepResult::Idle
+                }
+            }
+            LinkState::Reorder {
+                buffer,
+                window,
+                rng,
+            } => {
+                if ctx.available(self.input) > 0 && buffer.len() < *window {
+                    let v = ctx.pop(self.input).expect("nonempty");
+                    buffer.push(v);
+                    StepResult::Progress
+                } else if !buffer.is_empty() {
+                    let i = rng.random_range(0..buffer.len());
+                    let v = buffer.swap_remove(i);
+                    ctx.send(self.output, v);
+                    StepResult::Progress
+                } else {
+                    StepResult::Idle
+                }
+            }
+            LinkState::Duplicate { period, seen } => match ctx.pop(self.input) {
+                Some(v) => {
+                    *seen += 1;
+                    ctx.send(self.output, v);
+                    if *seen % *period == 0 {
+                        ctx.send(self.output, v);
+                    }
+                    StepResult::Progress
+                }
+                None => StepResult::Idle,
+            },
+            LinkState::Drop { period, seen } => match ctx.pop(self.input) {
+                Some(v) => {
+                    *seen += 1;
+                    if *seen % *period != 0 {
+                        ctx.send(self.output, v);
+                    }
+                    StepResult::Progress
+                }
+                None => StepResult::Idle,
+            },
+        }
+    }
+}
+
+/// Wraps a process so it crashes (silently idles forever) after making
+/// `at_step` progress steps.
+pub struct CrashAt<P> {
+    name: String,
+    inner: P,
+    fuel: usize,
+}
+
+impl<P: Process> CrashAt<P> {
+    /// Crashes `inner` after its `at_step`-th progress step (0 = dead on
+    /// arrival).
+    pub fn new(inner: P, at_step: usize) -> CrashAt<P> {
+        CrashAt {
+            name: format!("{}!crash@{at_step}", inner.name()),
+            inner,
+            fuel: at_step,
+        }
+    }
+
+    /// True iff the wrapper has exhausted its fuel.
+    pub fn crashed(&self) -> bool {
+        self.fuel == 0
+    }
+}
+
+impl<P: Process> Process for CrashAt<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        self.inner.inputs()
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        self.inner.outputs()
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.fuel == 0 {
+            return StepResult::Idle;
+        }
+        let r = self.inner.step(ctx);
+        if r == StepResult::Progress {
+            self.fuel -= 1;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, RunOptions};
+    use crate::procs::{Apply, Source};
+    use crate::scheduler::RoundRobin;
+
+    fn raw() -> Chan {
+        Chan::new(200)
+    }
+    fn out() -> Chan {
+        Chan::new(201)
+    }
+
+    fn faulted_pipeline(fault: Fault) -> Network {
+        let mut net = Network::new();
+        net.add(Source::new(
+            "env",
+            raw(),
+            (1..=4).map(Value::Int).collect::<Vec<_>>(),
+        ));
+        net.add(FaultyLink::new("link", raw(), out(), fault));
+        net
+    }
+
+    fn delivered(fault: Fault) -> Vec<Value> {
+        let run = faulted_pipeline(fault).run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        run.trace.seq_on(out()).take(32)
+    }
+
+    #[test]
+    fn delay_delivers_everything_in_order() {
+        assert_eq!(
+            delivered(Fault::Delay { slack: 2 }),
+            (1..=4).map(Value::Int).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_doubles_periodically() {
+        assert_eq!(
+            delivered(Fault::Duplicate { period: 2 }),
+            [1, 2, 2, 3, 4, 4].map(Value::Int).to_vec()
+        );
+    }
+
+    #[test]
+    fn drop_discards_periodically() {
+        assert_eq!(
+            delivered(Fault::Drop { period: 2 }),
+            [1, 3].map(Value::Int).to_vec()
+        );
+    }
+
+    #[test]
+    fn reorder_permutes_but_preserves_content() {
+        let mut got = delivered(Fault::Reorder { window: 3, seed: 5 });
+        got.sort();
+        assert_eq!(got, (1..=4).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn crash_at_k_stops_after_k_steps() {
+        let mut net = Network::new();
+        net.add(Source::new(
+            "env",
+            raw(),
+            (1..=4).map(Value::Int).collect::<Vec<_>>(),
+        ));
+        net.add(CrashAt::new(
+            Apply::int_affine("double", raw(), out(), 2, 0),
+            2,
+        ));
+        let report = net.run_report(&mut RoundRobin::new(), RunOptions::default());
+        assert!(
+            report.quiescent,
+            "a crashed process idles; the net quiesces"
+        );
+        assert_eq!(
+            report.trace.seq_on(out()).take(8),
+            [2, 4].map(Value::Int).to_vec()
+        );
+        // the crashed process leaves its input queued
+        assert_eq!(report.channel(raw()).expect("metered").residual, 2);
+        assert!(report
+            .processes
+            .iter()
+            .any(|p| p.name.contains("crash@2") && p.progress == 2));
+    }
+}

@@ -21,7 +21,22 @@
 //!   networks are assembled in `eqp-processes`.
 //! * **Quiescence detection** — a run ends when no process can make
 //!   progress (Section 3.1.1's "quiescent trace"), or at a step bound for
-//!   networks that never quiesce (Ticks).
+//!   networks that never quiesce (Ticks). Hitting the bound probes one
+//!   zero-cost round, so quiescing in exactly `max_steps` steps is still
+//!   reported as quiescence.
+//! * [`conformance`] — the operational ⇄ denotational bridge: any run can
+//!   be checked against the network's `Description` via
+//!   `eqp_core::diagnose` — quiescent runs must be smooth *solutions*,
+//!   cut runs smooth *prefixes*, and any deviation names the failing
+//!   component equation.
+//! * [`RunReport`] — structured run telemetry: per-process progress/idle
+//!   and starvation streaks, per-channel send counts and queue high-water
+//!   marks, runtime single-consumer violations, and a bottleneck summary.
+//! * [`faults`] — fault injection: delay/reorder/duplicate/drop channel
+//!   links and crash-at-step-K wrappers, for demonstrating which
+//!   perturbations preserve smooth solutions (delay) and which break the
+//!   limit condition (drop, duplicate — caught by the conformance
+//!   bridge).
 //!
 //! # Example
 //!
@@ -42,15 +57,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
+pub mod faults;
 pub mod network;
 pub mod oracle;
 pub mod process;
 pub mod procs;
+pub mod report;
 pub mod scheduler;
 
+pub use conformance::{Conformance, ConformanceOptions, Verdict};
+pub use faults::{CrashAt, Fault, FaultyLink};
 pub use network::{Network, RunOptions, RunResult};
 pub use oracle::Oracle;
 pub use process::{Process, StepCtx, StepResult};
+pub use report::{ChannelReport, ConsumerViolation, ProcessReport, RunReport};
 pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
 
 pub use eqp_trace::Trace;

@@ -1,6 +1,7 @@
 //! Networks: processes wired by FIFO channels, run to quiescence.
 
 use crate::process::{Process, StepCtx, StepResult};
+use crate::report::{ChannelReport, ConsumerViolation, ProcessReport, RunReport, Telemetry};
 use crate::scheduler::Scheduler;
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
@@ -31,8 +32,11 @@ impl Default for RunOptions {
 pub struct RunResult {
     /// The communication history: every send, in global order.
     pub trace: Trace,
-    /// True iff the network quiesced (a full round with no progress);
-    /// false iff the step bound was hit first.
+    /// True iff the network quiesced (no process can make further
+    /// progress); false iff the step bound cut the run short. On hitting
+    /// the bound the runner probes one extra zero-cost round, so a
+    /// network that quiesces in exactly `max_steps` steps still reports
+    /// `true`.
     pub quiescent: bool,
     /// Progress-making steps performed.
     pub steps: usize,
@@ -41,11 +45,16 @@ pub struct RunResult {
 /// A dataflow network: a bag of processes communicating over unbounded
 /// FIFO channels. Channels are implicit — any channel a process sends on
 /// is queued for whoever reads it. Single-reader discipline is validated
-/// at [`Network::add`] for processes that declare their
-/// [`Process::inputs`].
+/// statically at [`Network::add`] for processes that declare their
+/// [`Process::inputs`], and dynamically by run telemetry (see
+/// [`RunReport::consumer_violations`]).
 #[derive(Default)]
 pub struct Network {
     processes: Vec<Box<dyn Process>>,
+    /// Set once `preload` converts this network into a
+    /// [`PreloadedNetwork`]; guards against silently running the drained
+    /// husk.
+    drained: bool,
 }
 
 impl Network {
@@ -90,21 +99,63 @@ impl Network {
     /// Pre-loads messages on a channel (environment input that is *not*
     /// recorded in the trace — prefer a `Source` process when the sends
     /// should appear in the history, as the paper's traces include them).
+    ///
+    /// Moves the processes into the returned [`PreloadedNetwork`]; load
+    /// further channels by chaining [`PreloadedNetwork::preload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if this network was already converted by a previous
+    /// `preload` call — the processes have moved, and running the
+    /// leftover empty network would silently do nothing.
     pub fn preload<I: IntoIterator<Item = Value>>(
         &mut self,
         chan: Chan,
         values: I,
     ) -> PreloadedNetwork {
-        let mut queues: HashMap<Chan, VecDeque<Value>> = HashMap::new();
-        queues.entry(chan).or_default().extend(values);
-        PreloadedNetwork {
-            net: std::mem::take(self),
-            queues,
+        self.preload_all([(chan, values.into_iter().collect::<Vec<Value>>())])
+    }
+
+    /// Pre-loads several channels at once from `(channel, values)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same already-drained condition as
+    /// [`Network::preload`].
+    pub fn preload_all<I>(&mut self, pairs: I) -> PreloadedNetwork
+    where
+        I: IntoIterator<Item = (Chan, Vec<Value>)>,
+    {
+        assert!(
+            !self.drained,
+            "this Network was already converted by `preload`; chain `.preload(..)` \
+             calls on the returned PreloadedNetwork instead"
+        );
+        self.drained = true;
+        let mut pre = PreloadedNetwork {
+            net: Network {
+                processes: std::mem::take(&mut self.processes),
+                drained: false,
+            },
+            queues: HashMap::new(),
+        };
+        for (chan, values) in pairs {
+            pre.load(chan, values);
         }
+        pre
     }
 
     /// Runs the network under `sched` until quiescence or the step bound.
     pub fn run<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunResult {
+        self.run_report(sched, opts).into_result()
+    }
+
+    /// Runs the network and returns the full telemetry [`RunReport`].
+    pub fn run_report<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunReport {
+        assert!(
+            !self.drained,
+            "this Network was drained by `preload`; run the PreloadedNetwork it returned"
+        );
         run_with_queues(&mut self.processes, HashMap::new(), sched, opts)
     }
 }
@@ -116,8 +167,30 @@ pub struct PreloadedNetwork {
 }
 
 impl PreloadedNetwork {
+    /// Pre-loads further messages on another channel (or appends to an
+    /// already-loaded one), consuming and returning `self` so loads
+    /// chain: `net.preload(a, ..).preload(b, ..)`.
+    #[must_use]
+    pub fn preload<I: IntoIterator<Item = Value>>(
+        mut self,
+        chan: Chan,
+        values: I,
+    ) -> PreloadedNetwork {
+        self.load(chan, values);
+        self
+    }
+
+    fn load<I: IntoIterator<Item = Value>>(&mut self, chan: Chan, values: I) {
+        self.queues.entry(chan).or_default().extend(values);
+    }
+
     /// Runs the preloaded network.
     pub fn run<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunResult {
+        self.run_report(sched, opts).into_result()
+    }
+
+    /// Runs the preloaded network and returns the full [`RunReport`].
+    pub fn run_report<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunReport {
         run_with_queues(
             &mut self.net.processes,
             std::mem::take(&mut self.queues),
@@ -127,49 +200,171 @@ impl PreloadedNetwork {
     }
 }
 
+/// Per-process counters tracked during a run.
+#[derive(Default, Clone, Copy)]
+struct ProcCounters {
+    progress: usize,
+    idle: usize,
+    starve_streak: usize,
+    max_starved: usize,
+}
+
 fn run_with_queues(
     processes: &mut [Box<dyn Process>],
     mut queues: HashMap<Chan, VecDeque<Value>>,
     sched: &mut dyn Scheduler,
     opts: RunOptions,
-) -> RunResult {
+) -> RunReport {
+    let n = processes.len();
     let mut trace: Vec<Event> = Vec::new();
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut telemetry = Telemetry::default();
+    let mut counters = vec![ProcCounters::default(); n];
+    let declared: Vec<Vec<Chan>> = processes.iter().map(|p| p.inputs()).collect();
+    for (c, q) in &queues {
+        telemetry.note_preload(*c, q.len());
+    }
     let mut steps = 0usize;
+    let mut rounds = 0usize;
     loop {
         let mut progressed = false;
-        for i in sched.round(processes.len()) {
+        for i in sched.round(n) {
             if steps >= opts.max_steps {
-                return RunResult {
-                    trace: Trace::finite(trace),
-                    quiescent: false,
-                    steps,
-                };
+                let quiescent = probe_quiescent(processes, &mut queues, &mut trace, &mut rng);
+                return build_report(
+                    processes, trace, queues, telemetry, counters, quiescent, steps, rounds,
+                );
             }
+            let input_waiting = declared[i]
+                .iter()
+                .any(|c| queues.get(c).is_some_and(|q| !q.is_empty()));
             let mut ctx = StepCtx {
                 queues: &mut queues,
                 trace: &mut trace,
                 rng: &mut rng,
+                telemetry: Some(&mut telemetry),
+                current: i,
             };
-            if processes[i].step(&mut ctx) == StepResult::Progress {
-                progressed = true;
-                steps += 1;
+            match processes[i].step(&mut ctx) {
+                StepResult::Progress => {
+                    progressed = true;
+                    steps += 1;
+                    counters[i].progress += 1;
+                    counters[i].starve_streak = 0;
+                }
+                StepResult::Idle => {
+                    counters[i].idle += 1;
+                    if input_waiting {
+                        counters[i].starve_streak += 1;
+                        counters[i].max_starved =
+                            counters[i].max_starved.max(counters[i].starve_streak);
+                    } else {
+                        counters[i].starve_streak = 0;
+                    }
+                }
             }
         }
+        rounds += 1;
         if !progressed {
-            return RunResult {
-                trace: Trace::finite(trace),
-                quiescent: true,
-                steps,
-            };
+            return build_report(
+                processes, trace, queues, telemetry, counters, true, steps, rounds,
+            );
         }
+    }
+}
+
+/// Zero-cost quiescence probe at the step bound: offer every process one
+/// step with telemetry off, then roll the channel state and trace back.
+/// Returns true iff no process could make progress — i.e. the network had
+/// already quiesced when the bound fired.
+///
+/// The rollback restores queues and trace exactly; a process that *did*
+/// progress during the probe may have advanced internal state, which is
+/// harmless because the run is over either way (the network must not be
+/// re-run after hitting the bound).
+fn probe_quiescent(
+    processes: &mut [Box<dyn Process>],
+    queues: &mut HashMap<Chan, VecDeque<Value>>,
+    trace: &mut Vec<Event>,
+    rng: &mut StdRng,
+) -> bool {
+    let saved_queues = queues.clone();
+    let saved_len = trace.len();
+    for (i, p) in processes.iter_mut().enumerate() {
+        let mut ctx = StepCtx {
+            queues,
+            trace,
+            rng,
+            telemetry: None,
+            current: i,
+        };
+        if p.step(&mut ctx) == StepResult::Progress {
+            *queues = saved_queues;
+            trace.truncate(saved_len);
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_report(
+    processes: &[Box<dyn Process>],
+    trace: Vec<Event>,
+    queues: HashMap<Chan, VecDeque<Value>>,
+    telemetry: Telemetry,
+    counters: Vec<ProcCounters>,
+    quiescent: bool,
+    steps: usize,
+    rounds: usize,
+) -> RunReport {
+    let name_of = |i: usize| processes[i].name().to_owned();
+    let process_reports = processes
+        .iter()
+        .zip(&counters)
+        .map(|(p, c)| ProcessReport {
+            name: p.name().to_owned(),
+            progress: c.progress,
+            idle: c.idle,
+            max_starved_rounds: c.max_starved,
+        })
+        .collect();
+    let channel_reports = telemetry
+        .channels
+        .iter()
+        .map(|(c, k)| ChannelReport {
+            chan: *c,
+            sends: k.sends,
+            receives: k.receives,
+            high_water: k.high_water,
+            residual: queues.get(c).map_or(0, VecDeque::len),
+            consumer: k.consumer.map(name_of),
+        })
+        .collect();
+    let consumer_violations = telemetry
+        .violations
+        .iter()
+        .map(|&(chan, first, second)| ConsumerViolation {
+            chan,
+            first: name_of(first),
+            second: name_of(second),
+        })
+        .collect();
+    RunReport {
+        trace: Trace::finite(trace),
+        quiescent,
+        steps,
+        rounds,
+        processes: process_reports,
+        channels: channel_reports,
+        consumer_violations,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::procs::{Apply, Source};
+    use crate::procs::{Apply, Source, Zip2};
     use crate::scheduler::{Adversarial, RandomSched, RoundRobin};
 
     fn c() -> Chan {
@@ -240,6 +435,44 @@ mod tests {
     }
 
     #[test]
+    fn quiescence_in_exactly_max_steps_is_reported() {
+        // Regression: the pipeline quiesces after exactly 6 progress
+        // steps (3 source sends + 3 doubles). With max_steps == 6 the
+        // bound fires before the engine observes a no-progress round; the
+        // probe must still report quiescence (and leave the trace exact).
+        let run = pipeline().run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 6,
+                seed: 0,
+            },
+        );
+        assert!(
+            run.quiescent,
+            "network quiescing in exactly max_steps must report quiescent"
+        );
+        assert_eq!(run.steps, 6);
+        assert_eq!(
+            run.trace.seq_on(d()).take(10),
+            vec![Value::Int(2), Value::Int(4), Value::Int(6)]
+        );
+    }
+
+    #[test]
+    fn bound_cut_mid_stream_still_reports_nonquiescent() {
+        // the same pipeline cut after 4 of its 6 steps: genuinely cut.
+        let run = pipeline().run(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 4,
+                seed: 0,
+            },
+        );
+        assert!(!run.quiescent);
+        assert_eq!(run.steps, 4);
+    }
+
+    #[test]
     #[should_panic(expected = "already consumed")]
     fn double_consumer_rejected() {
         let mut net = Network::new();
@@ -267,5 +500,63 @@ mod tests {
         assert_eq!(run.trace.seq_on(d()).take(4), vec![Value::Int(10)]);
         // the preloaded input itself is not in the trace
         assert_eq!(run.trace.seq_on(c()).take(4), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn preload_two_channels_chained() {
+        // Regression: preloading a second channel used to operate on the
+        // drained husk and silently run zero processes.
+        let (l, r, o) = (Chan::new(10), Chan::new(11), Chan::new(12));
+        let mut net = Network::new();
+        net.add(Zip2::add("sum", l, r, o));
+        let run = net
+            .preload(l, [Value::Int(1), Value::Int(2)])
+            .preload(r, [Value::Int(10), Value::Int(20)])
+            .run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(
+            run.trace.seq_on(o).take(4),
+            vec![Value::Int(11), Value::Int(22)]
+        );
+    }
+
+    #[test]
+    fn preload_all_pairs() {
+        let (l, r, o) = (Chan::new(10), Chan::new(11), Chan::new(12));
+        let mut net = Network::new();
+        net.add(Zip2::add("sum", l, r, o));
+        let run = net
+            .preload_all([(l, vec![Value::Int(3)]), (r, vec![Value::Int(4)])])
+            .run(&mut RoundRobin::new(), RunOptions::default());
+        assert!(run.quiescent);
+        assert_eq!(run.trace.seq_on(o).take(4), vec![Value::Int(7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already converted by `preload`")]
+    fn second_preload_on_drained_network_fails_fast() {
+        let mut net = Network::new();
+        net.add(Apply::int_affine("double", c(), d(), 2, 0));
+        let _first = net.preload(c(), [Value::Int(1)]);
+        let _second = net.preload(d(), [Value::Int(2)]);
+    }
+
+    #[test]
+    fn report_counts_progress_idle_and_channels() {
+        let mut net = pipeline();
+        let report = net.run_report(&mut RoundRobin::new(), RunOptions::default());
+        assert!(report.quiescent);
+        assert_eq!(report.steps, 6);
+        let env = &report.processes[0];
+        let dbl = &report.processes[1];
+        assert_eq!((env.name.as_str(), env.progress), ("env", 3));
+        assert_eq!((dbl.name.as_str(), dbl.progress), ("double", 3));
+        let on_c = report.channel(c()).expect("channel c metered");
+        assert_eq!(on_c.sends, 3);
+        assert_eq!(on_c.receives, 3);
+        assert_eq!(on_c.residual, 0);
+        assert_eq!(on_c.consumer.as_deref(), Some("double"));
+        assert!(report.single_consumer_ok());
+        assert!(report.to_string().contains("process `double`"));
     }
 }

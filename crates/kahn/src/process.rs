@@ -1,6 +1,7 @@
 //! The process trait and the step context through which processes touch
 //! their channels.
 
+use crate::report::Telemetry;
 use eqp_trace::{Chan, Event, Value};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -18,10 +19,23 @@ pub enum StepResult {
 /// The channel interface handed to a process during a step: FIFO reads on
 /// the input side, recorded sends on the output side, and a seeded RNG for
 /// internal nondeterministic choices.
+///
+/// Reads ([`pop`](StepCtx::pop)/[`peek`](StepCtx::peek)) and sends are
+/// also metered by the run's telemetry: the first reader of a channel is
+/// recorded as its consumer, and a second distinct reader is reported as
+/// a [`ConsumerViolation`](crate::report::ConsumerViolation) — the
+/// runtime backstop for processes that don't declare
+/// [`Process::inputs`].
 pub struct StepCtx<'a> {
     pub(crate) queues: &'a mut HashMap<Chan, VecDeque<Value>>,
     pub(crate) trace: &'a mut Vec<Event>,
     pub(crate) rng: &'a mut StdRng,
+    /// Telemetry sink; `None` during quiescence probes and in bare test
+    /// harnesses.
+    pub(crate) telemetry: Option<&'a mut Telemetry>,
+    /// Index of the process currently being stepped (for consumer
+    /// attribution).
+    pub(crate) current: usize,
 }
 
 impl StepCtx<'_> {
@@ -31,20 +45,37 @@ impl StepCtx<'_> {
     }
 
     /// Looks at the `i`-th waiting message on `c` without consuming it.
-    pub fn peek(&self, c: Chan, i: usize) -> Option<Value> {
+    pub fn peek(&mut self, c: Chan, i: usize) -> Option<Value> {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_consumer(c, self.current);
+        }
         self.queues.get(&c).and_then(|q| q.get(i)).copied()
     }
 
     /// Consumes the head message of `c`.
     pub fn pop(&mut self, c: Chan) -> Option<Value> {
-        self.queues.get_mut(&c).and_then(VecDeque::pop_front)
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_consumer(c, self.current);
+        }
+        let v = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
+        if v.is_some() {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.note_receive(c);
+            }
+        }
+        v
     }
 
     /// Sends `v` along `c`: appended to the global trace and to `c`'s
     /// queue for its consumer.
     pub fn send(&mut self, c: Chan, v: Value) {
         self.trace.push(Event::new(c, v));
-        self.queues.entry(c).or_default().push_back(v);
+        let q = self.queues.entry(c).or_default();
+        q.push_back(v);
+        let depth = q.len();
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_send(c, depth);
+        }
     }
 
     /// A nondeterministic coin flip (seeded at the network level, so runs
@@ -77,8 +108,11 @@ pub trait Process {
 
     /// The channels this process consumes from. Kahn networks require a
     /// single consumer per channel; [`crate::Network::add`] validates the
-    /// declarations of all added processes for disjointness. The default
-    /// (empty) opts out of validation — declare inputs wherever possible.
+    /// declarations of all added processes for disjointness, and the
+    /// runtime additionally meters actual reads (catching undeclared
+    /// second readers). Declared inputs also drive starvation detection
+    /// in [`RunReport`](crate::RunReport). The default (empty) opts out
+    /// of the static validation — declare inputs wherever possible.
     fn inputs(&self) -> Vec<Chan> {
         Vec::new()
     }
@@ -108,6 +142,8 @@ mod tests {
             queues: &mut q,
             trace: &mut t,
             rng: &mut r,
+            telemetry: None,
+            current: 0,
         };
         let c = Chan::new(0);
         ctx.send(c, Value::Int(1));
@@ -126,6 +162,8 @@ mod tests {
             queues: &mut q,
             trace: &mut t,
             rng: &mut r,
+            telemetry: None,
+            current: 0,
         };
         assert_eq!(ctx.pop(Chan::new(3)), None);
         assert_eq!(ctx.peek(Chan::new(3), 0), None);
@@ -139,10 +177,49 @@ mod tests {
             queues: &mut q,
             trace: &mut t,
             rng: &mut r,
+            telemetry: None,
+            current: 0,
         };
         for _ in 0..50 {
             assert!(ctx.choose(3) < 3);
             let _ = ctx.flip();
         }
+    }
+
+    #[test]
+    fn telemetry_meters_reads_and_detects_second_reader() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let mut tel = Telemetry::default();
+        let c = Chan::new(5);
+        {
+            let mut ctx = StepCtx {
+                queues: &mut q,
+                trace: &mut t,
+                rng: &mut r,
+                telemetry: Some(&mut tel),
+                current: 0,
+            };
+            ctx.send(c, Value::Int(1));
+            ctx.send(c, Value::Int(2));
+            assert_eq!(ctx.pop(c), Some(Value::Int(1)));
+        }
+        {
+            let mut ctx = StepCtx {
+                queues: &mut q,
+                trace: &mut t,
+                rng: &mut r,
+                telemetry: Some(&mut tel),
+                current: 1,
+            };
+            assert_eq!(ctx.pop(c), Some(Value::Int(2)));
+            // repeated reads by the same offender stay deduplicated
+            assert_eq!(ctx.pop(c), None);
+        }
+        let counters = &tel.channels[&c];
+        assert_eq!(counters.sends, 2);
+        assert_eq!(counters.receives, 2);
+        assert_eq!(counters.high_water, 2);
+        assert_eq!(counters.consumer, Some(0));
+        assert_eq!(tel.violations, vec![(c, 0, 1)]);
     }
 }

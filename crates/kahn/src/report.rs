@@ -1,0 +1,257 @@
+//! Structured run telemetry: what each process and channel did during a
+//! run, who the bottleneck was, and whether the single-consumer
+//! discipline held at runtime.
+//!
+//! [`RunReport`] extends the minimal [`RunResult`]
+//! (trace + quiescence + step count) with per-process progress/idle
+//! counters, starvation streaks (a process repeatedly offered a step
+//! while input waits on one of its declared channels, yet reporting
+//! idle), per-channel send/receive counts and queue-depth high-water
+//! marks, and runtime-detected single-consumer violations — the
+//! operational observability layer the paper's quiescent-trace semantics
+//! leaves implicit.
+
+use crate::network::RunResult;
+use eqp_trace::{Chan, Trace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Telemetry for one process over a whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessReport {
+    /// The process's diagnostic name.
+    pub name: String,
+    /// Steps in which the process made progress.
+    pub progress: usize,
+    /// Steps in which the process was offered a turn but stayed idle.
+    pub idle: usize,
+    /// Longest streak of consecutive rounds the process stayed idle
+    /// *while at least one of its declared input channels had messages
+    /// waiting* — the operational signature of starvation. Processes
+    /// that declare no [`inputs`](crate::Process::inputs) always report
+    /// zero.
+    pub max_starved_rounds: usize,
+}
+
+/// Telemetry for one channel over a whole run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelReport {
+    /// The channel.
+    pub chan: Chan,
+    /// Messages sent on the channel (including faulty duplicates).
+    pub sends: usize,
+    /// Messages consumed from the channel via [`pop`](crate::StepCtx::pop).
+    pub receives: usize,
+    /// Highest queue depth observed immediately after a send or preload.
+    pub high_water: usize,
+    /// Messages still queued when the run ended (sent or preloaded but
+    /// never consumed).
+    pub residual: usize,
+    /// Name of the first process that read (popped or peeked) the
+    /// channel, if any.
+    pub consumer: Option<String>,
+}
+
+/// A runtime single-consumer violation: two distinct processes read the
+/// same channel. Kahn determinism is void once this happens — the second
+/// reader steals messages the first one's history depends on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsumerViolation {
+    /// The channel read by two processes.
+    pub chan: Chan,
+    /// Name of the first reader.
+    pub first: String,
+    /// Name of the offending second reader.
+    pub second: String,
+}
+
+impl fmt::Display for ConsumerViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "channel {} consumed by both `{}` and `{}`",
+            self.chan, self.first, self.second
+        )
+    }
+}
+
+/// The full structured result of a network run: the [`RunResult`] fields
+/// plus per-process and per-channel telemetry.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The communication history: every send, in global order.
+    pub trace: Trace,
+    /// True iff the network quiesced — no process could make further
+    /// progress (the step bound is probed, so a network that quiesces in
+    /// exactly `max_steps` steps still reports `true`).
+    pub quiescent: bool,
+    /// Progress-making steps performed.
+    pub steps: usize,
+    /// Scheduler rounds completed.
+    pub rounds: usize,
+    /// Per-process telemetry, in network insertion order.
+    pub processes: Vec<ProcessReport>,
+    /// Per-channel telemetry, ordered by channel id.
+    pub channels: Vec<ChannelReport>,
+    /// Runtime single-consumer violations, in detection order (at most
+    /// one per ordered reader pair per channel).
+    pub consumer_violations: Vec<ConsumerViolation>,
+}
+
+impl RunReport {
+    /// Collapses the report into the minimal [`RunResult`].
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            trace: self.trace,
+            quiescent: self.quiescent,
+            steps: self.steps,
+        }
+    }
+
+    /// The minimal [`RunResult`] view (cloning the trace).
+    pub fn result(&self) -> RunResult {
+        RunResult {
+            trace: self.trace.clone(),
+            quiescent: self.quiescent,
+            steps: self.steps,
+        }
+    }
+
+    /// Telemetry for channel `c`, if it ever carried or queued a message.
+    pub fn channel(&self, c: Chan) -> Option<&ChannelReport> {
+        self.channels.iter().find(|r| r.chan == c)
+    }
+
+    /// Processes starved for at least `rounds` consecutive rounds.
+    pub fn starved(&self, rounds: usize) -> Vec<&ProcessReport> {
+        self.processes
+            .iter()
+            .filter(|p| p.max_starved_rounds >= rounds)
+            .collect()
+    }
+
+    /// The bottleneck: the process with the longest starvation streak
+    /// (ties broken towards more idle steps). `None` when no process was
+    /// ever starved — an idle process without waiting input is merely
+    /// done, not stuck.
+    pub fn bottleneck(&self) -> Option<&ProcessReport> {
+        self.processes
+            .iter()
+            .filter(|p| p.max_starved_rounds > 0)
+            .max_by_key(|p| (p.max_starved_rounds, p.idle))
+    }
+
+    /// True iff no runtime single-consumer violation was observed.
+    pub fn single_consumer_ok(&self) -> bool {
+        self.consumer_violations.is_empty()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run: {} after {} steps in {} rounds",
+            if self.quiescent {
+                "quiescent"
+            } else {
+                "step bound hit"
+            },
+            self.steps,
+            self.rounds
+        )?;
+        for p in &self.processes {
+            write!(
+                f,
+                "  process `{}`: {} progress / {} idle",
+                p.name, p.progress, p.idle
+            )?;
+            if p.max_starved_rounds > 0 {
+                write!(f, " (starved ≤ {} rounds)", p.max_starved_rounds)?;
+            }
+            writeln!(f)?;
+        }
+        for c in &self.channels {
+            write!(
+                f,
+                "  channel {}: {} sent / {} received, high-water {}, residual {}",
+                c.chan, c.sends, c.receives, c.high_water, c.residual
+            )?;
+            match &c.consumer {
+                Some(name) => writeln!(f, ", consumer `{name}`")?,
+                None => writeln!(f, ", no consumer")?,
+            }
+        }
+        match self.bottleneck() {
+            Some(p) => writeln!(
+                f,
+                "  bottleneck: `{}` starved for {} consecutive rounds with input waiting",
+                p.name, p.max_starved_rounds
+            )?,
+            None => writeln!(f, "  bottleneck: none")?,
+        }
+        for v in &self.consumer_violations {
+            writeln!(f, "  WARNING: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-channel counters accumulated during a run (crate-internal; folded
+/// into [`ChannelReport`]s when the run ends).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ChannelCounters {
+    pub(crate) sends: usize,
+    pub(crate) receives: usize,
+    pub(crate) high_water: usize,
+    /// Index of the first process that read the channel.
+    pub(crate) consumer: Option<usize>,
+}
+
+/// Run-wide telemetry accumulator threaded through [`crate::StepCtx`].
+#[derive(Debug, Default)]
+pub(crate) struct Telemetry {
+    pub(crate) channels: BTreeMap<Chan, ChannelCounters>,
+    /// `(chan, first reader index, second reader index)` — deduplicated.
+    pub(crate) violations: Vec<(Chan, usize, usize)>,
+}
+
+impl Telemetry {
+    /// Records that process `reader` read (popped or peeked) channel `c`.
+    pub(crate) fn note_consumer(&mut self, c: Chan, reader: usize) {
+        let counters = self.channels.entry(c).or_default();
+        match counters.consumer {
+            None => counters.consumer = Some(reader),
+            Some(first) if first != reader => {
+                if !self
+                    .violations
+                    .iter()
+                    .any(|&(vc, _, second)| vc == c && second == reader)
+                {
+                    self.violations.push((c, first, reader));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Records a send on `c` that left the queue at depth `depth`.
+    pub(crate) fn note_send(&mut self, c: Chan, depth: usize) {
+        let counters = self.channels.entry(c).or_default();
+        counters.sends += 1;
+        counters.high_water = counters.high_water.max(depth);
+    }
+
+    /// Records a successful pop from `c`.
+    pub(crate) fn note_receive(&mut self, c: Chan) {
+        self.channels.entry(c).or_default().receives += 1;
+    }
+
+    /// Records preloaded messages on `c` (count towards high-water but
+    /// not towards sends — preloads are environment input outside the
+    /// trace).
+    pub(crate) fn note_preload(&mut self, c: Chan, depth: usize) {
+        let counters = self.channels.entry(c).or_default();
+        counters.high_water = counters.high_water.max(depth);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`feedback`] | beyond the paper | Kahn-classic feedback loops (the naturals stream) probing the non-periodic-limit boundary |
 //! | [`bag`] | 8.3 | descriptions as specifications: the unordered buffer |
 //! | [`folklore`] | 4.10 | the folklore claim: nondeterministic processes from deterministic ones + fair merge |
+//! | [`zoo`] | — | the conformance registry: every network paired with its description for the operational ⇄ denotational bridge |
 //!
 //! Channel numbering: each module declares its own `chans()` constants;
 //! modules never share channels, so descriptions can be composed across
@@ -44,3 +45,4 @@ pub mod implication;
 pub mod random_bit;
 pub mod random_number;
 pub mod ticks;
+pub mod zoo;

@@ -1,0 +1,83 @@
+//! Fault injection meets the conformance bridge: run the Section 2.2
+//! discriminated fair merge through a faulty link and watch the
+//! operational ⇄ denotational checker certify the benign fault and
+//! convict the corrupting ones — with the failing component equation
+//! named and the run telemetry pointing at the damage.
+//!
+//! Run with: `cargo run --example faulty_network`
+
+use eqp::kahn::conformance::{check_report, ConformanceOptions};
+use eqp::kahn::faults::{Fault, FaultyLink};
+use eqp::kahn::{procs, Network, Oracle, RoundRobin, RunOptions};
+use eqp::processes::dfm;
+use eqp::trace::{Chan, Value};
+
+/// The raw channel between the merge and the faulty link.
+const RAW: Chan = Chan::new(230);
+
+/// Sources feed evens on `b` and odds on `c`; the fair merge writes to a
+/// raw wire; the link forwards — faultily — onto the `d` that the
+/// description `even(d) ⟸ b, odd(d) ⟸ c` constrains.
+fn merged_through(fault: Fault, seed: u64) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env-b",
+        dfm::B,
+        [0, 2, 4].map(Value::Int).to_vec(),
+    ));
+    net.add(procs::Source::new(
+        "env-c",
+        dfm::C,
+        [1, 3].map(Value::Int).to_vec(),
+    ));
+    net.add(procs::Merge2::new(
+        "merge",
+        dfm::B,
+        dfm::C,
+        RAW,
+        Oracle::fair(seed, 2),
+    ));
+    net.add(FaultyLink::new("link", RAW, dfm::D, fault));
+    net
+}
+
+fn main() {
+    let seed = 7u64;
+    let desc = dfm::dfm_description();
+    println!("== Faults against the description ==\n\n{desc}\n");
+
+    let faults: [(&str, Fault); 4] = [
+        ("delay (slack 2)", Fault::Delay { slack: 2 }),
+        ("duplicate (every msg)", Fault::Duplicate { period: 1 }),
+        ("drop (every 2nd msg)", Fault::Drop { period: 2 }),
+        ("reorder (window 3)", Fault::Reorder { window: 3, seed }),
+    ];
+
+    for (label, fault) in faults {
+        println!("--- link fault: {label} ---");
+        let mut net = merged_through(fault, seed);
+        let report = net.run_report(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 200,
+                seed,
+            },
+        );
+        let on_d: Vec<i64> = report
+            .trace
+            .seq_on(dfm::D)
+            .take(16)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        println!("delivered on d: {on_d:?}");
+        println!("{report}");
+        let conf = check_report(&desc, &report, &ConformanceOptions::default());
+        println!("{conf}\n");
+    }
+
+    println!("A delayed link is just asynchrony — the paper's model absorbs it and");
+    println!("the run still certifies as a smooth solution. Dropping, duplicating,");
+    println!("or reordering messages corrupts the history: the bridge rejects the");
+    println!("trace and names the component equation that failed.");
+}

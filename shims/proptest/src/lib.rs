@@ -4,12 +4,12 @@
 //! The build environment for this repository is fully offline, so this
 //! shim re-implements the pieces the property-test suites rely on:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
-//! * range, tuple, [`Just`], and [`any`] strategies;
-//! * [`collection::vec`] and [`collection::btree_set`];
-//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
-//!   [`prop_assert_eq!`] macros;
-//! * [`ProptestConfig`] (case count only).
+//! * the `Strategy` trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * range, tuple, `Just`, and `any` strategies;
+//! * `collection::vec` and `collection::btree_set`;
+//! * the `proptest!`, `prop_oneof!`, `prop_assert!`, and
+//!   `prop_assert_eq!` macros;
+//! * `ProptestConfig` (case count only).
 //!
 //! There is **no shrinking**: a failing case panics with the generated
 //! inputs in the panic message (every generated value is `Debug` at the
