@@ -1,20 +1,26 @@
-//! Runtime hardening overheads: what telemetry and conformance checking
-//! cost on top of a bare run.
+//! Runtime hardening overheads: what telemetry, conformance checking,
+//! and checkpointing cost on top of a bare run.
 //!
-//! Three questions, each its own group:
+//! Four questions, each its own group:
 //! * `run` vs `run_report` — the per-step price of channel meters,
 //!   starvation streaks, and runtime consumer checks;
 //! * `conformance/check` — replaying `eqp_core::diagnose` over a finished
 //!   run's trace (off the hot path: pay only when certifying);
 //! * `faults/link` — a `FaultyLink` interposed on the merge output versus
 //!   the unfaulted network (the link is one extra process, so the delta
-//!   is mostly scheduling).
+//!   is mostly scheduling);
+//! * `checkpoint` — capture mid-run, resume-from-checkpoint, and a fully
+//!   supervised run versus the bare `run_report`. The capture itself must
+//!   stay within a few percent of the bare run (acceptance: ≤5%).
+//!
+//! Results are emitted to `BENCH_runtime.json` at the repository root,
+//! including the computed checkpoint-capture overhead ratio.
 
 use criterion::Criterion;
 use eqp_core::Description;
 use eqp_kahn::conformance::{check_report, ConformanceOptions};
 use eqp_kahn::faults::{Fault, FaultyLink};
-use eqp_kahn::{procs, Network, Oracle, RoundRobin, RunOptions};
+use eqp_kahn::{procs, Network, Oracle, RoundRobin, RunOptions, SupervisorOptions};
 use eqp_processes::dfm;
 use eqp_trace::{Chan, Value};
 use std::hint::black_box;
@@ -137,10 +143,116 @@ fn bench_faulty_link(c: &mut Criterion) {
     g.finish();
 }
 
+/// The checkpoint workload: a long quiescing pipeline with bounded
+/// queues, so the one-shot capture cost (dominated by the trace clone) is
+/// measured against a realistic run rather than a state that balloons
+/// with every step (the section 2.3 feedback loop grows its queues
+/// linearly, which would charge the checkpoint for the workload's own
+/// memory growth).
+fn checkpoint_pipeline() -> Network {
+    let stage = Chan::new(240);
+    let out = Chan::new(241);
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env",
+        stage,
+        (0..600).map(Value::Int).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Apply::int_affine("double", stage, out, 2, 0));
+    net
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let opts = RunOptions {
+        max_steps: 4000,
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("checkpoint");
+    g.sample_size(20);
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+        })
+    });
+    g.bench_function("capture-mid-run", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            let (report, ckpt) = net.run_report_checkpointed(&mut RoundRobin::new(), opts, 600);
+            black_box((report.steps, ckpt.is_some()))
+        })
+    });
+    // one fixed checkpoint; measure the restore + remaining half-run
+    let mut net = checkpoint_pipeline();
+    let (_, ckpt) = net.run_report_checkpointed(&mut RoundRobin::new(), opts, 600);
+    let ckpt = ckpt.expect("mid-run checkpoint");
+    g.bench_function("resume-from-mid", |b| {
+        b.iter(|| {
+            let mut fresh = checkpoint_pipeline();
+            let mut sched = RoundRobin::new();
+            black_box(fresh.resume_report(&ckpt, &mut sched, opts).unwrap().steps)
+        })
+    });
+    g.bench_function("supervised", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            black_box(
+                net.run_supervised(
+                    &mut RoundRobin::new(),
+                    opts,
+                    SupervisorOptions::one_for_one(),
+                )
+                .steps,
+            )
+        })
+    });
+    g.finish();
+}
+
 fn main() {
     let desc = dfm::section23_description();
     let mut c = Criterion::default().configure_from_args();
     bench_run_vs_report(&mut c, &desc);
     bench_conformance_only(&mut c, &desc);
     bench_faulty_link(&mut c);
+    bench_checkpoint(&mut c);
+
+    // machine-readable report, including the checkpoint-capture overhead
+    // ratio the acceptance criterion bounds (≤ 1.05 over the bare run).
+    let results = c.take_results();
+    let median = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let bare = median("checkpoint/bare");
+    let captured = median("checkpoint/capture-mid-run");
+    let overhead = captured / bare;
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"runtime\",\n");
+    json.push_str("  \"command\": \"cargo bench -p eqp-bench --bench runtime\",\n");
+    json.push_str(&format!(
+        "  \"checkpoint_capture_overhead\": {overhead:.4},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+            r.id,
+            r.median_ns,
+            r.mean_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    std::fs::write(&path, &json).expect("write BENCH_runtime.json");
+    println!("wrote {}", path.display());
+    assert!(
+        overhead.is_finite(),
+        "checkpoint overhead must be measurable"
+    );
 }

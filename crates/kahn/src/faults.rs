@@ -6,7 +6,14 @@
 //! interposed between producer and consumer (the producer sends on a raw
 //! channel, the link forwards — faultily — onto the real one), and
 //! [`CrashAt`] wraps any process so it dies after a fixed number of
-//! steps.
+//! steps. For opaque networks that cannot be rewired (the zoo builders),
+//! a [`FaultSchedule`] injects the same perturbations at the engine
+//! level: [`CrashPoint`]s kill processes at global step counts and
+//! [`LinkFaultSpec`]s intercept sends on a channel in-flight.
+//!
+//! Every harmful perturbation is logged as a [`FaultEvent`] in
+//! [`RunReport::fault_log`](crate::RunReport::fault_log), so a convicting
+//! run names the exact injected events alongside the violated equation.
 //!
 //! The taxonomy follows the paper's asynchronous-channel semantics:
 //!
@@ -21,17 +28,21 @@
 //!   quiescence the description's limit condition `f(t) = g(t)` fails
 //!   and [`diagnose`](eqp_core::diagnose::diagnose) names the component.
 //! * **Crash** silences a process; whatever it still owed its
-//!   description is missing at quiescence (a limit failure), and the
-//!   residual queue on its input shows up in [`crate::RunReport`].
+//!   description is missing at quiescence (a limit failure) — *unless* a
+//!   supervisor ([`crate::supervisor`]) restores and replays it, in
+//!   which case the recovered quiescent run still certifies.
 
 use crate::process::{Process, StepCtx, StepResult};
+use crate::snapshot::StateCell;
 use eqp_trace::{Chan, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::VecDeque;
+use std::fmt;
 
-/// A channel perturbation applied by a [`FaultyLink`].
-#[derive(Debug, Clone)]
+/// A channel perturbation applied by a [`FaultyLink`] or a
+/// [`LinkFaultSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Fault {
     /// Forward every message, order intact, but hold up to `slack`
     /// messages back. Benign: preserves quiescent channel histories.
@@ -59,45 +70,403 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// True iff the perturbation preserves quiescent channel histories
+    /// (delay is the paper's own asynchrony; everything else corrupts
+    /// order or content).
+    pub fn is_benign(&self) -> bool {
+        matches!(self, Fault::Delay { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Delay { slack } => write!(f, "delay(slack {slack})"),
+            Fault::Reorder { window, seed } => write!(f, "reorder(window {window}, seed {seed})"),
+            Fault::Duplicate { period } => write!(f, "duplicate(every {period})"),
+            Fault::Drop { period } => write!(f, "drop(every {period})"),
+        }
+    }
+}
+
+/// What an injected fault did to one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was discarded.
+    Dropped,
+    /// The message was delivered twice.
+    Duplicated,
+    /// The message was released ahead of an earlier-arrived one.
+    Reordered,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Reordered => "reordered",
+        })
+    }
+}
+
+/// One injected fault event: exactly which message, on which channel, was
+/// perturbed how. Collected in
+/// [`RunReport::fault_log`](crate::RunReport::fault_log) so convictions
+/// are actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The channel whose delivery was perturbed.
+    pub chan: Chan,
+    /// 1-based arrival index of the perturbed message on that link.
+    pub seq: usize,
+    /// What happened to it.
+    pub kind: FaultKind,
+    /// The message itself.
+    pub value: Value,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} message #{} on {} ({})",
+            self.kind, self.seq, self.chan, self.value
+        )
+    }
+}
+
+/// Kill a process once the network reaches a global progress-step count —
+/// the engine-level crash used by chaos schedules on opaque networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Index of the process to kill (network insertion order).
+    pub process: usize,
+    /// Global progress-step count at which the crash fires.
+    pub at_step: usize,
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "crash process #{} at step {}",
+            self.process, self.at_step
+        )
+    }
+}
+
+/// An engine-interposed faulty link: every send on `chan` — by any
+/// process — passes through the fault, no rewiring required.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkFaultSpec {
+    /// The intercepted channel.
+    pub chan: Chan,
+    /// The perturbation.
+    pub fault: Fault,
+}
+
+impl fmt::Display for LinkFaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.fault, self.chan)
+    }
+}
+
+/// A full engine-level fault schedule: crashes and link faults injected
+/// into a run without touching the network's construction. Sampled and
+/// shrunk by [`crate::chaos`].
+///
+/// When several link faults name the same channel, only the first one
+/// intercepts sends — faults do not chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// Engine-level crash injections.
+    pub crashes: Vec<CrashPoint>,
+    /// Engine-level link fault injections.
+    pub links: Vec<LinkFaultSpec>,
+}
+
+impl FaultSchedule {
+    /// The empty (fault-free) schedule.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Total number of injected fault elements (crashes + links) — the
+    /// unit of delta-debugging in [`crate::chaos::shrink`].
+    pub fn len(&self) -> usize {
+        self.crashes.len() + self.links.len()
+    }
+
+    /// True iff the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.links.is_empty()
+    }
+
+    /// True iff every injected element preserves quiescent histories
+    /// assuming crashed processes are recovered (delays only, plus any
+    /// number of supervised crashes).
+    pub fn is_benign(&self) -> bool {
+        self.links.iter().all(|l| l.fault.is_benign())
+    }
+
+    /// The schedule with fault element `i` removed (crashes first, then
+    /// links — the shrinker's removal order).
+    pub fn without(&self, i: usize) -> FaultSchedule {
+        let mut s = self.clone();
+        if i < s.crashes.len() {
+            s.crashes.remove(i);
+        } else {
+            s.links.remove(i - s.crashes.len());
+        }
+        s
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("no faults");
+        }
+        let mut first = true;
+        for c in &self.crashes {
+            if !first {
+                f.write_str("; ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        for l in &self.links {
+            if !first {
+                f.write_str("; ")?;
+            }
+            write!(f, "{l}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// The state machine shared by in-flight link interception.
+#[derive(Debug)]
+enum LinkCore {
+    Delay {
+        buffer: VecDeque<Value>,
+        slack: usize,
+    },
+    Reorder {
+        /// `(arrival index, value)` pairs awaiting release.
+        buffer: Vec<(usize, Value)>,
+        window: usize,
+        rng: StdRng,
+    },
+    Duplicate {
+        period: usize,
+    },
+    Drop {
+        period: usize,
+    },
+}
+
+impl LinkCore {
+    fn new(fault: &Fault) -> LinkCore {
+        match *fault {
+            Fault::Delay { slack } => LinkCore::Delay {
+                buffer: VecDeque::new(),
+                slack,
+            },
+            Fault::Reorder { window, seed } => {
+                assert!(window > 0, "reorder window must be positive");
+                LinkCore::Reorder {
+                    buffer: Vec::new(),
+                    window,
+                    rng: StdRng::seed_from_u64(seed),
+                }
+            }
+            Fault::Duplicate { period } => {
+                assert!(period > 0, "duplicate period must be positive");
+                LinkCore::Duplicate { period }
+            }
+            Fault::Drop { period } => {
+                assert!(period > 0, "drop period must be positive");
+                LinkCore::Drop { period }
+            }
+        }
+    }
+}
+
+/// An engine-interposed faulty link instance (built from a
+/// [`LinkFaultSpec`] for the duration of one run).
+#[derive(Debug)]
+pub struct EngineLink {
+    chan: Chan,
+    core: LinkCore,
+    /// Messages ingested so far (1-based seq of the next is `seen + 1`).
+    seen: usize,
+}
+
+impl EngineLink {
+    pub(crate) fn new(spec: &LinkFaultSpec) -> EngineLink {
+        EngineLink {
+            chan: spec.chan,
+            core: LinkCore::new(&spec.fault),
+            seen: 0,
+        }
+    }
+
+    pub(crate) fn chan(&self) -> Chan {
+        self.chan
+    }
+
+    /// Messages buffered awaiting release.
+    pub(crate) fn pending(&self) -> usize {
+        match &self.core {
+            LinkCore::Delay { buffer, .. } => buffer.len(),
+            LinkCore::Reorder { buffer, .. } => buffer.len(),
+            LinkCore::Duplicate { .. } | LinkCore::Drop { .. } => 0,
+        }
+    }
+
+    /// Intercepts one send: returns the messages to deliver *now* and an
+    /// optional fault event (drop/duplicate happen at ingestion).
+    pub(crate) fn on_send(&mut self, v: Value) -> (Vec<Value>, Option<FaultEvent>) {
+        self.seen += 1;
+        let seq = self.seen;
+        match &mut self.core {
+            LinkCore::Delay { buffer, .. } => {
+                buffer.push_back(v);
+                (Vec::new(), None)
+            }
+            LinkCore::Reorder { buffer, .. } => {
+                buffer.push((seq, v));
+                (Vec::new(), None)
+            }
+            LinkCore::Duplicate { period } => {
+                if seq.is_multiple_of(*period) {
+                    (
+                        vec![v, v],
+                        Some(FaultEvent {
+                            chan: self.chan,
+                            seq,
+                            kind: FaultKind::Duplicated,
+                            value: v,
+                        }),
+                    )
+                } else {
+                    (vec![v], None)
+                }
+            }
+            LinkCore::Drop { period } => {
+                if seq.is_multiple_of(*period) {
+                    (
+                        Vec::new(),
+                        Some(FaultEvent {
+                            chan: self.chan,
+                            seq,
+                            kind: FaultKind::Dropped,
+                            value: v,
+                        }),
+                    )
+                } else {
+                    (vec![v], None)
+                }
+            }
+        }
+    }
+
+    /// End-of-round release: delay links release everything above their
+    /// slack, reorder links release whenever the window is full. With
+    /// `force` (the rest of the network made no progress) each buffering
+    /// link additionally releases one message, so buffers drain before
+    /// quiescence.
+    pub(crate) fn pump(&mut self, force: bool) -> Vec<(Value, Option<FaultEvent>)> {
+        let mut out = Vec::new();
+        match &mut self.core {
+            LinkCore::Delay { buffer, slack } => {
+                while buffer.len() > *slack {
+                    out.push((buffer.pop_front().expect("nonempty"), None));
+                }
+                if force {
+                    if let Some(v) = buffer.pop_front() {
+                        out.push((v, None));
+                    }
+                }
+            }
+            LinkCore::Reorder {
+                buffer,
+                window,
+                rng,
+            } => {
+                let chan = self.chan;
+                let release = |buffer: &mut Vec<(usize, Value)>, rng: &mut StdRng| {
+                    let i = rng.random_range(0..buffer.len());
+                    let (seq, v) = buffer.swap_remove(i);
+                    let overtook = buffer.iter().any(|&(s, _)| s < seq);
+                    let event = overtook.then_some(FaultEvent {
+                        chan,
+                        seq,
+                        kind: FaultKind::Reordered,
+                        value: v,
+                    });
+                    (v, event)
+                };
+                while buffer.len() >= *window {
+                    out.push(release(buffer, rng));
+                }
+                if force && !buffer.is_empty() {
+                    out.push(release(buffer, rng));
+                }
+            }
+            LinkCore::Duplicate { .. } | LinkCore::Drop { .. } => {}
+        }
+        out
+    }
+}
+
+/// A faulty channel: reads `input`, forwards onto `output` subject to a
+/// [`Fault`]. Interpose it by renaming the producer's output channel to a
+/// fresh raw channel and letting the link feed the original one.
+///
+/// All randomness (reorder release order) comes from the seed stored in
+/// the fault, so two runs with identical construction produce identical
+/// deliveries *and* identical [`fault_log`](FaultyLink::fault_log)s.
+pub struct FaultyLink {
+    name: String,
+    input: Chan,
+    output: Chan,
+    fault: Fault,
+    state: LinkState,
+    /// Messages ingested so far (1-based event seq).
+    seen: usize,
+    /// Local copy of every injected event (also reported through
+    /// [`StepCtx::note_fault`] into the run's fault log).
+    log: Vec<FaultEvent>,
+}
+
+#[derive(Debug)]
 enum LinkState {
     Delay {
         buffer: VecDeque<Value>,
         slack: usize,
     },
     Reorder {
-        buffer: Vec<Value>,
+        /// `(arrival index, value)` pairs buffered for permutation.
+        buffer: Vec<(usize, Value)>,
         window: usize,
         rng: StdRng,
     },
     Duplicate {
         period: usize,
-        seen: usize,
     },
     Drop {
         period: usize,
-        seen: usize,
     },
 }
 
-/// A faulty channel: reads `input`, forwards onto `output` subject to a
-/// [`Fault`]. Interpose it by renaming the producer's output channel to a
-/// fresh raw channel and letting the link feed the original one.
-pub struct FaultyLink {
-    name: String,
-    input: Chan,
-    output: Chan,
-    state: LinkState,
-}
-
-impl FaultyLink {
-    /// Creates a link forwarding `input` to `output` under `fault`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a periodic fault has `period == 0` or a reorder fault
-    /// has `window == 0`.
-    pub fn new(name: impl Into<String>, input: Chan, output: Chan, fault: Fault) -> FaultyLink {
-        let state = match fault {
+impl LinkState {
+    fn new(fault: &Fault) -> LinkState {
+        match *fault {
             Fault::Delay { slack } => LinkState::Delay {
                 buffer: VecDeque::new(),
                 slack,
@@ -112,19 +481,47 @@ impl FaultyLink {
             }
             Fault::Duplicate { period } => {
                 assert!(period > 0, "duplicate period must be positive");
-                LinkState::Duplicate { period, seen: 0 }
+                LinkState::Duplicate { period }
             }
             Fault::Drop { period } => {
                 assert!(period > 0, "drop period must be positive");
-                LinkState::Drop { period, seen: 0 }
+                LinkState::Drop { period }
             }
-        };
+        }
+    }
+}
+
+impl FaultyLink {
+    /// Creates a link forwarding `input` to `output` under `fault`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a periodic fault has `period == 0` or a reorder fault
+    /// has `window == 0`.
+    pub fn new(name: impl Into<String>, input: Chan, output: Chan, fault: Fault) -> FaultyLink {
+        let state = LinkState::new(&fault);
         FaultyLink {
             name: name.into(),
             input,
             output,
+            fault,
             state,
+            seen: 0,
+            log: Vec::new(),
         }
+    }
+
+    /// Every fault event this link injected so far, in order. The same
+    /// events are reported into
+    /// [`RunReport::fault_log`](crate::RunReport::fault_log) with this
+    /// link's name attached.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    fn emit_fault(&mut self, ctx: &mut StepCtx<'_>, event: FaultEvent) {
+        ctx.note_fault(event.clone());
+        self.log.push(event);
     }
 }
 
@@ -153,6 +550,7 @@ impl Process for FaultyLink {
                     StepResult::Progress
                 } else if ctx.available(self.input) > 0 {
                     let v = ctx.pop(self.input).expect("nonempty");
+                    self.seen += 1;
                     buffer.push_back(v);
                     StepResult::Progress
                 } else if let Some(v) = buffer.pop_front() {
@@ -169,33 +567,66 @@ impl Process for FaultyLink {
             } => {
                 if ctx.available(self.input) > 0 && buffer.len() < *window {
                     let v = ctx.pop(self.input).expect("nonempty");
-                    buffer.push(v);
+                    self.seen += 1;
+                    buffer.push((self.seen, v));
                     StepResult::Progress
                 } else if !buffer.is_empty() {
                     let i = rng.random_range(0..buffer.len());
-                    let v = buffer.swap_remove(i);
+                    let (seq, v) = buffer.swap_remove(i);
+                    let overtook = buffer.iter().any(|&(s, _)| s < seq);
+                    let event = overtook.then_some(FaultEvent {
+                        chan: self.output,
+                        seq,
+                        kind: FaultKind::Reordered,
+                        value: v,
+                    });
                     ctx.send(self.output, v);
+                    if let Some(e) = event {
+                        self.emit_fault(ctx, e);
+                    }
                     StepResult::Progress
                 } else {
                     StepResult::Idle
                 }
             }
-            LinkState::Duplicate { period, seen } => match ctx.pop(self.input) {
+            LinkState::Duplicate { period } => match ctx.pop(self.input) {
                 Some(v) => {
-                    *seen += 1;
+                    self.seen += 1;
+                    let seq = self.seen;
+                    let dup = seq.is_multiple_of(*period);
                     ctx.send(self.output, v);
-                    if *seen % *period == 0 {
+                    if dup {
                         ctx.send(self.output, v);
+                        self.emit_fault(
+                            ctx,
+                            FaultEvent {
+                                chan: self.output,
+                                seq,
+                                kind: FaultKind::Duplicated,
+                                value: v,
+                            },
+                        );
                     }
                     StepResult::Progress
                 }
                 None => StepResult::Idle,
             },
-            LinkState::Drop { period, seen } => match ctx.pop(self.input) {
+            LinkState::Drop { period } => match ctx.pop(self.input) {
                 Some(v) => {
-                    *seen += 1;
-                    if *seen % *period != 0 {
+                    self.seen += 1;
+                    let seq = self.seen;
+                    if !seq.is_multiple_of(*period) {
                         ctx.send(self.output, v);
+                    } else {
+                        self.emit_fault(
+                            ctx,
+                            FaultEvent {
+                                chan: self.output,
+                                seq,
+                                kind: FaultKind::Dropped,
+                                value: v,
+                            },
+                        );
                     }
                     StepResult::Progress
                 }
@@ -203,14 +634,79 @@ impl Process for FaultyLink {
             },
         }
     }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        let core = match &self.state {
+            LinkState::Delay { buffer, .. } => StateCell::Values(buffer.iter().copied().collect()),
+            LinkState::Reorder { buffer, rng, .. } => StateCell::List(vec![
+                StateCell::Nats(buffer.iter().map(|&(s, _)| s as u64).collect()),
+                StateCell::Values(buffer.iter().map(|&(_, v)| v).collect()),
+                StateCell::Rng(rng.clone()),
+            ]),
+            LinkState::Duplicate { .. } | LinkState::Drop { .. } => StateCell::Unit,
+        };
+        Some(StateCell::List(vec![
+            StateCell::Nat(self.seen as u64),
+            core,
+        ]))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        let Some([seen, core]) = state.as_list().and_then(|l| <&[_; 2]>::try_from(l).ok()) else {
+            return false;
+        };
+        let Some(seen) = seen.as_nat() else {
+            return false;
+        };
+        match (&mut self.state, core) {
+            (LinkState::Delay { buffer, .. }, StateCell::Values(vs)) => {
+                *buffer = vs.iter().copied().collect();
+            }
+            (LinkState::Reorder { buffer, rng, .. }, StateCell::List(parts)) => {
+                let [seqs, values, saved_rng] = match <&[_; 3]>::try_from(parts.as_slice()) {
+                    Ok(parts) => parts,
+                    Err(_) => return false,
+                };
+                let (Some(seqs), Some(values), Some(saved_rng)) =
+                    (seqs.as_nats(), values.as_values(), saved_rng.as_rng())
+                else {
+                    return false;
+                };
+                if seqs.len() != values.len() {
+                    return false;
+                }
+                *buffer = seqs
+                    .iter()
+                    .zip(values)
+                    .map(|(&s, &v)| (s as usize, v))
+                    .collect();
+                *rng = saved_rng.clone();
+            }
+            (LinkState::Duplicate { .. } | LinkState::Drop { .. }, StateCell::Unit) => {}
+            _ => return false,
+        }
+        self.seen = seen as usize;
+        true
+    }
+
+    fn reset(&mut self) -> bool {
+        self.state = LinkState::new(&self.fault);
+        self.seen = 0;
+        self.log.clear();
+        true
+    }
 }
 
 /// Wraps a process so it crashes (silently idles forever) after making
-/// `at_step` progress steps.
+/// `at_step` progress steps. The runtime detects the crash through
+/// [`Process::crashed`]; a supervisor can then restore and
+/// [`restart`](Process::restart) it — restarting defuses the fuse, so a
+/// `CrashAt` fault is one-shot.
 pub struct CrashAt<P> {
     name: String,
     inner: P,
     fuel: usize,
+    initial_fuel: usize,
 }
 
 impl<P: Process> CrashAt<P> {
@@ -221,6 +717,7 @@ impl<P: Process> CrashAt<P> {
             name: format!("{}!crash@{at_step}", inner.name()),
             inner,
             fuel: at_step,
+            initial_fuel: at_step,
         }
     }
 
@@ -253,6 +750,45 @@ impl<P: Process> Process for CrashAt<P> {
         }
         r
     }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        self.inner
+            .snapshot()
+            .map(|inner| StateCell::List(vec![StateCell::Nat(self.fuel as u64), inner]))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        let Some([fuel, inner]) = state.as_list().and_then(|l| <&[_; 2]>::try_from(l).ok()) else {
+            return false;
+        };
+        let Some(fuel) = fuel.as_nat() else {
+            return false;
+        };
+        if !self.inner.restore(inner) {
+            return false;
+        }
+        self.fuel = fuel as usize;
+        true
+    }
+
+    fn reset(&mut self) -> bool {
+        if !self.inner.reset() {
+            return false;
+        }
+        self.fuel = self.initial_fuel;
+        true
+    }
+
+    fn crashed(&self) -> bool {
+        self.fuel == 0
+    }
+
+    fn restart(&mut self) -> bool {
+        // One-shot fault: a restarted process must not immediately
+        // re-crash while replaying the very steps that exhausted it.
+        self.fuel = usize::MAX;
+        self.inner.restart()
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +797,7 @@ mod tests {
     use crate::network::{Network, RunOptions};
     use crate::procs::{Apply, Source};
     use crate::scheduler::RoundRobin;
+    use crate::RunReport;
 
     fn raw() -> Chan {
         Chan::new(200)
@@ -280,34 +817,55 @@ mod tests {
         net
     }
 
+    fn report(fault: Fault) -> RunReport {
+        let report =
+            faulted_pipeline(fault).run_report(&mut RoundRobin::new(), RunOptions::default());
+        assert!(report.quiescent);
+        report
+    }
+
     fn delivered(fault: Fault) -> Vec<Value> {
-        let run = faulted_pipeline(fault).run(&mut RoundRobin::new(), RunOptions::default());
-        assert!(run.quiescent);
-        run.trace.seq_on(out()).take(32)
+        report(fault).trace.seq_on(out()).take(32)
     }
 
     #[test]
     fn delay_delivers_everything_in_order() {
+        let r = report(Fault::Delay { slack: 2 });
         assert_eq!(
-            delivered(Fault::Delay { slack: 2 }),
+            r.trace.seq_on(out()).take(32),
             (1..=4).map(Value::Int).collect::<Vec<_>>()
         );
+        assert!(r.fault_log().is_empty(), "delay is benign, not logged");
     }
 
     #[test]
-    fn duplicate_doubles_periodically() {
+    fn duplicate_doubles_periodically_and_logs() {
+        let r = report(Fault::Duplicate { period: 2 });
         assert_eq!(
-            delivered(Fault::Duplicate { period: 2 }),
+            r.trace.seq_on(out()).take(32),
             [1, 2, 2, 3, 4, 4].map(Value::Int).to_vec()
         );
+        let log = r.fault_log();
+        assert_eq!(log.len(), 2);
+        assert!(log
+            .iter()
+            .all(|f| f.source == "link" && f.event.kind == FaultKind::Duplicated));
+        assert_eq!(log[0].event.seq, 2);
+        assert_eq!(log[1].event.seq, 4);
     }
 
     #[test]
-    fn drop_discards_periodically() {
+    fn drop_discards_periodically_and_logs() {
+        let r = report(Fault::Drop { period: 2 });
         assert_eq!(
-            delivered(Fault::Drop { period: 2 }),
+            r.trace.seq_on(out()).take(32),
             [1, 3].map(Value::Int).to_vec()
         );
+        let log = r.fault_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].event.value, Value::Int(2));
+        assert_eq!(log[1].event.value, Value::Int(4));
+        assert!(log.iter().all(|f| f.event.kind == FaultKind::Dropped));
     }
 
     #[test]
@@ -315,6 +873,26 @@ mod tests {
         let mut got = delivered(Fault::Reorder { window: 3, seed: 5 });
         got.sort();
         assert_eq!(got, (1..=4).map(Value::Int).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_fault_logs() {
+        // Satellite: delay/reorder determinism under the stored seed.
+        for fault in [
+            Fault::Reorder { window: 3, seed: 9 },
+            Fault::Drop { period: 2 },
+            Fault::Duplicate { period: 3 },
+            Fault::Delay { slack: 1 },
+        ] {
+            let a = report(fault.clone());
+            let b = report(fault.clone());
+            assert_eq!(a.trace, b.trace, "{fault}: traces must be identical");
+            assert_eq!(
+                a.fault_log(),
+                b.fault_log(),
+                "{fault}: fault logs must be identical"
+            );
+        }
     }
 
     #[test]
@@ -344,5 +922,61 @@ mod tests {
             .processes
             .iter()
             .any(|p| p.name.contains("crash@2") && p.progress == 2));
+        // satellite: the dossier distinguishes crashed from starved
+        let crashed = report
+            .processes
+            .iter()
+            .find(|p| p.name.contains("crash@2"))
+            .expect("wrapped process reported");
+        assert!(crashed.crashed, "CrashAt feeds the crashed flag");
+        assert_eq!(
+            report.bottleneck().expect("crash with queued input").name,
+            crashed.name,
+            "a crashed process with waiting input is the bottleneck"
+        );
+    }
+
+    #[test]
+    fn fault_schedule_shrinking_surface() {
+        let s = FaultSchedule {
+            crashes: vec![CrashPoint {
+                process: 1,
+                at_step: 3,
+            }],
+            links: vec![
+                LinkFaultSpec {
+                    chan: raw(),
+                    fault: Fault::Drop { period: 2 },
+                },
+                LinkFaultSpec {
+                    chan: out(),
+                    fault: Fault::Delay { slack: 1 },
+                },
+            ],
+        };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_benign(), "drop convicts");
+        let no_crash = s.without(0);
+        assert!(no_crash.crashes.is_empty());
+        assert_eq!(no_crash.links.len(), 2);
+        let no_drop = s.without(1);
+        assert!(no_drop.is_benign(), "crash + delay alone are benign");
+        assert!(FaultSchedule::none().is_empty());
+        assert!(s.to_string().contains("drop(every 2)"));
+    }
+
+    #[test]
+    fn crash_at_snapshot_restore_restart_roundtrip() {
+        let mut p = CrashAt::new(Apply::int_affine("f", raw(), out(), 1, 0), 2);
+        let cell = p.snapshot().expect("Apply is hooked, so CrashAt is");
+        assert!(p.reset(), "reset propagates to the (resettable) inner");
+        assert!(!p.crashed());
+        assert!(p.restore(&cell));
+        assert!(p.restart(), "restart defuses the fuse");
+        assert!(!Process::crashed(&p));
+        // after restart the fuse is effectively infinite
+        let again = p.snapshot().expect("still hooked");
+        let fuel = again.as_list().unwrap()[0].as_nat().unwrap();
+        assert_eq!(fuel, u64::MAX);
     }
 }

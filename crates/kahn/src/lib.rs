@@ -36,7 +36,19 @@
 //!   links and crash-at-step-K wrappers, for demonstrating which
 //!   perturbations preserve smooth solutions (delay) and which break the
 //!   limit condition (drop, duplicate — caught by the conformance
-//!   bridge).
+//!   bridge). Every injected event is named in the run's fault log.
+//! * [`snapshot`] / [`supervisor`] — the checkpointed supervision runtime:
+//!   [`Checkpoint`]s capture the full network state (queues, trace, RNG,
+//!   per-process state via [`Process::snapshot`] hooks), and
+//!   [`SupervisorOptions`] configures crash recovery — restore from the
+//!   latest checkpoint or replay the observation journal from genesis,
+//!   with one-for-one / backoff / escalate restart policies. The recovery
+//!   invariant is Theorem 2's: a recovered quiescent run still certifies
+//!   as a smooth *solution* of the original description.
+//! * [`chaos`] — a seeded chaos harness: samples random fault schedules
+//!   (crash points × link faults), classifies each run through the
+//!   conformance bridge, and shrinks any conviction to a minimal
+//!   reproducer via delta debugging.
 //!
 //! # Example
 //!
@@ -57,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod conformance;
 pub mod faults;
 pub mod network;
@@ -65,13 +78,22 @@ pub mod process;
 pub mod procs;
 pub mod report;
 pub mod scheduler;
+pub mod snapshot;
+pub mod supervisor;
 
+pub use chaos::{ChaosOptions, ChaosReport, Conviction, Scenario, SchedulerChoice, Trial};
 pub use conformance::{Conformance, ConformanceOptions, Verdict};
-pub use faults::{CrashAt, Fault, FaultyLink};
+pub use faults::{
+    CrashAt, CrashPoint, Fault, FaultEvent, FaultKind, FaultSchedule, FaultyLink, LinkFaultSpec,
+};
 pub use network::{Network, RunOptions, RunResult};
 pub use oracle::Oracle;
 pub use process::{Process, StepCtx, StepResult};
-pub use report::{ChannelReport, ConsumerViolation, ProcessReport, RunReport};
+pub use report::{
+    ChannelReport, ConsumerViolation, FaultRecord, ProcessReport, RunReport, RunStatus,
+};
 pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
+pub use snapshot::{Checkpoint, SnapshotError, StateCell};
+pub use supervisor::{RecoveryRecord, RestartPolicy, RestoreMethod, SupervisorOptions};
 
 pub use eqp_trace::Trace;

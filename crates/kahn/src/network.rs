@@ -1,8 +1,15 @@
-//! Networks: processes wired by FIFO channels, run to quiescence.
+//! Networks: processes wired by FIFO channels, run to quiescence — with
+//! optional checkpointing, supervision, and engine-level fault injection.
 
-use crate::process::{Process, StepCtx, StepResult};
-use crate::report::{ChannelReport, ConsumerViolation, ProcessReport, RunReport, Telemetry};
+use crate::faults::{CrashPoint, EngineLink, FaultSchedule};
+use crate::process::{raw_send, Process, StepCtx, StepResult};
+use crate::report::{
+    ChannelReport, ConsumerViolation, FaultRecord, FaultSource, ProcessReport, RunReport,
+    RunStatus, Telemetry,
+};
 use crate::scheduler::Scheduler;
+use crate::snapshot::{Checkpoint, SnapshotError};
+use crate::supervisor::{Journal, RecoveryRecord, Replay, RestoreMethod, SupervisorOptions};
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +45,9 @@ pub struct RunResult {
     /// network that quiesces in exactly `max_steps` steps still reports
     /// `true`.
     pub quiescent: bool,
+    /// How the run ended — distinguishes a genuine step-bound cut from
+    /// one that fired mid-recovery, and surfaces supervisor escalation.
+    pub status: RunStatus,
     /// Progress-making steps performed.
     pub steps: usize,
 }
@@ -96,6 +106,43 @@ impl Network {
         self.processes.is_empty()
     }
 
+    /// Diagnostic names of the processes, in insertion order.
+    pub fn process_names(&self) -> Vec<String> {
+        self.processes.iter().map(|p| p.name().to_owned()).collect()
+    }
+
+    /// Every channel any process declares (inputs and outputs), sorted
+    /// and deduplicated — the chaos harness samples link faults from
+    /// this set.
+    pub fn channels(&self) -> Vec<Chan> {
+        let mut cs: Vec<Chan> = self
+            .processes
+            .iter()
+            .flat_map(|p| {
+                let mut v = p.inputs();
+                v.extend(p.outputs());
+                v
+            })
+            .collect();
+        cs.sort();
+        cs.dedup();
+        cs
+    }
+
+    /// Wraps the process at index `i` in a [`CrashAt`](crate::CrashAt)
+    /// fuse that fires after `at_step` of *its* progress steps — the way
+    /// to crash-test an opaque, already built network (the zoo builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn wrap_crash_at(&mut self, i: usize, at_step: usize) -> &mut Network {
+        assert!(i < self.processes.len(), "no process at index {i}");
+        let inner = std::mem::replace(&mut self.processes[i], Box::new(Tombstone));
+        self.processes[i] = Box::new(crate::faults::CrashAt::new(inner, at_step));
+        self
+    }
+
     /// Pre-loads messages on a channel (environment input that is *not*
     /// recorded in the trace — prefer a `Source` process when the sends
     /// should appear in the history, as the paper's traces include them).
@@ -145,6 +192,13 @@ impl Network {
         pre
     }
 
+    fn assert_live(&self) {
+        assert!(
+            !self.drained,
+            "this Network was drained by `preload`; run the PreloadedNetwork it returned"
+        );
+    }
+
     /// Runs the network under `sched` until quiescence or the step bound.
     pub fn run<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunResult {
         self.run_report(sched, opts).into_result()
@@ -152,11 +206,132 @@ impl Network {
 
     /// Runs the network and returns the full telemetry [`RunReport`].
     pub fn run_report<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunReport {
-        assert!(
-            !self.drained,
-            "this Network was drained by `preload`; run the PreloadedNetwork it returned"
-        );
-        run_with_queues(&mut self.processes, HashMap::new(), sched, opts)
+        self.assert_live();
+        Engine::new(&mut self.processes, HashMap::new(), opts).run(sched)
+    }
+
+    /// Runs the network, capturing a whole-run [`Checkpoint`] when the
+    /// global progress-step count reaches exactly `at_step` (0 captures
+    /// the genesis state before any step). The returned checkpoint is
+    /// `None` if the run ended before reaching `at_step`.
+    ///
+    /// The run itself is byte-identical to
+    /// [`run_report`](Network::run_report) — capture is pure
+    /// observation. Feed the
+    /// checkpoint to [`resume_report`](Network::resume_report) on a
+    /// freshly built identical network to continue it.
+    pub fn run_report_checkpointed<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        at_step: usize,
+    ) -> (RunReport, Option<Checkpoint>) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.checkpoint_at = Some(at_step);
+        let report = engine.run(sched);
+        let captured = engine.captured.take();
+        (report, captured)
+    }
+
+    /// Restores `ckpt` into this (identically built) network and `sched`
+    /// (identically constructed scheduler) and continues the run to its
+    /// end. The resumed run is byte-identical — trace and report meters —
+    /// to the uninterrupted one.
+    ///
+    /// `opts.max_steps` still bounds the total step count;  `opts.seed`
+    /// is ignored (the RNG resumes mid-stream from the checkpoint).
+    pub fn resume_report<S: Scheduler>(
+        &mut self,
+        ckpt: &Checkpoint,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> Result<RunReport, SnapshotError> {
+        self.assert_live();
+        if ckpt.processes.len() != self.processes.len() {
+            return Err(SnapshotError::ArityMismatch {
+                expected: ckpt.processes.len(),
+                found: self.processes.len(),
+            });
+        }
+        for (i, cell) in ckpt.processes.iter().enumerate() {
+            let cell = cell
+                .as_ref()
+                .ok_or_else(|| SnapshotError::UnsupportedProcess {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                })?;
+            if !self.processes[i].restore(cell) {
+                return Err(SnapshotError::RestoreRejected {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                });
+            }
+        }
+        ckpt.restore_scheduler(sched)?;
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.resume_from(ckpt);
+        Ok(engine.run(sched))
+    }
+
+    /// Runs the network under supervision: crashed processes (reported by
+    /// [`Process::crashed`]) are restored from the latest periodic
+    /// checkpoint (or reset and replayed from genesis) per the restart
+    /// policy in `sup`. A recovered quiescent run still certifies as a
+    /// smooth solution of the original description — recovery preserves
+    /// the trace.
+    pub fn run_supervised<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        sup: SupervisorOptions,
+    ) -> RunReport {
+        self.run_supervised_faulted(sched, opts, sup, &FaultSchedule::none())
+    }
+
+    /// [`run_supervised`](Network::run_supervised) plus an engine-level
+    /// [`FaultSchedule`]: crash points kill processes at global step
+    /// counts and link faults intercept sends in flight — no rewiring of
+    /// the network required. This is the chaos harness's entry point.
+    pub fn run_supervised_faulted<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        sup: SupervisorOptions,
+        schedule: &FaultSchedule,
+    ) -> RunReport {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.supervise(sup);
+        engine.inject(schedule);
+        engine.run(sched)
+    }
+
+    /// Runs the network under an engine-level [`FaultSchedule`] *without*
+    /// supervision: crashed processes stay dead, dropped messages stay
+    /// dropped — the conviction-producing configuration.
+    pub fn run_report_faulted<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        schedule: &FaultSchedule,
+    ) -> RunReport {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.inject(schedule);
+        engine.run(sched)
+    }
+}
+
+/// Placeholder swapped in momentarily by [`Network::wrap_crash_at`].
+struct Tombstone;
+
+impl Process for Tombstone {
+    fn name(&self) -> &str {
+        "<tombstone>"
+    }
+    fn step(&mut self, _: &mut StepCtx<'_>) -> StepResult {
+        StepResult::Idle
     }
 }
 
@@ -191,92 +366,566 @@ impl PreloadedNetwork {
 
     /// Runs the preloaded network and returns the full [`RunReport`].
     pub fn run_report<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunReport {
-        run_with_queues(
+        Engine::new(
             &mut self.net.processes,
             std::mem::take(&mut self.queues),
-            sched,
             opts,
         )
+        .run(sched)
     }
 }
 
 /// Per-process counters tracked during a run.
-#[derive(Default, Clone, Copy)]
-struct ProcCounters {
-    progress: usize,
-    idle: usize,
-    starve_streak: usize,
-    max_starved: usize,
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ProcCounters {
+    pub(crate) progress: usize,
+    pub(crate) idle: usize,
+    pub(crate) starve_streak: usize,
+    pub(crate) max_starved: usize,
 }
 
-fn run_with_queues(
-    processes: &mut [Box<dyn Process>],
-    mut queues: HashMap<Chan, VecDeque<Value>>,
-    sched: &mut dyn Scheduler,
-    opts: RunOptions,
-) -> RunReport {
-    let n = processes.len();
-    let mut trace: Vec<Event> = Vec::new();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut telemetry = Telemetry::default();
-    let mut counters = vec![ProcCounters::default(); n];
-    let declared: Vec<Vec<Chan>> = processes.iter().map(|p| p.inputs()).collect();
-    for (c, q) in &queues {
-        telemetry.note_preload(*c, q.len());
+/// The run engine: the bare quiescence loop plus (all optional, all
+/// zero-cost when unused) checkpointing, supervision with journaled
+/// replay, and engine-interposed fault injection.
+struct Engine<'a> {
+    procs: &'a mut [Box<dyn Process>],
+    declared: Vec<Vec<Chan>>,
+    queues: HashMap<Chan, VecDeque<Value>>,
+    trace: Vec<Event>,
+    rng: StdRng,
+    telemetry: Telemetry,
+    counters: Vec<ProcCounters>,
+    steps: usize,
+    rounds: usize,
+    max_steps: usize,
+    /// Engine-interposed faulty links (chaos schedules).
+    links: Vec<EngineLink>,
+    /// Unfired engine crash points.
+    crash_points: Vec<CrashPoint>,
+    /// Engine view of which processes are currently dead.
+    crashed: Vec<bool>,
+    /// Step count at which each currently-dead process crashed.
+    crash_steps: Vec<usize>,
+    /// Completed restarts per process.
+    restarts: Vec<usize>,
+    /// Rounds remaining until a pending restart (`None` = no restart
+    /// pending).
+    backoff: Vec<Option<usize>>,
+    /// Per-process observation journals (supervised runs only).
+    journals: Option<Vec<Journal>>,
+    /// Armed replays for restored processes.
+    replays: Vec<Option<Replay>>,
+    supervision: Option<SupervisorOptions>,
+    /// Latest periodic whole-network checkpoint (supervised runs).
+    last_checkpoint: Option<Checkpoint>,
+    recoveries: Vec<RecoveryRecord>,
+    /// Set when a crash escalates; the run fails at the next check.
+    escalated: Option<String>,
+    /// Step count at which to capture `captured` (whole-run
+    /// checkpointing).
+    checkpoint_at: Option<usize>,
+    captured: Option<Checkpoint>,
+    /// Process indices not yet offered a step this round.
+    pending: VecDeque<usize>,
+    /// Whether anything progressed in the round in flight.
+    round_progressed: bool,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        processes: &'a mut [Box<dyn Process>],
+        queues: HashMap<Chan, VecDeque<Value>>,
+        opts: RunOptions,
+    ) -> Engine<'a> {
+        let n = processes.len();
+        let declared: Vec<Vec<Chan>> = processes.iter().map(|p| p.inputs()).collect();
+        let mut telemetry = Telemetry::default();
+        for (c, q) in &queues {
+            telemetry.note_preload(*c, q.len());
+        }
+        Engine {
+            procs: processes,
+            declared,
+            queues,
+            trace: Vec::new(),
+            rng: StdRng::seed_from_u64(opts.seed),
+            telemetry,
+            counters: vec![ProcCounters::default(); n],
+            steps: 0,
+            rounds: 0,
+            max_steps: opts.max_steps,
+            links: Vec::new(),
+            crash_points: Vec::new(),
+            crashed: vec![false; n],
+            crash_steps: vec![0; n],
+            restarts: vec![0; n],
+            backoff: vec![None; n],
+            journals: None,
+            replays: (0..n).map(|_| None).collect(),
+            supervision: None,
+            last_checkpoint: None,
+            recoveries: Vec::new(),
+            escalated: None,
+            checkpoint_at: None,
+            captured: None,
+            pending: VecDeque::new(),
+            round_progressed: false,
+        }
     }
-    let mut steps = 0usize;
-    let mut rounds = 0usize;
-    loop {
-        let mut progressed = false;
-        for i in sched.round(n) {
-            if steps >= opts.max_steps {
-                let quiescent = probe_quiescent(processes, &mut queues, &mut trace, &mut rng);
-                return build_report(
-                    processes, trace, queues, telemetry, counters, quiescent, steps, rounds,
-                );
+
+    fn supervise(&mut self, sup: SupervisorOptions) {
+        self.journals = Some(vec![Journal::default(); self.procs.len()]);
+        self.supervision = Some(sup);
+    }
+
+    fn inject(&mut self, schedule: &FaultSchedule) {
+        self.links = schedule.links.iter().map(EngineLink::new).collect();
+        self.crash_points = schedule.crashes.clone();
+    }
+
+    fn resume_from(&mut self, ckpt: &Checkpoint) {
+        self.queues = ckpt.queues.clone();
+        self.trace = ckpt.trace.clone();
+        self.rng = ckpt.rng.clone();
+        self.telemetry = ckpt.telemetry.clone();
+        self.counters = ckpt.counters.clone();
+        self.steps = ckpt.steps;
+        self.rounds = ckpt.rounds;
+        self.pending = ckpt.pending_round.clone();
+        self.round_progressed = ckpt.round_progressed;
+    }
+
+    fn run(&mut self, sched: &mut dyn Scheduler) -> RunReport {
+        let n = self.procs.len();
+        self.maybe_capture(&*sched);
+        loop {
+            if self.pending.is_empty() {
+                self.pending = sched.round(n).into_iter().collect();
+                self.round_progressed = false;
             }
-            let input_waiting = declared[i]
-                .iter()
-                .any(|c| queues.get(c).is_some_and(|q| !q.is_empty()));
-            let mut ctx = StepCtx {
-                queues: &mut queues,
-                trace: &mut trace,
-                rng: &mut rng,
-                telemetry: Some(&mut telemetry),
-                current: i,
-            };
-            match processes[i].step(&mut ctx) {
-                StepResult::Progress => {
-                    progressed = true;
-                    steps += 1;
-                    counters[i].progress += 1;
-                    counters[i].starve_streak = 0;
+            while let Some(i) = self.pending.pop_front() {
+                if self.steps >= self.max_steps {
+                    return self.finish_at_bound();
                 }
-                StepResult::Idle => {
-                    counters[i].idle += 1;
-                    if input_waiting {
-                        counters[i].starve_streak += 1;
-                        counters[i].max_starved =
-                            counters[i].max_starved.max(counters[i].starve_streak);
-                    } else {
-                        counters[i].starve_streak = 0;
+                if !self.crash_points.is_empty() {
+                    self.fire_due_crashes();
+                }
+                if let Some(p) = self.escalated.take() {
+                    return self.build(RunStatus::Escalated { process: p });
+                }
+                if self.crashed[i] {
+                    self.account_idle(i);
+                    continue;
+                }
+                if self.step_slot(i) {
+                    self.maybe_capture(&*sched);
+                }
+                if self.supervision.is_some() && !self.crashed[i] && self.procs[i].crashed() {
+                    self.handle_crash(i);
+                }
+                if let Some(p) = self.escalated.take() {
+                    return self.build(RunStatus::Escalated { process: p });
+                }
+            }
+            self.rounds += 1;
+            if !self.links.is_empty() && self.pump_links() {
+                self.round_progressed = true;
+            }
+            self.tick_backoffs();
+            if let Some(p) = self.escalated.take() {
+                return self.build(RunStatus::Escalated { process: p });
+            }
+            if !self.round_progressed && !self.recovery_pending() && self.links_drained() {
+                return self.build(RunStatus::Quiescent);
+            }
+        }
+    }
+
+    /// Offers process `i` one step; returns true on progress.
+    fn step_slot(&mut self, i: usize) -> bool {
+        let replay_active = self.replays[i].is_some();
+        let input_waiting = self.declared[i]
+            .iter()
+            .any(|c| self.queues.get(c).is_some_and(|q| !q.is_empty()));
+        let Engine {
+            procs,
+            queues,
+            trace,
+            rng,
+            telemetry,
+            journals,
+            replays,
+            links,
+            ..
+        } = self;
+        let mut ctx = StepCtx {
+            queues,
+            trace,
+            rng,
+            telemetry: Some(telemetry),
+            current: i,
+            journal: journals.as_mut().map(|j| &mut j[i]),
+            replay: replays[i].as_mut(),
+            links: if links.is_empty() {
+                None
+            } else {
+                Some(links.as_mut_slice())
+            },
+        };
+        let r = procs[i].step(&mut ctx);
+        if replays[i].as_ref().is_some_and(|rp| rp.ops.is_empty()) {
+            // the restored process has fully re-reached its pre-crash
+            // state; subsequent observations are live (and journaled)
+            replays[i] = None;
+        }
+        // consuming replay ops is progress toward recovery even when the
+        // replayed observation was an idle one — the network must keep
+        // rounding until the revived process is fully live again
+        if replay_active {
+            self.round_progressed = true;
+        }
+        match r {
+            StepResult::Progress => {
+                self.round_progressed = true;
+                self.steps += 1;
+                self.counters[i].progress += 1;
+                self.counters[i].starve_streak = 0;
+                true
+            }
+            StepResult::Idle => {
+                self.note_idle(i, input_waiting);
+                false
+            }
+        }
+    }
+
+    fn account_idle(&mut self, i: usize) {
+        let input_waiting = self.declared[i]
+            .iter()
+            .any(|c| self.queues.get(c).is_some_and(|q| !q.is_empty()));
+        self.note_idle(i, input_waiting);
+    }
+
+    fn note_idle(&mut self, i: usize, input_waiting: bool) {
+        self.counters[i].idle += 1;
+        if input_waiting {
+            self.counters[i].starve_streak += 1;
+            self.counters[i].max_starved = self.counters[i]
+                .max_starved
+                .max(self.counters[i].starve_streak);
+        } else {
+            self.counters[i].starve_streak = 0;
+        }
+    }
+
+    /// Fires every engine crash point whose step count has been reached.
+    fn fire_due_crashes(&mut self) {
+        let steps = self.steps;
+        let (due, rest): (Vec<CrashPoint>, Vec<CrashPoint>) = self
+            .crash_points
+            .drain(..)
+            .partition(|cp| steps >= cp.at_step);
+        self.crash_points = rest;
+        for cp in due {
+            if cp.process < self.procs.len() {
+                self.handle_crash(cp.process);
+            }
+        }
+    }
+
+    /// Marks process `i` crashed and decides its fate per the policy.
+    fn handle_crash(&mut self, i: usize) {
+        if self.crashed[i] {
+            return;
+        }
+        self.crashed[i] = true;
+        self.crash_steps[i] = self.steps;
+        let Some(sup) = self.supervision else {
+            // unsupervised: the process simply stays dead
+            return;
+        };
+        // a crash mid-replay abandons the replay; drain the re-queued
+        // values it had not yet re-consumed so the coming restart can
+        // re-queue the full journal without duplication
+        if let Some(r) = self.replays[i].take() {
+            for (c, v) in r.pending_pops() {
+                let front = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
+                debug_assert_eq!(front, Some(v), "re-queued value must still be at the front");
+                let _ = (front, v);
+            }
+        }
+        // model the state loss of a real crash (best-effort; restore or
+        // genesis replay rebuilds the state either way)
+        let _ = self.procs[i].reset();
+        if self.restarts[i] >= sup.max_restarts {
+            self.escalated = Some(self.procs[i].name().to_owned());
+            return;
+        }
+        match sup.backoff_for(self.restarts[i]) {
+            Some(b) => self.backoff[i] = Some(b),
+            None => self.escalated = Some(self.procs[i].name().to_owned()),
+        }
+    }
+
+    /// Counts down pending restarts at the end of each round, performing
+    /// those that reach zero.
+    fn tick_backoffs(&mut self) {
+        for i in 0..self.backoff.len() {
+            match self.backoff[i] {
+                Some(0) => {
+                    self.backoff[i] = None;
+                    self.perform_restart(i);
+                }
+                Some(b) => self.backoff[i] = Some(b - 1),
+                None => {}
+            }
+        }
+    }
+
+    /// Restores process `i` (snapshot or genesis reset), re-queues the
+    /// values its journal shows it consumed, and arms the replay.
+    fn perform_restart(&mut self, i: usize) {
+        let name = self.procs[i].name().to_owned();
+        let (method, from_step) = match self
+            .last_checkpoint
+            .as_ref()
+            .and_then(|c| c.process_state(i))
+        {
+            Some(cell) => {
+                let from = self.last_checkpoint.as_ref().map_or(0, Checkpoint::steps);
+                let cell = cell.clone();
+                if !self.procs[i].restore(&cell) {
+                    self.escalated = Some(name);
+                    return;
+                }
+                (RestoreMethod::Snapshot, from)
+            }
+            None => {
+                if !self.procs[i].reset() {
+                    // no snapshot hook and no reset hook: unrecoverable
+                    self.escalated = Some(name);
+                    return;
+                }
+                (RestoreMethod::ReplayFromGenesis, 0)
+            }
+        };
+        if !self.procs[i].restart() {
+            self.escalated = Some(name);
+            return;
+        }
+        let journal = &self.journals.as_ref().expect("supervised")[i];
+        for (c, v) in journal.popped().iter().rev() {
+            self.queues.entry(*c).or_default().push_front(*v);
+        }
+        let replay = Replay::from_journal(journal);
+        let replayed_ops = replay.ops.len();
+        if replayed_ops > 0 {
+            self.replays[i] = Some(replay);
+        }
+        self.crashed[i] = false;
+        self.restarts[i] += 1;
+        // a restart is progress: the revived process must be offered
+        // steps before the network may quiesce
+        self.round_progressed = true;
+        self.recoveries.push(RecoveryRecord {
+            process: name,
+            crash_step: self.crash_steps[i],
+            restart_step: self.steps,
+            restored_from_step: from_step,
+            replayed_ops,
+            method,
+        });
+    }
+
+    /// End-of-round release from engine-interposed links; returns true if
+    /// anything was delivered. Forces one release per buffering link when
+    /// the processes themselves made no progress, so link buffers drain
+    /// before quiescence.
+    fn pump_links(&mut self) -> bool {
+        let force = !self.round_progressed;
+        let mut any = false;
+        let Engine {
+            links,
+            queues,
+            trace,
+            telemetry,
+            ..
+        } = self;
+        for link in links.iter_mut() {
+            let c = link.chan();
+            for (v, event) in link.pump(force) {
+                if let Some(e) = event {
+                    telemetry.note_link_fault(c, e);
+                }
+                raw_send(queues, trace, Some(telemetry), c, v);
+                any = true;
+            }
+        }
+        any
+    }
+
+    fn links_drained(&self) -> bool {
+        self.links.iter().all(|l| l.pending() == 0)
+    }
+
+    /// True while any crash is unhandled: a dead process, a pending
+    /// backoff, or an armed replay. The network must not quiesce (and a
+    /// step-bound cut is reported as mid-recovery) until this clears.
+    fn recovery_pending(&self) -> bool {
+        self.supervision.is_some()
+            && (0..self.crashed.len())
+                .any(|i| self.crashed[i] || self.backoff[i].is_some() || self.replays[i].is_some())
+    }
+
+    /// Captures the whole-run checkpoint at `checkpoint_at`, and the
+    /// supervisor's periodic checkpoint when due. Pure observation: the
+    /// run is unaffected.
+    fn maybe_capture(&mut self, sched: &dyn Scheduler) {
+        if self.checkpoint_at == Some(self.steps) && self.captured.is_none() {
+            self.captured = Some(self.capture(sched));
+        }
+        if let Some(sup) = self.supervision {
+            let due = self.last_checkpoint.is_none()
+                || (self.steps > 0 && self.steps.is_multiple_of(sup.checkpoint_every));
+            // deferred while a recovery is in flight: a checkpoint taken
+            // mid-replay would not cohere with the truncated journals
+            if due && !self.recovery_pending() {
+                let ckpt = self.capture(sched);
+                if let Some(journals) = self.journals.as_mut() {
+                    for (j, cell) in journals.iter_mut().zip(&ckpt.processes) {
+                        // hooked processes restart from the cell plus the
+                        // journal since this point; hookless ones replay
+                        // from genesis, so their journals never truncate
+                        if cell.is_some() {
+                            j.ops.clear();
+                        }
                     }
                 }
+                self.last_checkpoint = Some(ckpt);
             }
         }
-        rounds += 1;
-        if !progressed {
-            return build_report(
-                processes, trace, queues, telemetry, counters, true, steps, rounds,
-            );
+    }
+
+    fn capture(&self, sched: &dyn Scheduler) -> Checkpoint {
+        // A capture at the last slot of a round stores the end-of-round
+        // state: resume refills a fresh round immediately, so the
+        // in-flight round's counter increment would otherwise be lost.
+        let round_done = self.steps > 0 && self.pending.is_empty();
+        Checkpoint {
+            steps: self.steps,
+            rounds: if round_done {
+                self.rounds + 1
+            } else {
+                self.rounds
+            },
+            queues: self.queues.clone(),
+            trace: self.trace.clone(),
+            rng: self.rng.clone(),
+            telemetry: self.telemetry.clone(),
+            counters: self.counters.clone(),
+            processes: self.procs.iter().map(|p| p.snapshot()).collect(),
+            scheduler: sched.snapshot(),
+            pending_round: self.pending.clone(),
+            round_progressed: if round_done {
+                false
+            } else {
+                self.round_progressed
+            },
+        }
+    }
+
+    fn finish_at_bound(&mut self) -> RunReport {
+        if self.recovery_pending() {
+            // part of the history is missing, not merely truncated —
+            // flag it so prefix checks don't mislead
+            return self.build(RunStatus::BudgetExhaustedDuringRecovery);
+        }
+        let probe = probe_quiescent(
+            self.procs,
+            &self.crashed,
+            &mut self.queues,
+            &mut self.trace,
+            &mut self.rng,
+        );
+        if probe && self.links_drained() {
+            self.build(RunStatus::Quiescent)
+        } else {
+            self.build(RunStatus::BudgetExhausted)
+        }
+    }
+
+    fn build(&mut self, status: RunStatus) -> RunReport {
+        let quiescent = status.is_quiescent();
+        let procs: &[Box<dyn Process>] = self.procs;
+        let name_of = |i: usize| procs[i].name().to_owned();
+        let process_reports = procs
+            .iter()
+            .enumerate()
+            .zip(&self.counters)
+            .map(|((i, p), c)| ProcessReport {
+                name: p.name().to_owned(),
+                progress: c.progress,
+                idle: c.idle,
+                max_starved_rounds: c.max_starved,
+                crashed: self.crashed[i] || p.crashed(),
+                restarts: self.restarts[i],
+            })
+            .collect();
+        let channel_reports = self
+            .telemetry
+            .channels
+            .iter()
+            .map(|(c, k)| ChannelReport {
+                chan: *c,
+                sends: k.sends,
+                receives: k.receives,
+                high_water: k.high_water,
+                residual: self.queues.get(c).map_or(0, VecDeque::len),
+                consumer: k.consumer.map(name_of),
+            })
+            .collect();
+        let consumer_violations = self
+            .telemetry
+            .violations
+            .iter()
+            .map(|&(chan, first, second)| ConsumerViolation {
+                chan,
+                first: name_of(first),
+                second: name_of(second),
+            })
+            .collect();
+        let faults = self
+            .telemetry
+            .faults
+            .iter()
+            .map(|(src, e)| FaultRecord {
+                source: match src {
+                    FaultSource::Proc(i) => name_of(*i),
+                    FaultSource::Link(c) => format!("link@{c}"),
+                },
+                event: e.clone(),
+            })
+            .collect();
+        RunReport {
+            trace: Trace::finite(std::mem::take(&mut self.trace)),
+            quiescent,
+            status,
+            steps: self.steps,
+            rounds: self.rounds,
+            processes: process_reports,
+            channels: channel_reports,
+            consumer_violations,
+            faults,
+            recoveries: std::mem::take(&mut self.recoveries),
         }
     }
 }
 
-/// Zero-cost quiescence probe at the step bound: offer every process one
-/// step with telemetry off, then roll the channel state and trace back.
-/// Returns true iff no process could make progress — i.e. the network had
-/// already quiesced when the bound fired.
+/// Zero-cost quiescence probe at the step bound: offer every live process
+/// one step with telemetry off, then roll the channel state and trace
+/// back. Returns true iff no process could make progress — i.e. the
+/// network had already quiesced when the bound fired. Engine-crashed
+/// processes are skipped (they are dead, not idle).
 ///
 /// The rollback restores queues and trace exactly; a process that *did*
 /// progress during the probe may have advanced internal state, which is
@@ -284,6 +933,7 @@ fn run_with_queues(
 /// re-run after hitting the bound).
 fn probe_quiescent(
     processes: &mut [Box<dyn Process>],
+    crashed: &[bool],
     queues: &mut HashMap<Chan, VecDeque<Value>>,
     trace: &mut Vec<Event>,
     rng: &mut StdRng,
@@ -291,13 +941,10 @@ fn probe_quiescent(
     let saved_queues = queues.clone();
     let saved_len = trace.len();
     for (i, p) in processes.iter_mut().enumerate() {
-        let mut ctx = StepCtx {
-            queues,
-            trace,
-            rng,
-            telemetry: None,
-            current: i,
-        };
+        if crashed[i] {
+            continue;
+        }
+        let mut ctx = StepCtx::bare(queues, trace, rng, None, i);
         if p.step(&mut ctx) == StepResult::Progress {
             *queues = saved_queues;
             trace.truncate(saved_len);
@@ -307,63 +954,10 @@ fn probe_quiescent(
     true
 }
 
-#[allow(clippy::too_many_arguments)]
-fn build_report(
-    processes: &[Box<dyn Process>],
-    trace: Vec<Event>,
-    queues: HashMap<Chan, VecDeque<Value>>,
-    telemetry: Telemetry,
-    counters: Vec<ProcCounters>,
-    quiescent: bool,
-    steps: usize,
-    rounds: usize,
-) -> RunReport {
-    let name_of = |i: usize| processes[i].name().to_owned();
-    let process_reports = processes
-        .iter()
-        .zip(&counters)
-        .map(|(p, c)| ProcessReport {
-            name: p.name().to_owned(),
-            progress: c.progress,
-            idle: c.idle,
-            max_starved_rounds: c.max_starved,
-        })
-        .collect();
-    let channel_reports = telemetry
-        .channels
-        .iter()
-        .map(|(c, k)| ChannelReport {
-            chan: *c,
-            sends: k.sends,
-            receives: k.receives,
-            high_water: k.high_water,
-            residual: queues.get(c).map_or(0, VecDeque::len),
-            consumer: k.consumer.map(name_of),
-        })
-        .collect();
-    let consumer_violations = telemetry
-        .violations
-        .iter()
-        .map(|&(chan, first, second)| ConsumerViolation {
-            chan,
-            first: name_of(first),
-            second: name_of(second),
-        })
-        .collect();
-    RunReport {
-        trace: Trace::finite(trace),
-        quiescent,
-        steps,
-        rounds,
-        processes: process_reports,
-        channels: channel_reports,
-        consumer_violations,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{CrashPoint, Fault, LinkFaultSpec};
     use crate::procs::{Apply, Source, Zip2};
     use crate::scheduler::{Adversarial, RandomSched, RoundRobin};
 
@@ -389,6 +983,7 @@ mod tests {
     fn pipeline_quiesces_with_expected_history() {
         let run = pipeline().run(&mut RoundRobin::new(), RunOptions::default());
         assert!(run.quiescent);
+        assert_eq!(run.status, RunStatus::Quiescent);
         assert_eq!(
             run.trace.seq_on(d()).take(10),
             vec![Value::Int(2), Value::Int(4), Value::Int(6)]
@@ -430,6 +1025,7 @@ mod tests {
             },
         );
         assert!(!run.quiescent);
+        assert_eq!(run.status, RunStatus::BudgetExhausted);
         assert_eq!(run.steps, 25);
         assert_eq!(run.trace.seq_on(c()).take(100).len(), 25);
     }
@@ -558,5 +1154,228 @@ mod tests {
         assert_eq!(on_c.consumer.as_deref(), Some("double"));
         assert!(report.single_consumer_ok());
         assert!(report.to_string().contains("process `double`"));
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical() {
+        let full = pipeline().run_report(&mut RoundRobin::new(), RunOptions::default());
+        let (partial, ckpt) =
+            pipeline().run_report_checkpointed(&mut RoundRobin::new(), RunOptions::default(), 3);
+        // capture is pure observation: the checkpointed run is unchanged
+        assert_eq!(partial.trace, full.trace);
+        assert_eq!(partial.steps, full.steps);
+        let ckpt = ckpt.expect("captured at step 3");
+        assert_eq!(ckpt.steps(), 3);
+        assert!(ckpt.is_complete());
+        let mut fresh = pipeline();
+        let mut sched = RoundRobin::new();
+        let resumed = fresh
+            .resume_report(&ckpt, &mut sched, RunOptions::default())
+            .expect("identically built network resumes");
+        assert_eq!(resumed.trace, full.trace);
+        assert_eq!(resumed.steps, full.steps);
+        assert_eq!(resumed.rounds, full.rounds);
+        assert_eq!(resumed.processes, full.processes);
+        assert_eq!(resumed.channels, full.channels);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_networks() {
+        let (_, ckpt) =
+            pipeline().run_report_checkpointed(&mut RoundRobin::new(), RunOptions::default(), 2);
+        let ckpt = ckpt.expect("captured");
+        let mut small = Network::new();
+        small.add(Source::new("env", c(), [Value::Int(1)]));
+        let err = small
+            .resume_report(&ckpt, &mut RoundRobin::new(), RunOptions::default())
+            .expect_err("arity mismatch");
+        assert!(matches!(err, SnapshotError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn supervised_run_recovers_a_crashed_process() {
+        let baseline = pipeline().run_report(&mut RoundRobin::new(), RunOptions::default());
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 2);
+        let report = net.run_supervised(
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+            SupervisorOptions::one_for_one(),
+        );
+        assert!(report.quiescent, "recovered run quiesces:\n{report}");
+        assert_eq!(report.status, RunStatus::Quiescent);
+        assert_eq!(report.trace.seq_on(c()), baseline.trace.seq_on(c()));
+        assert_eq!(report.trace.seq_on(d()), baseline.trace.seq_on(d()));
+        assert_eq!(report.recoveries.len(), 1);
+        let dbl = &report.processes[1];
+        assert_eq!(dbl.restarts, 1);
+        assert!(!dbl.crashed, "recovered, not dead");
+        assert!(report.to_string().contains("recovery:"));
+    }
+
+    #[test]
+    fn supervised_recovery_with_backoff() {
+        let baseline = pipeline().run_report(&mut RoundRobin::new(), RunOptions::default());
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 1);
+        let report = net.run_supervised(
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+            SupervisorOptions::with_backoff(2, 8),
+        );
+        assert!(report.quiescent);
+        assert_eq!(report.trace.seq_on(d()), baseline.trace.seq_on(d()));
+        let rec = &report.recoveries[0];
+        assert!(
+            rec.restart_step >= rec.crash_step,
+            "backoff delays the restart"
+        );
+    }
+
+    #[test]
+    fn escalate_policy_fails_the_run_on_first_crash() {
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 2);
+        let report = net.run_supervised(
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+            SupervisorOptions::escalate(),
+        );
+        assert!(!report.quiescent);
+        assert!(
+            matches!(report.status, RunStatus::Escalated { ref process } if process.contains("double")),
+            "unexpected status {:?}",
+            report.status
+        );
+    }
+
+    #[test]
+    fn restart_budget_escalates_when_exceeded() {
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 2);
+        let report = net.run_supervised(
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+            SupervisorOptions::one_for_one().max_restarts(0),
+        );
+        assert!(matches!(report.status, RunStatus::Escalated { .. }));
+    }
+
+    #[test]
+    fn budget_hit_mid_recovery_reports_distinct_status() {
+        // the fuse fires on `double`'s 2nd progress step — the run's 5th —
+        // so with max_steps == 5 the bound lands while the replay is
+        // still armed
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 2);
+        let report = net.run_supervised(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 5,
+                seed: 0,
+            },
+            SupervisorOptions::one_for_one(),
+        );
+        assert_eq!(report.status, RunStatus::BudgetExhaustedDuringRecovery);
+        assert!(!report.quiescent);
+        // the same bound without supervision is plain exhaustion
+        let mut net = pipeline();
+        net.wrap_crash_at(1, 2);
+        let report = net.run_report(
+            &mut RoundRobin::new(),
+            RunOptions {
+                max_steps: 4,
+                seed: 0,
+            },
+        );
+        assert_eq!(report.status, RunStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn engine_link_drop_convicts_with_named_fault() {
+        let schedule = FaultSchedule {
+            crashes: vec![],
+            links: vec![LinkFaultSpec {
+                chan: c(),
+                fault: Fault::Drop { period: 2 },
+            }],
+        };
+        let report =
+            pipeline().run_report_faulted(&mut RoundRobin::new(), RunOptions::default(), &schedule);
+        assert!(report.quiescent);
+        // message #2 on c is swallowed before it ever reaches the trace
+        assert_eq!(
+            report.trace.seq_on(c()).take(8),
+            vec![Value::Int(1), Value::Int(3)]
+        );
+        assert_eq!(
+            report.trace.seq_on(d()).take(8),
+            vec![Value::Int(2), Value::Int(6)]
+        );
+        let log = report.fault_log();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].source.starts_with("link@"));
+        assert_eq!(log[0].event.value, Value::Int(2));
+    }
+
+    #[test]
+    fn engine_link_delay_is_benign_and_drains() {
+        let schedule = FaultSchedule {
+            crashes: vec![],
+            links: vec![LinkFaultSpec {
+                chan: c(),
+                fault: Fault::Delay { slack: 2 },
+            }],
+        };
+        let baseline = pipeline().run_report(&mut RoundRobin::new(), RunOptions::default());
+        let report =
+            pipeline().run_report_faulted(&mut RoundRobin::new(), RunOptions::default(), &schedule);
+        assert!(report.quiescent, "delayed links drain before quiescence");
+        assert_eq!(report.trace.seq_on(c()), baseline.trace.seq_on(c()));
+        assert_eq!(report.trace.seq_on(d()), baseline.trace.seq_on(d()));
+        assert!(report.fault_log().is_empty());
+    }
+
+    #[test]
+    fn engine_crash_point_recovers_under_supervision() {
+        let baseline = pipeline().run_report(&mut RoundRobin::new(), RunOptions::default());
+        let schedule = FaultSchedule {
+            crashes: vec![CrashPoint {
+                process: 1,
+                at_step: 3,
+            }],
+            links: vec![],
+        };
+        let report = pipeline().run_supervised_faulted(
+            &mut RoundRobin::new(),
+            RunOptions::default(),
+            SupervisorOptions::one_for_one(),
+            &schedule,
+        );
+        assert!(report.quiescent, "recovered:\n{report}");
+        assert_eq!(report.trace.seq_on(c()), baseline.trace.seq_on(c()));
+        assert_eq!(report.trace.seq_on(d()), baseline.trace.seq_on(d()));
+        assert_eq!(report.recoveries.len(), 1);
+        // unsupervised, the same crash loses the tail of d's history
+        let report =
+            pipeline().run_report_faulted(&mut RoundRobin::new(), RunOptions::default(), &schedule);
+        assert!(report.processes[1].crashed);
+        assert!(report.trace.seq_on(d()).take(8).len() < 3);
+    }
+
+    #[test]
+    fn wrap_crash_at_out_of_range_panics() {
+        let mut net = pipeline();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.wrap_crash_at(9, 1);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn channels_and_names_enumerate_the_surface() {
+        let net = pipeline();
+        assert_eq!(net.channels(), vec![c(), d()]);
+        assert_eq!(net.process_names(), vec!["env", "double"]);
     }
 }

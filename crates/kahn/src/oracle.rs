@@ -8,6 +8,7 @@
 //! every window of `bound` bits contains both values — which realizes
 //! fairness on every finite prefix (all a finite computation observes).
 
+use crate::snapshot::StateCell;
 use eqp_trace::Lasso;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -26,6 +27,7 @@ use rand::{RngExt, SeedableRng};
 #[derive(Debug)]
 pub struct Oracle {
     rng: StdRng,
+    seed: u64,
     bound: usize,
     run_value: bool,
     run_len: usize,
@@ -43,6 +45,7 @@ impl Oracle {
         assert!(bound > 0, "alternation bound must be positive");
         Oracle {
             rng: StdRng::seed_from_u64(seed),
+            seed,
             bound,
             run_value: false,
             run_len: 0,
@@ -56,6 +59,7 @@ impl Oracle {
     pub fn scripted(bits: Lasso<bool>) -> Oracle {
         Oracle {
             rng: StdRng::seed_from_u64(0),
+            seed: 0,
             bound: 1,
             run_value: false,
             run_len: 0,
@@ -91,6 +95,55 @@ impl Oracle {
     /// Draws `n` bits.
     pub fn take(&mut self, n: usize) -> Vec<bool> {
         (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Captures the oracle's mutable state — RNG stream position, current
+    /// alternation run, scripted playback position — as a [`StateCell`]
+    /// (for [`Process::snapshot`](crate::Process::snapshot) hooks of
+    /// oracle-driven processes).
+    pub fn snapshot(&self) -> StateCell {
+        StateCell::List(vec![
+            StateCell::Rng(self.rng.clone()),
+            StateCell::Flag(self.run_value),
+            StateCell::Nat(self.run_len as u64),
+            StateCell::Nat(self.fixed.as_ref().map_or(0, |&(_, pos)| pos as u64)),
+        ])
+    }
+
+    /// Restores state captured by [`snapshot`](Oracle::snapshot) on an
+    /// identically constructed oracle. Returns `false` on shape mismatch.
+    pub fn restore(&mut self, state: &StateCell) -> bool {
+        let Some([rng, run_value, run_len, pos]) =
+            state.as_list().and_then(|l| <&[_; 4]>::try_from(l).ok())
+        else {
+            return false;
+        };
+        let (Some(rng), Some(run_value), Some(run_len), Some(pos)) = (
+            rng.as_rng(),
+            run_value.as_flag(),
+            run_len.as_nat(),
+            pos.as_nat(),
+        ) else {
+            return false;
+        };
+        self.rng = rng.clone();
+        self.run_value = run_value;
+        self.run_len = run_len as usize;
+        if let Some((_, p)) = &mut self.fixed {
+            *p = pos as usize;
+        }
+        true
+    }
+
+    /// Rewinds the oracle to its just-constructed state (same seed, same
+    /// script) — the genesis-replay fallback for oracle-driven processes.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.run_value = false;
+        self.run_len = 0;
+        if let Some((_, pos)) = &mut self.fixed {
+            *pos = 0;
+        }
     }
 }
 
@@ -139,5 +192,31 @@ mod tests {
     #[should_panic(expected = "alternation bound")]
     fn zero_bound_rejected() {
         let _ = Oracle::fair(0, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_bit_stream() {
+        let mut live = Oracle::fair(13, 3);
+        let _ = live.take(17);
+        let cell = live.snapshot();
+        let mut fresh = Oracle::fair(13, 3);
+        assert!(fresh.restore(&cell));
+        assert_eq!(fresh.take(64), live.take(64));
+        // scripted oracles restore their playback position
+        let mut s = Oracle::scripted(Lasso::finite(vec![true, false, true]));
+        let _ = s.take(2);
+        let cell = s.snapshot();
+        let mut s2 = Oracle::scripted(Lasso::finite(vec![true, false, true]));
+        assert!(s2.restore(&cell));
+        assert_eq!(s2.take(4), s.take(4));
+    }
+
+    #[test]
+    fn reset_rewinds_to_genesis() {
+        let mut o = Oracle::fair(21, 2);
+        let first = o.take(32);
+        let _ = o.take(100);
+        o.reset();
+        assert_eq!(o.take(32), first);
     }
 }

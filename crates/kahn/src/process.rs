@@ -1,10 +1,13 @@
 //! The process trait and the step context through which processes touch
 //! their channels.
 
+use crate::faults::{EngineLink, FaultEvent};
 use crate::report::Telemetry;
+use crate::snapshot::StateCell;
+use crate::supervisor::{Journal, Op, Replay};
 use eqp_trace::{Chan, Event, Value};
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::{RngCore, RngExt};
 use std::collections::{HashMap, VecDeque};
 
 /// What a process accomplished in one scheduled step.
@@ -26,6 +29,14 @@ pub enum StepResult {
 /// a [`ConsumerViolation`](crate::report::ConsumerViolation) — the
 /// runtime backstop for processes that don't declare
 /// [`Process::inputs`].
+///
+/// Under a supervised run ([`crate::supervisor`]) the context journals
+/// every observation a process makes (queue depths, peeks, pops, RNG
+/// draws) and every send; after a crash the journal is replayed to the
+/// restored process so its re-execution is deterministic even though the
+/// rest of the network moved on. Engine-interposed faulty links
+/// ([`crate::faults::FaultSchedule`]) intercept sends on their channel.
+/// None of this machinery is active — or paid for — in bare runs.
 pub struct StepCtx<'a> {
     pub(crate) queues: &'a mut HashMap<Chan, VecDeque<Value>>,
     pub(crate) trace: &'a mut Vec<Event>,
@@ -36,12 +47,57 @@ pub struct StepCtx<'a> {
     /// Index of the process currently being stepped (for consumer
     /// attribution).
     pub(crate) current: usize,
+    /// Observation journal for the current process (supervised runs
+    /// only; `None` while its replay is active).
+    pub(crate) journal: Option<&'a mut Journal>,
+    /// Replay buffer for the current process — set while it re-executes
+    /// its journaled history after a restart.
+    pub(crate) replay: Option<&'a mut Replay>,
+    /// Engine-interposed faulty links (chaos schedules only).
+    pub(crate) links: Option<&'a mut [EngineLink]>,
 }
 
-impl StepCtx<'_> {
+impl<'a> StepCtx<'a> {
+    /// A context with no supervision or fault machinery attached (the
+    /// bare-run configuration).
+    pub(crate) fn bare(
+        queues: &'a mut HashMap<Chan, VecDeque<Value>>,
+        trace: &'a mut Vec<Event>,
+        rng: &'a mut StdRng,
+        telemetry: Option<&'a mut Telemetry>,
+        current: usize,
+    ) -> StepCtx<'a> {
+        StepCtx {
+            queues,
+            trace,
+            rng,
+            telemetry,
+            current,
+            journal: None,
+            replay: None,
+            links: None,
+        }
+    }
+
     /// Number of messages waiting on `c`.
-    pub fn available(&self, c: Chan) -> usize {
-        self.queues.get(&c).map_or(0, VecDeque::len)
+    ///
+    /// Journaled as an observation under supervision: during replay the
+    /// recorded depth is served instead of the live one, so a restored
+    /// process re-takes exactly the branches it took before the crash.
+    pub fn available(&mut self, c: Chan) -> usize {
+        if let Some(r) = self.replay.as_deref_mut() {
+            if let Some(op) = r.ops.pop_front() {
+                match op {
+                    Op::Available(rc, n) if rc == c => return n,
+                    other => replay_diverged("available", c, &other),
+                }
+            }
+        }
+        let n = self.queues.get(&c).map_or(0, VecDeque::len);
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.ops.push(Op::Available(c, n));
+        }
+        n
     }
 
     /// Looks at the `i`-th waiting message on `c` without consuming it.
@@ -49,7 +105,19 @@ impl StepCtx<'_> {
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.note_consumer(c, self.current);
         }
-        self.queues.get(&c).and_then(|q| q.get(i)).copied()
+        if let Some(r) = self.replay.as_deref_mut() {
+            if let Some(op) = r.ops.pop_front() {
+                match op {
+                    Op::Peek(rc, ri, v) if rc == c && ri == i => return v,
+                    other => replay_diverged("peek", c, &other),
+                }
+            }
+        }
+        let v = self.queues.get(&c).and_then(|q| q.get(i)).copied();
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.ops.push(Op::Peek(c, i, v));
+        }
+        v
     }
 
     /// Consumes the head message of `c`.
@@ -57,31 +125,76 @@ impl StepCtx<'_> {
         if let Some(t) = self.telemetry.as_deref_mut() {
             t.note_consumer(c, self.current);
         }
+        if let Some(r) = self.replay.as_deref_mut() {
+            if let Some(op) = r.ops.pop_front() {
+                match op {
+                    Op::Pop(rc, expected) if rc == c => {
+                        if expected.is_some() {
+                            // the journaled value was re-queued at restart;
+                            // consume it again (metering already counted it
+                            // the first time around)
+                            let live = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
+                            assert!(
+                                live == expected,
+                                "deterministic replay diverged: pop({c}) journaled {expected:?} \
+                                 but the queue offered {live:?}"
+                            );
+                        }
+                        return expected;
+                    }
+                    other => replay_diverged("pop", c, &other),
+                }
+            }
+        }
         let v = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
         if v.is_some() {
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.note_receive(c);
             }
         }
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.ops.push(Op::Pop(c, v));
+        }
         v
     }
 
     /// Sends `v` along `c`: appended to the global trace and to `c`'s
-    /// queue for its consumer.
+    /// queue for its consumer. If a chaos schedule interposes a faulty
+    /// link on `c`, the message passes through the link instead (and may
+    /// be dropped, duplicated, or buffered for later release).
     pub fn send(&mut self, c: Chan, v: Value) {
-        self.trace.push(Event::new(c, v));
-        let q = self.queues.entry(c).or_default();
-        q.push_back(v);
-        let depth = q.len();
-        if let Some(t) = self.telemetry.as_deref_mut() {
-            t.note_send(c, depth);
+        if let Some(r) = self.replay.as_deref_mut() {
+            if let Some(op) = r.ops.pop_front() {
+                match op {
+                    // Re-emitted sends were already delivered (trace, queue
+                    // and telemetry) before the crash: suppress.
+                    Op::Sent(rc, rv) if rc == c && rv == v => return,
+                    other => replay_diverged("send", c, &other),
+                }
+            }
         }
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.ops.push(Op::Sent(c, v));
+        }
+        if let Some(links) = self.links.as_deref_mut() {
+            if let Some(link) = links.iter_mut().find(|l| l.chan() == c) {
+                let (deliveries, event) = link.on_send(v);
+                if let (Some(t), Some(e)) = (self.telemetry.as_deref_mut(), event) {
+                    t.note_link_fault(c, e);
+                }
+                for d in deliveries {
+                    raw_send(self.queues, self.trace, self.telemetry.as_deref_mut(), c, d);
+                }
+                return;
+            }
+        }
+        raw_send(self.queues, self.trace, self.telemetry.as_deref_mut(), c, v);
     }
 
     /// A nondeterministic coin flip (seeded at the network level, so runs
     /// are reproducible).
     pub fn flip(&mut self) -> bool {
-        self.rng.random_bool(0.5)
+        JournaledRng { ctx: self }.random_bool(0.5)
     }
 
     /// A nondeterministic choice in `0..n`.
@@ -91,7 +204,73 @@ impl StepCtx<'_> {
     /// Panics if `n == 0`.
     pub fn choose(&mut self, n: usize) -> usize {
         assert!(n > 0, "choose(0)");
-        self.rng.random_range(0..n)
+        JournaledRng { ctx: self }.random_range(0..n)
+    }
+
+    /// Reports an injected fault event (used by [`crate::FaultyLink`] and
+    /// available to custom fault processes) so convicting runs can name
+    /// the exact perturbations alongside the violated equation — see
+    /// [`RunReport::fault_log`](crate::RunReport::fault_log).
+    pub fn note_fault(&mut self, event: FaultEvent) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.note_proc_fault(self.current, event);
+        }
+    }
+
+    /// One raw RNG word: served from the replay buffer after a restart,
+    /// journaled under supervision, drawn live otherwise.
+    fn next_word(&mut self) -> u64 {
+        if let Some(r) = self.replay.as_deref_mut() {
+            if let Some(op) = r.ops.pop_front() {
+                match op {
+                    Op::Draw(w) => return w,
+                    other => replay_diverged("rng draw", Chan::new(0), &other),
+                }
+            }
+        }
+        let w = self.rng.next_u64();
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.ops.push(Op::Draw(w));
+        }
+        w
+    }
+}
+
+/// Delivers `v` on `c` for real: trace event, queue append, telemetry.
+pub(crate) fn raw_send(
+    queues: &mut HashMap<Chan, VecDeque<Value>>,
+    trace: &mut Vec<Event>,
+    telemetry: Option<&mut Telemetry>,
+    c: Chan,
+    v: Value,
+) {
+    trace.push(Event::new(c, v));
+    let q = queues.entry(c).or_default();
+    q.push_back(v);
+    let depth = q.len();
+    if let Some(t) = telemetry {
+        t.note_send(c, depth);
+    }
+}
+
+#[cold]
+fn replay_diverged(what: &str, c: Chan, got: &Op) -> ! {
+    panic!(
+        "deterministic replay diverged at {what} on {c}: the restored process \
+         performed a different operation than its journal records ({got:?}); \
+         the process is not deterministic given its observations"
+    )
+}
+
+/// Adapter routing `RngExt` sampling through the journaled word stream,
+/// so rejection sampling draws the same number of words on replay.
+struct JournaledRng<'a, 'b> {
+    ctx: &'b mut StepCtx<'a>,
+}
+
+impl RngCore for JournaledRng<'_, '_> {
+    fn next_u64(&mut self) -> u64 {
+        self.ctx.next_word()
     }
 }
 
@@ -102,6 +281,15 @@ impl StepCtx<'_> {
 /// most one input and/or emit at most one output) and report whether it
 /// made progress; the network detects quiescence when every process
 /// reports [`StepResult::Idle`] in a full round.
+///
+/// # Supervision hooks
+///
+/// The five defaulted methods below opt a process into the checkpointed
+/// supervision runtime ([`crate::snapshot`], [`crate::supervisor`]). All
+/// defaults are safe no-ops: a process that implements none of them still
+/// runs everywhere, but cannot be checkpointed and can only be recovered
+/// by the supervisor if it supports [`reset`](Process::reset)
+/// (replay-from-genesis).
 pub trait Process {
     /// Diagnostic name.
     fn name(&self) -> &str;
@@ -124,6 +312,86 @@ pub trait Process {
 
     /// Performs one step against the channel context.
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult;
+
+    /// Captures the process's *mutable* state as a [`StateCell`] —
+    /// positions, buffers, flags, private RNGs — never construction-time
+    /// constants. Stateless processes should return
+    /// `Some(StateCell::Unit)`; the default `None` marks the process as
+    /// un-checkpointable.
+    fn snapshot(&self) -> Option<StateCell> {
+        None
+    }
+
+    /// Restores state previously captured by [`snapshot`](Process::snapshot)
+    /// on an *identically constructed* process. Returns `false` if the
+    /// cell does not have the expected shape (or the hook is unsupported,
+    /// the default).
+    fn restore(&mut self, state: &StateCell) -> bool {
+        let _ = state;
+        false
+    }
+
+    /// Resets the process to its just-constructed (genesis) state.
+    /// Enables the supervisor's replay-from-genesis fallback for
+    /// processes without snapshot hooks; also used to model the state
+    /// loss of a crash. Returns `false` if unsupported (the default).
+    fn reset(&mut self) -> bool {
+        false
+    }
+
+    /// True iff the process has crashed and will never progress again on
+    /// its own (see [`crate::CrashAt`]). The runtime polls this to feed
+    /// the per-process `crashed` flag in [`RunReport`](crate::RunReport)
+    /// and to trigger supervised recovery.
+    fn crashed(&self) -> bool {
+        false
+    }
+
+    /// Revives the process after a crash (called by the supervisor after
+    /// state restoration; [`crate::CrashAt`] uses it to defuse its fuel).
+    /// Returns `false` if the process cannot be revived. The default
+    /// succeeds: an externally crashed process needs no cooperation.
+    fn restart(&mut self) -> bool {
+        true
+    }
+}
+
+impl<P: Process + ?Sized> Process for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        (**self).inputs()
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        (**self).outputs()
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        (**self).step(ctx)
+    }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        (**self).restore(state)
+    }
+
+    fn reset(&mut self) -> bool {
+        (**self).reset()
+    }
+
+    fn crashed(&self) -> bool {
+        (**self).crashed()
+    }
+
+    fn restart(&mut self) -> bool {
+        (**self).restart()
+    }
 }
 
 #[cfg(test)]
@@ -138,13 +406,7 @@ mod tests {
     #[test]
     fn send_records_and_queues() {
         let (mut q, mut t, mut r) = ctx_parts();
-        let mut ctx = StepCtx {
-            queues: &mut q,
-            trace: &mut t,
-            rng: &mut r,
-            telemetry: None,
-            current: 0,
-        };
+        let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
         let c = Chan::new(0);
         ctx.send(c, Value::Int(1));
         ctx.send(c, Value::Int(2));
@@ -158,13 +420,7 @@ mod tests {
     #[test]
     fn pop_empty_is_none() {
         let (mut q, mut t, mut r) = ctx_parts();
-        let mut ctx = StepCtx {
-            queues: &mut q,
-            trace: &mut t,
-            rng: &mut r,
-            telemetry: None,
-            current: 0,
-        };
+        let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
         assert_eq!(ctx.pop(Chan::new(3)), None);
         assert_eq!(ctx.peek(Chan::new(3), 0), None);
         assert_eq!(ctx.available(Chan::new(3)), 0);
@@ -173,13 +429,7 @@ mod tests {
     #[test]
     fn rng_choices_in_range() {
         let (mut q, mut t, mut r) = ctx_parts();
-        let mut ctx = StepCtx {
-            queues: &mut q,
-            trace: &mut t,
-            rng: &mut r,
-            telemetry: None,
-            current: 0,
-        };
+        let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
         for _ in 0..50 {
             assert!(ctx.choose(3) < 3);
             let _ = ctx.flip();
@@ -192,25 +442,13 @@ mod tests {
         let mut tel = Telemetry::default();
         let c = Chan::new(5);
         {
-            let mut ctx = StepCtx {
-                queues: &mut q,
-                trace: &mut t,
-                rng: &mut r,
-                telemetry: Some(&mut tel),
-                current: 0,
-            };
+            let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, Some(&mut tel), 0);
             ctx.send(c, Value::Int(1));
             ctx.send(c, Value::Int(2));
             assert_eq!(ctx.pop(c), Some(Value::Int(1)));
         }
         {
-            let mut ctx = StepCtx {
-                queues: &mut q,
-                trace: &mut t,
-                rng: &mut r,
-                telemetry: Some(&mut tel),
-                current: 1,
-            };
+            let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, Some(&mut tel), 1);
             assert_eq!(ctx.pop(c), Some(Value::Int(2)));
             // repeated reads by the same offender stay deduplicated
             assert_eq!(ctx.pop(c), None);
@@ -221,5 +459,84 @@ mod tests {
         assert_eq!(counters.high_water, 2);
         assert_eq!(counters.consumer, Some(0));
         assert_eq!(tel.violations, vec![(c, 0, 1)]);
+    }
+
+    #[test]
+    fn journal_records_observations_and_replay_serves_them() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let c = Chan::new(9);
+        q.entry(c).or_default().push_back(Value::Int(4));
+        let mut journal = Journal::default();
+        let (word, flipped) = {
+            let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
+            ctx.journal = Some(&mut journal);
+            assert_eq!(ctx.available(c), 1);
+            assert_eq!(ctx.pop(c), Some(Value::Int(4)));
+            ctx.send(c, Value::Int(8));
+            let f = ctx.flip();
+            let w = match journal_last_draw(&journal) {
+                Some(w) => w,
+                None => panic!("flip must journal its word"),
+            };
+            (w, f)
+        };
+        assert!(journal.ops.len() >= 4);
+        // replay: re-queue the popped value, then serve every op back
+        q.get_mut(&c).expect("queued").push_front(Value::Int(4));
+        let mut replay = Replay::from_journal(&journal);
+        {
+            let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
+            ctx.replay = Some(&mut replay);
+            assert_eq!(ctx.available(c), 1);
+            assert_eq!(ctx.pop(c), Some(Value::Int(4)));
+            ctx.send(c, Value::Int(8)); // suppressed: no new trace event
+            assert_eq!(ctx.flip(), flipped);
+        }
+        assert!(replay.ops.is_empty(), "replay fully consumed");
+        assert_eq!(t.len(), 1, "the replayed send is suppressed");
+        let _ = word;
+    }
+
+    fn journal_last_draw(j: &Journal) -> Option<u64> {
+        j.ops.iter().rev().find_map(|op| match op {
+            Op::Draw(w) => Some(*w),
+            _ => None,
+        })
+    }
+
+    #[test]
+    #[should_panic(expected = "deterministic replay diverged")]
+    fn replay_divergence_is_loud() {
+        let (mut q, mut t, mut r) = ctx_parts();
+        let c = Chan::new(2);
+        let mut journal = Journal::default();
+        journal.ops.push(Op::Available(c, 3));
+        let mut replay = Replay::from_journal(&journal);
+        let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
+        ctx.replay = Some(&mut replay);
+        let _ = ctx.pop(c); // journal says `available`, process does `pop`
+    }
+
+    #[test]
+    fn default_hooks_are_inert() {
+        struct Plain;
+        impl Process for Plain {
+            fn name(&self) -> &str {
+                "plain"
+            }
+            fn step(&mut self, _: &mut StepCtx<'_>) -> StepResult {
+                StepResult::Idle
+            }
+        }
+        let mut p = Plain;
+        assert!(p.snapshot().is_none());
+        assert!(!p.restore(&StateCell::Unit));
+        assert!(!p.reset());
+        assert!(!p.crashed());
+        assert!(p.restart());
+        // the blanket Box impl forwards
+        let b: Box<dyn Process> = Box::new(Plain);
+        assert!(b.snapshot().is_none());
+        assert!(!b.crashed());
     }
 }

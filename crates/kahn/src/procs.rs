@@ -3,6 +3,7 @@
 
 use crate::oracle::Oracle;
 use crate::process::{Process, StepCtx, StepResult};
+use crate::snapshot::StateCell;
 use eqp_trace::{Chan, Lasso, Value};
 
 /// Emits a fixed (finite or eventually periodic) sequence on a channel,
@@ -54,6 +55,25 @@ impl Process for Source {
             }
             None => StepResult::Idle,
         }
+    }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Nat(self.pos as u64))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        match state.as_nat() {
+            Some(n) => {
+                self.pos = n as usize;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.pos = 0;
+        true
     }
 }
 
@@ -114,6 +134,22 @@ impl Process for Apply {
             }
             None => StepResult::Idle,
         }
+    }
+
+    // `Apply` holds no mutable state of its own: the closure is assumed
+    // stateless (all constructors used by the paper's networks are — the
+    // affine maps capture only immutable coefficients). A stateful closure
+    // should use a bespoke process with real hooks instead.
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Unit)
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        matches!(state, StateCell::Unit)
+    }
+
+    fn reset(&mut self) -> bool {
+        true
     }
 }
 
@@ -180,6 +216,25 @@ impl Process for Copy {
             None => StepResult::Idle,
         }
     }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Nat(self.sent_prelude as u64))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        match state.as_nat() {
+            Some(n) => {
+                self.sent_prelude = n as usize;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.sent_prelude = 0;
+        true
+    }
 }
 
 /// An oracle-driven two-way merge: when both inputs have messages the
@@ -240,6 +295,19 @@ impl Process for Merge2 {
         ctx.send(self.output, v);
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(self.oracle.snapshot())
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        self.oracle.restore(state)
+    }
+
+    fn reset(&mut self) -> bool {
+        self.oracle.reset();
+        true
+    }
 }
 
 /// A unit-delay buffer: emits `initial` values first, then copies input
@@ -296,6 +364,23 @@ impl Process for Delay {
             None => StepResult::Idle,
         }
     }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Values(self.initial.iter().copied().collect()))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        match state.as_values() {
+            Some(vs) => {
+                self.initial = vs.iter().copied().collect();
+                true
+            }
+            None => false,
+        }
+    }
+    // no `reset`: the constructor-time `initial` buffer is consumed by
+    // stepping, so a Delay cannot rewind to genesis without remembering
+    // it — snapshot/restore is the supported recovery path.
 }
 
 /// A pointwise binary worker: pops one value from each input (waiting
@@ -358,6 +443,19 @@ impl Process for Zip2 {
         } else {
             StepResult::Idle
         }
+    }
+
+    // Stateless apart from its (assumed-stateless) closure, like `Apply`.
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Unit)
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        matches!(state, StateCell::Unit)
+    }
+
+    fn reset(&mut self) -> bool {
+        true
     }
 }
 
@@ -487,6 +585,37 @@ mod tests {
         // round-robin arrival the first contested pick goes right (F).
         assert_eq!(out.len(), 3);
         assert_eq!(out.iter().filter(|v| v.is_odd_int()).count(), 1);
+    }
+
+    #[test]
+    fn stdlib_processes_snapshot_and_restore() {
+        let (b, c, _) = chans();
+        // Source: position survives the roundtrip
+        let mut s = Source::new("s", c, [Value::Int(1), Value::Int(2), Value::Int(3)]);
+        s.pos = 2;
+        let cell = s.snapshot().unwrap();
+        let mut s2 = Source::new("s", c, [Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert!(s2.restore(&cell));
+        assert_eq!(s2.pos, 2);
+        assert!(s2.reset() && s2.pos == 0);
+        assert!(!s2.restore(&StateCell::Unit));
+        // Copy: prelude progress survives
+        let mut k = Copy::with_prelude("k", b, c, [Value::Int(0), Value::Int(0)]);
+        k.sent_prelude = 1;
+        let cell = k.snapshot().unwrap();
+        let mut k2 = Copy::with_prelude("k", b, c, [Value::Int(0), Value::Int(0)]);
+        assert!(k2.restore(&cell));
+        assert_eq!(k2.sent_prelude, 1);
+        // Delay: the remaining buffer is the state
+        let d = Delay::new("d", b, c, [Value::Int(9)]);
+        let cell = d.snapshot().unwrap();
+        let mut d2 = Delay::new("d", b, c, []);
+        assert!(d2.restore(&cell));
+        assert_eq!(d2.initial.len(), 1);
+        assert!(!d2.reset(), "Delay cannot rewind to genesis");
+        // Merge2 defers to its oracle
+        let m = Merge2::new("m", b, c, c, Oracle::fair(5, 2));
+        assert!(m.snapshot().is_some());
     }
 
     #[test]

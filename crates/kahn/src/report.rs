@@ -1,20 +1,87 @@
 //! Structured run telemetry: what each process and channel did during a
-//! run, who the bottleneck was, and whether the single-consumer
-//! discipline held at runtime.
+//! run, who the bottleneck was, whether the single-consumer discipline
+//! held at runtime, which faults were injected, and how crashed
+//! processes were recovered.
 //!
 //! [`RunReport`] extends the minimal [`RunResult`]
-//! (trace + quiescence + step count) with per-process progress/idle
+//! (trace + status + step count) with per-process progress/idle
 //! counters, starvation streaks (a process repeatedly offered a step
 //! while input waits on one of its declared channels, yet reporting
-//! idle), per-channel send/receive counts and queue-depth high-water
-//! marks, and runtime-detected single-consumer violations — the
-//! operational observability layer the paper's quiescent-trace semantics
-//! leaves implicit.
+//! idle), crash flags and restart counts, per-channel send/receive
+//! counts and queue-depth high-water marks, runtime-detected
+//! single-consumer violations, the [`fault_log`](RunReport::fault_log)
+//! of injected perturbations, and the supervisor's
+//! [`recoveries`](RunReport::recoveries) — the operational observability
+//! layer the paper's quiescent-trace semantics leaves implicit.
 
+use crate::faults::FaultEvent;
 use crate::network::RunResult;
+use crate::supervisor::RecoveryRecord;
 use eqp_trace::{Chan, Trace};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The network quiesced: no process could make further progress (the
+    /// step bound is probed, so a network that quiesces in exactly
+    /// `max_steps` steps still counts).
+    Quiescent,
+    /// The step bound cut the run short.
+    BudgetExhausted,
+    /// The step bound fired while at least one crashed process was still
+    /// awaiting or performing recovery — the run is *not* a truncated
+    /// quiescent prefix of the original network (part of its history is
+    /// simply missing), so conformance prefix checks against it would be
+    /// misleading.
+    BudgetExhaustedDuringRecovery,
+    /// A crash escalated: the policy forbids restarts, the process
+    /// exceeded its restart budget, or its state could not be restored.
+    Escalated {
+        /// Name of the process whose crash escalated.
+        process: String,
+    },
+}
+
+impl RunStatus {
+    /// True iff the run quiesced.
+    pub fn is_quiescent(&self) -> bool {
+        matches!(self, RunStatus::Quiescent)
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunStatus::Quiescent => f.write_str("quiescent"),
+            RunStatus::BudgetExhausted => f.write_str("step bound hit"),
+            RunStatus::BudgetExhaustedDuringRecovery => f.write_str("step bound hit mid-recovery"),
+            RunStatus::Escalated { process } => {
+                write!(f, "escalated (`{process}` crashed and was not recovered)")
+            }
+        }
+    }
+}
+
+/// One injected fault event attributed to its source — a
+/// [`FaultyLink`](crate::FaultyLink) process by name, or an
+/// engine-interposed link from a chaos
+/// [`FaultSchedule`](crate::faults::FaultSchedule).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Diagnostic name of the injector (process name, or `link@<chan>`
+    /// for engine-interposed links).
+    pub source: String,
+    /// What was injected.
+    pub event: FaultEvent,
+}
+
+impl fmt::Display for FaultRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} by `{}`", self.event, self.source)
+    }
+}
 
 /// Telemetry for one process over a whole run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +98,14 @@ pub struct ProcessReport {
     /// that declare no [`inputs`](crate::Process::inputs) always report
     /// zero.
     pub max_starved_rounds: usize,
+    /// True iff the process ended the run crashed (reported by
+    /// [`Process::crashed`](crate::Process::crashed) or killed by an
+    /// engine [`CrashPoint`](crate::faults::CrashPoint) and never
+    /// restarted) — distinguishing a dead process from a merely starved
+    /// or finished one.
+    pub crashed: bool,
+    /// Times the supervisor restarted this process.
+    pub restarts: usize,
 }
 
 /// Telemetry for one channel over a whole run.
@@ -76,15 +151,17 @@ impl fmt::Display for ConsumerViolation {
 }
 
 /// The full structured result of a network run: the [`RunResult`] fields
-/// plus per-process and per-channel telemetry.
+/// plus per-process and per-channel telemetry, injected faults, and
+/// recoveries.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// The communication history: every send, in global order.
     pub trace: Trace,
-    /// True iff the network quiesced — no process could make further
-    /// progress (the step bound is probed, so a network that quiesces in
-    /// exactly `max_steps` steps still reports `true`).
+    /// True iff the network quiesced — the boolean view of
+    /// [`status`](RunReport::status), kept for ergonomic checks.
     pub quiescent: bool,
+    /// How the run ended.
+    pub status: RunStatus,
     /// Progress-making steps performed.
     pub steps: usize,
     /// Scheduler rounds completed.
@@ -96,6 +173,11 @@ pub struct RunReport {
     /// Runtime single-consumer violations, in detection order (at most
     /// one per ordered reader pair per channel).
     pub consumer_violations: Vec<ConsumerViolation>,
+    /// Every injected fault event, in injection order, attributed to its
+    /// source.
+    pub faults: Vec<FaultRecord>,
+    /// Every completed supervisor recovery, in completion order.
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 impl RunReport {
@@ -104,6 +186,7 @@ impl RunReport {
         RunResult {
             trace: self.trace,
             quiescent: self.quiescent,
+            status: self.status,
             steps: self.steps,
         }
     }
@@ -113,6 +196,7 @@ impl RunReport {
         RunResult {
             trace: self.trace.clone(),
             quiescent: self.quiescent,
+            status: self.status.clone(),
             steps: self.steps,
         }
     }
@@ -130,15 +214,22 @@ impl RunReport {
             .collect()
     }
 
-    /// The bottleneck: the process with the longest starvation streak
-    /// (ties broken towards more idle steps). `None` when no process was
-    /// ever starved — an idle process without waiting input is merely
-    /// done, not stuck.
+    /// Every injected fault event, in injection order — a convicting run
+    /// names the exact perturbations alongside the violated equation.
+    pub fn fault_log(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    /// The bottleneck: among processes that idled with input waiting,
+    /// crashed ones first (a dead process with queued input *is* the
+    /// blockage), then the longest starvation streak, ties broken towards
+    /// more idle steps. `None` when no process was ever starved — an idle
+    /// process without waiting input is merely done, not stuck.
     pub fn bottleneck(&self) -> Option<&ProcessReport> {
         self.processes
             .iter()
             .filter(|p| p.max_starved_rounds > 0)
-            .max_by_key(|p| (p.max_starved_rounds, p.idle))
+            .max_by_key(|p| (p.crashed, p.max_starved_rounds, p.idle))
     }
 
     /// True iff no runtime single-consumer violation was observed.
@@ -152,13 +243,7 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "run: {} after {} steps in {} rounds",
-            if self.quiescent {
-                "quiescent"
-            } else {
-                "step bound hit"
-            },
-            self.steps,
-            self.rounds
+            self.status, self.steps, self.rounds
         )?;
         for p in &self.processes {
             write!(
@@ -168,6 +253,12 @@ impl fmt::Display for RunReport {
             )?;
             if p.max_starved_rounds > 0 {
                 write!(f, " (starved ≤ {} rounds)", p.max_starved_rounds)?;
+            }
+            if p.restarts > 0 {
+                write!(f, " (restarted {}×)", p.restarts)?;
+            }
+            if p.crashed {
+                write!(f, " [CRASHED]")?;
             }
             writeln!(f)?;
         }
@@ -183,12 +274,23 @@ impl fmt::Display for RunReport {
             }
         }
         match self.bottleneck() {
+            Some(p) if p.crashed => writeln!(
+                f,
+                "  bottleneck: `{}` crashed with input waiting ({} rounds)",
+                p.name, p.max_starved_rounds
+            )?,
             Some(p) => writeln!(
                 f,
                 "  bottleneck: `{}` starved for {} consecutive rounds with input waiting",
                 p.name, p.max_starved_rounds
             )?,
             None => writeln!(f, "  bottleneck: none")?,
+        }
+        for r in &self.recoveries {
+            writeln!(f, "  recovery: {r}")?;
+        }
+        for rec in &self.faults {
+            writeln!(f, "  fault: {rec}")?;
         }
         for v in &self.consumer_violations {
             writeln!(f, "  WARNING: {v}")?;
@@ -208,12 +310,28 @@ pub(crate) struct ChannelCounters {
     pub(crate) consumer: Option<usize>,
 }
 
+/// Who injected a fault event (resolved to a name when the report is
+/// built).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultSource {
+    /// The process at this index (a [`FaultyLink`](crate::FaultyLink) or
+    /// custom fault process calling
+    /// [`StepCtx::note_fault`](crate::StepCtx::note_fault)).
+    Proc(usize),
+    /// An engine-interposed link on this channel.
+    Link(Chan),
+}
+
 /// Run-wide telemetry accumulator threaded through [`crate::StepCtx`].
-#[derive(Debug, Default)]
+/// `Clone` so a [`Checkpoint`](crate::snapshot::Checkpoint) can carry the
+/// meters mid-run.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Telemetry {
     pub(crate) channels: BTreeMap<Chan, ChannelCounters>,
     /// `(chan, first reader index, second reader index)` — deduplicated.
     pub(crate) violations: Vec<(Chan, usize, usize)>,
+    /// Injected fault events, in injection order.
+    pub(crate) faults: Vec<(FaultSource, FaultEvent)>,
 }
 
 impl Telemetry {
@@ -253,5 +371,15 @@ impl Telemetry {
     pub(crate) fn note_preload(&mut self, c: Chan, depth: usize) {
         let counters = self.channels.entry(c).or_default();
         counters.high_water = counters.high_water.max(depth);
+    }
+
+    /// Records a fault injected by the process at index `who`.
+    pub(crate) fn note_proc_fault(&mut self, who: usize, event: FaultEvent) {
+        self.faults.push((FaultSource::Proc(who), event));
+    }
+
+    /// Records a fault injected by the engine-interposed link on `c`.
+    pub(crate) fn note_link_fault(&mut self, c: Chan, event: FaultEvent) {
+        self.faults.push((FaultSource::Link(c), event));
     }
 }

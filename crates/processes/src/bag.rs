@@ -92,6 +92,25 @@ impl Process for BagProc {
         ctx.send(D, v);
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Values(self.held.clone()))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_values() {
+            Some(vs) => {
+                self.held = vs.to_vec();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.held.clear();
+        true
+    }
 }
 
 /// A bag fed with the given inputs.

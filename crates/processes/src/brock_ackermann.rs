@@ -118,6 +118,34 @@ impl Process for ProcA {
         ctx.send(C, v);
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::List(vec![
+            eqp_kahn::StateCell::Values(self.pending.iter().cloned().collect()),
+            self.oracle.snapshot(),
+        ]))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        let Some([pending, oracle]) = state.as_list().and_then(|l| <&[_; 2]>::try_from(l).ok())
+        else {
+            return false;
+        };
+        let Some(vs) = pending.as_values() else {
+            return false;
+        };
+        if !self.oracle.restore(oracle) {
+            return false;
+        }
+        self.pending = vs.iter().cloned().collect();
+        true
+    }
+
+    fn reset(&mut self) -> bool {
+        self.pending = [Value::Int(0), Value::Int(2)].into_iter().collect();
+        self.oracle.reset();
+        true
+    }
 }
 
 /// Operational process B: answers `first + 1` after two inputs.
@@ -158,6 +186,44 @@ impl Process for ProcB {
             }
             _ => StepResult::Idle,
         }
+    }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::List(vec![
+            eqp_kahn::StateCell::Flag(self.first.is_some()),
+            eqp_kahn::StateCell::Int(self.first.unwrap_or(0)),
+            eqp_kahn::StateCell::Nat(self.seen as u64),
+            eqp_kahn::StateCell::Flag(self.answered),
+        ]))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        let Some([has_first, first, seen, answered]) =
+            state.as_list().and_then(|l| <&[_; 4]>::try_from(l).ok())
+        else {
+            return false;
+        };
+        match (
+            has_first.as_flag(),
+            first.as_int(),
+            seen.as_nat(),
+            answered.as_flag(),
+        ) {
+            (Some(h), Some(f), Some(s), Some(a)) => {
+                self.first = h.then_some(f);
+                self.seen = s as usize;
+                self.answered = a;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.first = None;
+        self.seen = 0;
+        self.answered = false;
+        true
     }
 }
 

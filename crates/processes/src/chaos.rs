@@ -66,6 +66,25 @@ impl Process for ChaosProc {
         ctx.send(B, Value::Int(v));
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Flag(self.halted))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_flag() {
+            Some(h) => {
+                self.halted = h;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.halted = false;
+        true
+    }
 }
 
 #[cfg(test)]

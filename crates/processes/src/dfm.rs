@@ -148,6 +148,25 @@ impl Process for ProcP {
             _ => StepResult::Idle,
         }
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Flag(self.sent_zero))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_flag() {
+            Some(s) => {
+                self.sent_zero = s;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.sent_zero = false;
+        true
+    }
 }
 
 /// The operational Section 2.3 network: P, Q, and an oracle-driven dfm.
@@ -231,6 +250,27 @@ impl Process for StrictMerge {
             None => StepResult::Idle,
         }
     }
+
+    // the schedule itself is constructor-time immutable; only the cursor
+    // moves.
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Nat(self.pos as u64))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_nat() {
+            Some(n) => {
+                self.pos = n as usize;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.pos = 0;
+        true
+    }
 }
 
 /// The Section 2.3 network with the strict scripted merge instead of the
@@ -274,6 +314,18 @@ impl Process for Fanout {
             }
             None => StepResult::Idle,
         }
+    }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Unit)
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        matches!(state, eqp_kahn::StateCell::Unit)
+    }
+
+    fn reset(&mut self) -> bool {
+        true
     }
 }
 

@@ -63,6 +63,19 @@ impl Process for FairRandomProc {
         ctx.send(C, Value::Bit(b));
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(self.oracle.snapshot())
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        self.oracle.restore(state)
+    }
+
+    fn reset(&mut self) -> bool {
+        self.oracle.reset();
+        true
+    }
 }
 
 /// The emitter as a one-process network.

@@ -93,6 +93,33 @@ impl Process for FiniteTicksProc {
             StepResult::Idle
         }
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::List(vec![
+            self.oracle.snapshot(),
+            eqp_kahn::StateCell::Flag(self.stopped),
+        ]))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        let Some([oracle, stopped]) = state.as_list().and_then(|l| <&[_; 2]>::try_from(l).ok())
+        else {
+            return false;
+        };
+        match stopped.as_flag() {
+            Some(s) if self.oracle.restore(oracle) => {
+                self.stopped = s;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.oracle.reset();
+        self.stopped = false;
+        true
+    }
 }
 
 /// A one-process network.

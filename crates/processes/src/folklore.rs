@@ -72,6 +72,25 @@ impl Process for First {
             None => StepResult::Idle,
         }
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Flag(self.done))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_flag() {
+            Some(d) => {
+                self.done = d;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.done = false;
+        true
+    }
 }
 
 /// Random Bit as `first(fair-merge(⟨T⟩, ⟨F⟩))`.

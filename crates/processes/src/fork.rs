@@ -64,6 +64,20 @@ impl Process for ForkProc {
             None => StepResult::Idle,
         }
     }
+
+    // stateless: routing draws from the engine RNG, which the engine
+    // checkpoints itself.
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Unit)
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        matches!(state, eqp_kahn::StateCell::Unit)
+    }
+
+    fn reset(&mut self) -> bool {
+        true
+    }
 }
 
 /// A network feeding the given integers through the fork.

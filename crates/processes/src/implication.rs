@@ -96,6 +96,25 @@ impl Process for ImplicationProc {
             _ => StepResult::Idle,
         }
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Flag(self.answered))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_flag() {
+            Some(a) => {
+                self.answered = a;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.answered = false;
+        true
+    }
 }
 
 /// A network feeding one scripted bit to the process.

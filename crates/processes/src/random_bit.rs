@@ -64,6 +64,25 @@ impl Process for RandomBitProc {
         ctx.send(B, Value::Bit(bit));
         StepResult::Progress
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Flag(self.done))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        match state.as_flag() {
+            Some(d) => {
+                self.done = d;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.done = false;
+        true
+    }
 }
 
 /// Operational Random Bit Sequence: one random bit per tick received.
@@ -91,6 +110,19 @@ impl Process for RandomBitSeqProc {
             }
             None => StepResult::Idle,
         }
+    }
+
+    // stateless: the per-tick bit comes from the engine RNG.
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::Unit)
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        matches!(state, eqp_kahn::StateCell::Unit)
+    }
+
+    fn reset(&mut self) -> bool {
+        true
     }
 }
 

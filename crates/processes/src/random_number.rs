@@ -87,6 +87,36 @@ impl Process for RandomNumberProc {
             StepResult::Progress
         }
     }
+
+    fn snapshot(&self) -> Option<eqp_kahn::StateCell> {
+        Some(eqp_kahn::StateCell::List(vec![
+            self.oracle.snapshot(),
+            eqp_kahn::StateCell::Int(self.count),
+            eqp_kahn::StateCell::Flag(self.done),
+        ]))
+    }
+
+    fn restore(&mut self, state: &eqp_kahn::StateCell) -> bool {
+        let Some([oracle, count, done]) = state.as_list().and_then(|l| <&[_; 3]>::try_from(l).ok())
+        else {
+            return false;
+        };
+        match (count.as_int(), done.as_flag()) {
+            (Some(c), Some(d)) if self.oracle.restore(oracle) => {
+                self.count = c;
+                self.done = d;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn reset(&mut self) -> bool {
+        self.oracle.reset();
+        self.count = 0;
+        self.done = false;
+        true
+    }
 }
 
 /// A one-process network.

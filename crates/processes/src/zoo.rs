@@ -82,6 +82,24 @@ impl ZooEntry {
         };
         (report, conf)
     }
+
+    /// The entry as a chaos-harness [`Scenario`](eqp_kahn::chaos::Scenario)
+    /// — the bridge between the
+    /// zoo registry and [`eqp_kahn::chaos::storm`]. Returns `None` for
+    /// entries that need a trace-completion hook (the fork): the chaos
+    /// harness checks raw run traces, which would mis-convict them.
+    pub fn scenario(&self) -> Option<eqp_kahn::chaos::Scenario> {
+        if self.complete.is_some() {
+            return None;
+        }
+        // fn pointers are `Copy + 'static`, so Scenario can own them.
+        Some(eqp_kahn::chaos::Scenario::new(
+            self.name,
+            self.max_steps,
+            self.build,
+            self.describe,
+        ))
+    }
 }
 
 /// Reconstructs the fork's oracle bits from its routing decisions: each

@@ -1,0 +1,114 @@
+//! The chaos harness pointed at the conformance zoo: seeded storms over
+//! every scenario-capable zoo entry must uphold the harness invariants —
+//! benign schedules (delays, supervised recovered crashes) never convict,
+//! and every conviction is reproducible and shrinks to a non-empty
+//! minimal reproducer. A pinned drop-fault schedule on the deterministic
+//! Figure 1 pipeline must shrink to a **single-event** reproducer naming
+//! the violated equation.
+
+use eqp::kahn::chaos::{self, ChaosOptions, SchedulerChoice, Trial};
+use eqp::kahn::{CrashPoint, Fault, FaultSchedule, LinkFaultSpec, SupervisorOptions};
+use eqp::processes::bag;
+use eqp::processes::zoo::conformance_zoo;
+
+#[test]
+fn seeded_storms_over_the_zoo_uphold_harness_invariants() {
+    for (i, entry) in conformance_zoo().iter().enumerate() {
+        let Some(scenario) = entry.scenario() else {
+            continue; // fork: needs trace completion, not chaos-checkable
+        };
+        let report = chaos::storm(
+            &scenario,
+            &ChaosOptions {
+                trials: 8,
+                // pinned per-entry seed: the storm is fully reproducible
+                seed: 0x500_u64.wrapping_mul(i as u64 + 1) ^ 0xD15EA5E,
+                ..ChaosOptions::default()
+            },
+        );
+        assert_eq!(report.trials, 8, "{}", entry.name);
+        assert!(
+            report.harness_ok(),
+            "{}: harness invariant violated:\n{report}",
+            entry.name
+        );
+        for conviction in &report.convictions {
+            assert!(
+                !conviction.minimal.is_empty(),
+                "{}: conviction shrank to an empty schedule (the scenario \
+                 fails fault-free):\n{conviction}",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_drop_fault_shrinks_to_a_single_event_reproducer() {
+    let entry = conformance_zoo()
+        .into_iter()
+        .find(|e| e.name == "bag")
+        .expect("bag is registered");
+    let scenario = entry.scenario().expect("bag has no completion hook");
+    // a noisy schedule: a supervised crash (recovers), a benign delay on
+    // the input, and the actual culprit — a drop on the bag's *output*: a
+    // dropped send vanishes from the history entirely, so at quiescence
+    // some received value never appears on `d` and the per-value counting
+    // equation `(=v)(d) ⟸ (=v)(c)` fails its limit condition.
+    let schedule = FaultSchedule {
+        crashes: vec![CrashPoint {
+            process: 1,
+            at_step: 2,
+        }],
+        links: vec![
+            LinkFaultSpec {
+                chan: bag::C,
+                fault: Fault::Delay { slack: 1 },
+            },
+            LinkFaultSpec {
+                chan: bag::D,
+                fault: Fault::Drop { period: 2 },
+            },
+        ],
+    };
+    let trial = Trial {
+        net_seed: 0,
+        scheduler: SchedulerChoice::RoundRobin,
+        schedule,
+    };
+    let sup = SupervisorOptions::one_for_one();
+    let (_, conf) = chaos::run_trial(&scenario, &trial, sup);
+    assert!(!conf.is_conformant(), "the noisy schedule must convict");
+    let minimal = chaos::shrink(&scenario, &trial, sup);
+    assert_eq!(
+        minimal.len(),
+        1,
+        "expected a single-event reproducer, got: {minimal}"
+    );
+    assert!(
+        minimal.crashes.is_empty(),
+        "the crash is recovered — not it"
+    );
+    assert_eq!(minimal.links.len(), 1);
+    assert_eq!(
+        minimal.links[0].chan,
+        bag::D,
+        "the dropped link is the culprit"
+    );
+    assert!(matches!(minimal.links[0].fault, Fault::Drop { .. }));
+    // the minimal trial still convicts, and names the violated equation
+    let minimal_trial = Trial {
+        schedule: minimal,
+        ..trial
+    };
+    let (report, conf) = chaos::run_trial(&scenario, &minimal_trial, sup);
+    assert!(!conf.is_conformant());
+    assert!(
+        conf.failing_component().is_some(),
+        "conviction must name the violated component equation: {conf}"
+    );
+    assert!(
+        !report.fault_log().is_empty(),
+        "the injected drop must be named in the fault log"
+    );
+}
