@@ -50,6 +50,7 @@ fn bench_operational(c: &mut Criterion) {
                         RunOptions {
                             max_steps: steps,
                             seed: 0,
+                            ..RunOptions::default()
                         },
                     );
                     black_box(run.steps)

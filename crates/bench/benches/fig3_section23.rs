@@ -60,6 +60,7 @@ fn bench_operational(c: &mut Criterion) {
                         RunOptions {
                             max_steps: steps,
                             seed: 7,
+                            ..RunOptions::default()
                         },
                     );
                     black_box(run.steps)

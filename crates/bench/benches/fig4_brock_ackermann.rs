@@ -72,6 +72,7 @@ fn bench_operational(c: &mut Criterion) {
                     RunOptions {
                         max_steps: 200,
                         seed: 11,
+                        ..RunOptions::default()
                     },
                 );
                 black_box(run.quiescent)

@@ -58,6 +58,7 @@ fn bench_fig6_fork(c: &mut Criterion) {
                         RunOptions {
                             max_steps: 10 * ins.len(),
                             seed: 3,
+                            ..RunOptions::default()
                         },
                     );
                     black_box(run.steps)
@@ -92,6 +93,7 @@ fn bench_fig7_fair_merge(c: &mut Criterion) {
                         RunOptions {
                             max_steps: 40 * cs.len(),
                             seed: 5,
+                            ..RunOptions::default()
                         },
                     );
                     let t = run

@@ -11,16 +11,20 @@
 //!   is mostly scheduling);
 //! * `checkpoint` — capture mid-run, resume-from-checkpoint, and a fully
 //!   supervised run versus the bare `run_report`. The capture itself must
-//!   stay within a few percent of the bare run (acceptance: ≤5%).
+//!   stay within a few percent of the bare run (acceptance: ≤5%);
+//! * `reliable` — the ARQ tax: the same pipeline bare, wrapped in an
+//!   engine-level reliable link over a *clean* medium (pure protocol
+//!   overhead — acceptance: ≤10%), and over a 10%-loss medium (recovery
+//!   latency: retransmission timers and dedup doing real work).
 //!
 //! Results are emitted to `BENCH_runtime.json` at the repository root,
-//! including the computed checkpoint-capture overhead ratio.
+//! including the computed checkpoint-capture and ARQ overhead ratios.
 
 use criterion::Criterion;
 use eqp_core::Description;
 use eqp_kahn::conformance::{check_report, ConformanceOptions};
-use eqp_kahn::faults::{Fault, FaultyLink};
-use eqp_kahn::{procs, Network, Oracle, RoundRobin, RunOptions, SupervisorOptions};
+use eqp_kahn::faults::{Fault, FaultSchedule, FaultyLink, LinkFaultSpec};
+use eqp_kahn::{procs, Network, Oracle, ReliableConfig, RoundRobin, RunOptions, SupervisorOptions};
 use eqp_processes::dfm;
 use eqp_trace::{Chan, Value};
 use std::hint::black_box;
@@ -31,6 +35,7 @@ fn section23_opts() -> RunOptions {
     RunOptions {
         max_steps: 120,
         seed: 7,
+        ..RunOptions::default()
     }
 }
 
@@ -101,6 +106,7 @@ fn bench_faulty_link(c: &mut Criterion) {
     let opts = RunOptions {
         max_steps: 400,
         seed: 7,
+        ..RunOptions::default()
     };
     let mut g = c.benchmark_group("faults");
     g.sample_size(20);
@@ -166,6 +172,7 @@ fn bench_checkpoint(c: &mut Criterion) {
     let opts = RunOptions {
         max_steps: 4000,
         seed: 7,
+        ..RunOptions::default()
     };
     let mut g = c.benchmark_group("checkpoint");
     g.sample_size(20);
@@ -209,6 +216,52 @@ fn bench_checkpoint(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ARQ tax: the checkpoint pipeline with its stage channel protected
+/// by an engine-level reliable link — over a clean medium (pure protocol
+/// overhead) and over a 10%-loss medium (recovery latency).
+fn bench_reliable(c: &mut Criterion) {
+    let stage = Chan::new(240);
+    let opts = RunOptions {
+        max_steps: 4000,
+        seed: 7,
+        ..RunOptions::default()
+    };
+    let mut g = c.benchmark_group("reliable");
+    g.sample_size(20);
+    g.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+        })
+    });
+    g.bench_function("clean-arq", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            let cfg = ReliableConfig::new(vec![stage]);
+            black_box(
+                net.run_report_reliable(&mut RoundRobin::new(), opts, &FaultSchedule::none(), &cfg)
+                    .steps,
+            )
+        })
+    });
+    g.bench_function("drop10-arq", |b| {
+        b.iter(|| {
+            let mut net = checkpoint_pipeline();
+            let cfg = ReliableConfig::new(vec![stage]);
+            let schedule = FaultSchedule {
+                crashes: vec![],
+                links: vec![LinkFaultSpec {
+                    chan: stage,
+                    fault: Fault::Drop { period: 10 },
+                }],
+            };
+            let report = net.run_report_reliable(&mut RoundRobin::new(), opts, &schedule, &cfg);
+            black_box((report.steps, report.quiescent))
+        })
+    });
+    g.finish();
+}
+
 fn main() {
     let desc = dfm::section23_description();
     let mut c = Criterion::default().configure_from_args();
@@ -216,6 +269,7 @@ fn main() {
     bench_conformance_only(&mut c, &desc);
     bench_faulty_link(&mut c);
     bench_checkpoint(&mut c);
+    bench_reliable(&mut c);
 
     // machine-readable report, including the checkpoint-capture overhead
     // ratio the acceptance criterion bounds (≤ 1.05 over the bare run).
@@ -230,12 +284,20 @@ fn main() {
     let bare = median("checkpoint/bare");
     let captured = median("checkpoint/capture-mid-run");
     let overhead = captured / bare;
+    let arq_bare = median("reliable/bare");
+    let arq_overhead = median("reliable/clean-arq") / arq_bare;
+    let arq_recovery = median("reliable/drop10-arq") / arq_bare;
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"runtime\",\n");
     json.push_str("  \"command\": \"cargo bench -p eqp-bench --bench runtime\",\n");
     json.push_str(&format!(
         "  \"checkpoint_capture_overhead\": {overhead:.4},\n"
+    ));
+    json.push_str(&format!("  \"reliable_overhead\": {arq_overhead:.4},\n"));
+    json.push_str("  \"reliable_overhead_gate\": 1.10,\n");
+    json.push_str(&format!(
+        "  \"reliable_recovery_latency\": {arq_recovery:.4},\n"
     ));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -254,5 +316,13 @@ fn main() {
     assert!(
         overhead.is_finite(),
         "checkpoint overhead must be measurable"
+    );
+    assert!(
+        arq_overhead.is_finite() && arq_recovery.is_finite(),
+        "ARQ overheads must be measurable"
+    );
+    assert!(
+        arq_overhead <= 1.10,
+        "clean-link ARQ overhead {arq_overhead:.4} exceeds the 10% gate"
     );
 }

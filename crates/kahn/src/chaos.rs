@@ -27,10 +27,12 @@
 use crate::conformance::{check_report, ConformanceOptions, Verdict};
 use crate::faults::{CrashPoint, Fault, FaultSchedule, LinkFaultSpec};
 use crate::network::{Network, RunOptions};
+use crate::reliable::{ArqOptions, ReliableConfig};
 use crate::report::{FaultRecord, RunReport, RunStatus};
 use crate::scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
 use crate::supervisor::SupervisorOptions;
 use eqp_core::Description;
+use eqp_trace::Chan;
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt, SeedableRng};
 use std::fmt;
@@ -45,6 +47,11 @@ pub struct Scenario {
     max_steps: usize,
     build: Box<dyn Fn(u64) -> Network + Send + Sync>,
     describe: Box<dyn Fn() -> Description + Send + Sync>,
+    /// Channels wrapped in reliable (ARQ) links for every trial run —
+    /// sampled faults on them are masked, not physics.
+    protect: Vec<Chan>,
+    /// ARQ configuration for the protected channels.
+    arq: ArqOptions,
 }
 
 impl Scenario {
@@ -61,7 +68,31 @@ impl Scenario {
             max_steps,
             build: Box::new(build),
             describe: Box::new(describe),
+            protect: Vec::new(),
+            arq: ArqOptions::default(),
         }
+    }
+
+    /// Wraps `channels` in reliable (ARQ) links for every trial run:
+    /// storms whose link faults all land on protected channels are masked
+    /// by retransmission and classified *benign* — they must never
+    /// convict. A schedule that exhausts a link's retry budget
+    /// ([`RunStatus::ReliabilityExhausted`]) is still harmful and shrinks
+    /// to a minimal reproducer naming the exhausted link.
+    #[must_use]
+    pub fn with_reliable(
+        mut self,
+        channels: impl IntoIterator<Item = Chan>,
+        arq: ArqOptions,
+    ) -> Scenario {
+        self.protect = channels.into_iter().collect();
+        self.arq = arq;
+        self
+    }
+
+    /// The channels wrapped in reliable links for every trial run.
+    pub fn protected(&self) -> &[Chan] {
+        &self.protect
     }
 
     /// The scenario's diagnostic name.
@@ -284,8 +315,14 @@ pub fn run_trial(
     let opts = RunOptions {
         max_steps: scenario.max_steps,
         seed: trial.net_seed,
+        ..RunOptions::default()
     };
-    let report = net.run_supervised_faulted(&mut sched, opts, sup, &trial.schedule);
+    let report = if scenario.protect.is_empty() {
+        net.run_supervised_faulted(&mut sched, opts, sup, &trial.schedule)
+    } else {
+        let cfg = ReliableConfig::new(scenario.protect.clone()).arq(scenario.arq);
+        net.run_supervised_reliable(&mut sched, opts, sup, &trial.schedule, &cfg)
+    };
     let conf = check_report(
         &scenario.description(),
         &report,
@@ -387,12 +424,21 @@ fn sample_trial(
 /// Whether a run's outcome counts as benign for invariant purposes: the
 /// schedule injected only history-preserving perturbations *and* the
 /// supervisor actually kept up (an escalated or budget-cut-mid-recovery
-/// run legitimately loses history even under a benign schedule).
-fn counts_as_benign(trial: &Trial, status: &RunStatus) -> bool {
-    trial.schedule.is_benign()
+/// run legitimately loses history even under a benign schedule). With
+/// reliable-wrapped channels, any fault on a protected channel is also
+/// benign — ARQ masks it — unless the run actually exhausted a retry
+/// budget, which legitimately abandons history.
+fn counts_as_benign(scenario: &Scenario, trial: &Trial, status: &RunStatus) -> bool {
+    trial
+        .schedule
+        .links
+        .iter()
+        .all(|l| l.fault.is_benign() || scenario.protect.contains(&l.chan))
         && !matches!(
             status,
-            RunStatus::Escalated { .. } | RunStatus::BudgetExhaustedDuringRecovery
+            RunStatus::Escalated { .. }
+                | RunStatus::BudgetExhaustedDuringRecovery
+                | RunStatus::ReliabilityExhausted { .. }
         )
 }
 
@@ -410,7 +456,7 @@ pub fn storm(scenario: &Scenario, opts: &ChaosOptions) -> ChaosReport {
     for _ in 0..opts.trials {
         let trial = sample_trial(&mut rng, n_procs, &channels, scenario.max_steps, opts);
         let (report, conf) = run_trial(scenario, &trial, opts.supervisor);
-        let benign_run = counts_as_benign(&trial, &report.status);
+        let benign_run = counts_as_benign(scenario, &trial, &report.status);
         if conf.is_conformant() {
             conformant += 1;
             continue;

@@ -58,6 +58,15 @@ pub enum Verdict {
         /// Indices of the failing component equations.
         components: Vec<usize>,
     },
+    /// A reliable link ([`crate::reliable`]) exhausted its retry budget
+    /// and the run degraded: it terminated cleanly and the delivered
+    /// history is still smooth, but the abandoned tail means the trace is
+    /// a *prefix*, not a complete solution. Named after the exhausted
+    /// link so overload triage starts at the right channel.
+    Degraded {
+        /// Diagnostic name of the exhausted link (`arq@<chan>`).
+        link: String,
+    },
 }
 
 /// The result of a conformance check: the verdict plus the underlying
@@ -152,6 +161,12 @@ impl fmt::Display for Conformance {
                 )?;
                 write!(f, "{}", self.report)
             }
+            Verdict::Degraded { link } => write!(
+                f,
+                "conformance(`{}`): DEGRADED — reliable link `{}` exhausted its retry \
+                 budget; the delivered history is a certified smooth prefix (trace {})",
+                self.description, link, self.checked
+            ),
         }
     }
 }
@@ -218,7 +233,21 @@ pub fn check(desc: &Description, run: &RunResult, opts: &ConformanceOptions) -> 
 }
 
 /// Checks a telemetry [`RunReport`] against a description.
+///
+/// Status-aware: a run that ended in
+/// [`RunStatus::ReliabilityExhausted`](crate::RunStatus) terminated
+/// cleanly but abandoned an undelivered tail, so its history is checked
+/// as a *prefix* (not against the limit condition) and a passing check is
+/// reported as [`Verdict::Degraded`] naming the exhausted link — smooth
+/// violations still convict as usual.
 pub fn check_report(desc: &Description, run: &RunReport, opts: &ConformanceOptions) -> Conformance {
+    if let crate::report::RunStatus::ReliabilityExhausted { link } = &run.status {
+        let mut conf = check_trace(desc, &run.trace, false, opts);
+        if conf.verdict == Verdict::SmoothPrefix {
+            conf.verdict = Verdict::Degraded { link: link.clone() };
+        }
+        return conf;
+    }
     check_trace(desc, &run.trace, run.quiescent, opts)
 }
 

@@ -99,6 +99,33 @@ pub enum FaultKind {
     Duplicated,
     /// The message was released ahead of an earlier-arrived one.
     Reordered,
+    /// A reliable link ([`crate::reliable`]) gave up retransmitting the
+    /// message after exhausting its retry budget; the message and
+    /// everything queued behind it were abandoned.
+    RetryExhausted,
+}
+
+impl FaultKind {
+    /// Stable numeric tag for snapshot encoding.
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            FaultKind::Dropped => 0,
+            FaultKind::Duplicated => 1,
+            FaultKind::Reordered => 2,
+            FaultKind::RetryExhausted => 3,
+        }
+    }
+
+    /// Inverse of [`code`](FaultKind::code).
+    pub(crate) fn from_code(code: u64) -> Option<FaultKind> {
+        Some(match code {
+            0 => FaultKind::Dropped,
+            1 => FaultKind::Duplicated,
+            2 => FaultKind::Reordered,
+            3 => FaultKind::RetryExhausted,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -107,6 +134,7 @@ impl fmt::Display for FaultKind {
             FaultKind::Dropped => "dropped",
             FaultKind::Duplicated => "duplicated",
             FaultKind::Reordered => "reordered",
+            FaultKind::RetryExhausted => "retry budget exhausted on",
         })
     }
 }
@@ -125,6 +153,34 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// The message itself.
     pub value: Value,
+}
+
+impl FaultEvent {
+    /// Encodes the event as a [`StateCell`] (snapshot participation: a
+    /// restored [`FaultyLink`] must report the same
+    /// [`fault_log`](FaultyLink::fault_log) as the uninterrupted run).
+    pub(crate) fn to_cell(&self) -> StateCell {
+        StateCell::List(vec![
+            StateCell::Nat(u64::from(self.chan.index())),
+            StateCell::Nat(self.seq as u64),
+            StateCell::Nat(self.kind.code()),
+            StateCell::Value(self.value),
+        ])
+    }
+
+    /// Inverse of [`to_cell`](FaultEvent::to_cell).
+    pub(crate) fn from_cell(cell: &StateCell) -> Option<FaultEvent> {
+        let [chan, seq, kind, value] = cell.as_list().and_then(|l| <&[_; 4]>::try_from(l).ok())?;
+        let StateCell::Value(value) = value else {
+            return None;
+        };
+        Some(FaultEvent {
+            chan: Chan::new(u32::try_from(chan.as_nat()?).ok()?),
+            seq: seq.as_nat()? as usize,
+            kind: FaultKind::from_code(kind.as_nat()?)?,
+            value: *value,
+        })
+    }
 }
 
 impl fmt::Display for FaultEvent {
@@ -645,17 +701,29 @@ impl Process for FaultyLink {
             ]),
             LinkState::Duplicate { .. } | LinkState::Drop { .. } => StateCell::Unit,
         };
+        // The in-flight buffer *and* the fault log participate in the
+        // snapshot, so checkpoint/resume through a lossy link reproduces
+        // both the deliveries and the attributed fault events.
         Some(StateCell::List(vec![
             StateCell::Nat(self.seen as u64),
             core,
+            StateCell::List(self.log.iter().map(FaultEvent::to_cell).collect()),
         ]))
     }
 
     fn restore(&mut self, state: &StateCell) -> bool {
-        let Some([seen, core]) = state.as_list().and_then(|l| <&[_; 2]>::try_from(l).ok()) else {
+        let Some([seen, core, log]) = state.as_list().and_then(|l| <&[_; 3]>::try_from(l).ok())
+        else {
             return false;
         };
         let Some(seen) = seen.as_nat() else {
+            return false;
+        };
+        let Some(log) = log
+            .as_list()
+            .map(|cells| cells.iter().map(FaultEvent::from_cell).collect())
+            .and_then(|log: Option<Vec<FaultEvent>>| log)
+        else {
             return false;
         };
         match (&mut self.state, core) {
@@ -686,6 +754,7 @@ impl Process for FaultyLink {
             _ => return false,
         }
         self.seen = seen as usize;
+        self.log = log;
         true
     }
 

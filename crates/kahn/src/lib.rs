@@ -49,6 +49,23 @@
 //!   (crash points × link faults), classifies each run through the
 //!   conformance bridge, and shrinks any conviction to a minimal
 //!   reproducer via delta debugging.
+//! * [`reliable`] — ARQ reliable transport over lossy links:
+//!   sequence-numbered frames, cumulative acks, deterministic
+//!   exponential-backoff retransmission with a retry budget, and a
+//!   receive-side dedup/reorder window. The composite
+//!   sender→lossy-channel→receiver is equationally the *identity*
+//!   description, so drop/duplicate/reorder schedules that PR 2's oracle
+//!   convicts certify as smooth solutions once the link is
+//!   reliable-wrapped; budget exhaustion degrades to a named
+//!   [`RunStatus::ReliabilityExhausted`] / `Verdict::Degraded` outcome
+//!   instead of hanging.
+//! * **Bounded channels** — [`RunOptions::channel_capacity`] bounds every
+//!   consumed channel with credit-based backpressure
+//!   ([`OverflowPolicy::Block`] rolls a blocked step back so
+//!   backpressure is purely a scheduler restriction) or load shedding
+//!   ([`OverflowPolicy::Shed`]), plus a round deadline for overload
+//!   runs. Every quiescent bounded run certifies identically to the
+//!   unbounded run.
 //!
 //! # Example
 //!
@@ -76,6 +93,7 @@ pub mod network;
 pub mod oracle;
 pub mod process;
 pub mod procs;
+pub mod reliable;
 pub mod report;
 pub mod scheduler;
 pub mod snapshot;
@@ -86,9 +104,10 @@ pub use conformance::{Conformance, ConformanceOptions, Verdict};
 pub use faults::{
     CrashAt, CrashPoint, Fault, FaultEvent, FaultKind, FaultSchedule, FaultyLink, LinkFaultSpec,
 };
-pub use network::{Network, RunOptions, RunResult};
+pub use network::{Network, OverflowPolicy, RunOptions, RunResult};
 pub use oracle::Oracle;
 pub use process::{Process, StepCtx, StepResult};
+pub use reliable::{ArqOptions, ReliableConfig, ReliableReceiver, ReliableSender};
 pub use report::{
     ChannelReport, ConsumerViolation, FaultRecord, ProcessReport, RunReport, RunStatus,
 };

@@ -2,18 +2,39 @@
 //! optional checkpointing, supervision, and engine-level fault injection.
 
 use crate::faults::{CrashPoint, EngineLink, FaultSchedule};
-use crate::process::{raw_send, Process, StepCtx, StepResult};
+use crate::process::{raw_send, FlowControl, FlowTxn, Process, StepCtx, StepResult};
+use crate::reliable::{ReliableConfig, ReliableLink};
 use crate::report::{
     ChannelReport, ConsumerViolation, FaultRecord, FaultSource, ProcessReport, RunReport,
     RunStatus, Telemetry,
 };
 use crate::scheduler::Scheduler;
-use crate::snapshot::{Checkpoint, SnapshotError};
+use crate::snapshot::{Checkpoint, SnapshotError, StateCell};
 use crate::supervisor::{Journal, RecoveryRecord, Replay, RestoreMethod, SupervisorOptions};
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// What a bounded run does with a send on a channel already at capacity
+/// (see [`RunOptions::channel_capacity`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Roll the whole step back and retry it once the consumer frees
+    /// credit — classic credit-based backpressure. The blocked step
+    /// *never happened*: its pops, sends, and telemetry are undone, so
+    /// backpressure is purely a scheduler restriction and every quiescent
+    /// bounded run certifies identically to the unbounded run.
+    #[default]
+    Block,
+    /// Silently discard the overflowing message (load shedding). The shed
+    /// count is metered per channel in
+    /// [`ChannelReport::shed`](crate::ChannelReport); note that shedding
+    /// — unlike blocking — *does* change the history, so a shed run is
+    /// compared against a deadline or overload budget, not against the
+    /// unbounded trace.
+    Shed,
+}
 
 /// Options bounding a network run.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +44,19 @@ pub struct RunOptions {
     pub max_steps: usize,
     /// Seed for the in-process nondeterminism RNG ([`StepCtx::flip`]).
     pub seed: u64,
+    /// Queue capacity applied to every *managed* channel — a channel some
+    /// process declares as an input. `None` (the default) is the classic
+    /// Kahn model: unbounded FIFO queues. Terminal channels nobody reads
+    /// stay unbounded either way (they model the observable history, not
+    /// a buffer).
+    pub channel_capacity: Option<usize>,
+    /// What to do when a send hits a full channel (bounded runs only).
+    pub overflow: OverflowPolicy,
+    /// Ends the run with [`RunStatus::DeadlineExpired`] once this many
+    /// scheduler rounds have completed without quiescence — the overload
+    /// exit for throttled runs that would otherwise grind to the step
+    /// bound.
+    pub deadline_rounds: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -30,7 +64,39 @@ impl Default for RunOptions {
         RunOptions {
             max_steps: 10_000,
             seed: 0,
+            channel_capacity: None,
+            overflow: OverflowPolicy::Block,
+            deadline_rounds: None,
         }
+    }
+}
+
+impl RunOptions {
+    /// Default options with every managed channel bounded to `capacity`
+    /// messages under [`OverflowPolicy::Block`].
+    pub fn bounded(capacity: usize) -> RunOptions {
+        RunOptions::default().with_capacity(capacity)
+    }
+
+    /// Sets the managed-channel capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> RunOptions {
+        self.channel_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the overflow policy for bounded runs.
+    #[must_use]
+    pub fn with_overflow(mut self, policy: OverflowPolicy) -> RunOptions {
+        self.overflow = policy;
+        self
+    }
+
+    /// Sets the round deadline for overload runs.
+    #[must_use]
+    pub fn with_deadline(mut self, rounds: usize) -> RunOptions {
+        self.deadline_rounds = Some(rounds);
+        self
     }
 }
 
@@ -321,6 +387,46 @@ impl Network {
         engine.inject(schedule);
         engine.run(sched)
     }
+
+    /// Runs the network with the channels named in `cfg` wrapped in
+    /// reliable (ARQ) links masking the link faults in `schedule`: a
+    /// drop/duplicate/reorder fault scheduled on a protected channel
+    /// becomes the link's lossy medium, and retransmission +
+    /// dedup/reorder recovery makes the composite behave as the identity
+    /// — the run certifies exactly like the fault-free one. On retry
+    /// budget exhaustion the run degrades to
+    /// [`RunStatus::ReliabilityExhausted`] instead of hanging.
+    pub fn run_report_reliable<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        schedule: &FaultSchedule,
+        cfg: &ReliableConfig,
+    ) -> RunReport {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.inject_protected(schedule, cfg);
+        engine.run(sched)
+    }
+
+    /// [`run_report_reliable`](Network::run_report_reliable) under
+    /// supervision — the chaos harness's entry point for storms over
+    /// reliable-wrapped links (crash points recover per `sup`, link
+    /// faults on protected channels are masked by ARQ).
+    pub fn run_supervised_reliable<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        sup: SupervisorOptions,
+        schedule: &FaultSchedule,
+        cfg: &ReliableConfig,
+    ) -> RunReport {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.supervise(sup);
+        engine.inject_protected(schedule, cfg);
+        engine.run(sched)
+    }
 }
 
 /// Placeholder swapped in momentarily by [`Network::wrap_crash_at`].
@@ -382,6 +488,11 @@ pub(crate) struct ProcCounters {
     pub(crate) idle: usize,
     pub(crate) starve_streak: usize,
     pub(crate) max_starved: usize,
+    /// Steps rolled back because a send hit a full channel.
+    pub(crate) send_blocked: usize,
+    /// Consecutive rounds blocked (cleared by any committed step).
+    pub(crate) blocked_streak: usize,
+    pub(crate) max_blocked: usize,
 }
 
 /// The run engine: the bare quiescence loop plus (all optional, all
@@ -390,6 +501,9 @@ pub(crate) struct ProcCounters {
 struct Engine<'a> {
     procs: &'a mut [Box<dyn Process>],
     declared: Vec<Vec<Chan>>,
+    /// Declared output channels, for the hookless-process capacity
+    /// pre-check under flow control.
+    declared_out: Vec<Vec<Chan>>,
     queues: HashMap<Chan, VecDeque<Value>>,
     trace: Vec<Event>,
     rng: StdRng,
@@ -400,6 +514,14 @@ struct Engine<'a> {
     max_steps: usize,
     /// Engine-interposed faulty links (chaos schedules).
     links: Vec<EngineLink>,
+    /// Engine-level ARQ links protecting channels (reliable transport).
+    reliables: Vec<ReliableLink>,
+    /// Bounded-channel flow control (`RunOptions::channel_capacity`).
+    flow: Option<FlowControl>,
+    /// First `(process, channel)` blocked on a full send this round.
+    round_blocked: Option<(usize, Chan)>,
+    /// Round deadline for overload runs.
+    deadline_rounds: Option<usize>,
     /// Unfired engine crash points.
     crash_points: Vec<CrashPoint>,
     /// Engine view of which processes are currently dead.
@@ -439,13 +561,28 @@ impl<'a> Engine<'a> {
     ) -> Engine<'a> {
         let n = processes.len();
         let declared: Vec<Vec<Chan>> = processes.iter().map(|p| p.inputs()).collect();
+        let declared_out: Vec<Vec<Chan>> = processes.iter().map(|p| p.outputs()).collect();
         let mut telemetry = Telemetry::default();
         for (c, q) in &queues {
             telemetry.note_preload(*c, q.len());
         }
+        let flow = opts.channel_capacity.map(|capacity| {
+            assert!(capacity >= 1, "channel_capacity must be at least 1");
+            // managed = every channel some process consumes; terminal
+            // channels nobody reads model the observable history, not a
+            // buffer, and stay unbounded
+            let managed: BTreeSet<Chan> = declared.iter().flatten().copied().collect();
+            FlowControl {
+                capacity,
+                policy: opts.overflow,
+                managed,
+                txn: FlowTxn::default(),
+            }
+        });
         Engine {
             procs: processes,
             declared,
+            declared_out,
             queues,
             trace: Vec::new(),
             rng: StdRng::seed_from_u64(opts.seed),
@@ -455,6 +592,10 @@ impl<'a> Engine<'a> {
             rounds: 0,
             max_steps: opts.max_steps,
             links: Vec::new(),
+            reliables: Vec::new(),
+            flow,
+            round_blocked: None,
+            deadline_rounds: opts.deadline_rounds,
             crash_points: Vec::new(),
             crashed: vec![false; n],
             crash_steps: vec![0; n],
@@ -483,6 +624,41 @@ impl<'a> Engine<'a> {
         self.crash_points = schedule.crashes.clone();
     }
 
+    /// Injects `schedule` with the channels in `cfg` wrapped in reliable
+    /// (ARQ) links: a scheduled fault on a protected channel becomes that
+    /// link's lossy medium (masked by retransmission) instead of a bare
+    /// [`EngineLink`]; protected channels without a scheduled fault (and
+    /// no ack fault) get a pass-through link — over clean media the
+    /// protocol is provably the identity, so it costs nothing. Faults on
+    /// unprotected channels and crash points inject exactly as
+    /// [`Engine::inject`].
+    fn inject_protected(&mut self, schedule: &FaultSchedule, cfg: &ReliableConfig) {
+        let mut protected: Vec<Chan> = cfg.channels.clone();
+        protected.sort();
+        protected.dedup();
+        self.reliables = protected
+            .iter()
+            .map(|&c| {
+                let fault = schedule
+                    .links
+                    .iter()
+                    .find(|l| l.chan == c)
+                    .map(|l| &l.fault);
+                ReliableLink::new(c, fault, cfg.ack_fault.as_ref(), cfg.arq)
+            })
+            // identity links never frame, retransmit, or buffer — keeping
+            // them around would tax every send and every round for nothing
+            .filter(|l| !l.is_passthrough())
+            .collect();
+        self.links = schedule
+            .links
+            .iter()
+            .filter(|l| !protected.contains(&l.chan))
+            .map(EngineLink::new)
+            .collect();
+        self.crash_points = schedule.crashes.clone();
+    }
+
     fn resume_from(&mut self, ckpt: &Checkpoint) {
         self.queues = ckpt.queues.clone();
         self.trace = ckpt.trace.clone();
@@ -502,6 +678,7 @@ impl<'a> Engine<'a> {
             if self.pending.is_empty() {
                 self.pending = sched.round(n).into_iter().collect();
                 self.round_progressed = false;
+                self.round_blocked = None;
             }
             while let Some(i) = self.pending.pop_front() {
                 if self.steps >= self.max_steps {
@@ -528,15 +705,44 @@ impl<'a> Engine<'a> {
                 }
             }
             self.rounds += 1;
-            if !self.links.is_empty() && self.pump_links() {
+            // both pumps see the same pre-pump progress picture: `force`
+            // makes buffering media release even in no-progress rounds,
+            // so link buffers drain (or ARQ timers tick) before
+            // quiescence can be declared
+            let force = !self.round_progressed;
+            let mut pumped = false;
+            if !self.links.is_empty() && self.pump_links(force) {
+                pumped = true;
+            }
+            if !self.reliables.is_empty() && self.pump_reliables(force) {
+                pumped = true;
+            }
+            if pumped {
                 self.round_progressed = true;
             }
             self.tick_backoffs();
             if let Some(p) = self.escalated.take() {
                 return self.build(RunStatus::Escalated { process: p });
             }
-            if !self.round_progressed && !self.recovery_pending() && self.links_drained() {
-                return self.build(RunStatus::Quiescent);
+            if !self.round_progressed
+                && !self.recovery_pending()
+                && self.links_drained()
+                && self.reliables_drained()
+            {
+                return match self.round_blocked.take() {
+                    // a full no-progress round with a send still blocked:
+                    // the bounded network is flow-control deadlocked
+                    Some((i, c)) => {
+                        let process = self.procs[i].name().to_owned();
+                        self.build(RunStatus::Backpressured { process, chan: c })
+                    }
+                    None => self.build(RunStatus::Quiescent),
+                };
+            }
+            if let Some(deadline) = self.deadline_rounds {
+                if self.rounds >= deadline {
+                    return self.build(RunStatus::DeadlineExpired);
+                }
             }
         }
     }
@@ -547,6 +753,47 @@ impl<'a> Engine<'a> {
         let input_waiting = self.declared[i]
             .iter()
             .any(|c| self.queues.get(c).is_some_and(|q| !q.is_empty()));
+        // Bounded mode wraps the step in a transaction: snapshot the
+        // process, arm the flow-control undo log, and roll everything
+        // back if the step blocked on a full channel — so a blocked step
+        // *never happened* and backpressure is purely a scheduler
+        // restriction. Replayed steps re-consume journaled observations
+        // and run unflowed (their sends are suppressed anyway).
+        let mut guard: Option<(StateCell, StdRng, usize, usize)> = None;
+        if self.flow.is_some() && !replay_active {
+            match self.procs[i].snapshot() {
+                Some(cell) => {
+                    let journal_mark = self.journals.as_ref().map_or(0, |j| j[i].ops.len());
+                    guard = Some((cell, self.rng.clone(), self.trace.len(), journal_mark));
+                    self.flow.as_mut().expect("flow armed").txn.begin();
+                }
+                None => {
+                    // a hookless process cannot be rolled back, so apply a
+                    // conservative pre-check: with a declared output
+                    // already at capacity, count the slot as blocked
+                    // without stepping at all
+                    let full = {
+                        let f = self.flow.as_ref().expect("flow armed");
+                        self.declared_out[i]
+                            .iter()
+                            .find(|c| {
+                                f.managed.contains(c)
+                                    && self.queues.get(c).map_or(0, VecDeque::len) >= f.capacity
+                            })
+                            .copied()
+                    };
+                    if let Some(c) = full {
+                        self.account_blocked(i, c);
+                        return false;
+                    }
+                    // no managed output is full (or none is declared):
+                    // step unguarded — the step may overshoot capacity by
+                    // one step's worth of sends, which the high-water
+                    // meter reports
+                }
+            }
+        }
+        let flow_armed = guard.is_some();
         let Engine {
             procs,
             queues,
@@ -556,6 +803,8 @@ impl<'a> Engine<'a> {
             journals,
             replays,
             links,
+            reliables,
+            flow,
             ..
         } = self;
         let mut ctx = StepCtx {
@@ -571,6 +820,12 @@ impl<'a> Engine<'a> {
             } else {
                 Some(links.as_mut_slice())
             },
+            reliables: if reliables.is_empty() {
+                None
+            } else {
+                Some(reliables.as_mut_slice())
+            },
+            flow: if flow_armed { flow.as_mut() } else { None },
         };
         let r = procs[i].step(&mut ctx);
         if replays[i].as_ref().is_some_and(|rp| rp.ops.is_empty()) {
@@ -578,12 +833,25 @@ impl<'a> Engine<'a> {
             // state; subsequent observations are live (and journaled)
             replays[i] = None;
         }
+        let blocked = if flow_armed {
+            flow.as_ref().and_then(|f| f.txn.blocked)
+        } else {
+            None
+        };
         // consuming replay ops is progress toward recovery even when the
         // replayed observation was an idle one — the network must keep
         // rounding until the revived process is fully live again
         if replay_active {
             self.round_progressed = true;
         }
+        if let Some(chan) = blocked {
+            let (cell, rng_save, trace_mark, journal_mark) =
+                guard.take().expect("guard saved before the step");
+            self.rollback_step(i, &cell, rng_save, trace_mark, journal_mark);
+            self.account_blocked(i, chan);
+            return false;
+        }
+        self.counters[i].blocked_streak = 0;
         match r {
             StepResult::Progress => {
                 self.round_progressed = true;
@@ -596,6 +864,63 @@ impl<'a> Engine<'a> {
                 self.note_idle(i, input_waiting);
                 false
             }
+        }
+    }
+
+    /// Undoes a blocked step: re-queues its pops, removes its sends,
+    /// truncates the trace and journal, restores the channel telemetry it
+    /// touched, restores the process snapshot, and rewinds the RNG — the
+    /// step leaves no observable footprint.
+    fn rollback_step(
+        &mut self,
+        i: usize,
+        cell: &StateCell,
+        rng_save: StdRng,
+        trace_mark: usize,
+        journal_mark: usize,
+    ) {
+        let mut txn = std::mem::take(&mut self.flow.as_mut().expect("flow armed").txn);
+        for c in txn.sends.iter().rev() {
+            let undone = self.queues.get_mut(c).and_then(VecDeque::pop_back);
+            debug_assert!(undone.is_some(), "rolled-back send must still be queued");
+        }
+        for (c, v) in txn.pops.drain(..).rev() {
+            self.queues.entry(c).or_default().push_front(v);
+        }
+        self.trace.truncate(trace_mark);
+        for (c, saved) in txn.saved.drain(..) {
+            match saved {
+                Some(k) => {
+                    self.telemetry.channels.insert(c, k);
+                }
+                None => {
+                    self.telemetry.channels.remove(&c);
+                }
+            }
+        }
+        if let Some(journals) = self.journals.as_mut() {
+            journals[i].ops.truncate(journal_mark);
+        }
+        assert!(
+            self.procs[i].restore(cell),
+            "backpressure rollback: `{}` rejected its own snapshot",
+            self.procs[i].name()
+        );
+        self.rng = rng_save;
+    }
+
+    /// Accounts process `i` as blocked on a full send to `c` this round.
+    /// Blocked is neither progress nor idleness: the step was rolled back
+    /// (or skipped) and will be retried once the consumer frees credit.
+    fn account_blocked(&mut self, i: usize, c: Chan) {
+        self.counters[i].send_blocked += 1;
+        self.counters[i].blocked_streak += 1;
+        self.counters[i].max_blocked = self.counters[i]
+            .max_blocked
+            .max(self.counters[i].blocked_streak);
+        self.telemetry.note_blocked_send(c);
+        if self.round_blocked.is_none() {
+            self.round_blocked = Some((i, c));
         }
     }
 
@@ -741,8 +1066,7 @@ impl<'a> Engine<'a> {
     /// anything was delivered. Forces one release per buffering link when
     /// the processes themselves made no progress, so link buffers drain
     /// before quiescence.
-    fn pump_links(&mut self) -> bool {
-        let force = !self.round_progressed;
+    fn pump_links(&mut self, force: bool) -> bool {
         let mut any = false;
         let Engine {
             links,
@@ -764,8 +1088,33 @@ impl<'a> Engine<'a> {
         any
     }
 
+    /// End-of-round tick for the reliable (ARQ) links: media deliver,
+    /// acks advance windows, retransmit timers count down. Returns true
+    /// if any link did observable work — retry timers ticking count, so a
+    /// network waiting out a retransmission backoff cannot quiesce.
+    fn pump_reliables(&mut self, force: bool) -> bool {
+        let mut any = false;
+        let Engine {
+            reliables,
+            queues,
+            trace,
+            telemetry,
+            ..
+        } = self;
+        for link in reliables.iter_mut() {
+            if link.pump(queues, trace, telemetry, force) {
+                any = true;
+            }
+        }
+        any
+    }
+
     fn links_drained(&self) -> bool {
         self.links.iter().all(|l| l.pending() == 0)
+    }
+
+    fn reliables_drained(&self) -> bool {
+        self.reliables.iter().all(|r| r.pending() == 0)
     }
 
     /// True while any crash is unhandled: a dead process, a pending
@@ -847,7 +1196,7 @@ impl<'a> Engine<'a> {
             &mut self.trace,
             &mut self.rng,
         );
-        if probe && self.links_drained() {
+        if probe && self.links_drained() && self.reliables_drained() {
             self.build(RunStatus::Quiescent)
         } else {
             self.build(RunStatus::BudgetExhausted)
@@ -855,6 +1204,19 @@ impl<'a> Engine<'a> {
     }
 
     fn build(&mut self, status: RunStatus) -> RunReport {
+        // a quiescent run through an exhausted reliable link terminated
+        // cleanly but abandoned the undelivered tail — degrade the
+        // status so the conformance bridge can name the link
+        let status = if status.is_quiescent() {
+            match self.reliables.iter().find(|r| r.exhausted()) {
+                Some(r) => RunStatus::ReliabilityExhausted {
+                    link: format!("arq@{}", r.chan()),
+                },
+                None => status,
+            }
+        } else {
+            status
+        };
         let quiescent = status.is_quiescent();
         let procs: &[Box<dyn Process>] = self.procs;
         let name_of = |i: usize| procs[i].name().to_owned();
@@ -869,8 +1231,11 @@ impl<'a> Engine<'a> {
                 max_starved_rounds: c.max_starved,
                 crashed: self.crashed[i] || p.crashed(),
                 restarts: self.restarts[i],
+                send_blocked: c.send_blocked,
+                max_blocked_rounds: c.max_blocked,
             })
             .collect();
+        let flow = self.flow.as_ref();
         let channel_reports = self
             .telemetry
             .channels
@@ -882,6 +1247,9 @@ impl<'a> Engine<'a> {
                 high_water: k.high_water,
                 residual: self.queues.get(c).map_or(0, VecDeque::len),
                 consumer: k.consumer.map(name_of),
+                capacity: flow.filter(|f| f.managed.contains(c)).map(|f| f.capacity),
+                blocked_sends: k.blocked,
+                shed: k.shed,
             })
             .collect();
         let consumer_violations = self
@@ -1022,6 +1390,7 @@ mod tests {
             RunOptions {
                 max_steps: 25,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent);
@@ -1041,6 +1410,7 @@ mod tests {
             RunOptions {
                 max_steps: 6,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(
@@ -1062,6 +1432,7 @@ mod tests {
             RunOptions {
                 max_steps: 4,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent);
@@ -1273,6 +1644,7 @@ mod tests {
             RunOptions {
                 max_steps: 5,
                 seed: 0,
+                ..RunOptions::default()
             },
             SupervisorOptions::one_for_one(),
         );
@@ -1286,6 +1658,7 @@ mod tests {
             RunOptions {
                 max_steps: 4,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert_eq!(report.status, RunStatus::BudgetExhausted);

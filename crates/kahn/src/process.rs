@@ -2,13 +2,15 @@
 //! their channels.
 
 use crate::faults::{EngineLink, FaultEvent};
-use crate::report::Telemetry;
+use crate::network::OverflowPolicy;
+use crate::reliable::ReliableLink;
+use crate::report::{ChannelCounters, Telemetry};
 use crate::snapshot::StateCell;
 use crate::supervisor::{Journal, Op, Replay};
 use eqp_trace::{Chan, Event, Value};
 use rand::rngs::StdRng;
 use rand::{RngCore, RngExt};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// What a process accomplished in one scheduled step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +57,56 @@ pub struct StepCtx<'a> {
     pub(crate) replay: Option<&'a mut Replay>,
     /// Engine-interposed faulty links (chaos schedules only).
     pub(crate) links: Option<&'a mut [EngineLink]>,
+    /// Engine-level reliable links (ARQ-protected channels) intercepting
+    /// sends on their channel.
+    pub(crate) reliables: Option<&'a mut [ReliableLink]>,
+    /// Bounded-channel flow control (capacity-bounded runs only): the
+    /// capacity configuration plus the per-step transaction that lets
+    /// the engine roll a blocked step back.
+    pub(crate) flow: Option<&'a mut FlowControl>,
+}
+
+/// Bounded-channel flow control: the run's capacity configuration plus
+/// the per-step transaction used to roll a blocked step back (so
+/// backpressure is purely a *scheduler restriction* — a blocked step
+/// never happened, and is simply retried once credit frees up).
+#[derive(Debug)]
+pub(crate) struct FlowControl {
+    /// Queue capacity applied to every managed channel.
+    pub(crate) capacity: usize,
+    /// What to do with a send on a full channel.
+    pub(crate) policy: OverflowPolicy,
+    /// Channels the capacity applies to: every *declared input* of some
+    /// process. Channels nobody declares as input (environment-facing
+    /// outputs) have no consumer to grant credit and stay unbounded.
+    pub(crate) managed: BTreeSet<Chan>,
+    /// The in-flight step's transaction.
+    pub(crate) txn: FlowTxn,
+}
+
+/// Undo log for one step under flow control.
+#[derive(Debug, Default)]
+pub(crate) struct FlowTxn {
+    /// Set when the step hit a full channel under
+    /// [`OverflowPolicy::Block`] — the engine will roll the step back.
+    pub(crate) blocked: Option<Chan>,
+    /// Channels delivered to during the step, in delivery order.
+    pub(crate) sends: Vec<Chan>,
+    /// Values popped during the step, in pop order.
+    pub(crate) pops: Vec<(Chan, Value)>,
+    /// Per-channel telemetry counters saved before the step's first
+    /// mutation (`None` = the channel had no counters entry yet).
+    pub(crate) saved: Vec<(Chan, Option<ChannelCounters>)>,
+}
+
+impl FlowTxn {
+    /// Clears the transaction for a fresh step.
+    pub(crate) fn begin(&mut self) {
+        self.blocked = None;
+        self.sends.clear();
+        self.pops.clear();
+        self.saved.clear();
+    }
 }
 
 impl<'a> StepCtx<'a> {
@@ -76,7 +128,25 @@ impl<'a> StepCtx<'a> {
             journal: None,
             replay: None,
             links: None,
+            reliables: None,
+            flow: None,
         }
+    }
+
+    /// Saves channel `c`'s telemetry counters into the flow transaction
+    /// (first touch only), so a rolled-back step restores them exactly.
+    fn flow_save(&mut self, c: Chan) {
+        let prev = self
+            .telemetry
+            .as_deref()
+            .and_then(|t| t.channels.get(&c).cloned());
+        let Some(f) = self.flow.as_deref_mut() else {
+            return;
+        };
+        if f.txn.saved.iter().any(|&(sc, _)| sc == c) {
+            return;
+        }
+        f.txn.saved.push((c, prev));
     }
 
     /// Number of messages waiting on `c`.
@@ -147,7 +217,16 @@ impl<'a> StepCtx<'a> {
             }
         }
         let v = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
-        if v.is_some() {
+        if let Some(v) = v {
+            if self.flow.is_some() {
+                self.flow_save(c);
+                self.flow
+                    .as_deref_mut()
+                    .expect("flow is present")
+                    .txn
+                    .pops
+                    .push((c, v));
+            }
             if let Some(t) = self.telemetry.as_deref_mut() {
                 t.note_receive(c);
             }
@@ -176,6 +255,20 @@ impl<'a> StepCtx<'a> {
         if let Some(j) = self.journal.as_deref_mut() {
             j.ops.push(Op::Sent(c, v));
         }
+        if let Some(rels) = self.reliables.as_deref_mut() {
+            if let Some(link) = rels.iter_mut().find(|l| l.chan() == c) {
+                // ARQ-protected channel: the message enters the sender's
+                // window/backlog; delivery happens (in order, exactly
+                // once) when the engine pumps the link between rounds.
+                // With clean media the protocol is the identity, so the
+                // link steps aside and the send falls through to the
+                // ordinary direct-delivery path below.
+                if !link.is_passthrough() {
+                    link.on_send(v, self.telemetry.as_deref_mut());
+                    return;
+                }
+            }
+        }
         if let Some(links) = self.links.as_deref_mut() {
             if let Some(link) = links.iter_mut().find(|l| l.chan() == c) {
                 let (deliveries, event) = link.on_send(v);
@@ -187,6 +280,44 @@ impl<'a> StepCtx<'a> {
                 }
                 return;
             }
+        }
+        let mut policy_if_full = None;
+        if let Some(f) = self.flow.as_deref() {
+            if f.txn.blocked.is_some() {
+                // The step is already doomed to roll back; suppress
+                // further deliveries.
+                return;
+            }
+            if f.managed.contains(&c) && self.queues.get(&c).map_or(0, VecDeque::len) >= f.capacity
+            {
+                policy_if_full = Some(f.policy);
+            }
+        }
+        match policy_if_full {
+            Some(OverflowPolicy::Block) => {
+                self.flow
+                    .as_deref_mut()
+                    .expect("flow is present")
+                    .txn
+                    .blocked = Some(c);
+                return;
+            }
+            Some(OverflowPolicy::Shed) => {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    let _ = t.note_shed(c);
+                }
+                return;
+            }
+            None => {}
+        }
+        if self.flow.is_some() {
+            self.flow_save(c);
+            self.flow
+                .as_deref_mut()
+                .expect("flow is present")
+                .txn
+                .sends
+                .push(c);
         }
         raw_send(self.queues, self.trace, self.telemetry.as_deref_mut(), c, v);
     }

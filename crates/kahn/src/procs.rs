@@ -522,6 +522,7 @@ mod tests {
             RunOptions {
                 max_steps: 40,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent); // 0^ω: never quiesces

@@ -42,6 +42,33 @@ pub enum RunStatus {
         /// Name of the process whose crash escalated.
         process: String,
     },
+    /// A reliable link ([`crate::reliable`]) exhausted its retransmission
+    /// budget and degraded: the undelivered tail on the named link was
+    /// abandoned, so the run terminated cleanly but its history is a
+    /// *prefix* of the masked network's, not a complete solution. The
+    /// conformance bridge maps this status to
+    /// [`Verdict::Degraded`](crate::Verdict).
+    ReliabilityExhausted {
+        /// Diagnostic name of the exhausted link (`arq@<chan>`).
+        link: String,
+    },
+    /// Flow-control deadlock under bounded channels
+    /// ([`RunOptions::channel_capacity`](crate::RunOptions)): a full
+    /// round passed in which no process progressed but at least one was
+    /// blocked trying to send on a full channel — the network can never
+    /// drain itself.
+    Backpressured {
+        /// Name of a blocked process (the first observed in the final
+        /// round).
+        process: String,
+        /// The full channel it was blocked on.
+        chan: Chan,
+    },
+    /// The round deadline
+    /// ([`RunOptions::deadline_rounds`](crate::RunOptions)) expired
+    /// before quiescence — the overload-run exit for networks throttled
+    /// below their offered load.
+    DeadlineExpired,
 }
 
 impl RunStatus {
@@ -60,6 +87,16 @@ impl fmt::Display for RunStatus {
             RunStatus::Escalated { process } => {
                 write!(f, "escalated (`{process}` crashed and was not recovered)")
             }
+            RunStatus::ReliabilityExhausted { link } => {
+                write!(f, "degraded (`{link}` exhausted its retry budget)")
+            }
+            RunStatus::Backpressured { process, chan } => {
+                write!(
+                    f,
+                    "backpressured (`{process}` blocked on full channel {chan})"
+                )
+            }
+            RunStatus::DeadlineExpired => f.write_str("round deadline expired"),
         }
     }
 }
@@ -106,6 +143,17 @@ pub struct ProcessReport {
     pub crashed: bool,
     /// Times the supervisor restarted this process.
     pub restarts: usize,
+    /// Steps refused (and rolled back) because the process tried to send
+    /// on a channel that was at capacity
+    /// ([`RunOptions::channel_capacity`](crate::RunOptions)). Always zero
+    /// in unbounded runs. Distinct from [`idle`](ProcessReport::idle):
+    /// a send-blocked process had work to do and was flow-controlled,
+    /// not waiting for input.
+    pub send_blocked: usize,
+    /// Longest streak of consecutive rounds the process spent blocked on
+    /// a full channel — the backpressure analogue of
+    /// [`max_starved_rounds`](ProcessReport::max_starved_rounds).
+    pub max_blocked_rounds: usize,
 }
 
 /// Telemetry for one channel over a whole run.
@@ -125,6 +173,16 @@ pub struct ChannelReport {
     /// Name of the first process that read (popped or peeked) the
     /// channel, if any.
     pub consumer: Option<String>,
+    /// Capacity bound enforced on the channel, if the run was bounded and
+    /// the channel was managed (declared as some process's input).
+    /// `high_water` never exceeds this.
+    pub capacity: Option<usize>,
+    /// Send attempts refused because the channel was at capacity (the
+    /// sender's step was rolled back and retried later).
+    pub blocked_sends: usize,
+    /// Messages discarded at capacity under
+    /// [`OverflowPolicy::Shed`](crate::OverflowPolicy).
+    pub shed: usize,
 }
 
 /// A runtime single-consumer violation: two distinct processes read the
@@ -220,16 +278,25 @@ impl RunReport {
         &self.faults
     }
 
-    /// The bottleneck: among processes that idled with input waiting,
+    /// The bottleneck: among processes that idled with input waiting
+    /// (starved) or were refused sends on a full channel (send-blocked),
     /// crashed ones first (a dead process with queued input *is* the
-    /// blockage), then the longest starvation streak, ties broken towards
-    /// more idle steps. `None` when no process was ever starved — an idle
-    /// process without waiting input is merely done, not stuck.
+    /// blockage), then the longest starvation-or-blocked streak, ties
+    /// broken towards more idle steps. `None` when no process was ever
+    /// starved or flow-controlled — an idle process without waiting input
+    /// is merely done, not stuck. A flow-controlled producer is reported
+    /// as *send-blocked*, never misfiled as idle/starved.
     pub fn bottleneck(&self) -> Option<&ProcessReport> {
         self.processes
             .iter()
-            .filter(|p| p.max_starved_rounds > 0)
-            .max_by_key(|p| (p.crashed, p.max_starved_rounds, p.idle))
+            .filter(|p| p.max_starved_rounds > 0 || p.max_blocked_rounds > 0)
+            .max_by_key(|p| {
+                (
+                    p.crashed,
+                    p.max_starved_rounds.max(p.max_blocked_rounds),
+                    p.idle,
+                )
+            })
     }
 
     /// True iff no runtime single-consumer violation was observed.
@@ -254,6 +321,13 @@ impl fmt::Display for RunReport {
             if p.max_starved_rounds > 0 {
                 write!(f, " (starved ≤ {} rounds)", p.max_starved_rounds)?;
             }
+            if p.send_blocked > 0 {
+                write!(
+                    f,
+                    " (send-blocked {}× ≤ {} rounds)",
+                    p.send_blocked, p.max_blocked_rounds
+                )?;
+            }
             if p.restarts > 0 {
                 write!(f, " (restarted {}×)", p.restarts)?;
             }
@@ -268,6 +342,15 @@ impl fmt::Display for RunReport {
                 "  channel {}: {} sent / {} received, high-water {}, residual {}",
                 c.chan, c.sends, c.receives, c.high_water, c.residual
             )?;
+            if let Some(cap) = c.capacity {
+                write!(f, ", capacity {cap}")?;
+            }
+            if c.blocked_sends > 0 {
+                write!(f, ", {} blocked sends", c.blocked_sends)?;
+            }
+            if c.shed > 0 {
+                write!(f, ", {} shed", c.shed)?;
+            }
             match &c.consumer {
                 Some(name) => writeln!(f, ", consumer `{name}`")?,
                 None => writeln!(f, ", no consumer")?,
@@ -278,6 +361,11 @@ impl fmt::Display for RunReport {
                 f,
                 "  bottleneck: `{}` crashed with input waiting ({} rounds)",
                 p.name, p.max_starved_rounds
+            )?,
+            Some(p) if p.max_blocked_rounds > p.max_starved_rounds => writeln!(
+                f,
+                "  bottleneck: `{}` send-blocked for {} consecutive rounds (backpressure, not idleness)",
+                p.name, p.max_blocked_rounds
             )?,
             Some(p) => writeln!(
                 f,
@@ -308,6 +396,10 @@ pub(crate) struct ChannelCounters {
     pub(crate) high_water: usize,
     /// Index of the first process that read the channel.
     pub(crate) consumer: Option<usize>,
+    /// Send attempts refused because the channel was at capacity.
+    pub(crate) blocked: usize,
+    /// Messages shed at capacity under `OverflowPolicy::Shed`.
+    pub(crate) shed: usize,
 }
 
 /// Who injected a fault event (resolved to a name when the report is
@@ -381,5 +473,18 @@ impl Telemetry {
     /// Records a fault injected by the engine-interposed link on `c`.
     pub(crate) fn note_link_fault(&mut self, c: Chan, event: FaultEvent) {
         self.faults.push((FaultSource::Link(c), event));
+    }
+
+    /// Records a send refused because `c` was at capacity.
+    pub(crate) fn note_blocked_send(&mut self, c: Chan) {
+        self.channels.entry(c).or_default().blocked += 1;
+    }
+
+    /// Records a message shed at capacity on `c`; returns the running
+    /// shed count (used as the fault-event sequence number).
+    pub(crate) fn note_shed(&mut self, c: Chan) -> usize {
+        let counters = self.channels.entry(c).or_default();
+        counters.shed += 1;
+        counters.shed
     }
 }

@@ -5,6 +5,15 @@
 //! not depend on this order; for nondeterministic networks different
 //! schedules realize different smooth solutions. The test suites use all
 //! three schedulers to cover the space.
+//!
+//! Bounded channels ([`RunOptions::channel_capacity`](crate::RunOptions))
+//! compose with every scheduler as a further *restriction* of it: a
+//! process whose send would overflow a full channel is skipped for the
+//! round (its step rolls back transactionally) and is re-offered once the
+//! consumer drains credit. Since this only removes interleavings that
+//! Kahn's result already proves irrelevant to channel histories, bounded
+//! runs certify identically to unbounded ones — the invariance is checked
+//! wholesale in `tests/kahn_determinism_props.rs`.
 
 use crate::snapshot::StateCell;
 use rand::rngs::StdRng;

@@ -205,6 +205,7 @@ mod tests {
                 RunOptions {
                     max_steps: 100,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -219,6 +220,7 @@ mod tests {
                     RunOptions {
                         max_steps: 100,
                         seed,
+                        ..RunOptions::default()
                     },
                 );
                 run.trace.seq_on(D).take(8)

@@ -346,6 +346,7 @@ mod tests {
                     RunOptions {
                         max_steps: 200,
                         seed,
+                        ..RunOptions::default()
                     },
                 );
                 assert!(run.quiescent);

@@ -162,6 +162,7 @@ mod tests {
                 RunOptions {
                     max_steps: 50,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(is_smooth(&description(), &run.trace));

@@ -80,6 +80,7 @@ mod tests {
             RunOptions {
                 max_steps: 30,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent, "the seeded loop never terminates");

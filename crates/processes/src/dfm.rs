@@ -488,6 +488,7 @@ mod tests {
                 RunOptions {
                     max_steps: 120,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(!run.quiescent);
@@ -524,6 +525,7 @@ mod tests {
                 RunOptions {
                     max_steps: 400,
                     seed: 0,
+                    ..RunOptions::default()
                 },
             );
             assert!(!run.quiescent);
@@ -551,6 +553,7 @@ mod tests {
             RunOptions {
                 max_steps: 150,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         let dseq: Vec<i64> = run

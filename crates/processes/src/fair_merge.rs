@@ -176,6 +176,7 @@ mod tests {
                 RunOptions {
                     max_steps: 500,
                     seed: 1,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -201,6 +202,7 @@ mod tests {
                 RunOptions {
                     max_steps: 200,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);

@@ -133,6 +133,7 @@ mod tests {
             RunOptions {
                 max_steps: 64,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent);

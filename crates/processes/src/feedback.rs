@@ -91,6 +91,7 @@ mod tests {
             RunOptions {
                 max_steps: 60,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         let oper: Vec<i64> = run
@@ -117,6 +118,7 @@ mod tests {
                 RunOptions {
                     max_steps: 45,
                     seed: 0,
+                    ..RunOptions::default()
                 },
             )
             .trace
@@ -130,6 +132,7 @@ mod tests {
                 RunOptions {
                     max_steps: 60,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             let got = run.trace.seq_on(NATS).take(10);
@@ -140,6 +143,7 @@ mod tests {
                 RunOptions {
                     max_steps: 60,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             let got = run.trace.seq_on(NATS).take(10);

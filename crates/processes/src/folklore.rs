@@ -129,6 +129,7 @@ mod tests {
                 RunOptions {
                     max_steps: 120,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(!run.quiescent);
@@ -157,6 +158,7 @@ mod tests {
                 RunOptions {
                     max_steps: 60,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -197,6 +199,7 @@ mod tests {
                     RunOptions {
                         max_steps: 60,
                         seed,
+                        ..RunOptions::default()
                     },
                 );
                 run.trace.project(&ChanSet::from_chans([BIT]))

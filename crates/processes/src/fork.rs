@@ -158,6 +158,7 @@ mod tests {
                 RunOptions {
                     max_steps: 100,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);

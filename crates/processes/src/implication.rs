@@ -208,6 +208,7 @@ mod tests {
                     RunOptions {
                         max_steps: 20,
                         seed,
+                        ..RunOptions::default()
                     },
                 );
                 assert!(run.quiescent);

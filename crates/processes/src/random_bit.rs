@@ -209,6 +209,7 @@ mod tests {
                 RunOptions {
                     max_steps: 10,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -225,6 +226,7 @@ mod tests {
                 RunOptions {
                     max_steps: 100,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);

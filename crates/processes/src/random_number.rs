@@ -187,6 +187,7 @@ mod tests {
                 RunOptions {
                     max_steps: 1_000,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);

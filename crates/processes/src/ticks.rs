@@ -82,6 +82,7 @@ mod tests {
             RunOptions {
                 max_steps: 20,
                 seed: 0,
+                ..RunOptions::default()
             },
         );
         assert!(!run.quiescent);

@@ -24,6 +24,8 @@ use crate::{
 };
 use eqp_core::Description;
 use eqp_kahn::conformance::{self, Conformance, ConformanceOptions};
+use eqp_kahn::faults::FaultSchedule;
+use eqp_kahn::reliable::ReliableConfig;
 use eqp_kahn::{Network, Oracle, RunOptions, RunReport, Scheduler};
 use eqp_trace::{Event, Trace};
 
@@ -64,23 +66,71 @@ impl ZooEntry {
     /// conformance certificate.
     pub fn certify(&self, sched: &mut dyn Scheduler, seed: u64) -> (RunReport, Conformance) {
         let mut net = self.network(seed);
+        let report = net.run_report(&mut &mut *sched, self.run_options(seed));
+        let conf = self.check(&report);
+        (report, conf)
+    }
+
+    /// [`certify`](ZooEntry::certify) with every channel `schedule`
+    /// faults wrapped in an engine-level reliable (ARQ) link masking
+    /// that fault — the Theorem 2 composition claim made executable:
+    /// retransmission + dedup makes each protected composite the
+    /// identity description, so faulted runs must certify exactly like
+    /// clean ones.
+    pub fn certify_reliable(
+        &self,
+        sched: &mut dyn Scheduler,
+        seed: u64,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Conformance) {
+        let mut net = self.network(seed);
+        let protect = schedule.links.iter().map(|l| l.chan).collect();
+        let cfg = ReliableConfig::new(protect);
+        let report =
+            net.run_report_reliable(&mut &mut *sched, self.run_options(seed), schedule, &cfg);
+        let conf = self.check(&report);
+        (report, conf)
+    }
+
+    /// [`certify`](ZooEntry::certify) with every consumed channel bounded
+    /// to `capacity` messages under blocking backpressure — the proof
+    /// obligation that backpressure is only a scheduler restriction:
+    /// quiescent bounded runs must certify identically to unbounded ones.
+    pub fn certify_bounded(
+        &self,
+        sched: &mut dyn Scheduler,
+        seed: u64,
+        capacity: usize,
+    ) -> (RunReport, Conformance) {
+        let mut net = self.network(seed);
         let report = net.run_report(
             &mut &mut *sched,
-            RunOptions {
-                max_steps: self.max_steps,
-                seed,
-            },
+            self.run_options(seed).with_capacity(capacity),
         );
+        let conf = self.check(&report);
+        (report, conf)
+    }
+
+    fn run_options(&self, seed: u64) -> RunOptions {
+        RunOptions {
+            max_steps: self.max_steps,
+            seed,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Checks a finished run against the description, applying the
+    /// entry's trace-completion hook if it has one.
+    fn check(&self, report: &RunReport) -> Conformance {
         let desc = self.description();
         let opts = ConformanceOptions::default();
-        let conf = match self.complete {
+        match self.complete {
             Some(complete) => {
                 let t = complete(&report.trace);
                 conformance::check_trace(&desc, &t, report.quiescent, &opts)
             }
-            None => conformance::check_report(&desc, &report, &opts),
-        };
-        (report, conf)
+            None => conformance::check_report(&desc, report, &opts),
+        }
     }
 
     /// The entry as a chaos-harness [`Scenario`](eqp_kahn::chaos::Scenario)

@@ -23,6 +23,7 @@ fn main() {
             RunOptions {
                 max_steps: 100,
                 seed,
+                ..RunOptions::default()
             },
         );
         let out: Vec<i64> = run

@@ -53,6 +53,7 @@ fn main() {
                 RunOptions {
                     max_steps: 200,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);

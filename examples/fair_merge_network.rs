@@ -34,6 +34,7 @@ fn main() {
             RunOptions {
                 max_steps: 500,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(run.quiescent);

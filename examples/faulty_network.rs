@@ -61,6 +61,7 @@ fn main() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         let on_d: Vec<i64> = report

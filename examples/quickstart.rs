@@ -45,6 +45,7 @@ fn main() {
         RunOptions {
             max_steps: 12,
             seed: 0,
+            ..RunOptions::default()
         },
     );
     let zw: Lasso<Value> = Lasso::repeat(vec![Value::Int(0)]);

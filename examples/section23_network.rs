@@ -55,6 +55,7 @@ fn main() {
             RunOptions {
                 max_steps: 120,
                 seed,
+                ..RunOptions::default()
             },
         );
         let out: Vec<i64> = run

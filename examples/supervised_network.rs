@@ -25,6 +25,7 @@ fn main() {
     let opts = RunOptions {
         max_steps: entry.max_steps,
         seed,
+        ..RunOptions::default()
     };
 
     // 1. the undisturbed run, as a baseline

@@ -7,7 +7,10 @@
 //! the violated equation.
 
 use eqp::kahn::chaos::{self, ChaosOptions, SchedulerChoice, Trial};
-use eqp::kahn::{CrashPoint, Fault, FaultSchedule, LinkFaultSpec, SupervisorOptions};
+use eqp::kahn::conformance::Verdict;
+use eqp::kahn::faults::FaultKind;
+use eqp::kahn::report::RunStatus;
+use eqp::kahn::{ArqOptions, CrashPoint, Fault, FaultSchedule, LinkFaultSpec, SupervisorOptions};
 use eqp::processes::bag;
 use eqp::processes::zoo::conformance_zoo;
 
@@ -41,6 +44,129 @@ fn seeded_storms_over_the_zoo_uphold_harness_invariants() {
             );
         }
     }
+}
+
+/// Storms over fully reliable-wrapped scenarios: every sampled link fault
+/// lands on a protected channel, so ARQ masks it and the trial is
+/// classified benign. The only legitimate conviction left in the space is
+/// graceful degradation — a sampled total-drop schedule that exhausts a
+/// retry budget ends in [`RunStatus::ReliabilityExhausted`] and certifies
+/// as [`Verdict::Degraded`]; anything else convicting would flag a benign
+/// schedule and fail `harness_ok`.
+#[test]
+fn protected_storms_never_convict_except_by_graceful_degradation() {
+    let mut masked_somewhere = 0usize;
+    for (i, entry) in conformance_zoo().iter().enumerate() {
+        let Some(scenario) = entry.scenario() else {
+            continue; // fork: needs trace completion, not chaos-checkable
+        };
+        let channels = entry.network(0).channels();
+        let scenario = scenario.with_reliable(channels, ArqOptions::default());
+        let report = chaos::storm(
+            &scenario,
+            &ChaosOptions {
+                trials: 6,
+                seed: 0xA59_u64.wrapping_mul(i as u64 + 1) ^ 0x0DD5,
+                ..ChaosOptions::default()
+            },
+        );
+        assert!(
+            report.harness_ok(),
+            "{}: harness invariant violated under full protection:\n{report}",
+            entry.name
+        );
+        masked_somewhere += report.conformant;
+        for conviction in &report.convictions {
+            assert!(
+                matches!(conviction.status, RunStatus::ReliabilityExhausted { .. }),
+                "{}: a protected conviction must come from budget \
+                 exhaustion, not a masked fault leaking through:\n{conviction}",
+                entry.name
+            );
+            assert!(
+                matches!(&conviction.verdict, Verdict::Degraded { link } if link.starts_with("arq@")),
+                "{}: exhaustion must certify as Degraded naming the link:\n{conviction}",
+                entry.name
+            );
+            assert!(
+                !conviction.minimal.is_empty(),
+                "{}: degradation must shrink to the lossy link:\n{conviction}",
+                entry.name
+            );
+        }
+    }
+    assert!(
+        masked_somewhere > 0,
+        "some harmful schedules must have been masked outright"
+    );
+}
+
+/// Pinned graceful degradation: a total drop on the bag's protected input
+/// under an impatient retry budget exhausts the link. The run terminates
+/// (no hang) in `ReliabilityExhausted`, certifies as `Degraded` naming
+/// the exhausted link, and the schedule shrinks past the benign delay to
+/// the single drop fault that caused it.
+#[test]
+fn exhausted_retry_budget_degrades_gracefully_and_shrinks_to_the_lossy_link() {
+    let entry = conformance_zoo()
+        .into_iter()
+        .find(|e| e.name == "bag")
+        .expect("bag is registered");
+    let scenario = entry
+        .scenario()
+        .expect("bag has no completion hook")
+        .with_reliable([bag::C], ArqOptions::impatient());
+    let schedule = FaultSchedule {
+        crashes: vec![],
+        links: vec![
+            LinkFaultSpec {
+                chan: bag::D,
+                fault: Fault::Delay { slack: 1 },
+            },
+            // period 1 drops every frame *and* every retransmission: the
+            // impatient budget (one retry) exhausts almost immediately
+            LinkFaultSpec {
+                chan: bag::C,
+                fault: Fault::Drop { period: 1 },
+            },
+        ],
+    };
+    let trial = Trial {
+        net_seed: 0,
+        scheduler: SchedulerChoice::RoundRobin,
+        schedule,
+    };
+    let sup = SupervisorOptions::one_for_one();
+    let (report, conf) = chaos::run_trial(&scenario, &trial, sup);
+    assert!(
+        matches!(&report.status, RunStatus::ReliabilityExhausted { link } if link == "arq@ch120"),
+        "expected graceful exhaustion on the protected input, got: {}",
+        report.status
+    );
+    match &conf.verdict {
+        Verdict::Degraded { link } => assert_eq!(link, "arq@ch120"),
+        v => panic!("expected Degraded, got {v:?}"),
+    }
+    assert!(
+        !conf.is_conformant(),
+        "degraded is certified but not conformant"
+    );
+    assert!(conf.to_string().contains("DEGRADED"), "{conf}");
+    assert!(
+        report
+            .fault_log()
+            .iter()
+            .any(|r| r.event.kind == FaultKind::RetryExhausted),
+        "the exhaustion must be named in the fault log"
+    );
+    let minimal = chaos::shrink(&scenario, &trial, sup);
+    assert_eq!(minimal.len(), 1, "expected the drop alone, got: {minimal}");
+    assert_eq!(
+        minimal.links[0].chan,
+        bag::C,
+        "the lossy link is the culprit"
+    );
+    assert!(matches!(minimal.links[0].fault, Fault::Drop { period: 1 }));
 }
 
 #[test]

@@ -9,7 +9,8 @@
 //! corrupt the history and must fail the check.
 
 use eqp::kahn::conformance::{check_report, ConformanceOptions, Verdict};
-use eqp::kahn::faults::{CrashAt, Fault, FaultyLink};
+use eqp::kahn::faults::{CrashAt, Fault, FaultSchedule, FaultyLink, LinkFaultSpec};
+use eqp::kahn::reliable::{self, ArqOptions};
 use eqp::kahn::{
     procs, Adversarial, Network, Oracle, RandomSched, RoundRobin, RunOptions, Scheduler,
 };
@@ -112,6 +113,7 @@ fn delay_fault_preserves_smooth_solutions() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(report.quiescent, "seed {seed}");
@@ -138,6 +140,7 @@ fn drop_fault_is_detected_with_named_component() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(report.quiescent, "seed {seed}");
@@ -176,6 +179,7 @@ fn duplicate_fault_is_detected() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(report.quiescent, "seed {seed}");
@@ -204,6 +208,7 @@ fn reorder_fault_breaks_order_sensitive_descriptions() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(report.quiescent, "seed {seed}");
@@ -247,6 +252,7 @@ fn reorder_fault_is_invisible_to_the_order_free_bag() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(report.quiescent, "seed {seed}");
@@ -290,4 +296,233 @@ fn crashed_process_fails_the_limit_and_shows_residual_input() {
         .processes
         .iter()
         .any(|p| p.name.contains("crash@1") && p.progress == 1));
+}
+
+/// The three history-corrupting faults PR 2's oracle convicts, with the
+/// same parameters the conviction tests above use.
+fn harmful_faults(seed: u64) -> Vec<(&'static str, Fault)> {
+    vec![
+        ("drop", Fault::Drop { period: 2 }),
+        ("duplicate", Fault::Duplicate { period: 2 }),
+        (
+            "reorder",
+            Fault::Reorder {
+                window: 3,
+                seed: seed ^ 0x5EED,
+            },
+        ),
+    ]
+}
+
+/// Schedules `fault` on every channel the network declares.
+fn fault_everywhere(net: &Network, fault: &Fault) -> FaultSchedule {
+    FaultSchedule {
+        crashes: vec![],
+        links: net
+            .channels()
+            .into_iter()
+            .map(|chan| LinkFaultSpec {
+                chan,
+                fault: fault.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn zoo_reliable_wrapping_masks_every_harmful_fault() {
+    // The tentpole matrix: zoo × {drop, duplicate, reorder} × 3
+    // schedulers, every channel reliable-wrapped. The ARQ composite is
+    // equationally the identity, so each faulted run must certify with
+    // the *clean* expectation — smooth solution when the entry quiesces,
+    // smooth prefix when the step bound cuts it.
+    use eqp::processes::fork;
+    for entry in conformance_zoo() {
+        for (fault_name, fault) in harmful_faults(7) {
+            let mut schedule = fault_everywhere(&entry.network(0), &fault);
+            if entry.name == "fork" {
+                // the fork's trace-completion hook reconstructs oracle
+                // bits from the cross-channel d/e interleaving, which
+                // engine-buffered delivery legitimately perturbs — so
+                // fault (and protect) only its input stream
+                schedule.links.retain(|l| l.chan == fork::C);
+            }
+            for sched in schedulers(13).iter_mut() {
+                let (report, conf) = entry.certify_reliable(&mut **sched, 13, &schedule);
+                assert_eq!(
+                    report.quiescent,
+                    entry.quiesces,
+                    "{} × {fault_name} ({}): ARQ must preserve the run shape, got {}",
+                    entry.name,
+                    sched.name(),
+                    report.status
+                );
+                let expected = if entry.quiesces {
+                    Verdict::SmoothSolution
+                } else {
+                    Verdict::SmoothPrefix
+                };
+                assert_eq!(
+                    conf.verdict,
+                    expected,
+                    "{} × {fault_name} ({}): reliable-wrapped faults must be masked: {conf}",
+                    entry.name,
+                    sched.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_unprotected_faults_still_convict_somewhere() {
+    // Control for the matrix above: the same schedules *without* ARQ
+    // protection must still convict at least one quiescing entry per
+    // fault kind — otherwise the masking test would be vacuous.
+    for (fault_name, fault) in harmful_faults(7) {
+        let mut convicted = 0usize;
+        for entry in conformance_zoo() {
+            if !entry.quiesces {
+                continue; // prefix runs tolerate in-flight corruption
+            }
+            let schedule = fault_everywhere(&entry.network(0), &fault);
+            let mut net = entry.network(13);
+            let report = net.run_report_faulted(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: entry.max_steps,
+                    seed: 13,
+                    ..RunOptions::default()
+                },
+                &schedule,
+            );
+            let conf = check_report(
+                &entry.description(),
+                &report,
+                &ConformanceOptions::default(),
+            );
+            if !conf.is_conformant() {
+                convicted += 1;
+            }
+        }
+        assert!(
+            convicted > 0,
+            "{fault_name}: no unprotected zoo entry convicted — the masking matrix is vacuous"
+        );
+    }
+}
+
+/// Auxiliary wiring for the process-level reliable transport on the
+/// Section 2.2 merge: frames, frames-after-fault, acks, acks-after-fault.
+const ARQ_AUX: [Chan; 4] = [
+    Chan::new(240),
+    Chan::new(241),
+    Chan::new(242),
+    Chan::new(243),
+];
+
+/// The faulted merge of the PR 2 conviction tests, with the bare
+/// `FaultyLink` replaced by a full process-level reliable transport:
+/// merge → RAW_D → [sender → lossy medium → receiver] → d.
+fn masked_merge(fault: Fault, seed: u64) -> Network {
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env-b",
+        dfm::B,
+        [0, 2].map(Value::Int).to_vec(),
+    ));
+    net.add(procs::Source::new(
+        "env-c",
+        dfm::C,
+        [1, 3].map(Value::Int).to_vec(),
+    ));
+    net.add(procs::Merge2::new(
+        "merge",
+        dfm::B,
+        dfm::C,
+        RAW_D,
+        Oracle::fair(seed, 2),
+    ));
+    reliable::wire(
+        &mut net,
+        "dfm-arq",
+        RAW_D,
+        dfm::D,
+        ARQ_AUX,
+        Some(fault),
+        None,
+        ArqOptions::default(),
+    );
+    net
+}
+
+#[test]
+fn pr2_convicting_faults_are_masked_by_process_level_arq() {
+    // Regression pins: the exact fault parameters convicted by
+    // `drop_fault_is_detected_with_named_component`,
+    // `duplicate_fault_is_detected`, and
+    // `reorder_fault_breaks_order_sensitive_descriptions` above, now
+    // wrapped in the sender/receiver ARQ processes — every seed must
+    // certify as a smooth solution.
+    type FaultFor = Box<dyn Fn(u64) -> Fault>;
+    let faults: Vec<(&str, FaultFor)> = vec![
+        ("drop", Box::new(|_| Fault::Drop { period: 2 })),
+        ("duplicate", Box::new(|_| Fault::Duplicate { period: 1 })),
+        (
+            "reorder",
+            Box::new(|seed| Fault::Reorder { window: 3, seed }),
+        ),
+    ];
+    for (fault_name, fault_for) in &faults {
+        for seed in 0..6u64 {
+            let mut net = masked_merge(fault_for(seed), seed);
+            let report = net.run_report(
+                &mut RoundRobin::new(),
+                RunOptions {
+                    max_steps: 4_000,
+                    seed,
+                    ..RunOptions::default()
+                },
+            );
+            assert!(
+                report.quiescent,
+                "{fault_name} seed {seed}: masked net must quiesce, got {}",
+                report.status
+            );
+            let conf = check_report(
+                &dfm::dfm_description(),
+                &report,
+                &ConformanceOptions::default(),
+            );
+            assert_eq!(
+                conf.verdict,
+                Verdict::SmoothSolution,
+                "{fault_name} seed {seed}: ARQ must mask the fault: {conf}"
+            );
+        }
+    }
+}
+
+#[test]
+fn process_level_arq_reports_retransmissions_under_drop() {
+    // The masking is not vacuous: under a period-2 drop the sender must
+    // actually have retransmitted, and the fault log names the drops.
+    let mut net = masked_merge(Fault::Drop { period: 2 }, 3);
+    let report = net.run_report(
+        &mut RoundRobin::new(),
+        RunOptions {
+            max_steps: 4_000,
+            seed: 3,
+            ..RunOptions::default()
+        },
+    );
+    assert!(report.quiescent);
+    assert!(
+        report
+            .fault_log()
+            .iter()
+            .any(|r| r.source.contains("medium")),
+        "the lossy medium's drops are logged: {:?}",
+        report.fault_log()
+    );
 }

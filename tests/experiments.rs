@@ -232,6 +232,7 @@ fn e12_fair_merge() {
         RunOptions {
             max_steps: 200,
             seed: 1,
+            ..RunOptions::default()
         },
     );
     assert!(run.quiescent);

@@ -84,6 +84,7 @@ fn truncated_fair_run_is_not_a_solution() {
         RunOptions {
             max_steps: 4, // cut off mid-flight
             seed: 3,
+            ..RunOptions::default()
         },
     );
     assert!(!run.quiescent);

@@ -47,9 +47,9 @@ proptest! {
         let full = pipeline().run(&mut RoundRobin::new(), RunOptions::default());
         prop_assert!(full.quiescent);
         for sched in schedulers(seed).iter_mut() {
-            let complete = pipeline().run(sched, RunOptions { max_steps: 10_000, seed });
+            let complete = pipeline().run(sched, RunOptions { max_steps: 10_000, seed, ..RunOptions::default() });
             prop_assert!(complete.quiescent, "{}", sched.name());
-            let cut_run = pipeline().run(sched, RunOptions { max_steps: cut, seed });
+            let cut_run = pipeline().run(sched, RunOptions { max_steps: cut, seed, ..RunOptions::default() });
             for c in [P_IN, P_MID, P_OUT] {
                 prop_assert_eq!(
                     complete.trace.seq_on(c),
@@ -72,12 +72,12 @@ proptest! {
         for entry in conformance_zoo().iter().filter(|e| e.deterministic && e.quiesces) {
             let canonical = entry.network(0).run(
                 &mut RoundRobin::new(),
-                RunOptions { max_steps: entry.max_steps, seed: 0 },
+                RunOptions { max_steps: entry.max_steps, seed: 0, ..RunOptions::default() },
             );
             for sched in schedulers(seed).iter_mut() {
                 let run = entry.network(seed).run(
                     sched,
-                    RunOptions { max_steps: entry.max_steps, seed },
+                    RunOptions { max_steps: entry.max_steps, seed, ..RunOptions::default() },
                 );
                 prop_assert!(run.quiescent);
                 let chans: Vec<Chan> = canonical.trace.channels().iter().collect();
@@ -96,7 +96,7 @@ proptest! {
         let sys = copy::seeded_system();
         let sol = sys.solve(SolveOptions::default()).expect("0^ω is solvable");
         for sched in schedulers(seed).iter_mut() {
-            let run = copy::seeded_network().run(sched, RunOptions { max_steps: cut, seed });
+            let run = copy::seeded_network().run(sched, RunOptions { max_steps: cut, seed, ..RunOptions::default() });
             prop_assert!(
                 sys.histories_within(&sol, &run.trace),
                 "{}: cut-{cut} histories exceed the least fixpoint",
@@ -104,7 +104,7 @@ proptest! {
             );
         }
         for sched in schedulers(seed).iter_mut() {
-            let run = ticks::network().run(sched, RunOptions { max_steps: cut, seed });
+            let run = ticks::network().run(sched, RunOptions { max_steps: cut, seed, ..RunOptions::default() });
             prop_assert!(!run.quiescent);
             let b = run.trace.seq_on(ticks::B);
             prop_assert!(b.leq(&Lasso::repeat(vec![Value::tt()])));
@@ -119,7 +119,7 @@ proptest! {
     #[test]
     fn nats_histories_follow_the_closed_form(seed in 0u64..200, cut in 1usize..60) {
         for sched in schedulers(seed).iter_mut() {
-            let run = feedback::nats_network().run(sched, RunOptions { max_steps: cut, seed });
+            let run = feedback::nats_network().run(sched, RunOptions { max_steps: cut, seed, ..RunOptions::default() });
             let got = run.trace.seq_on(feedback::NATS).take(cut + 1);
             let want: Vec<_> = feedback::nats_prefix(got.len())
                 .into_iter()
@@ -143,5 +143,86 @@ proptest! {
                 "bound {bound}: window {w:?} is one-sided"
             );
         }
+    }
+}
+
+proptest! {
+    // Full-zoo sweep with conformance certification on every run: a
+    // handful of sampled seeds already covers zoo × schedulers ×
+    // capacities, and 256 cases would take minutes in debug builds.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Backpressure is only a scheduler restriction (the bounded-channel
+    /// proof obligation): bounding every consumed channel to capacity 1,
+    /// 2, or 8 never changes the certified outcome, under any scheduler.
+    /// Every entry keeps its run shape and verdict; quiescing
+    /// deterministic entries reproduce the unbounded per-channel
+    /// histories exactly; free-running deterministic entries stay below
+    /// the generous unbounded cut; and no managed channel ever holds
+    /// more than its capacity.
+    #[test]
+    fn bounded_runs_certify_identically_to_unbounded(seed in 0u64..64) {
+        let kinds = schedulers(seed).len();
+        let mut blocked_total = 0usize;
+        for entry in conformance_zoo() {
+            // generous unbounded cut for the free-running prefix check
+            let limit = entry.network(seed).run(
+                &mut RoundRobin::new(),
+                RunOptions { max_steps: entry.max_steps * 4, seed, ..RunOptions::default() },
+            );
+            for kind in 0..kinds {
+                let (base_report, base_conf) =
+                    entry.certify(schedulers(seed)[kind].as_mut(), seed);
+                for cap in [1usize, 2, 8] {
+                    let (report, conf) =
+                        entry.certify_bounded(schedulers(seed)[kind].as_mut(), seed, cap);
+                    prop_assert_eq!(
+                        report.quiescent, entry.quiesces,
+                        "{} (cap {cap}, sched {kind}): bounding must not change the run shape",
+                        entry.name,
+                    );
+                    prop_assert_eq!(
+                        &conf.verdict, &base_conf.verdict,
+                        "{} (cap {cap}, sched {kind}): bounded verdict differs from unbounded",
+                        entry.name,
+                    );
+                    for ch in &report.channels {
+                        if let Some(capacity) = ch.capacity {
+                            prop_assert_eq!(capacity, cap);
+                            prop_assert!(
+                                ch.high_water <= cap,
+                                "{} (cap {cap}): {} high-water {} exceeds its capacity",
+                                entry.name, ch.chan, ch.high_water,
+                            );
+                            blocked_total += ch.blocked_sends;
+                        }
+                    }
+                    if entry.deterministic {
+                        let reference =
+                            if entry.quiesces { &base_report.trace } else { &limit.trace };
+                        let chans: Vec<Chan> = reference.channels().iter().collect();
+                        for c in chans {
+                            if entry.quiesces {
+                                prop_assert_eq!(
+                                    report.trace.seq_on(c), reference.seq_on(c),
+                                    "{} (cap {cap}): quiescent bounded history on {} differs",
+                                    entry.name, c,
+                                );
+                            } else {
+                                prop_assert!(
+                                    report.trace.seq_on(c).leq(&reference.seq_on(c)),
+                                    "{} (cap {cap}): bounded history on {} is not a prefix",
+                                    entry.name, c,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // capacity 1 must actually bite somewhere across the zoo: zero
+        // blocked sends in the whole sweep would mean the backpressure
+        // path was never exercised at all
+        prop_assert!(blocked_total > 0, "backpressure never engaged anywhere");
     }
 }

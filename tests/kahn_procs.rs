@@ -107,6 +107,7 @@ fn delay_of_lasso_source() {
         RunOptions {
             max_steps: 20,
             seed: 0,
+            ..RunOptions::default()
         },
     );
     assert!(!run.quiescent);

@@ -33,6 +33,7 @@ fn random_bit_soundness_and_completeness() {
                 RunOptions {
                     max_steps: 10,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -70,6 +71,7 @@ fn brock_ackermann_soundness_all_schedules() {
                 RunOptions {
                     max_steps: 300,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -95,6 +97,7 @@ fn fair_merge_soundness_all_schedules() {
                 RunOptions {
                     max_steps: 400,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -134,6 +137,7 @@ fn implication_soundness_and_answer_coverage() {
                 RunOptions {
                     max_steps: 30,
                     seed,
+                    ..RunOptions::default()
                 },
             );
             assert!(run.quiescent);
@@ -159,6 +163,7 @@ fn section23_merge_is_prefix_fair() {
             RunOptions {
                 max_steps: 200,
                 seed,
+                ..RunOptions::default()
             },
         );
         let d = run.trace.seq_on(dfm::D);
@@ -197,6 +202,7 @@ fn fork_soundness_with_reconstructed_oracle() {
             RunOptions {
                 max_steps: 60,
                 seed,
+                ..RunOptions::default()
             },
         );
         assert!(run.quiescent);

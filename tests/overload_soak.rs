@@ -1,0 +1,247 @@
+//! Bounded-queue overload soak: a bursty producer (two sends per step)
+//! feeding a one-at-a-time consumer. Unbounded, the feed queue balloons
+//! to O(workload); bounded, peak queue memory is O(capacity) and the
+//! producer absorbs the excess as send-blocked rounds — with the full
+//! workload still delivered in order once the run quiesces. Overflow that
+//! cannot be absorbed has a *named* outcome: a burst that can never fit
+//! blocks the network into `RunStatus::Backpressured`, a deadline cuts a
+//! live-but-slow run into `RunStatus::DeadlineExpired`, and the `Shed`
+//! policy trades loss for liveness with every dropped send metered.
+
+use eqp::kahn::{
+    Network, OverflowPolicy, Process, RoundRobin, RunOptions, RunStatus, StateCell, StepCtx,
+    StepResult,
+};
+use eqp::trace::{Chan, Value};
+
+const FEED: Chan = Chan::new(210);
+const OUT: Chan = Chan::new(211);
+const TOTAL: i64 = 400;
+
+/// Emits `0..TOTAL` on `FEED`, two values per step: twice the consumer's
+/// drain rate, so an unbounded queue grows linearly with the workload.
+struct Flood {
+    next: i64,
+}
+
+impl Process for Flood {
+    fn name(&self) -> &str {
+        "flood"
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![FEED]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        if self.next >= TOTAL {
+            return StepResult::Idle;
+        }
+        for _ in 0..2 {
+            if self.next < TOTAL {
+                ctx.send(FEED, Value::Int(self.next));
+                self.next += 1;
+            }
+        }
+        StepResult::Progress
+    }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Int(self.next))
+    }
+
+    fn restore(&mut self, state: &StateCell) -> bool {
+        match state.as_int() {
+            Some(n) => {
+                self.next = n;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Drains one value per step from `FEED` to `OUT`.
+struct Sink;
+
+impl Process for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+
+    fn inputs(&self) -> Vec<Chan> {
+        vec![FEED]
+    }
+
+    fn outputs(&self) -> Vec<Chan> {
+        vec![OUT]
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
+        match ctx.pop(FEED) {
+            Some(v) => {
+                ctx.send(OUT, v);
+                StepResult::Progress
+            }
+            None => StepResult::Idle,
+        }
+    }
+
+    fn snapshot(&self) -> Option<StateCell> {
+        Some(StateCell::Int(0))
+    }
+
+    fn restore(&mut self, _state: &StateCell) -> bool {
+        true
+    }
+}
+
+fn overload_net() -> Network {
+    let mut net = Network::new();
+    net.add(Flood { next: 0 });
+    net.add(Sink);
+    net
+}
+
+fn opts() -> RunOptions {
+    RunOptions {
+        max_steps: 20_000,
+        seed: 0,
+        ..RunOptions::default()
+    }
+}
+
+fn feed_report(report: &eqp::kahn::RunReport) -> &eqp::kahn::ChannelReport {
+    report
+        .channels
+        .iter()
+        .find(|c| c.chan == FEED)
+        .expect("feed channel is metered")
+}
+
+/// The baseline the bound is measured against: unbounded, the feed queue
+/// peaks at O(workload).
+fn unbounded_high_water() -> usize {
+    let report = overload_net().run_report(&mut RoundRobin::new(), opts());
+    assert!(report.quiescent);
+    feed_report(&report).high_water
+}
+
+#[test]
+fn bounded_soak_caps_queue_memory_and_still_delivers_everything() {
+    let unbounded = unbounded_high_water();
+    assert!(
+        unbounded >= TOTAL as usize / 4,
+        "the unbounded feed queue must balloon (got high-water {unbounded})"
+    );
+    for cap in [2usize, 8] {
+        let report = overload_net().run_report(&mut RoundRobin::new(), opts().with_capacity(cap));
+        assert!(
+            report.quiescent,
+            "cap {cap}: backpressure must not deadlock this pipeline:\n{report}"
+        );
+        // peak queue memory is O(capacity), not O(workload)
+        let feed = feed_report(&report);
+        assert_eq!(feed.capacity, Some(cap));
+        assert!(
+            feed.high_water <= cap,
+            "cap {cap}: high-water {} exceeds the bound",
+            feed.high_water
+        );
+        assert!(
+            unbounded > 10 * feed.high_water,
+            "cap {cap}: bounding must shrink peak memory by an order of \
+             magnitude ({unbounded} vs {})",
+            feed.high_water
+        );
+        assert_eq!(feed.residual, 0, "cap {cap}: the feed must drain");
+        // the excess is absorbed as blocked sends, visibly metered
+        assert!(feed.blocked_sends > 0, "cap {cap}: the bound never bit");
+        let flood = &report.processes[0];
+        assert!(flood.send_blocked > 0 && flood.max_blocked_rounds > 0);
+        assert!(
+            report.to_string().contains("send-blocked"),
+            "blocked telemetry must surface in the report:\n{report}"
+        );
+        assert!(
+            report.bottleneck().is_some(),
+            "a send-blocked process is a bottleneck candidate"
+        );
+        // and the delivered history is still the complete identity
+        assert_eq!(
+            report.trace.seq_on(OUT).take(TOTAL as usize + 1),
+            (0..TOTAL).map(Value::Int).collect::<Vec<_>>(),
+            "cap {cap}: backpressure must not lose or reorder data"
+        );
+    }
+}
+
+#[test]
+fn unfittable_burst_blocks_with_a_named_outcome() {
+    // capacity 1 can never admit the atomic two-send burst: the step
+    // rolls back forever and the engine names the flow deadlock instead
+    // of spinning
+    let report = overload_net().run_report(&mut RoundRobin::new(), opts().with_capacity(1));
+    assert!(!report.quiescent);
+    match &report.status {
+        RunStatus::Backpressured { process, chan } => {
+            assert_eq!(process, "flood");
+            assert_eq!(*chan, FEED);
+        }
+        s => panic!("expected Backpressured, got: {s}"),
+    }
+    assert!(
+        report.status.to_string().contains("flood"),
+        "the named outcome must identify the blocked process: {}",
+        report.status
+    );
+}
+
+#[test]
+fn deadline_cuts_a_live_but_slow_run_with_a_named_outcome() {
+    // cap 2 progresses (slowly); a 20-round deadline expires first
+    let report = overload_net().run_report(
+        &mut RoundRobin::new(),
+        opts().with_capacity(2).with_deadline(20),
+    );
+    assert!(!report.quiescent);
+    assert_eq!(report.status, RunStatus::DeadlineExpired);
+    assert!(
+        report.rounds <= 21,
+        "the deadline must actually cut the run"
+    );
+    // without the deadline the same bounded run completes
+    let full = overload_net().run_report(&mut RoundRobin::new(), opts().with_capacity(2));
+    assert!(full.quiescent);
+}
+
+#[test]
+fn shed_policy_trades_metered_loss_for_liveness() {
+    let report = overload_net().run_report(
+        &mut RoundRobin::new(),
+        opts().with_capacity(1).with_overflow(OverflowPolicy::Shed),
+    );
+    // the unfittable burst no longer deadlocks: overflow is dropped
+    assert!(
+        report.quiescent,
+        "shedding must keep the run live:\n{report}"
+    );
+    let feed = feed_report(&report);
+    assert!(feed.shed > 0, "overflow must be metered as shed");
+    assert!(feed.high_water <= 1);
+    let delivered = report.trace.seq_on(OUT).take(TOTAL as usize + 1);
+    assert_eq!(
+        delivered.len() + feed.shed,
+        TOTAL as usize,
+        "every send is either delivered or metered as shed"
+    );
+    // what survives is an in-order subsequence of the workload
+    let mut last = -1i64;
+    for v in &delivered {
+        let Value::Int(n) = v else {
+            panic!("non-integer on OUT")
+        };
+        assert!(*n > last, "shedding must preserve relative order");
+        last = *n;
+    }
+}

@@ -45,6 +45,7 @@ fn crashed_and_recovered_zoo_runs_still_certify() {
                             // consumes extra scheduler steps
                             max_steps: entry.max_steps + 64,
                             seed,
+                            ..RunOptions::default()
                         },
                         SupervisorOptions::one_for_one(),
                     );
