@@ -26,6 +26,8 @@ use eqp_kahn::conformance::{check_report, ConformanceOptions};
 use eqp_kahn::faults::{Fault, FaultSchedule, FaultyLink, LinkFaultSpec};
 use eqp_kahn::{procs, Network, Oracle, ReliableConfig, RoundRobin, RunOptions, SupervisorOptions};
 use eqp_processes::dfm;
+use eqp_seqfn::paper::ch;
+use eqp_seqfn::SeqExpr;
 use eqp_trace::{Chan, Value};
 use std::hint::black_box;
 
@@ -85,6 +87,14 @@ fn bench_run_vs_report(c: &mut Criterion, desc: &Description) {
             let mut net = dfm::section23_network(Oracle::fair(7, 2));
             let report = net.run_report(&mut RoundRobin::new(), section23_opts());
             black_box(check_report(desc, &report, &ConformanceOptions::default()).is_conformant())
+        })
+    });
+    g.bench_function("run_report_monitored", |b| {
+        b.iter(|| {
+            let mut net = dfm::section23_network(Oracle::fair(7, 2));
+            let (report, conf) =
+                net.run_report_monitored(desc, &mut RoundRobin::new(), section23_opts());
+            black_box((report.steps, conf.is_conformant()))
         })
     });
     g.finish();
@@ -262,6 +272,74 @@ fn bench_reliable(c: &mut Criterion) {
     g.finish();
 }
 
+/// A deep-trace pipeline parameterized by length: `n` sourced values
+/// doubled through one stage, so every event lands in the trace and the
+/// monitor (or the post-hoc re-walk) has `2n` events to certify.
+fn deep_pipeline(n: usize) -> Network {
+    let stage = Chan::new(240);
+    let out = Chan::new(241);
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env",
+        stage,
+        (0..n as i64).map(Value::Int).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Apply::int_affine("double", stage, out, 2, 0));
+    net
+}
+
+fn deep_description(n: usize) -> Description {
+    let stage = Chan::new(240);
+    let out = Chan::new(241);
+    Description::new("deep-pipeline")
+        .equation(ch(stage), SeqExpr::const_ints(0..n as i64))
+        .equation(ch(out), SeqExpr::affine(2, 0, ch(stage)))
+}
+
+/// The online-monitor tax: the deep pipeline bare, with the in-loop
+/// `SmoothnessMonitor` certifying every committed send (acceptance:
+/// ≤1.5× bare), and with the post-hoc full-trace re-walk it replaces.
+/// The 64/256/1024 sweep pins the amortized-O(1) claim: the monitor's
+/// per-event cost must stay flat as the trace deepens, while the
+/// post-hoc diagnose re-walks every prefix.
+fn bench_monitored(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitored");
+    g.sample_size(20);
+    for n in DEEP_TRACE_LENGTHS {
+        let desc = deep_description(n);
+        let opts = RunOptions {
+            max_steps: 8 * n + 100,
+            seed: 7,
+            ..RunOptions::default()
+        };
+        g.bench_function(format!("bare-{n}"), |b| {
+            b.iter(|| {
+                let mut net = deep_pipeline(n);
+                black_box(net.run_report(&mut RoundRobin::new(), opts).steps)
+            })
+        });
+        g.bench_function(format!("online-{n}"), |b| {
+            b.iter(|| {
+                let mut net = deep_pipeline(n);
+                let (report, conf) = net.run_report_monitored(&desc, &mut RoundRobin::new(), opts);
+                black_box((report.steps, conf.is_conformant()))
+            })
+        });
+        g.bench_function(format!("posthoc-{n}"), |b| {
+            b.iter(|| {
+                let mut net = deep_pipeline(n);
+                let report = net.run_report(&mut RoundRobin::new(), opts);
+                black_box(
+                    check_report(&desc, &report, &ConformanceOptions::default()).is_conformant(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+const DEEP_TRACE_LENGTHS: [usize; 3] = [64, 256, 1024];
+
 fn main() {
     let desc = dfm::section23_description();
     let mut c = Criterion::default().configure_from_args();
@@ -270,6 +348,7 @@ fn main() {
     bench_faulty_link(&mut c);
     bench_checkpoint(&mut c);
     bench_reliable(&mut c);
+    bench_monitored(&mut c);
 
     // machine-readable report, including the checkpoint-capture overhead
     // ratio the acceptance criterion bounds (≤ 1.05 over the bare run).
@@ -287,6 +366,12 @@ fn main() {
     let arq_bare = median("reliable/bare");
     let arq_overhead = median("reliable/clean-arq") / arq_bare;
     let arq_recovery = median("reliable/drop10-arq") / arq_bare;
+    // the headline ratio: online certification of the canonical
+    // section 2.3 run over the bare `run_report` — the workload whose
+    // post-hoc certification costs ~5.5× today
+    let s23_bare = median("runtime/section23/run_report");
+    let monitored_overhead = median("runtime/section23/run_report_monitored") / s23_bare;
+    let posthoc_overhead = median("runtime/section23/run_report+conformance") / s23_bare;
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"runtime\",\n");
@@ -299,6 +384,27 @@ fn main() {
     json.push_str(&format!(
         "  \"reliable_recovery_latency\": {arq_recovery:.4},\n"
     ));
+    json.push_str(&format!(
+        "  \"monitored_overhead\": {monitored_overhead:.4},\n"
+    ));
+    json.push_str("  \"monitored_overhead_gate\": 1.50,\n");
+    json.push_str(&format!("  \"posthoc_overhead\": {posthoc_overhead:.4},\n"));
+    json.push_str("  \"deep_trace\": [\n");
+    for (i, n) in DEEP_TRACE_LENGTHS.iter().enumerate() {
+        // marginal certification cost per trace event — flat for the
+        // monitor, growing for the post-hoc prefix re-walk
+        let bare_n = median(&format!("monitored/bare-{n}"));
+        let online_ev = (median(&format!("monitored/online-{n}")) - bare_n) / (2 * n) as f64;
+        let posthoc_ev = (median(&format!("monitored/posthoc-{n}")) - bare_n) / (2 * n) as f64;
+        json.push_str(&format!(
+            "    {{\"events\": {}, \"online_per_event_ns\": {:.1}, \"posthoc_per_event_ns\": {:.1}}}{}\n",
+            2 * n,
+            online_ev,
+            posthoc_ev,
+            if i + 1 < DEEP_TRACE_LENGTHS.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
@@ -324,5 +430,14 @@ fn main() {
     assert!(
         arq_overhead <= 1.10,
         "clean-link ARQ overhead {arq_overhead:.4} exceeds the 10% gate"
+    );
+    assert!(
+        monitored_overhead.is_finite() && posthoc_overhead.is_finite(),
+        "monitored overheads must be measurable"
+    );
+    assert!(
+        monitored_overhead <= 1.50,
+        "online-monitor overhead {monitored_overhead:.4} exceeds the 1.5× gate \
+         (post-hoc re-walk costs {posthoc_overhead:.4}×)"
     );
 }

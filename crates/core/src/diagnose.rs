@@ -86,14 +86,12 @@ impl fmt::Display for SmoothReport {
     }
 }
 
-/// Produces a full report for `t` against `desc`, checking smoothness to
-/// `depth` pairs.
-pub fn diagnose(desc: &Description, t: &Trace, depth: usize) -> SmoothReport {
-    let lhs = desc.eval_lhs(t);
-    let rhs = desc.eval_rhs(t);
-    let limits = lhs
-        .iter()
-        .zip(&rhs)
+/// Builds the per-component limit verdicts `f_k(t) = g_k(t)` from
+/// already-evaluated sides — shared between the post-hoc [`diagnose`]
+/// sweep and the online monitor so both derive verdicts identically.
+pub fn limit_verdicts(lhs: &[Seq], rhs: &[Seq]) -> Vec<LimitVerdict> {
+    lhs.iter()
+        .zip(rhs)
         .enumerate()
         .map(|(k, (l, r))| LimitVerdict {
             component: k,
@@ -101,7 +99,15 @@ pub fn diagnose(desc: &Description, t: &Trace, depth: usize) -> SmoothReport {
             rhs: r.clone(),
             holds: l == r,
         })
-        .collect();
+        .collect()
+}
+
+/// Produces a full report for `t` against `desc`, checking smoothness to
+/// `depth` pairs.
+pub fn diagnose(desc: &Description, t: &Trace, depth: usize) -> SmoothReport {
+    let lhs = desc.eval_lhs(t);
+    let rhs = desc.eval_rhs(t);
+    let limits = limit_verdicts(&lhs, &rhs);
     let mut violation = None;
     'outer: for (u, v) in t.pre_pairs_up_to(depth) {
         let lv = desc.eval_lhs(&v);

@@ -26,6 +26,7 @@
 
 use crate::conformance::{check_report, ConformanceOptions, Verdict};
 use crate::faults::{CrashPoint, Fault, FaultSchedule, LinkFaultSpec};
+use crate::monitor::MonitorPolicy;
 use crate::network::{Network, RunOptions};
 use crate::reliable::{ArqOptions, ReliableConfig};
 use crate::report::{FaultRecord, RunReport, RunStatus};
@@ -331,10 +332,59 @@ pub fn run_trial(
     (report, conf)
 }
 
+/// Runs one trial with the online [`SmoothnessMonitor`](crate::monitor)
+/// certifying as events commit. Under
+/// [`MonitorPolicy::AbortOnViolation`] a smoothness-violating candidate
+/// halts at the convicting step instead of running to the step bound and
+/// re-checking post-hoc — the ddmin speedup.
+pub fn run_trial_monitored(
+    scenario: &Scenario,
+    trial: &Trial,
+    sup: SupervisorOptions,
+    policy: MonitorPolicy,
+) -> (RunReport, crate::conformance::Conformance) {
+    let mut net = scenario.build(trial.net_seed);
+    let mut sched = trial.scheduler.build();
+    let opts = RunOptions {
+        max_steps: scenario.max_steps,
+        seed: trial.net_seed,
+        ..RunOptions::default()
+    }
+    .with_monitor(policy);
+    let desc = scenario.description();
+    if scenario.protect.is_empty() {
+        net.run_supervised_monitored_faulted(&desc, &mut sched, opts, sup, &trial.schedule)
+    } else {
+        let cfg = ReliableConfig::new(scenario.protect.clone()).arq(scenario.arq);
+        net.run_supervised_monitored_reliable(&desc, &mut sched, opts, sup, &trial.schedule, &cfg)
+    }
+}
+
+/// The outcome of a [`shrink_report`] pass: the minimal schedule plus the
+/// cost counters the early-abort monitor saved.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The delta-debugged minimal schedule that still convicts —
+    /// identical to what the post-hoc [`shrink`] finds (pinned in
+    /// `tests/chaos_zoo.rs`).
+    pub minimal: FaultSchedule,
+    /// Candidate trials executed during the shrink.
+    pub trials_run: usize,
+    /// Step budget saved by early abort, summed over the candidate runs
+    /// the monitor halted: `Σ (max_steps − steps_at_abort)` — each such
+    /// run would otherwise have been free to grind to the scenario's
+    /// step bound before the post-hoc check convicted it.
+    pub steps_saved: usize,
+}
+
 /// Greedy delta debugging (ddmin-lite): repeatedly removes single fault
 /// elements from the schedule while the trial still convicts, returning
 /// the locally minimal schedule. A convicting drop-fault schedule
 /// typically shrinks to the single dropped-message injection.
+///
+/// This is the post-hoc reference path (full run + O(n²) trace re-walk
+/// per candidate); [`shrink_report`] finds the same minimal schedule with
+/// early-abort monitored candidates and reports the cost saved.
 pub fn shrink(scenario: &Scenario, trial: &Trial, sup: SupervisorOptions) -> FaultSchedule {
     let mut current = trial.schedule.clone();
     loop {
@@ -352,6 +402,48 @@ pub fn shrink(scenario: &Scenario, trial: &Trial, sup: SupervisorOptions) -> Fau
         }
         if !progressed {
             return current;
+        }
+    }
+}
+
+/// [`shrink`] with every candidate run under the early-abort online
+/// monitor: a smoothness-violating candidate halts at the convicting
+/// step (amortized O(1) certification, no post-hoc re-walk), so noisy
+/// schedules shrink in a fraction of the step budget. The minimal
+/// schedule is identical to the post-hoc path's — the monitored verdict
+/// equals the post-hoc verdict on every run (differential suite), and a
+/// run the monitor aborts is convicted by the post-hoc check too (the
+/// violating prefix pair is already in the trace and smoothness never
+/// heals).
+pub fn shrink_report(scenario: &Scenario, trial: &Trial, sup: SupervisorOptions) -> ShrinkResult {
+    let mut current = trial.schedule.clone();
+    let mut trials_run = 0;
+    let mut steps_saved = 0;
+    loop {
+        let mut progressed = false;
+        for i in 0..current.len() {
+            let candidate = Trial {
+                schedule: current.without(i),
+                ..trial.clone()
+            };
+            let (report, conf) =
+                run_trial_monitored(scenario, &candidate, sup, MonitorPolicy::AbortOnViolation);
+            trials_run += 1;
+            if matches!(report.status, RunStatus::MonitorAborted { .. }) {
+                steps_saved += scenario.max_steps.saturating_sub(report.steps);
+            }
+            if !conf.is_conformant() {
+                current = candidate.schedule;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return ShrinkResult {
+                minimal: current,
+                trials_run,
+                steps_saved,
+            };
         }
     }
 }
@@ -464,8 +556,10 @@ pub fn storm(scenario: &Scenario, opts: &ChaosOptions) -> ChaosReport {
         // reproducibility: the identical trial must reproduce the verdict
         let (report2, conf2) = run_trial(scenario, &trial, opts.supervisor);
         let reproducible = conf2.verdict == conf.verdict && report2.trace == report.trace;
-        // shrink to a minimal reproducer, then characterize it
-        let minimal = shrink(scenario, &trial, opts.supervisor);
+        // shrink to a minimal reproducer (early-abort monitored
+        // candidates — same minimum, fraction of the step budget), then
+        // characterize it
+        let minimal = shrink_report(scenario, &trial, opts.supervisor).minimal;
         let min_trial = Trial {
             schedule: minimal.clone(),
             ..trial.clone()
@@ -583,6 +677,46 @@ mod tests {
             minimal.links[0].fault,
             Fault::Drop { period: 2 },
             "the surviving element is the drop"
+        );
+    }
+
+    #[test]
+    fn monitored_shrink_finds_the_same_minimum_and_saves_steps() {
+        let s = scenario();
+        let trial = Trial {
+            net_seed: 7,
+            scheduler: SchedulerChoice::RoundRobin,
+            schedule: FaultSchedule {
+                crashes: vec![CrashPoint {
+                    process: 1,
+                    at_step: 2,
+                }],
+                links: vec![
+                    LinkFaultSpec {
+                        chan: d(),
+                        fault: Fault::Delay { slack: 1 },
+                    },
+                    LinkFaultSpec {
+                        chan: c(),
+                        fault: Fault::Drop { period: 2 },
+                    },
+                ],
+            },
+        };
+        let sup = SupervisorOptions::one_for_one();
+        let posthoc = shrink(&s, &trial, sup);
+        let monitored = shrink_report(&s, &trial, sup);
+        assert_eq!(
+            monitored.minimal, posthoc,
+            "early-abort shrink must find the post-hoc minimum"
+        );
+        assert!(monitored.trials_run > 0);
+        // the surviving drop convicts by smoothness ([1,3] ⋢ [1,2,3]), so
+        // convicting candidates abort at the violating step instead of
+        // exhausting the 10k step budget
+        assert!(
+            monitored.steps_saved > 0,
+            "smoothness-convicting candidates must abort early"
         );
     }
 

@@ -84,7 +84,7 @@ pub struct Conformance {
     /// The projected trace that was actually checked.
     pub checked: Trace,
     /// Rendered component equations, aligned with component indices.
-    equations: Vec<String>,
+    pub(crate) equations: Vec<String>,
 }
 
 impl Conformance {
@@ -171,30 +171,17 @@ impl fmt::Display for Conformance {
     }
 }
 
-/// Checks a raw trace (with its quiescence flag) against a description.
-///
-/// The trace is projected onto `opts.visible` (default: the
-/// description's channels), smoothness is checked through every prefix
-/// pair of the finite projection, and — for quiescent runs — the limit
-/// condition is evaluated.
-pub fn check_trace(
-    desc: &Description,
-    trace: &Trace,
-    quiescent: bool,
-    opts: &ConformanceOptions,
-) -> Conformance {
-    let keep = opts.visible.clone().unwrap_or_else(|| desc.channels());
-    let t = trace.project(&keep);
-    let depth = match t.len() {
-        Length::Finite(n) => n,
-        Length::Infinite => default_certificate_depth(desc, &t),
-    };
-    let report = diagnose(desc, &t, depth);
-    let verdict = if let Some(v) = &report.violation {
-        Verdict::SmoothnessViolation {
+/// Derives the verdict from a diagnostic report and the quiescence flag —
+/// the single derivation shared by the post-hoc checkers and the online
+/// [`SmoothnessMonitor`](crate::monitor::SmoothnessMonitor), so the two
+/// paths agree by construction.
+pub(crate) fn verdict_from_report(report: &SmoothReport, quiescent: bool) -> Verdict {
+    if let Some(v) = &report.violation {
+        return Verdict::SmoothnessViolation {
             component: v.component,
-        }
-    } else if quiescent {
+        };
+    }
+    if quiescent {
         let failing: Vec<usize> = report
             .limits
             .iter()
@@ -210,20 +197,55 @@ pub fn check_trace(
         }
     } else {
         Verdict::SmoothPrefix
-    };
-    let equations = desc
-        .lhs()
+    }
+}
+
+/// Renders the component equations `f_k ⟸ g_k`, aligned with component
+/// indices — shared with the online monitor.
+pub(crate) fn render_equations(desc: &Description) -> Vec<String> {
+    desc.lhs()
         .iter()
         .zip(desc.rhs())
         .map(|(l, r)| format!("{l} ⟸ {r}"))
-        .collect();
+        .collect()
+}
+
+/// Checks a raw trace (with its quiescence flag) against a description.
+///
+/// The trace is projected onto `opts.visible` (default: the
+/// description's channels), smoothness is checked through every prefix
+/// pair of the finite projection, and — for quiescent runs — the limit
+/// condition is evaluated.
+///
+/// Fast path: when no explicit `visible` set is given and every channel
+/// the trace carries is already one of the description's, the projection
+/// is the identity and the clone-per-event rebuild is skipped.
+pub fn check_trace(
+    desc: &Description,
+    trace: &Trace,
+    quiescent: bool,
+    opts: &ConformanceOptions,
+) -> Conformance {
+    let keep = opts.visible.clone().unwrap_or_else(|| desc.channels());
+    let projected = if opts.visible.is_none() && trace.channels().is_subset(&keep) {
+        None
+    } else {
+        Some(trace.project(&keep))
+    };
+    let t = projected.as_ref().unwrap_or(trace);
+    let depth = match t.len() {
+        Length::Finite(n) => n,
+        Length::Infinite => default_certificate_depth(desc, t),
+    };
+    let report = diagnose(desc, t, depth);
+    let verdict = verdict_from_report(&report, quiescent);
     Conformance {
         description: desc.name().to_owned(),
         verdict,
         report,
         quiescent,
-        checked: t,
-        equations,
+        checked: projected.unwrap_or_else(|| trace.clone()),
+        equations: render_equations(desc),
     }
 }
 

@@ -89,6 +89,7 @@
 pub mod chaos;
 pub mod conformance;
 pub mod faults;
+pub mod monitor;
 pub mod network;
 pub mod oracle;
 pub mod process;
@@ -99,11 +100,14 @@ pub mod scheduler;
 pub mod snapshot;
 pub mod supervisor;
 
-pub use chaos::{ChaosOptions, ChaosReport, Conviction, Scenario, SchedulerChoice, Trial};
+pub use chaos::{
+    ChaosOptions, ChaosReport, Conviction, Scenario, SchedulerChoice, ShrinkResult, Trial,
+};
 pub use conformance::{Conformance, ConformanceOptions, Verdict};
 pub use faults::{
     CrashAt, CrashPoint, Fault, FaultEvent, FaultKind, FaultSchedule, FaultyLink, LinkFaultSpec,
 };
+pub use monitor::{MonitorPolicy, SmoothnessMonitor};
 pub use network::{Network, OverflowPolicy, RunOptions, RunResult};
 pub use oracle::Oracle;
 pub use process::{Process, StepCtx, StepResult};

@@ -1,0 +1,400 @@
+//! Online incremental conformance monitoring: amortized O(1) per-event
+//! certification of the smoothness condition.
+//!
+//! The post-hoc bridge in [`crate::conformance`] re-walks every one-step
+//! prefix pair of the *final* trace and fully re-evaluates `f(v)`/`g(u)`
+//! each time — O(n²) in trace length. But the smoothness condition
+//! `∀ u pre v :: f(v) ⊑ g(u)` is exactly a per-step invariant: each new
+//! event extends `u` to `v` by one, so a monitor that keeps *resumable*
+//! evaluator states for both sides of every component equation
+//! ([`eqp_seqfn::delta::SideEval`], built on PR 1's `DeltaState`) can
+//! check the new pair by freezing `g`'s output length, stepping both
+//! sides one event, and comparing only the freshly appended positions —
+//! amortized O(1) per event. The limit condition `f(t) = g(t)` is
+//! certified once at quiescence from the final states, so no prefix is
+//! ever re-walked.
+//!
+//! Sides without an incremental hook (infinite constants, hookless
+//! `Custom` functions) transparently fall back to full re-evaluation per
+//! event, mirroring `delta.rs` — correctness never depends on the fast
+//! path being available.
+//!
+//! The monitor produces the *same* [`SmoothReport`] / [`Conformance`] /
+//! [`Verdict`] as the post-hoc path: violations are recorded in the same
+//! `(u, v)`-pair-then-component order as [`eqp_core::diagnose`], and the
+//! final verdict is derived by the same shared function
+//! (`conformance::verdict_from_report`). The differential suite
+//! `tests/monitor_equivalence.rs` pins this equivalence across the whole
+//! zoo.
+
+use crate::conformance::{render_equations, verdict_from_report, Conformance, Verdict};
+use crate::report::RunStatus;
+use eqp_core::diagnose::{limit_verdicts, SmoothReport, SmoothnessViolation};
+use eqp_core::Description;
+use eqp_seqfn::delta::{step_check, SideEval};
+use eqp_trace::{ChanSet, Event, Seq, Trace};
+
+/// What the engine does when the monitor observes a smoothness violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MonitorPolicy {
+    /// Keep running; the violation is reported in the final
+    /// [`Conformance`] exactly as the post-hoc check would.
+    #[default]
+    Observe,
+    /// Halt the run at the violating step with
+    /// [`RunStatus::MonitorAborted`] naming the convicted component
+    /// equation — fault-injection and chaos trials stop at the offending
+    /// event instead of running to the step bound and re-checking.
+    AbortOnViolation,
+}
+
+/// Resumable evaluator pair for one component equation `f_k ⟸ g_k`.
+#[derive(Debug, Clone)]
+struct PairState {
+    f: SideEval,
+    g: SideEval,
+    /// Positions of `f`'s output already verified against `g`'s — the
+    /// amortization frontier of the incremental fast path.
+    verified: usize,
+}
+
+/// An online smoothness monitor over one [`Description`].
+///
+/// Feed it every committed send via [`feed`](SmoothnessMonitor::feed)
+/// (events outside the visible channel set are ignored, performing the
+/// same projection as the post-hoc checker, without building a second
+/// trace), then derive the final [`Conformance`] from the run status via
+/// [`finish`](SmoothnessMonitor::finish).
+///
+/// The monitor is `Clone` so [`crate::snapshot::Checkpoint`] can carry it:
+/// capturing and restoring mid-run resumes certification without
+/// re-feeding the prefix.
+#[derive(Debug, Clone)]
+pub struct SmoothnessMonitor {
+    description: Description,
+    keep: ChanSet,
+    policy: MonitorPolicy,
+    pairs: Vec<PairState>,
+    events: Vec<Event>,
+    violation: Option<SmoothnessViolation>,
+}
+
+impl SmoothnessMonitor {
+    /// Builds a monitor for `desc`. `visible` overrides the projection
+    /// channel set (default: the description's own channels, matching
+    /// [`crate::conformance::ConformanceOptions`]).
+    pub fn new(desc: &Description, visible: Option<ChanSet>, policy: MonitorPolicy) -> Self {
+        let keep = visible.unwrap_or_else(|| desc.channels());
+        let pairs = desc
+            .lhs()
+            .iter()
+            .zip(desc.rhs())
+            .map(|(f, g)| PairState {
+                f: SideEval::new(f),
+                g: SideEval::new(g),
+                verified: 0,
+            })
+            .collect();
+        SmoothnessMonitor {
+            description: desc.clone(),
+            keep,
+            policy,
+            pairs,
+            events: Vec::new(),
+            violation: None,
+        }
+    }
+
+    /// The abort policy this monitor was built with.
+    pub fn policy(&self) -> MonitorPolicy {
+        self.policy
+    }
+
+    /// Number of events observed so far (after projection).
+    pub fn observed(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff every side of every component equation is running on the
+    /// incremental fast path (no full re-evaluation per event).
+    pub fn fully_incremental(&self) -> bool {
+        self.pairs
+            .iter()
+            .all(|p| p.f.is_incremental() && p.g.is_incremental())
+    }
+
+    /// The first smoothness violation's component index, if one has been
+    /// observed.
+    pub fn violation_component(&self) -> Option<usize> {
+        self.violation.as_ref().map(|v| v.component)
+    }
+
+    /// Observes one committed send.
+    ///
+    /// Returns `Some(component)` exactly when this event produced the
+    /// *first* smoothness violation and the policy is
+    /// [`MonitorPolicy::AbortOnViolation`] — the engine's signal to halt.
+    /// Events on channels outside the visible set are ignored. After a
+    /// violation the monitor keeps stepping its evaluator states (the
+    /// limit condition still needs the full trace) but checks nothing
+    /// further, mirroring `diagnose`'s first-violation semantics.
+    #[inline]
+    pub fn feed(&mut self, ev: Event) -> Option<usize> {
+        self.feed_batch(std::slice::from_ref(&ev))
+    }
+
+    /// Observes a batch of committed sends in order.
+    ///
+    /// Semantically identical to feeding each event through
+    /// [`feed`](SmoothnessMonitor::feed) in sequence — the first
+    /// violation is selected by minimal `(event index, component index)`,
+    /// exactly the order the per-event loop discovers them in — but the
+    /// pair-outer loop keeps each evaluator's state hot across the whole
+    /// batch, which is what makes lazily-drained observation cheap.
+    pub fn feed_batch(&mut self, evs: &[Event]) -> Option<usize> {
+        let start = self.events.len();
+        {
+            let keep = &self.keep;
+            self.events
+                .extend(evs.iter().filter(|e| keep.contains(e.chan)));
+        }
+        if self.events.len() == start {
+            return None;
+        }
+        // (event index, component, f(v), frozen g(u)) of the earliest
+        // conviction in this batch, in per-event discovery order.
+        let mut earliest: Option<(usize, usize, Seq, Seq)> = None;
+        let already = self.violation.is_some();
+        for (k, pair) in self.pairs.iter_mut().enumerate() {
+            let mut checking = !already;
+            for (i, &ev) in self.events[start..].iter().enumerate() {
+                let frozen = pair.g.freeze();
+                pair.f.step(ev);
+                pair.g.step(ev);
+                if checking && !step_check(&pair.f, &pair.g, &frozen, &mut pair.verified) {
+                    let at = start + i;
+                    if earliest
+                        .as_ref()
+                        .is_none_or(|&(bi, bk, ..)| (at, k) < (bi, bk))
+                    {
+                        earliest = Some((at, k, pair.f.value(), pair.g.frozen_value(&frozen)));
+                    }
+                    // After its first conviction a pair only keeps its
+                    // states current (the limit condition still needs the
+                    // full trace), mirroring `diagnose`'s first-violation
+                    // semantics.
+                    checking = false;
+                }
+            }
+        }
+        let (at, k, lhs_v, rhs_u) = earliest?;
+        self.violation = Some(SmoothnessViolation {
+            component: k,
+            u: Trace::finite(self.events[..at].to_vec()),
+            v: Trace::finite(self.events[..=at].to_vec()),
+            lhs_v,
+            rhs_u,
+        });
+        match self.policy {
+            MonitorPolicy::AbortOnViolation => Some(k),
+            MonitorPolicy::Observe => None,
+        }
+    }
+
+    /// The diagnostic report over everything observed so far: limit
+    /// verdicts straight from the final evaluator states (no re-walk),
+    /// the first smoothness violation if any, and the checked depth.
+    ///
+    /// Identical to `diagnose(desc, &observed_trace, observed_len)` — the
+    /// differential suite pins this.
+    pub fn report(&self) -> SmoothReport {
+        let lhs: Vec<Seq> = self.pairs.iter().map(|p| p.f.value()).collect();
+        let rhs: Vec<Seq> = self.pairs.iter().map(|p| p.g.value()).collect();
+        SmoothReport {
+            description: self.description.name().to_owned(),
+            limits: limit_verdicts(&lhs, &rhs),
+            violation: self.violation.clone(),
+            depth: self.events.len(),
+        }
+    }
+
+    /// Derives the final [`Conformance`] from the run's terminal status,
+    /// mirroring [`crate::conformance::check_report`]: quiescent runs are
+    /// held to the limit condition, bounded runs are excused, and a
+    /// cleanly-passing run whose reliable link exhausted its retry budget
+    /// is reported as [`Verdict::Degraded`] naming the link.
+    pub fn finish(&self, status: &RunStatus) -> Conformance {
+        if let RunStatus::ReliabilityExhausted { link } = status {
+            let mut conf = self.conformance(false);
+            if conf.verdict == Verdict::SmoothPrefix {
+                conf.verdict = Verdict::Degraded { link: link.clone() };
+            }
+            return conf;
+        }
+        self.conformance(status.is_quiescent())
+    }
+
+    fn conformance(&self, quiescent: bool) -> Conformance {
+        let report = self.report();
+        let verdict = verdict_from_report(&report, quiescent);
+        Conformance {
+            description: self.description.name().to_owned(),
+            verdict,
+            report,
+            quiescent,
+            checked: Trace::finite(self.events.clone()),
+            equations: render_equations(&self.description),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::{check_trace, ConformanceOptions};
+    use eqp_seqfn::paper::{ch, even, odd};
+    use eqp_trace::Chan;
+
+    fn b() -> Chan {
+        Chan::new(0)
+    }
+    fn c() -> Chan {
+        Chan::new(1)
+    }
+    fn d() -> Chan {
+        Chan::new(2)
+    }
+
+    fn dfm() -> Description {
+        Description::new("dfm")
+            .equation(even(ch(d())), ch(b()))
+            .equation(odd(ch(d())), ch(c()))
+    }
+
+    fn feed_all(m: &mut SmoothnessMonitor, events: &[Event]) -> Option<usize> {
+        let mut aborted = None;
+        for &ev in events {
+            if let Some(k) = m.feed(ev) {
+                aborted.get_or_insert(k);
+            }
+        }
+        aborted
+    }
+
+    fn assert_matches_posthoc(events: Vec<Event>, quiescent: bool) {
+        let desc = dfm();
+        let mut m = SmoothnessMonitor::new(&desc, None, MonitorPolicy::Observe);
+        feed_all(&mut m, &events);
+        let online = m.conformance(quiescent);
+        let posthoc = check_trace(
+            &desc,
+            &Trace::finite(events),
+            quiescent,
+            &ConformanceOptions::default(),
+        );
+        assert_eq!(online.verdict, posthoc.verdict);
+        assert_eq!(online.report, posthoc.report);
+        assert_eq!(online.checked, posthoc.checked);
+    }
+
+    #[test]
+    fn solution_prefix_and_violations_match_posthoc() {
+        let good = vec![
+            Event::int(b(), 10),
+            Event::int(c(), 21),
+            Event::int(d(), 10),
+            Event::int(d(), 21),
+        ];
+        assert_matches_posthoc(good.clone(), true);
+        assert_matches_posthoc(good[..3].to_vec(), false);
+        // quiescent but incomplete: limit violation
+        assert_matches_posthoc(good[..3].to_vec(), true);
+        // output before any justifying input: smoothness violation
+        assert_matches_posthoc(vec![Event::int(d(), 10), Event::int(b(), 10)], false);
+    }
+
+    #[test]
+    fn projection_ignores_foreign_channels() {
+        let desc = dfm();
+        let mut m = SmoothnessMonitor::new(&desc, None, MonitorPolicy::Observe);
+        assert_eq!(m.feed(Event::int(Chan::new(99), 7)), None);
+        assert_eq!(m.observed(), 0);
+    }
+
+    #[test]
+    fn abort_policy_convicts_at_the_violating_event() {
+        let desc = dfm();
+        let mut m = SmoothnessMonitor::new(&desc, None, MonitorPolicy::AbortOnViolation);
+        assert_eq!(m.feed(Event::int(b(), 10)), None);
+        // d echoes an even value no input justified — convicted
+        // immediately, on the even-component (index 0), same as
+        // diagnose's ordering.
+        assert_eq!(m.feed(Event::int(d(), 98)), Some(0));
+        assert_eq!(m.violation_component(), Some(0));
+        // observe policy stays quiet on the same stream
+        let mut obs = SmoothnessMonitor::new(&desc, None, MonitorPolicy::Observe);
+        assert_eq!(
+            feed_all(&mut obs, &[Event::int(b(), 10), Event::int(d(), 98)]),
+            None
+        );
+        assert_eq!(obs.violation_component(), Some(0));
+    }
+
+    #[test]
+    fn finish_maps_statuses_like_check_report() {
+        let desc = dfm();
+        let good = [
+            Event::int(b(), 10),
+            Event::int(c(), 21),
+            Event::int(d(), 10),
+            Event::int(d(), 21),
+        ];
+        let mut m = SmoothnessMonitor::new(&desc, None, MonitorPolicy::Observe);
+        feed_all(&mut m, &good);
+        assert_eq!(
+            m.finish(&RunStatus::Quiescent).verdict,
+            Verdict::SmoothSolution
+        );
+        assert_eq!(
+            m.finish(&RunStatus::BudgetExhausted).verdict,
+            Verdict::SmoothPrefix
+        );
+        assert_eq!(
+            m.finish(&RunStatus::ReliabilityExhausted {
+                link: "arq@ch2".into()
+            })
+            .verdict,
+            Verdict::Degraded {
+                link: "arq@ch2".into()
+            }
+        );
+    }
+
+    #[test]
+    fn clone_resumes_certification_identically() {
+        // snapshot mid-stream, keep feeding both: identical conformance.
+        let desc = dfm();
+        let events = [
+            Event::int(b(), 10),
+            Event::int(c(), 21),
+            Event::int(d(), 10),
+            Event::int(d(), 21),
+        ];
+        let mut m = SmoothnessMonitor::new(&desc, None, MonitorPolicy::Observe);
+        feed_all(&mut m, &events[..2]);
+        let mut resumed = m.clone();
+        feed_all(&mut m, &events[2..]);
+        feed_all(&mut resumed, &events[2..]);
+        let a = m.conformance(true);
+        let b = resumed.conformance(true);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.checked, b.checked);
+    }
+
+    #[test]
+    fn dfm_runs_fully_incremental() {
+        let m = SmoothnessMonitor::new(&dfm(), None, MonitorPolicy::Observe);
+        assert!(m.fully_incremental());
+    }
+}

@@ -1,7 +1,9 @@
 //! Networks: processes wired by FIFO channels, run to quiescence — with
 //! optional checkpointing, supervision, and engine-level fault injection.
 
+use crate::conformance::Conformance;
 use crate::faults::{CrashPoint, EngineLink, FaultSchedule};
+use crate::monitor::{MonitorPolicy, SmoothnessMonitor};
 use crate::process::{raw_send, FlowControl, FlowTxn, Process, StepCtx, StepResult};
 use crate::reliable::{ReliableConfig, ReliableLink};
 use crate::report::{
@@ -11,6 +13,7 @@ use crate::report::{
 use crate::scheduler::Scheduler;
 use crate::snapshot::{Checkpoint, SnapshotError, StateCell};
 use crate::supervisor::{Journal, RecoveryRecord, Replay, RestoreMethod, SupervisorOptions};
+use eqp_core::Description;
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +60,13 @@ pub struct RunOptions {
     /// exit for throttled runs that would otherwise grind to the step
     /// bound.
     pub deadline_rounds: Option<usize>,
+    /// Violation policy for the online smoothness monitor, used by the
+    /// `*_monitored` run methods ([`Network::run_report_monitored`] and
+    /// friends). [`MonitorPolicy::Observe`] (the default) certifies
+    /// without perturbing the run; [`MonitorPolicy::AbortOnViolation`]
+    /// halts at the convicting step with [`RunStatus::MonitorAborted`].
+    /// Ignored by unmonitored runs.
+    pub monitor: MonitorPolicy,
 }
 
 impl Default for RunOptions {
@@ -67,6 +77,7 @@ impl Default for RunOptions {
             channel_capacity: None,
             overflow: OverflowPolicy::Block,
             deadline_rounds: None,
+            monitor: MonitorPolicy::Observe,
         }
     }
 }
@@ -96,6 +107,14 @@ impl RunOptions {
     #[must_use]
     pub fn with_deadline(mut self, rounds: usize) -> RunOptions {
         self.deadline_rounds = Some(rounds);
+        self
+    }
+
+    /// Sets the online monitor's violation policy (used by the
+    /// `*_monitored` run methods).
+    #[must_use]
+    pub fn with_monitor(mut self, policy: MonitorPolicy) -> RunOptions {
+        self.monitor = policy;
         self
     }
 }
@@ -427,6 +446,163 @@ impl Network {
         engine.inject_protected(schedule, cfg);
         engine.run(sched)
     }
+
+    /// Runs the network with an online [`SmoothnessMonitor`] certifying
+    /// the trace against `desc` *as events commit* — amortized O(1) per
+    /// event, so the returned [`Conformance`] costs O(n) total instead of
+    /// the post-hoc checker's O(n²) prefix re-walk. The verdict is
+    /// identical to `check_report(desc, &report, &Default::default())` on
+    /// the same run (the differential suite pins this); under
+    /// [`MonitorPolicy::AbortOnViolation`] (see
+    /// [`RunOptions::monitor`]) the run additionally halts at the
+    /// convicting step with [`RunStatus::MonitorAborted`].
+    pub fn run_report_monitored<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.arm_monitor(desc, opts.monitor);
+        engine.run_monitored(sched)
+    }
+
+    /// [`run_report_monitored`](Network::run_report_monitored) under an
+    /// engine-level [`FaultSchedule`] without supervision — the
+    /// conviction-producing configuration, now convicted online.
+    pub fn run_report_monitored_faulted<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.inject(schedule);
+        engine.arm_monitor(desc, opts.monitor);
+        engine.run_monitored(sched)
+    }
+
+    /// [`run_report_monitored`](Network::run_report_monitored) with the
+    /// channels in `cfg` wrapped in reliable (ARQ) links masking the
+    /// faults in `schedule`. Retry-budget exhaustion maps to
+    /// [`Verdict::Degraded`](crate::Verdict) exactly as the post-hoc
+    /// [`check_report`](crate::conformance::check_report) does.
+    pub fn run_report_monitored_reliable<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+        schedule: &FaultSchedule,
+        cfg: &ReliableConfig,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.inject_protected(schedule, cfg);
+        engine.arm_monitor(desc, opts.monitor);
+        engine.run_monitored(sched)
+    }
+
+    /// [`run_supervised_faulted`](Network::run_supervised_faulted) with
+    /// online certification — the chaos harness's monitored entry point.
+    pub fn run_supervised_monitored_faulted<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+        sup: SupervisorOptions,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.supervise(sup);
+        engine.inject(schedule);
+        engine.arm_monitor(desc, opts.monitor);
+        engine.run_monitored(sched)
+    }
+
+    /// [`run_supervised_reliable`](Network::run_supervised_reliable) with
+    /// online certification.
+    pub fn run_supervised_monitored_reliable<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+        sup: SupervisorOptions,
+        schedule: &FaultSchedule,
+        cfg: &ReliableConfig,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.supervise(sup);
+        engine.inject_protected(schedule, cfg);
+        engine.arm_monitor(desc, opts.monitor);
+        engine.run_monitored(sched)
+    }
+
+    /// [`run_report_checkpointed`](Network::run_report_checkpointed) with
+    /// online certification. The captured [`Checkpoint`] carries the
+    /// monitor's evaluator state, so
+    /// [`resume_report_monitored`](Network::resume_report_monitored)
+    /// continues certification without re-feeding the prefix.
+    pub fn run_report_checkpointed_monitored<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+        at_step: usize,
+    ) -> (RunReport, Conformance, Option<Checkpoint>) {
+        self.assert_live();
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.checkpoint_at = Some(at_step);
+        engine.arm_monitor(desc, opts.monitor);
+        let (report, conf) = engine.run_monitored(sched);
+        let captured = engine.captured.take();
+        (report, conf, captured)
+    }
+
+    /// [`resume_report`](Network::resume_report) for a checkpoint taken
+    /// by a monitored run: certification resumes from the checkpointed
+    /// monitor state (no description parameter — the monitor carries its
+    /// equations). Fails with [`SnapshotError::NoMonitor`] if the
+    /// checkpoint came from an unmonitored run.
+    pub fn resume_report_monitored<S: Scheduler>(
+        &mut self,
+        ckpt: &Checkpoint,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> Result<(RunReport, Conformance), SnapshotError> {
+        self.assert_live();
+        if ckpt.monitor.is_none() {
+            return Err(SnapshotError::NoMonitor);
+        }
+        if ckpt.processes.len() != self.processes.len() {
+            return Err(SnapshotError::ArityMismatch {
+                expected: ckpt.processes.len(),
+                found: self.processes.len(),
+            });
+        }
+        for (i, cell) in ckpt.processes.iter().enumerate() {
+            let cell = cell
+                .as_ref()
+                .ok_or_else(|| SnapshotError::UnsupportedProcess {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                })?;
+            if !self.processes[i].restore(cell) {
+                return Err(SnapshotError::RestoreRejected {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                });
+            }
+        }
+        ckpt.restore_scheduler(sched)?;
+        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        engine.resume_from(ckpt);
+        Ok(engine.run_monitored(sched))
+    }
 }
 
 /// Placeholder swapped in momentarily by [`Network::wrap_crash_at`].
@@ -551,6 +727,13 @@ struct Engine<'a> {
     pending: VecDeque<usize>,
     /// Whether anything progressed in the round in flight.
     round_progressed: bool,
+    /// Online smoothness monitor (monitored runs only).
+    monitor: Option<SmoothnessMonitor>,
+    /// Trace index up to which committed sends have been fed to the
+    /// monitor. Invariant: `fed == trace.len()` at every drain point —
+    /// in particular before every checkpoint capture, so a captured
+    /// monitor has observed exactly the captured trace.
+    fed: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -611,7 +794,35 @@ impl<'a> Engine<'a> {
             captured: None,
             pending: VecDeque::new(),
             round_progressed: false,
+            monitor: None,
+            fed: 0,
         }
+    }
+
+    /// Installs an online smoothness monitor over `desc`.
+    fn arm_monitor(&mut self, desc: &Description, policy: MonitorPolicy) {
+        self.monitor = Some(SmoothnessMonitor::new(desc, None, policy));
+    }
+
+    /// True iff an armed monitor wants the per-step drain (early abort);
+    /// observing monitors are fed lazily in batches.
+    #[inline]
+    fn abort_armed(&self) -> bool {
+        self.monitor
+            .as_ref()
+            .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation)
+    }
+
+    /// Runs to completion and derives the final [`Conformance`] from the
+    /// monitor's evaluator states — no post-hoc trace re-walk.
+    fn run_monitored(&mut self, sched: &mut dyn Scheduler) -> (RunReport, Conformance) {
+        let report = self.run(sched);
+        let conf = self
+            .monitor
+            .as_ref()
+            .expect("run_monitored requires an armed monitor")
+            .finish(&report.status);
+        (report, conf)
     }
 
     fn supervise(&mut self, sup: SupervisorOptions) {
@@ -669,6 +880,11 @@ impl<'a> Engine<'a> {
         self.rounds = ckpt.rounds;
         self.pending = ckpt.pending_round.clone();
         self.round_progressed = ckpt.round_progressed;
+        // the captured monitor observed exactly the captured trace (the
+        // engine drains before every capture), so certification resumes
+        // without re-feeding the prefix
+        self.monitor = ckpt.monitor.clone();
+        self.fed = self.trace.len();
     }
 
     fn run(&mut self, sched: &mut dyn Scheduler) -> RunReport {
@@ -694,7 +910,17 @@ impl<'a> Engine<'a> {
                     self.account_idle(i);
                     continue;
                 }
-                if self.step_slot(i) {
+                let progressed = self.step_slot(i);
+                // under Observe the monitor is drained lazily (in batches
+                // at capture points and at run end — cheaper than
+                // interleaving a feed into every step); only an aborting
+                // monitor needs the per-step drain
+                if self.abort_armed() {
+                    if let Some(k) = self.drain_monitor() {
+                        return self.build(RunStatus::MonitorAborted { component: k });
+                    }
+                }
+                if progressed {
                     self.maybe_capture(&*sched);
                 }
                 if self.supervision.is_some() && !self.crashed[i] && self.procs[i].crashed() {
@@ -719,6 +945,13 @@ impl<'a> Engine<'a> {
             }
             if pumped {
                 self.round_progressed = true;
+            }
+            // link/ARQ pumps commit sends outside step_slot — feed those
+            // too before any abort decision
+            if self.abort_armed() {
+                if let Some(k) = self.drain_monitor() {
+                    return self.build(RunStatus::MonitorAborted { component: k });
+                }
             }
             self.tick_backoffs();
             if let Some(p) = self.escalated.take() {
@@ -745,6 +978,27 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// Feeds every not-yet-observed committed send to the online monitor.
+    /// Amortized O(1) per event. Returns the convicted component index
+    /// exactly when the monitor observed the *first* smoothness violation
+    /// under [`MonitorPolicy::AbortOnViolation`]; all trailing events are
+    /// still fed (the monitor keeps its evaluator states complete) so the
+    /// final report covers everything committed.
+    ///
+    /// Safe against bounded-mode rollback: a rolled-back step truncates
+    /// the trace to its pre-step length, and `fed` always equals the
+    /// trace length when a step begins, so `fed` never points past the
+    /// truncation.
+    fn drain_monitor(&mut self) -> Option<usize> {
+        let m = self.monitor.as_mut()?;
+        if self.fed >= self.trace.len() {
+            return None;
+        }
+        let convicted = m.feed_batch(&self.trace[self.fed..]);
+        self.fed = self.trace.len();
+        convicted
     }
 
     /// Offers process `i` one step; returns true on progress.
@@ -1131,6 +1385,10 @@ impl<'a> Engine<'a> {
     /// run is unaffected.
     fn maybe_capture(&mut self, sched: &dyn Scheduler) {
         if self.checkpoint_at == Some(self.steps) && self.captured.is_none() {
+            // a checkpointed monitor must have observed exactly the
+            // checkpointed trace (any conviction here was already taken
+            // by the per-step drain when aborting is armed)
+            let _ = self.drain_monitor();
             self.captured = Some(self.capture(sched));
         }
         if let Some(sup) = self.supervision {
@@ -1139,6 +1397,7 @@ impl<'a> Engine<'a> {
             // deferred while a recovery is in flight: a checkpoint taken
             // mid-replay would not cohere with the truncated journals
             if due && !self.recovery_pending() {
+                let _ = self.drain_monitor();
                 let ckpt = self.capture(sched);
                 if let Some(journals) = self.journals.as_mut() {
                     for (j, cell) in journals.iter_mut().zip(&ckpt.processes) {
@@ -1180,6 +1439,7 @@ impl<'a> Engine<'a> {
             } else {
                 self.round_progressed
             },
+            monitor: self.monitor.clone(),
         }
     }
 
@@ -1204,6 +1464,10 @@ impl<'a> Engine<'a> {
     }
 
     fn build(&mut self, status: RunStatus) -> RunReport {
+        // final safety drain: whatever path ended the run, the monitor
+        // must have observed every committed send before `finish` reads
+        // its state (abort no longer applies — the run is over)
+        let _ = self.drain_monitor();
         // a quiescent run through an exhausted reliable link terminated
         // cleanly but abandoned the undelivered tail — degrade the
         // status so the conformance bridge can name the link

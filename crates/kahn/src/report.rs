@@ -69,6 +69,15 @@ pub enum RunStatus {
     /// before quiescence — the overload-run exit for networks throttled
     /// below their offered load.
     DeadlineExpired,
+    /// The online [`SmoothnessMonitor`](crate::monitor::SmoothnessMonitor)
+    /// observed a smoothness violation under
+    /// [`MonitorPolicy::AbortOnViolation`](crate::monitor::MonitorPolicy)
+    /// and halted the run at the offending step — no point running to the
+    /// step bound once the trace is convicted.
+    MonitorAborted {
+        /// Index of the convicted component equation.
+        component: usize,
+    },
 }
 
 impl RunStatus {
@@ -97,6 +106,12 @@ impl fmt::Display for RunStatus {
                 )
             }
             RunStatus::DeadlineExpired => f.write_str("round deadline expired"),
+            RunStatus::MonitorAborted { component } => {
+                write!(
+                    f,
+                    "monitor aborted (smoothness violation in component {component})"
+                )
+            }
         }
     }
 }

@@ -153,6 +153,10 @@ pub enum SnapshotError {
     },
     /// The scheduler could not capture or restore its state.
     SchedulerUnsupported,
+    /// A monitored resume was requested but the checkpoint was captured
+    /// from an unmonitored run, so there is no monitor state to restore —
+    /// online certification cannot pick up mid-trace without it.
+    NoMonitor,
 }
 
 impl fmt::Display for SnapshotError {
@@ -173,6 +177,13 @@ impl fmt::Display for SnapshotError {
             ),
             SnapshotError::SchedulerUnsupported => {
                 write!(f, "the scheduler does not support snapshot/restore")
+            }
+            SnapshotError::NoMonitor => {
+                write!(
+                    f,
+                    "the checkpoint was captured from an unmonitored run; \
+                     monitored resume needs the monitor's evaluator state"
+                )
             }
         }
     }
@@ -213,6 +224,11 @@ pub struct Checkpoint {
     pub(crate) pending_round: VecDeque<usize>,
     /// Whether any process had already progressed in that round.
     pub(crate) round_progressed: bool,
+    /// The online smoothness monitor's evaluator state (monitored runs
+    /// only). The engine drains committed sends into the monitor *before*
+    /// any capture, so the monitor here has observed exactly `trace` and
+    /// a resumed run re-certifies without re-feeding the prefix.
+    pub(crate) monitor: Option<crate::monitor::SmoothnessMonitor>,
 }
 
 impl Checkpoint {
@@ -240,6 +256,13 @@ impl Checkpoint {
     /// The state cell captured for process `i`, if hooked.
     pub fn process_state(&self, i: usize) -> Option<&StateCell> {
         self.processes.get(i).and_then(|c| c.as_ref())
+    }
+
+    /// True iff the checkpoint carries online-monitor state (captured
+    /// from a monitored run) and so supports
+    /// [`resume_report_monitored`](crate::Network::resume_report_monitored).
+    pub fn has_monitor(&self) -> bool {
+        self.monitor.is_some()
     }
 
     /// Restores scheduler state into `sched`.

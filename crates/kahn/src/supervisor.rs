@@ -31,6 +31,21 @@
 //!    compositional: it suffices that the restarted component's
 //!    projected history is unchanged).
 //!
+//! The same invariant is what lets supervision compose with *online*
+//! certification
+//! ([`run_supervised_monitored_faulted`](crate::Network::run_supervised_monitored_faulted)
+//! / [`run_supervised_monitored_reliable`](crate::Network::run_supervised_monitored_reliable)):
+//! the [`SmoothnessMonitor`](crate::monitor::SmoothnessMonitor) observes
+//! only *committed* sends from the global trace, and replayed sends are
+//! suppressed before commit, so a crash-recovery cycle feeds the monitor
+//! nothing — its evaluator states advance exactly as in an uncrashed
+//! run, and the differential suite pins that the online verdict equals
+//! the post-hoc one across crash schedules. Periodic supervision
+//! checkpoints carry the monitor's state
+//! ([`Checkpoint::has_monitor`](crate::snapshot::Checkpoint::has_monitor)),
+//! so a restored run resumes certification without re-feeding the
+//! prefix.
+//!
 //! Policies cover the classic supervision ladder: immediate one-for-one
 //! restart, restart with (doubling, capped) backoff, a per-process
 //! max-restart budget, and escalate-to-fail.

@@ -26,7 +26,7 @@ use eqp_core::Description;
 use eqp_kahn::conformance::{self, Conformance, ConformanceOptions};
 use eqp_kahn::faults::FaultSchedule;
 use eqp_kahn::reliable::ReliableConfig;
-use eqp_kahn::{Network, Oracle, RunOptions, RunReport, Scheduler};
+use eqp_kahn::{MonitorPolicy, Network, Oracle, RunOptions, RunReport, Scheduler};
 use eqp_trace::{Event, Trace};
 
 /// One registered network/description pair.
@@ -109,6 +109,71 @@ impl ZooEntry {
         );
         let conf = self.check(&report);
         (report, conf)
+    }
+
+    /// [`certify`](ZooEntry::certify) with the verdict produced by the
+    /// *online* [`SmoothnessMonitor`](eqp_kahn::monitor::SmoothnessMonitor)
+    /// instead of the post-hoc re-walk: amortized O(1) per event, early
+    /// abort under [`MonitorPolicy::AbortOnViolation`]. The differential
+    /// suite pins that this agrees with [`certify`](ZooEntry::certify)
+    /// verdict-for-verdict on every entry.
+    pub fn certify_monitored(
+        &self,
+        sched: &mut dyn Scheduler,
+        seed: u64,
+        policy: MonitorPolicy,
+    ) -> (RunReport, Conformance) {
+        let mut net = self.network(seed);
+        let desc = self.description();
+        net.run_report_monitored(
+            &desc,
+            &mut &mut *sched,
+            self.run_options(seed).with_monitor(policy),
+        )
+    }
+
+    /// [`certify_monitored`](ZooEntry::certify_monitored) under an
+    /// engine-level [`FaultSchedule`] without supervision — faults are
+    /// convicted *as they corrupt the trace*, not after the run.
+    pub fn certify_monitored_faulted(
+        &self,
+        sched: &mut dyn Scheduler,
+        seed: u64,
+        policy: MonitorPolicy,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Conformance) {
+        let mut net = self.network(seed);
+        let desc = self.description();
+        net.run_report_monitored_faulted(
+            &desc,
+            &mut &mut *sched,
+            self.run_options(seed).with_monitor(policy),
+            schedule,
+        )
+    }
+
+    /// [`certify_reliable`](ZooEntry::certify_reliable) with the online
+    /// monitor: every faulted channel is ARQ-wrapped, and retry-budget
+    /// exhaustion degrades to the same
+    /// [`Verdict::Degraded`](eqp_kahn::Verdict) the post-hoc path maps.
+    pub fn certify_monitored_reliable(
+        &self,
+        sched: &mut dyn Scheduler,
+        seed: u64,
+        policy: MonitorPolicy,
+        schedule: &FaultSchedule,
+    ) -> (RunReport, Conformance) {
+        let mut net = self.network(seed);
+        let desc = self.description();
+        let protect = schedule.links.iter().map(|l| l.chan).collect();
+        let cfg = ReliableConfig::new(protect);
+        net.run_report_monitored_reliable(
+            &desc,
+            &mut &mut *sched,
+            self.run_options(seed).with_monitor(policy),
+            schedule,
+            &cfg,
+        )
     }
 
     fn run_options(&self, seed: u64) -> RunOptions {

@@ -19,7 +19,7 @@
 use crate::custom::CustomDeltaState;
 use crate::ops::{ValueMap, ValuePred, ValueZip};
 use crate::SeqExpr;
-use eqp_trace::{Chan, Event, Value};
+use eqp_trace::{Chan, Event, Lasso, Seq, Trace, Value};
 use std::collections::VecDeque;
 
 /// Incremental evaluation state for one [`SeqExpr`] along one tree path.
@@ -378,6 +378,76 @@ impl DeltaState {
         }
     }
 
+    /// [`step`](DeltaState::step), but appending the gained values
+    /// directly onto `out` — the allocation-free path the per-event
+    /// monitor loop runs on. The pointwise combinators (channel, map,
+    /// filter, take-while, skip) transform the appended tail of `out` in
+    /// place; the buffered ones (zip, oracle select, counters) stage
+    /// through their pending queues via the allocating step.
+    #[inline]
+    pub fn step_into(&mut self, ev: Event, out: &mut Vec<Value>) {
+        match self {
+            DeltaState::Chan(c) => {
+                if ev.chan == *c {
+                    out.push(ev.value);
+                }
+            }
+            DeltaState::Fixed => {}
+            DeltaState::Map(m, inner) => {
+                let m = *m;
+                let start = out.len();
+                inner.step_into(ev, out);
+                for v in &mut out[start..] {
+                    *v = m.apply(v);
+                }
+            }
+            DeltaState::Filter(p, inner) => {
+                let p = *p;
+                let start = out.len();
+                inner.step_into(ev, out);
+                let mut keep = start;
+                for i in start..out.len() {
+                    if p.test(&out[i]) {
+                        out[keep] = out[i];
+                        keep += 1;
+                    }
+                }
+                out.truncate(keep);
+            }
+            DeltaState::TakeWhile { pred, inner, done } => {
+                if *done {
+                    return;
+                }
+                let p = *pred;
+                let start = out.len();
+                inner.step_into(ev, out);
+                let mut i = start;
+                while i < out.len() {
+                    if p.test(&out[i]) {
+                        i += 1;
+                    } else {
+                        *done = true;
+                        out.truncate(i);
+                        break;
+                    }
+                }
+            }
+            DeltaState::Skip { inner, remaining } => {
+                let start = out.len();
+                inner.step_into(ev, out);
+                let gained = out.len() - start;
+                let dropped = (*remaining).min(gained);
+                *remaining -= dropped;
+                out.copy_within(start + dropped.., start);
+                out.truncate(out.len() - dropped);
+            }
+            other => {
+                let vals = other.step(ev);
+                out.extend(vals);
+            }
+        }
+    }
+
     fn absorb_zip(&mut self, da: Vec<Value>, db: Vec<Value>) -> Vec<Value> {
         let DeltaState::Zip { op, pa, pb, .. } = self else {
             unreachable!("absorb_zip on non-zip state")
@@ -462,6 +532,160 @@ impl DeltaState {
     }
 }
 
+/// A resumable evaluator for one *side* of a description equation along a
+/// growing trace — the building block of online smoothness monitoring.
+///
+/// Where [`DeltaState`] is the raw per-combinator state, a `SideEval`
+/// packages it with the accumulated output so a caller can feed events
+/// one at a time and ask for the side's current value at any point.
+/// Expressions that [`SeqExpr::delta_init`] rejects (infinite constants,
+/// hookless customs) degrade to an [`SideEval::Opaque`] fallback that
+/// re-evaluates the full expression per query — soundness never depends
+/// on the fast path, exactly as in the enumeration engine.
+#[derive(Debug)]
+pub enum SideEval {
+    /// Incremental: a delta state plus the append-only output produced so
+    /// far. Stepping is O(|appended|); the finite output is exact
+    /// (`Lasso::finite(out) == expr.eval(trace)` — the delta invariant).
+    Delta {
+        /// Per-combinator incremental state.
+        state: DeltaState,
+        /// The side's full (finite) output so far, append-only.
+        out: Vec<Value>,
+    },
+    /// Fallback for unsupported expressions: the expression plus every
+    /// event fed so far; each query re-evaluates from scratch.
+    Opaque {
+        /// The expression being tracked.
+        expr: SeqExpr,
+        /// Events fed so far (already projected by the caller).
+        events: Vec<Event>,
+    },
+}
+
+impl Clone for SideEval {
+    fn clone(&self) -> SideEval {
+        match self {
+            SideEval::Delta { state, out } => SideEval::Delta {
+                state: state.clone(),
+                out: out.clone(),
+            },
+            SideEval::Opaque { expr, events } => SideEval::Opaque {
+                expr: expr.clone(),
+                events: events.clone(),
+            },
+        }
+    }
+}
+
+/// A cheap pre-step snapshot of a [`SideEval`]'s output, for the
+/// smoothness query `f(v) ⊑ g(u)` where `u` is the trace *before* the
+/// step into `v`: freeze `g`, step both sides, then compare against the
+/// frozen state.
+#[derive(Debug, Clone)]
+pub enum FrozenSide {
+    /// An incremental side is frozen by its output length alone — its
+    /// output is append-only, so the pre-step value is the current
+    /// output truncated to this length. O(1) to take.
+    Len(usize),
+    /// An opaque side is frozen by its fully evaluated value.
+    Seq(Seq),
+}
+
+impl SideEval {
+    /// Builds the evaluator for `e` at the empty trace, choosing the
+    /// incremental representation whenever `e` supports it.
+    pub fn new(e: &SeqExpr) -> SideEval {
+        match e.delta_init() {
+            Some((state, out)) => SideEval::Delta { state, out },
+            None => SideEval::Opaque {
+                expr: e.clone(),
+                events: Vec::new(),
+            },
+        }
+    }
+
+    /// True iff the side runs on the incremental fast path.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, SideEval::Delta { .. })
+    }
+
+    /// Advances the side by one appended event — allocation-free on the
+    /// incremental path.
+    #[inline]
+    pub fn step(&mut self, ev: Event) {
+        match self {
+            SideEval::Delta { state, out } => state.step_into(ev, out),
+            SideEval::Opaque { events, .. } => events.push(ev),
+        }
+    }
+
+    /// The side's full current value — exact, including opaque sides.
+    pub fn value(&self) -> Seq {
+        match self {
+            SideEval::Delta { out, .. } => Lasso::finite(out.clone()),
+            SideEval::Opaque { expr, events } => expr.eval(&Trace::finite(events.clone())),
+        }
+    }
+
+    /// Snapshots the side's pre-step output: O(1) for incremental sides,
+    /// a full re-evaluation for opaque ones.
+    #[inline]
+    pub fn freeze(&self) -> FrozenSide {
+        match self {
+            SideEval::Delta { out, .. } => FrozenSide::Len(out.len()),
+            SideEval::Opaque { .. } => FrozenSide::Seq(self.value()),
+        }
+    }
+
+    /// The value this side had when `frozen` was taken from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frozen` was taken from a differently shaped side.
+    pub fn frozen_value(&self, frozen: &FrozenSide) -> Seq {
+        match (self, frozen) {
+            (SideEval::Delta { out, .. }, FrozenSide::Len(n)) => Lasso::finite(out[..*n].to_vec()),
+            (_, FrozenSide::Seq(s)) => s.clone(),
+            (SideEval::Opaque { .. }, FrozenSide::Len(_)) => {
+                unreachable!("length freeze taken from an opaque side")
+            }
+        }
+    }
+}
+
+/// The per-step smoothness query `f(v) ⊑ g(u)`: `f` has been stepped into
+/// `v`, `g_frozen` is `g`'s snapshot at `u` (taken with
+/// [`SideEval::freeze`] before the step), and `g` is `g`'s current
+/// (post-step) state — needed because a length-freeze reads the frozen
+/// values out of `g`'s append-only buffer.
+///
+/// `verified` is the caller-held count of `f` output positions already
+/// certified against earlier frozen states. Because both outputs are
+/// append-only and `g(u) ⊑ g(u')` for `u ⊑ u'`, certified positions stay
+/// certified; on the incremental path only the newly appended positions
+/// are compared, making the check amortized O(1) per event. Returns
+/// `true` (and advances `verified`) iff the query holds; opaque sides
+/// fall back to a full `⊑` comparison and leave `verified` untouched.
+#[inline]
+pub fn step_check(f: &SideEval, g: &SideEval, g_frozen: &FrozenSide, verified: &mut usize) -> bool {
+    match (f, g, g_frozen) {
+        (SideEval::Delta { out: fo, .. }, SideEval::Delta { out: go, .. }, FrozenSide::Len(gl)) => {
+            // finite prefix order is literal prefix: every f position must
+            // exist (f no longer than the frozen g) and match g's value
+            if fo.len() > *gl {
+                return false;
+            }
+            if fo[*verified..] != go[*verified..fo.len()] {
+                return false;
+            }
+            *verified = fo.len();
+            true
+        }
+        _ => f.value().leq(&g.frozen_value(g_frozen)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,9 +699,12 @@ mod tests {
         Chan::new(2)
     }
 
-    /// Delta evaluation must agree with full evaluation on every prefix.
+    /// Delta evaluation must agree with full evaluation on every prefix —
+    /// on both the allocating [`DeltaState::step`] and the in-place
+    /// [`DeltaState::step_into`] the monitor's hot loop uses.
     fn assert_delta_agrees(e: &SeqExpr, events: &[Event]) {
         let (mut st, mut acc) = e.delta_init().expect("delta supported");
+        let (mut st2, mut acc2) = e.delta_init().expect("delta supported");
         assert_eq!(
             Lasso::finite(acc.clone()),
             e.eval(&Trace::empty()),
@@ -487,11 +714,13 @@ mod tests {
         for &ev in events {
             prefix.push(ev);
             acc.extend(st.step(ev));
+            st2.step_into(ev, &mut acc2);
             assert_eq!(
                 Lasso::finite(acc.clone()),
                 e.eval(&Trace::finite(prefix.clone())),
                 "mismatch for {e} after {prefix:?}"
             );
+            assert_eq!(acc2, acc, "step_into diverged for {e} after {prefix:?}");
         }
     }
 
@@ -582,5 +811,98 @@ mod tests {
         assert!(!e.delta_supported());
         // finite const is
         assert!(SeqExpr::const_ints([1, 2]).delta_supported());
+    }
+
+    /// SideEval must agree with full evaluation on every prefix, on both
+    /// the incremental and the opaque path.
+    fn assert_side_agrees(e: &SeqExpr, events: &[Event]) {
+        let mut side = SideEval::new(e);
+        assert_eq!(side.value(), e.eval(&Trace::empty()), "init value for {e}");
+        let mut prefix = Vec::new();
+        for &ev in events {
+            prefix.push(ev);
+            side.step(ev);
+            assert_eq!(
+                side.value(),
+                e.eval(&Trace::finite(prefix.clone())),
+                "side value mismatch for {e} after {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn side_eval_agrees_on_both_paths() {
+        let evs = [
+            Event::int(d(), 0),
+            Event::int(b(), 7),
+            Event::int(d(), 1),
+            Event::int(d(), 2),
+        ];
+        let fast = even(ch(d()));
+        assert!(SideEval::new(&fast).is_incremental());
+        assert_side_agrees(&fast, &evs);
+        // an infinite constant forces the opaque fallback
+        let slow = SeqExpr::constant(Lasso::repeat(vec![Value::Int(0)]));
+        assert!(!SideEval::new(&slow).is_incremental());
+        assert_side_agrees(&slow, &evs);
+    }
+
+    /// step_check must decide exactly `f(v) ⊑ g(u)` for consecutive
+    /// prefix pairs, on every side-representation combination.
+    fn assert_step_check_agrees(fe: &SeqExpr, ge: &SeqExpr, events: &[Event]) {
+        let mut f = SideEval::new(fe);
+        let mut g = SideEval::new(ge);
+        let mut verified = 0usize;
+        let mut prefix = Vec::new();
+        let mut ok_so_far = true;
+        for &ev in events {
+            let u = Trace::finite(prefix.clone());
+            prefix.push(ev);
+            let v = Trace::finite(prefix.clone());
+            let frozen = g.freeze();
+            f.step(ev);
+            g.step(ev);
+            let expect = fe.eval(&v).leq(&ge.eval(&u));
+            // the incremental `verified` counter is only meaningful while
+            // every earlier pair held, mirroring the monitor's usage
+            if ok_so_far {
+                assert_eq!(
+                    step_check(&f, &g, &frozen, &mut verified),
+                    expect,
+                    "step_check mismatch for {fe} vs {ge} at {v}"
+                );
+                ok_so_far = expect;
+            }
+        }
+    }
+
+    #[test]
+    fn step_check_matches_posthoc_leq() {
+        let smooth = [
+            Event::int(b(), 0),
+            Event::int(d(), 0),
+            Event::int(d(), 1),
+            Event::int(b(), 2),
+        ];
+        let rough = [Event::int(d(), 5), Event::int(b(), 5), Event::int(d(), 9)];
+        for evs in [&smooth[..], &rough[..]] {
+            // delta/delta
+            assert_step_check_agrees(&ch(d()), &ch(b()), evs);
+            assert_step_check_agrees(&even(ch(d())), &ch(b()), evs);
+            // opaque g (infinite const) and opaque f
+            let inf = SeqExpr::constant(Lasso::lasso(vec![Value::Int(0)], vec![Value::Int(1)]));
+            assert_step_check_agrees(&ch(d()), &inf, evs);
+            assert_step_check_agrees(&inf, &ch(d()), evs);
+        }
+    }
+
+    #[test]
+    fn frozen_value_reads_the_prestep_output() {
+        let mut g = SideEval::new(&ch(d()));
+        g.step(Event::int(d(), 1));
+        let frozen = g.freeze();
+        g.step(Event::int(d(), 2));
+        assert_eq!(g.frozen_value(&frozen), Lasso::finite(vec![Value::Int(1)]));
+        assert_eq!(g.value(), Lasso::finite(vec![Value::Int(1), Value::Int(2)]));
     }
 }

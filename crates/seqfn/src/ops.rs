@@ -27,6 +27,7 @@ pub enum ValuePred {
 
 impl ValuePred {
     /// Evaluates the predicate on one value.
+    #[inline]
     pub fn test(self, v: &Value) -> bool {
         match self {
             ValuePred::IsEvenInt => v.is_even_int(),
@@ -78,6 +79,7 @@ pub enum ValueMap {
 
 impl ValueMap {
     /// Applies the map to one value.
+    #[inline]
     pub fn apply(self, v: &Value) -> Value {
         match self {
             ValueMap::Affine { a, b } => match v {
@@ -129,6 +131,7 @@ pub enum ValueZip {
 
 impl ValueZip {
     /// Applies the combiner to one pair of values.
+    #[inline]
     pub fn apply(self, x: &Value, y: &Value) -> Value {
         match self {
             ValueZip::And => match (x, y) {

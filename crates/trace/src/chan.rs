@@ -56,6 +56,7 @@ impl ChanSet {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, c: Chan) -> bool {
         self.chans.contains(&c)
     }

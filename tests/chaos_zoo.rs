@@ -205,7 +205,15 @@ fn pinned_drop_fault_shrinks_to_a_single_event_reproducer() {
     let sup = SupervisorOptions::one_for_one();
     let (_, conf) = chaos::run_trial(&scenario, &trial, sup);
     assert!(!conf.is_conformant(), "the noisy schedule must convict");
+    // the early-abort monitored shrink must find the identical minimum,
+    // and report its cost counters
+    let monitored = chaos::shrink_report(&scenario, &trial, sup);
+    assert!(monitored.trials_run > 0);
     let minimal = chaos::shrink(&scenario, &trial, sup);
+    assert_eq!(
+        monitored.minimal, minimal,
+        "monitored ddmin must shrink to the same spec as the post-hoc path"
+    );
     assert_eq!(
         minimal.len(),
         1,
