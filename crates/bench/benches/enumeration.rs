@@ -1,17 +1,25 @@
 //! E13 — the enumeration engine shootout: seed BFS ([`enumerate`]) vs the
 //! prefix-sharing incremental engine, sequential ([`enumerate_memo`]) and
-//! parallel ([`enumerate_par`]), over the Fig. 1–7 process zoo.
+//! parallel ([`enumerate_par`]), over the Fig. 1–7 process zoo — each
+//! incremental engine in both its compiled-IR (default) and tree-walking
+//! interpreter (`*_interp`) backends, so the compiled-vs-interpreted
+//! column is measured on otherwise identical engines.
 //!
 //! Besides the usual criterion output this target emits a machine-readable
 //! `BENCH_enumeration.json` at the repository root with nodes/sec per
 //! engine and each engine's speedup over the seed, so EXPERIMENTS.md can
 //! cite reproducible numbers. Before timing anything, every engine's
 //! result is asserted identical to the seed's on every workload — a bench
-//! of a wrong engine is worthless.
+//! of a wrong engine is worthless. Under `EQP_BENCH_SMOKE=1` those
+//! equality gates still run but each timing body executes once and no
+//! JSON is written.
 
 use criterion::Criterion;
 use eqp_core::description::Alphabet;
-use eqp_core::{enumerate, enumerate_memo, enumerate_par, Description, EnumOptions, Enumeration};
+use eqp_core::{
+    enumerate, enumerate_memo, enumerate_memo_interp, enumerate_par, enumerate_par_interp,
+    Description, EnumOptions, Enumeration,
+};
 use eqp_processes::{brock_ackermann as ba, dfm, fork, implication, ticks};
 use std::hint::black_box;
 
@@ -118,8 +126,20 @@ fn main() {
         );
         assert_identical(
             w.name,
+            "memo-interp",
+            &enumerate_memo_interp(&w.desc, &w.alpha, w.opts),
+            &seed,
+        );
+        assert_identical(
+            w.name,
             "par",
             &enumerate_par(&w.desc, &w.alpha, w.opts, par_threads),
+            &seed,
+        );
+        assert_identical(
+            w.name,
+            "par-interp",
+            &enumerate_par_interp(&w.desc, &w.alpha, w.opts, par_threads),
             &seed,
         );
 
@@ -128,8 +148,18 @@ fn main() {
         g.bench_function("seed", |b| {
             b.iter(|| black_box(enumerate(&w.desc, &w.alpha, w.opts).nodes_visited))
         });
+        g.bench_function("memo-interp", |b| {
+            b.iter(|| black_box(enumerate_memo_interp(&w.desc, &w.alpha, w.opts).nodes_visited))
+        });
         g.bench_function("memo", |b| {
             b.iter(|| black_box(enumerate_memo(&w.desc, &w.alpha, w.opts).nodes_visited))
+        });
+        g.bench_function("par-interp", |b| {
+            b.iter(|| {
+                black_box(
+                    enumerate_par_interp(&w.desc, &w.alpha, w.opts, par_threads).nodes_visited,
+                )
+            })
         });
         g.bench_function("par", |b| {
             b.iter(|| {
@@ -147,16 +177,12 @@ fn main() {
                 .expect("bench result present")
         };
         let seed_ns = median("seed");
-        let engines = ["seed", "memo", "par"]
+        let engines = ["seed", "memo-interp", "memo", "par-interp", "par"]
             .into_iter()
             .map(|engine| {
                 let ns = median(engine);
                 EngineRow {
-                    engine: match engine {
-                        "seed" => "seed",
-                        "memo" => "memo",
-                        _ => "par",
-                    },
+                    engine,
                     median_ns: ns,
                     nodes_per_sec: seed.nodes_visited as f64 * 1e9 / ns,
                     speedup_vs_seed: seed_ns / ns,
@@ -171,6 +197,10 @@ fn main() {
         ));
     }
 
+    if criterion::smoke_mode() {
+        println!("EQP_BENCH_SMOKE: equality gates passed; skipping BENCH_enumeration.json");
+        return;
+    }
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"enumeration\",\n");

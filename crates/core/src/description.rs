@@ -1,6 +1,6 @@
 //! Descriptions: pairs of continuous tuple-valued functions `f ⟸ g`.
 
-use eqp_seqfn::SeqExpr;
+use eqp_seqfn::{CompiledExpr, SeqExpr};
 use eqp_trace::{Chan, ChanSet, Seq, Trace, Value};
 use std::fmt;
 
@@ -27,12 +27,41 @@ use std::fmt;
 /// assert_eq!(dfm.arity(), 2);
 /// assert!(dfm.is_independent()); // lhs reads d, rhs reads b and c
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Description {
     name: String,
     lhs: Vec<SeqExpr>,
     rhs: Vec<SeqExpr>,
+    /// Cached union of the left components' supports. Maintained by every
+    /// construction path so the engine/monitor hot paths never recompute
+    /// `SeqExpr::channels()` (which walks the tree and rebuilds a
+    /// `BTreeSet` on each call).
+    lhs_chans: ChanSet,
+    /// Cached union of the right components' supports.
+    rhs_chans: ChanSet,
+    /// Cached union of both sides' supports, so `channels()` is a clone
+    /// rather than a per-call merge (the monitor asks on every run).
+    chans: ChanSet,
+    /// Compiled form of each left component, built once at construction so
+    /// the engine and monitor never re-lower on their hot paths (cloning a
+    /// [`CompiledExpr`] is one `Arc` bump).
+    lhs_c: Vec<CompiledExpr>,
+    /// Compiled form of each right component.
+    rhs_c: Vec<CompiledExpr>,
+    /// Pre-rendered `f ⟸ g` equation strings for diagnostics, so building
+    /// a conformance report costs clones rather than tree formatting.
+    rendered: Vec<String>,
 }
+
+/// Equality is over the name and the (source) equations; the compiled and
+/// rendered caches are derived from them.
+impl PartialEq for Description {
+    fn eq(&self, other: &Description) -> bool {
+        self.name == other.name && self.lhs == other.lhs && self.rhs == other.rhs
+    }
+}
+
+impl Eq for Description {}
 
 impl Description {
     /// Creates an empty description named `name` (add equations with
@@ -42,12 +71,25 @@ impl Description {
             name: name.into(),
             lhs: Vec::new(),
             rhs: Vec::new(),
+            lhs_chans: ChanSet::new(),
+            rhs_chans: ChanSet::new(),
+            chans: ChanSet::new(),
+            lhs_c: Vec::new(),
+            rhs_c: Vec::new(),
+            rendered: Vec::new(),
         }
     }
 
     /// Appends one equation `lhs ⟸ rhs` to the tuple.
     #[must_use]
     pub fn equation(mut self, lhs: SeqExpr, rhs: SeqExpr) -> Description {
+        self.lhs_chans.extend(lhs.channels().iter());
+        self.rhs_chans.extend(rhs.channels().iter());
+        self.chans
+            .extend(self.lhs_chans.iter().chain(self.rhs_chans.iter()));
+        self.lhs_c.push(lhs.compile());
+        self.rhs_c.push(rhs.compile());
+        self.rendered.push(format!("{lhs} ⟸ {rhs}"));
         self.lhs.push(lhs);
         self.rhs.push(rhs);
         self
@@ -79,6 +121,21 @@ impl Description {
         &self.rhs
     }
 
+    /// The left components' compiled forms (cached at construction).
+    pub fn lhs_compiled(&self) -> &[CompiledExpr] {
+        &self.lhs_c
+    }
+
+    /// The right components' compiled forms (cached at construction).
+    pub fn rhs_compiled(&self) -> &[CompiledExpr] {
+        &self.rhs_c
+    }
+
+    /// Pre-rendered `f ⟸ g` equation strings (cached at construction).
+    pub fn equations_rendered(&self) -> &[String] {
+        &self.rendered
+    }
+
     /// Evaluates the left side on a trace.
     pub fn eval_lhs(&self, t: &Trace) -> Vec<Seq> {
         self.lhs.iter().map(|e| e.eval(t)).collect()
@@ -89,29 +146,25 @@ impl Description {
         self.rhs.iter().map(|e| e.eval(t)).collect()
     }
 
-    /// Channel support of the left side.
+    /// Channel support of the left side (cached at construction).
     pub fn lhs_channels(&self) -> ChanSet {
-        self.lhs
-            .iter()
-            .fold(ChanSet::new(), |acc, e| acc.union(&e.channels()))
+        self.lhs_chans.clone()
     }
 
-    /// Channel support of the right side.
+    /// Channel support of the right side (cached at construction).
     pub fn rhs_channels(&self) -> ChanSet {
-        self.rhs
-            .iter()
-            .fold(ChanSet::new(), |acc, e| acc.union(&e.channels()))
+        self.rhs_chans.clone()
     }
 
-    /// All channels the description mentions.
+    /// All channels the description mentions (cached at construction).
     pub fn channels(&self) -> ChanSet {
-        self.lhs_channels().union(&self.rhs_channels())
+        self.chans.clone()
     }
 
     /// Theorem 1's premise: `f` and `g` are *independent* — no channel is
     /// named on both sides.
     pub fn is_independent(&self) -> bool {
-        self.lhs_channels().is_disjoint(&self.rhs_channels())
+        self.lhs_chans.is_disjoint(&self.rhs_chans)
     }
 
     /// Renames a channel throughout the description (both sides). Useful
@@ -130,8 +183,7 @@ impl Description {
         let target = SeqExpr::chan(to);
         let mut out = Description::new(self.name.clone());
         for (l, r) in self.lhs.iter().zip(&self.rhs) {
-            out.lhs.push(l.subst_chan(from, &target)?);
-            out.rhs.push(r.subst_chan(from, &target)?);
+            out = out.equation(l.subst_chan(from, &target)?, r.subst_chan(from, &target)?);
         }
         Ok(out)
     }
@@ -142,6 +194,12 @@ impl Description {
     pub fn paired_with(mut self, other: &Description) -> Description {
         self.lhs.extend(other.lhs.iter().cloned());
         self.rhs.extend(other.rhs.iter().cloned());
+        self.lhs_chans.extend(other.lhs_chans.iter());
+        self.rhs_chans.extend(other.rhs_chans.iter());
+        self.chans.extend(other.chans.iter());
+        self.lhs_c.extend(other.lhs_c.iter().cloned());
+        self.rhs_c.extend(other.rhs_c.iter().cloned());
+        self.rendered.extend(other.rendered.iter().cloned());
         self.name = format!("{}+{}", self.name, other.name);
         self
     }
@@ -193,10 +251,8 @@ impl System {
     pub fn flatten(&self) -> Description {
         let mut out = Description::new("network");
         for d in &self.descs {
-            for (l, r) in d.lhs.iter().zip(&d.rhs) {
-                out.lhs.push(l.clone());
-                out.rhs.push(r.clone());
-            }
+            out = out.paired_with(d);
+            out.name = "network".to_owned();
         }
         out
     }

@@ -203,11 +203,7 @@ pub(crate) fn verdict_from_report(report: &SmoothReport, quiescent: bool) -> Ver
 /// Renders the component equations `f_k ⟸ g_k`, aligned with component
 /// indices — shared with the online monitor.
 pub(crate) fn render_equations(desc: &Description) -> Vec<String> {
-    desc.lhs()
-        .iter()
-        .zip(desc.rhs())
-        .map(|(l, r)| format!("{l} ⟸ {r}"))
-        .collect()
+    desc.equations_rendered().to_vec()
 }
 
 /// Checks a raw trace (with its quiescence flag) against a description.

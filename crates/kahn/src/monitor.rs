@@ -7,12 +7,15 @@
 //! `∀ u pre v :: f(v) ⊑ g(u)` is exactly a per-step invariant: each new
 //! event extends `u` to `v` by one, so a monitor that keeps *resumable*
 //! evaluator states for both sides of every component equation
-//! ([`eqp_seqfn::delta::SideEval`], built on PR 1's `DeltaState`) can
-//! check the new pair by freezing `g`'s output length, stepping both
-//! sides one event, and comparing only the freshly appended positions —
-//! amortized O(1) per event. The limit condition `f(t) = g(t)` is
-//! certified once at quiescence from the final states, so no prefix is
-//! ever re-walked.
+//! ([`eqp_seqfn::CompiledSideEval`], the register machine over the fused
+//! IR of [`eqp_seqfn::compile`]) can check the new pair by freezing `g`'s
+//! output length, stepping both sides one event, and comparing only the
+//! freshly appended positions — amortized O(1) per event. The compiled
+//! channel masks sharpen this further: a pair whose `f` side provably
+//! ignores an event skips the check outright (sound once `f(ε) ⊑ g(ε)` is
+//! established — see `PairState::base_ok`). The limit condition
+//! `f(t) = g(t)` is certified once at quiescence from the final states,
+//! so no prefix is ever re-walked.
 //!
 //! Sides without an incremental hook (infinite constants, hookless
 //! `Custom` functions) transparently fall back to full re-evaluation per
@@ -27,11 +30,12 @@
 //! `tests/monitor_equivalence.rs` pins this equivalence across the whole
 //! zoo.
 
-use crate::conformance::{render_equations, verdict_from_report, Conformance, Verdict};
+use crate::conformance::{verdict_from_report, Conformance, Verdict};
 use crate::report::RunStatus;
-use eqp_core::diagnose::{limit_verdicts, SmoothReport, SmoothnessViolation};
+use eqp_core::diagnose::{LimitVerdict, SmoothReport, SmoothnessViolation};
 use eqp_core::Description;
-use eqp_seqfn::delta::{step_check, SideEval};
+use eqp_seqfn::compile::{batch_advance, step_check};
+use eqp_seqfn::{CompiledExpr, CompiledSideEval};
 use eqp_trace::{ChanSet, Event, Seq, Trace};
 
 /// What the engine does when the monitor observes a smoothness violation.
@@ -48,14 +52,43 @@ pub enum MonitorPolicy {
     AbortOnViolation,
 }
 
-/// Resumable evaluator pair for one component equation `f_k ⟸ g_k`.
+/// Resumable evaluator pair for one component equation `f_k ⟸ g_k`,
+/// running on the compiled IR ([`eqp_seqfn::compile`]).
 #[derive(Debug, Clone)]
 struct PairState {
-    f: SideEval,
-    g: SideEval,
+    f: CompiledSideEval,
+    g: CompiledSideEval,
     /// Positions of `f`'s output already verified against `g`'s — the
     /// amortization frontier of the incremental fast path.
     verified: usize,
+    /// `f(ε) ⊑ g(ε)`, established once at construction. This is the base
+    /// case of the skip argument: when it holds and `f` provably ignores
+    /// an event (compiled channel mask), the new check `f(u·e) ⊑ g(u)`
+    /// collapses to the already-established `f(u) ⊑ g(u)` — so the pair
+    /// can skip freezing and checking entirely (stepping `g` only if `g`
+    /// reads the event). When it does *not* hold, nothing is ever skipped:
+    /// the very first check on a doubly-foreign event is exactly
+    /// `f(ε) ⊑ g(ε)` and must be allowed to fail.
+    base_ok: bool,
+}
+
+impl PairState {
+    fn new(f: &CompiledExpr, g: &CompiledExpr) -> PairState {
+        let f = CompiledSideEval::new(f);
+        let g = CompiledSideEval::new(g);
+        // `⊑` is prefix order, so on incremental sides the base case is a
+        // slice compare on the bottom outputs — no `Seq` materialization.
+        let base_ok = match (f.delta_out(), g.delta_out()) {
+            (Some(fo), Some(go)) => fo.len() <= go.len() && *fo == go[..fo.len()],
+            _ => f.value().leq(&g.value()),
+        };
+        PairState {
+            f,
+            g,
+            verified: 0,
+            base_ok,
+        }
+    }
 }
 
 /// An online smoothness monitor over one [`Description`].
@@ -71,7 +104,15 @@ struct PairState {
 /// re-feeding the prefix.
 #[derive(Debug, Clone)]
 pub struct SmoothnessMonitor {
-    description: Description,
+    /// Description name, owned — reports carry it without holding the
+    /// whole `Description`.
+    name: String,
+    /// Pre-rendered `f ⟸ g` strings (cached on the description), so
+    /// `finish` never formats.
+    equations: Vec<String>,
+    /// The compiled equation sides (cheap `Arc` handles) — kept so a dirty
+    /// fused batch can rebuild fresh evaluators and replay exactly.
+    sides: Vec<(CompiledExpr, CompiledExpr)>,
     keep: ChanSet,
     policy: MonitorPolicy,
     pairs: Vec<PairState>,
@@ -85,18 +126,17 @@ impl SmoothnessMonitor {
     /// [`crate::conformance::ConformanceOptions`]).
     pub fn new(desc: &Description, visible: Option<ChanSet>, policy: MonitorPolicy) -> Self {
         let keep = visible.unwrap_or_else(|| desc.channels());
-        let pairs = desc
-            .lhs()
+        let sides: Vec<(CompiledExpr, CompiledExpr)> = desc
+            .lhs_compiled()
             .iter()
-            .zip(desc.rhs())
-            .map(|(f, g)| PairState {
-                f: SideEval::new(f),
-                g: SideEval::new(g),
-                verified: 0,
-            })
+            .cloned()
+            .zip(desc.rhs_compiled().iter().cloned())
             .collect();
+        let pairs = sides.iter().map(|(f, g)| PairState::new(f, g)).collect();
         SmoothnessMonitor {
-            description: desc.clone(),
+            name: desc.name().to_owned(),
+            equations: desc.equations_rendered().to_vec(),
+            sides,
             keep,
             policy,
             pairs,
@@ -138,56 +178,43 @@ impl SmoothnessMonitor {
     /// violation the monitor keeps stepping its evaluator states (the
     /// limit condition still needs the full trace) but checks nothing
     /// further, mirroring `diagnose`'s first-violation semantics.
-    #[inline]
     pub fn feed(&mut self, ev: Event) -> Option<usize> {
-        self.feed_batch(std::slice::from_ref(&ev))
-    }
-
-    /// Observes a batch of committed sends in order.
-    ///
-    /// Semantically identical to feeding each event through
-    /// [`feed`](SmoothnessMonitor::feed) in sequence — the first
-    /// violation is selected by minimal `(event index, component index)`,
-    /// exactly the order the per-event loop discovers them in — but the
-    /// pair-outer loop keeps each evaluator's state hot across the whole
-    /// batch, which is what makes lazily-drained observation cheap.
-    pub fn feed_batch(&mut self, evs: &[Event]) -> Option<usize> {
-        let start = self.events.len();
-        {
-            let keep = &self.keep;
-            self.events
-                .extend(evs.iter().filter(|e| keep.contains(e.chan)));
-        }
-        if self.events.len() == start {
+        if !self.keep.contains(ev.chan) {
             return None;
         }
-        // (event index, component, f(v), frozen g(u)) of the earliest
-        // conviction in this batch, in per-event discovery order.
-        let mut earliest: Option<(usize, usize, Seq, Seq)> = None;
-        let already = self.violation.is_some();
+        let at = self.events.len();
+        self.events.push(ev);
+        // After the first violation the monitor only keeps its states
+        // current (the limit condition still needs the full trace),
+        // mirroring `diagnose`'s first-violation semantics.
+        let checking = self.violation.is_none();
+        // (component, f(v), frozen g(u)) of this event's conviction, if
+        // any — the lowest component index wins, matching `diagnose`.
+        let mut convicted: Option<(usize, Seq, Seq)> = None;
         for (k, pair) in self.pairs.iter_mut().enumerate() {
-            let mut checking = !already;
-            for (i, &ev) in self.events[start..].iter().enumerate() {
-                let frozen = pair.g.freeze();
-                pair.f.step(ev);
-                pair.g.step(ev);
-                if checking && !step_check(&pair.f, &pair.g, &frozen, &mut pair.verified) {
-                    let at = start + i;
-                    if earliest
-                        .as_ref()
-                        .is_none_or(|&(bi, bk, ..)| (at, k) < (bi, bk))
-                    {
-                        earliest = Some((at, k, pair.f.value(), pair.g.frozen_value(&frozen)));
-                    }
-                    // After its first conviction a pair only keeps its
-                    // states current (the limit condition still needs the
-                    // full trace), mirroring `diagnose`'s first-violation
-                    // semantics.
-                    checking = false;
+            if pair.base_ok && !pair.f.reads(ev.chan) {
+                // `f` provably appends nothing on this event, so the
+                // pair's check `f(u·e) ⊑ g(u)` collapses to the invariant
+                // `f(u) ⊑ g(u)` already established (base case: `base_ok`;
+                // step case: `g`'s output only grows). Keep `g` current
+                // and move on — the skipped check would provably pass, so
+                // first-violation ordering is untouched.
+                if pair.g.reads(ev.chan) {
+                    pair.g.step(ev);
                 }
+                continue;
+            }
+            let frozen = pair.g.freeze();
+            pair.f.step(ev);
+            pair.g.step(ev);
+            if checking
+                && !step_check(&pair.f, &pair.g, &frozen, &mut pair.verified)
+                && convicted.is_none()
+            {
+                convicted = Some((k, pair.f.value(), pair.g.frozen_value(&frozen)));
             }
         }
-        let (at, k, lhs_v, rhs_u) = earliest?;
+        let (k, lhs_v, rhs_u) = convicted?;
         self.violation = Some(SmoothnessViolation {
             component: k,
             u: Trace::finite(self.events[..at].to_vec()),
@@ -201,6 +228,90 @@ impl SmoothnessMonitor {
         }
     }
 
+    /// Observes a batch of committed sends in order, semantically
+    /// identical to calling [`feed`](SmoothnessMonitor::feed) per event:
+    /// the first violation is selected by minimal `(event index,
+    /// component index)`.
+    ///
+    /// Large fully-incremental batches (the engine's lazy Observe drain)
+    /// take a fused fast path: each pair steps the whole batch in one
+    /// tight loop with only the O(1) *length* half of the per-step check
+    /// inline, and the value half — comparing `f`'s appended tail against
+    /// `g`'s output — deferred to a single slice compare per pair. Both
+    /// outputs are append-only, so a position compares equal at the end
+    /// iff it compared equal the step it appeared: the deferred pass
+    /// accepts exactly the batches the per-event loop accepts. Any pair
+    /// that looks dirty triggers an exact per-event replay from a
+    /// pre-batch snapshot to recover the precise first violation.
+    pub fn feed_batch(&mut self, evs: &[Event]) -> Option<usize> {
+        if evs.len() >= 8 && self.fully_incremental() {
+            return self.feed_batch_fused(evs);
+        }
+        let mut aborted = None;
+        for &ev in evs {
+            if let Some(k) = self.feed(ev) {
+                aborted.get_or_insert(k);
+            }
+        }
+        aborted
+    }
+
+    /// The fused batch drain. Requires every side on the incremental
+    /// path (`delta_out` available).
+    fn feed_batch_fused(&mut self, evs: &[Event]) -> Option<usize> {
+        let start = self.events.len();
+        self.events.reserve(evs.len());
+        for &ev in evs {
+            if self.keep.contains(ev.chan) {
+                self.events.push(ev);
+            }
+        }
+        if self.events.len() == start {
+            return None;
+        }
+        let checking = self.violation.is_none();
+        let new = &self.events[start..];
+        let mut clean = true;
+        for pair in self.pairs.iter_mut() {
+            let lengths_ok = batch_advance(&mut pair.f, &mut pair.g, new);
+            if !checking {
+                continue;
+            }
+            let fo = pair.f.delta_out().unwrap_or(&[]);
+            let go = pair.g.delta_out().unwrap_or(&[]);
+            if lengths_ok
+                && fo.len() <= go.len()
+                && fo[pair.verified..] == go[pair.verified..fo.len()]
+            {
+                pair.verified = fo.len();
+            } else {
+                clean = false;
+            }
+        }
+        if !checking || clean {
+            return None;
+        }
+        // Dirty: rebuild fresh evaluators from the compiled sides and
+        // replay the whole observed stream through the exact per-event
+        // path — first-violation placement (and the abort signal under
+        // AbortOnViolation) comes out exactly as if every event had been
+        // fed individually. At most one replay ever runs: after it the
+        // violation is recorded and later batches skip checking.
+        self.pairs = self
+            .sides
+            .iter()
+            .map(|(f, g)| PairState::new(f, g))
+            .collect();
+        let all = std::mem::take(&mut self.events);
+        let mut aborted = None;
+        for &ev in &all {
+            if let Some(k) = self.feed(ev) {
+                aborted.get_or_insert(k);
+            }
+        }
+        aborted
+    }
+
     /// The diagnostic report over everything observed so far: limit
     /// verdicts straight from the final evaluator states (no re-walk),
     /// the first smoothness violation if any, and the checked depth.
@@ -208,11 +319,27 @@ impl SmoothnessMonitor {
     /// Identical to `diagnose(desc, &observed_trace, observed_len)` — the
     /// differential suite pins this.
     pub fn report(&self) -> SmoothReport {
-        let lhs: Vec<Seq> = self.pairs.iter().map(|p| p.f.value()).collect();
-        let rhs: Vec<Seq> = self.pairs.iter().map(|p| p.g.value()).collect();
+        // Build each verdict straight from the evaluator pair — the final
+        // values move into the verdict instead of being cloned through an
+        // intermediate slice pair.
+        let limits = self
+            .pairs
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                let lhs = p.f.value();
+                let rhs = p.g.value();
+                LimitVerdict {
+                    component: k,
+                    holds: lhs == rhs,
+                    lhs,
+                    rhs,
+                }
+            })
+            .collect();
         SmoothReport {
-            description: self.description.name().to_owned(),
-            limits: limit_verdicts(&lhs, &rhs),
+            description: self.name.clone(),
+            limits,
             violation: self.violation.clone(),
             depth: self.events.len(),
         }
@@ -238,12 +365,12 @@ impl SmoothnessMonitor {
         let report = self.report();
         let verdict = verdict_from_report(&report, quiescent);
         Conformance {
-            description: self.description.name().to_owned(),
+            description: self.name.clone(),
             verdict,
             report,
             quiescent,
             checked: Trace::finite(self.events.clone()),
-            equations: render_equations(&self.description),
+            equations: self.equations.clone(),
         }
     }
 }

@@ -729,6 +729,9 @@ struct Engine<'a> {
     round_progressed: bool,
     /// Online smoothness monitor (monitored runs only).
     monitor: Option<SmoothnessMonitor>,
+    /// Cached `monitor armed with AbortOnViolation` — probed twice per
+    /// step in the run loop, so the Option+enum walk is hoisted here.
+    abort_armed: bool,
     /// Trace index up to which committed sends have been fed to the
     /// monitor. Invariant: `fed == trace.len()` at every drain point —
     /// in particular before every checkpoint capture, so a captured
@@ -795,6 +798,7 @@ impl<'a> Engine<'a> {
             pending: VecDeque::new(),
             round_progressed: false,
             monitor: None,
+            abort_armed: false,
             fed: 0,
         }
     }
@@ -802,15 +806,7 @@ impl<'a> Engine<'a> {
     /// Installs an online smoothness monitor over `desc`.
     fn arm_monitor(&mut self, desc: &Description, policy: MonitorPolicy) {
         self.monitor = Some(SmoothnessMonitor::new(desc, None, policy));
-    }
-
-    /// True iff an armed monitor wants the per-step drain (early abort);
-    /// observing monitors are fed lazily in batches.
-    #[inline]
-    fn abort_armed(&self) -> bool {
-        self.monitor
-            .as_ref()
-            .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation)
+        self.abort_armed = policy == MonitorPolicy::AbortOnViolation;
     }
 
     /// Runs to completion and derives the final [`Conformance`] from the
@@ -884,6 +880,10 @@ impl<'a> Engine<'a> {
         // engine drains before every capture), so certification resumes
         // without re-feeding the prefix
         self.monitor = ckpt.monitor.clone();
+        self.abort_armed = self
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation);
         self.fed = self.trace.len();
     }
 
@@ -915,7 +915,7 @@ impl<'a> Engine<'a> {
                 // at capture points and at run end — cheaper than
                 // interleaving a feed into every step); only an aborting
                 // monitor needs the per-step drain
-                if self.abort_armed() {
+                if self.abort_armed {
                     if let Some(k) = self.drain_monitor() {
                         return self.build(RunStatus::MonitorAborted { component: k });
                     }
@@ -948,7 +948,7 @@ impl<'a> Engine<'a> {
             }
             // link/ARQ pumps commit sends outside step_slot — feed those
             // too before any abort decision
-            if self.abort_armed() {
+            if self.abort_armed {
                 if let Some(k) = self.drain_monitor() {
                     return self.build(RunStatus::MonitorAborted { component: k });
                 }

@@ -50,13 +50,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod custom;
 pub mod delta;
 pub mod expr;
 pub mod ops;
 pub mod paper;
 
+pub use compile::{CompiledDeltaState, CompiledExpr, CompiledSideEval};
 pub use custom::{CustomDeltaState, SeqFunction};
 pub use delta::DeltaState;
 pub use expr::SeqExpr;
-pub use ops::{ValueMap, ValuePred, ValueZip};
+pub use ops::{Conjunction, ValueMap, ValuePred, ValueZip};

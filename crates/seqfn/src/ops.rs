@@ -25,6 +25,31 @@ pub enum ValuePred {
     IntIs(i64),
 }
 
+/// The value kind a predicate can accept — used by the compiler to decide
+/// whether two filters are jointly unsatisfiable (see
+/// [`ValuePred::conjoin`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredKind {
+    Int,
+    Bit,
+    Pair,
+}
+
+/// The outcome of conjoining two filter predicates (see
+/// [`ValuePred::conjoin`]). Total: every pair of predicates lands in one
+/// of these — the compiler never panics on an unfusable pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conjunction {
+    /// The conjunction is a single expressible predicate.
+    Single(ValuePred),
+    /// The two predicates are jointly unsatisfiable: no value passes both,
+    /// so the fused filter is the constant-ε function.
+    Never,
+    /// Not expressible as one predicate — the compiler emits a two-test
+    /// filter instruction instead (still one pass, but two tests).
+    Both,
+}
+
 impl ValuePred {
     /// Evaluates the predicate on one value.
     #[inline]
@@ -36,6 +61,58 @@ impl ValuePred {
             ValuePred::IsFalse => *v == Value::Bit(false),
             ValuePred::TagIs(t) => matches!(v, Value::Pair(tag, _) if *tag == t),
             ValuePred::IntIs(n) => matches!(v, Value::Int(m) if *m == n),
+        }
+    }
+
+    /// The only [`Value`] constructor this predicate ever accepts.
+    fn kind(self) -> PredKind {
+        match self {
+            ValuePred::IsEvenInt | ValuePred::IsOddInt | ValuePred::IntIs(_) => PredKind::Int,
+            ValuePred::IsTrue | ValuePred::IsFalse => PredKind::Bit,
+            ValuePred::TagIs(_) => PredKind::Pair,
+        }
+    }
+
+    /// Conjoins two filter predicates: the result describes `v` such that
+    /// `self.test(v) && other.test(v)`.
+    ///
+    /// Total by construction — pairs that cannot be expressed as a single
+    /// predicate come back as [`Conjunction::Both`] and the compiler emits
+    /// the two filters unfused. (With the current vocabulary every pair is
+    /// in fact decidable to `Single` or `Never`: each predicate accepts
+    /// values of exactly one [`Value`] constructor, so cross-kind pairs are
+    /// unsatisfiable and same-kind pairs resolve arithmetically.)
+    pub fn conjoin(self, other: ValuePred) -> Conjunction {
+        use ValuePred::*;
+        if self == other {
+            return Conjunction::Single(self);
+        }
+        if self.kind() != other.kind() {
+            // A value accepted by `self` has the wrong constructor for
+            // `other`: jointly unsatisfiable.
+            return Conjunction::Never;
+        }
+        match (self, other) {
+            (IsEvenInt, IsOddInt) | (IsOddInt, IsEvenInt) => Conjunction::Never,
+            (IsEvenInt, IntIs(n)) | (IntIs(n), IsEvenInt) => {
+                if n % 2 == 0 {
+                    Conjunction::Single(IntIs(n))
+                } else {
+                    Conjunction::Never
+                }
+            }
+            (IsOddInt, IntIs(n)) | (IntIs(n), IsOddInt) => {
+                if n % 2 != 0 {
+                    Conjunction::Single(IntIs(n))
+                } else {
+                    Conjunction::Never
+                }
+            }
+            // Unequal constants / tags / bits (equality was handled above).
+            (IntIs(_), IntIs(_)) | (TagIs(_), TagIs(_)) => Conjunction::Never,
+            (IsTrue, IsFalse) | (IsFalse, IsTrue) => Conjunction::Never,
+            // Defensive fallback for future predicate variants.
+            _ => Conjunction::Both,
         }
     }
 }
@@ -98,6 +175,57 @@ impl ValueMap {
                 Value::Pair(_, n) => Value::Int(*n),
                 other => *other,
             },
+        }
+    }
+
+    /// True iff this map is the identity on every value.
+    pub fn is_identity(self) -> bool {
+        matches!(self, ValueMap::Affine { a: 1, b: 0 })
+    }
+
+    /// Composes two maps: `self.compose(inner)` is `m` with
+    /// `m.apply(v) == self.apply(inner.apply(v))` for **all** values, or
+    /// `None` when no single [`ValueMap`] has that behaviour.
+    ///
+    /// Total — refusal (`None`) makes the compiler emit the two stages
+    /// unfused, never panic. The subtle cases all come from maps passing
+    /// foreign constructors through unchanged:
+    ///
+    /// * `Untag∘Tag(t)` is **not** the identity — a `Pair(s,m)` input passes
+    ///   `Tag` untouched and is then untagged to `Int m`. It *is* exactly
+    ///   `Untag` (on `Int` both are the identity), so it fuses to `Untag`.
+    /// * `Affine∘Tag(t)` fuses to `Tag(t)`: the affine stage never sees an
+    ///   `Int` (tagging turned them into pairs, which affine passes).
+    /// * `Affine∘R`, `R∘Affine`, `Tag∘R`, … mix per-constructor behaviours
+    ///   of two different maps and are refused.
+    /// * `Affine∘Affine` composes coefficient-wise but is refused on `i64`
+    ///   overflow of the composed coefficients.
+    pub fn compose(self, inner: ValueMap) -> Option<ValueMap> {
+        use ValueMap::*;
+        if self.is_identity() {
+            return Some(inner);
+        }
+        if inner.is_identity() {
+            return Some(self);
+        }
+        match (self, inner) {
+            (Affine { a: a2, b: b2 }, Affine { a: a1, b: b1 }) => {
+                // a2·(a1·n + b1) + b2 = (a2·a1)·n + (a2·b1 + b2)
+                let a = a2.checked_mul(a1)?;
+                let b = a2.checked_mul(b1)?.checked_add(b2)?;
+                Some(Affine { a, b })
+            }
+            (R, R) => Some(R),
+            // Tagging leaves no Int for a later affine stage to touch.
+            (Affine { .. }, Tag(t)) => Some(Tag(t)),
+            // The inner tag wins: its output pairs pass the outer Tag.
+            (Tag(_), Tag(t1)) => Some(Tag(t1)),
+            // Int: tag then untag is the identity; Pair: passes Tag, then
+            // untagged — both coincide with plain Untag.
+            (Untag, Tag(_)) => Some(Untag),
+            // Untag output is Int/Bit, which Untag passes: idempotent.
+            (Untag, Untag) => Some(Untag),
+            _ => None,
         }
     }
 }
@@ -191,6 +319,133 @@ mod tests {
             ValueZip::AddInts.apply(&Value::Int(2), &Value::Int(3)),
             Value::Int(5)
         );
+    }
+
+    /// All values a map or predicate can be probed with, one per behaviour
+    /// class of every constructor.
+    fn probes() -> Vec<Value> {
+        vec![
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Int(2),
+            Value::Int(7),
+            Value::Bit(true),
+            Value::Bit(false),
+            Value::Pair(0, 4),
+            Value::Pair(1, -2),
+        ]
+    }
+
+    /// Checks a claimed fusion pointwise on all probe values.
+    fn assert_composes(outer: ValueMap, inner: ValueMap, fused: ValueMap) {
+        assert_eq!(outer.compose(inner), Some(fused));
+        for v in probes() {
+            assert_eq!(
+                fused.apply(&v),
+                outer.apply(&inner.apply(&v)),
+                "{outer}∘{inner} ≠ {fused} at {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compose_successes() {
+        let aff = |a, b| ValueMap::Affine { a, b };
+        assert_composes(aff(2, 1), aff(3, -1), aff(6, -1));
+        assert_composes(ValueMap::R, ValueMap::R, ValueMap::R);
+        assert_composes(aff(5, 9), ValueMap::Tag(1), ValueMap::Tag(1));
+        assert_composes(ValueMap::Tag(0), ValueMap::Tag(1), ValueMap::Tag(1));
+        assert_composes(ValueMap::Untag, ValueMap::Untag, ValueMap::Untag);
+        // Identity elimination works on both sides of any map.
+        assert_composes(aff(1, 0), ValueMap::R, ValueMap::R);
+        assert_composes(ValueMap::Untag, aff(1, 0), ValueMap::Untag);
+    }
+
+    #[test]
+    fn untag_tag_is_untag_not_identity() {
+        // The headline subtlety: Untag∘Tag(t) agrees with the identity on
+        // Int inputs but untags Pair inputs, so it must fuse to Untag.
+        assert_composes(ValueMap::Untag, ValueMap::Tag(1), ValueMap::Untag);
+        assert_ne!(
+            ValueMap::Untag.apply(&Value::Pair(0, 4)),
+            Value::Pair(0, 4),
+            "refusing to treat Untag∘Tag as identity matters on pairs"
+        );
+    }
+
+    /// Every refusal case: the pair mixes per-constructor behaviours of two
+    /// different maps and has no single-map equivalent. For each refusal we
+    /// also exhibit a probe value where *every* candidate single map would
+    /// have to disagree with some other probe — here we simply pin `None`.
+    #[test]
+    fn compose_refusals() {
+        let aff = |a, b| ValueMap::Affine { a, b };
+        // Affine∘R: would need "Bit↦T and Int↦affine" in one map.
+        assert_eq!(aff(2, 0).compose(ValueMap::R), None);
+        // R∘Affine: same mix, other order.
+        assert_eq!(ValueMap::R.compose(aff(2, 0)), None);
+        // Tag∘R and R∘Tag: tagging ints while collapsing bits.
+        assert_eq!(ValueMap::Tag(0).compose(ValueMap::R), None);
+        assert_eq!(ValueMap::R.compose(ValueMap::Tag(0)), None);
+        // Tag∘Untag: retags existing pairs — Tag(t) alone passes them.
+        assert_eq!(ValueMap::Tag(1).compose(ValueMap::Untag), None);
+        // Untag∘Affine and Affine∘Untag: affine on ints plus untagging.
+        assert_eq!(ValueMap::Untag.compose(aff(3, 1)), None);
+        assert_eq!(aff(3, 1).compose(ValueMap::Untag), None);
+        // Untag∘R and R∘Untag.
+        assert_eq!(ValueMap::Untag.compose(ValueMap::R), None);
+        assert_eq!(ValueMap::R.compose(ValueMap::Untag), None);
+        // Affine∘Affine with overflowing composed coefficients.
+        assert_eq!(aff(i64::MAX, 0).compose(aff(2, 0)), None);
+        assert_eq!(aff(2, i64::MAX).compose(aff(1, 1)), None);
+    }
+
+    #[test]
+    fn conjoin_resolves_every_pair() {
+        use ValuePred::*;
+        let all = [
+            IsEvenInt,
+            IsOddInt,
+            IsTrue,
+            IsFalse,
+            TagIs(0),
+            TagIs(1),
+            IntIs(-2),
+            IntIs(3),
+        ];
+        for p in all {
+            for q in all {
+                let c = p.conjoin(q);
+                // Current vocabulary always resolves; `Both` is reserved
+                // for future predicate variants.
+                assert_ne!(c, Conjunction::Both, "{p} ∧ {q}");
+                for v in probes() {
+                    let want = p.test(&v) && q.test(&v);
+                    match c {
+                        Conjunction::Single(s) => {
+                            assert_eq!(s.test(&v), want, "{p} ∧ {q} fused to {s}, wrong at {v:?}")
+                        }
+                        Conjunction::Never => {
+                            assert!(!want, "{p} ∧ {q} claimed Never but {v:?} passes")
+                        }
+                        Conjunction::Both => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjoin_examples() {
+        use ValuePred::*;
+        assert_eq!(IsEvenInt.conjoin(IsEvenInt), Conjunction::Single(IsEvenInt));
+        assert_eq!(IsEvenInt.conjoin(IsOddInt), Conjunction::Never);
+        assert_eq!(IsEvenInt.conjoin(IntIs(4)), Conjunction::Single(IntIs(4)));
+        assert_eq!(IsEvenInt.conjoin(IntIs(3)), Conjunction::Never);
+        assert_eq!(IsOddInt.conjoin(IntIs(3)), Conjunction::Single(IntIs(3)));
+        assert_eq!(IsTrue.conjoin(TagIs(0)), Conjunction::Never);
+        assert_eq!(TagIs(0).conjoin(TagIs(1)), Conjunction::Never);
+        assert_eq!(IntIs(1).conjoin(IsTrue), Conjunction::Never);
     }
 
     #[test]

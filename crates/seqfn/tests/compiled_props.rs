@@ -1,0 +1,329 @@
+//! Differential property suite: the compiled IR (`eqp_seqfn::compile`)
+//! is observationally identical to the tree-walking interpreter.
+//!
+//! Random `SeqExpr` trees over **all** constructors — including `Custom`
+//! nodes both with and without the incremental `delta_init` hook — are
+//! pitted against random finite and eventually-periodic (lasso) traces:
+//!
+//! * `CompiledExpr::eval` == `SeqExpr::eval` on every input;
+//! * per-event `CompiledDeltaState` outputs == `DeltaState` outputs (and
+//!   both == the appended diff of full evaluation on each prefix);
+//! * `CompiledSideEval` + `compile::step_check` reproduces the exact
+//!   accept/reject sequence of `SideEval` + `delta::step_check`;
+//! * compiled support masks are sound: evaluation depends only on the
+//!   (possibly optimizer-shrunk) compiled channel set, and out-of-support
+//!   events step to no-ops;
+//! * cloning a compiled machine mid-stream and resuming both copies gives
+//!   identical results (the checkpoint/resume contract at this layer).
+
+use eqp_seqfn::compile::step_check as compiled_step_check;
+use eqp_seqfn::delta::{step_check, FrozenSide, SideEval};
+use eqp_seqfn::{CompiledSideEval, SeqExpr, SeqFunction, ValueMap, ValuePred, ValueZip};
+use eqp_trace::{Chan, ChanSet, Event, Lasso, Seq, Trace, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Hookless custom function: one `T` per message on the channel. Forces
+/// the opaque (full re-evaluation) fallback on both backends.
+#[derive(Debug)]
+struct TickPerMsg(Chan);
+
+impl SeqFunction for TickPerMsg {
+    fn eval(&self, t: &Trace) -> Seq {
+        t.seq_on(self.0).map(|_| Value::Bit(true))
+    }
+    fn channels(&self) -> ChanSet {
+        ChanSet::from_chans([self.0])
+    }
+    fn name(&self) -> &str {
+        "tick-per-msg"
+    }
+}
+
+/// Custom function *with* the incremental hook: maps each message on the
+/// channel to the parity bit of its integer value (non-integers count as
+/// odd). Exercises the compiled machine's `Slot::Custom` path.
+#[derive(Debug)]
+struct ParityMap(Chan);
+
+fn parity_bit(v: &Value) -> Value {
+    match v {
+        Value::Int(n) => Value::Bit(n % 2 == 0),
+        _ => Value::Bit(false),
+    }
+}
+
+#[derive(Debug)]
+struct ParityState(Chan);
+
+impl eqp_seqfn::CustomDeltaState for ParityState {
+    fn clone_box(&self) -> Box<dyn eqp_seqfn::CustomDeltaState> {
+        Box::new(ParityState(self.0))
+    }
+    fn step(&mut self, ev: Event) -> Vec<Value> {
+        if ev.chan == self.0 {
+            vec![parity_bit(&ev.value)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl SeqFunction for ParityMap {
+    fn eval(&self, t: &Trace) -> Seq {
+        t.seq_on(self.0).map(parity_bit)
+    }
+    fn channels(&self) -> ChanSet {
+        ChanSet::from_chans([self.0])
+    }
+    fn name(&self) -> &str {
+        "parity-map"
+    }
+    fn delta_init(&self) -> Option<(Box<dyn eqp_seqfn::CustomDeltaState>, Vec<Value>)> {
+        Some((Box::new(ParityState(self.0)), Vec::new()))
+    }
+}
+
+fn leaf() -> impl Strategy<Value = SeqExpr> {
+    prop_oneof![
+        (0u32..3).prop_map(|c| SeqExpr::chan(Chan::new(c))),
+        proptest::collection::vec(-3i64..4, 0..3).prop_map(SeqExpr::const_ints),
+        Just(SeqExpr::constant(Lasso::repeat(vec![
+            Value::Int(0),
+            Value::Int(1)
+        ]))),
+        (0u32..3).prop_map(|c| SeqExpr::custom(Arc::new(TickPerMsg(Chan::new(c))))),
+        (0u32..3).prop_map(|c| SeqExpr::custom(Arc::new(ParityMap(Chan::new(c))))),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = ValuePred> {
+    prop_oneof![
+        Just(ValuePred::IsEvenInt),
+        Just(ValuePred::IsOddInt),
+        Just(ValuePred::IsTrue),
+        Just(ValuePred::IsFalse),
+        Just(ValuePred::TagIs(0)),
+        Just(ValuePred::IntIs(1)),
+    ]
+}
+
+fn vmap() -> impl Strategy<Value = ValueMap> {
+    prop_oneof![
+        (-2i64..3, -2i64..3).prop_map(|(a, b)| ValueMap::Affine { a, b }),
+        Just(ValueMap::R),
+        Just(ValueMap::Tag(0)),
+        Just(ValueMap::Untag),
+    ]
+}
+
+/// Random trees over all 12 constructors (the 3+2 leaves above plus every
+/// recursive combinator) — deliberately deeper than the interpreter suite
+/// so fusion chains (`Map∘Map∘Filter…`) actually form.
+fn expr() -> impl Strategy<Value = SeqExpr> {
+    leaf().prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (proptest::collection::vec(-2i64..3, 0..3), inner.clone())
+                .prop_map(|(ns, e)| SeqExpr::concat(ns.into_iter().map(Value::Int), e)),
+            (vmap(), inner.clone()).prop_map(|(m, e)| SeqExpr::Map(m, Box::new(e))),
+            (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::Filter(p, Box::new(e))),
+            (pred(), inner.clone()).prop_map(|(p, e)| SeqExpr::TakeWhile(p, Box::new(e))),
+            (0usize..4, inner.clone()).prop_map(|(n, e)| SeqExpr::Skip(n, Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| SeqExpr::Zip(
+                ValueZip::And,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(d, o, k)| {
+                SeqExpr::OracleSelect {
+                    data: Box::new(d),
+                    oracle: Box::new(o),
+                    keep: k,
+                }
+            }),
+            inner.clone().prop_map(|e| SeqExpr::CountTicks(Box::new(e))),
+            (1usize..4, -1i64..2, inner).prop_map(|(need, add, e)| {
+                SeqExpr::EmitFirstAfter {
+                    need,
+                    add,
+                    input: Box::new(e),
+                }
+            }),
+        ]
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u32..3,
+        prop_oneof![
+            (-3i64..4).prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bit),
+            (0u8..2, -2i64..3).prop_map(|(t, n)| Value::Pair(t, n)),
+        ],
+    )
+        .prop_map(|(c, v)| Event::new(Chan::new(c), v))
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(arb_event(), 0..8),
+        proptest::collection::vec(arb_event(), 0..4),
+    )
+        .prop_map(|(p, c)| Trace::lasso(p, c))
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(arb_event(), 0..12)
+}
+
+proptest! {
+    /// The headline theorem: compiled evaluation equals interpreted
+    /// evaluation on arbitrary (finite or eventually-periodic) inputs.
+    #[test]
+    fn compiled_eval_equals_interpreted(e in expr(), t in arb_trace()) {
+        let c = e.compile();
+        prop_assert_eq!(
+            c.eval(&t), e.eval(&t),
+            "compiled != interpreted for {} (compiled to {} insts)", e, c.inst_count()
+        );
+    }
+
+    /// …and on every finite prefix of the input, so the agreement is not
+    /// an artifact of the limit.
+    #[test]
+    fn compiled_eval_equals_interpreted_on_prefixes(
+        e in expr(),
+        evs in arb_events(),
+    ) {
+        let c = e.compile();
+        for n in 0..=evs.len() {
+            let t = Trace::finite(evs[..n].to_vec());
+            prop_assert_eq!(c.eval(&t), e.eval(&t), "prefix {} of {}", n, e);
+        }
+    }
+
+    /// Per-event delta agreement: the compiled machine's appended values
+    /// equal full evaluation's appended diff on every prefix, and — when
+    /// the interpreter also supports delta evaluation — the interpreted
+    /// machine's per-event output, value for value.
+    #[test]
+    fn compiled_delta_matches_interpreted_per_event(
+        e in expr(),
+        evs in arb_events(),
+    ) {
+        let c = e.compile();
+        // Optimization only ever *gains* incremental support (constant
+        // folding can collapse an infinite-constant subtree); it must
+        // never lose it.
+        if e.delta_init().is_some() {
+            prop_assert!(c.delta_supported(), "compilation lost delta support for {}", e);
+        }
+        if let Some((mut cst, mut acc)) = c.delta_init() {
+            let mut interp = e.delta_init();
+            if let Some((_, i_acc)) = &interp {
+                prop_assert_eq!(i_acc, &acc, "init outputs differ for {}", e);
+            }
+            prop_assert_eq!(
+                Lasso::finite(acc.clone()), e.eval(&Trace::empty()),
+                "init output wrong for {}", e
+            );
+            let mut prefix = Vec::new();
+            for &ev in &evs {
+                prefix.push(ev);
+                let delta = cst.step(ev);
+                if let Some((ist, _)) = &mut interp {
+                    let idelta = ist.step(ev);
+                    prop_assert_eq!(&idelta, &delta, "per-event outputs differ for {}", e);
+                }
+                acc.extend(delta);
+                prop_assert_eq!(
+                    Lasso::finite(acc.clone()),
+                    e.eval(&Trace::finite(prefix.clone())),
+                    "delta diverged from eval for {} after {:?}", e, prefix
+                );
+            }
+        }
+    }
+
+    /// Support soundness: the compiled channel set (which fusion and
+    /// folding may have *shrunk* below the syntactic support) still
+    /// captures everything evaluation depends on, and events outside it
+    /// are no-ops for the delta machine.
+    #[test]
+    fn compiled_support_is_sound(e in expr(), t in arb_trace()) {
+        let c = e.compile();
+        prop_assert!(
+            c.channels().is_subset(&e.channels()),
+            "compiled support exceeds syntactic support for {}", e
+        );
+        prop_assert_eq!(c.eval(&t), c.eval(&t.project(c.channels())), "projection changed eval of {}", e);
+        if let Some((mut st, _)) = c.delta_init() {
+            let foreign = Event::int(Chan::new(77), 1);
+            prop_assert!(!c.reads(Chan::new(77)));
+            prop_assert!(st.step(foreign).is_empty(), "foreign event appended output for {}", e);
+        }
+    }
+
+    /// The monitor-facing layer: `CompiledSideEval` + its `step_check`
+    /// accept/reject exactly like the interpreted `SideEval` pair on the
+    /// same event stream, with equal values at every step.
+    #[test]
+    fn side_eval_step_check_agrees(
+        f in expr(),
+        g in expr(),
+        evs in arb_events(),
+    ) {
+        let mut ci = CompiledSideEval::new(&f.compile());
+        let mut cg = CompiledSideEval::new(&g.compile());
+        let mut ii = SideEval::new(&f);
+        let mut ig = SideEval::new(&g);
+        let (mut cv, mut iv) = (0usize, 0usize);
+        for &ev in &evs {
+            let cfrozen = cg.freeze();
+            let ifrozen = ig.freeze();
+            ci.step(ev);
+            cg.step(ev);
+            ii.step(ev);
+            ig.step(ev);
+            let cok = compiled_step_check(&ci, &cg, &cfrozen, &mut cv);
+            let iok = step_check(&ii, &ig, &ifrozen, &mut iv);
+            prop_assert_eq!(cok, iok, "check verdicts diverged for f={} g={}", f, g);
+            prop_assert_eq!(ci.value(), ii.value(), "f values diverged for {}", f);
+            prop_assert_eq!(cg.value(), ig.value(), "g values diverged for {}", g);
+            match (&cfrozen, &ifrozen) {
+                (a @ FrozenSide::Seq(_), b) | (a, b @ FrozenSide::Seq(_)) => {
+                    prop_assert_eq!(cg.frozen_value(a), ig.frozen_value(b));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Checkpoint/resume at the machine level: cloning a compiled side
+    /// mid-stream and resuming both copies over the same suffix yields
+    /// identical outputs — the contract `eqp_kahn::snapshot::Checkpoint`
+    /// relies on when it carries monitor state.
+    #[test]
+    fn clone_resumes_identically(
+        e in expr(),
+        evs in arb_events(),
+        cut in 0usize..12,
+    ) {
+        let cut = cut.min(evs.len());
+        let mut a = CompiledSideEval::new(&e.compile());
+        for &ev in &evs[..cut] {
+            a.step(ev);
+        }
+        let mut b = a.clone();
+        for &ev in &evs[cut..] {
+            a.step(ev);
+            b.step(ev);
+        }
+        prop_assert_eq!(a.value(), b.value(), "clone diverged for {}", e);
+        prop_assert_eq!(
+            format!("{a:?}"), format!("{b:?}"),
+            "clone state diverged for {}", e
+        );
+    }
+}

@@ -1,6 +1,5 @@
 //! Channel identifiers and channel sets.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// A channel identifier.
@@ -37,9 +36,16 @@ impl From<u32> for Chan {
 
 /// A finite set of channels — the *incident channels* of a process, or the
 /// subset `L` a trace is projected on.
+///
+/// Backed by a sorted, deduplicated `Vec`: channel sets are tiny (a
+/// handful of entries) and live on hot paths — event projection filters
+/// and engine/monitor support tests — where a contiguous probe beats a
+/// `BTreeSet`'s pointer chasing. Mutation is O(n), which the construction
+/// paths (all cold) happily pay.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ChanSet {
-    chans: BTreeSet<Chan>,
+    /// Sorted ascending, no duplicates.
+    chans: Vec<Chan>,
 }
 
 impl ChanSet {
@@ -50,25 +56,45 @@ impl ChanSet {
 
     /// Builds a channel set from the given channels.
     pub fn from_chans<I: IntoIterator<Item = Chan>>(chans: I) -> ChanSet {
-        ChanSet {
-            chans: chans.into_iter().collect(),
-        }
+        let mut chans: Vec<Chan> = chans.into_iter().collect();
+        chans.sort_unstable();
+        chans.dedup();
+        ChanSet { chans }
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, c: Chan) -> bool {
-        self.chans.contains(&c)
+        // Tiny sorted slices: a linear scan with early exit beats binary
+        // search's branch mispredictions.
+        for &k in &self.chans {
+            if k >= c {
+                return k == c;
+            }
+        }
+        false
     }
 
     /// Adds a channel; returns `true` if it was new.
     pub fn insert(&mut self, c: Chan) -> bool {
-        self.chans.insert(c)
+        match self.chans.binary_search(&c) {
+            Ok(_) => false,
+            Err(i) => {
+                self.chans.insert(i, c);
+                true
+            }
+        }
     }
 
     /// Removes a channel; returns `true` if it was present.
     pub fn remove(&mut self, c: Chan) -> bool {
-        self.chans.remove(&c)
+        match self.chans.binary_search(&c) {
+            Ok(i) => {
+                self.chans.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Number of channels in the set.
@@ -89,9 +115,9 @@ impl ChanSet {
     /// Set union — the incident channels of a network are the union of the
     /// incident channels of its components (Section 3.1.2).
     pub fn union(&self, other: &ChanSet) -> ChanSet {
-        ChanSet {
-            chans: self.chans.union(&other.chans).copied().collect(),
-        }
+        let mut out = self.clone();
+        out.extend(other.iter());
+        out
     }
 
     /// Set difference: channels in `self` but not `other` — used by
@@ -99,19 +125,19 @@ impl ChanSet {
     /// Section 7).
     pub fn difference(&self, other: &ChanSet) -> ChanSet {
         ChanSet {
-            chans: self.chans.difference(&other.chans).copied().collect(),
+            chans: self.iter().filter(|&c| !other.contains(c)).collect(),
         }
     }
 
     /// True iff the two sets share no channel — the *independence* premise
     /// of Theorem 1 requires disjoint supports.
     pub fn is_disjoint(&self, other: &ChanSet) -> bool {
-        self.chans.is_disjoint(&other.chans)
+        self.iter().all(|c| !other.contains(c))
     }
 
     /// True iff every channel of `self` is in `other`.
     pub fn is_subset(&self, other: &ChanSet) -> bool {
-        self.chans.is_subset(&other.chans)
+        self.iter().all(|c| other.contains(c))
     }
 }
 
@@ -123,7 +149,9 @@ impl FromIterator<Chan> for ChanSet {
 
 impl Extend<Chan> for ChanSet {
     fn extend<I: IntoIterator<Item = Chan>>(&mut self, iter: I) {
-        self.chans.extend(iter);
+        for c in iter {
+            self.insert(c);
+        }
     }
 }
 

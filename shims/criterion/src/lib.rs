@@ -178,12 +178,31 @@ fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
     b.elapsed
 }
 
+/// True iff `EQP_BENCH_SMOKE` is set: every benchmark body runs exactly
+/// once, so bench binaries double as fast correctness gates (their result
+/// assertions and non-timing gates still run; timing numbers are noise
+/// and must not be asserted on or committed in this mode).
+pub fn smoke_mode() -> bool {
+    std::env::var_os("EQP_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(
     id: String,
     sample_size: usize,
     measurement_time: Duration,
     f: &mut F,
 ) -> BenchResult {
+    if smoke_mode() {
+        let t = time_once(f, 1);
+        let ns = t.as_nanos() as f64;
+        println!("bench {id:<60} smoke  {ns:>12.1} ns/iter (1 iter)");
+        return BenchResult {
+            id,
+            median_ns: ns,
+            mean_ns: ns,
+            iterations: 1,
+        };
+    }
     // Calibrate: grow the per-sample iteration count until one sample takes
     // at least measurement_time / sample_size (or a floor of 1 ms).
     let target = (measurement_time / sample_size as u32).max(Duration::from_millis(1));
