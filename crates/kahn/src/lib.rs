@@ -83,9 +83,13 @@
 //! assert_eq!(run.trace.seq_on(d).take(3), vec![Value::Int(2), Value::Int(4), Value::Int(6)]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SPSC ring module ([`spsc`]) opts in
+// with a module-level allow and per-site SAFETY arguments; everything
+// else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod chanmap;
 pub mod chaos;
 pub mod conformance;
 pub mod faults;
@@ -97,7 +101,9 @@ pub mod procs;
 pub mod reliable;
 pub mod report;
 pub mod scheduler;
+pub mod shard;
 pub mod snapshot;
+pub mod spsc;
 pub mod supervisor;
 
 pub use chaos::{
@@ -117,6 +123,7 @@ pub use report::{
 };
 pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
 pub use snapshot::{Checkpoint, SnapshotError, StateCell};
+pub use spsc::{ring, Spsc, SpscReceiver};
 pub use supervisor::{RecoveryRecord, RestartPolicy, RestoreMethod, SupervisorOptions};
 
 pub use eqp_trace::Trace;

@@ -1,6 +1,7 @@
 //! Networks: processes wired by FIFO channels, run to quiescence — with
 //! optional checkpointing, supervision, and engine-level fault injection.
 
+use crate::chanmap::ChanMap;
 use crate::conformance::Conformance;
 use crate::faults::{CrashPoint, EngineLink, FaultSchedule};
 use crate::monitor::{MonitorPolicy, SmoothnessMonitor};
@@ -17,7 +18,7 @@ use eqp_core::Description;
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// What a bounded run does with a send on a channel already at capacity
 /// (see [`RunOptions::channel_capacity`]).
@@ -67,6 +68,12 @@ pub struct RunOptions {
     /// halts at the convicting step with [`RunStatus::MonitorAborted`].
     /// Ignored by unmonitored runs.
     pub monitor: MonitorPolicy,
+    /// Worker shards for the sharded runtime ([`crate::shard`]), used by
+    /// the `*_sharded` run methods ([`Network::run_report_sharded`] and
+    /// friends). The run is byte-identical for every value; `1` (the
+    /// default) runs inline without spawning threads. Clamped to the
+    /// process count. Ignored by the single-threaded run methods.
+    pub shards: usize,
 }
 
 impl Default for RunOptions {
@@ -78,6 +85,7 @@ impl Default for RunOptions {
             overflow: OverflowPolicy::Block,
             deadline_rounds: None,
             monitor: MonitorPolicy::Observe,
+            shards: 1,
         }
     }
 }
@@ -115,6 +123,18 @@ impl RunOptions {
     #[must_use]
     pub fn with_monitor(mut self, policy: MonitorPolicy) -> RunOptions {
         self.monitor = policy;
+        self
+    }
+
+    /// Sets the worker-shard count for the `*_sharded` run methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, n: usize) -> RunOptions {
+        assert!(n >= 1, "a run needs at least one shard");
+        self.shards = n;
         self
     }
 }
@@ -269,7 +289,7 @@ impl Network {
                 processes: std::mem::take(&mut self.processes),
                 drained: false,
             },
-            queues: HashMap::new(),
+            queues: ChanMap::default(),
         };
         for (chan, values) in pairs {
             pre.load(chan, values);
@@ -292,7 +312,7 @@ impl Network {
     /// Runs the network and returns the full telemetry [`RunReport`].
     pub fn run_report<S: Scheduler>(&mut self, sched: &mut S, opts: RunOptions) -> RunReport {
         self.assert_live();
-        Engine::new(&mut self.processes, HashMap::new(), opts).run(sched)
+        Engine::new(&mut self.processes, ChanMap::default(), opts).run(sched)
     }
 
     /// Runs the network, capturing a whole-run [`Checkpoint`] when the
@@ -312,7 +332,7 @@ impl Network {
         at_step: usize,
     ) -> (RunReport, Option<Checkpoint>) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.checkpoint_at = Some(at_step);
         let report = engine.run(sched);
         let captured = engine.captured.take();
@@ -354,7 +374,7 @@ impl Network {
             }
         }
         ckpt.restore_scheduler(sched)?;
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.resume_from(ckpt);
         Ok(engine.run(sched))
     }
@@ -386,7 +406,7 @@ impl Network {
         schedule: &FaultSchedule,
     ) -> RunReport {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.supervise(sup);
         engine.inject(schedule);
         engine.run(sched)
@@ -402,7 +422,7 @@ impl Network {
         schedule: &FaultSchedule,
     ) -> RunReport {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.inject(schedule);
         engine.run(sched)
     }
@@ -423,7 +443,7 @@ impl Network {
         cfg: &ReliableConfig,
     ) -> RunReport {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.inject_protected(schedule, cfg);
         engine.run(sched)
     }
@@ -441,7 +461,7 @@ impl Network {
         cfg: &ReliableConfig,
     ) -> RunReport {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.supervise(sup);
         engine.inject_protected(schedule, cfg);
         engine.run(sched)
@@ -463,7 +483,7 @@ impl Network {
         opts: RunOptions,
     ) -> (RunReport, Conformance) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.arm_monitor(desc, opts.monitor);
         engine.run_monitored(sched)
     }
@@ -479,7 +499,7 @@ impl Network {
         schedule: &FaultSchedule,
     ) -> (RunReport, Conformance) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.inject(schedule);
         engine.arm_monitor(desc, opts.monitor);
         engine.run_monitored(sched)
@@ -499,7 +519,7 @@ impl Network {
         cfg: &ReliableConfig,
     ) -> (RunReport, Conformance) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.inject_protected(schedule, cfg);
         engine.arm_monitor(desc, opts.monitor);
         engine.run_monitored(sched)
@@ -516,7 +536,7 @@ impl Network {
         schedule: &FaultSchedule,
     ) -> (RunReport, Conformance) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.supervise(sup);
         engine.inject(schedule);
         engine.arm_monitor(desc, opts.monitor);
@@ -535,7 +555,7 @@ impl Network {
         cfg: &ReliableConfig,
     ) -> (RunReport, Conformance) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.supervise(sup);
         engine.inject_protected(schedule, cfg);
         engine.arm_monitor(desc, opts.monitor);
@@ -555,7 +575,7 @@ impl Network {
         at_step: usize,
     ) -> (RunReport, Conformance, Option<Checkpoint>) {
         self.assert_live();
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.checkpoint_at = Some(at_step);
         engine.arm_monitor(desc, opts.monitor);
         let (report, conf) = engine.run_monitored(sched);
@@ -599,9 +619,152 @@ impl Network {
             }
         }
         ckpt.restore_scheduler(sched)?;
-        let mut engine = Engine::new(&mut self.processes, HashMap::new(), opts);
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.resume_from(ckpt);
         Ok(engine.run_monitored(sched))
+    }
+
+    /// Runs the network on the sharded multicore runtime
+    /// ([`crate::shard`]): processes are partitioned across
+    /// [`opts.shards`](RunOptions::shards) worker threads, stepped in
+    /// parallel epochs, and every observable effect commits in one
+    /// canonical order — the returned [`RunReport`] (trace, telemetry,
+    /// counters) is **byte-identical for every shard count**, including
+    /// the threadless 1-shard run.
+    ///
+    /// Requirements and caveats:
+    ///
+    /// * Every consuming process must declare its
+    ///   [`Process::inputs`] — sharded delivery routes sends by the
+    ///   declared consumer. An undeclared reader sees an empty channel.
+    /// * Bounded channels, fault injection, supervision, and reliable
+    ///   links are not supported (the single-threaded runner is).
+    /// * Per-step RNGs derive from `(seed, process, offer)`, so
+    ///   nondeterministic processes draw a different — equally
+    ///   reproducible — stream than under [`run_report`](Network::run_report);
+    ///   deterministic networks produce the same per-channel histories
+    ///   either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.channel_capacity` is set.
+    pub fn run_report_sharded<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> RunReport {
+        self.assert_live();
+        crate::shard::run_sharded(
+            &mut self.processes,
+            sched,
+            opts,
+            crate::shard::ShardJob::default(),
+        )
+        .report
+    }
+
+    /// [`run_report_sharded`](Network::run_report_sharded) with an online
+    /// [`SmoothnessMonitor`] certifying the canonical trace against
+    /// `desc` as epochs commit. The verdict — like the report — is
+    /// byte-identical for every shard count. Under
+    /// [`MonitorPolicy::AbortOnViolation`] the run halts at the end of
+    /// the convicting *epoch* (the epoch boundary is canonical, so the
+    /// abort point is too).
+    pub fn run_report_sharded_monitored<S: Scheduler>(
+        &mut self,
+        desc: &Description,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> (RunReport, Conformance) {
+        self.assert_live();
+        let out = crate::shard::run_sharded(
+            &mut self.processes,
+            sched,
+            opts,
+            crate::shard::ShardJob {
+                monitor: Some((desc, opts.monitor)),
+                ..Default::default()
+            },
+        );
+        let conf = out
+            .conformance
+            .expect("a monitored sharded run yields a conformance");
+        (out.report, conf)
+    }
+
+    /// [`run_report_sharded`](Network::run_report_sharded) capturing a
+    /// whole-run [`Checkpoint`] at the first scheduler-round boundary
+    /// where the progress-step count has reached `at_step` (unlike the
+    /// single-threaded engine's exact mid-round capture: at a round
+    /// boundary every committed send is canonically queued, so arming a
+    /// checkpoint cannot perturb the run and the capture stays pure
+    /// observation). `None` if the run ends before such a boundary. The
+    /// checkpoint, too, is byte-identical for every shard count — resume
+    /// it with [`resume_report_sharded`](Network::resume_report_sharded)
+    /// on any shard count.
+    pub fn run_report_sharded_checkpointed<S: Scheduler>(
+        &mut self,
+        sched: &mut S,
+        opts: RunOptions,
+        at_step: usize,
+    ) -> (RunReport, Option<Checkpoint>) {
+        self.assert_live();
+        let out = crate::shard::run_sharded(
+            &mut self.processes,
+            sched,
+            opts,
+            crate::shard::ShardJob {
+                checkpoint_at: Some(at_step),
+                ..Default::default()
+            },
+        );
+        (out.report, out.captured)
+    }
+
+    /// Restores a checkpoint captured by
+    /// [`run_report_sharded_checkpointed`](Network::run_report_sharded_checkpointed)
+    /// into this (identically built) network and scheduler and continues
+    /// the run sharded. The resumed run — on *any* shard count — is
+    /// byte-identical to the uninterrupted sharded run. `opts.seed` is
+    /// ignored (per-step seeds reconstruct from the checkpointed RNG).
+    pub fn resume_report_sharded<S: Scheduler>(
+        &mut self,
+        ckpt: &Checkpoint,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> Result<RunReport, SnapshotError> {
+        self.assert_live();
+        if ckpt.processes.len() != self.processes.len() {
+            return Err(SnapshotError::ArityMismatch {
+                expected: ckpt.processes.len(),
+                found: self.processes.len(),
+            });
+        }
+        for (i, cell) in ckpt.processes.iter().enumerate() {
+            let cell = cell
+                .as_ref()
+                .ok_or_else(|| SnapshotError::UnsupportedProcess {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                })?;
+            if !self.processes[i].restore(cell) {
+                return Err(SnapshotError::RestoreRejected {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                });
+            }
+        }
+        ckpt.restore_scheduler(sched)?;
+        Ok(crate::shard::run_sharded(
+            &mut self.processes,
+            sched,
+            opts,
+            crate::shard::ShardJob {
+                resume: Some(ckpt),
+                ..Default::default()
+            },
+        )
+        .report)
     }
 }
 
@@ -620,7 +783,7 @@ impl Process for Tombstone {
 /// A network with pre-loaded channel contents (see [`Network::preload`]).
 pub struct PreloadedNetwork {
     net: Network,
-    queues: HashMap<Chan, VecDeque<Value>>,
+    queues: ChanMap<VecDeque<Value>>,
 }
 
 impl PreloadedNetwork {
@@ -680,7 +843,7 @@ struct Engine<'a> {
     /// Declared output channels, for the hookless-process capacity
     /// pre-check under flow control.
     declared_out: Vec<Vec<Chan>>,
-    queues: HashMap<Chan, VecDeque<Value>>,
+    queues: ChanMap<VecDeque<Value>>,
     trace: Vec<Event>,
     rng: StdRng,
     telemetry: Telemetry,
@@ -742,7 +905,7 @@ struct Engine<'a> {
 impl<'a> Engine<'a> {
     fn new(
         processes: &'a mut [Box<dyn Process>],
-        queues: HashMap<Chan, VecDeque<Value>>,
+        queues: ChanMap<VecDeque<Value>>,
         opts: RunOptions,
     ) -> Engine<'a> {
         let n = processes.len();
@@ -1080,6 +1243,8 @@ impl<'a> Engine<'a> {
                 Some(reliables.as_mut_slice())
             },
             flow: if flow_armed { flow.as_mut() } else { None },
+            shard_out: None,
+            visible: None,
         };
         let r = procs[i].step(&mut ctx);
         if replays[i].as_ref().is_some_and(|rp| rp.ops.is_empty()) {
@@ -1563,10 +1728,10 @@ impl<'a> Engine<'a> {
 /// progress during the probe may have advanced internal state, which is
 /// harmless because the run is over either way (the network must not be
 /// re-run after hitting the bound).
-fn probe_quiescent(
+pub(crate) fn probe_quiescent(
     processes: &mut [Box<dyn Process>],
     crashed: &[bool],
-    queues: &mut HashMap<Chan, VecDeque<Value>>,
+    queues: &mut ChanMap<VecDeque<Value>>,
     trace: &mut Vec<Event>,
     rng: &mut StdRng,
 ) -> bool {

@@ -36,6 +36,7 @@
 //! link; the conformance bridge maps a clean truncated history under
 //! that status to [`Verdict::Degraded`](crate::Verdict).
 
+use crate::chanmap::ChanMap;
 use crate::faults::{Fault, FaultEvent, FaultKind, FaultyLink};
 use crate::network::Network;
 use crate::process::{raw_send, Process, StepCtx, StepResult};
@@ -44,7 +45,7 @@ use crate::snapshot::StateCell;
 use eqp_trace::{Chan, Event, Value};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// ARQ protocol parameters, shared by the engine-level and
 /// process-level implementations. All timing is in deterministic
@@ -430,7 +431,7 @@ impl ReliableLink {
     /// armed retransmission timer keeps the run alive.
     pub(crate) fn pump(
         &mut self,
-        queues: &mut HashMap<Chan, VecDeque<Value>>,
+        queues: &mut ChanMap<VecDeque<Value>>,
         trace: &mut Vec<Event>,
         telemetry: &mut Telemetry,
         force: bool,

@@ -1,0 +1,858 @@
+//! Sharded deterministic multicore runtime: partition a network's
+//! processes across worker threads, step them in parallel, and commit
+//! every observable effect — trace events, telemetry meters, checkpoint
+//! state — in one canonical order that is *byte-identical for every
+//! shard count*.
+//!
+//! # Protocol: epoch-commit BSP
+//!
+//! The coordinator owns the canonical run state (the mirror queues, the
+//! trace, telemetry, counters, the scheduler, the monitor). Execution
+//! proceeds in **epochs**:
+//!
+//! 1. **Plan.** Drain up to `budget` entries from the scheduler round in
+//!    flight (`budget` truncates at the step bound, so an epoch can
+//!    never overshoot it; checkpoints never truncate — captures happen
+//!    only at round boundaries, keeping them pure observation). Each entry
+//!    becomes a `Slot` carrying the process index and its per-process
+//!    *offer serial*; the serial seeds that step's private RNG, so
+//!    nondeterministic choices depend only on `(run seed, process,
+//!    offer)` — never on the shard layout.
+//! 2. **Scatter.** Every worker receives one `Cmd::Epoch` over its
+//!    command ring: the cross-shard deliveries produced by the *previous*
+//!    epoch's commits, plus its sub-plan (the plan entries owned by its
+//!    shard, in plan order).
+//! 3. **Step.** Workers apply deliveries, then step their sub-plan
+//!    against their local queue fragments. Sends are *intercepted* (see
+//!    `StepCtx::shard_out`) instead of delivered, and streamed back as
+//!    `SlotResult`s over the result ring.
+//! 4. **Commit.** The coordinator consumes results *in global plan
+//!    order* and applies each one to the canonical state: pops mirror
+//!    off the canonical queues, sends append to the trace and route to
+//!    the consumer shard's next-epoch delivery buffer, counters and
+//!    telemetry update exactly as the single-threaded engine would.
+//!
+//! Deliveries — including same-shard ones — become visible to processes
+//! only at the *next* epoch. This bulk-synchronous visibility rule is
+//! what makes the semantics a function of canonical state alone: a
+//! worker's view at epoch `k` is "all sends committed before epoch `k`,
+//! minus its own pops", regardless of which shard produced them.
+//!
+//! # Determinism (proof sketch, see DESIGN.md §13)
+//!
+//! By induction over epochs: (1) the epoch plan is a function of
+//! canonical state only (scheduler round, step budget, checkpoint
+//! target); (2) each slot's result is a function of the process state,
+//! its local queues (= committed deliveries minus its own pops — the
+//! single-consumer discipline makes these private), and an RNG derived
+//! from `(seed, proc, serial)`; (3) commits apply results in global plan
+//! order. Hence trace, telemetry, counters, verdicts and checkpoints are
+//! byte-identical for every shard count, including the inline 1-shard
+//! backend. Abramsky's generalized Kahn principle then licenses the
+//! whole construction: any deterministic merge of the per-process
+//! histories certifies identically against the description.
+//!
+//! # Deadlock freedom
+//!
+//! The coordinator consumes each shard's result ring in sub-plan order —
+//! exactly the order the worker produces results. A worker blocked on a
+//! full result ring implies the coordinator is behind on that ring, and
+//! the result the coordinator awaits (on whatever ring) is computed by a
+//! worker that shares no resource with it: workers never wait on each
+//! other, only on the coordinator's epoch commands. No cycle exists.
+//!
+//! # Scope
+//!
+//! Sharded runs require every process to declare its
+//! [`inputs`](crate::Process::inputs) (channel routing needs a consumer
+//! map) and exclude bounded channels, fault injection, supervision, and
+//! reliable links — those interpose on delivery, which the epoch
+//! protocol owns. The seeded per-step RNG means nondeterministic
+//! processes draw a *different* (but equally reproducible) stream than
+//! the single-threaded engine; deterministic networks produce the same
+//! per-channel histories either way, and certify identically.
+
+use crate::chanmap::ChanMap;
+use crate::conformance::Conformance;
+use crate::monitor::{MonitorPolicy, SmoothnessMonitor};
+use crate::network::{probe_quiescent, ProcCounters, RunOptions};
+use crate::process::{Process, StepCtx, StepResult};
+use crate::report::{
+    ChannelReport, ConsumerViolation, FaultRecord, FaultSource, ProcessReport, RunReport,
+    RunStatus, Telemetry,
+};
+use crate::scheduler::Scheduler;
+use crate::snapshot::{Checkpoint, StateCell};
+use crate::spsc::{self, Spsc, SpscReceiver};
+use eqp_core::Description;
+use eqp_trace::{Chan, Event, Trace, Value};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
+
+/// Command-ring capacity: at most one epoch is in flight, plus a
+/// snapshot or shutdown chaser.
+const CMD_RING: usize = 4;
+/// Result-ring capacity: workers stream slot results ahead of the
+/// commit cursor; a full ring merely throttles a worker that is ahead.
+const REPLY_RING: usize = 256;
+
+/// One scheduled step: which process, and its per-process offer serial
+/// (the `serial`-th time this process has been offered a step).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    proc: usize,
+    serial: u64,
+}
+
+/// Coordinator → worker messages.
+enum Cmd {
+    /// Deliver the previous epoch's cross-shard sends, then step the
+    /// sub-plan, streaming one [`Reply::Slot`] per entry.
+    Epoch {
+        deliveries: Vec<(Chan, Value)>,
+        plan: Vec<Slot>,
+    },
+    /// Reply with the shard's process state cells ([`Reply::Snapshot`]).
+    Snapshot,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Worker → coordinator messages.
+enum Reply {
+    Slot(SlotResult),
+    Snapshot(Vec<(usize, Option<StateCell>)>),
+}
+
+/// Everything one step produced, shipped back for canonical commit.
+struct SlotResult {
+    result: StepResult,
+    /// Intercepted sends, in send order.
+    sends: Vec<(Chan, Value)>,
+    /// `(channel, pops)` for each declared input the step consumed from,
+    /// observed by diffing local queue depths around the step — the hot
+    /// path carries no per-step telemetry structure at all; the commit
+    /// meters receives (and sends) canonically. Empty for idle steps,
+    /// which is the common case, so it usually never allocates.
+    reads: Vec<(Chan, u32)>,
+}
+
+/// Derives the private RNG seed for one step from run seed, process
+/// index, and offer serial (splitmix64 finalizer — any fixed mixing
+/// works; shard-layout independence is what matters).
+fn step_seed(seed: u64, proc: usize, serial: u64) -> u64 {
+    let mut z = seed
+        ^ (proc as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ serial.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One shard's slice of the network: `(global index, process, declared
+/// inputs)` triples, ascending by index.
+type ShardPart<'a> = Vec<(usize, &'a mut Box<dyn Process>, Vec<Chan>)>;
+
+/// One shard's execution context: its processes (round-robin partition,
+/// process `i` lives on shard `i % shards`) and the local fragments of
+/// the queues its processes consume.
+struct Worker<'a> {
+    /// The shard's [`ShardPart`]. The inputs are captured once so the
+    /// per-step read diff never calls the allocating
+    /// [`Process::inputs`] hook.
+    procs: ShardPart<'a>,
+    /// Local queues for the channels this shard's processes consume.
+    queues: ChanMap<VecDeque<Value>>,
+    /// Derived run seed shared by all shards (see [`step_seed`]).
+    seed: u64,
+    /// Total shard count (for the `global index → local slot` map).
+    shards: usize,
+    /// Reusable pre-step queue-depth snapshot (one entry per declared
+    /// input of the process being stepped).
+    depths: Vec<usize>,
+}
+
+impl Worker<'_> {
+    fn deliver(&mut self, deliveries: Vec<(Chan, Value)>) {
+        for (c, v) in deliveries {
+            self.queues.entry(c).or_default().push_back(v);
+        }
+    }
+
+    fn step_slot(&mut self, slot: Slot) -> SlotResult {
+        let local = slot.proc / self.shards;
+        let (idx, p, inputs) = &mut self.procs[local];
+        debug_assert_eq!(*idx, slot.proc, "round-robin partition out of sync");
+        self.depths.clear();
+        for c in inputs.iter() {
+            self.depths
+                .push(self.queues.get(c).map_or(0, VecDeque::len));
+        }
+        let mut sends = Vec::new();
+        let mut scratch = Vec::new();
+        let mut rng = StdRng::seed_from_u64(step_seed(self.seed, slot.proc, slot.serial));
+        let result = {
+            let mut ctx = StepCtx::bare(&mut self.queues, &mut scratch, &mut rng, None, slot.proc);
+            ctx.shard_out = Some(&mut sends);
+            p.step(&mut ctx)
+        };
+        debug_assert!(
+            scratch.is_empty(),
+            "sharded sends must be intercepted before reaching the trace"
+        );
+        // Pops can only land on declared inputs (routing delivers nothing
+        // else to this shard), so diffing their depths recovers every
+        // receive. Intercepted sends never touch local queues, so the
+        // depth can only have shrunk.
+        let mut reads = Vec::new();
+        for (before, c) in self.depths.iter().zip(inputs.iter()) {
+            let after = self.queues.get(c).map_or(0, VecDeque::len);
+            if after < *before {
+                reads.push((*c, (*before - after) as u32));
+            }
+        }
+        SlotResult {
+            result,
+            sends,
+            reads,
+        }
+    }
+
+    fn run(mut self, mut cmds: SpscReceiver<Cmd>, mut replies: Spsc<Reply>) {
+        loop {
+            match cmds.pop() {
+                Cmd::Epoch { deliveries, plan } => {
+                    self.deliver(deliveries);
+                    for slot in plan {
+                        replies.push(Reply::Slot(self.step_slot(slot)));
+                    }
+                }
+                Cmd::Snapshot => {
+                    let cells = self
+                        .procs
+                        .iter()
+                        .map(|(i, p, _)| (*i, p.snapshot()))
+                        .collect();
+                    replies.push(Reply::Snapshot(cells));
+                }
+                Cmd::Shutdown => return,
+            }
+        }
+    }
+}
+
+/// The execution backend: the same [`Worker`] code drives both, so the
+/// 1-shard run is byte-identical to every multi-shard run by
+/// construction, not by special-casing.
+enum Backend<'a> {
+    /// Single shard, no threads, and no worker-local state at all: slots
+    /// step directly against the coordinator's canonical mirror, trace
+    /// and telemetry — the plain engine's own data path — while
+    /// per-channel *visibility watermarks* (raised once per epoch, see
+    /// [`StepCtx`]'s `visible` mode) enforce exactly the bulk-synchronous
+    /// delivery rule the rings give the threaded backend: a send lands
+    /// in the canonical queue immediately but stays invisible to its
+    /// consumer until the next epoch. This keeps the 1-shard run
+    /// byte-identical to every multi-shard run at near-zero overhead
+    /// over the unsharded engine (no double bookkeeping, no staging).
+    Inline {
+        procs: &'a mut [Box<dyn Process>],
+        /// How much of each declared channel's front is visible; raised
+        /// to the full queue length at every epoch boundary. Undeclared
+        /// (terminal) channels never get a watermark — nobody may read
+        /// them, matching the threaded backend's routing.
+        visible: ChanMap<usize>,
+        /// Derived run seed (see [`step_seed`]).
+        seed: u64,
+    },
+    /// One worker thread per shard, connected by SPSC rings.
+    Threads {
+        cmds: Vec<Spsc<Cmd>>,
+        replies: Vec<SpscReceiver<Reply>>,
+    },
+}
+
+impl Backend<'_> {
+    /// Opens an epoch: raises the inline watermarks, or ships the
+    /// previous epoch's deliveries plus the sub-plans to every worker
+    /// (all of them — deliveries must land even on shards with empty
+    /// sub-plans).
+    fn begin_epoch(&mut self, state: &mut ShardState, plan: &[Slot]) {
+        match self {
+            Backend::Inline { visible, .. } => {
+                for &c in state.consumer_of.keys() {
+                    let len = state.mirror.get(&c).map_or(0, VecDeque::len);
+                    visible.insert(c, len);
+                }
+            }
+            Backend::Threads { cmds, .. } => {
+                let shards = cmds.len();
+                let mut subplans: Vec<Vec<Slot>> = vec![Vec::new(); shards];
+                for &slot in plan {
+                    subplans[slot.proc % shards].push(slot);
+                }
+                for (s, cmd) in cmds.iter_mut().enumerate() {
+                    cmd.push(Cmd::Epoch {
+                        deliveries: std::mem::take(&mut state.deliveries[s]),
+                        plan: std::mem::take(&mut subplans[s]),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Executes one slot end to end in global plan order: the inline
+    /// backend steps the process directly on the canonical state; the
+    /// threaded backend pulls the slot's result from its shard's ring
+    /// (which delivers in sub-plan order) and commits it.
+    fn execute_slot(&mut self, state: &mut ShardState, slot: Slot) {
+        match self {
+            Backend::Inline {
+                procs,
+                visible,
+                seed,
+            } => {
+                let i = slot.proc;
+                // same observation point as commit_slot: before the
+                // step's own pops, after every earlier slot's effects
+                let input_waiting = state.declared[i]
+                    .iter()
+                    .any(|c| state.mirror.get(c).is_some_and(|q| !q.is_empty()));
+                let mut rng = StdRng::seed_from_u64(step_seed(*seed, i, slot.serial));
+                let result = {
+                    let mut ctx = StepCtx::bare(
+                        &mut state.mirror,
+                        &mut state.trace,
+                        &mut rng,
+                        Some(&mut state.telemetry),
+                        i,
+                    );
+                    ctx.visible = Some(visible);
+                    procs[i].step(&mut ctx)
+                };
+                account_result(state, i, result, input_waiting);
+            }
+            Backend::Threads { cmds, replies } => {
+                let res = match replies[slot.proc % cmds.len()].pop() {
+                    Reply::Slot(r) => r,
+                    Reply::Snapshot(_) => unreachable!("no snapshot in flight during an epoch"),
+                };
+                commit_slot(state, slot, res);
+            }
+        }
+    }
+
+    /// Collects every process's state cell (quiescent rings only — never
+    /// called with an epoch in flight).
+    fn snapshot(&mut self, n: usize) -> Vec<Option<StateCell>> {
+        let mut cells: Vec<Option<StateCell>> = (0..n).map(|_| None).collect();
+        match self {
+            Backend::Inline { procs, .. } => {
+                for (i, p) in procs.iter().enumerate() {
+                    cells[i] = p.snapshot();
+                }
+            }
+            Backend::Threads { cmds, replies } => {
+                for c in cmds.iter_mut() {
+                    c.push(Cmd::Snapshot);
+                }
+                for r in replies.iter_mut() {
+                    match r.pop() {
+                        Reply::Snapshot(part) => {
+                            for (i, cell) in part {
+                                cells[i] = cell;
+                            }
+                        }
+                        Reply::Slot(_) => unreachable!("epoch results fully drained"),
+                    }
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// The coordinator's canonical state — everything the single-threaded
+/// engine owns, *except* the processes (those are partitioned out to the
+/// workers for the duration of the run).
+struct ShardState {
+    declared: Vec<Vec<Chan>>,
+    /// Declared consumer of each channel (sharded routing requires
+    /// declared inputs).
+    consumer_of: ChanMap<usize>,
+    /// Canonical queue mirror: committed sends minus committed pops.
+    mirror: ChanMap<VecDeque<Value>>,
+    trace: Vec<Event>,
+    telemetry: Telemetry,
+    counters: Vec<ProcCounters>,
+    steps: usize,
+    rounds: usize,
+    max_steps: usize,
+    deadline_rounds: Option<usize>,
+    pending: VecDeque<usize>,
+    round_progressed: bool,
+    /// Per-process offer serials (incremented at planning time).
+    offers: Vec<u64>,
+    /// Per-shard deliveries accumulated by commits, shipped with the
+    /// next epoch.
+    deliveries: Vec<Vec<(Chan, Value)>>,
+    monitor: Option<SmoothnessMonitor>,
+    abort_armed: bool,
+    /// Trace index up to which the monitor has observed.
+    fed: usize,
+    checkpoint_at: Option<usize>,
+    captured: Option<Checkpoint>,
+    /// Checkpoint-compatible RNG: seeded like the engine's shared RNG but
+    /// never advanced by steps (each step derives its own); the
+    /// end-of-run quiescence probe is its only consumer.
+    resume_rng: StdRng,
+}
+
+/// How a sharded drive loop ended (the post-shutdown `finish` maps this
+/// to a [`RunStatus`], probing quiescence at the bound).
+enum Decision {
+    Quiescent,
+    AtBound,
+    DeadlineExpired,
+    MonitorAborted(usize),
+}
+
+/// What to layer onto a sharded run.
+#[derive(Default)]
+pub(crate) struct ShardJob<'d> {
+    /// Arm an online smoothness monitor over this description.
+    pub(crate) monitor: Option<(&'d Description, MonitorPolicy)>,
+    /// Capture a whole-run checkpoint at the first round boundary at or
+    /// after this progress step.
+    pub(crate) checkpoint_at: Option<usize>,
+    /// Resume from this checkpoint (process/scheduler state already
+    /// restored by the caller).
+    pub(crate) resume: Option<&'d Checkpoint>,
+}
+
+/// Everything a sharded run produces.
+pub(crate) struct ShardOutcome {
+    pub(crate) report: RunReport,
+    /// Present iff a monitor was armed (or resumed).
+    pub(crate) conformance: Option<Conformance>,
+    pub(crate) captured: Option<Checkpoint>,
+}
+
+/// Runs `procs` under `sched` on `opts.shards` worker shards. The run is
+/// byte-identical — trace, telemetry, counters, checkpoints, verdicts —
+/// for every shard count, including 1 (which runs inline, threadless).
+pub(crate) fn run_sharded(
+    procs: &mut [Box<dyn Process>],
+    sched: &mut dyn Scheduler,
+    opts: RunOptions,
+    job: ShardJob<'_>,
+) -> ShardOutcome {
+    assert!(
+        opts.channel_capacity.is_none(),
+        "sharded runs do not support bounded channels; use the single-threaded runner"
+    );
+    let n = procs.len();
+    let shards = opts.shards.clamp(1, n.max(1));
+    let declared: Vec<Vec<Chan>> = procs.iter().map(|p| p.inputs()).collect();
+    let mut consumer_of = ChanMap::default();
+    for (i, ins) in declared.iter().enumerate() {
+        for &c in ins {
+            consumer_of.insert(c, i);
+        }
+    }
+    let mut state = ShardState {
+        declared,
+        consumer_of,
+        mirror: ChanMap::default(),
+        trace: Vec::new(),
+        telemetry: Telemetry::default(),
+        counters: vec![ProcCounters::default(); n],
+        steps: 0,
+        rounds: 0,
+        max_steps: opts.max_steps,
+        deadline_rounds: opts.deadline_rounds,
+        pending: VecDeque::new(),
+        round_progressed: false,
+        offers: vec![0; n],
+        deliveries: vec![Vec::new(); shards],
+        monitor: None,
+        abort_armed: false,
+        fed: 0,
+        checkpoint_at: job.checkpoint_at,
+        captured: None,
+        resume_rng: StdRng::seed_from_u64(opts.seed),
+    };
+    if let Some(ckpt) = job.resume {
+        state.mirror = ckpt.queues.clone();
+        state.trace = ckpt.trace.clone();
+        state.telemetry = ckpt.telemetry.clone();
+        state.counters = ckpt.counters.clone();
+        state.steps = ckpt.steps;
+        state.rounds = ckpt.rounds;
+        state.pending = ckpt.pending_round.clone();
+        state.round_progressed = ckpt.round_progressed;
+        // every offered slot commits before a capture (captures happen
+        // only at round boundaries), so the serials reconstruct exactly
+        state.offers = ckpt
+            .counters
+            .iter()
+            .map(|c| (c.progress + c.idle) as u64)
+            .collect();
+        state.monitor = ckpt.monitor.clone();
+        state.resume_rng = ckpt.rng.clone();
+    } else if let Some((desc, policy)) = job.monitor {
+        state.monitor = Some(SmoothnessMonitor::new(desc, None, policy));
+    }
+    state.abort_armed = state
+        .monitor
+        .as_ref()
+        .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation);
+    state.fed = state.trace.len();
+    // The worker seed derives from the checkpoint-compatible RNG (not
+    // opts.seed directly), so a resumed run reconstructs the original
+    // per-step streams even though resume ignores opts.seed — exactly
+    // the single-threaded resume contract.
+    let worker_seed = {
+        let mut probe = state.resume_rng.clone();
+        probe.next_u64()
+    };
+    let decision = if shards == 1 {
+        // resumed queue contents need no routing: the inline backend
+        // reads the mirror itself, and its first epoch's watermark raise
+        // makes them visible — exactly when a threaded worker would see
+        // its initial queue fragment
+        let mut backend = Backend::Inline {
+            procs: &mut *procs,
+            visible: ChanMap::default(),
+            seed: worker_seed,
+        };
+        let d = drive(&mut state, sched, &mut backend, n);
+        drop(backend);
+        d
+    } else {
+        // Route any resumed queue contents to their consumer's shard;
+        // the mirror keeps the canonical copy either way.
+        let mut initial: Vec<ChanMap<VecDeque<Value>>> = vec![ChanMap::default(); shards];
+        for (c, q) in &state.mirror {
+            if let Some(&i) = state.consumer_of.get(c) {
+                initial[i % shards].insert(*c, q.clone());
+            }
+        }
+        let mut parts: Vec<ShardPart<'_>> = (0..shards).map(|_| Vec::new()).collect();
+        for (i, p) in procs.iter_mut().enumerate() {
+            let ins = state.declared[i].clone();
+            parts[i % shards].push((i, p, ins));
+        }
+        std::thread::scope(|scope| {
+            let mut cmds = Vec::with_capacity(shards);
+            let mut replies = Vec::with_capacity(shards);
+            let mut queues = initial.into_iter();
+            for part in parts {
+                let (cmd_tx, cmd_rx) = spsc::ring(CMD_RING);
+                let (reply_tx, reply_rx) = spsc::ring(REPLY_RING);
+                let worker = Worker {
+                    procs: part,
+                    queues: queues.next().expect("one queue map per shard"),
+                    seed: worker_seed,
+                    shards,
+                    depths: Vec::new(),
+                };
+                scope.spawn(move || worker.run(cmd_rx, reply_tx));
+                cmds.push(cmd_tx);
+                replies.push(reply_rx);
+            }
+            let mut backend = Backend::Threads { cmds, replies };
+            let d = drive(&mut state, sched, &mut backend, n);
+            if let Backend::Threads { cmds, .. } = &mut backend {
+                for c in cmds.iter_mut() {
+                    c.push(Cmd::Shutdown);
+                }
+            }
+            d
+        })
+    };
+    finish(state, procs, decision)
+}
+
+/// The coordinator loop: plan → scatter → commit, with the same round
+/// accounting, bound/deadline checks, and capture points as the
+/// single-threaded engine.
+fn drive(
+    state: &mut ShardState,
+    sched: &mut dyn Scheduler,
+    backend: &mut Backend<'_>,
+    n: usize,
+) -> Decision {
+    maybe_capture(state, sched, backend, n);
+    let mut plan: Vec<Slot> = Vec::new();
+    loop {
+        if state.pending.is_empty() {
+            state.pending = sched.round(n).into_iter().collect();
+            state.round_progressed = false;
+            if state.pending.is_empty() {
+                // no processes: one empty round, then quiescence
+                state.rounds += 1;
+                return Decision::Quiescent;
+            }
+        }
+        if state.steps >= state.max_steps {
+            return Decision::AtBound;
+        }
+        // Plan: truncate the epoch so it cannot overshoot the step bound
+        // — the truncation input is canonical, so every shard count
+        // plans the same epochs. Checkpoints deliberately do NOT
+        // truncate: captures happen only at round boundaries, so
+        // arming one cannot perturb the epoch structure (capture is
+        // pure observation, exactly like the single-threaded engine).
+        let limit = state.max_steps - state.steps;
+        let take = state.pending.len().min(limit);
+        plan.clear();
+        for _ in 0..take {
+            let i = state.pending.pop_front().expect("take <= pending");
+            plan.push(Slot {
+                proc: i,
+                serial: state.offers[i],
+            });
+            state.offers[i] += 1;
+        }
+        backend.begin_epoch(state, &plan);
+        for &slot in &plan {
+            backend.execute_slot(state, slot);
+        }
+        if state.abort_armed {
+            if let Some(k) = drain_monitor(state) {
+                return Decision::MonitorAborted(k);
+            }
+        }
+        if state.pending.is_empty() {
+            state.rounds += 1;
+            if !state.round_progressed {
+                return Decision::Quiescent;
+            }
+            if let Some(deadline) = state.deadline_rounds {
+                if state.rounds >= deadline {
+                    return Decision::DeadlineExpired;
+                }
+            }
+            maybe_capture(state, sched, backend, n);
+        }
+    }
+}
+
+/// Applies one slot result to the canonical state, in global plan order:
+/// starvation accounting, pop mirroring, send commit (trace + mirror +
+/// meter + next-epoch routing), then the progress/idle counters.
+fn commit_slot(state: &mut ShardState, slot: Slot, res: SlotResult) {
+    let i = slot.proc;
+    let shards = state.deliveries.len();
+    // Same observation point as the single-threaded engine: before the
+    // step's own pops (and, canonically, after every earlier slot's
+    // commits).
+    let input_waiting = state.declared[i]
+        .iter()
+        .any(|c| state.mirror.get(c).is_some_and(|q| !q.is_empty()));
+    for (c, k) in res.reads {
+        state.telemetry.note_consumer(c, i);
+        for _ in 0..k {
+            let popped = state.mirror.get_mut(&c).and_then(VecDeque::pop_front);
+            debug_assert!(popped.is_some(), "worker pop must mirror a queued value");
+            state.telemetry.note_receive(c);
+        }
+    }
+    for (c, v) in res.sends {
+        state.trace.push(Event::new(c, v));
+        let q = state.mirror.entry(c).or_default();
+        q.push_back(v);
+        let depth = q.len();
+        state.telemetry.note_send(c, depth);
+        if let Some(&consumer) = state.consumer_of.get(&c) {
+            state.deliveries[consumer % shards].push((c, v));
+        }
+        // no declared consumer: a terminal (environment-facing) channel —
+        // the mirror keeps its history, nobody receives it
+    }
+    account_result(state, i, res.result, input_waiting);
+}
+
+/// The engine's progress/idle/starvation accounting for one step, shared
+/// by both backends.
+fn account_result(state: &mut ShardState, i: usize, result: StepResult, input_waiting: bool) {
+    match result {
+        StepResult::Progress => {
+            state.round_progressed = true;
+            state.steps += 1;
+            state.counters[i].progress += 1;
+            state.counters[i].starve_streak = 0;
+        }
+        StepResult::Idle => {
+            state.counters[i].idle += 1;
+            if input_waiting {
+                state.counters[i].starve_streak += 1;
+                state.counters[i].max_starved = state.counters[i]
+                    .max_starved
+                    .max(state.counters[i].starve_streak);
+            } else {
+                state.counters[i].starve_streak = 0;
+            }
+        }
+    }
+}
+
+/// Feeds every not-yet-observed committed send to the monitor; returns
+/// the convicted component on the first violation (see the engine's
+/// `drain_monitor` — same contract, epoch-granular call sites).
+fn drain_monitor(state: &mut ShardState) -> Option<usize> {
+    let m = state.monitor.as_mut()?;
+    if state.fed >= state.trace.len() {
+        return None;
+    }
+    let convicted = m.feed_batch(&state.trace[state.fed..]);
+    state.fed = state.trace.len();
+    convicted
+}
+
+/// Captures the whole-run checkpoint at the first round boundary where
+/// the step count has reached `checkpoint_at`.
+fn maybe_capture(
+    state: &mut ShardState,
+    sched: &dyn Scheduler,
+    backend: &mut Backend<'_>,
+    n: usize,
+) {
+    let due = state
+        .checkpoint_at
+        .is_some_and(|at| state.steps >= at && state.captured.is_none());
+    if !due {
+        return;
+    }
+    // Only ever called at a round boundary (`pending` is empty and the
+    // round accounting has run), so the capture stores pure end-of-round
+    // state: every in-flight delivery is in the canonical queues, and a
+    // resumed run's "everything visible at the next round" matches the
+    // cut run's delivery visibility exactly. This is why the sharded
+    // capture lands at the first round boundary at/after `at`, not at
+    // the exact step the single-threaded engine would use: an exact
+    // mid-round capture would need the (hidden) staged-delivery split.
+    debug_assert!(state.pending.is_empty());
+    // the captured monitor must have observed exactly the captured trace
+    let _ = drain_monitor(state);
+    state.captured = Some(Checkpoint {
+        steps: state.steps,
+        rounds: state.rounds,
+        queues: state.mirror.clone(),
+        trace: state.trace.clone(),
+        rng: state.resume_rng.clone(),
+        telemetry: state.telemetry.clone(),
+        counters: state.counters.clone(),
+        processes: backend.snapshot(n),
+        scheduler: sched.snapshot(),
+        pending_round: state.pending.clone(),
+        round_progressed: false,
+        monitor: state.monitor.clone(),
+    });
+}
+
+/// Maps the drive decision to a status (probing quiescence at the step
+/// bound, now that the workers have returned the processes), assembles
+/// the report, and derives the conformance verdict if a monitor ran.
+fn finish(
+    mut state: ShardState,
+    procs: &mut [Box<dyn Process>],
+    decision: Decision,
+) -> ShardOutcome {
+    let status = match decision {
+        Decision::Quiescent => RunStatus::Quiescent,
+        Decision::DeadlineExpired => RunStatus::DeadlineExpired,
+        Decision::MonitorAborted(k) => RunStatus::MonitorAborted { component: k },
+        Decision::AtBound => {
+            let crashed = vec![false; procs.len()];
+            if probe_quiescent(
+                procs,
+                &crashed,
+                &mut state.mirror,
+                &mut state.trace,
+                &mut state.resume_rng,
+            ) {
+                RunStatus::Quiescent
+            } else {
+                RunStatus::BudgetExhausted
+            }
+        }
+    };
+    // final safety drain: the monitor observes everything committed
+    let _ = drain_monitor(&mut state);
+    let quiescent = status.is_quiescent();
+    let name_of = |i: usize| procs[i].name().to_owned();
+    let processes = procs
+        .iter()
+        .enumerate()
+        .zip(&state.counters)
+        .map(|((_, p), c)| ProcessReport {
+            name: p.name().to_owned(),
+            progress: c.progress,
+            idle: c.idle,
+            max_starved_rounds: c.max_starved,
+            crashed: p.crashed(),
+            restarts: 0,
+            send_blocked: c.send_blocked,
+            max_blocked_rounds: c.max_blocked,
+        })
+        .collect();
+    let channels = state
+        .telemetry
+        .channels
+        .iter()
+        .map(|(c, k)| ChannelReport {
+            chan: *c,
+            sends: k.sends,
+            receives: k.receives,
+            high_water: k.high_water,
+            residual: state.mirror.get(c).map_or(0, VecDeque::len),
+            consumer: k.consumer.map(name_of),
+            capacity: None,
+            blocked_sends: k.blocked,
+            shed: k.shed,
+        })
+        .collect();
+    let consumer_violations = state
+        .telemetry
+        .violations
+        .iter()
+        .map(|&(chan, first, second)| ConsumerViolation {
+            chan,
+            first: name_of(first),
+            second: name_of(second),
+        })
+        .collect();
+    let faults = state
+        .telemetry
+        .faults
+        .iter()
+        .map(|(src, e)| FaultRecord {
+            source: match src {
+                FaultSource::Proc(i) => name_of(*i),
+                FaultSource::Link(c) => format!("link@{c}"),
+            },
+            event: e.clone(),
+        })
+        .collect();
+    let report = RunReport {
+        trace: Trace::finite(std::mem::take(&mut state.trace)),
+        quiescent,
+        status,
+        steps: state.steps,
+        rounds: state.rounds,
+        processes,
+        channels,
+        consumer_violations,
+        faults,
+        recoveries: Vec::new(),
+    };
+    let conformance = state.monitor.as_ref().map(|m| m.finish(&report.status));
+    ShardOutcome {
+        report,
+        conformance,
+        captured: state.captured.take(),
+    }
+}

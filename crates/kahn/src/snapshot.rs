@@ -27,11 +27,12 @@
 //! periodic checkpoints to restore crashed components one-for-one,
 //! replaying their journaled inputs and RNG draws since the checkpoint.
 
+use crate::chanmap::ChanMap;
 use crate::report::Telemetry;
 use crate::scheduler::Scheduler;
-use eqp_trace::{Chan, Event, Value};
+use eqp_trace::{Event, Value};
 use rand::rngs::StdRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// A small algebraic encoding of mutable run state.
@@ -205,7 +206,7 @@ pub struct Checkpoint {
     /// Scheduler rounds completed at capture time.
     pub(crate) rounds: usize,
     /// Channel queue contents.
-    pub(crate) queues: HashMap<Chan, VecDeque<Value>>,
+    pub(crate) queues: ChanMap<VecDeque<Value>>,
     /// The trace so far.
     pub(crate) trace: Vec<Event>,
     /// The shared nondeterminism RNG mid-stream.
@@ -263,6 +264,35 @@ impl Checkpoint {
     /// [`resume_report_monitored`](crate::Network::resume_report_monitored).
     pub fn has_monitor(&self) -> bool {
         self.monitor.is_some()
+    }
+
+    /// A deterministic digest of the *entire* capture — steps, rounds,
+    /// queues (in channel order), trace, RNG, telemetry, counters,
+    /// process cells, scheduler cell, and round position. Two
+    /// checkpoints with equal fingerprints captured byte-identical run
+    /// states; the sharded differential suite uses this to assert that
+    /// checkpoints agree across every shard count.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.steps.hash(&mut h);
+        self.rounds.hash(&mut h);
+        let mut chans: Vec<_> = self.queues.iter().collect();
+        chans.sort_by_key(|(c, _)| **c);
+        for (c, q) in chans {
+            format!("{c:?}:{q:?}").hash(&mut h);
+        }
+        format!("{:?}", self.trace).hash(&mut h);
+        format!("{:?}", self.rng).hash(&mut h);
+        format!("{:?}", self.telemetry).hash(&mut h);
+        format!("{:?}", self.counters).hash(&mut h);
+        format!("{:?}", self.processes).hash(&mut h);
+        format!("{:?}", self.scheduler).hash(&mut h);
+        format!("{:?}", self.pending_round).hash(&mut h);
+        self.round_progressed.hash(&mut h);
+        self.monitor.is_some().hash(&mut h);
+        h.finish()
     }
 
     /// Restores scheduler state into `sched`.

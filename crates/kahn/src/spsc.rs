@@ -1,0 +1,259 @@
+//! Bounded lock-free single-producer/single-consumer rings — the
+//! cross-shard edges of the sharded runtime ([`crate::shard`]).
+//!
+//! Each worker thread is connected to the coordinator by exactly two
+//! rings: a command ring (coordinator → worker: epoch plans with their
+//! cross-shard deliveries, snapshot requests, shutdown) and a result ring
+//! (worker → coordinator: per-slot step results streamed back as they
+//! complete). One producer, one consumer, fixed capacity — so a single
+//! release/acquire pair per operation suffices and neither side ever
+//! takes a lock.
+//!
+//! # Algorithm
+//!
+//! The classic Lamport SPSC queue with monotonically increasing indices:
+//! `tail` counts items ever pushed, `head` items ever popped, and slot
+//! `i % capacity` holds item `i`. The producer owns `tail` (it is the
+//! only writer), the consumer owns `head`; each side keeps a cached copy
+//! of the other's index and refreshes it (Acquire) only when the cache
+//! says full/empty. A push writes the slot *then* publishes `tail`
+//! (Release), so the matching Acquire load on the consumer side orders
+//! the slot write before the read — the only unsafe reasoning in the
+//! crate, spelled out at each site.
+//!
+//! The exhaustive-interleaving model check in `tests/shard_model.rs`
+//! enumerates every schedule of the algorithm's atomic micro-steps and
+//! proves FIFO delivery with no loss, duplication, or slot collision;
+//! real-thread stress tests cover the compiled artifact.
+
+// The one module allowed to drop below the crate's `#![deny(unsafe_code)]`
+// line: the ring's slot accesses cannot be expressed safely without
+// `UnsafeCell`, and every unsafe block carries its SAFETY argument.
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An index on its own cache line, so the producer's `tail` stores never
+/// invalidate the line the consumer's `head` lives on (and vice versa).
+#[repr(align(64))]
+struct Padded(AtomicUsize);
+
+struct Inner<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Items ever popped; slot of the next pop is `head % capacity`.
+    head: Padded,
+    /// Items ever pushed; slot of the next push is `tail % capacity`.
+    tail: Padded,
+}
+
+// SAFETY: `Inner` is shared between exactly one producer and one consumer
+// (the only way to obtain handles is `ring`, and neither handle is Clone).
+// The producer writes only slots in `head..tail` ∉ use by the consumer
+// (it checks `tail - head < capacity` against an Acquire-loaded `head`
+// before writing), and the consumer reads a slot only after the
+// producer's Release store of `tail` published it. With `T: Send` the
+// value itself may cross the thread boundary.
+unsafe impl<T: Send> Sync for Inner<T> {}
+unsafe impl<T: Send> Send for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Sole owner now (both handles gone): drop the in-flight items.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let cap = self.buf.len();
+        for i in head..tail {
+            // SAFETY: slots in `head..tail` were written by a push and
+            // not yet consumed by a pop, so each holds an initialized T.
+            unsafe { (*self.buf[i % cap].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The sending half of a ring (exactly one exists per ring).
+pub struct Spsc<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer-local copy of `tail` (authoritative — only we write it).
+    tail: usize,
+    /// Cached view of the consumer's `head`; refreshed on apparent full.
+    head_cache: usize,
+}
+
+/// The receiving half of a ring (exactly one exists per ring).
+pub struct SpscReceiver<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer-local copy of `head` (authoritative — only we write it).
+    head: usize,
+    /// Cached view of the producer's `tail`; refreshed on apparent empty.
+    tail_cache: usize,
+}
+
+/// Creates a bounded SPSC ring with room for `capacity` in-flight items.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn ring<T: Send>(capacity: usize) -> (Spsc<T>, SpscReceiver<T>) {
+    assert!(capacity > 0, "ring capacity must be at least 1");
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let inner = Arc::new(Inner {
+        buf,
+        head: Padded(AtomicUsize::new(0)),
+        tail: Padded(AtomicUsize::new(0)),
+    });
+    (
+        Spsc {
+            inner: Arc::clone(&inner),
+            tail: 0,
+            head_cache: 0,
+        },
+        SpscReceiver {
+            inner,
+            head: 0,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T: Send> Spsc<T> {
+    /// Attempts a push; returns the value back if the ring is full.
+    pub fn try_push(&mut self, v: T) -> Result<(), T> {
+        let cap = self.inner.buf.len();
+        if self.tail - self.head_cache == cap {
+            self.head_cache = self.inner.head.0.load(Ordering::Acquire);
+            if self.tail - self.head_cache == cap {
+                return Err(v);
+            }
+        }
+        // SAFETY: `tail - head < capacity` (checked against an Acquire
+        // load of `head`, which the consumer only advances past slots it
+        // has finished reading), so slot `tail % cap` is not aliased by
+        // the consumer. We are the only producer, so no other writer.
+        unsafe { (*self.inner.buf[self.tail % cap].get()).write(v) };
+        self.tail += 1;
+        // Release: publishes the slot write *before* the new tail becomes
+        // visible to the consumer's Acquire load.
+        self.inner.tail.0.store(self.tail, Ordering::Release);
+        Ok(())
+    }
+
+    /// Pushes, spinning (with yields) while the ring is full. The
+    /// coordinator drains every result it asked for, so the wait is
+    /// always bounded by the in-flight epoch.
+    pub fn push(&mut self, v: T) {
+        let mut v = v;
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return,
+                Err(back) => {
+                    v = back;
+                    backoff(&mut spins);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send> SpscReceiver<T> {
+    /// Attempts a pop; `None` if the ring is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.head == self.tail_cache {
+            self.tail_cache = self.inner.tail.0.load(Ordering::Acquire);
+            if self.head == self.tail_cache {
+                return None;
+            }
+        }
+        let cap = self.inner.buf.len();
+        // SAFETY: `head < tail` where `tail` was Acquire-loaded, so the
+        // producer's Release store ordered the slot write of item `head`
+        // before our load — the slot holds an initialized T that the
+        // producer will not touch again until we advance `head` past it.
+        let v = unsafe { (*self.inner.buf[self.head % cap].get()).assume_init_read() };
+        self.head += 1;
+        // Release: the producer may reuse the slot only after seeing this.
+        self.inner.head.0.store(self.head, Ordering::Release);
+        Some(v)
+    }
+
+    /// Pops, spinning (with yields) while the ring is empty.
+    pub fn pop(&mut self) -> T {
+        let mut spins = 0u32;
+        loop {
+            if let Some(v) = self.try_pop() {
+                return v;
+            }
+            backoff(&mut spins);
+        }
+    }
+}
+
+/// Spin a little, then start yielding the time slice — the rings carry
+/// epoch-granular traffic, so waits are short but not nanosecond-short.
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_one_thread() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        assert!(rx.try_pop().is_none());
+        for i in 0..4 {
+            tx.try_push(i).expect("room");
+        }
+        assert!(tx.try_push(99).is_err(), "full at capacity");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert!(rx.try_pop().is_none());
+        // wrap-around reuses slots correctly
+        for round in 0..10u32 {
+            tx.try_push(round).expect("room after drain");
+            assert_eq!(rx.try_pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn cross_thread_fifo_stress() {
+        let (mut tx, mut rx) = ring::<u64>(8);
+        const N: u64 = 100_000;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    tx.push(i);
+                }
+            });
+            for i in 0..N {
+                assert_eq!(rx.pop(), i, "FIFO order violated");
+            }
+        });
+    }
+
+    #[test]
+    fn drop_reclaims_in_flight_items() {
+        // leak-checked indirectly: Arc payloads dropped exactly once
+        let payload = std::sync::Arc::new(());
+        {
+            let (mut tx, rx) = ring::<std::sync::Arc<()>>(4);
+            tx.try_push(Arc::clone(&payload)).expect("room");
+            tx.try_push(Arc::clone(&payload)).expect("room");
+            drop(tx);
+            drop(rx);
+        }
+        assert_eq!(std::sync::Arc::strong_count(&payload), 1);
+    }
+}

@@ -929,13 +929,29 @@ impl Builder {
             insts.push(inst);
             support.push(self.masks[i]);
         }
-        let exact = self.exact;
+        // Masks are only trustworthy while every interned channel got a
+        // real bit: `chan_mask` flips `exact` off at the 129th distinct
+        // channel, and the reconstruction below must never *silently*
+        // under-approximate if that invariant ever drifts — `reads()`
+        // feeds the monitor's skip optimization and the enumeration
+        // engines' support pruning, where an under-approximation skips
+        // real evaluation instead of merely degrading. Re-derive
+        // inexactness from the table size and fall back to the source's
+        // exact `ChanSet` (a syntactically precise support, never an
+        // under-approximation) whenever the masks cannot cover every
+        // channel.
+        debug_assert_eq!(
+            self.exact,
+            self.chans.len() <= 128,
+            "exact flag out of sync with the channel table"
+        );
+        let exact = self.exact && self.chans.len() <= 128;
         let channels = if exact {
             let root_mask = *support.last().expect("programs are never empty");
             self.chans
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| *i < 128 && root_mask & (1u128 << i) != 0)
+                .filter(|(i, _)| root_mask & (1u128 << *i) != 0)
                 .map(|(_, &c)| c)
                 .collect()
         } else {

@@ -327,3 +327,113 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wide-network (mask-overflow) regime: programs with 129..=200 distinct
+// channels run out of u128 support-mask bits, so `Program` must fall back
+// to the exact `ChanSet` — an *under*-approximate support here would make
+// the monitor skip real evaluation. `wide_networks.rs` pins fixed shapes;
+// these properties fuzz random trees across the 128-bit boundary.
+// ---------------------------------------------------------------------------
+
+/// A random tree whose support is exactly channels `0..n` with
+/// `n ∈ 129..=200`: a zip-fold over all `n` channel leaves (folding with
+/// `Zip` keeps every leaf in the support — fusion cannot shrink it), with
+/// a random stack of `Map`/`Filter` nodes on top so the optimizer still
+/// has something to fuse.
+fn wide_expr() -> impl Strategy<Value = (u32, SeqExpr)> {
+    (
+        129u32..=200,
+        proptest::collection::vec(prop_oneof![vmap().prop_map(Ok), pred().prop_map(Err)], 0..4),
+    )
+        .prop_map(|(n, tops)| {
+            // Balanced fold: depth ⌈log₂ n⌉, so the recursive interpreter
+            // machines stay within test-thread stacks at width 200.
+            let mut layer: Vec<SeqExpr> = (0..n).map(|i| SeqExpr::chan(Chan::new(i))).collect();
+            while layer.len() > 1 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                let mut it = layer.into_iter();
+                while let Some(a) = it.next() {
+                    next.push(match it.next() {
+                        Some(b) => SeqExpr::add(a, b),
+                        None => a,
+                    });
+                }
+                layer = next;
+            }
+            let mut e = layer.pop().expect("n >= 129");
+            for top in tops {
+                e = match top {
+                    Ok(m) => SeqExpr::Map(m, Box::new(e)),
+                    Err(p) => SeqExpr::Filter(p, Box::new(e)),
+                };
+            }
+            (n, e)
+        })
+}
+
+/// Events over the wide channel space: raw indices are reduced mod `n` at
+/// use so every generated stream stays inside the program's support.
+fn wide_raw_events() -> impl Strategy<Value = Vec<(u32, i64)>> {
+    proptest::collection::vec((0u32..4096, -3i64..4), 0..24)
+}
+
+proptest! {
+    // Each case builds and evaluates a ~200-node tree; a handful of cases
+    // already crosses the boundary at every width class, so keep the
+    // count low enough for CI.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Compiled support == interpreted support past the mask horizon, and
+    /// `reads` answers exactly — for present *and* absent channels.
+    #[test]
+    fn wide_compiled_support_equals_interpreted((n, e) in wide_expr()) {
+        let c = e.compile();
+        let interp = e.channels();
+        prop_assert_eq!(
+            c.channels(), &interp,
+            "compiled support diverged from interpreted at width {}", n
+        );
+        for i in 0..n {
+            prop_assert!(c.reads(Chan::new(i)), "dropped ch{} of {}", i, n);
+        }
+        prop_assert!(!c.reads(Chan::new(n + 7)));
+        prop_assert!(!c.reads(Chan::new(4096)));
+    }
+
+    /// Compiled evaluation and the monitor-facing accept/reject sequence
+    /// agree with the interpreter on wide programs — the verdict half of
+    /// the mask-overflow pin.
+    #[test]
+    fn wide_verdicts_agree(
+        (n, f) in wide_expr(),
+        raw in wide_raw_events(),
+    ) {
+        let evs: Vec<Event> = raw
+            .iter()
+            .map(|&(c, v)| Event::int(Chan::new(c % n), v))
+            .collect();
+        let cf = f.compile();
+        let t = Trace::finite(evs.clone());
+        prop_assert_eq!(cf.eval(&t), f.eval(&t), "wide eval diverged at width {}", n);
+        // f ⊑-checked against itself: the smoothness monitor's exact
+        // query shape, driven through both backends in lockstep.
+        let mut ci = CompiledSideEval::new(&cf);
+        let mut cg = CompiledSideEval::new(&cf);
+        let mut ii = SideEval::new(&f);
+        let mut ig = SideEval::new(&f);
+        let (mut cv, mut iv) = (0usize, 0usize);
+        for &ev in &evs {
+            let cfrozen = cg.freeze();
+            let ifrozen = ig.freeze();
+            ci.step(ev);
+            cg.step(ev);
+            ii.step(ev);
+            ig.step(ev);
+            let cok = compiled_step_check(&ci, &cg, &cfrozen, &mut cv);
+            let iok = step_check(&ii, &ig, &ifrozen, &mut iv);
+            prop_assert_eq!(cok, iok, "wide verdicts diverged at width {}", n);
+            prop_assert_eq!(ci.value(), ii.value(), "wide values diverged at width {}", n);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Model checks for the sharded runtime's concurrency primitives.
+//!
+//! The first half is the exhaustive-interleaving check promised by
+//! [`eqp::kahn::spsc`]'s module docs: a pure model of the Lamport ring
+//! algorithm — two thread programs broken into their *atomic
+//! micro-steps* (cache refresh, slot access, index publication) — is
+//! driven through **every** schedule by depth-first search, asserting at
+//! each step that no slot is written while it still holds an unconsumed
+//! item, no slot is read before its item was published, and the consumed
+//! sequence is exactly the produced sequence (FIFO, no loss, no
+//! duplication). The model's shared memory is sequentially consistent
+//! while each thread works from *stale cached* counterparts, exactly the
+//! algorithm's structure: the real implementation's Release stores and
+//! Acquire loads are what collapse weak memory to this model (each cache
+//! refresh is an Acquire load that observes a Release-published index
+//! and everything written before it).
+//!
+//! The second half exercises the real rings and the coordinator/worker
+//! handoff shape under genuine threads: backpressure on both sides of a
+//! command/reply pair, many capacities, and FIFO order end to end.
+
+use eqp::kahn::ring;
+use std::thread;
+
+/// How far each thread has advanced through its three-micro-step
+/// program for the current item.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    /// About to (re)check capacity/availability against the cached
+    /// counterpart index, refreshing the cache from shared memory.
+    Check,
+    /// Cleared to touch the slot: write (producer) or read (consumer).
+    Slot,
+    /// About to publish the new index with a Release store.
+    Publish,
+}
+
+/// The model state: sequentially consistent shared memory (`head`,
+/// `tail`, `slots`) plus each thread's private state (program counter,
+/// stale cache of the counterpart index, progress through the item
+/// sequence).
+#[derive(Clone)]
+struct Model {
+    cap: usize,
+    items: usize,
+    /// Shared: monotonic pop index, published by the consumer.
+    head: usize,
+    /// Shared: monotonic push index, published by the producer.
+    tail: usize,
+    /// Shared: `slots[i] = Some(k)` while item `k` occupies slot `i`.
+    slots: Vec<Option<usize>>,
+    /// Producer private: program counter, stale copy of `head`, items pushed.
+    p_pc: Pc,
+    p_head_cache: usize,
+    pushed: usize,
+    /// Consumer private: program counter, stale copy of `tail`, items popped.
+    c_pc: Pc,
+    c_tail_cache: usize,
+    popped: usize,
+}
+
+impl Model {
+    fn new(cap: usize, items: usize) -> Model {
+        Model {
+            cap,
+            items,
+            head: 0,
+            tail: 0,
+            slots: vec![None; cap],
+            p_pc: Pc::Check,
+            p_head_cache: 0,
+            pushed: 0,
+            c_pc: Pc::Check,
+            c_tail_cache: 0,
+            popped: 0,
+        }
+    }
+
+    fn producer_done(&self) -> bool {
+        self.pushed == self.items && self.p_pc == Pc::Check
+    }
+
+    fn consumer_done(&self) -> bool {
+        self.popped == self.items && self.c_pc == Pc::Check
+    }
+
+    /// One producer micro-step. Returns false if the thread is done or
+    /// (in the Check state) spinning on a genuinely full ring — the
+    /// scheduler then must run the consumer (no livelock: DFS treats a
+    /// blocked thread as having no transition).
+    fn step_producer(&mut self) -> bool {
+        match self.p_pc {
+            Pc::Check => {
+                if self.pushed == self.items {
+                    return false;
+                }
+                // try_push: trust the stale cache first; only a
+                // full-by-cache verdict pays for an Acquire refresh —
+                // exactly the implementation's fast path.
+                if self.tail - self.p_head_cache == self.cap {
+                    self.p_head_cache = self.head;
+                    if self.tail - self.p_head_cache == self.cap {
+                        return false; // full even after refresh: spin
+                    }
+                }
+                self.p_pc = Pc::Slot;
+                true
+            }
+            Pc::Slot => {
+                let slot = self.tail % self.cap;
+                // THE safety property: the capacity check against a
+                // *stale* head must still imply the slot is vacated.
+                assert!(
+                    self.slots[slot].is_none(),
+                    "producer overwrote an unconsumed item in slot {slot}"
+                );
+                assert!(
+                    self.tail - self.head < self.cap,
+                    "producer cleared the capacity check with the ring truly full"
+                );
+                self.slots[slot] = Some(self.pushed);
+                self.p_pc = Pc::Publish;
+                true
+            }
+            Pc::Publish => {
+                // Release store: the slot write above becomes visible
+                // together with the new tail.
+                self.tail += 1;
+                self.pushed += 1;
+                self.p_pc = Pc::Check;
+                true
+            }
+        }
+    }
+
+    /// One consumer micro-step; mirror image of the producer.
+    fn step_consumer(&mut self) -> bool {
+        match self.c_pc {
+            Pc::Check => {
+                if self.popped == self.items {
+                    return false;
+                }
+                if self.c_tail_cache == self.head {
+                    self.c_tail_cache = self.tail;
+                    if self.c_tail_cache == self.head {
+                        return false; // empty even after refresh: spin
+                    }
+                }
+                self.c_pc = Pc::Slot;
+                true
+            }
+            Pc::Slot => {
+                let slot = self.head % self.cap;
+                // FIFO + no-loss + no-dup in one assertion: the slot
+                // must hold exactly the next expected item.
+                assert!(
+                    self.head < self.tail,
+                    "consumer read past the published tail"
+                );
+                assert_eq!(
+                    self.slots[slot],
+                    Some(self.popped),
+                    "consumer read slot {slot} out of order"
+                );
+                self.slots[slot] = None;
+                self.c_pc = Pc::Publish;
+                true
+            }
+            Pc::Publish => {
+                self.head += 1;
+                self.popped += 1;
+                self.c_pc = Pc::Check;
+                true
+            }
+        }
+    }
+}
+
+/// DFS over every interleaving of producer/consumer micro-steps. Each
+/// path must terminate with all items transferred in order; a state
+/// where neither thread can move before that is a lost-wakeup deadlock.
+fn explore(m: &Model, visited: &mut std::collections::HashSet<Vec<usize>>) {
+    // Dedup on the full state vector: different schedules reconverge.
+    let key = vec![
+        m.head,
+        m.tail,
+        m.pushed,
+        m.popped,
+        m.p_pc as usize,
+        m.c_pc as usize,
+        m.p_head_cache,
+        m.c_tail_cache,
+    ];
+    if !visited.insert(key) {
+        return;
+    }
+    if m.producer_done() && m.consumer_done() {
+        assert_eq!(m.head, m.items, "terminated before draining the ring");
+        return;
+    }
+    let mut moved = false;
+    let mut p = m.clone();
+    if p.step_producer() {
+        moved = true;
+        explore(&p, visited);
+    }
+    let mut c = m.clone();
+    if c.step_consumer() {
+        moved = true;
+        explore(&c, visited);
+    }
+    assert!(
+        moved,
+        "deadlock: neither thread can move at head={} tail={} pushed={} popped={}",
+        m.head, m.tail, m.pushed, m.popped
+    );
+}
+
+/// The exhaustive check, across capacities that force wrap-around and
+/// sustained full/empty boundary contention.
+#[test]
+fn spsc_ring_model_every_interleaving_is_fifo_and_collision_free() {
+    for cap in 1..=3 {
+        for items in 1..=6 {
+            let mut visited = std::collections::HashSet::new();
+            explore(&Model::new(cap, items), &mut visited);
+            assert!(
+                visited.len() > items,
+                "cap {cap} × {items} items: the DFS explored a trivial space"
+            );
+        }
+    }
+}
+
+/// The real ring under real threads: every capacity up to and beyond
+/// the item count, strict FIFO of 10k items.
+#[test]
+fn real_ring_is_fifo_across_threads_for_many_capacities() {
+    for cap in [1usize, 2, 3, 7, 64] {
+        let (mut tx, mut rx) = ring::<u32>(cap);
+        let n = 10_000u32;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                tx.push(i);
+            }
+        });
+        for i in 0..n {
+            assert_eq!(rx.pop(), i, "cap {cap}: out-of-order delivery");
+        }
+        producer.join().unwrap();
+    }
+}
+
+/// The coordinator/worker handoff shape from the epoch protocol:
+/// batches larger than either ring's capacity flow command-ring down,
+/// reply-ring up, with the consumer side draining in production order —
+/// the deadlock-freedom argument of [`eqp::kahn::shard`] in miniature.
+#[test]
+fn command_reply_handoff_survives_backpressure_on_both_rings() {
+    let (mut cmd_tx, mut cmd_rx) = ring::<u64>(4);
+    let (mut rep_tx, mut rep_rx) = ring::<u64>(4);
+    let batches = 200u64;
+    let batch = 16u64; // 4× both capacities
+    let worker = thread::spawn(move || {
+        for _ in 0..batches {
+            for _ in 0..batch {
+                let v = cmd_rx.pop();
+                rep_tx.push(v * 2);
+            }
+        }
+    });
+    let mut next = 0u64;
+    for _ in 0..batches {
+        let base = next;
+        // scatter the whole batch, interleaving with reply drains the
+        // way the coordinator commits results in plan order
+        let mut sent = 0;
+        let mut got = 0;
+        while got < batch {
+            if sent < batch {
+                cmd_tx.push(base + sent);
+                sent += 1;
+            }
+            while got < sent {
+                match rep_rx.try_pop() {
+                    Some(v) => {
+                        assert_eq!(v, (base + got) * 2, "reply out of order");
+                        got += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        next += batch;
+    }
+    worker.join().unwrap();
+}
