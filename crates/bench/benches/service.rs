@@ -1,0 +1,200 @@
+//! The `eqpd` soak: a full-service stress run proving the daemon holds
+//! 10k+ *concurrent* admitted sessions and certifies every one of them.
+//!
+//! Shape: an in-process daemon starts paused; the driver submits the
+//! whole fleet (so every session is admitted, journaled, and in flight
+//! simultaneously — peak concurrency is asserted, not hoped for), then
+//! releases the workers and collects every streamed verdict. Tiny
+//! residency and chunk budgets force the checkpoint-evict-resume path to
+//! carry real load. The run must lose nothing: every admitted session
+//! ends in a certified verdict, `aborted == 0`.
+//!
+//! Emits `BENCH_service.json` at the repository root with p50/p99
+//! admission latency (submit→ack, fsync included), p50/p99 verdict
+//! latency (release→verdict event), and the daemon's eviction/resume
+//! counters. Under `EQP_BENCH_SMOKE=1` the fleet is scaled down to 200
+//! sessions but every gate still asserts and the JSON is still written
+//! (tagged `"smoke": true`).
+
+use eqpd::json::{obj, s, Json};
+use eqpd::{percentile_us, AdmissionConfig, Client, ServerConfig};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const WORKLOADS: [&str; 5] = ["sec23-merge", "fair-merge", "ticks", "random-bit", "bag"];
+const TENANTS: usize = 8;
+
+fn spec_json(workload: &str, seed: u64) -> Json {
+    obj([
+        ("workload", s(workload)),
+        ("seed", Json::UInt(seed)),
+        (
+            "sched",
+            obj([("kind", s("random")), ("seed", Json::UInt(seed))]),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::var("EQP_BENCH_SMOKE").is_ok();
+    let sessions: usize = if smoke { 200 } else { 10_000 };
+
+    // The soak measures the service, not the disk: journal on tmpfs when
+    // the platform offers one.
+    let base = if std::path::Path::new("/dev/shm").is_dir() {
+        PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let dir = base.join(format!("eqpd-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    // A residency budget far below the fleet size keeps eviction and
+    // resume-from-bytes on the hot path for the whole drain.
+    let max_resident = (sessions / 8).max(8);
+    let handle = eqpd::start(ServerConfig {
+        journal_dir: dir.clone(),
+        workers,
+        chunk_steps: 64,
+        max_resident,
+        admission: AdmissionConfig {
+            max_in_flight: sessions + 64,
+            max_per_tenant: sessions,
+            retry_after_ms: 50,
+        },
+        start_paused: true,
+        ..Default::default()
+    })
+    .expect("daemon starts");
+    let addr = format!("127.0.0.1:{}", handle.port);
+
+    let mut clients: Vec<Client> = (0..TENANTS)
+        .map(|_| Client::connect(&addr).expect("connects"))
+        .collect();
+
+    // Build the fleet against paused workers: every submission is
+    // admitted and stays in flight.
+    let mut admission_us = Vec::with_capacity(sessions);
+    let mut owned: Vec<usize> = vec![0; TENANTS];
+    for i in 0..sessions {
+        let t = i % TENANTS;
+        let spec = spec_json(WORKLOADS[i % WORKLOADS.len()], 1 + i as u64);
+        let t0 = Instant::now();
+        clients[t]
+            .submit(&format!("tenant-{t}"), spec)
+            .expect("io")
+            .expect("the soak must not shed: capacity covers the fleet");
+        admission_us.push(t0.elapsed().as_micros() as u64);
+        owned[t] += 1;
+    }
+
+    // Peak concurrency is a gate, not a side effect.
+    let st = clients[0]
+        .call("stats", obj([]))
+        .expect("io")
+        .expect("stats");
+    assert_eq!(
+        st.get("in_flight").and_then(Json::as_u64),
+        Some(sessions as u64),
+        "every admitted session must be concurrently in flight: {st:?}"
+    );
+
+    // Release the backlog and collect every verdict, one collector per
+    // tenant connection so kernel socket buffers never skew arrival
+    // times.
+    clients[0]
+        .call("pause", obj([("paused", Json::Bool(false))]))
+        .expect("io")
+        .expect("released");
+    let released = Instant::now();
+    let collectors: Vec<std::thread::JoinHandle<Vec<u64>>> = clients
+        .into_iter()
+        .zip(owned)
+        .map(|(mut client, expect)| {
+            std::thread::spawn(move || {
+                let mut seen: HashMap<u64, u64> = HashMap::new();
+                while seen.len() < expect {
+                    let ev = client.next_event().expect("event stream alive");
+                    if ev.get("event").and_then(Json::as_str) != Some("verdict") {
+                        continue;
+                    }
+                    if let Some(id) = ev.get("session").and_then(Json::as_u64) {
+                        seen.insert(id, released.elapsed().as_micros() as u64);
+                    }
+                }
+                seen.into_values().collect()
+            })
+        })
+        .collect();
+    let mut verdict_us = Vec::with_capacity(sessions);
+    for c in collectors {
+        verdict_us.extend(c.join().expect("collector"));
+    }
+    let drain_s = released.elapsed().as_secs_f64();
+
+    // Zero lost sessions: every admitted session produced a verdict and
+    // none died on the panic backstop.
+    assert_eq!(verdict_us.len(), sessions, "every session must certify");
+    let stats = handle.stats();
+    assert_eq!(stats.completed, sessions as u64, "{stats:?}");
+    assert_eq!(stats.aborted, 0, "{stats:?}");
+    assert!(
+        stats.evicted > 0,
+        "the soak must exercise eviction: {stats:?}"
+    );
+    assert!(
+        stats.resumed > 0,
+        "the soak must exercise resume: {stats:?}"
+    );
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service\",\n",
+            "  \"command\": \"cargo bench -p eqp-bench --bench service\",\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"sessions\": {sessions},\n",
+            "  \"tenants\": {tenants},\n",
+            "  \"workers\": {workers},\n",
+            "  \"chunk_steps\": 64,\n",
+            "  \"max_resident\": {max_resident},\n",
+            "  \"admission_us\": {{\"p50\": {ap50}, \"p99\": {ap99}}},\n",
+            "  \"verdict_us\": {{\"p50\": {vp50}, \"p99\": {vp99}}},\n",
+            "  \"drain_s\": {drain_s:.3},\n",
+            "  \"evicted\": {evicted},\n",
+            "  \"resumed\": {resumed},\n",
+            "  \"completed\": {completed},\n",
+            "  \"aborted\": {aborted}\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        sessions = sessions,
+        tenants = TENANTS,
+        workers = workers,
+        max_resident = max_resident,
+        ap50 = percentile_us(&admission_us, 50.0),
+        ap99 = percentile_us(&admission_us, 99.0),
+        vp50 = percentile_us(&verdict_us, 50.0),
+        vp99 = percentile_us(&verdict_us, 99.0),
+        drain_s = drain_s,
+        evicted = stats.evicted,
+        resumed = stats.resumed,
+        completed = stats.completed,
+        aborted = stats.aborted,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    std::fs::write(&path, &json).expect("write BENCH_service.json");
+    println!(
+        "service soak: {sessions} sessions, {} evictions, {} resumes, drain {drain_s:.2}s",
+        stats.evicted, stats.resumed
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,155 @@
+//! Admission control and backpressure: per-tenant quotas and a bounded
+//! global in-flight set.
+//!
+//! The daemon's capacity story mirrors the library's bounded-channel one
+//! (`OverflowPolicy`): a full queue does not crash or silently drop —
+//! it *pushes back* with a typed decision the protocol maps to an error
+//! response carrying `retry_after_ms`. A tenant over its own quota is
+//! rejected the same way without consuming global capacity, so one noisy
+//! tenant cannot starve the rest.
+
+use std::collections::HashMap;
+
+/// Capacity knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Global bound on in-flight (admitted, unfinished) sessions.
+    pub max_in_flight: usize,
+    /// Per-tenant bound on in-flight sessions.
+    pub max_per_tenant: usize,
+    /// Hint returned with backpressure rejections, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_in_flight: 16_384,
+            max_per_tenant: 4_096,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+/// The typed admission decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Admitted; capacity reserved until [`Admission::release`].
+    Admitted,
+    /// The global in-flight bound is reached — shed load, come back in
+    /// `retry_after_ms`.
+    Backpressured {
+        /// When to retry, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// This tenant is at its own quota (global capacity may remain).
+    TenantQuotaExceeded {
+        /// The enforced per-tenant bound.
+        limit: usize,
+    },
+}
+
+/// Admission state: the in-flight ledger.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    in_flight: usize,
+    per_tenant: HashMap<String, usize>,
+}
+
+impl Admission {
+    /// A fresh ledger under `cfg`.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            in_flight: 0,
+            per_tenant: HashMap::new(),
+        }
+    }
+
+    /// Current global in-flight count.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Tries to admit one session for `tenant`, reserving capacity on
+    /// success. Tenant quota is checked first: a tenant at quota is told
+    /// so even when the global queue is also full.
+    pub fn admit(&mut self, tenant: &str) -> Decision {
+        let mine = self.per_tenant.get(tenant).copied().unwrap_or(0);
+        if mine >= self.cfg.max_per_tenant {
+            return Decision::TenantQuotaExceeded {
+                limit: self.cfg.max_per_tenant,
+            };
+        }
+        if self.in_flight >= self.cfg.max_in_flight {
+            return Decision::Backpressured {
+                retry_after_ms: self.cfg.retry_after_ms,
+            };
+        }
+        self.in_flight += 1;
+        *self.per_tenant.entry(tenant.to_owned()).or_insert(0) += 1;
+        Decision::Admitted
+    }
+
+    /// Releases one admitted session's capacity (on verdict or abort).
+    pub fn release(&mut self, tenant: &str) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if let Some(n) = self.per_tenant.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.per_tenant.remove(tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adm(global: usize, per: usize) -> Admission {
+        Admission::new(AdmissionConfig {
+            max_in_flight: global,
+            max_per_tenant: per,
+            retry_after_ms: 100,
+        })
+    }
+
+    #[test]
+    fn quotas_and_backpressure_are_distinct_decisions() {
+        let mut a = adm(3, 2);
+        assert_eq!(a.admit("alice"), Decision::Admitted);
+        assert_eq!(a.admit("alice"), Decision::Admitted);
+        assert_eq!(
+            a.admit("alice"),
+            Decision::TenantQuotaExceeded { limit: 2 },
+            "tenant quota fires before global capacity"
+        );
+        assert_eq!(a.admit("bob"), Decision::Admitted);
+        assert_eq!(
+            a.admit("carol"),
+            Decision::Backpressured {
+                retry_after_ms: 100
+            },
+            "global bound reached"
+        );
+        a.release("alice");
+        assert_eq!(
+            a.admit("carol"),
+            Decision::Admitted,
+            "release frees capacity"
+        );
+        assert_eq!(a.in_flight(), 3);
+    }
+
+    #[test]
+    fn release_is_idempotent_enough() {
+        let mut a = adm(2, 2);
+        assert_eq!(a.admit("t"), Decision::Admitted);
+        a.release("t");
+        a.release("t");
+        assert_eq!(a.in_flight(), 0);
+        assert_eq!(a.admit("t"), Decision::Admitted);
+    }
+}

@@ -1,0 +1,100 @@
+//! The `eqpd-load` client: drives the conformance zoo through a running
+//! daemon and reports admission/verdict latency percentiles.
+//!
+//! ```text
+//! eqpd-load --addr HOST:PORT [--sessions N] [--tenants K] [--seed S]
+//!           [--out PATH.json]
+//! ```
+
+use eqpd::json::{obj, s, Json};
+use eqpd::{percentile_us, run_load, Client, LoadOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eqpd-load --addr HOST:PORT [--sessions N] [--tenants K] [--seed S] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = None;
+    let mut opts = LoadOptions::default();
+    let mut out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.sessions = v,
+                None => return usage(),
+            },
+            "--tenants" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.tenants = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage(),
+            },
+            "--out" => out = args.next(),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else { return usage() };
+
+    let report = match run_load(&addr, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("eqpd-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = Client::connect(&addr)
+        .and_then(|mut c| c.call("stats", obj([])))
+        .ok()
+        .and_then(Result::ok)
+        .unwrap_or(Json::Null);
+
+    let verdicts = Json::Obj(
+        report
+            .verdicts
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::UInt(*v as u64)))
+            .collect(),
+    );
+    let doc = obj([
+        ("sessions", Json::UInt(opts.sessions as u64)),
+        ("tenants", Json::UInt(opts.tenants as u64)),
+        ("admitted", Json::UInt(report.admitted as u64)),
+        ("shed", Json::UInt(report.shed as u64)),
+        ("verdicts", verdicts),
+        (
+            "admission_us",
+            obj([
+                ("p50", Json::UInt(percentile_us(&report.admission_us, 50.0))),
+                ("p99", Json::UInt(percentile_us(&report.admission_us, 99.0))),
+            ]),
+        ),
+        (
+            "verdict_us",
+            obj([
+                ("p50", Json::UInt(percentile_us(&report.verdict_us, 50.0))),
+                ("p99", Json::UInt(percentile_us(&report.verdict_us, 99.0))),
+            ]),
+        ),
+        ("daemon_stats", stats),
+        ("note", s("latencies are end-to-end from the client")),
+    ]);
+    let line = doc.to_line();
+    println!("{line}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+            eprintln!("eqpd-load: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

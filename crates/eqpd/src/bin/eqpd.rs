@@ -1,0 +1,101 @@
+//! The `eqpd` daemon binary.
+//!
+//! ```text
+//! eqpd --journal DIR [--addr HOST:PORT] [--workers N] [--chunk STEPS]
+//!      [--max-resident N] [--max-in-flight N] [--max-per-tenant N]
+//!      [--port-file PATH] [--paused]
+//! ```
+//!
+//! Binds, recovers any interrupted sessions from the journal, and serves
+//! until a `shutdown` request arrives. With `--paused`, workers start
+//! idle so a harness can build a large concurrent backlog before
+//! releasing it with `pause {"paused": false}`.
+
+use eqpd::{AdmissionConfig, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: eqpd --journal DIR [--addr HOST:PORT] [--workers N] [--chunk STEPS] \
+         [--max-resident N] [--max-in-flight N] [--max-per-tenant N] \
+         [--port-file PATH] [--paused]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut admission = AdmissionConfig::default();
+    let mut journal_set = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("eqpd: {what} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--journal" => match value("--journal") {
+                Some(v) => {
+                    cfg.journal_dir = PathBuf::from(v);
+                    journal_set = true;
+                }
+                None => return usage(),
+            },
+            "--addr" => match value("--addr") {
+                Some(v) => cfg.addr = v,
+                None => return usage(),
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.workers = v,
+                None => return usage(),
+            },
+            "--chunk" => match value("--chunk").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.chunk_steps = v,
+                None => return usage(),
+            },
+            "--max-resident" => match value("--max-resident").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_resident = v,
+                None => return usage(),
+            },
+            "--max-in-flight" => match value("--max-in-flight").and_then(|v| v.parse().ok()) {
+                Some(v) => admission.max_in_flight = v,
+                None => return usage(),
+            },
+            "--max-per-tenant" => match value("--max-per-tenant").and_then(|v| v.parse().ok()) {
+                Some(v) => admission.max_per_tenant = v,
+                None => return usage(),
+            },
+            "--port-file" => match value("--port-file") {
+                Some(v) => cfg.port_file = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--paused" => cfg.start_paused = true,
+            "--help" | "-h" => return usage(),
+            other => {
+                eprintln!("eqpd: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    if !journal_set {
+        return usage();
+    }
+    cfg.admission = admission;
+
+    match eqpd::start(cfg) {
+        Ok(handle) => {
+            eprintln!("eqpd: serving on port {}", handle.port);
+            handle.wait();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("eqpd: failed to start: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

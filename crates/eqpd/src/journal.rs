@@ -1,0 +1,259 @@
+//! The durable session journal: crash safety by construction.
+//!
+//! Layout: one directory per session under the journal root,
+//! `s<id>/spec.json` (tenant + spec, written *before* the Admitted ack
+//! — an acked session is always recoverable), `s<id>/ckpt.bin` (the
+//! latest parked checkpoint image, rewritten after every chunk), and
+//! `s<id>/verdict.json` (the certified result — its presence marks the
+//! session finished). Every write is atomic: temp file, `sync_all`,
+//! rename. A daemon killed at any instant therefore leaves each session
+//! in exactly one of three states — unstarted (spec only), parked
+//! (spec + checkpoint), or finished (spec + verdict) — and
+//! [`Journal::recover`] re-materializes the first two.
+
+use crate::json::Json;
+use crate::session::SessionResult;
+use crate::spec::SessionSpec;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// A session journal rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    dir: PathBuf,
+}
+
+/// One interrupted session found by [`Journal::recover`].
+pub struct Recovered {
+    /// Session id (allocated by the previous incarnation).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// The admitted spec.
+    pub spec: SessionSpec,
+    /// Latest parked checkpoint image, if the session ever parked.
+    pub checkpoint: Option<Vec<u8>>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) a journal rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Journal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Journal { dir })
+    }
+
+    /// The journal root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn session_dir(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("s{id}"))
+    }
+
+    /// Atomic write: temp + fsync + rename, so readers (including a
+    /// recovering daemon) never observe a torn file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Durably records an admitted session. Called *before* the Admitted
+    /// response is sent — the crash-safety contract is "acked implies
+    /// recoverable".
+    pub fn record_spec(&self, id: u64, tenant: &str, spec: &SessionSpec) -> io::Result<()> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir)?;
+        let doc = Json::Obj(
+            [
+                ("tenant".to_owned(), crate::json::s(tenant)),
+                ("spec".to_owned(), spec.to_json()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        self.write_atomic(&dir.join("spec.json"), doc.to_line().as_bytes())
+    }
+
+    /// Durably records the latest parked checkpoint image.
+    pub fn record_checkpoint(&self, id: u64, bytes: &[u8]) -> io::Result<()> {
+        self.write_atomic(&self.session_dir(id).join("ckpt.bin"), bytes)
+    }
+
+    /// Loads the latest parked checkpoint image, if any.
+    pub fn load_checkpoint(&self, id: u64) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.session_dir(id).join("ckpt.bin")) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Durably records the certified result, finishing the session. The
+    /// checkpoint image is dropped afterwards — the verdict supersedes it.
+    pub fn record_result(&self, id: u64, result: &SessionResult) -> io::Result<()> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir)?;
+        self.write_atomic(
+            &dir.join("verdict.json"),
+            result.to_json().to_line().as_bytes(),
+        )?;
+        match fs::remove_file(dir.join("ckpt.bin")) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Loads a finished session's result, if present.
+    pub fn load_result(&self, id: u64) -> io::Result<Option<SessionResult>> {
+        let path = self.session_dir(id).join("verdict.json");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let json = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        SessionResult::from_json(&json)
+            .map(Some)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed verdict.json"))
+    }
+
+    /// Scans the journal: returns every interrupted session (spec present,
+    /// verdict absent) plus the next free session id. Unreadable entries
+    /// are skipped, not fatal — recovery must always make progress.
+    pub fn recover(&self) -> io::Result<(Vec<Recovered>, u64)> {
+        let mut out = Vec::new();
+        let mut next_id = 1u64;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix('s'))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            next_id = next_id.max(id + 1);
+            let dir = entry.path();
+            if dir.join("verdict.json").exists() {
+                continue;
+            }
+            let Ok(text) = fs::read_to_string(dir.join("spec.json")) else {
+                continue;
+            };
+            let Ok(doc) = Json::parse(&text) else {
+                continue;
+            };
+            let Some(tenant) = doc.get("tenant").and_then(Json::as_str) else {
+                continue;
+            };
+            let Some(spec_json) = doc.get("spec") else {
+                continue;
+            };
+            let Ok(spec) = SessionSpec::from_json(spec_json) else {
+                continue;
+            };
+            let checkpoint = self.load_checkpoint(id).unwrap_or(None);
+            out.push(Recovered {
+                id,
+                tenant: tenant.to_owned(),
+                spec,
+                checkpoint,
+            });
+        }
+        out.sort_by_key(|r| r.id);
+        Ok((out, next_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SchedSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static STAMP: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_journal() -> Journal {
+        let n = STAMP.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("eqpd-journal-test-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Journal::open(dir).expect("temp journal opens")
+    }
+
+    fn spec() -> SessionSpec {
+        SessionSpec {
+            workload: "ticks".to_owned(),
+            seed: 1,
+            sched: SchedSpec::RoundRobin,
+            max_steps: 64,
+            capacity: None,
+            overflow: eqp_kahn::OverflowPolicy::Block,
+            deadline_rounds: None,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn lifecycle_spec_checkpoint_verdict() {
+        let j = tmp_journal();
+        j.record_spec(7, "alice", &spec()).expect("spec");
+        j.record_checkpoint(7, b"image-1").expect("ckpt");
+        j.record_checkpoint(7, b"image-2").expect("ckpt rewrite");
+        assert_eq!(j.load_checkpoint(7).expect("io"), Some(b"image-2".to_vec()));
+
+        let (interrupted, next) = j.recover().expect("scan");
+        assert_eq!(interrupted.len(), 1);
+        assert_eq!(interrupted[0].id, 7);
+        assert_eq!(interrupted[0].tenant, "alice");
+        assert_eq!(interrupted[0].spec, spec());
+        assert_eq!(interrupted[0].checkpoint.as_deref(), Some(&b"image-2"[..]));
+        assert_eq!(next, 8);
+
+        let result = crate::session::SessionResult {
+            verdict: "SmoothPrefix".to_owned(),
+            conformant: true,
+            status: "step bound hit".to_owned(),
+            steps: 64,
+            rounds: 9,
+            trace_len: 40,
+            faults: 0,
+            trace_hash: 0xabc,
+            wall_deadline_expired: false,
+        };
+        j.record_result(7, &result).expect("verdict");
+        assert_eq!(j.load_result(7).expect("io"), Some(result));
+        assert_eq!(j.load_checkpoint(7).expect("io"), None, "superseded");
+        let (interrupted, _) = j.recover().expect("scan");
+        assert!(
+            interrupted.is_empty(),
+            "finished sessions are not recovered"
+        );
+        let _ = fs::remove_dir_all(j.dir());
+    }
+
+    #[test]
+    fn recovery_skips_garbage_entries() {
+        let j = tmp_journal();
+        fs::create_dir_all(j.dir().join("s3")).expect("dir");
+        fs::write(j.dir().join("s3/spec.json"), b"{not json").expect("write");
+        fs::create_dir_all(j.dir().join("junk")).expect("dir");
+        j.record_spec(5, "bob", &spec()).expect("spec");
+        let (interrupted, next) = j.recover().expect("scan never fails on garbage");
+        assert_eq!(interrupted.len(), 1);
+        assert_eq!(interrupted[0].id, 5);
+        assert_eq!(next, 6);
+        let _ = fs::remove_dir_all(j.dir());
+    }
+}

@@ -1,0 +1,473 @@
+//! A minimal, total JSON reader/writer.
+//!
+//! The build environment is offline (no `serde`), so the daemon
+//! hand-rolls the subset of JSON it speaks, the way `shims/*` reimplement
+//! external crates. Priorities, in order:
+//!
+//! * **Totality** — `Json::parse` accepts arbitrary bytes and returns a
+//!   typed [`JsonError`], never panics, never recurses past a fixed
+//!   depth bound, and never allocates more than the input warrants.
+//!   Every frame a tenant sends crosses this parser first.
+//! * **Integer fidelity** — session ids, seeds, and step counts are
+//!   integers; integral literals that fit `i64`/`u64` parse losslessly
+//!   ([`Json::Int`]/[`Json::UInt`]) instead of through `f64`.
+//! * **Smallness** — objects are sorted-key `BTreeMap`s, output is
+//!   single-line (the framing layer is line-delimited), and only what the
+//!   protocol needs is implemented (no `\u` escapes beyond BMP handling
+//!   on input, ASCII-safe escaping on output).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Nesting bound for hostile inputs (`[[[[...`): far above any protocol
+/// frame (which nests ≤ 6), low enough that parsing cannot overflow the
+/// stack.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integral number that fits `i64`.
+    Int(i64),
+    /// An integral number in `i64::MAX+1 ..= u64::MAX` (seeds).
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (sorted keys, last duplicate wins).
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Why an input failed to parse as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What was expected or violated.
+    pub why: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.why)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected). Total: any input yields a value or a typed
+    /// error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing garbage after the document"));
+        }
+        Ok(v)
+    }
+
+    /// Field access on an object, `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting any non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(n) if n >= 0 => Some(n as u64),
+            Json::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Convenience: builds an object from key/value pairs.
+pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Convenience: a string value.
+pub fn s(v: impl Into<String>) -> Json {
+    Json::Str(v.into())
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, why: &'static str) -> JsonError {
+        JsonError { at: self.pos, why }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, why: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(why))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("expected a JSON literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut arr = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(arr));
+                }
+                loop {
+                    self.skip_ws();
+                    arr.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(arr));
+                        }
+                        _ => return Err(self.err("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.eat(b':', "expected `:` after object key")?;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    map.insert(k, v);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(map));
+                        }
+                        _ => return Err(self.err("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // surrogates are replaced, not rejected — the
+                            // protocol never emits them, and totality
+                            // beats strictness on hostile input
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is &str, so valid)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Float)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let j = Json::parse(r#"{"id":1,"method":"submit","params":{"seed":18446744073709551615,"x":[1,-2,3.5],"s":"a\"b"}}"#)
+            .expect("valid");
+        assert_eq!(j.get("id"), Some(&Json::Int(1)));
+        assert_eq!(j.get("method").and_then(Json::as_str), Some("submit"));
+        let params = j.get("params").expect("params");
+        assert_eq!(params.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(
+            params.get("x").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(3)
+        );
+        assert_eq!(params.get("s").and_then(Json::as_str), Some("a\"b"));
+    }
+
+    #[test]
+    fn roundtrips_through_to_line() {
+        let j = obj([
+            ("b", Json::Bool(true)),
+            ("n", Json::Int(-7)),
+            ("s", s("line\nbreak")),
+            ("a", Json::Arr(vec![Json::Null, Json::Float(1.5)])),
+        ]);
+        let line = j.to_line();
+        assert!(!line.contains('\n'), "single-line framing: {line}");
+        assert_eq!(Json::parse(&line).expect("own output parses"), j);
+    }
+
+    #[test]
+    fn hostile_inputs_yield_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\"}",
+            "nul",
+            "01x",
+            "--5",
+            "1e999x",
+            "{\"a\":}",
+            "[1]extra",
+            "\u{7f}",
+            "\"\\q\"",
+            "\"\\u12\"",
+        ] {
+            let e = Json::parse(bad).expect_err(bad);
+            assert!(e.to_string().contains("invalid JSON"), "{bad}: {e}");
+        }
+        // deep nesting is bounded, not a stack overflow
+        let deep = "[".repeat(10_000);
+        assert!(Json::parse(&deep).is_err());
+        // NaN/Inf never round-trip in
+        assert!(Json::parse("1e999").is_err());
+    }
+
+    #[test]
+    fn integer_fidelity_preserved() {
+        assert_eq!(
+            Json::parse("9223372036854775807").expect("i64 max"),
+            Json::Int(i64::MAX)
+        );
+        assert_eq!(
+            Json::parse("9223372036854775808").expect("u64 range"),
+            Json::UInt(9223372036854775808)
+        );
+        assert_eq!(Json::parse("1.0").expect("float"), Json::Float(1.0));
+    }
+}

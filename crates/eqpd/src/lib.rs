@@ -1,0 +1,43 @@
+//! `eqpd`: a crash-safe multi-tenant certification service for
+//! Kahn-network smooth solutions.
+//!
+//! The library layers (`eqp-core`, `eqp-kahn`, `eqp-processes`) can
+//! certify one run in one process. This crate turns that into a
+//! *service*: a daemon ([`server`]) that accepts textual session specs
+//! ([`spec`]) over a line-delimited JSON-RPC protocol ([`proto`],
+//! [`json`]), runs each as a monitored session on a worker pool in
+//! checkpointed chunks ([`session`]), and streams back certified
+//! verdicts — under admission control and backpressure ([`admission`]),
+//! budget and deadline enforcement, checkpoint-evict-resume, and
+//! kill-9-safe crash recovery over a durable journal ([`journal`]).
+//!
+//! Everything is `std`-only: the registry is unreachable in this build
+//! environment, so the JSON codec, framing, and wire client are
+//! hand-rolled the same way `shims/*` reimplement external crates.
+//!
+//! The robustness contract, end to end: arbitrary tenant bytes become
+//! typed protocol errors, malformed specs become typed [`spec::SpecError`]s,
+//! a panicking session becomes an `Aborted` verdict via the worker
+//! backstop, an overfull daemon pushes back with `retry_after_ms`, and
+//! a killed daemon recovers every acked session with an identical
+//! verdict — the determinism theorems of the underlying engine made
+//! operational.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod journal;
+pub mod json;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod spec;
+
+pub use admission::{Admission, AdmissionConfig, Decision};
+pub use journal::Journal;
+pub use load::{percentile_us, run_load, Client, LoadOptions, LoadReport, RpcError};
+pub use server::{start, ServerConfig, ServerHandle, Stats};
+pub use session::{ChunkOutcome, SessionError, SessionResult, SessionRun};
+pub use spec::{SchedSpec, SessionSpec, SpecError, TraceSpec};

@@ -1,0 +1,289 @@
+//! Client library: line-protocol RPC plus the load/soak driver.
+//!
+//! [`Client`] is the blocking connection used by `eqpd-load`, the
+//! integration tests, and the service benchmark: it multiplexes
+//! request/response pairs and streamed lifecycle events over one
+//! socket. [`run_load`] drives the conformance zoo through a daemon —
+//! submit a fleet of sessions, collect every verdict event, and report
+//! admission/verdict latency percentiles plus the daemon's
+//! eviction/resume counters.
+
+use crate::json::{obj, s, Json};
+use crate::proto::{self, Frame};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A typed RPC-level error response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcError {
+    /// Stable numeric code.
+    pub code: i64,
+    /// Human-readable message.
+    pub message: String,
+    /// Backpressure hint, when the daemon shed the request.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rpc error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A blocking daemon connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    /// Events read while waiting for a response, in arrival order.
+    pending_events: VecDeque<Json>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:4100`).
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+            pending_events: VecDeque::new(),
+        })
+    }
+
+    /// Bounds every blocking read; a quiet daemon then yields a timeout
+    /// error instead of wedging the caller (used by test harnesses).
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
+    }
+
+    fn read_doc(&mut self) -> io::Result<Json> {
+        loop {
+            match proto::read_frame(&mut self.reader)? {
+                Frame::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection",
+                    ))
+                }
+                Frame::Oversized { .. } => continue,
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    match Json::parse(&line) {
+                        Ok(doc) => return Ok(doc),
+                        Err(_) => continue,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sends `method` and blocks until its response arrives; events that
+    /// arrive in between are buffered for [`next_event`](Client::next_event).
+    pub fn call(&mut self, method: &str, params: Json) -> io::Result<Result<Json, RpcError>> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = obj([
+            ("id", Json::UInt(id)),
+            ("method", s(method)),
+            ("params", params),
+        ]);
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        loop {
+            let doc = self.read_doc()?;
+            if doc.get("event").is_some() {
+                self.pending_events.push_back(doc);
+                continue;
+            }
+            if doc.get("id").and_then(Json::as_u64) != Some(id) {
+                continue;
+            }
+            if let Some(err) = doc.get("error") {
+                return Ok(Err(RpcError {
+                    code: err.get("code").and_then(Json::as_i64).unwrap_or(0),
+                    message: err
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_owned(),
+                    retry_after_ms: err.get("retry_after_ms").and_then(Json::as_u64),
+                }));
+            }
+            return Ok(Ok(doc.get("result").cloned().unwrap_or(Json::Null)));
+        }
+    }
+
+    /// Blocks until the next streamed event (buffered or fresh).
+    pub fn next_event(&mut self) -> io::Result<Json> {
+        if let Some(ev) = self.pending_events.pop_front() {
+            return Ok(ev);
+        }
+        loop {
+            let doc = self.read_doc()?;
+            if doc.get("event").is_some() {
+                return Ok(doc);
+            }
+        }
+    }
+
+    /// Convenience: submits a session spec for `tenant`.
+    pub fn submit(&mut self, tenant: &str, spec: Json) -> io::Result<Result<u64, RpcError>> {
+        Ok(self
+            .call("submit", obj([("tenant", s(tenant)), ("spec", spec)]))?
+            .map(|r| r.get("session").and_then(Json::as_u64).unwrap_or(0)))
+    }
+}
+
+/// Load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Total sessions to submit.
+    pub sessions: usize,
+    /// Distinct tenant names to spread them over.
+    pub tenants: usize,
+    /// Submissions share one connection per tenant.
+    pub seed: u64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            sessions: 100,
+            tenants: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// The measured outcome of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Sessions submitted and admitted.
+    pub admitted: usize,
+    /// Sessions shed by admission control (retried elsewhere or dropped).
+    pub shed: usize,
+    /// Verdicts received, by rendered verdict name.
+    pub verdicts: HashMap<String, usize>,
+    /// Submit→ack latencies, microseconds.
+    pub admission_us: Vec<u64>,
+    /// Submit→verdict latencies, microseconds.
+    pub verdict_us: Vec<u64>,
+}
+
+/// `p`-th percentile (0–100) of an unsorted sample, microseconds.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64) as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Drives `opts.sessions` zoo certifications through the daemon at
+/// `addr`, round-robining workloads and tenants, and collects every
+/// verdict. Backpressured submissions are retried after the hinted
+/// delay (up to a few attempts), then counted as shed.
+pub fn run_load(addr: &str, opts: &LoadOptions) -> io::Result<LoadReport> {
+    // One connection per tenant: verdicts stream back to the submitting
+    // connection, so each tenant's client owns its sessions' events.
+    let workloads = ["sec23-merge", "fair-merge", "ticks", "random-bit", "bag"];
+    let tenants = opts.tenants.max(1);
+    let mut clients: Vec<Client> = (0..tenants)
+        .map(|_| Client::connect(addr))
+        .collect::<io::Result<_>>()?;
+    let mut report = LoadReport::default();
+    // session id → (submit instant, owning client index)
+    let mut inflight: HashMap<u64, (Instant, usize)> = HashMap::new();
+
+    for i in 0..opts.sessions {
+        let t = i % tenants;
+        let w = workloads[i % workloads.len()];
+        let spec = obj([
+            ("workload", s(w)),
+            ("seed", Json::UInt(opts.seed + i as u64)),
+            (
+                "sched",
+                obj([
+                    ("kind", s("random")),
+                    ("seed", Json::UInt(opts.seed + i as u64)),
+                ]),
+            ),
+        ]);
+        let tenant = format!("tenant-{t}");
+        let submitted = Instant::now();
+        let mut attempt = 0;
+        loop {
+            match clients[t].submit(&tenant, spec.clone())? {
+                Ok(id) => {
+                    report
+                        .admission_us
+                        .push(submitted.elapsed().as_micros() as u64);
+                    report.admitted += 1;
+                    inflight.insert(id, (submitted, t));
+                    break;
+                }
+                Err(e) if e.retry_after_ms.is_some() && attempt < 3 => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(
+                        e.retry_after_ms.unwrap_or(50).min(250),
+                    ));
+                }
+                Err(_) => {
+                    report.shed += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Collect every verdict event from each tenant connection.
+    while !inflight.is_empty() {
+        let waiting_on: Vec<usize> = inflight.values().map(|&(_, t)| t).collect();
+        let t = waiting_on[0];
+        let ev = clients[t].next_event()?;
+        if ev.get("event").and_then(Json::as_str) != Some("verdict") {
+            continue;
+        }
+        let Some(id) = ev.get("session").and_then(Json::as_u64) else {
+            continue;
+        };
+        if let Some((submitted, _)) = inflight.remove(&id) {
+            report
+                .verdict_us
+                .push(submitted.elapsed().as_micros() as u64);
+            let name = ev
+                .get("verdict")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_owned();
+            *report.verdicts.entry(name).or_insert(0) += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_sane() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&xs, 50.0), 50);
+        assert_eq!(percentile_us(&xs, 99.0), 99);
+        assert_eq!(percentile_us(&xs, 100.0), 100);
+        assert_eq!(percentile_us(&[], 50.0), 0);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+    }
+}

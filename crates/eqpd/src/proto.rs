@@ -1,0 +1,257 @@
+//! Line-delimited JSON-RPC framing.
+//!
+//! One request per line, one response (or streamed event) per line. The
+//! frame layer is the daemon's outermost trust boundary: arbitrary tenant
+//! bytes become either a well-formed [`Request`] or a typed
+//! [`ProtoError`] that maps to an error *response* — the connection (and
+//! the daemon) survives every malformed frame. Oversized lines are
+//! rejected before they are buffered whole, so a hostile client cannot
+//! balloon daemon memory.
+//!
+//! Requests: `{"id": <u64>, "method": "<name>", "params": {...}}`.
+//! Responses: `{"id": <u64>, "result": {...}}` or
+//! `{"id": <u64>, "error": {"code": <i64>, "message": "..."}}`.
+//! Streamed events (no `id`): `{"event": "<name>", ...}`.
+
+use crate::json::{obj, s, Json};
+use std::fmt;
+use std::io::{BufRead, ErrorKind};
+
+/// Hard cap on one frame line, bytes. Generous for real specs (the
+/// largest zoo spec is < 1 KiB) and small enough that a hostile
+/// newline-free stream cannot exhaust memory.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// Method name.
+    pub method: String,
+    /// Method parameters (an object, possibly empty).
+    pub params: Json,
+}
+
+/// Why a frame was rejected. Every variant maps to a JSON-RPC error
+/// response with a stable numeric code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The line is not valid JSON.
+    BadJson(String),
+    /// The line parsed but is not a `{"id", "method", "params"}` object.
+    BadRequest(&'static str),
+    /// The line exceeded [`MAX_FRAME_BYTES`] (it was discarded up to the
+    /// next newline; the connection continues).
+    Oversized {
+        /// How many bytes were discarded.
+        discarded: usize,
+    },
+}
+
+impl ProtoError {
+    /// Stable JSON-RPC error code.
+    pub fn code(&self) -> i64 {
+        match self {
+            ProtoError::BadJson(_) => -32700,
+            ProtoError::BadRequest(_) => -32600,
+            ProtoError::Oversized { .. } => -32001,
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::BadJson(e) => write!(f, "frame is not valid JSON: {e}"),
+            ProtoError::BadRequest(why) => write!(f, "frame is not a request: {why}"),
+            ProtoError::Oversized { discarded } => write!(
+                f,
+                "frame exceeds {MAX_FRAME_BYTES} bytes ({discarded} discarded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Parses one frame line into a [`Request`]. Total.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized {
+            discarded: line.len(),
+        });
+    }
+    let doc = Json::parse(line).map_err(|e| ProtoError::BadJson(e.to_string()))?;
+    let Json::Obj(_) = doc else {
+        return Err(ProtoError::BadRequest("not an object"));
+    };
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or(ProtoError::BadRequest("missing or non-integer `id`"))?;
+    let method = doc
+        .get("method")
+        .and_then(Json::as_str)
+        .ok_or(ProtoError::BadRequest("missing or non-string `method`"))?
+        .to_owned();
+    let params = match doc.get("params") {
+        None => Json::Obj(Default::default()),
+        Some(p @ Json::Obj(_)) => p.clone(),
+        Some(_) => return Err(ProtoError::BadRequest("`params` must be an object")),
+    };
+    Ok(Request { id, method, params })
+}
+
+/// One frame read from a connection.
+pub enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded [`MAX_FRAME_BYTES`]; the excess was discarded up
+    /// to the next newline and the connection remains usable.
+    Oversized {
+        /// Bytes discarded.
+        discarded: usize,
+    },
+    /// End of stream.
+    Eof,
+}
+
+/// Reads one length-capped frame. On an oversized line the reader skips
+/// to the next newline, so one hostile frame never poisons the stream.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Frame> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarded = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF
+            if discarded > 0 {
+                return Ok(Frame::Oversized { discarded });
+            }
+            if line.is_empty() {
+                return Ok(Frame::Eof);
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Frame::Line(text));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        match nl {
+            Some(i) => {
+                if discarded > 0 || line.len() + i > MAX_FRAME_BYTES {
+                    let total = discarded + line.len() + i;
+                    reader.consume(i + 1);
+                    return Ok(Frame::Oversized { discarded: total });
+                }
+                line.extend_from_slice(&buf[..i]);
+                reader.consume(i + 1);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                let text = String::from_utf8_lossy(&line).into_owned();
+                return Ok(Frame::Line(text));
+            }
+            None => {
+                let n = buf.len();
+                if discarded > 0 {
+                    discarded += n;
+                } else if line.len() + n > MAX_FRAME_BYTES {
+                    discarded = line.len() + n;
+                    line.clear();
+                } else {
+                    line.extend_from_slice(buf);
+                }
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// A success response frame.
+pub fn response_ok(id: u64, result: Json) -> Json {
+    obj([("id", Json::UInt(id)), ("result", result)])
+}
+
+/// An error response frame. `retry_after_ms` is attached for
+/// backpressure-style errors so clients know when to come back.
+pub fn response_err(id: u64, code: i64, message: &str, retry_after_ms: Option<u64>) -> Json {
+    let mut err = vec![("code", Json::Int(code)), ("message", s(message))];
+    if let Some(ms) = retry_after_ms {
+        err.push(("retry_after_ms", Json::UInt(ms)));
+    }
+    obj([
+        ("id", Json::UInt(id)),
+        (
+            "error",
+            Json::Obj(err.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
+        ),
+    ])
+}
+
+/// A streamed lifecycle event frame (no `id`; `session`-scoped).
+pub fn event(name: &str, session: u64, extra: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("event", s(name)), ("session", Json::UInt(session))];
+    pairs.extend(extra);
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_and_rejects_request_shapes() {
+        let r = parse_request(r#"{"id":7,"method":"submit","params":{"a":1}}"#).expect("ok");
+        assert_eq!(r.id, 7);
+        assert_eq!(r.method, "submit");
+        let r = parse_request(r#"{"id":0,"method":"stats"}"#).expect("params optional");
+        assert_eq!(r.params, Json::Obj(Default::default()));
+        for bad in [
+            "",
+            "nonsense",
+            "[1,2]",
+            r#"{"method":"x"}"#,
+            r#"{"id":"x","method":"y"}"#,
+            r#"{"id":1}"#,
+            r#"{"id":1,"method":2}"#,
+            r#"{"id":1,"method":"x","params":[1]}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_skipped_and_the_stream_survives() {
+        let huge = "x".repeat(MAX_FRAME_BYTES + 10);
+        let input = format!("{huge}\n{{\"id\":1,\"method\":\"stats\"}}\n");
+        let mut r = BufReader::new(input.as_bytes());
+        match read_frame(&mut r).expect("io ok") {
+            Frame::Oversized { discarded } => assert!(discarded > MAX_FRAME_BYTES),
+            _ => panic!("expected oversized"),
+        }
+        match read_frame(&mut r).expect("io ok") {
+            Frame::Line(l) => assert!(parse_request(&l).is_ok()),
+            _ => panic!("stream must survive an oversized frame"),
+        }
+        assert!(matches!(read_frame(&mut r).expect("io ok"), Frame::Eof));
+    }
+
+    #[test]
+    fn response_and_event_frames_are_single_line_json() {
+        let ok = response_ok(3, obj([("session", Json::UInt(9))])).to_line();
+        assert_eq!(ok, r#"{"id":3,"result":{"session":9}}"#);
+        let err = response_err(4, -32001, "too big", Some(250)).to_line();
+        assert!(err.contains("\"retry_after_ms\":250"), "{err}");
+        let ev = event("verdict", 9, vec![("verdict", s("SmoothSolution"))]).to_line();
+        assert!(ev.contains("\"event\":\"verdict\""), "{ev}");
+        for line in [ok, err, ev] {
+            assert!(Json::parse(&line).is_ok());
+            assert!(!line.contains('\n'));
+        }
+    }
+}

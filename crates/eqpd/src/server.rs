@@ -1,0 +1,750 @@
+//! The certification daemon: a TCP line-protocol server running admitted
+//! sessions on a worker pool with checkpoint-evict-resume and crash
+//! recovery over the durable [`Journal`].
+//!
+//! Life of a session: `submit` → admission control ([`Admission`]) →
+//! spec journaled (durable **before** the ack: an acked session is
+//! always recoverable) → queued → workers execute it in
+//! [`SessionRun::advance`] chunks. Between chunks the session is parked;
+//! parked sessions past the residency budget are *evicted* — their
+//! checkpoint image is journaled and the in-memory state dropped — and
+//! transparently resumed from bytes later (the engine guarantees the
+//! resumed run is byte-identical). Verdicts are journaled, capacity
+//! released, and a `verdict` event streamed to the submitting
+//! connection.
+//!
+//! Crash recovery: on start the journal is scanned; every interrupted
+//! session (spec without verdict) is re-admitted and re-queued, resuming
+//! from its latest durable checkpoint or from genesis — determinism
+//! makes either path produce the identical verdict. Graceful shutdown
+//! (`shutdown {"mode":"drain"}`) parks every in-flight session to a
+//! journaled checkpoint and exits; the next incarnation picks them up.
+
+use crate::admission::{Admission, AdmissionConfig, Decision};
+use crate::journal::Journal;
+use crate::json::{obj, s, Json};
+use crate::proto::{self, Frame, ProtoError, Request};
+use crate::session::{ChunkOutcome, SessionResult, SessionRun};
+use crate::spec::{SessionSpec, TraceSpec};
+use eqp_kahn::conformance::{self, ConformanceOptions};
+use eqp_processes::zoo::conformance_zoo;
+use eqp_trace::Trace;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (written to
+    /// `port_file` when set).
+    pub addr: String,
+    /// Journal root directory.
+    pub journal_dir: PathBuf,
+    /// Worker threads executing session chunks.
+    pub workers: usize,
+    /// Steps per execution chunk (the evict/resume granularity).
+    pub chunk_steps: usize,
+    /// Parked sessions kept in memory before eviction to the journal.
+    pub max_resident: usize,
+    /// Admission control knobs.
+    pub admission: AdmissionConfig,
+    /// Where to write the bound port (for test harnesses and clients).
+    pub port_file: Option<PathBuf>,
+    /// Start with workers paused (sessions queue but do not run) — lets
+    /// harnesses build large concurrent backlogs deterministically.
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            journal_dir: PathBuf::from("eqpd-journal"),
+            workers: 4,
+            chunk_steps: 2_000,
+            max_resident: 64,
+            admission: AdmissionConfig::default(),
+            port_file: None,
+            start_paused: false,
+        }
+    }
+}
+
+/// Monotonic daemon counters, surfaced by the `stats` method.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Sessions admitted (including recovered ones).
+    pub admitted: u64,
+    /// Submissions rejected by per-tenant quota.
+    pub rejected_quota: u64,
+    /// Submissions shed by global backpressure.
+    pub rejected_backpressure: u64,
+    /// Sessions finished with a certified verdict.
+    pub completed: u64,
+    /// Sessions killed by the panic/restore backstop.
+    pub aborted: u64,
+    /// Parked sessions evicted to the journal.
+    pub evicted: u64,
+    /// Sessions resumed from a journaled checkpoint image.
+    pub resumed: u64,
+    /// Interrupted sessions re-admitted at startup.
+    pub recovered: u64,
+    /// Sessions parked to the journal by a draining shutdown.
+    pub drained: u64,
+}
+
+struct Entry {
+    tenant: String,
+    spec: SessionSpec,
+    /// In-memory progress. `None` means fresh or evicted — the worker
+    /// reloads from the journal image (or genesis) on next dispatch.
+    run: Option<SessionRun>,
+    /// True once this session has a durable checkpoint image.
+    has_image: bool,
+    subscriber: Option<Arc<Mutex<TcpStream>>>,
+    done: Option<SessionResult>,
+}
+
+struct Core {
+    admission: Admission,
+    queue: VecDeque<u64>,
+    sessions: HashMap<u64, Entry>,
+    /// Ids currently holding in-memory parked state, oldest first.
+    resident: VecDeque<u64>,
+    next_id: u64,
+    paused: bool,
+    draining: bool,
+    stopping: bool,
+    running: usize,
+    stats: Stats,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    journal: Journal,
+    port: u16,
+    core: Mutex<Core>,
+    work: Condvar,
+}
+
+/// A started daemon: its bound port plus the handles to join.
+pub struct ServerHandle {
+    /// The bound TCP port.
+    pub port: u16,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Blocks until the daemon shuts down.
+    pub fn wait(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Requests an immediate (non-draining) shutdown and joins.
+    pub fn stop(self) {
+        {
+            let mut core = self.shared.core.lock().expect("core lock");
+            core.stopping = true;
+            self.shared.work.notify_all();
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+        self.wait();
+    }
+
+    /// Current stats snapshot (for in-process harnesses).
+    pub fn stats(&self) -> Stats {
+        self.shared.core.lock().expect("core lock").stats.clone()
+    }
+}
+
+/// Starts the daemon: recovers the journal, binds, spawns the worker
+/// pool and accept loop, and returns the handle.
+pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
+    let journal = Journal::open(&cfg.journal_dir)?;
+    let (interrupted, next_id) = journal.recover()?;
+
+    let mut core = Core {
+        admission: Admission::new(cfg.admission.clone()),
+        queue: VecDeque::new(),
+        sessions: HashMap::new(),
+        resident: VecDeque::new(),
+        next_id,
+        paused: cfg.start_paused,
+        draining: false,
+        stopping: false,
+        running: 0,
+        stats: Stats::default(),
+    };
+    // Re-admit every interrupted session: the work was already accepted
+    // by a previous incarnation, so recovery bypasses admission limits —
+    // losing acked work to a quota would violate the crash-safety
+    // contract.
+    for r in interrupted {
+        let _ = core.admission.admit(&r.tenant);
+        core.stats.admitted += 1;
+        core.stats.recovered += 1;
+        core.sessions.insert(
+            r.id,
+            Entry {
+                tenant: r.tenant,
+                spec: r.spec,
+                run: None,
+                has_image: r.checkpoint.is_some(),
+                subscriber: None,
+                done: None,
+            },
+        );
+        core.queue.push_back(r.id);
+    }
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let port = listener.local_addr()?.port();
+    if let Some(pf) = &cfg.port_file {
+        std::fs::write(pf, format!("{port}\n"))?;
+    }
+
+    let shared = Arc::new(Shared {
+        cfg,
+        journal,
+        port,
+        core: Mutex::new(core),
+        work: Condvar::new(),
+    });
+
+    let mut threads = Vec::new();
+    for i in 0..shared.cfg.workers.max(1) {
+        let sh = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("eqpd-worker-{i}"))
+                .spawn(move || worker_loop(&sh))?,
+        );
+    }
+    {
+        let sh = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("eqpd-accept".to_owned())
+                .spawn(move || accept_loop(&sh, listener))?,
+        );
+    }
+    Ok(ServerHandle {
+        port,
+        shared,
+        threads,
+    })
+}
+
+fn write_line(stream: &Mutex<TcpStream>, doc: &Json) {
+    // A dead subscriber is not an error: the verdict is journaled, the
+    // client can reconnect and poll.
+    if let Ok(mut s) = stream.lock() {
+        let mut line = doc.to_line();
+        line.push('\n');
+        let _ = s.write_all(line.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        // Dequeue one runnable session.
+        let (id, run_slot) = {
+            let mut core = sh.core.lock().expect("core lock");
+            loop {
+                if core.stopping {
+                    return;
+                }
+                if !core.paused {
+                    if let Some(id) = core.queue.pop_front() {
+                        core.running += 1;
+                        let entry = core.sessions.get_mut(&id).expect("queued session exists");
+                        let run = entry.run.take();
+                        core.resident.retain(|&r| r != id);
+                        break (id, run);
+                    }
+                }
+                if core.draining && core.queue.is_empty() && core.running == 0 {
+                    // Drain complete: stop the pool and unblock accept.
+                    core.stopping = true;
+                    sh.work.notify_all();
+                    drop(core);
+                    let _ = TcpStream::connect(("127.0.0.1", sh.port));
+                    return;
+                }
+                core = sh.work.wait(core).expect("core lock");
+            }
+        };
+
+        step_session(sh, id, run_slot);
+
+        let mut core = sh.core.lock().expect("core lock");
+        core.running -= 1;
+        sh.work.notify_all();
+    }
+}
+
+/// Executes one chunk of session `id`, handling load/park/evict/finish.
+fn step_session(sh: &Shared, id: u64, run_slot: Option<SessionRun>) {
+    let (tenant, spec, draining) = {
+        let core = sh.core.lock().expect("core lock");
+        let e = &core.sessions[&id];
+        (e.tenant.clone(), e.spec.clone(), core.draining)
+    };
+
+    // Materialize the run: in-memory parked state, a journaled image
+    // (evicted or recovered), or a fresh run from the spec.
+    let mut run = match run_slot {
+        Some(r) => r,
+        None => match sh.journal.load_checkpoint(id) {
+            Ok(Some(bytes)) => match SessionRun::from_checkpoint_bytes(spec.clone(), &bytes) {
+                Ok(r) => {
+                    sh.core.lock().expect("core lock").stats.resumed += 1;
+                    r
+                }
+                Err(e) => {
+                    // A corrupt image is a dead session, not a dead daemon.
+                    finish_session(sh, id, &tenant, SessionResult::aborted(&e), true);
+                    return;
+                }
+            },
+            _ => SessionRun::new(spec.clone()),
+        },
+    };
+
+    if draining {
+        park_to_journal(sh, id, &run);
+        return;
+    }
+
+    match run.advance(sh.cfg.chunk_steps) {
+        Err(e) => {
+            finish_session(sh, id, &tenant, SessionResult::aborted(&e), true);
+        }
+        Ok(ChunkOutcome::Finished(result)) => {
+            finish_session(sh, id, &tenant, *result, false);
+        }
+        Ok(ChunkOutcome::Parked(report)) => {
+            if run.wall_deadline_expired() {
+                // Budget/deadline enforcement: the daemon cuts the
+                // session here and certifies what it has — a named
+                // degraded outcome, not an error.
+                let result = run.certify(&report, true);
+                finish_session(sh, id, &tenant, result, false);
+                return;
+            }
+            drop(report);
+            let mut core = sh.core.lock().expect("core lock");
+            if core.draining {
+                drop(core);
+                park_to_journal(sh, id, &run);
+                return;
+            }
+            // Keep the parked state resident if the budget allows;
+            // otherwise evict the oldest resident to the journal.
+            let entry = core.sessions.get_mut(&id).expect("session exists");
+            entry.run = Some(run);
+            core.resident.push_back(id);
+            core.queue.push_back(id);
+            while core.resident.len() > sh.cfg.max_resident.max(1) {
+                let victim = core.resident.pop_front().expect("nonempty");
+                let v = core.sessions.get_mut(&victim).expect("resident session");
+                if let Some(vrun) = v.run.take() {
+                    core.stats.evicted += 1;
+                    drop(core);
+                    park_to_journal(sh, victim, &vrun);
+                    core = sh.core.lock().expect("core lock");
+                }
+            }
+            sh.work.notify_all();
+        }
+    }
+}
+
+/// Journals a parked session's checkpoint image (evict / drain path).
+fn park_to_journal(sh: &Shared, id: u64, run: &SessionRun) {
+    match run.checkpoint_bytes() {
+        Ok(Some(bytes)) => {
+            if sh.journal.record_checkpoint(id, &bytes).is_ok() {
+                let mut core = sh.core.lock().expect("core lock");
+                if let Some(e) = core.sessions.get_mut(&id) {
+                    e.has_image = true;
+                }
+                if core.draining {
+                    core.stats.drained += 1;
+                }
+            }
+        }
+        // Fresh (no progress) sessions restart from their journaled
+        // spec; nothing to persist.
+        Ok(None) => {
+            let mut core = sh.core.lock().expect("core lock");
+            if core.draining {
+                core.stats.drained += 1;
+            }
+        }
+        Err(e) => {
+            let tenant = {
+                let core = sh.core.lock().expect("core lock");
+                core.sessions[&id].tenant.clone()
+            };
+            finish_session(sh, id, &tenant, SessionResult::aborted(&e), true);
+        }
+    }
+}
+
+/// Records a finished session: durable verdict, released capacity,
+/// streamed `verdict` event.
+fn finish_session(sh: &Shared, id: u64, tenant: &str, result: SessionResult, aborted: bool) {
+    // Durable before observable: the verdict hits the journal before the
+    // event hits the wire.
+    let _ = sh.journal.record_result(id, &result);
+    let subscriber = {
+        let mut core = sh.core.lock().expect("core lock");
+        core.admission.release(tenant);
+        if aborted {
+            core.stats.aborted += 1;
+        } else {
+            core.stats.completed += 1;
+        }
+        let entry = core.sessions.get_mut(&id).expect("session exists");
+        entry.done = Some(result.clone());
+        entry.run = None;
+        entry.subscriber.clone()
+    };
+    if let Some(sub) = subscriber {
+        let ev = proto::event(
+            "verdict",
+            id,
+            vec![
+                ("verdict", s(result.verdict.clone())),
+                ("conformant", Json::Bool(result.conformant)),
+                ("status", s(result.status.clone())),
+                ("steps", Json::UInt(result.steps)),
+                ("trace_len", Json::UInt(result.trace_len)),
+                ("trace_hash", Json::UInt(result.trace_hash)),
+            ],
+        );
+        write_line(&sub, &ev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------
+
+fn accept_loop(sh: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => continue,
+        };
+        if sh.core.lock().expect("core lock").stopping {
+            return;
+        }
+        let sh = Arc::clone(sh);
+        std::thread::Builder::new()
+            .name("eqpd-conn".to_owned())
+            .spawn(move || connection_loop(&sh, stream))
+            .ok();
+    }
+}
+
+fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match proto::read_frame(&mut reader) {
+            Err(_) | Ok(Frame::Eof) => return,
+            Ok(Frame::Oversized { discarded }) => {
+                let e = ProtoError::Oversized { discarded };
+                write_line(
+                    &writer,
+                    &proto::response_err(0, e.code(), &e.to_string(), None),
+                );
+            }
+            Ok(Frame::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match proto::parse_request(&line) {
+                    Err(e) => {
+                        write_line(
+                            &writer,
+                            &proto::response_err(0, e.code(), &e.to_string(), None),
+                        );
+                    }
+                    Ok(req) => {
+                        let shutdown = req.method == "shutdown";
+                        let resp = dispatch(sh, &req, &writer);
+                        write_line(&writer, &resp);
+                        if shutdown {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>) -> Json {
+    match req.method.as_str() {
+        "submit" => handle_submit(sh, req, writer),
+        "status" => handle_status(sh, req),
+        "poll" => handle_poll(sh, req),
+        "check" => handle_check(req),
+        "workloads" => handle_workloads(req),
+        "stats" => handle_stats(sh, req),
+        "pause" => handle_pause(sh, req),
+        "shutdown" => handle_shutdown(sh, req),
+        other => proto::response_err(req.id, -32601, &format!("unknown method `{other}`"), None),
+    }
+}
+
+fn handle_submit(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>) -> Json {
+    let tenant = req
+        .params
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("anon")
+        .to_owned();
+    let Some(spec_json) = req.params.get("spec") else {
+        return proto::response_err(req.id, -32602, "missing `spec` object", None);
+    };
+    let spec = match SessionSpec::from_json(spec_json) {
+        Ok(s) => s,
+        Err(e) => return proto::response_err(req.id, -32602, &e.to_string(), None),
+    };
+
+    // Reserve capacity and an id under the lock; journal outside it.
+    let id = {
+        let mut core = sh.core.lock().expect("core lock");
+        if core.draining || core.stopping {
+            return proto::response_err(req.id, -32003, "daemon is shutting down", None);
+        }
+        match core.admission.admit(&tenant) {
+            Decision::TenantQuotaExceeded { limit } => {
+                core.stats.rejected_quota += 1;
+                return proto::response_err(
+                    req.id,
+                    -32004,
+                    &format!("tenant `{tenant}` at quota ({limit} in flight)"),
+                    Some(sh.cfg.admission.retry_after_ms),
+                );
+            }
+            Decision::Backpressured { retry_after_ms } => {
+                core.stats.rejected_backpressure += 1;
+                return proto::response_err(
+                    req.id,
+                    -32005,
+                    "daemon at capacity, retry later",
+                    Some(retry_after_ms),
+                );
+            }
+            Decision::Admitted => {}
+        }
+        let id = core.next_id;
+        core.next_id += 1;
+        id
+    };
+
+    // Durability before the ack: if the spec cannot be journaled, the
+    // session was never accepted.
+    if let Err(e) = sh.journal.record_spec(id, &tenant, &spec) {
+        let mut core = sh.core.lock().expect("core lock");
+        core.admission.release(&tenant);
+        return proto::response_err(req.id, -32000, &format!("journal write failed: {e}"), None);
+    }
+
+    {
+        let mut core = sh.core.lock().expect("core lock");
+        core.stats.admitted += 1;
+        core.sessions.insert(
+            id,
+            Entry {
+                tenant,
+                spec,
+                run: None,
+                has_image: false,
+                subscriber: Some(Arc::clone(writer)),
+                done: None,
+            },
+        );
+        core.queue.push_back(id);
+        sh.work.notify_all();
+    }
+    proto::response_ok(req.id, obj([("session", Json::UInt(id))]))
+}
+
+fn session_param(req: &Request) -> Option<u64> {
+    req.params.get("session").and_then(Json::as_u64)
+}
+
+fn handle_status(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(id) = session_param(req) else {
+        return proto::response_err(req.id, -32602, "missing `session` id", None);
+    };
+    let core = sh.core.lock().expect("core lock");
+    match core.sessions.get(&id) {
+        None => proto::response_err(req.id, -32002, "unknown session", None),
+        Some(e) => {
+            let phase = if e.done.is_some() {
+                "done"
+            } else if e.run.is_some() {
+                "parked"
+            } else if e.has_image {
+                "evicted"
+            } else {
+                "queued"
+            };
+            let steps = e.run.as_ref().map_or(0, SessionRun::steps_done);
+            proto::response_ok(
+                req.id,
+                obj([
+                    ("phase", s(phase)),
+                    ("steps_done", Json::UInt(steps)),
+                    ("workload", s(e.spec.workload.clone())),
+                ]),
+            )
+        }
+    }
+}
+
+fn handle_poll(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(id) = session_param(req) else {
+        return proto::response_err(req.id, -32602, "missing `session` id", None);
+    };
+    let done = {
+        let core = sh.core.lock().expect("core lock");
+        match core.sessions.get(&id) {
+            Some(e) => e.done.clone(),
+            // Not in memory: a finished session from a previous
+            // incarnation may still be answerable from the journal.
+            None => sh.journal.load_result(id).unwrap_or_default(),
+        }
+    };
+    match done {
+        Some(r) => proto::response_ok(
+            req.id,
+            obj([("done", Json::Bool(true)), ("result", r.to_json())]),
+        ),
+        None => proto::response_ok(req.id, obj([("done", Json::Bool(false))])),
+    }
+}
+
+fn handle_check(req: &Request) -> Json {
+    let trace = match TraceSpec::from_json(&req.params) {
+        Ok(t) => t,
+        Err(e) => return proto::response_err(req.id, -32602, &e.to_string(), None),
+    };
+    let entry = conformance_zoo()
+        .into_iter()
+        .find(|e| e.name == trace.workload)
+        .expect("validated at parse");
+    let desc = entry.description();
+    let conf = conformance::check_trace(
+        &desc,
+        &Trace::finite(trace.events),
+        trace.quiescent,
+        &ConformanceOptions::default(),
+    );
+    proto::response_ok(
+        req.id,
+        obj([
+            ("verdict", s(crate::session::verdict_name(&conf.verdict))),
+            ("conformant", Json::Bool(conf.is_conformant())),
+        ]),
+    )
+}
+
+fn handle_workloads(req: &Request) -> Json {
+    let list = conformance_zoo()
+        .iter()
+        .map(|e| {
+            obj([
+                ("name", s(e.name)),
+                ("quiesces", Json::Bool(e.quiesces)),
+                ("deterministic", Json::Bool(e.deterministic)),
+                ("max_steps", Json::UInt(e.max_steps as u64)),
+            ])
+        })
+        .collect();
+    proto::response_ok(req.id, obj([("workloads", Json::Arr(list))]))
+}
+
+fn handle_stats(sh: &Arc<Shared>, req: &Request) -> Json {
+    let core = sh.core.lock().expect("core lock");
+    let st = &core.stats;
+    proto::response_ok(
+        req.id,
+        obj([
+            ("admitted", Json::UInt(st.admitted)),
+            ("rejected_quota", Json::UInt(st.rejected_quota)),
+            (
+                "rejected_backpressure",
+                Json::UInt(st.rejected_backpressure),
+            ),
+            ("completed", Json::UInt(st.completed)),
+            ("aborted", Json::UInt(st.aborted)),
+            ("evicted", Json::UInt(st.evicted)),
+            ("resumed", Json::UInt(st.resumed)),
+            ("recovered", Json::UInt(st.recovered)),
+            ("drained", Json::UInt(st.drained)),
+            ("in_flight", Json::UInt(core.admission.in_flight() as u64)),
+            ("queued", Json::UInt(core.queue.len() as u64)),
+            ("resident", Json::UInt(core.resident.len() as u64)),
+        ]),
+    )
+}
+
+fn handle_pause(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(paused) = req.params.get("paused").and_then(Json::as_bool) else {
+        return proto::response_err(req.id, -32602, "missing boolean `paused`", None);
+    };
+    let mut core = sh.core.lock().expect("core lock");
+    core.paused = paused;
+    sh.work.notify_all();
+    proto::response_ok(req.id, obj([("paused", Json::Bool(paused))]))
+}
+
+fn handle_shutdown(sh: &Arc<Shared>, req: &Request) -> Json {
+    let drain = match req.params.get("mode").map(|m| m.as_str()) {
+        None | Some(Some("drain")) => true,
+        Some(Some("abort")) => false,
+        Some(_) => {
+            return proto::response_err(req.id, -32602, "`mode` must be `drain` or `abort`", None)
+        }
+    };
+    {
+        let mut core = sh.core.lock().expect("core lock");
+        if drain {
+            core.draining = true;
+            core.paused = false;
+        } else {
+            core.stopping = true;
+        }
+        sh.work.notify_all();
+    }
+    if !drain {
+        let _ = TcpStream::connect(("127.0.0.1", sh.port));
+    }
+    proto::response_ok(
+        req.id,
+        obj([("stopping", Json::Bool(true)), ("drain", Json::Bool(drain))]),
+    )
+}

@@ -1,0 +1,156 @@
+//! Fuzzing the daemon's trust boundary: arbitrary bytes into the frame
+//! parser, the JSON codec, and the spec validator must always yield a
+//! typed error or a valid value — never a panic — and a connection that
+//! received hostile frames must keep serving well-formed ones.
+
+use eqpd::json::Json;
+use eqpd::proto::{parse_request, read_frame, Frame};
+use eqpd::spec::{SessionSpec, TraceSpec};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::io::BufReader;
+
+proptest! {
+    /// Raw bytes through the framing layer: every frame is Line,
+    /// Oversized, or Eof; every line parses to a request or a typed
+    /// protocol error; nothing panics.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_parser(bytes in vec(0u8..=255, 0..512)) {
+        let mut reader = BufReader::new(&bytes[..]);
+        loop {
+            match read_frame(&mut reader).expect("in-memory reads cannot fail") {
+                Frame::Eof => break,
+                Frame::Oversized { .. } => {}
+                Frame::Line(line) => {
+                    // Either outcome is fine; panicking is not.
+                    let _ = parse_request(&line);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary short strings through the JSON codec: parse yields a
+    /// value or a positioned error; valid values re-render and re-parse.
+    #[test]
+    fn arbitrary_text_never_panics_the_json_codec(bytes in vec(0u8..=255, 0..128)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(doc) = Json::parse(&text) {
+            let line = doc.to_line();
+            Json::parse(&line).expect("rendered JSON must reparse");
+        }
+    }
+
+    /// Arbitrary JSON documents (valid or not) through the spec
+    /// validators: typed errors only.
+    #[test]
+    fn arbitrary_docs_never_panic_the_spec_validator(bytes in vec(0u8..=255, 0..128)) {
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(doc) = Json::parse(&text) {
+            let _ = SessionSpec::from_json(&doc);
+            let _ = TraceSpec::from_json(&doc);
+        }
+    }
+
+    /// Structured hostile specs: every field takes a wrong type or an
+    /// out-of-range value; the validator must name the problem.
+    #[test]
+    fn mutated_specs_yield_typed_errors(
+        workload in prop_oneof![
+            Just("fair-merge".to_owned()),
+            Just("no-such-workload".to_owned()),
+            Just("".to_owned()),
+        ],
+        max_steps in prop_oneof![Just(0u64), Just(1), Just(100), Just(u64::MAX)],
+        capacity in prop_oneof![Just(0u64), Just(1), Just(1 << 40)],
+        sched in prop_oneof![
+            Just("round-robin".to_owned()),
+            Just("random".to_owned()),
+            Just("fifo".to_owned()),
+        ],
+    ) {
+        let text = format!(
+            r#"{{"workload":{:?},"max_steps":{max_steps},"capacity":{capacity},
+                "sched":{{"kind":{:?}}}}}"#,
+            workload, sched
+        );
+        let doc = Json::parse(&text).expect("constructed JSON is valid");
+        match SessionSpec::from_json(&doc) {
+            Ok(spec) => {
+                prop_assert_eq!(spec.workload.as_str(), "fair-merge");
+                prop_assert!(spec.max_steps >= 1);
+                prop_assert!(spec.max_steps <= eqpd::spec::MAX_SESSION_STEPS);
+            }
+            Err(e) => {
+                // Typed and displayable, never a panic.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+/// The live-connection half of the contract: a real daemon keeps the
+/// connection (and itself) alive through garbage lines, oversized
+/// frames, and malformed requests, then still serves a valid one.
+#[test]
+fn hostile_frames_do_not_kill_a_live_connection() {
+    use std::io::{Read, Write};
+
+    let dir = std::env::temp_dir().join(format!("eqpd-fuzz-conn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = eqpd::start(eqpd::ServerConfig {
+        journal_dir: dir.clone(),
+        workers: 1,
+        ..Default::default()
+    })
+    .expect("daemon starts");
+    let addr = format!("127.0.0.1:{}", handle.port);
+
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connects");
+    let hostile: &[&[u8]] = &[
+        b"\n",
+        b"not json at all\n",
+        b"[1,2,3]\n",
+        b"{\"id\":\"nope\",\"method\":1}\n",
+        b"{\"deep\":[[[[[[[[[[[[[[[[[[[[\n",
+        &[0xff, 0xfe, 0x00, b'\n'],
+    ];
+    for frame in hostile {
+        raw.write_all(frame).expect("writes");
+    }
+    // An oversized newline-free blast, then a valid request on the SAME
+    // connection.
+    let blast = vec![b'z'; eqpd::proto::MAX_FRAME_BYTES + 1000];
+    raw.write_all(&blast).expect("writes");
+    raw.write_all(b"\n").expect("writes");
+    raw.write_all(b"{\"id\":42,\"method\":\"workloads\"}\n")
+        .expect("writes");
+
+    // Drain responses until the one for id 42 arrives: the connection
+    // survived everything before it.
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout set");
+    let mut found = false;
+    while raw.read(&mut byte).map(|n| n == 1).unwrap_or(false) {
+        if byte[0] == b'\n' {
+            let line = String::from_utf8_lossy(&buf).into_owned();
+            buf.clear();
+            if let Ok(doc) = Json::parse(&line) {
+                if doc.get("id").and_then(Json::as_u64) == Some(42) {
+                    assert!(
+                        doc.get("result").is_some(),
+                        "valid request must succeed: {line}"
+                    );
+                    found = true;
+                    break;
+                }
+            }
+        } else {
+            buf.push(byte[0]);
+        }
+    }
+    assert!(found, "the connection must survive hostile frames");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,231 @@
+//! Crash recovery against the real `eqpd` binary: SIGKILL the daemon
+//! mid-soak, restart it on the same journal, and prove that every
+//! accepted session finishes with a verdict identical — trace hash
+//! included — to an uninterrupted in-process run. The kill is not
+//! staged: workers are mid-chunk when it lands.
+
+use eqpd::json::{obj, s, Json};
+use eqpd::{ChunkOutcome, Client, SessionRun, SessionSpec};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eqpd-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Spawns the daemon binary and waits for its port file.
+fn spawn_daemon(journal: &Path, port_file: &Path, extra: &[&str]) -> (Child, String) {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_eqpd"));
+    cmd.arg("--journal")
+        .arg(journal)
+        .arg("--port-file")
+        .arg(port_file)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let child = cmd.spawn().expect("daemon spawns");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let port = loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if let Ok(p) = text.trim().parse::<u16>() {
+                break p;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, format!("127.0.0.1:{port}"))
+}
+
+fn spec_json(workload: &str, seed: u64) -> Json {
+    obj([
+        ("workload", s(workload)),
+        ("seed", Json::UInt(seed)),
+        (
+            "sched",
+            obj([("kind", s("random")), ("seed", Json::UInt(seed))]),
+        ),
+    ])
+}
+
+fn direct_result(workload: &str, seed: u64) -> eqpd::SessionResult {
+    let spec = SessionSpec::from_json(&spec_json(workload, seed)).expect("valid spec");
+    let mut run = SessionRun::new(spec);
+    loop {
+        match run.advance(usize::MAX / 2).expect("direct run is clean") {
+            ChunkOutcome::Finished(r) => return *r,
+            ChunkOutcome::Parked(_) => {}
+        }
+    }
+}
+
+fn poll_done(client: &mut Client, session: u64, timeout: Duration) -> Json {
+    let deadline = Instant::now() + timeout;
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "session {session} never finished"
+        );
+        let r = client
+            .call("poll", obj([("session", Json::UInt(session))]))
+            .expect("io")
+            .expect("poll succeeds");
+        if r.get("done").and_then(Json::as_bool) == Some(true) {
+            return r.get("result").cloned().expect("result present");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn sigkill_mid_session_loses_no_accepted_work() {
+    let journal = temp_dir("kill9");
+    let port_file = journal.join("port");
+
+    // Incarnation 1: tiny chunks so sessions park often (maximizing the
+    // chance the kill lands mid-chunk and mid-journal-write).
+    let (mut child, addr) = spawn_daemon(
+        &journal,
+        &port_file,
+        &[
+            "--workers",
+            "2",
+            "--chunk",
+            "8",
+            "--max-resident",
+            "1",
+            "--paused",
+        ],
+    );
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let jobs: Vec<(&str, u64)> = (0..12)
+        .map(|i| {
+            let w = ["fair-merge", "sec23-merge", "bag", "brock-ackermann"][i % 4];
+            (w, 100 + i as u64)
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for (w, seed) in &jobs {
+        let id = client
+            .submit("kill-test", spec_json(w, *seed))
+            .expect("io")
+            .expect("admitted — every acked session is in scope");
+        ids.push(id);
+    }
+
+    // The backlog was built paused; release it and SIGKILL shortly after,
+    // with sessions in every state: finished, parked, evicted, queued,
+    // and (with 2 workers on tiny chunks) very likely mid-chunk.
+    client
+        .call("pause", obj([("paused", Json::Bool(false))]))
+        .expect("io")
+        .expect("released");
+    std::thread::sleep(Duration::from_millis(30));
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    drop(client);
+
+    // Ground truth for the stats assertion below: sessions whose verdict
+    // was already durable when the kill landed.
+    let pre_completed = ids
+        .iter()
+        .filter(|id| journal.join(format!("s{id}")).join("verdict.json").exists())
+        .count() as u64;
+
+    // Incarnation 2 on the same journal.
+    let (mut child2, addr2) =
+        spawn_daemon(&journal, &port_file, &["--workers", "2", "--chunk", "8"]);
+    let mut client2 = Client::connect(&addr2).expect("connects");
+
+    // Every accepted session must reach a verdict identical to the
+    // uninterrupted ground truth: nothing lost, nothing corrupted.
+    for (id, (w, seed)) in ids.iter().zip(&jobs) {
+        let r = poll_done(&mut client2, *id, Duration::from_secs(120));
+        let truth = direct_result(w, *seed);
+        assert_eq!(
+            r.get("verdict").and_then(Json::as_str),
+            Some(truth.verdict.as_str()),
+            "session {id} ({w}, seed {seed})"
+        );
+        assert_eq!(
+            r.get("trace_hash").and_then(Json::as_u64),
+            Some(truth.trace_hash),
+            "session {id} ({w}, seed {seed}): recovered history must be byte-identical"
+        );
+        assert_eq!(
+            r.get("steps").and_then(Json::as_u64),
+            Some(truth.steps),
+            "session {id}"
+        );
+        assert_eq!(
+            r.get("conformant").and_then(Json::as_bool),
+            Some(truth.conformant),
+            "session {id}"
+        );
+    }
+
+    // The daemon itself reports how it recovered: every session that was
+    // not yet durably finished when the kill landed must have been
+    // re-admitted (pre-kill completions are served from the journal).
+    let stats = client2.call("stats", obj([])).expect("io").expect("ok");
+    let recovered = stats.get("recovered").and_then(Json::as_u64).unwrap_or(0);
+    assert_eq!(
+        recovered,
+        jobs.len() as u64 - pre_completed,
+        "{pre_completed} verdicts were durable pre-kill; the rest must recover: {stats:?}"
+    );
+
+    // Shut incarnation 2 down cleanly.
+    let _ = client2.call("shutdown", obj([("mode", s("abort"))]));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match child2.try_wait() {
+            Ok(Some(_)) => break,
+            _ if Instant::now() > deadline => {
+                let _ = child2.kill();
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
+fn restart_after_clean_exit_serves_finished_verdicts_from_the_journal() {
+    let journal = temp_dir("replay");
+    let port_file = journal.join("port");
+    let (mut child, addr) = spawn_daemon(&journal, &port_file, &["--workers", "1"]);
+    let mut client = Client::connect(&addr).expect("connects");
+
+    let id = client
+        .submit("t", spec_json("fair-merge", 77))
+        .expect("io")
+        .expect("admitted");
+    let first = poll_done(&mut client, id, Duration::from_secs(60));
+    let _ = client.call("shutdown", obj([("mode", s("abort"))]));
+    let _ = child.wait();
+
+    // A fresh incarnation answers polls for old sessions from the
+    // durable journal alone.
+    let (mut child2, addr2) = spawn_daemon(&journal, &port_file, &["--workers", "1"]);
+    let mut client2 = Client::connect(&addr2).expect("connects");
+    let replay = poll_done(&mut client2, id, Duration::from_secs(10));
+    assert_eq!(
+        replay.get("trace_hash").and_then(Json::as_u64),
+        first.get("trace_hash").and_then(Json::as_u64),
+        "journaled verdicts are stable across incarnations"
+    );
+    let _ = client2.call("shutdown", obj([("mode", s("abort"))]));
+    let _ = child2.wait();
+    let _ = std::fs::remove_dir_all(&journal);
+}

@@ -105,6 +105,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod spsc;
 pub mod supervisor;
+pub mod wire;
 
 pub use chaos::{
     ChaosOptions, ChaosReport, Conviction, Scenario, SchedulerChoice, ShrinkResult, Trial,
@@ -114,7 +115,7 @@ pub use faults::{
     CrashAt, CrashPoint, Fault, FaultEvent, FaultKind, FaultSchedule, FaultyLink, LinkFaultSpec,
 };
 pub use monitor::{MonitorPolicy, SmoothnessMonitor};
-pub use network::{Network, OverflowPolicy, RunOptions, RunResult};
+pub use network::{DrainedError, Network, OverflowPolicy, RunOptions, RunResult};
 pub use oracle::Oracle;
 pub use process::{Process, StepCtx, StepResult};
 pub use reliable::{ArqOptions, ReliableConfig, ReliableReceiver, ReliableSender};
@@ -125,5 +126,6 @@ pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
 pub use snapshot::{Checkpoint, SnapshotError, StateCell};
 pub use spsc::{ring, Spsc, SpscReceiver};
 pub use supervisor::{RecoveryRecord, RestartPolicy, RestoreMethod, SupervisorOptions};
+pub use wire::{decode_checkpoint, encode_checkpoint, WireError};
 
 pub use eqp_trace::Trace;

@@ -157,6 +157,25 @@ pub struct RunResult {
     pub steps: usize,
 }
 
+/// The network was already converted into a [`PreloadedNetwork`] by a
+/// previous `preload` call — its processes have moved, and running the
+/// leftover husk would silently do nothing. Returned by
+/// [`Network::try_preload_all`]; the panicking `preload`/`preload_all`
+/// wrappers turn it into an assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainedError;
+
+impl std::fmt::Display for DrainedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(
+            "network already drained by a previous `preload`; \
+             chain `.preload(..)` on the returned PreloadedNetwork instead",
+        )
+    }
+}
+
+impl std::error::Error for DrainedError {}
+
 /// A dataflow network: a bag of processes communicating over unbounded
 /// FIFO channels. Channels are implicit — any channel a process sends on
 /// is queued for whoever reads it. Single-reader discipline is validated
@@ -278,11 +297,22 @@ impl Network {
     where
         I: IntoIterator<Item = (Chan, Vec<Value>)>,
     {
-        assert!(
-            !self.drained,
-            "this Network was already converted by `preload`; chain `.preload(..)` \
-             calls on the returned PreloadedNetwork instead"
-        );
+        self.try_preload_all(pairs)
+            .expect("this Network was already converted by `preload`; chain `.preload(..)` calls on the returned PreloadedNetwork instead")
+    }
+
+    /// Non-panicking [`preload_all`](Network::preload_all): returns a
+    /// typed [`DrainedError`] instead of panicking when the network was
+    /// already drained by a previous `preload`. The form server-side
+    /// code (the `eqpd` daemon) uses, where a tenant-driven misuse must
+    /// degrade to an error response rather than a process abort.
+    pub fn try_preload_all<I>(&mut self, pairs: I) -> Result<PreloadedNetwork, DrainedError>
+    where
+        I: IntoIterator<Item = (Chan, Vec<Value>)>,
+    {
+        if self.drained {
+            return Err(DrainedError);
+        }
         self.drained = true;
         let mut pre = PreloadedNetwork {
             net: Network {
@@ -294,7 +324,7 @@ impl Network {
         for (chan, values) in pairs {
             pre.load(chan, values);
         }
-        pre
+        Ok(pre)
     }
 
     fn assert_live(&self) {
@@ -377,6 +407,51 @@ impl Network {
         let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.resume_from(ckpt);
         Ok(engine.run(sched))
+    }
+
+    /// [`resume_report`](Network::resume_report) that *also* captures a
+    /// fresh whole-run [`Checkpoint`] when the global step count reaches
+    /// `at_step` — the chunked-execution primitive: run `k` steps, park
+    /// the checkpoint (in memory or on disk via [`crate::wire`]), resume
+    /// for another `k`, and so on, with the concatenated run proven
+    /// byte-identical to the uninterrupted one. `at_step` counts from
+    /// run genesis, not from the resume point, and must exceed
+    /// `ckpt.steps()` to capture.
+    pub fn resume_report_checkpointed<S: Scheduler>(
+        &mut self,
+        ckpt: &Checkpoint,
+        sched: &mut S,
+        opts: RunOptions,
+        at_step: usize,
+    ) -> Result<(RunReport, Option<Checkpoint>), SnapshotError> {
+        self.assert_live();
+        if ckpt.processes.len() != self.processes.len() {
+            return Err(SnapshotError::ArityMismatch {
+                expected: ckpt.processes.len(),
+                found: self.processes.len(),
+            });
+        }
+        for (i, cell) in ckpt.processes.iter().enumerate() {
+            let cell = cell
+                .as_ref()
+                .ok_or_else(|| SnapshotError::UnsupportedProcess {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                })?;
+            if !self.processes[i].restore(cell) {
+                return Err(SnapshotError::RestoreRejected {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                });
+            }
+        }
+        ckpt.restore_scheduler(sched)?;
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
+        engine.resume_from(ckpt);
+        engine.checkpoint_at = Some(at_step);
+        let report = engine.run(sched);
+        let captured = engine.captured.take();
+        Ok((report, captured))
     }
 
     /// Runs the network under supervision: crashed processes (reported by
@@ -1247,6 +1322,10 @@ impl<'a> Engine<'a> {
             visible: None,
         };
         let r = procs[i].step(&mut ctx);
+        // a diverging replay abandons itself (ops cleared) and records
+        // why; capture the reason before the empty-replay cleanup below
+        // discards the marker
+        let diverged = replays[i].as_mut().and_then(|rp| rp.diverged.take());
         if replays[i].as_ref().is_some_and(|rp| rp.ops.is_empty()) {
             // the restored process has fully re-reached its pre-crash
             // state; subsequent observations are live (and journaled)
@@ -1262,6 +1341,13 @@ impl<'a> Engine<'a> {
         // rounding until the revived process is fully live again
         if replay_active {
             self.round_progressed = true;
+        }
+        if let Some(why) = diverged {
+            // the restored process is not deterministic given its
+            // observations — its recovery is invalid. Escalate this
+            // process (the run ends with RunStatus::Escalated naming it)
+            // instead of panicking the whole runtime.
+            self.escalated = Some(format!("{} ({why})", self.procs[i].name()));
         }
         if let Some(chan) = blocked {
             let (cell, rng_save, trace_mark, journal_mark) =

@@ -178,7 +178,7 @@ impl<'a> StepCtx<'a> {
             if let Some(op) = r.ops.pop_front() {
                 match op {
                     Op::Available(rc, n) if rc == c => return n,
-                    other => replay_diverged("available", c, &other),
+                    other => replay_diverged(r, "available", c, &other),
                 }
             }
         }
@@ -207,7 +207,7 @@ impl<'a> StepCtx<'a> {
             if let Some(op) = r.ops.pop_front() {
                 match op {
                     Op::Peek(rc, ri, v) if rc == c && ri == i => return v,
-                    other => replay_diverged("peek", c, &other),
+                    other => replay_diverged(r, "peek", c, &other),
                 }
             }
         }
@@ -249,15 +249,14 @@ impl<'a> StepCtx<'a> {
                             // consume it again (metering already counted it
                             // the first time around)
                             let live = self.queues.get_mut(&c).and_then(VecDeque::pop_front);
-                            assert!(
-                                live == expected,
-                                "deterministic replay diverged: pop({c}) journaled {expected:?} \
-                                 but the queue offered {live:?}"
-                            );
+                            if live != expected {
+                                replay_diverged(r, "pop", c, &Op::Pop(c, expected));
+                                return live;
+                            }
                         }
                         return expected;
                     }
-                    other => replay_diverged("pop", c, &other),
+                    other => replay_diverged(r, "pop", c, &other),
                 }
             }
         }
@@ -293,7 +292,7 @@ impl<'a> StepCtx<'a> {
                     // Re-emitted sends were already delivered (trace, queue
                     // and telemetry) before the crash: suppress.
                     Op::Sent(rc, rv) if rc == c && rv == v => return,
-                    other => replay_diverged("send", c, &other),
+                    other => replay_diverged(r, "send", c, &other),
                 }
             }
         }
@@ -406,7 +405,7 @@ impl<'a> StepCtx<'a> {
             if let Some(op) = r.ops.pop_front() {
                 match op {
                     Op::Draw(w) => return w,
-                    other => replay_diverged("rng draw", Chan::new(0), &other),
+                    other => replay_diverged(r, "rng draw", Chan::new(0), &other),
                 }
             }
         }
@@ -435,13 +434,21 @@ pub(crate) fn raw_send(
     }
 }
 
+/// Records a replay divergence on `r`: the restored process performed a
+/// different operation than its journal records, so it is not
+/// deterministic given its observations. The replay is abandoned (the
+/// remaining ops are dropped and the caller falls through to the live
+/// observation) and the engine escalates the process at the end of the
+/// step — a diverging process fails its own recovery, never the whole
+/// daemon.
 #[cold]
-fn replay_diverged(what: &str, c: Chan, got: &Op) -> ! {
-    panic!(
-        "deterministic replay diverged at {what} on {c}: the restored process \
-         performed a different operation than its journal records ({got:?}); \
-         the process is not deterministic given its observations"
-    )
+fn replay_diverged(r: &mut Replay, what: &str, c: Chan, got: &Op) {
+    if r.diverged.is_none() {
+        r.diverged = Some(format!(
+            "deterministic replay diverged at {what} on {c}: journal records {got:?}"
+        ));
+    }
+    r.ops.clear();
 }
 
 /// Adapter routing `RngExt` sampling through the journaled word stream,
@@ -692,16 +699,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "deterministic replay diverged")]
-    fn replay_divergence_is_loud() {
+    fn replay_divergence_is_flagged_not_fatal() {
         let (mut q, mut t, mut r) = ctx_parts();
         let c = Chan::new(2);
+        q.entry(c).or_default().push_back(Value::Int(7));
         let mut journal = Journal::default();
         journal.ops.push(Op::Available(c, 3));
+        journal.ops.push(Op::Available(c, 3));
         let mut replay = Replay::from_journal(&journal);
-        let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
-        ctx.replay = Some(&mut replay);
-        let _ = ctx.pop(c); // journal says `available`, process does `pop`
+        {
+            let mut ctx = StepCtx::bare(&mut q, &mut t, &mut r, None, 0);
+            ctx.replay = Some(&mut replay);
+            // journal says `available`, process does `pop`: the replay is
+            // abandoned, the live observation is served, and the marker is
+            // set for the engine to escalate — no panic
+            assert_eq!(ctx.pop(c), Some(Value::Int(7)));
+        }
+        let why = replay.diverged.expect("divergence recorded");
+        assert!(why.contains("diverged at pop"), "{why}");
+        assert!(replay.ops.is_empty(), "replay abandoned");
     }
 
     #[test]

@@ -610,7 +610,8 @@ impl ReliableSender {
         self.retransmits
     }
 
-    /// True iff the retry budget was exhausted and the sender halted.
+    /// True iff the sender halted — retry budget exhausted, or a
+    /// wrong-shape payload poisoned it ([`FaultKind::PayloadRejected`]).
     pub fn halted(&self) -> bool {
         self.halted
     }
@@ -659,10 +660,19 @@ impl Process for ReliableSender {
         if self.unacked.len() < self.arq.window {
             if let Some(v) = ctx.pop(self.input) {
                 let Value::Int(n) = v else {
-                    panic!(
-                        "ReliableSender `{}` carries Int payloads only, got {v}",
-                        self.name
-                    )
+                    // Int payloads only (the wire frame is `(seq, n)`).
+                    // Anything else poisons the sender: log the rejected
+                    // payload, abandon the window, and degrade — tenant
+                    // wiring mistakes must never panic the runtime.
+                    ctx.note_fault(FaultEvent {
+                        chan: self.input,
+                        seq: self.next_seq as usize + 1,
+                        kind: FaultKind::PayloadRejected,
+                        value: v,
+                    });
+                    self.halted = true;
+                    self.unacked.clear();
+                    return StepResult::Progress;
                 };
                 let s = self.next_seq;
                 self.next_seq += 1;
@@ -780,6 +790,9 @@ pub struct ReliableReceiver {
     expected: u64,
     /// Out-of-order payloads buffered for re-sequencing.
     buffer: BTreeMap<u64, i64>,
+    /// Set when a wrong-shape frame arrived: the receiver stops
+    /// transporting (discarding further frames) instead of panicking.
+    poisoned: bool,
 }
 
 impl ReliableReceiver {
@@ -798,7 +811,14 @@ impl ReliableReceiver {
             ack_out,
             expected: 0,
             buffer: BTreeMap::new(),
+            poisoned: false,
         }
+    }
+
+    /// True iff a wrong-shape frame poisoned this receiver
+    /// ([`FaultKind::PayloadRejected`]).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
     }
 }
 
@@ -817,6 +837,12 @@ impl Process for ReliableReceiver {
 
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> StepResult {
         match ctx.pop(self.frame_in) {
+            Some(frame) if self.poisoned => {
+                // Drain and discard: a poisoned receiver keeps the
+                // channel from backing up but transports nothing.
+                let _ = frame;
+                StepResult::Progress
+            }
             Some(Value::Pair(tag, n)) => {
                 let delta = tag_delta(u64::from(tag), self.expected);
                 if delta < 128 {
@@ -833,10 +859,20 @@ impl Process for ReliableReceiver {
                 ctx.send(self.ack_out, Value::Int((self.expected % 256) as i64));
                 StepResult::Progress
             }
-            Some(other) => panic!(
-                "ReliableReceiver `{}` expects Pair frames on {}, got {other}",
-                self.name, self.frame_in
-            ),
+            Some(other) => {
+                // Pair frames only. A wrong-shape frame poisons the
+                // receiver: log it, stop transporting, degrade — never
+                // panic on data that may originate from a tenant spec.
+                ctx.note_fault(FaultEvent {
+                    chan: self.frame_in,
+                    seq: self.expected as usize + 1,
+                    kind: FaultKind::PayloadRejected,
+                    value: other,
+                });
+                self.poisoned = true;
+                self.buffer.clear();
+                StepResult::Progress
+            }
             None => StepResult::Idle,
         }
     }
@@ -846,18 +882,22 @@ impl Process for ReliableReceiver {
             StateCell::Nat(self.expected),
             StateCell::Nats(self.buffer.keys().copied().collect()),
             StateCell::Values(self.buffer.values().map(|&n| Value::Int(n)).collect()),
+            StateCell::Flag(self.poisoned),
         ]))
     }
 
     fn restore(&mut self, state: &StateCell) -> bool {
-        let Some([expected, seqs, values]) =
-            state.as_list().and_then(|l| <&[_; 3]>::try_from(l).ok())
+        let Some([expected, seqs, values, poisoned]) =
+            state.as_list().and_then(|l| <&[_; 4]>::try_from(l).ok())
         else {
             return false;
         };
-        let (Some(expected), Some(seqs), Some(values)) =
-            (expected.as_nat(), seqs.as_nats(), values.as_values())
-        else {
+        let (Some(expected), Some(seqs), Some(values), Some(poisoned)) = (
+            expected.as_nat(),
+            seqs.as_nats(),
+            values.as_values(),
+            poisoned.as_flag(),
+        ) else {
             return false;
         };
         if seqs.len() != values.len() {
@@ -870,12 +910,14 @@ impl Process for ReliableReceiver {
         }
         self.expected = expected;
         self.buffer = buffer;
+        self.poisoned = poisoned;
         true
     }
 
     fn reset(&mut self) -> bool {
         self.expected = 0;
         self.buffer.clear();
+        self.poisoned = false;
         true
     }
 }
@@ -1041,6 +1083,77 @@ mod tests {
                 assert_eq!(base + tag_delta(tag, base), seq);
             }
         }
+    }
+
+    #[test]
+    fn wrong_shape_payload_poisons_sender_instead_of_panicking() {
+        use crate::procs::Source;
+        use crate::scheduler::RoundRobin;
+        use crate::{Network, RunOptions};
+        let (input, frames, output, acks) =
+            (Chan::new(0), Chan::new(1), Chan::new(2), Chan::new(3));
+        let mut net = Network::new();
+        // a Bit in an Int-only transport: tenant wiring mistake
+        net.add(Source::new(
+            "env",
+            input,
+            [Value::Int(1), Value::tt(), Value::Int(2)],
+        ));
+        net.add(ReliableSender::new(
+            "tx",
+            input,
+            frames,
+            acks,
+            ArqOptions::default(),
+        ));
+        net.add(ReliableReceiver::new("rx", frames, output, acks));
+        let report = net.run_report(&mut RoundRobin::new(), RunOptions::default());
+        // the payload before the poison still delivered; the rejection is
+        // a named fault, not a process abort
+        assert_eq!(
+            report.trace.seq_on(output).take(10),
+            vec![Value::Int(1)],
+            "prefix before the poison delivers"
+        );
+        let rejected: Vec<_> = report
+            .fault_log()
+            .iter()
+            .filter(|f| f.event.kind == FaultKind::PayloadRejected)
+            .collect();
+        assert_eq!(rejected.len(), 1, "{:?}", report.fault_log());
+        assert_eq!(rejected[0].source, "tx");
+        assert_eq!(rejected[0].event.value, Value::tt());
+    }
+
+    #[test]
+    fn wrong_shape_frame_poisons_receiver_instead_of_panicking() {
+        use crate::procs::Source;
+        use crate::scheduler::RoundRobin;
+        use crate::{Network, RunOptions};
+        let (frames, output, acks) = (Chan::new(0), Chan::new(1), Chan::new(2));
+        let mut net = Network::new();
+        // raw non-Pair bytes straight into the receiver
+        net.add(Source::new(
+            "env",
+            frames,
+            [Value::Pair(0, 5), Value::Int(9), Value::Pair(1, 6)],
+        ));
+        net.add(ReliableReceiver::new("rx", frames, output, acks));
+        let report = net.run_report(&mut RoundRobin::new(), RunOptions::default());
+        assert_eq!(
+            report.trace.seq_on(output).take(10),
+            vec![Value::Int(5)],
+            "in-order prefix before the poison delivers; nothing after"
+        );
+        let rejected: Vec<_> = report
+            .fault_log()
+            .iter()
+            .filter(|f| f.event.kind == FaultKind::PayloadRejected)
+            .collect();
+        assert_eq!(rejected.len(), 1, "{:?}", report.fault_log());
+        assert_eq!(rejected[0].source, "rx");
+        assert_eq!(rejected[0].event.value, Value::Int(9));
+        assert!(report.quiescent, "the poisoned run still terminates");
     }
 
     #[test]

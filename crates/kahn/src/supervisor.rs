@@ -260,12 +260,19 @@ impl Journal {
 #[derive(Debug)]
 pub(crate) struct Replay {
     pub(crate) ops: VecDeque<Op>,
+    /// Set when the restored process performed a different operation than
+    /// its journal records — it is not deterministic given its
+    /// observations. The replay is abandoned (ops cleared, subsequent
+    /// observations go live) and the engine escalates the process at the
+    /// end of the step instead of panicking mid-run.
+    pub(crate) diverged: Option<String>,
 }
 
 impl Replay {
     pub(crate) fn from_journal(journal: &Journal) -> Replay {
         Replay {
             ops: journal.ops.iter().cloned().collect(),
+            diverged: None,
         }
     }
 

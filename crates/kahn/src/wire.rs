@@ -1,0 +1,724 @@
+//! Durable byte encoding for [`Checkpoint`]s.
+//!
+//! The in-memory checkpoint (PR 3) already proves byte-identical resume;
+//! this module makes it *survive the process*: a checkpoint serializes to
+//! a self-contained, versioned, checksummed byte image that a freshly
+//! started process can decode and resume from. The `eqpd` daemon builds
+//! its eviction journal and crash recovery on exactly this — an evicted
+//! session's checkpoint goes to disk, and a `kill -9`'d daemon re-reads
+//! every in-flight session's image on restart.
+//!
+//! Design constraints, in order:
+//!
+//! * **Fidelity** — decode(encode(c)) must reproduce the capture exactly:
+//!   [`Checkpoint::fingerprint`] is preserved, so a resumed-from-disk run
+//!   is byte-identical to the uninterrupted one (the same property the
+//!   in-memory suite pins).
+//! * **Robustness against torn/hostile bytes** — the decoder is total: a
+//!   truncated, corrupted, or adversarial image yields a typed
+//!   [`WireError`], never a panic or an unbounded allocation (lengths are
+//!   validated against the remaining input before any reservation, and
+//!   [`StateCell`] nesting is depth-limited).
+//! * **Simplicity** — little-endian fixed-width integers, length-prefixed
+//!   sequences, one-byte variant tags, an FNV-1a trailer. No
+//!   self-description, no compression: an image is only ever read by the
+//!   code that wrote it (the magic carries a format version).
+//!
+//! Monitored checkpoints are refused with [`WireError::Unsupported`]: the
+//! online monitor's evaluator state is an in-memory acceleration, and a
+//! durable consumer re-derives the verdict post-hoc from the restored
+//! trace (the two paths are pinned equivalent by `tests/monitor_equivalence.rs`).
+
+use crate::chanmap::ChanMap;
+use crate::network::ProcCounters;
+use crate::report::{ChannelCounters, FaultSource, Telemetry};
+use crate::snapshot::{Checkpoint, StateCell};
+use eqp_trace::{Chan, Event, Value};
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Format magic + version. Bump the trailing digit on any layout change.
+const MAGIC: &[u8; 8] = b"EQPCKPT1";
+
+/// Maximum [`StateCell`] nesting the decoder will follow — far above any
+/// real process (the deepest zoo cell nests 3 levels), low enough that a
+/// hostile image cannot overflow the stack.
+const MAX_CELL_DEPTH: usize = 64;
+
+/// Why a checkpoint image could not be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The image ends before the announced structure does.
+    Truncated,
+    /// The image does not start with the expected magic/version.
+    BadMagic,
+    /// An unknown variant tag for the named structure.
+    BadTag {
+        /// Which structure carried the tag.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The FNV-1a trailer does not match the body — a torn or corrupted
+    /// write.
+    ChecksumMismatch,
+    /// Bytes remain after the announced structure — the image was not
+    /// produced by this encoder.
+    TrailingBytes,
+    /// The checkpoint carries state this format deliberately does not
+    /// encode (currently: online-monitor evaluator state).
+    Unsupported(&'static str),
+    /// A nested [`StateCell`] exceeded the decoder's depth limit.
+    TooDeep,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("checkpoint image truncated"),
+            WireError::BadMagic => f.write_str("not a checkpoint image (bad magic/version)"),
+            WireError::BadTag { what, tag } => {
+                write!(f, "checkpoint image has unknown {what} tag {tag}")
+            }
+            WireError::ChecksumMismatch => {
+                f.write_str("checkpoint image checksum mismatch (torn or corrupted write)")
+            }
+            WireError::TrailingBytes => {
+                f.write_str("checkpoint image has trailing bytes past the announced structure")
+            }
+            WireError::Unsupported(what) => {
+                write!(f, "checkpoint carries undurable state: {what}")
+            }
+            WireError::TooDeep => f.write_str("checkpoint image nests state cells too deeply"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- encode
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+    fn u64(&mut self, n: u64) {
+        self.buf.extend_from_slice(&n.to_le_bytes());
+    }
+    fn usize(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+    fn i64(&mut self, n: i64) {
+        self.u64(n as u64);
+    }
+    fn bool(&mut self, b: bool) {
+        self.u8(u8::from(b));
+    }
+    fn chan(&mut self, c: Chan) {
+        self.u64(u64::from(c.index()));
+    }
+    fn value(&mut self, v: Value) {
+        match v {
+            Value::Int(n) => {
+                self.u8(0);
+                self.i64(n);
+            }
+            Value::Bit(b) => {
+                self.u8(1);
+                self.bool(b);
+            }
+            Value::Pair(t, n) => {
+                self.u8(2);
+                self.u8(t);
+                self.i64(n);
+            }
+        }
+    }
+    fn rng(&mut self, r: &StdRng) {
+        for w in r.state() {
+            self.u64(w);
+        }
+    }
+    fn cell(&mut self, c: &StateCell) {
+        match c {
+            StateCell::Unit => self.u8(0),
+            StateCell::Flag(b) => {
+                self.u8(1);
+                self.bool(*b);
+            }
+            StateCell::Nat(n) => {
+                self.u8(2);
+                self.u64(*n);
+            }
+            StateCell::Int(n) => {
+                self.u8(3);
+                self.i64(*n);
+            }
+            StateCell::Value(v) => {
+                self.u8(4);
+                self.value(*v);
+            }
+            StateCell::Values(vs) => {
+                self.u8(5);
+                self.usize(vs.len());
+                for v in vs {
+                    self.value(*v);
+                }
+            }
+            StateCell::Nats(ns) => {
+                self.u8(6);
+                self.usize(ns.len());
+                for n in ns {
+                    self.u64(*n);
+                }
+            }
+            StateCell::Rng(r) => {
+                self.u8(7);
+                self.rng(r);
+            }
+            StateCell::List(cells) => {
+                self.u8(8);
+                self.usize(cells.len());
+                for c in cells {
+                    self.cell(c);
+                }
+            }
+        }
+    }
+    fn opt_cell(&mut self, c: &Option<StateCell>) {
+        match c {
+            None => self.u8(0),
+            Some(c) => {
+                self.u8(1);
+                self.cell(c);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes `ckpt` as a self-contained durable image.
+///
+/// Fails with [`WireError::Unsupported`] if the checkpoint was captured
+/// from a monitored run (re-derive verdicts post-hoc after resume) or if
+/// any process state was not captured ([`Checkpoint::is_complete`] —
+/// a partial capture cannot support whole-run resume anyway).
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Result<Vec<u8>, WireError> {
+    if ckpt.monitor.is_some() {
+        return Err(WireError::Unsupported("online-monitor evaluator state"));
+    }
+    if !ckpt.is_complete() {
+        return Err(WireError::Unsupported(
+            "partial process capture (a process opted out of snapshotting)",
+        ));
+    }
+    let mut e = Enc {
+        buf: MAGIC.to_vec(),
+    };
+    e.usize(ckpt.steps);
+    e.usize(ckpt.rounds);
+    // queues, in channel order for a canonical image
+    let mut chans: Vec<(&Chan, &VecDeque<Value>)> = ckpt.queues.iter().collect();
+    chans.sort_by_key(|(c, _)| **c);
+    e.usize(chans.len());
+    for (c, q) in chans {
+        e.chan(*c);
+        e.usize(q.len());
+        for v in q {
+            e.value(*v);
+        }
+    }
+    e.usize(ckpt.trace.len());
+    for ev in &ckpt.trace {
+        e.chan(ev.chan);
+        e.value(ev.value);
+    }
+    e.rng(&ckpt.rng);
+    // telemetry
+    e.usize(ckpt.telemetry.channels.len());
+    for (c, k) in &ckpt.telemetry.channels {
+        e.chan(*c);
+        e.usize(k.sends);
+        e.usize(k.receives);
+        e.usize(k.high_water);
+        match k.consumer {
+            None => e.u8(0),
+            Some(i) => {
+                e.u8(1);
+                e.usize(i);
+            }
+        }
+        e.usize(k.blocked);
+        e.usize(k.shed);
+    }
+    e.usize(ckpt.telemetry.violations.len());
+    for (c, a, b) in &ckpt.telemetry.violations {
+        e.chan(*c);
+        e.usize(*a);
+        e.usize(*b);
+    }
+    e.usize(ckpt.telemetry.faults.len());
+    for (src, ev) in &ckpt.telemetry.faults {
+        match src {
+            FaultSource::Proc(i) => {
+                e.u8(0);
+                e.usize(*i);
+            }
+            FaultSource::Link(c) => {
+                e.u8(1);
+                e.chan(*c);
+            }
+        }
+        e.chan(ev.chan);
+        e.usize(ev.seq);
+        e.u64(ev.kind.code());
+        e.value(ev.value);
+    }
+    e.usize(ckpt.counters.len());
+    for k in &ckpt.counters {
+        e.usize(k.progress);
+        e.usize(k.idle);
+        e.usize(k.starve_streak);
+        e.usize(k.max_starved);
+        e.usize(k.send_blocked);
+        e.usize(k.blocked_streak);
+        e.usize(k.max_blocked);
+    }
+    e.usize(ckpt.processes.len());
+    for c in &ckpt.processes {
+        e.opt_cell(c);
+    }
+    e.opt_cell(&ckpt.scheduler);
+    e.usize(ckpt.pending_round.len());
+    for i in &ckpt.pending_round {
+        e.usize(*i);
+    }
+    e.bool(ckpt.round_progressed);
+    let sum = fnv1a(&e.buf);
+    e.u64(sum);
+    Ok(e.buf)
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Dec<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.rest.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+    /// A sequence length, validated against the bytes actually remaining
+    /// (each element needs at least `min_elem` bytes) so a hostile length
+    /// can never trigger a huge allocation.
+    fn len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        let bound = (self.rest.len() / min_elem.max(1)) as u64;
+        if n > bound {
+            return Err(WireError::Truncated);
+        }
+        Ok(n as usize)
+    }
+    fn chan(&mut self) -> Result<Chan, WireError> {
+        let n = self.u64()?;
+        u32::try_from(n)
+            .map(Chan::new)
+            .map_err(|_| WireError::BadTag {
+                what: "channel index",
+                tag: 255,
+            })
+    }
+    fn value(&mut self) -> Result<Value, WireError> {
+        match self.u8()? {
+            0 => Ok(Value::Int(self.i64()?)),
+            1 => Ok(Value::Bit(self.bool()?)),
+            2 => {
+                let t = self.u8()?;
+                Ok(Value::Pair(t, self.i64()?))
+            }
+            tag => Err(WireError::BadTag { what: "value", tag }),
+        }
+    }
+    fn rng(&mut self) -> Result<StdRng, WireError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = self.u64()?;
+        }
+        Ok(StdRng::from_state(s))
+    }
+    fn cell(&mut self, depth: usize) -> Result<StateCell, WireError> {
+        if depth > MAX_CELL_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        Ok(match self.u8()? {
+            0 => StateCell::Unit,
+            1 => StateCell::Flag(self.bool()?),
+            2 => StateCell::Nat(self.u64()?),
+            3 => StateCell::Int(self.i64()?),
+            4 => StateCell::Value(self.value()?),
+            5 => {
+                let n = self.len(2)?;
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(self.value()?);
+                }
+                StateCell::Values(vs)
+            }
+            6 => {
+                let n = self.len(8)?;
+                let mut ns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ns.push(self.u64()?);
+                }
+                StateCell::Nats(ns)
+            }
+            7 => StateCell::Rng(self.rng()?),
+            8 => {
+                let n = self.len(1)?;
+                let mut cells = Vec::with_capacity(n);
+                for _ in 0..n {
+                    cells.push(self.cell(depth + 1)?);
+                }
+                StateCell::List(cells)
+            }
+            tag => return Err(WireError::BadTag { what: "cell", tag }),
+        })
+    }
+    fn opt_cell(&mut self) -> Result<Option<StateCell>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.cell(0)?)),
+            tag => Err(WireError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Decodes an image produced by [`encode_checkpoint`]. Total: any
+/// malformed input yields a typed [`WireError`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(WireError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    if &body[..MAGIC.len()] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a(body) != sum {
+        return Err(WireError::ChecksumMismatch);
+    }
+    let mut d = Dec {
+        rest: &body[MAGIC.len()..],
+    };
+    let steps = d.u64()? as usize;
+    let rounds = d.u64()? as usize;
+    let nq = d.len(16)?;
+    let mut queues: ChanMap<VecDeque<Value>> = ChanMap::default();
+    for _ in 0..nq {
+        let c = d.chan()?;
+        let n = d.len(2)?;
+        let mut q = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            q.push_back(d.value()?);
+        }
+        queues.insert(c, q);
+    }
+    let nt = d.len(10)?;
+    let mut trace = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let c = d.chan()?;
+        trace.push(Event::new(c, d.value()?));
+    }
+    let rng = d.rng()?;
+    let mut telemetry = Telemetry::default();
+    let nc = d.len(8 + 6 * 8)?;
+    let mut channels = BTreeMap::new();
+    for _ in 0..nc {
+        let c = d.chan()?;
+        let sends = d.u64()? as usize;
+        let receives = d.u64()? as usize;
+        let high_water = d.u64()? as usize;
+        let consumer = match d.u8()? {
+            0 => None,
+            1 => Some(d.u64()? as usize),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "option",
+                    tag,
+                })
+            }
+        };
+        let blocked = d.u64()? as usize;
+        let shed = d.u64()? as usize;
+        channels.insert(
+            c,
+            ChannelCounters {
+                sends,
+                receives,
+                high_water,
+                consumer,
+                blocked,
+                shed,
+            },
+        );
+    }
+    telemetry.channels = channels;
+    let nv = d.len(24)?;
+    for _ in 0..nv {
+        let c = d.chan()?;
+        let a = d.u64()? as usize;
+        let b = d.u64()? as usize;
+        telemetry.violations.push((c, a, b));
+    }
+    let nf = d.len(9)?;
+    for _ in 0..nf {
+        let src = match d.u8()? {
+            0 => FaultSource::Proc(d.u64()? as usize),
+            1 => FaultSource::Link(d.chan()?),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "fault source",
+                    tag,
+                })
+            }
+        };
+        let chan = d.chan()?;
+        let seq = d.u64()? as usize;
+        let kind = crate::faults::FaultKind::from_code(d.u64()?).ok_or(WireError::BadTag {
+            what: "fault kind",
+            tag: 255,
+        })?;
+        let value = d.value()?;
+        telemetry.faults.push((
+            src,
+            crate::faults::FaultEvent {
+                chan,
+                seq,
+                kind,
+                value,
+            },
+        ));
+    }
+    let npc = d.len(7 * 8)?;
+    let mut counters = Vec::with_capacity(npc);
+    for _ in 0..npc {
+        counters.push(ProcCounters {
+            progress: d.u64()? as usize,
+            idle: d.u64()? as usize,
+            starve_streak: d.u64()? as usize,
+            max_starved: d.u64()? as usize,
+            send_blocked: d.u64()? as usize,
+            blocked_streak: d.u64()? as usize,
+            max_blocked: d.u64()? as usize,
+        });
+    }
+    let np = d.len(1)?;
+    let mut processes = Vec::with_capacity(np);
+    for _ in 0..np {
+        processes.push(d.opt_cell()?);
+    }
+    let scheduler = d.opt_cell()?;
+    let npr = d.len(8)?;
+    let mut pending_round = VecDeque::with_capacity(npr);
+    for _ in 0..npr {
+        pending_round.push_back(d.u64()? as usize);
+    }
+    let round_progressed = d.bool()?;
+    if !d.rest.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(Checkpoint {
+        steps,
+        rounds,
+        queues,
+        trace,
+        rng,
+        telemetry,
+        counters,
+        processes,
+        scheduler,
+        pending_round,
+        round_progressed,
+        monitor: None,
+    })
+}
+
+impl Checkpoint {
+    /// [`encode_checkpoint`] as a method.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, WireError> {
+        encode_checkpoint(self)
+    }
+
+    /// [`decode_checkpoint`] as a constructor.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, WireError> {
+        decode_checkpoint(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::procs::{Merge2, Source};
+    use crate::scheduler::RandomSched;
+    use crate::{Network, RunOptions};
+
+    fn a() -> Chan {
+        Chan::new(0)
+    }
+    fn b() -> Chan {
+        Chan::new(1)
+    }
+    fn out() -> Chan {
+        Chan::new(2)
+    }
+
+    /// An oracle merge under a random scheduler — exercises RNG state,
+    /// oracle cells, queues, and scheduler cells in the image.
+    fn merge_net() -> Network {
+        let mut net = Network::new();
+        net.add(Source::new(
+            "evens",
+            a(),
+            (0..20).map(|n| Value::Int(2 * n)),
+        ));
+        net.add(Source::new(
+            "odds",
+            b(),
+            (0..20).map(|n| Value::Int(2 * n + 1)),
+        ));
+        net.add(Merge2::new("merge", a(), b(), out(), Oracle::fair(7, 4)));
+        net
+    }
+
+    fn opts() -> RunOptions {
+        RunOptions {
+            max_steps: 10_000,
+            seed: 11,
+            ..RunOptions::default()
+        }
+    }
+
+    fn mid_checkpoint() -> Checkpoint {
+        let (_, ckpt) = merge_net().run_report_checkpointed(&mut RandomSched::new(5), opts(), 25);
+        ckpt.expect("run reaches step 25")
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_fingerprint() {
+        let ckpt = mid_checkpoint();
+        let bytes = encode_checkpoint(&ckpt).expect("unmonitored checkpoint encodes");
+        let back = decode_checkpoint(&bytes).expect("own image decodes");
+        assert_eq!(ckpt.fingerprint(), back.fingerprint());
+        assert_eq!(ckpt.steps(), back.steps());
+        assert_eq!(ckpt.trace_len(), back.trace_len());
+    }
+
+    #[test]
+    fn decoded_checkpoint_resumes_byte_identically() {
+        let full = merge_net().run_report(&mut RandomSched::new(5), opts());
+        let ckpt = mid_checkpoint();
+        let bytes = encode_checkpoint(&ckpt).expect("encodes");
+        let back = decode_checkpoint(&bytes).expect("decodes");
+        // resume the *decoded* image into a fresh network: a round-trip
+        // through disk bytes must still be byte-identical to the
+        // uninterrupted run
+        let mut sched = RandomSched::new(5);
+        let resumed = merge_net()
+            .resume_report(&back, &mut sched, opts())
+            .expect("resume");
+        assert_eq!(format!("{full:?}"), format!("{resumed:?}"));
+    }
+
+    #[test]
+    fn chunked_resume_through_bytes_matches_uninterrupted() {
+        // run in 25-step chunks, serializing every intermediate
+        // checkpoint through its byte image — the daemon's
+        // evict/resume loop in miniature
+        let full = merge_net().run_report(&mut RandomSched::new(5), opts());
+        let (_, first) = merge_net().run_report_checkpointed(&mut RandomSched::new(5), opts(), 25);
+        let mut ckpt = first.expect("captured");
+        let final_report = loop {
+            let bytes = ckpt.to_bytes().expect("encodes");
+            let back = Checkpoint::from_bytes(&bytes).expect("decodes");
+            let at = back.steps() + 25;
+            let mut sched = RandomSched::new(5);
+            let (report, next) = merge_net()
+                .resume_report_checkpointed(&back, &mut sched, opts(), at)
+                .expect("resume");
+            match next {
+                Some(n) => ckpt = n,
+                None => break report,
+            }
+        };
+        assert_eq!(format!("{full:?}"), format!("{final_report:?}"));
+    }
+
+    #[test]
+    fn hostile_bytes_yield_typed_errors_never_panics() {
+        assert_eq!(decode_checkpoint(&[]).err(), Some(WireError::Truncated));
+        assert_eq!(
+            decode_checkpoint(b"NOTCKPT0----------------").err(),
+            Some(WireError::BadMagic)
+        );
+        let ckpt = mid_checkpoint();
+        let good = encode_checkpoint(&ckpt).expect("encodes");
+        // every truncation of a valid image is rejected cleanly
+        for cut in 0..good.len() {
+            let _ = decode_checkpoint(&good[..cut]);
+        }
+        // every single-byte corruption is rejected cleanly (almost all by
+        // the checksum; none by panic)
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5a;
+            assert!(
+                decode_checkpoint(&bad).is_err(),
+                "corrupt byte {i} accepted"
+            );
+        }
+        // a hostile length prefix must not allocate unboundedly
+        let mut bomb = good[..16].to_vec();
+        bomb.extend_from_slice(&u64::MAX.to_le_bytes());
+        let _ = decode_checkpoint(&bomb);
+    }
+}

@@ -225,8 +225,11 @@ impl ZooEntry {
     }
 
     /// Checks a finished run against the description, applying the
-    /// entry's trace-completion hook if it has one.
-    fn check(&self, report: &RunReport) -> Conformance {
+    /// entry's trace-completion hook if it has one — the post-hoc
+    /// certification path, public so out-of-process runners (the `eqpd`
+    /// daemon resuming a session from a journal) can re-certify a report
+    /// they did not produce via [`ZooEntry::certify`].
+    pub fn check(&self, report: &RunReport) -> Conformance {
         let desc = self.description();
         let opts = ConformanceOptions::default();
         match self.complete {

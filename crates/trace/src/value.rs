@@ -68,6 +68,57 @@ impl Value {
     }
 }
 
+/// Why a textual message failed to parse as a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseValueError {
+    /// The offending input, truncated for display.
+    pub input: String,
+}
+
+impl fmt::Display for ParseValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is not a value: expected an integer, `T`, `F`, or a pair `(tag,n)`",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseValueError {}
+
+impl std::str::FromStr for Value {
+    type Err = ParseValueError;
+
+    /// Parses the [`Display`](fmt::Display) notation back into a value:
+    /// `T`/`F` bits, decimal integers, and `(tag,n)` pairs. The parser is
+    /// total — any other input yields a typed error, never a panic — so
+    /// untrusted textual specs (the `eqpd` ingestion layer) can lean on
+    /// it directly.
+    fn from_str(s: &str) -> Result<Value, ParseValueError> {
+        let err = || ParseValueError {
+            input: s.chars().take(32).collect(),
+        };
+        let s = s.trim();
+        match s {
+            "T" => return Ok(Value::Bit(true)),
+            "F" => return Ok(Value::Bit(false)),
+            _ => {}
+        }
+        if let Ok(n) = s.parse::<i64>() {
+            return Ok(Value::Int(n));
+        }
+        let inner = s
+            .strip_prefix('(')
+            .and_then(|r| r.strip_suffix(')'))
+            .ok_or_else(err)?;
+        let (tag, n) = inner.split_once(',').ok_or_else(err)?;
+        let tag: u8 = tag.trim().parse().map_err(|_| err())?;
+        let n: i64 = n.trim().parse().map_err(|_| err())?;
+        Ok(Value::Pair(tag, n))
+    }
+}
+
 impl From<i64> for Value {
     fn from(n: i64) -> Self {
         Value::Int(n)
@@ -120,6 +171,25 @@ mod tests {
         assert_eq!(Value::ff().to_string(), "F");
         assert_eq!(Value::Int(-7).to_string(), "-7");
         assert_eq!(Value::Pair(0, 4).to_string(), "(0,4)");
+    }
+
+    #[test]
+    fn parse_roundtrips_display_and_rejects_garbage() {
+        for v in [
+            Value::Int(0),
+            Value::Int(-42),
+            Value::tt(),
+            Value::ff(),
+            Value::Pair(1, -9),
+        ] {
+            assert_eq!(v.to_string().parse::<Value>(), Ok(v));
+        }
+        assert_eq!(" 7 ".parse::<Value>(), Ok(Value::Int(7)));
+        assert_eq!("( 0 , 4 )".parse::<Value>(), Ok(Value::Pair(0, 4)));
+        for bad in ["", "t", "TT", "(1,)", "(,1)", "(300,1)", "(1 2)", "1.5"] {
+            let e = bad.parse::<Value>().unwrap_err();
+            assert!(e.to_string().contains("is not a value"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Serving certifications: an in-process `eqpd` daemon, a client
+//! session, and the full lifecycle — admission, backpressure, a
+//! deadline-cut verdict, checkpoint-evict-resume, and a one-shot trace
+//! check over the wire.
+//!
+//! Run with: `cargo run --example certification_service`
+
+use eqpd::json::{obj, s, Json};
+use eqpd::{AdmissionConfig, Client, ServerConfig};
+
+fn main() {
+    println!("== eqpd: certification as a service ==\n");
+
+    let dir = std::env::temp_dir().join(format!("eqpd-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = eqpd::start(ServerConfig {
+        journal_dir: dir.clone(),
+        workers: 2,
+        chunk_steps: 32, // tiny chunks: sessions park and resume often
+        max_resident: 1, // residency budget of one: parked sessions evict
+        admission: AdmissionConfig {
+            max_in_flight: 4,
+            max_per_tenant: 2,
+            retry_after_ms: 100,
+        },
+        // Workers start paused so the admission story below is
+        // deterministic: nothing completes (and frees quota) until the
+        // backlog is released.
+        start_paused: true,
+        ..Default::default()
+    })
+    .expect("daemon starts");
+    let addr = format!("127.0.0.1:{}", handle.port);
+    println!("daemon listening on {addr}, journal at {}\n", dir.display());
+
+    let mut client = Client::connect(&addr).expect("connects");
+
+    // --- Submit two zoo workloads as one tenant ----------------------
+    let spec = |workload: &str, seed: u64| {
+        obj([
+            ("workload", s(workload)),
+            ("seed", Json::UInt(seed)),
+            (
+                "sched",
+                obj([("kind", s("random")), ("seed", Json::UInt(seed))]),
+            ),
+        ])
+    };
+    let a = client
+        .submit("alice", spec("fair-merge", 7))
+        .expect("io")
+        .expect("admitted");
+    let b = client
+        .submit("alice", spec("sec23-merge", 8))
+        .expect("io")
+        .expect("admitted");
+    println!("alice submitted fair-merge -> session {a}");
+    println!("alice submitted sec23-merge -> session {b}");
+
+    // --- The third submission hits alice's quota ---------------------
+    match client.submit("alice", spec("ticks", 9)).expect("io") {
+        Err(e) => println!("alice's third submit: rejected ({})\n", e.message),
+        Ok(id) => println!("unexpected admission: {id}\n"),
+    }
+
+    // --- A runaway workload is cut by its deadline -------------------
+    let c = client
+        .submit(
+            "bob",
+            obj([
+                ("workload", s("ticks")), // never quiesces on its own
+                ("seed", Json::UInt(10)),
+                ("deadline_ms", Json::UInt(0)),
+            ]),
+        )
+        .expect("io")
+        .expect("admitted");
+    println!("bob submitted ticks with a 0ms deadline -> session {c}");
+
+    // --- Release the backlog; verdicts stream back as events ---------
+    client
+        .call("pause", obj([("paused", Json::Bool(false))]))
+        .expect("io")
+        .expect("released");
+    let mut pending = vec![a, b, c];
+    while !pending.is_empty() {
+        let ev = client.next_event().expect("event stream");
+        if ev.get("event").and_then(Json::as_str) != Some("verdict") {
+            continue;
+        }
+        let id = ev.get("session").and_then(Json::as_u64).unwrap_or(0);
+        pending.retain(|&p| p != id);
+        println!(
+            "  verdict for session {id}: {} (conformant: {}, status: {})",
+            ev.get("verdict").and_then(Json::as_str).unwrap_or("?"),
+            ev.get("conformant")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            ev.get("status").and_then(Json::as_str).unwrap_or("?"),
+        );
+    }
+
+    // --- One-shot check: certify a textual trace ---------------------
+    let ok = client
+        .call(
+            "check",
+            obj([
+                ("workload", s("ticks")),
+                ("events", Json::Arr(vec![s("40:T"), s("40:T"), s("40:T")])),
+                ("quiescent", Json::Bool(false)),
+            ]),
+        )
+        .expect("io")
+        .expect("check runs");
+    println!(
+        "\none-shot check of \"40:T 40:T 40:T\" against ticks: conformant = {}",
+        ok.get("conformant")
+            .and_then(Json::as_bool)
+            .unwrap_or(false)
+    );
+
+    // --- The daemon accounted for everything -------------------------
+    let stats = handle.stats();
+    println!(
+        "\ndaemon stats: admitted {}, completed {}, evicted {}, resumed {}, quota rejections {}",
+        stats.admitted, stats.completed, stats.evicted, stats.resumed, stats.rejected_quota
+    );
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -125,6 +125,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words — the full mutable state of
+        /// the generator, exposed so checkpoints can be serialized to
+        /// disk ([`StdRng::from_state`] rebuilds the generator
+        /// mid-stream). The crates.io `rand` keeps this private; the
+        /// offline shim trades that encapsulation for durable,
+        /// byte-exact resume.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously captured by
+        /// [`StdRng::state`]; the rebuilt generator continues the exact
+        /// word stream.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -173,6 +192,19 @@ mod tests {
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
             assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_word_stream() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..13 {
+            let _ = a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
 
