@@ -36,6 +36,17 @@ fn spec_json(workload: &str, seed: u64) -> Json {
     ])
 }
 
+fn netlang_spec_json(source: &str, seed: u64) -> Json {
+    obj([
+        ("netlang", s(source.to_owned())),
+        ("seed", Json::UInt(seed)),
+        (
+            "sched",
+            obj([("kind", s("random")), ("seed", Json::UInt(seed))]),
+        ),
+    ])
+}
+
 fn main() {
     let smoke = std::env::var("EQP_BENCH_SMOKE").is_ok();
     let sessions: usize = if smoke { 200 } else { 10_000 };
@@ -152,6 +163,60 @@ fn main() {
         "the soak must exercise resume: {stats:?}"
     );
 
+    // Netlang admission gate, run as its own batch so the soak's
+    // eviction dynamics stay untouched: alternate named zoo specs with
+    // their tenant-netlang re-encodings on one connection, against
+    // paused workers (the same methodology as the fleet above) so both
+    // classes measure the pure admission path — validate, journal
+    // fsync, enqueue — without contending with their own
+    // certifications. The untrusted-source path may not tax admission:
+    // parsing, budget-checking, and lowering a tenant program must stay
+    // within 2x of the named-workload tail (fsync dominates both).
+    let netlang = eqp_processes::netlang_zoo::pairs();
+    let extra = if smoke { 50 } else { 500 };
+    let mut gate_client = Client::connect(&addr).expect("connects");
+    gate_client
+        .call("pause", obj([("paused", Json::Bool(true))]))
+        .expect("io")
+        .expect("paused");
+    let mut named_admission_us = Vec::with_capacity(extra);
+    let mut netlang_admission_us = Vec::with_capacity(extra);
+    for i in 0..2 * extra {
+        let spec = if i % 2 == 0 {
+            spec_json(WORKLOADS[(i / 2) % WORKLOADS.len()], 1 + i as u64)
+        } else {
+            netlang_spec_json(netlang[(i / 2) % netlang.len()].1, 1 + i as u64)
+        };
+        let t0 = Instant::now();
+        gate_client
+            .submit("tenant-gate", spec)
+            .expect("io")
+            .expect("gate batch must admit");
+        let us = t0.elapsed().as_micros() as u64;
+        if i % 2 == 0 {
+            named_admission_us.push(us);
+        } else {
+            netlang_admission_us.push(us);
+        }
+    }
+    gate_client
+        .call("pause", obj([("paused", Json::Bool(false))]))
+        .expect("io")
+        .expect("released");
+    let mut gate_verdicts = 0usize;
+    while gate_verdicts < 2 * extra {
+        let ev = gate_client.next_event().expect("event stream alive");
+        if ev.get("event").and_then(Json::as_str) == Some("verdict") {
+            gate_verdicts += 1;
+        }
+    }
+    let named_p99 = percentile_us(&named_admission_us, 99.0);
+    let netlang_p99 = percentile_us(&netlang_admission_us, 99.0);
+    assert!(
+        netlang_p99 <= 2 * named_p99.max(1),
+        "netlang admission p99 ({netlang_p99}us) exceeds 2x named-workload p99 ({named_p99}us)"
+    );
+
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -167,6 +232,8 @@ fn main() {
             "  \"chunk_steps\": 64,\n",
             "  \"max_resident\": {max_resident},\n",
             "  \"admission_us\": {{\"p50\": {ap50}, \"p99\": {ap99}}},\n",
+            "  \"named_admission_us\": {{\"p50\": {nap50}, \"p99\": {nap99}}},\n",
+            "  \"netlang_admission_us\": {{\"p50\": {lap50}, \"p99\": {lap99}}},\n",
             "  \"verdict_us\": {{\"p50\": {vp50}, \"p99\": {vp99}}},\n",
             "  \"drain_s\": {drain_s:.3},\n",
             "  \"evicted\": {evicted},\n",
@@ -182,6 +249,10 @@ fn main() {
         max_resident = max_resident,
         ap50 = percentile_us(&admission_us, 50.0),
         ap99 = percentile_us(&admission_us, 99.0),
+        nap50 = percentile_us(&named_admission_us, 50.0),
+        nap99 = named_p99,
+        lap50 = percentile_us(&netlang_admission_us, 50.0),
+        lap99 = netlang_p99,
         vp50 = percentile_us(&verdict_us, 50.0),
         vp99 = percentile_us(&verdict_us, 99.0),
         drain_s = drain_s,

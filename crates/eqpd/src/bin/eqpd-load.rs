@@ -1,24 +1,40 @@
-//! The `eqpd-load` client: drives the conformance zoo through a running
-//! daemon and reports admission/verdict latency percentiles.
+//! The `eqpd-load` client: drives the conformance zoo (or generated
+//! tenant netlang programs) through a running daemon and reports
+//! admission/verdict latency percentiles. With `--migrate-peer` it runs
+//! a live-migration storm instead: every submitted session is handed
+//! off to the peer daemon mid-run and must certify there.
 //!
 //! ```text
 //! eqpd-load --addr HOST:PORT [--sessions N] [--tenants K] [--seed S]
-//!           [--out PATH.json]
+//!           [--netlang] [--migrate-peer HOST:PORT] [--out PATH.json]
 //! ```
 
 use eqpd::json::{obj, s, Json};
-use eqpd::{percentile_us, run_load, Client, LoadOptions};
+use eqpd::{percentile_us, run_load, run_migration_storm, Client, LoadOptions};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: eqpd-load --addr HOST:PORT [--sessions N] [--tenants K] [--seed S] [--out PATH]"
+        "usage: eqpd-load --addr HOST:PORT [--sessions N] [--tenants K] [--seed S] \
+         [--netlang] [--migrate-peer HOST:PORT] [--out PATH]"
     );
     ExitCode::from(2)
 }
 
+fn write_out(out: Option<String>, line: &str) -> ExitCode {
+    println!("{line}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+            eprintln!("eqpd-load: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut addr = None;
+    let mut peer = None;
     let mut opts = LoadOptions::default();
     let mut out = None;
 
@@ -26,6 +42,8 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
+            "--migrate-peer" => peer = args.next(),
+            "--netlang" => opts.netlang = true,
             "--sessions" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => opts.sessions = v,
                 None => return usage(),
@@ -43,6 +61,43 @@ fn main() -> ExitCode {
         }
     }
     let Some(addr) = addr else { return usage() };
+
+    if let Some(peer) = peer {
+        let report = match run_migration_storm(&addr, &peer, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("eqpd-load: migration storm: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let verdicts = Json::Obj(
+            report
+                .dst_verdicts
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::UInt(*v as u64)))
+                .collect(),
+        );
+        let doc = obj([
+            ("mode", s("migration-storm")),
+            ("peer", s(peer)),
+            ("submitted", Json::UInt(report.submitted as u64)),
+            ("migrated", Json::UInt(report.migrated as u64)),
+            (
+                "completed_locally",
+                Json::UInt(report.completed_locally as u64),
+            ),
+            ("failed", Json::UInt(report.failed as u64)),
+            (
+                "migrate_us",
+                obj([
+                    ("p50", Json::UInt(percentile_us(&report.migrate_us, 50.0))),
+                    ("p99", Json::UInt(percentile_us(&report.migrate_us, 99.0))),
+                ]),
+            ),
+            ("dst_verdicts", verdicts),
+        ]);
+        return write_out(out, &doc.to_line());
+    }
 
     let report = match run_load(&addr, &opts) {
         Ok(r) => r,
@@ -68,6 +123,7 @@ fn main() -> ExitCode {
     let doc = obj([
         ("sessions", Json::UInt(opts.sessions as u64)),
         ("tenants", Json::UInt(opts.tenants as u64)),
+        ("mode", s(if opts.netlang { "netlang" } else { "zoo" })),
         ("admitted", Json::UInt(report.admitted as u64)),
         ("shed", Json::UInt(report.shed as u64)),
         ("verdicts", verdicts),
@@ -88,13 +144,5 @@ fn main() -> ExitCode {
         ("daemon_stats", stats),
         ("note", s("latencies are end-to-end from the client")),
     ]);
-    let line = doc.to_line();
-    println!("{line}");
-    if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
-            eprintln!("eqpd-load: writing {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
+    write_out(out, &doc.to_line())
 }

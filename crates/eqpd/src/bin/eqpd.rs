@@ -3,7 +3,8 @@
 //! ```text
 //! eqpd --journal DIR [--addr HOST:PORT] [--workers N] [--chunk STEPS]
 //!      [--max-resident N] [--max-in-flight N] [--max-per-tenant N]
-//!      [--port-file PATH] [--paused]
+//!      [--max-session-steps N] [--max-trace-events N] [--max-frame-bytes N]
+//!      [--port-file PATH] [--paused] [--fault-halt POINT]
 //! ```
 //!
 //! Binds, recovers any interrupted sessions from the journal, and serves
@@ -19,7 +20,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: eqpd --journal DIR [--addr HOST:PORT] [--workers N] [--chunk STEPS] \
          [--max-resident N] [--max-in-flight N] [--max-per-tenant N] \
-         [--port-file PATH] [--paused]"
+         [--max-session-steps N] [--max-trace-events N] [--max-frame-bytes N] \
+         [--port-file PATH] [--paused] [--fault-halt POINT]"
     );
     ExitCode::from(2)
 }
@@ -70,11 +72,33 @@ fn main() -> ExitCode {
                 Some(v) => admission.max_per_tenant = v,
                 None => return usage(),
             },
+            "--max-session-steps" => {
+                match value("--max-session-steps").and_then(|v| v.parse().ok()) {
+                    Some(v) => cfg.limits = cfg.limits.with_session_steps(v),
+                    None => return usage(),
+                }
+            }
+            "--max-trace-events" => {
+                match value("--max-trace-events").and_then(|v| v.parse().ok()) {
+                    Some(v) => cfg.limits = cfg.limits.with_trace_events(v),
+                    None => return usage(),
+                }
+            }
+            "--max-frame-bytes" => match value("--max-frame-bytes").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_frame_bytes = v,
+                None => return usage(),
+            },
             "--port-file" => match value("--port-file") {
                 Some(v) => cfg.port_file = Some(PathBuf::from(v)),
                 None => return usage(),
             },
             "--paused" => cfg.start_paused = true,
+            // Test-harness fault injection: exit hard at a named inbound
+            // migration point (`offer` or `commit`).
+            "--fault-halt" => match value("--fault-halt") {
+                Some(v) => cfg.fault_halt = Some(v),
+                None => return usage(),
+            },
             "--help" | "-h" => return usage(),
             other => {
                 eprintln!("eqpd: unknown argument `{other}`");
@@ -89,7 +113,11 @@ fn main() -> ExitCode {
 
     match eqpd::start(cfg) {
         Ok(handle) => {
-            eprintln!("eqpd: serving on port {}", handle.port);
+            let st = handle.stats();
+            eprintln!(
+                "eqpd: serving on port {} (recovered {} session(s), {} partial, {} skipped)",
+                handle.port, st.recovered, st.recovery_partial, st.recovery_skipped
+            );
             handle.wait();
             ExitCode::SUCCESS
         }

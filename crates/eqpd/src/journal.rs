@@ -10,10 +10,19 @@
 //! in exactly one of three states — unstarted (spec only), parked
 //! (spec + checkpoint), or finished (spec + verdict) — and
 //! [`Journal::recover`] re-materializes the first two.
+//!
+//! Live migration adds two more artifacts. On the *source*,
+//! `s<id>/migrate.json` records the handoff phase (`intent` →
+//! `released` → `done`): a crashed source re-drives the transfer from
+//! its journaled phase instead of re-running the session, so a session
+//! never gains a second owner. On the *destination*, `s<id>/import.json`
+//! marks a transferred session; until its `committed` flag flips the
+//! import is inert — recovery will not run it — which is what makes the
+//! offer idempotent and the source's retention safe.
 
 use crate::json::Json;
 use crate::session::SessionResult;
-use crate::spec::SessionSpec;
+use crate::spec::{SessionSpec, SpecLimits};
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -22,6 +31,96 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Journal {
     dir: PathBuf,
+}
+
+/// Source-side migration phase, journaled before each protocol step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigratePhase {
+    /// Handoff decided; the destination may or may not have the offer.
+    Intent,
+    /// The destination durably holds spec + checkpoint (offer acked);
+    /// this daemon will never run the session again.
+    Released,
+    /// The destination durably committed; the session has exactly one
+    /// owner again — the peer.
+    Done,
+}
+
+impl MigratePhase {
+    fn name(self) -> &'static str {
+        match self {
+            MigratePhase::Intent => "intent",
+            MigratePhase::Released => "released",
+            MigratePhase::Done => "done",
+        }
+    }
+
+    fn parse(s: &str) -> Option<MigratePhase> {
+        match s {
+            "intent" => Some(MigratePhase::Intent),
+            "released" => Some(MigratePhase::Released),
+            "done" => Some(MigratePhase::Done),
+            _ => None,
+        }
+    }
+}
+
+/// The source-side durable migration record (`migrate.json`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateRecord {
+    /// Transfer token: stable across re-drives, the destination's
+    /// idempotency key.
+    pub token: String,
+    /// Destination daemon address (`host:port`).
+    pub peer: String,
+    /// Current phase.
+    pub phase: MigratePhase,
+    /// Destination session id, known once the offer is acked.
+    pub dst_session: Option<u64>,
+}
+
+impl MigrateRecord {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("token".to_owned(), crate::json::s(self.token.clone())),
+            ("peer".to_owned(), crate::json::s(self.peer.clone())),
+            ("phase".to_owned(), crate::json::s(self.phase.name())),
+        ];
+        if let Some(d) = self.dst_session {
+            pairs.push(("dst_session".to_owned(), Json::UInt(d)));
+        }
+        Json::Obj(pairs.into_iter().collect())
+    }
+
+    fn from_json(j: &Json) -> Option<MigrateRecord> {
+        Some(MigrateRecord {
+            token: j.get("token")?.as_str()?.to_owned(),
+            peer: j.get("peer")?.as_str()?.to_owned(),
+            phase: MigratePhase::parse(j.get("phase")?.as_str()?)?,
+            dst_session: j.get("dst_session").and_then(Json::as_u64),
+        })
+    }
+}
+
+/// What a recovery scan found, including what it could *not* recover.
+/// Skips are never fatal (recovery must always make progress) but they
+/// are no longer silent: the daemon surfaces the tallies in its startup
+/// line and stats.
+#[derive(Default)]
+pub struct RecoveryScan {
+    /// Interrupted sessions to re-admit, ordered by id.
+    pub sessions: Vec<Recovered>,
+    /// The next free session id.
+    pub next_id: u64,
+    /// Session dirs with no `spec.json` at all — a crash between the
+    /// directory creation and the atomic spec write.
+    pub partial: u64,
+    /// Session dirs whose `spec.json` was unreadable or failed
+    /// revalidation against the daemon's current limits.
+    pub skipped: u64,
+    /// Inert uncommitted imports (mid-migration transfers whose source
+    /// never sent the durable commit) — kept on disk, never run.
+    pub uncommitted: u64,
 }
 
 /// One interrupted session found by [`Journal::recover`].
@@ -34,6 +133,9 @@ pub struct Recovered {
     pub spec: SessionSpec,
     /// Latest parked checkpoint image, if the session ever parked.
     pub checkpoint: Option<Vec<u8>>,
+    /// Interrupted outbound migration (`intent` or `released`): the
+    /// daemon must re-drive the handoff, never re-run the session.
+    pub migration: Option<MigrateRecord>,
 }
 
 impl Journal {
@@ -127,12 +229,142 @@ impl Journal {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed verdict.json"))
     }
 
-    /// Scans the journal: returns every interrupted session (spec present,
-    /// verdict absent) plus the next free session id. Unreadable entries
-    /// are skipped, not fatal — recovery must always make progress.
+    /// Durably records the source-side migration phase.
+    pub fn record_migration(&self, id: u64, rec: &MigrateRecord) -> io::Result<()> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir)?;
+        self.write_atomic(
+            &dir.join("migrate.json"),
+            rec.to_json().to_line().as_bytes(),
+        )
+    }
+
+    /// Removes the migration record: the handoff was abandoned before
+    /// `released`, so this daemon resumes local ownership.
+    pub fn clear_migration(&self, id: u64) -> io::Result<()> {
+        match fs::remove_file(self.session_dir(id).join("migrate.json")) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Loads the source-side migration record, if any.
+    pub fn load_migration(&self, id: u64) -> io::Result<Option<MigrateRecord>> {
+        let text = match fs::read_to_string(self.session_dir(id).join("migrate.json")) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(Json::parse(&text)
+            .ok()
+            .as_ref()
+            .and_then(MigrateRecord::from_json))
+    }
+
+    /// Durably records the destination-side import marker. An import
+    /// with `committed = false` is inert: recovery will never run it.
+    pub fn record_import(&self, id: u64, token: &str, committed: bool) -> io::Result<()> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir)?;
+        let doc = Json::Obj(
+            [
+                ("token".to_owned(), crate::json::s(token)),
+                ("committed".to_owned(), Json::Bool(committed)),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        self.write_atomic(&dir.join("import.json"), doc.to_line().as_bytes())
+    }
+
+    /// Loads the destination-side import marker: `(token, committed)`.
+    pub fn load_import(&self, id: u64) -> io::Result<Option<(String, bool)>> {
+        let text = match fs::read_to_string(self.session_dir(id).join("import.json")) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return Ok(None);
+        };
+        match (
+            doc.get("token").and_then(Json::as_str),
+            doc.get("committed").and_then(Json::as_bool),
+        ) {
+            (Some(t), Some(c)) => Ok(Some((t.to_owned(), c))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Finds an import by its transfer token — the offer's idempotency
+    /// lookup. Linear scan: migrations are rare and journals small.
+    pub fn find_import(&self, token: &str) -> io::Result<Option<(u64, bool)>> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix('s'))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if let Some((t, committed)) = self.load_import(id)? {
+                if t == token {
+                    return Ok(Some((id, committed)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads one session's journaled `(tenant, spec)`, revalidated
+    /// against `limits`.
+    pub fn load_spec(
+        &self,
+        id: u64,
+        limits: &SpecLimits,
+    ) -> io::Result<Option<(String, SessionSpec)>> {
+        let text = match fs::read_to_string(self.session_dir(id).join("spec.json")) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return Ok(None);
+        };
+        let Some(tenant) = doc.get("tenant").and_then(Json::as_str) else {
+            return Ok(None);
+        };
+        let Some(spec_json) = doc.get("spec") else {
+            return Ok(None);
+        };
+        match SessionSpec::from_json_limited(spec_json, limits) {
+            Ok(spec) => Ok(Some((tenant.to_owned(), spec))),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Scans the journal under the default limits: returns every
+    /// interrupted session plus the next free session id. See
+    /// [`Journal::recover_scan`] for the tallied form.
     pub fn recover(&self) -> io::Result<(Vec<Recovered>, u64)> {
-        let mut out = Vec::new();
-        let mut next_id = 1u64;
+        let scan = self.recover_scan(&SpecLimits::default())?;
+        Ok((scan.sessions, scan.next_id))
+    }
+
+    /// Scans the journal: every interrupted session (spec present,
+    /// verdict absent) is returned for re-admission; session dirs that
+    /// cannot be recovered are counted ([`RecoveryScan::partial`] /
+    /// [`RecoveryScan::skipped`]) and logged, never fatal — recovery must
+    /// always make progress. Specs are revalidated against `limits`
+    /// (this daemon's, which may differ from the writer's).
+    pub fn recover_scan(&self, limits: &SpecLimits) -> io::Result<RecoveryScan> {
+        let mut scan = RecoveryScan {
+            next_id: 1,
+            ..RecoveryScan::default()
+        };
         for entry in fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -143,36 +375,73 @@ impl Journal {
             else {
                 continue;
             };
-            next_id = next_id.max(id + 1);
+            scan.next_id = scan.next_id.max(id + 1);
             let dir = entry.path();
             if dir.join("verdict.json").exists() {
                 continue;
             }
-            let Ok(text) = fs::read_to_string(dir.join("spec.json")) else {
+            // Uncommitted imports stay inert: the source still owns the
+            // session and may re-offer (the token lookup finds this dir)
+            // — running it here would create a second owner.
+            if let Some((_, committed)) = self.load_import(id).unwrap_or(None) {
+                if !committed {
+                    scan.uncommitted += 1;
+                    continue;
+                }
+            }
+            let migration = self.load_migration(id).unwrap_or(None);
+            if let Some(rec) = &migration {
+                if rec.phase == MigratePhase::Done {
+                    // Migrated away: the peer owns it now.
+                    continue;
+                }
+            }
+            let spec_path = dir.join("spec.json");
+            if !spec_path.exists() {
+                eprintln!(
+                    "eqpd: journal: s{id} has no spec.json (crash before the spec write); skipping"
+                );
+                scan.partial += 1;
+                continue;
+            }
+            fn skip(scan: &mut RecoveryScan, id: u64, why: &str) {
+                eprintln!("eqpd: journal: skipping s{id}: {why}");
+                scan.skipped += 1;
+            }
+            let Ok(text) = fs::read_to_string(&spec_path) else {
+                skip(&mut scan, id, "spec.json unreadable");
                 continue;
             };
             let Ok(doc) = Json::parse(&text) else {
+                skip(&mut scan, id, "spec.json is not valid JSON");
                 continue;
             };
             let Some(tenant) = doc.get("tenant").and_then(Json::as_str) else {
+                skip(&mut scan, id, "spec.json has no tenant");
                 continue;
             };
             let Some(spec_json) = doc.get("spec") else {
+                skip(&mut scan, id, "spec.json has no spec");
                 continue;
             };
-            let Ok(spec) = SessionSpec::from_json(spec_json) else {
-                continue;
+            let spec = match SessionSpec::from_json_limited(spec_json, limits) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    skip(&mut scan, id, &format!("spec failed revalidation: {e}"));
+                    continue;
+                }
             };
             let checkpoint = self.load_checkpoint(id).unwrap_or(None);
-            out.push(Recovered {
+            scan.sessions.push(Recovered {
                 id,
                 tenant: tenant.to_owned(),
                 spec,
                 checkpoint,
+                migration,
             });
         }
-        out.sort_by_key(|r| r.id);
-        Ok((out, next_id))
+        scan.sessions.sort_by_key(|r| r.id);
+        Ok(scan)
     }
 }
 
@@ -194,7 +463,7 @@ mod tests {
 
     fn spec() -> SessionSpec {
         SessionSpec {
-            workload: "ticks".to_owned(),
+            workload: crate::spec::Workload::Zoo("ticks".to_owned()),
             seed: 1,
             sched: SchedSpec::RoundRobin,
             max_steps: 64,
@@ -244,16 +513,36 @@ mod tests {
     }
 
     #[test]
-    fn recovery_skips_garbage_entries() {
+    fn recovery_skips_and_tallies_garbage_entries() {
         let j = tmp_journal();
         fs::create_dir_all(j.dir().join("s3")).expect("dir");
         fs::write(j.dir().join("s3/spec.json"), b"{not json").expect("write");
+        // A crash between create_dir and the atomic spec write leaves an
+        // empty session dir: partial, not skipped.
+        fs::create_dir_all(j.dir().join("s4")).expect("dir");
         fs::create_dir_all(j.dir().join("junk")).expect("dir");
         j.record_spec(5, "bob", &spec()).expect("spec");
-        let (interrupted, next) = j.recover().expect("scan never fails on garbage");
-        assert_eq!(interrupted.len(), 1);
-        assert_eq!(interrupted[0].id, 5);
-        assert_eq!(next, 6);
+        let scan = j
+            .recover_scan(&crate::spec::SpecLimits::default())
+            .expect("scan never fails on garbage");
+        assert_eq!(scan.sessions.len(), 1);
+        assert_eq!(scan.sessions[0].id, 5);
+        assert_eq!(scan.next_id, 6);
+        assert_eq!(scan.skipped, 1, "malformed spec.json");
+        assert_eq!(scan.partial, 1, "dir without spec.json");
+        let _ = fs::remove_dir_all(j.dir());
+    }
+
+    #[test]
+    fn recovery_revalidates_against_current_limits() {
+        let j = tmp_journal();
+        j.record_spec(9, "carol", &spec()).expect("spec");
+        // A daemon restarted with a tighter step ceiling than the spec's
+        // max_steps=64 refuses to resurrect it — and says so.
+        let tight = crate::spec::SpecLimits::default().with_session_steps(10);
+        let scan = j.recover_scan(&tight).expect("scan");
+        assert!(scan.sessions.is_empty());
+        assert_eq!(scan.skipped, 1);
         let _ = fs::remove_dir_all(j.dir());
     }
 }

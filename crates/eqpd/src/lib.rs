@@ -37,7 +37,10 @@ pub mod spec;
 
 pub use admission::{Admission, AdmissionConfig, Decision};
 pub use journal::Journal;
-pub use load::{percentile_us, run_load, Client, LoadOptions, LoadReport, RpcError};
+pub use load::{
+    percentile_us, run_load, run_migration_storm, Client, LoadOptions, LoadReport, RpcError,
+    StormReport,
+};
 pub use server::{start, ServerConfig, ServerHandle, Stats};
 pub use session::{ChunkOutcome, SessionError, SessionResult, SessionRun};
-pub use spec::{SchedSpec, SessionSpec, SpecError, TraceSpec};
+pub use spec::{SchedSpec, SessionSpec, SpecError, SpecLimits, TraceSpec, Workload};

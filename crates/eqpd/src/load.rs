@@ -152,6 +152,9 @@ pub struct LoadOptions {
     pub tenants: usize,
     /// Submissions share one connection per tenant.
     pub seed: u64,
+    /// Submit generated tenant netlang programs instead of named zoo
+    /// workloads, driving the full untrusted-source admission path.
+    pub netlang: bool,
 }
 
 impl Default for LoadOptions {
@@ -160,6 +163,7 @@ impl Default for LoadOptions {
             sessions: 100,
             tenants: 4,
             seed: 1,
+            netlang: false,
         }
     }
 }
@@ -208,9 +212,18 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> io::Result<LoadReport> {
 
     for i in 0..opts.sessions {
         let t = i % tenants;
-        let w = workloads[i % workloads.len()];
+        let source = if opts.netlang {
+            // Each tenant ships its own generated program: the daemon
+            // must parse, budget-check, and lower every one of them.
+            (
+                "netlang",
+                s(eqp_netlang::random_program(opts.seed + i as u64)),
+            )
+        } else {
+            ("workload", s(workloads[i % workloads.len()]))
+        };
         let spec = obj([
-            ("workload", s(w)),
+            source,
             ("seed", Json::UInt(opts.seed + i as u64)),
             (
                 "sched",
@@ -268,6 +281,124 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> io::Result<LoadReport> {
                 .unwrap_or("?")
                 .to_owned();
             *report.verdicts.entry(name).or_insert(0) += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// The measured outcome of a migration storm.
+#[derive(Debug, Clone, Default)]
+pub struct StormReport {
+    /// Sessions submitted to the source daemon.
+    pub submitted: usize,
+    /// Sessions handed off to the peer.
+    pub migrated: usize,
+    /// Sessions that certified locally before the handoff could freeze
+    /// them (a race the storm tolerates by design).
+    pub completed_locally: usize,
+    /// Migrations that failed outright.
+    pub failed: usize,
+    /// Freeze→handoff-complete latencies, microseconds.
+    pub migrate_us: Vec<u64>,
+    /// Verdicts of the migrated sessions, certified on the peer.
+    pub dst_verdicts: HashMap<String, usize>,
+}
+
+/// Drives a live-migration storm: pauses the source daemon's workers,
+/// builds a fleet of `opts.sessions` in-flight tenant netlang sessions,
+/// hands every one of them off to `peer` back-to-back, then releases
+/// the source and waits for the peer to certify each migrated session.
+/// Pausing makes the storm deterministic — every admitted session is
+/// still live when its handoff arrives, so `migrated == submitted`
+/// measures the handoff path, not a race against cheap certifications.
+/// The source is unpaused on exit (including on error where possible);
+/// point the storm at a dedicated daemon, not one serving live traffic.
+pub fn run_migration_storm(addr: &str, peer: &str, opts: &LoadOptions) -> io::Result<StormReport> {
+    let mut src = Client::connect(addr)?;
+    let mut dst = Client::connect(peer)?;
+    let mut report = StormReport::default();
+
+    let pause = |src: &mut Client, on: bool| -> io::Result<()> {
+        src.call("pause", obj([("paused", Json::Bool(on))]))?
+            .map_err(|e| io::Error::other(format!("pause: {e}")))?;
+        Ok(())
+    };
+    pause(&mut src, true)?;
+
+    // Zero-equation programs: the peer certifies each one in
+    // microseconds per step, and a parked-at-admission checkpoint is a
+    // few hundred bytes — far under any frame cap.
+    let mut ids = Vec::with_capacity(opts.sessions);
+    for i in 0..opts.sessions {
+        let n = i as u64;
+        let program = format!(
+            "net storm-{i}\nsteps 20000\nchan b = {}\nproc t = lasso b [] [T]\n",
+            i % 64
+        );
+        let spec = obj([
+            ("netlang", s(program)),
+            ("seed", Json::UInt(opts.seed + n)),
+            (
+                "sched",
+                obj([("kind", s("random")), ("seed", Json::UInt(opts.seed + n))]),
+            ),
+        ]);
+        let tenant = format!("tenant-{}", i % opts.tenants.max(1));
+        match src.submit(&tenant, spec)? {
+            Ok(id) => {
+                ids.push(id);
+                report.submitted += 1;
+            }
+            Err(_) => report.failed += 1,
+        }
+    }
+
+    // Hand the whole fleet off while it is in flight.
+    let mut moved: Vec<u64> = Vec::new();
+    for id in ids {
+        let t0 = Instant::now();
+        match src.call(
+            "migrate",
+            obj([("session", Json::UInt(id)), ("peer", s(peer.to_owned()))]),
+        )? {
+            Ok(r) => {
+                report.migrate_us.push(t0.elapsed().as_micros() as u64);
+                report.migrated += 1;
+                if let Some(d) = r.get("peer_session").and_then(Json::as_u64) {
+                    moved.push(d);
+                }
+            }
+            // -32007: certified before the freeze won the race (only
+            // possible when the operator races an unpause).
+            Err(e) if e.code == -32007 => report.completed_locally += 1,
+            Err(_) => report.failed += 1,
+        }
+    }
+    pause(&mut src, false)?;
+
+    // Every handed-off session must certify on the peer.
+    for d in moved {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let r = dst
+                .call("poll", obj([("session", Json::UInt(d))]))?
+                .map_err(|e| io::Error::other(format!("peer poll {d}: {e}")))?;
+            if r.get("done").and_then(Json::as_bool) == Some(true) {
+                let v = r
+                    .get("result")
+                    .and_then(|res| res.get("verdict"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                *report.dst_verdicts.entry(v).or_insert(0) += 1;
+                break;
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::other(format!(
+                    "peer session {d} never certified"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
     Ok(report)

@@ -75,9 +75,15 @@ impl fmt::Display for ProtoError {
 
 impl std::error::Error for ProtoError {}
 
-/// Parses one frame line into a [`Request`]. Total.
+/// Parses one frame line into a [`Request`] at the default cap. Total.
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
-    if line.len() > MAX_FRAME_BYTES {
+    parse_request_limited(line, MAX_FRAME_BYTES)
+}
+
+/// Parses one frame line into a [`Request`] under a configured frame
+/// cap (`--max-frame-bytes`). Total.
+pub fn parse_request_limited(line: &str, max: usize) -> Result<Request, ProtoError> {
+    if line.len() > max {
         return Err(ProtoError::Oversized {
             discarded: line.len(),
         });
@@ -117,9 +123,15 @@ pub enum Frame {
     Eof,
 }
 
+/// Reads one length-capped frame at the default [`MAX_FRAME_BYTES`] cap.
+pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Frame> {
+    read_frame_limited(reader, MAX_FRAME_BYTES)
+}
+
 /// Reads one length-capped frame. On an oversized line the reader skips
 /// to the next newline, so one hostile frame never poisons the stream.
-pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Frame> {
+/// The cap is per-daemon configuration (`--max-frame-bytes`).
+pub fn read_frame_limited<R: BufRead>(reader: &mut R, max: usize) -> std::io::Result<Frame> {
     let mut line: Vec<u8> = Vec::new();
     let mut discarded = 0usize;
     loop {
@@ -142,7 +154,7 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Frame> {
         let nl = buf.iter().position(|&b| b == b'\n');
         match nl {
             Some(i) => {
-                if discarded > 0 || line.len() + i > MAX_FRAME_BYTES {
+                if discarded > 0 || line.len() + i > max {
                     let total = discarded + line.len() + i;
                     reader.consume(i + 1);
                     return Ok(Frame::Oversized { discarded: total });
@@ -159,7 +171,7 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> std::io::Result<Frame> {
                 let n = buf.len();
                 if discarded > 0 {
                     discarded += n;
-                } else if line.len() + n > MAX_FRAME_BYTES {
+                } else if line.len() + n > max {
                     discarded = line.len() + n;
                     line.clear();
                 } else {

@@ -25,7 +25,7 @@ use crate::journal::Journal;
 use crate::json::{obj, s, Json};
 use crate::proto::{self, Frame, ProtoError, Request};
 use crate::session::{ChunkOutcome, SessionResult, SessionRun};
-use crate::spec::{SessionSpec, TraceSpec};
+use crate::spec::{SessionSpec, SpecLimits, TraceSpec};
 use eqp_kahn::conformance::{self, ConformanceOptions};
 use eqp_processes::zoo::conformance_zoo;
 use eqp_trace::Trace;
@@ -57,6 +57,14 @@ pub struct ServerConfig {
     /// Start with workers paused (sessions queue but do not run) — lets
     /// harnesses build large concurrent backlogs deterministically.
     pub start_paused: bool,
+    /// Per-tenant admission limits (step/trace/netlang budgets),
+    /// CLI-configurable per daemon.
+    pub limits: SpecLimits,
+    /// Protocol frame-size cap in bytes (`--max-frame-bytes`).
+    pub max_frame_bytes: usize,
+    /// Destination-side fault injection: exit hard at a named migration
+    /// point (`offer` or `commit`). Test-harness only.
+    pub fault_halt: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,9 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             port_file: None,
             start_paused: false,
+            limits: SpecLimits::default(),
+            max_frame_bytes: proto::MAX_FRAME_BYTES,
+            fault_halt: None,
         }
     }
 }
@@ -95,6 +106,14 @@ pub struct Stats {
     pub recovered: u64,
     /// Sessions parked to the journal by a draining shutdown.
     pub drained: u64,
+    /// Recovery-scan session dirs with no spec (crash before spec write).
+    pub recovery_partial: u64,
+    /// Recovery-scan session dirs skipped as unreadable or invalid.
+    pub recovery_skipped: u64,
+    /// Sessions handed off to a peer daemon (source side).
+    pub migrated_out: u64,
+    /// Sessions received from a peer daemon (destination side).
+    pub migrated_in: u64,
 }
 
 struct Entry {
@@ -107,6 +126,28 @@ struct Entry {
     has_image: bool,
     subscriber: Option<Arc<Mutex<TcpStream>>>,
     done: Option<SessionResult>,
+    /// True while a worker is stepping this session right now.
+    executing: bool,
+    /// Frozen for migration: workers must not re-enqueue or step it.
+    migrating: bool,
+    /// Set once the handoff is done: `(peer addr, peer session id)`.
+    migrated_to: Option<(String, u64)>,
+}
+
+impl Entry {
+    fn new(tenant: String, spec: SessionSpec, subscriber: Option<Arc<Mutex<TcpStream>>>) -> Entry {
+        Entry {
+            tenant,
+            spec,
+            run: None,
+            has_image: false,
+            subscriber,
+            done: None,
+            executing: false,
+            migrating: false,
+            migrated_to: None,
+        }
+    }
 }
 
 struct Core {
@@ -115,6 +156,8 @@ struct Core {
     sessions: HashMap<u64, Entry>,
     /// Ids currently holding in-memory parked state, oldest first.
     resident: VecDeque<u64>,
+    /// Inbound transfer tokens → local session id (migration idempotency).
+    imports: HashMap<String, u64>,
     next_id: u64,
     paused: bool,
     draining: bool,
@@ -169,39 +212,51 @@ impl ServerHandle {
 /// pool and accept loop, and returns the handle.
 pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
     let journal = Journal::open(&cfg.journal_dir)?;
-    let (interrupted, next_id) = journal.recover()?;
+    let scan = journal.recover_scan(&cfg.limits)?;
+    let (interrupted, next_id) = (scan.sessions, scan.next_id);
 
     let mut core = Core {
         admission: Admission::new(cfg.admission.clone()),
         queue: VecDeque::new(),
         sessions: HashMap::new(),
         resident: VecDeque::new(),
+        imports: HashMap::new(),
         next_id,
         paused: cfg.start_paused,
         draining: false,
         stopping: false,
         running: 0,
-        stats: Stats::default(),
+        stats: Stats {
+            recovery_partial: scan.partial,
+            recovery_skipped: scan.skipped,
+            ..Stats::default()
+        },
     };
     // Re-admit every interrupted session: the work was already accepted
     // by a previous incarnation, so recovery bypasses admission limits —
     // losing acked work to a quota would violate the crash-safety
     // contract.
+    let mut redrives = Vec::new();
     for r in interrupted {
+        let has_image = r.checkpoint.is_some();
+        let mut entry = Entry::new(r.tenant.clone(), r.spec, None);
+        entry.has_image = has_image;
+        if let Some(rec) = r.migration {
+            // An interrupted outbound handoff: this daemon may no longer
+            // own the session (phase `released`), so it must re-drive
+            // the transfer rather than re-run the work.
+            entry.migrating = true;
+            core.stats.admitted += 1;
+            core.stats.recovered += 1;
+            let _ = core.admission.admit(&r.tenant);
+            core.sessions.insert(r.id, entry);
+            redrives.push((r.id, rec));
+            continue;
+        }
         let _ = core.admission.admit(&r.tenant);
         core.stats.admitted += 1;
         core.stats.recovered += 1;
-        core.sessions.insert(
-            r.id,
-            Entry {
-                tenant: r.tenant,
-                spec: r.spec,
-                run: None,
-                has_image: r.checkpoint.is_some(),
-                subscriber: None,
-                done: None,
-            },
-        );
+        core.sessions.insert(r.id, entry);
         core.queue.push_back(r.id);
     }
 
@@ -236,6 +291,14 @@ pub fn start(cfg: ServerConfig) -> io::Result<ServerHandle> {
                 .spawn(move || accept_loop(&sh, listener))?,
         );
     }
+    for (id, rec) in redrives {
+        let sh = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("eqpd-migrate-{id}"))
+                .spawn(move || redrive_migration(&sh, id, rec))?,
+        );
+    }
     Ok(ServerHandle {
         port,
         shared,
@@ -268,9 +331,15 @@ fn worker_loop(sh: &Shared) {
                 }
                 if !core.paused {
                     if let Some(id) = core.queue.pop_front() {
-                        core.running += 1;
                         let entry = core.sessions.get_mut(&id).expect("queued session exists");
+                        if entry.migrating {
+                            // Frozen for handoff after it was enqueued:
+                            // leave it to the migration driver.
+                            continue;
+                        }
+                        entry.executing = true;
                         let run = entry.run.take();
+                        core.running += 1;
                         core.resident.retain(|&r| r != id);
                         break (id, run);
                     }
@@ -291,6 +360,9 @@ fn worker_loop(sh: &Shared) {
 
         let mut core = sh.core.lock().expect("core lock");
         core.running -= 1;
+        if let Some(e) = core.sessions.get_mut(&id) {
+            e.executing = false;
+        }
         sh.work.notify_all();
     }
 }
@@ -355,6 +427,12 @@ fn step_session(sh: &Shared, id: u64, run_slot: Option<SessionRun>) {
             // otherwise evict the oldest resident to the journal.
             let entry = core.sessions.get_mut(&id).expect("session exists");
             entry.run = Some(run);
+            if entry.migrating {
+                // A migrate request froze this session mid-chunk: park
+                // it in memory for the handoff driver, don't re-enqueue.
+                sh.work.notify_all();
+                return;
+            }
             core.resident.push_back(id);
             core.queue.push_back(id);
             while core.resident.len() > sh.cfg.max_resident.max(1) {
@@ -468,7 +546,7 @@ fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match proto::read_frame(&mut reader) {
+        match proto::read_frame_limited(&mut reader, sh.cfg.max_frame_bytes) {
             Err(_) | Ok(Frame::Eof) => return,
             Ok(Frame::Oversized { discarded }) => {
                 let e = ProtoError::Oversized { discarded };
@@ -481,7 +559,7 @@ fn connection_loop(sh: &Arc<Shared>, stream: TcpStream) {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match proto::parse_request(&line) {
+                match proto::parse_request_limited(&line, sh.cfg.max_frame_bytes) {
                     Err(e) => {
                         write_line(
                             &writer,
@@ -507,7 +585,10 @@ fn dispatch(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>) -> 
         "submit" => handle_submit(sh, req, writer),
         "status" => handle_status(sh, req),
         "poll" => handle_poll(sh, req),
-        "check" => handle_check(req),
+        "check" => handle_check(sh, req),
+        "migrate" => handle_migrate(sh, req),
+        "migrate_offer" => handle_migrate_offer(sh, req),
+        "migrate_commit" => handle_migrate_commit(sh, req),
         "workloads" => handle_workloads(req),
         "stats" => handle_stats(sh, req),
         "pause" => handle_pause(sh, req),
@@ -526,7 +607,7 @@ fn handle_submit(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>
     let Some(spec_json) = req.params.get("spec") else {
         return proto::response_err(req.id, -32602, "missing `spec` object", None);
     };
-    let spec = match SessionSpec::from_json(spec_json) {
+    let spec = match SessionSpec::from_json_limited(spec_json, &sh.cfg.limits) {
         Ok(s) => s,
         Err(e) => return proto::response_err(req.id, -32602, &e.to_string(), None),
     };
@@ -574,17 +655,8 @@ fn handle_submit(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>
     {
         let mut core = sh.core.lock().expect("core lock");
         core.stats.admitted += 1;
-        core.sessions.insert(
-            id,
-            Entry {
-                tenant,
-                spec,
-                run: None,
-                has_image: false,
-                subscriber: Some(Arc::clone(writer)),
-                done: None,
-            },
-        );
+        core.sessions
+            .insert(id, Entry::new(tenant, spec, Some(Arc::clone(writer))));
         core.queue.push_back(id);
         sh.work.notify_all();
     }
@@ -595,6 +667,470 @@ fn session_param(req: &Request) -> Option<u64> {
     req.params.get("session").and_then(Json::as_u64)
 }
 
+// ---------------------------------------------------------------------
+// Live migration
+//
+// Source protocol, each phase durable before the next step:
+//   freeze session → journal `intent` → `migrate_offer` to the peer
+//   (idempotent by token; the peer durably stores spec + checkpoint as
+//   an *uncommitted* import and acks with its session id) → journal
+//   `released` (this daemon will never run the session again) →
+//   `migrate_commit` (the peer durably commits and enqueues) → journal
+//   `done` → release local admission.
+//
+// Exactly-one-owner invariant: before `released` the source owns the
+// session (the peer's uncommitted import is inert and never runs);
+// from `released` on, the peer owns the bytes and the source only ever
+// re-drives the commit. A kill -9 of either side at any point therefore
+// leaves one owner after restart: source recovery re-drives from the
+// journaled phase, destination recovery runs committed imports and
+// keeps uncommitted ones inert.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the checkpoint image — the transfer integrity witness.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len() / 2)
+        .map(|i| u8::from_str_radix(text.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Deterministic fault injection: exit hard (as if kill -9) at a named
+/// protocol point. `requested` comes from the `migrate` request
+/// (source side) or `--fault-halt` (destination side).
+fn halt_if(requested: Option<&str>, point: &str) {
+    if requested == Some(point) {
+        eprintln!("eqpd: fault injection: halting at `{point}`");
+        std::process::exit(86);
+    }
+}
+
+/// One RPC to the peer daemon with a bounded read timeout.
+fn peer_call(peer: &str, method: &str, params: Json) -> Result<Json, String> {
+    let mut client = crate::load::Client::connect(peer).map_err(|e| e.to_string())?;
+    let _ = client.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    match client.call(method, params) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(format!("peer rejected {method}: {e}")),
+        Err(e) => Err(format!("peer unreachable for {method}: {e}")),
+    }
+}
+
+/// Retries a peer RPC across connection failures. The offer and commit
+/// are idempotent by token, so a duplicate send after a lost ack is
+/// safe. `attempts == 0` retries until the daemon stops.
+fn peer_call_retry(
+    sh: &Shared,
+    peer: &str,
+    method: &str,
+    params: &Json,
+    attempts: usize,
+) -> Result<Json, String> {
+    let mut tried = 0usize;
+    loop {
+        match peer_call(peer, method, params.clone()) {
+            Ok(v) => return Ok(v),
+            Err(why) => {
+                tried += 1;
+                if attempts != 0 && tried >= attempts {
+                    return Err(why);
+                }
+                if sh.core.lock().expect("core lock").stopping {
+                    return Err(format!("daemon stopping during {method} retry"));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+/// Aborts a not-yet-released migration: drop the journal record and hand
+/// the session back to the worker pool. Safe because before `released`
+/// the peer's copy (if any) is an uncommitted, inert import.
+fn abort_migration(sh: &Shared, id: u64, why: &str) {
+    eprintln!("eqpd: migration of s{id} aborted ({why}); resuming locally");
+    let _ = sh.journal.clear_migration(id);
+    let mut core = sh.core.lock().expect("core lock");
+    if let Some(e) = core.sessions.get_mut(&id) {
+        e.migrating = false;
+        if e.done.is_none() {
+            core.queue.push_back(id);
+        }
+    }
+    sh.work.notify_all();
+}
+
+/// Drives a journaled migration from its current phase to `done`.
+/// `halt_after` is the source-side fault-injection point. Returns the
+/// destination session id.
+fn drive_migration(
+    sh: &Shared,
+    id: u64,
+    mut rec: crate::journal::MigrateRecord,
+    halt_after: Option<&str>,
+) -> Result<u64, String> {
+    use crate::journal::MigratePhase;
+
+    let (tenant, spec, ckpt) = {
+        let core = sh.core.lock().expect("core lock");
+        let e = core
+            .sessions
+            .get(&id)
+            .ok_or_else(|| "session vanished".to_owned())?;
+        let ckpt = match &e.run {
+            Some(run) => run
+                .checkpoint_bytes()
+                .map_err(|e| format!("checkpoint encode failed: {e}"))?,
+            None => sh.journal.load_checkpoint(id).unwrap_or(None),
+        };
+        (e.tenant.clone(), e.spec.clone(), ckpt)
+    };
+
+    if rec.phase == MigratePhase::Intent {
+        let mut pairs = vec![
+            ("token", s(rec.token.clone())),
+            ("tenant", s(tenant.clone())),
+            ("spec", spec.to_json()),
+            ("src_session", Json::UInt(id)),
+        ];
+        if let Some(bytes) = &ckpt {
+            pairs.push(("ckpt", s(hex_encode(bytes))));
+            pairs.push(("checksum", Json::UInt(fnv64(bytes))));
+        }
+        let params = Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect());
+        let resp = peer_call_retry(sh, &rec.peer, "migrate_offer", &params, 20)?;
+        let dst = resp
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "offer ack missing `session`".to_owned())?;
+        rec.phase = MigratePhase::Released;
+        rec.dst_session = Some(dst);
+        sh.journal
+            .record_migration(id, &rec)
+            .map_err(|e| format!("journal write failed: {e}"))?;
+        halt_if(halt_after, "released");
+    }
+
+    let dst = rec
+        .dst_session
+        .ok_or_else(|| "released migration has no destination session recorded".to_owned())?;
+    // From `released` on the peer owns the bytes: retry the commit until
+    // it lands (the peer may be restarting), never resume locally.
+    let commit = obj([("token", s(rec.token.clone()))]);
+    peer_call_retry(sh, &rec.peer, "migrate_commit", &commit, 0)?;
+    rec.phase = MigratePhase::Done;
+    sh.journal
+        .record_migration(id, &rec)
+        .map_err(|e| format!("journal write failed: {e}"))?;
+
+    let mut core = sh.core.lock().expect("core lock");
+    if let Some(e) = core.sessions.get_mut(&id) {
+        e.run = None;
+        e.has_image = false;
+        e.migrated_to = Some((rec.peer.clone(), dst));
+    }
+    core.resident.retain(|&r| r != id);
+    core.admission.release(&tenant);
+    core.stats.migrated_out += 1;
+    Ok(dst)
+}
+
+/// Recovery re-drive: a restarted source finishes (or safely abandons)
+/// an interrupted handoff found in the journal.
+fn redrive_migration(sh: &Arc<Shared>, id: u64, rec: crate::journal::MigrateRecord) {
+    use crate::journal::MigratePhase;
+    let phase = rec.phase;
+    match drive_migration(sh, id, rec, None) {
+        Ok(dst) => eprintln!("eqpd: re-drove migration of s{id} to peer session {dst}"),
+        Err(why) => {
+            if phase == MigratePhase::Intent {
+                // The offer never durably landed: this daemon still owns
+                // the session (an unacked import is inert), so run it.
+                abort_migration(sh, id, &why);
+            } else {
+                eprintln!("eqpd: migration re-drive of s{id} failed: {why} (session frozen)");
+            }
+        }
+    }
+}
+
+fn handle_migrate(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(id) = session_param(req) else {
+        return proto::response_err(req.id, -32602, "missing `session` id", None);
+    };
+    let Some(peer) = req
+        .params
+        .get("peer")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+    else {
+        return proto::response_err(req.id, -32602, "missing `peer` address", None);
+    };
+    let halt_after = req
+        .params
+        .get("halt_after")
+        .and_then(Json::as_str)
+        .map(str::to_owned);
+
+    // Freeze: mark migrating, pull it off the queue, wait out any
+    // in-flight chunk. After this the session cannot step locally.
+    {
+        let mut core = sh.core.lock().expect("core lock");
+        if core.draining || core.stopping {
+            return proto::response_err(req.id, -32003, "daemon is shutting down", None);
+        }
+        match core.sessions.get_mut(&id) {
+            None => return proto::response_err(req.id, -32002, "unknown session", None),
+            Some(e) => {
+                if e.done.is_some() {
+                    return proto::response_err(req.id, -32007, "session already finished", None);
+                }
+                if e.migrating {
+                    return proto::response_err(
+                        req.id,
+                        -32008,
+                        "migration already in progress",
+                        None,
+                    );
+                }
+                e.migrating = true;
+            }
+        }
+        core.queue.retain(|&q| q != id);
+        while core.sessions.get(&id).is_some_and(|e| e.executing) {
+            core = sh.work.wait(core).expect("core lock");
+        }
+        if core.sessions.get(&id).is_none_or(|e| e.done.is_some()) {
+            // The in-flight chunk finished the session under us.
+            if let Some(e) = core.sessions.get_mut(&id) {
+                e.migrating = false;
+            }
+            return proto::response_err(req.id, -32007, "session already finished", None);
+        }
+    }
+
+    let token = format!(
+        "m{}-{}-{}",
+        sh.port,
+        id,
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64)
+    );
+    let rec = crate::journal::MigrateRecord {
+        token,
+        peer,
+        phase: crate::journal::MigratePhase::Intent,
+        dst_session: None,
+    };
+    if let Err(e) = sh.journal.record_migration(id, &rec) {
+        abort_migration(sh, id, &format!("journal write failed: {e}"));
+        return proto::response_err(req.id, -32000, &format!("journal write failed: {e}"), None);
+    }
+    halt_if(halt_after.as_deref(), "intent");
+
+    let intent_phase = rec.phase;
+    match drive_migration(sh, id, rec, halt_after.as_deref()) {
+        Ok(dst) => proto::response_ok(
+            req.id,
+            obj([
+                ("migrated", Json::Bool(true)),
+                ("peer_session", Json::UInt(dst)),
+            ]),
+        ),
+        Err(why) => {
+            // Only an unacked offer can be safely abandoned; a released
+            // handoff stays frozen (the recovery path will re-drive it).
+            if intent_phase == crate::journal::MigratePhase::Intent
+                && sh
+                    .journal
+                    .load_migration(id)
+                    .ok()
+                    .flatten()
+                    .is_none_or(|r| r.phase == crate::journal::MigratePhase::Intent)
+            {
+                abort_migration(sh, id, &why);
+            }
+            proto::response_err(req.id, -32009, &format!("migration failed: {why}"), None)
+        }
+    }
+}
+
+fn handle_migrate_offer(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(token) = req
+        .params
+        .get("token")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+    else {
+        return proto::response_err(req.id, -32602, "missing `token`", None);
+    };
+    {
+        let core = sh.core.lock().expect("core lock");
+        if core.draining || core.stopping {
+            return proto::response_err(req.id, -32003, "daemon is shutting down", None);
+        }
+        // In-process idempotency (covers concurrent duplicate offers).
+        if let Some(&existing) = core.imports.get(&token) {
+            return proto::response_ok(req.id, obj([("session", Json::UInt(existing))]));
+        }
+    }
+    // Cross-restart idempotency: the durable import marker.
+    if let Ok(Some((existing, _))) = sh.journal.find_import(&token) {
+        let mut core = sh.core.lock().expect("core lock");
+        core.imports.insert(token, existing);
+        return proto::response_ok(req.id, obj([("session", Json::UInt(existing))]));
+    }
+
+    let Some(spec_json) = req.params.get("spec") else {
+        return proto::response_err(req.id, -32602, "missing `spec` object", None);
+    };
+    // The transfer crosses a trust boundary between daemons too: the
+    // destination revalidates against *its own* limits.
+    let spec = match SessionSpec::from_json_limited(spec_json, &sh.cfg.limits) {
+        Ok(s) => s,
+        Err(e) => return proto::response_err(req.id, -32602, &e.to_string(), None),
+    };
+    let tenant = req
+        .params
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("anon")
+        .to_owned();
+    let ckpt = match req.params.get("ckpt").map(|v| v.as_str()) {
+        None => None,
+        Some(Some(hex)) => match hex_decode(hex) {
+            Some(bytes) => {
+                let want = req.params.get("checksum").and_then(Json::as_u64);
+                if want != Some(fnv64(&bytes)) {
+                    return proto::response_err(
+                        req.id,
+                        -32010,
+                        "checkpoint checksum mismatch",
+                        None,
+                    );
+                }
+                Some(bytes)
+            }
+            None => return proto::response_err(req.id, -32602, "`ckpt` is not valid hex", None),
+        },
+        Some(None) => {
+            return proto::response_err(req.id, -32602, "`ckpt` must be a hex string", None)
+        }
+    };
+
+    halt_if(sh.cfg.fault_halt.as_deref(), "offer");
+
+    // Reserve the id and the token under the lock; journal outside it.
+    let id = {
+        let mut core = sh.core.lock().expect("core lock");
+        if let Some(&existing) = core.imports.get(&token) {
+            return proto::response_ok(req.id, obj([("session", Json::UInt(existing))]));
+        }
+        let id = core.next_id;
+        core.next_id += 1;
+        core.imports.insert(token.clone(), id);
+        id
+    };
+    // Durable before the ack, import marker last: only once everything
+    // is on disk does the token become findable across restarts.
+    let write = sh
+        .journal
+        .record_spec(id, &tenant, &spec)
+        .and_then(|()| match &ckpt {
+            Some(bytes) => sh.journal.record_checkpoint(id, bytes),
+            None => Ok(()),
+        })
+        .and_then(|()| sh.journal.record_import(id, &token, false));
+    if let Err(e) = write {
+        sh.core.lock().expect("core lock").imports.remove(&token);
+        return proto::response_err(req.id, -32000, &format!("journal write failed: {e}"), None);
+    }
+    proto::response_ok(req.id, obj([("session", Json::UInt(id))]))
+}
+
+fn handle_migrate_commit(sh: &Arc<Shared>, req: &Request) -> Json {
+    let Some(token) = req.params.get("token").and_then(Json::as_str) else {
+        return proto::response_err(req.id, -32602, "missing `token`", None);
+    };
+    let found = {
+        let core = sh.core.lock().expect("core lock");
+        core.imports.get(token).copied()
+    };
+    let (id, committed) = match found {
+        Some(id) => (
+            id,
+            sh.journal
+                .load_import(id)
+                .ok()
+                .flatten()
+                .is_some_and(|(_, c)| c),
+        ),
+        None => match sh.journal.find_import(token) {
+            Ok(Some(pair)) => pair,
+            _ => return proto::response_err(req.id, -32002, "unknown transfer token", None),
+        },
+    };
+    if committed {
+        // Duplicate commit after a lost ack: already owned here.
+        return proto::response_ok(
+            req.id,
+            obj([("committed", Json::Bool(true)), ("session", Json::UInt(id))]),
+        );
+    }
+
+    halt_if(sh.cfg.fault_halt.as_deref(), "commit");
+
+    let Some((tenant, spec)) = sh.journal.load_spec(id, &sh.cfg.limits).ok().flatten() else {
+        return proto::response_err(req.id, -32000, "imported spec unreadable", None);
+    };
+    // Durable commit before the ack: once the source hears `committed`,
+    // it may forget the session forever.
+    if let Err(e) = sh.journal.record_import(id, token, true) {
+        return proto::response_err(req.id, -32000, &format!("journal write failed: {e}"), None);
+    }
+    {
+        let mut core = sh.core.lock().expect("core lock");
+        core.imports.insert(token.to_owned(), id);
+        if !core.sessions.contains_key(&id) {
+            // Accepted work transfers with its admission: forced admit,
+            // like crash recovery — quota must not drop acked sessions.
+            let _ = core.admission.admit(&tenant);
+            let has_image = sh.journal.load_checkpoint(id).is_ok_and(|c| c.is_some());
+            let mut entry = Entry::new(tenant, spec, None);
+            entry.has_image = has_image;
+            core.sessions.insert(id, entry);
+            core.queue.push_back(id);
+            core.stats.admitted += 1;
+            core.stats.migrated_in += 1;
+        }
+        sh.work.notify_all();
+    }
+    proto::response_ok(
+        req.id,
+        obj([("committed", Json::Bool(true)), ("session", Json::UInt(id))]),
+    )
+}
+
 fn handle_status(sh: &Arc<Shared>, req: &Request) -> Json {
     let Some(id) = session_param(req) else {
         return proto::response_err(req.id, -32602, "missing `session` id", None);
@@ -603,8 +1139,21 @@ fn handle_status(sh: &Arc<Shared>, req: &Request) -> Json {
     match core.sessions.get(&id) {
         None => proto::response_err(req.id, -32002, "unknown session", None),
         Some(e) => {
+            if let Some((peer, dst)) = &e.migrated_to {
+                return proto::response_ok(
+                    req.id,
+                    obj([
+                        ("phase", s("migrated")),
+                        ("peer", s(peer.clone())),
+                        ("peer_session", Json::UInt(*dst)),
+                        ("workload", s(e.spec.workload_name().to_owned())),
+                    ]),
+                );
+            }
             let phase = if e.done.is_some() {
                 "done"
+            } else if e.migrating {
+                "migrating"
             } else if e.run.is_some() {
                 "parked"
             } else if e.has_image {
@@ -618,7 +1167,7 @@ fn handle_status(sh: &Arc<Shared>, req: &Request) -> Json {
                 obj([
                     ("phase", s(phase)),
                     ("steps_done", Json::UInt(steps)),
-                    ("workload", s(e.spec.workload.clone())),
+                    ("workload", s(e.spec.workload_name().to_owned())),
                 ]),
             )
         }
@@ -647,8 +1196,8 @@ fn handle_poll(sh: &Arc<Shared>, req: &Request) -> Json {
     }
 }
 
-fn handle_check(req: &Request) -> Json {
-    let trace = match TraceSpec::from_json(&req.params) {
+fn handle_check(sh: &Arc<Shared>, req: &Request) -> Json {
+    let trace = match TraceSpec::from_json_limited(&req.params, &sh.cfg.limits) {
         Ok(t) => t,
         Err(e) => return proto::response_err(req.id, -32602, &e.to_string(), None),
     };
@@ -704,6 +1253,10 @@ fn handle_stats(sh: &Arc<Shared>, req: &Request) -> Json {
             ("evicted", Json::UInt(st.evicted)),
             ("resumed", Json::UInt(st.resumed)),
             ("recovered", Json::UInt(st.recovered)),
+            ("recovery_partial", Json::UInt(st.recovery_partial)),
+            ("recovery_skipped", Json::UInt(st.recovery_skipped)),
+            ("migrated_out", Json::UInt(st.migrated_out)),
+            ("migrated_in", Json::UInt(st.migrated_in)),
             ("drained", Json::UInt(st.drained)),
             ("in_flight", Json::UInt(core.admission.in_flight() as u64)),
             ("queued", Json::UInt(core.queue.len() as u64)),

@@ -254,7 +254,6 @@ impl SessionRun {
     /// the old one; on error the session is dead (record
     /// [`SessionResult::aborted`]).
     pub fn advance(&mut self, chunk: usize) -> Result<ChunkOutcome, SessionError> {
-        let entry = self.spec.entry();
         let done = self.steps_done() as usize;
         let bound = (done + chunk.max(1)).min(self.spec.max_steps).max(done + 1);
         let opts = self.spec.run_options(bound);
@@ -263,7 +262,7 @@ impl SessionRun {
         let started = std::time::Instant::now();
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut net = entry.network(seed);
+            let mut net = self.spec.build_network(seed);
             let mut sched: Box<dyn Scheduler> = sched_spec.build();
             match &self.progress {
                 Progress::Fresh => Ok(net.run_report_checkpointed(&mut &mut *sched, opts, bound)),
@@ -298,7 +297,7 @@ impl SessionRun {
     /// the daemon to finalize a parked session whose wall-clock deadline
     /// expired (`expired = true`).
     pub fn certify(&self, report: &RunReport, expired: bool) -> SessionResult {
-        let conf = self.spec.entry().check(report);
+        let conf = self.spec.check(report);
         SessionResult {
             verdict: verdict_name(&conf.verdict),
             conformant: conf.is_conformant(),
@@ -335,7 +334,7 @@ mod tests {
 
     fn spec(workload: &str, max_steps: usize) -> SessionSpec {
         SessionSpec {
-            workload: workload.to_owned(),
+            workload: crate::spec::Workload::Zoo(workload.to_owned()),
             seed: 11,
             sched: SchedSpec::Random(5),
             max_steps,

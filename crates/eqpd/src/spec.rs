@@ -1,28 +1,82 @@
 //! Spec ingestion: the textual parse-and-validate layer between tenant
 //! JSON and library types.
 //!
-//! Until this PR, network specs only existed as Rust constructors; the
-//! daemon (and the `eqpd-load` client, which shares this module) needs a
-//! textual form a tenant can send. A [`SessionSpec`] names a conformance
-//! zoo workload plus run bounds; a [`TraceSpec`] carries a textual trace
-//! (parsed with `Value`'s total `FromStr` impl, added alongside
-//! this crate) for the one-shot `check` method. Everything validates with
-//! typed [`SpecError`]s — a malformed spec is a protocol error response,
-//! never a panic.
+//! A [`SessionSpec`] either names a conformance-zoo workload or carries a
+//! full tenant-defined `eqp-netlang` program (the `netlang` field),
+//! validated at this trust boundary against the daemon's [`SpecLimits`];
+//! a [`TraceSpec`] carries a textual trace (parsed with `Value`'s total
+//! `FromStr` impl) for the one-shot `check` method. Everything validates
+//! with typed [`SpecError`]s — a malformed spec is a protocol error
+//! response, never a panic.
 
 use crate::json::{obj, s, Json};
-use eqp_kahn::{Adversarial, OverflowPolicy, RandomSched, RoundRobin, RunOptions, Scheduler};
+use eqp_kahn::conformance::{self, Conformance, ConformanceOptions};
+use eqp_kahn::{
+    Adversarial, Network, OverflowPolicy, RandomSched, RoundRobin, RunOptions, RunReport, Scheduler,
+};
+use eqp_netlang::{parse as parse_netlang, NetError, NetLimits, NetProgram};
 use eqp_processes::zoo::{conformance_zoo, ZooEntry};
 use eqp_trace::{Chan, Event, Value};
 use std::fmt;
+use std::sync::Arc;
 
-/// Daemon-enforced ceiling on per-session step budgets: a tenant can ask
-/// for less, never more — budget enforcement is what keeps one runaway
-/// session from starving the fleet.
+/// Default ceiling on per-session step budgets: a tenant can ask for
+/// less, never more — budget enforcement is what keeps one runaway
+/// session from starving the fleet. Per-daemon configurable via
+/// [`SpecLimits`] (`--max-session-steps`).
 pub const MAX_SESSION_STEPS: usize = 200_000;
 
-/// Daemon-enforced ceiling on a one-shot `check` trace length.
+/// Default ceiling on a one-shot `check` trace length. Per-daemon
+/// configurable via [`SpecLimits`] (`--max-trace-events`).
 pub const MAX_TRACE_EVENTS: usize = 100_000;
+
+/// Per-daemon admission limits, applied to every tenant spec. The
+/// hard-coded constants of PR 8 became these fields; the constants remain
+/// as defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecLimits {
+    /// Ceiling on a session's step budget.
+    pub max_session_steps: usize,
+    /// Ceiling on a one-shot `check` trace length.
+    pub max_trace_events: usize,
+    /// Budgets for tenant-defined netlang programs.
+    pub netlang: NetLimits,
+}
+
+impl Default for SpecLimits {
+    fn default() -> SpecLimits {
+        SpecLimits {
+            max_session_steps: MAX_SESSION_STEPS,
+            max_trace_events: MAX_TRACE_EVENTS,
+            netlang: NetLimits::default(),
+        }
+    }
+}
+
+impl SpecLimits {
+    /// Limits with the given session-step ceiling, keeping the netlang
+    /// `steps` directive ceiling consistent with it.
+    pub fn with_session_steps(mut self, n: usize) -> SpecLimits {
+        self.max_session_steps = n;
+        self.netlang.max_steps = n as u64;
+        self
+    }
+
+    /// Limits with the given `check` trace-length ceiling.
+    pub fn with_trace_events(mut self, n: usize) -> SpecLimits {
+        self.max_trace_events = n;
+        self
+    }
+}
+
+/// What a session runs: a registry workload or a tenant-defined network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A conformance-zoo entry, by registry name.
+    Zoo(String),
+    /// A validated tenant netlang program (programs compare by source).
+    NetLang(Arc<NetProgram>),
+}
 
 /// Which scheduler drives a session. Constructed fresh for every chunk
 /// of a session's execution — checkpoint restore rebuilds its state, so
@@ -59,12 +113,12 @@ impl SchedSpec {
     }
 }
 
-/// A validated tenant session spec: which zoo workload to run, under
-/// which scheduler, with which bounds.
+/// A validated tenant session spec: which workload to run, under which
+/// scheduler, with which bounds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionSpec {
-    /// Conformance-zoo workload name (validated against the registry).
-    pub workload: String,
+    /// What to run: a registry workload or a validated tenant program.
+    pub workload: Workload,
     /// Network seed (oracle-driven networks derive their oracle from it).
     pub seed: u64,
     /// Scheduler driving the session.
@@ -109,6 +163,8 @@ pub enum SpecError {
         /// The parse failure.
         why: String,
     },
+    /// A tenant netlang program failed parsing or budget validation.
+    Net(NetError),
 }
 
 impl fmt::Display for SpecError {
@@ -126,7 +182,14 @@ impl fmt::Display for SpecError {
             SpecError::BadEvent { index, why } => {
                 write!(f, "events[{index}]: {why}")
             }
+            SpecError::Net(e) => write!(f, "netlang: {e}"),
         }
+    }
+}
+
+impl From<NetError> for SpecError {
+    fn from(e: NetError) -> SpecError {
+        SpecError::Net(e)
     }
 }
 
@@ -156,21 +219,55 @@ fn opt_usize_field(p: &Json, field: &'static str) -> Result<Option<usize>, SpecE
 }
 
 impl SessionSpec {
-    /// Parses and validates a spec object against the zoo registry.
+    /// Parses and validates a spec object under the default limits.
     pub fn from_json(p: &Json) -> Result<SessionSpec, SpecError> {
-        let workload = p
-            .get("workload")
-            .and_then(Json::as_str)
-            .ok_or(SpecError::BadField {
-                field: "workload",
-                expected: "a string workload name",
-            })?
-            .to_owned();
-        let zoo = conformance_zoo();
-        let entry = zoo
-            .iter()
-            .find(|e| e.name == workload)
-            .ok_or_else(|| SpecError::UnknownWorkload(workload.clone()))?;
+        SessionSpec::from_json_limited(p, &SpecLimits::default())
+    }
+
+    /// Parses and validates a spec object against the zoo registry (the
+    /// `workload` field) or the netlang trust boundary (the `netlang`
+    /// field), enforcing this daemon's admission limits.
+    pub fn from_json_limited(p: &Json, limits: &SpecLimits) -> Result<SessionSpec, SpecError> {
+        let workload = match (
+            p.get("workload").map(|v| v.as_str()),
+            p.get("netlang").map(|v| v.as_str()),
+        ) {
+            (Some(_), Some(_)) => {
+                return Err(SpecError::BadField {
+                    field: "workload",
+                    expected: "either `workload` or `netlang`, not both",
+                })
+            }
+            (Some(Some(name)), None) => {
+                let zoo = conformance_zoo();
+                if !zoo.iter().any(|e| e.name == name) {
+                    return Err(SpecError::UnknownWorkload(name.to_owned()));
+                }
+                Workload::Zoo(name.to_owned())
+            }
+            (None, Some(Some(src))) => {
+                let program = parse_netlang(src, &limits.netlang)?;
+                Workload::NetLang(Arc::new(program))
+            }
+            (Some(None), _) => {
+                return Err(SpecError::BadField {
+                    field: "workload",
+                    expected: "a string workload name",
+                })
+            }
+            (None, Some(None)) => {
+                return Err(SpecError::BadField {
+                    field: "netlang",
+                    expected: "a string netlang program",
+                })
+            }
+            (None, None) => {
+                return Err(SpecError::BadField {
+                    field: "workload",
+                    expected: "a string workload name (or a `netlang` program)",
+                })
+            }
+        };
         let seed = u64_field(p, "seed", 0)?;
         let sched = match p.get("sched") {
             None => SchedSpec::RoundRobin,
@@ -196,18 +293,27 @@ impl SessionSpec {
                 }
             }
         };
+        let default_steps = match &workload {
+            Workload::Zoo(name) => conformance_zoo()
+                .iter()
+                .find(|e| e.name == name.as_str())
+                .expect("validated against the registry above")
+                .max_steps
+                .min(limits.max_session_steps),
+            Workload::NetLang(program) => (program.steps() as usize).min(limits.max_session_steps),
+        };
         let max_steps = match opt_usize_field(p, "max_steps")? {
-            None => entry.max_steps,
+            None => default_steps,
             Some(0) => {
                 return Err(SpecError::OutOfRange {
                     field: "max_steps",
                     bound: "must be at least 1".to_owned(),
                 })
             }
-            Some(n) if n > MAX_SESSION_STEPS => {
+            Some(n) if n > limits.max_session_steps => {
                 return Err(SpecError::OutOfRange {
                     field: "max_steps",
-                    bound: format!("at most {MAX_SESSION_STEPS}"),
+                    bound: format!("at most {}", limits.max_session_steps),
                 })
             }
             Some(n) => n,
@@ -254,8 +360,12 @@ impl SessionSpec {
 
     /// Serializes back to the wire/journal form (parse ∘ to_json = id).
     pub fn to_json(&self) -> Json {
+        let workload_pair = match &self.workload {
+            Workload::Zoo(name) => ("workload", s(name.clone())),
+            Workload::NetLang(program) => ("netlang", s(program.source().to_owned())),
+        };
         let mut pairs = vec![
-            ("workload", s(self.workload.clone())),
+            workload_pair,
             ("seed", Json::UInt(self.seed)),
             ("sched", self.sched.to_json()),
             ("max_steps", Json::UInt(self.max_steps as u64)),
@@ -279,12 +389,47 @@ impl SessionSpec {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
-    /// The zoo entry this spec names (validated at parse, so present).
-    pub fn entry(&self) -> ZooEntry {
-        conformance_zoo()
-            .into_iter()
-            .find(|e| e.name == self.workload)
-            .expect("validated against the registry at parse")
+    /// The workload's display name: the zoo registry name, or the
+    /// netlang program's `net` name.
+    pub fn workload_name(&self) -> &str {
+        match &self.workload {
+            Workload::Zoo(name) => name,
+            Workload::NetLang(program) => program.name(),
+        }
+    }
+
+    /// The zoo entry a [`Workload::Zoo`] spec names (validated at parse,
+    /// so present); `None` for tenant netlang workloads.
+    pub fn entry(&self) -> Option<ZooEntry> {
+        match &self.workload {
+            Workload::Zoo(name) => Some(
+                conformance_zoo()
+                    .into_iter()
+                    .find(|e| e.name == name.as_str())
+                    .expect("validated against the registry at parse"),
+            ),
+            Workload::NetLang(_) => None,
+        }
+    }
+
+    /// Builds the runnable network for this spec at the given seed.
+    pub fn build_network(&self, seed: u64) -> Network {
+        match &self.workload {
+            Workload::Zoo(_) => self.entry().expect("zoo workload").network(seed),
+            Workload::NetLang(program) => program.build(seed),
+        }
+    }
+
+    /// Checks a run report against the workload's equational description.
+    pub fn check(&self, report: &RunReport) -> Conformance {
+        match &self.workload {
+            Workload::Zoo(_) => self.entry().expect("zoo workload").check(report),
+            Workload::NetLang(program) => conformance::check_report(
+                &program.description(),
+                report,
+                &ConformanceOptions::default(),
+            ),
+        }
     }
 
     /// The library run options for one execution chunk ending at
@@ -316,8 +461,14 @@ pub struct TraceSpec {
 }
 
 impl TraceSpec {
-    /// Parses and validates a `check` payload.
+    /// Parses and validates a `check` payload under the default limits.
     pub fn from_json(p: &Json) -> Result<TraceSpec, SpecError> {
+        TraceSpec::from_json_limited(p, &SpecLimits::default())
+    }
+
+    /// Parses and validates a `check` payload against this daemon's
+    /// trace-length ceiling.
+    pub fn from_json_limited(p: &Json, limits: &SpecLimits) -> Result<TraceSpec, SpecError> {
         let workload = p
             .get("workload")
             .and_then(Json::as_str)
@@ -336,10 +487,10 @@ impl TraceSpec {
                 field: "events",
                 expected: "an array of `\"<chan>:<value>\"` strings",
             })?;
-        if events_json.len() > MAX_TRACE_EVENTS {
+        if events_json.len() > limits.max_trace_events {
             return Err(SpecError::OutOfRange {
                 field: "events",
-                bound: format!("at most {MAX_TRACE_EVENTS} events"),
+                bound: format!("at most {} events", limits.max_trace_events),
             });
         }
         let mut events = Vec::with_capacity(events_json.len());
@@ -389,10 +540,65 @@ mod tests {
     #[test]
     fn minimal_spec_fills_zoo_defaults() {
         let spec = parse_spec(r#"{"workload":"sec23-merge"}"#).expect("valid");
-        assert_eq!(spec.workload, "sec23-merge");
+        assert_eq!(spec.workload_name(), "sec23-merge");
         assert_eq!(spec.sched, SchedSpec::RoundRobin);
-        assert_eq!(spec.max_steps, spec.entry().max_steps);
+        assert_eq!(spec.max_steps, spec.entry().expect("zoo").max_steps);
         assert!(spec.capacity.is_none());
+    }
+
+    #[test]
+    fn netlang_spec_parses_builds_and_roundtrips() {
+        let program = "net doubler\nsteps 200\nchan b = 0\nchan c = 1\n\
+                       proc src = const b [1 2 3]\n\
+                       proc dbl = map affine(2,0) b -> c\n\
+                       eq c <= map(affine(2,0), b)\n";
+        let spec = SessionSpec::from_json(&obj([("netlang", s(program.to_owned()))]))
+            .expect("valid netlang spec");
+        assert_eq!(spec.workload_name(), "doubler");
+        assert!(spec.entry().is_none());
+        assert_eq!(spec.max_steps, 200, "defaults to the program's steps");
+        let mut net = spec.build_network(0);
+        let report = net.run_report(&mut RoundRobin::new(), spec.run_options(200));
+        let conf = spec.check(&report);
+        assert!(
+            matches!(
+                conf.verdict,
+                eqp_kahn::Verdict::SmoothSolution | eqp_kahn::Verdict::SmoothPrefix
+            ),
+            "{:?}",
+            conf.verdict
+        );
+        let back = SessionSpec::from_json(&spec.to_json()).expect("own json reparses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn netlang_rejections_are_typed() {
+        // Both workload kinds at once is ambiguous.
+        let both = r#"{"workload":"ticks","netlang":"net x\nchan b = 0\nproc p = copy b -> b\n"}"#;
+        let e = parse_spec(both).expect_err("ambiguous");
+        assert!(e.to_string().contains("not both"), "{e}");
+        // A hostile program is rejected with the netlang error inside.
+        let bad = SessionSpec::from_json(&obj([(
+            "netlang",
+            s("net x\nchan b = 0\nproc p = copy b -> q\n".to_owned()),
+        )]))
+        .expect_err("unknown channel");
+        assert!(matches!(bad, SpecError::Net(_)), "{bad:?}");
+        assert!(bad.to_string().contains("netlang"), "{bad}");
+    }
+
+    #[test]
+    fn limits_clamp_max_steps_and_netlang_budgets() {
+        let limits = SpecLimits::default().with_session_steps(100);
+        let j = Json::parse(r#"{"workload":"ticks","max_steps":101}"#).expect("json");
+        let e = SessionSpec::from_json_limited(&j, &limits).expect_err("over budget");
+        assert!(e.to_string().contains("at most 100"), "{e}");
+        // The netlang `steps` directive obeys the same per-daemon ceiling.
+        let big = "net x\nsteps 5000\nchan b = 0\nchan c = 1\nproc p = copy b -> c\n";
+        let j = obj([("netlang", s(big.to_owned()))]);
+        let e = SessionSpec::from_json_limited(&j, &limits).expect_err("steps over budget");
+        assert!(matches!(e, SpecError::Net(_)), "{e:?}");
     }
 
     #[test]

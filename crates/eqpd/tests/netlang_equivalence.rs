@@ -1,0 +1,92 @@
+//! The tentpole equivalence suite: every zoo network re-encoded in
+//! netlang certifies to the *identical* result — same verdict, same
+//! trace hash, same step count — as the hand-built original, across
+//! schedulers and across the checkpointed evict/resume path.
+//!
+//! This is the end-to-end form of the `eqp-netlang` promise: a tenant
+//! program that round-trips through the textual trust boundary is
+//! indistinguishable, at the certified-artifact level, from native code.
+
+use eqp_processes::netlang_zoo;
+use eqpd::json::{obj, s, Json};
+use eqpd::{ChunkOutcome, SessionResult, SessionRun, SessionSpec};
+
+/// Parses a session spec from JSON pairs.
+fn spec(pairs: [(&str, Json); 3]) -> SessionSpec {
+    SessionSpec::from_json(&obj(pairs)).expect("test specs are valid")
+}
+
+fn sched_json(kind: &str, seed: u64) -> Json {
+    obj([("kind", s(kind)), ("seed", Json::UInt(seed))])
+}
+
+/// Runs a session to completion in `chunk`-step slices. When `evict`,
+/// every park round-trips the checkpoint through its durable byte image
+/// — the same path a journal eviction or daemon restart takes.
+fn run_to_end(spec: SessionSpec, chunk: usize, evict: bool) -> SessionResult {
+    let mut run = SessionRun::new(spec);
+    loop {
+        match run.advance(chunk).expect("sessions here never abort") {
+            ChunkOutcome::Finished(r) => return *r,
+            ChunkOutcome::Parked(_) => {
+                if evict {
+                    let bytes = run
+                        .checkpoint_bytes()
+                        .expect("parked checkpoints encode")
+                        .expect("parked implies an image");
+                    let spec = run.spec().clone();
+                    run =
+                        SessionRun::from_checkpoint_bytes(spec, &bytes).expect("own image decodes");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn netlang_reencodings_certify_identically_to_zoo_builds() {
+    for (name, src) in netlang_zoo::pairs() {
+        for (kind, sseed) in [("round-robin", 0), ("random", 7), ("adversarial", 1234)] {
+            let zoo_spec = spec([
+                ("workload", s(name)),
+                ("seed", Json::UInt(11)),
+                ("sched", sched_json(kind, sseed)),
+            ]);
+            let net_spec = spec([
+                ("netlang", s(src)),
+                ("seed", Json::UInt(11)),
+                ("sched", sched_json(kind, sseed)),
+            ]);
+            assert_eq!(net_spec.workload_name(), name);
+            assert_eq!(
+                net_spec.max_steps, zoo_spec.max_steps,
+                "{name}: the program's `steps` mirrors the zoo bound"
+            );
+
+            // One big chunk: the whole run in a single advance.
+            let zoo_big = run_to_end(zoo_spec.clone(), usize::MAX / 2, false);
+            let net_big = run_to_end(net_spec.clone(), usize::MAX / 2, false);
+            assert_eq!(
+                net_big, zoo_big,
+                "{name}/{kind}: netlang and zoo certify differently"
+            );
+
+            // Tiny chunks with every park evicted through checkpoint
+            // bytes: identical again, so the tenant program participates
+            // fully in evict/resume.
+            let net_small = run_to_end(net_spec, 3, true);
+            assert_eq!(
+                net_small.verdict, zoo_big.verdict,
+                "{name}/{kind}: evict/resume changed the verdict"
+            );
+            assert_eq!(
+                net_small.trace_hash, zoo_big.trace_hash,
+                "{name}/{kind}: evict/resume changed the trace"
+            );
+            assert_eq!(
+                net_small.steps, zoo_big.steps,
+                "{name}/{kind}: evict/resume changed the step count"
+            );
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Fuzzes the netlang trust boundary.
+//!
+//! Three attacker models, all driven by a deterministic LCG so failures
+//! reproduce from the printed seed:
+//!
+//! 1. **Byte soup** — arbitrary (often non-UTF-8-printable) input thrown
+//!    at [`eqp_netlang::parse`] and at the daemon's
+//!    [`SessionSpec::from_json_limited`] boundary. Every outcome must be
+//!    a typed error or a valid program; never a panic.
+//! 2. **Grammar-aware mutation** — the six zoo re-encodings and a batch
+//!    of generator outputs, mangled line-by-line and token-by-token.
+//!    Mutants that survive validation must also *build* and run a short
+//!    chunk without panicking: admission implies executability.
+//! 3. **Budget edges** — for each countable budget, a program exactly at
+//!    the cap is admitted and one past the cap is rejected with the
+//!    matching typed variant (`Oversized` / `OutOfRange` / `TooDeep`).
+
+use eqp_netlang::{parse, random_program, NetError, NetLimits};
+use eqpd::json::{obj, s, Json};
+use eqpd::{ChunkOutcome, SessionRun, SessionSpec, SpecError, SpecLimits};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() >> 16) as usize % n.max(1)
+    }
+}
+
+/// Asserts the full boundary is total on `src`: direct parse, then the
+/// daemon spec path. Returns the admitted spec, if any.
+fn assert_total(src: &str, ctx: &str) -> Option<SessionSpec> {
+    let limits = SpecLimits::default();
+    let direct = catch_unwind(AssertUnwindSafe(|| parse(src, &limits.netlang)));
+    let direct = direct.unwrap_or_else(|_| panic!("parse panicked on {ctx}:\n{src}"));
+
+    let p = obj([("netlang", s(src)), ("seed", Json::UInt(1))]);
+    let spec = catch_unwind(AssertUnwindSafe(|| {
+        SessionSpec::from_json_limited(&p, &limits)
+    }));
+    let spec = spec.unwrap_or_else(|_| panic!("from_json_limited panicked on {ctx}:\n{src}"));
+
+    // The two boundaries must agree on admissibility.
+    match (&direct, &spec) {
+        (Ok(_), Ok(_)) | (Err(_), Err(_)) => {}
+        _ => panic!(
+            "parse said {:?} but spec boundary said {:?} on {ctx}:\n{src}",
+            direct.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+            spec.as_ref().map(|_| "ok").map_err(|e| e.to_string()),
+        ),
+    }
+    if let Err(e) = &spec {
+        // Rejections are typed netlang errors (or a bad-field shape
+        // error), and their Display rendering is total.
+        let _ = e.to_string();
+        assert!(
+            matches!(e, SpecError::Net(_) | SpecError::BadField { .. }),
+            "unexpected rejection class on {ctx}: {e}"
+        );
+    }
+    spec.ok()
+}
+
+/// An admitted program must build and run a short chunk without
+/// panicking. Kept to one small chunk so hostile `steps` budgets cannot
+/// slow the suite down.
+fn assert_runs(spec: SessionSpec, ctx: &str) {
+    let out = catch_unwind(AssertUnwindSafe(|| {
+        let mut run = SessionRun::new(spec);
+        run.advance(32)
+    }));
+    match out {
+        Ok(Ok(ChunkOutcome::Finished(_) | ChunkOutcome::Parked(_))) => {}
+        Ok(Err(e)) => panic!("admitted program failed to run ({ctx}): {e}"),
+        Err(_) => panic!("admitted program panicked while running ({ctx})"),
+    }
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_boundary() {
+    let mut rng = Lcg(0x5eed_0001);
+    for iter in 0..400 {
+        let len = rng.below(1200);
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            let b = match rng.below(4) {
+                // Bias toward grammar-adjacent ASCII so the parser gets
+                // past tokenization more often than pure noise would.
+                0..=2 => b" \nabcdefghijklmnopqrstuvwxyz0123456789=<->[](),:."[rng.below(49)],
+                _ => (rng.next() & 0xff) as u8,
+            };
+            bytes.push(b);
+        }
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        if let Some(spec) = assert_total(&src, &format!("byte soup iter {iter}")) {
+            assert_runs(spec, &format!("byte soup iter {iter}"));
+        }
+    }
+}
+
+/// Applies one random mutation to `src`.
+fn mutate(src: &str, rng: &mut Lcg) -> String {
+    let mut lines: Vec<String> = src.lines().map(str::to_owned).collect();
+    if lines.is_empty() {
+        return "net x\n".to_owned();
+    }
+    match rng.below(7) {
+        // Delete a line.
+        0 => {
+            let i = rng.below(lines.len());
+            lines.remove(i);
+        }
+        // Duplicate a line (duplicate names, duplicate wiring).
+        1 => {
+            let i = rng.below(lines.len());
+            let l = lines[i].clone();
+            lines.insert(i, l);
+        }
+        // Swap two lines (declarations out of order).
+        2 => {
+            let i = rng.below(lines.len());
+            let j = rng.below(lines.len());
+            lines.swap(i, j);
+        }
+        // Replace a number with an extreme value.
+        3 => {
+            let i = rng.below(lines.len());
+            let extreme = [
+                "0",
+                "4294967295",
+                "18446744073709551615",
+                "-1",
+                "999999999999",
+            ][rng.below(5)];
+            lines[i] = lines[i]
+                .split_whitespace()
+                .map(|w| {
+                    if w.chars().all(|c| c.is_ascii_digit()) {
+                        extreme.to_owned()
+                    } else {
+                        w.to_owned()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+        }
+        // Truncate a line mid-token.
+        4 => {
+            let i = rng.below(lines.len());
+            let cut = rng.below(lines[i].len() + 1);
+            let mut c = cut;
+            while !lines[i].is_char_boundary(c) {
+                c -= 1;
+            }
+            lines[i].truncate(c);
+        }
+        // Corrupt one token (undefined channels, reserved words, junk
+        // operators).
+        5 => {
+            let i = rng.below(lines.len());
+            let junk = ["nosuchchan", "net", "steps", "<=", "->", "((", "]]", "proc"][rng.below(8)];
+            let words: Vec<&str> = lines[i].split_whitespace().collect();
+            if !words.is_empty() {
+                let j = rng.below(words.len());
+                let mut out: Vec<&str> = words.clone();
+                out[j] = junk;
+                lines[i] = out.join(" ");
+            }
+        }
+        // Splice a line from a different zoo program.
+        _ => {
+            let donors = eqp_processes::netlang_zoo::pairs();
+            let (_, donor) = donors[rng.below(donors.len())];
+            let donor_lines: Vec<&str> = donor.lines().collect();
+            let l = donor_lines[rng.below(donor_lines.len())].to_owned();
+            let i = rng.below(lines.len() + 1);
+            lines.insert(i, l);
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[test]
+fn mutated_programs_never_panic_and_admitted_mutants_run() {
+    let mut corpus: Vec<String> = eqp_processes::netlang_zoo::pairs()
+        .into_iter()
+        .map(|(_, src)| src.to_owned())
+        .collect();
+    for seed in 0..12 {
+        corpus.push(random_program(seed));
+    }
+
+    let mut rng = Lcg(0x5eed_0002);
+    let mut admitted = 0usize;
+    for round in 0..40 {
+        for (pi, base) in corpus.iter().enumerate() {
+            let mut m = base.clone();
+            for _ in 0..=rng.below(3) {
+                m = mutate(&m, &mut rng);
+            }
+            let ctx = format!("mutant round {round} program {pi}");
+            if let Some(spec) = assert_total(&m, &ctx) {
+                admitted += 1;
+                assert_runs(spec, &ctx);
+            }
+        }
+    }
+    // The mutator must not be so destructive that the accept path goes
+    // untested; single-line edits of valid programs often stay valid.
+    assert!(admitted > 0, "no mutant was ever admitted");
+}
+
+#[test]
+fn generator_outputs_are_always_admissible() {
+    for seed in 0..64 {
+        let src = random_program(seed);
+        let spec = assert_total(&src, &format!("random_program({seed})"))
+            .unwrap_or_else(|| panic!("random_program({seed}) rejected:\n{src}"));
+        assert_runs(spec, &format!("random_program({seed})"));
+    }
+}
+
+/// Renders `n` channel declarations (indices 0..n).
+fn chans(n: usize) -> String {
+    (0..n).fold(String::new(), |mut acc, i| {
+        acc.push_str(&format!("chan c{i} = {i}\n"));
+        acc
+    })
+}
+
+#[test]
+fn budget_edges_admit_at_cap_and_reject_past_it() {
+    let lim = |f: fn(&mut NetLimits)| {
+        let mut l = NetLimits::default();
+        f(&mut l);
+        l
+    };
+
+    // max_channels: a program with exactly the cap is fine; one more is
+    // a typed Oversized, not a truncation.
+    let l = lim(|l| l.max_channels = 4);
+    let ok = format!("net n\nsteps 8\n{}proc p = copy c0 -> c1\n", chans(4));
+    assert!(parse(&ok, &l).is_ok(), "at-cap channels rejected");
+    let over = format!("net n\nsteps 8\n{}proc p = copy c0 -> c1\n", chans(5));
+    assert!(
+        matches!(
+            parse(&over, &l),
+            Err(NetError::Oversized {
+                field: "max_channels",
+                ..
+            })
+        ),
+        "cap+1 channels not Oversized"
+    );
+
+    // max_chan_index.
+    let l = lim(|l| l.max_chan_index = 7);
+    let ok = "net n\nsteps 8\nchan a = 7\nchan b = 0\nproc p = copy a -> b\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap chan index rejected");
+    let over = "net n\nsteps 8\nchan a = 8\nchan b = 0\nproc p = copy a -> b\n";
+    assert!(
+        matches!(parse(over, &l), Err(NetError::OutOfRange { .. })),
+        "cap+1 chan index not OutOfRange"
+    );
+
+    // max_processes.
+    let l = lim(|l| l.max_processes = 2);
+    let ok = "net n\nsteps 8\nchan a = 0\nchan b = 1\nchan c = 2\n\
+              proc p = copy a -> b\nproc q = copy b -> c\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap processes rejected");
+    let over = "net n\nsteps 8\nchan a = 0\nchan b = 1\nchan c = 2\nchan d = 3\n\
+                proc p = copy a -> b\nproc q = copy b -> c\nproc r = copy c -> d\n";
+    assert!(
+        matches!(
+            parse(over, &l),
+            Err(NetError::Oversized {
+                field: "max_processes",
+                ..
+            })
+        ),
+        "cap+1 processes not Oversized"
+    );
+
+    // max_equations.
+    let l = lim(|l| l.max_equations = 2);
+    let ok = "net n\nsteps 8\nchan a = 0\nchan b = 1\nproc p = copy a -> b\n\
+              eq b <= a\neq a <= b\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap equations rejected");
+    let over = "net n\nsteps 8\nchan a = 0\nchan b = 1\nproc p = copy a -> b\n\
+                eq b <= a\neq a <= b\neq b <= a\n";
+    assert!(
+        matches!(
+            parse(over, &l),
+            Err(NetError::Oversized {
+                field: "max_equations",
+                ..
+            })
+        ),
+        "cap+1 equations not Oversized"
+    );
+
+    // max_seq_values.
+    let l = lim(|l| l.max_seq_values = 4);
+    let ok = "net n\nsteps 8\nchan a = 0\nproc p = const a [1 2 3 4]\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap seq values rejected");
+    let over = "net n\nsteps 8\nchan a = 0\nproc p = const a [1 2 3 4 5]\n";
+    assert!(
+        matches!(
+            parse(over, &l),
+            Err(NetError::Oversized {
+                field: "max_seq_values",
+                ..
+            })
+        ),
+        "cap+1 seq values not Oversized"
+    );
+
+    // max_steps.
+    let l = lim(|l| l.max_steps = 100);
+    let ok = "net n\nsteps 100\nchan a = 0\nproc p = const a [1]\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap steps rejected");
+    let over = "net n\nsteps 101\nchan a = 0\nproc p = const a [1]\n";
+    assert!(
+        matches!(
+            parse(over, &l),
+            Err(NetError::OutOfRange { field: "steps", .. })
+        ),
+        "cap+1 steps not OutOfRange"
+    );
+
+    // max_merge_bound.
+    let l = lim(|l| l.max_merge_bound = 3);
+    let ok = "net n\nsteps 8\nchan a = 0\nchan b = 1\nchan c = 2\n\
+              proc m = merge(3) a b -> c\n";
+    assert!(parse(ok, &l).is_ok(), "at-cap merge bound rejected");
+    let over = "net n\nsteps 8\nchan a = 0\nchan b = 1\nchan c = 2\n\
+                proc m = merge(4) a b -> c\n";
+    assert!(
+        matches!(parse(over, &l), Err(NetError::OutOfRange { .. })),
+        "cap+1 merge bound not OutOfRange"
+    );
+
+    // max_source_bytes: the same valid program flips to Oversized the
+    // moment the cap dips below its length.
+    let src = "net n\nsteps 8\nchan a = 0\nproc p = const a [1]\n";
+    let mut l = NetLimits {
+        max_source_bytes: src.len(),
+        ..Default::default()
+    };
+    assert!(parse(src, &l).is_ok(), "at-cap source bytes rejected");
+    l.max_source_bytes = src.len() - 1;
+    assert!(
+        matches!(
+            parse(src, &l),
+            Err(NetError::Oversized {
+                field: "max_source_bytes",
+                ..
+            })
+        ),
+        "cap+1 source bytes not Oversized"
+    );
+
+    // max_depth: deep expression nesting is a typed TooDeep, not a stack
+    // overflow.
+    let l = lim(|l| l.max_depth = 6);
+    let mut expr = "b".to_owned();
+    for _ in 0..40 {
+        expr = format!("map(untag, {expr})");
+    }
+    let deep = format!("net n\nsteps 8\nchan b = 0\nchan c = 1\nproc p = expr c := {expr}\n");
+    assert!(
+        matches!(parse(&deep, &l), Err(NetError::TooDeep { .. })),
+        "deep nesting not TooDeep"
+    );
+    let shallow = "net n\nsteps 8\nchan b = 0\nchan c = 1\n\
+                   proc p = expr c := map(untag, map(untag, b))\n";
+    assert!(parse(shallow, &l).is_ok(), "shallow nesting rejected");
+
+    // max_expr_nodes: a node-count cap rejects wide-but-shallow
+    // expressions that the depth bound alone would admit.
+    let l = lim(|l| {
+        l.max_depth = 64;
+        l.max_expr_nodes = 3;
+    });
+    let wide = "net n\nsteps 8\nchan b = 0\nchan c = 1\n\
+                proc p = expr c := concat([1 2], concat([3 4], concat([5 6], b)))\n";
+    assert!(
+        matches!(
+            parse(wide, &l),
+            Err(NetError::Oversized {
+                field: "max_expr_nodes",
+                ..
+            })
+        ),
+        "wide expression not Oversized"
+    );
+}
+
+#[test]
+fn spec_boundary_rejects_budget_violations_with_typed_errors() {
+    // A program valid under default limits but over a tightened daemon
+    // budget is rejected at the spec boundary as SpecError::Net.
+    let mut limits = SpecLimits::default();
+    limits.netlang.max_processes = 1;
+    let (_, src) = eqp_processes::netlang_zoo::pairs()[0]; // fig1-plain: 2 procs
+    let p = obj([("netlang", s(src))]);
+    match SessionSpec::from_json_limited(&p, &limits) {
+        Err(SpecError::Net(NetError::Oversized {
+            field: "max_processes",
+            ..
+        })) => {}
+        other => panic!("expected Net(Oversized max_processes), got {other:?}"),
+    }
+
+    // Supplying both a named workload and a netlang program is a typed
+    // shape error, not last-one-wins.
+    let p = obj([("workload", s("ticks")), ("netlang", s(src))]);
+    assert!(matches!(
+        SessionSpec::from_json_limited(&p, &SpecLimits::default()),
+        Err(SpecError::BadField { .. })
+    ));
+}

@@ -76,7 +76,7 @@ proptest! {
         let doc = Json::parse(&text).expect("constructed JSON is valid");
         match SessionSpec::from_json(&doc) {
             Ok(spec) => {
-                prop_assert_eq!(spec.workload.as_str(), "fair-merge");
+                prop_assert_eq!(spec.workload_name(), "fair-merge");
                 prop_assert!(spec.max_steps >= 1);
                 prop_assert!(spec.max_steps <= eqpd::spec::MAX_SESSION_STEPS);
             }

@@ -347,8 +347,7 @@ fn one_shot_check_certifies_textual_traces() {
         assert!(truth.trace_len > 0);
         // ticks emits on one channel only; read it from a direct run.
         let spec = SessionSpec::from_json(&spec_json("ticks", 1)).expect("valid");
-        let entry = spec.entry();
-        let mut net = entry.network(1);
+        let mut net = spec.build_network(1);
         let report = net.run_report(
             &mut eqp_kahn::RoundRobin::new(),
             eqp_kahn::RunOptions {

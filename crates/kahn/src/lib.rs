@@ -92,6 +92,7 @@
 pub(crate) mod chanmap;
 pub mod chaos;
 pub mod conformance;
+pub mod described;
 pub mod faults;
 pub mod monitor;
 pub mod network;
@@ -111,6 +112,7 @@ pub use chaos::{
     ChaosOptions, ChaosReport, Conviction, Scenario, SchedulerChoice, ShrinkResult, Trial,
 };
 pub use conformance::{Conformance, ConformanceOptions, Verdict};
+pub use described::{ExprProc, FilterStep};
 pub use faults::{
     CrashAt, CrashPoint, Fault, FaultEvent, FaultKind, FaultSchedule, FaultyLink, LinkFaultSpec,
 };

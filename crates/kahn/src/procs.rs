@@ -106,7 +106,9 @@ impl Apply {
     /// The affine worker `n ↦ a·n + b` on integers.
     pub fn int_affine(name: impl Into<String>, input: Chan, output: Chan, a: i64, b: i64) -> Apply {
         Apply::new(name, input, output, move |v| match v {
-            Value::Int(n) => Value::Int(a * n + b),
+            // Wrapping, matching `ValueMap::Affine`: the process and its
+            // description must agree even at i64 overflow.
+            Value::Int(n) => Value::Int(a.wrapping_mul(n).wrapping_add(b)),
             other => other,
         })
     }
@@ -414,7 +416,8 @@ impl Zip2 {
     /// Integer addition.
     pub fn add(name: impl Into<String>, left: Chan, right: Chan, output: Chan) -> Zip2 {
         Zip2::new(name, left, right, output, |a, b| match (a, b) {
-            (Value::Int(x), Value::Int(y)) => Value::Int(x + y),
+            // Wrapping, matching `ValueZip::AddInts` (see its docs).
+            (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(y)),
             _ => Value::Int(0),
         })
     }

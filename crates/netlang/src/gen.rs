@@ -1,0 +1,165 @@
+//! Seeded generation of random *valid* programs — used by `eqpd-load`'s
+//! tenant-network mode and by the grammar-aware fuzz corpus.
+
+/// A tiny deterministic generator (xorshift64*); no external RNG crates
+/// and no global state, so the same seed always yields the same program.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Generates a random, printable, *valid* netlang program from `seed`.
+///
+/// The program always parses under default [`NetLimits`](crate::NetLimits)
+/// and always certifies: sources are finite, the wiring is a DAG built
+/// stage by stage (each stage consumes open channels and produces a fresh
+/// one), and every deterministic process is accompanied by its defining
+/// equation, so the description holds by construction. `merge` outputs
+/// are left undescribed (they are the nondeterministic elements), but
+/// processes *downstream* of a merge still get exact equations over the
+/// merged channel — the paper's point that descriptions constrain
+/// components, not oracles.
+pub fn random_program(seed: u64) -> String {
+    let mut rng = Rng::new(seed);
+    let mut out = String::new();
+    out.push_str(&format!("# generated tenant network (seed {seed})\n"));
+    out.push_str(&format!("net gen-{seed}\n"));
+    out.push_str(&format!("steps {}\n", 500 + rng.below(1500)));
+
+    let n_sources = 1 + rng.below(3) as usize;
+    let n_stages = 3 + rng.below(6) as usize;
+    let total_chans = n_sources + n_stages;
+    for i in 0..total_chans {
+        out.push_str(&format!("chan c{i} = {i}\n"));
+    }
+
+    let mut next_chan = 0usize;
+    let mut open: Vec<usize> = Vec::new();
+    let mut procs = 0usize;
+    let mut eqs: Vec<String> = Vec::new();
+
+    for _ in 0..n_sources {
+        let ch = next_chan;
+        next_chan += 1;
+        let len = 1 + rng.below(8);
+        let vals: Vec<String> = (0..len).map(|_| rng.below(10).to_string()).collect();
+        let vals = vals.join(" ");
+        out.push_str(&format!("proc p{procs} = const c{ch} [{vals}]\n"));
+        eqs.push(format!("eq c{ch} <= [{vals}]"));
+        procs += 1;
+        open.push(ch);
+    }
+
+    for _ in 0..n_stages {
+        if next_chan >= total_chans || open.is_empty() {
+            break;
+        }
+        let ch = next_chan;
+        next_chan += 1;
+        let take = |open: &mut Vec<usize>, rng: &mut Rng| -> usize {
+            let i = rng.below(open.len() as u64) as usize;
+            open.swap_remove(i)
+        };
+        let two_available = open.len() >= 2;
+        match rng.below(if two_available { 7 } else { 5 }) {
+            0 => {
+                let a = take(&mut open, &mut rng);
+                out.push_str(&format!("proc p{procs} = copy c{a} -> c{ch}\n"));
+                eqs.push(format!("eq c{ch} <= c{a}"));
+            }
+            1 => {
+                let a = take(&mut open, &mut rng);
+                let m = 1 + rng.below(4);
+                let b = rng.below(5);
+                out.push_str(&format!(
+                    "proc p{procs} = map affine({m},{b}) c{a} -> c{ch}\n"
+                ));
+                eqs.push(format!("eq c{ch} <= map(affine({m},{b}), c{a})"));
+            }
+            2 => {
+                let a = take(&mut open, &mut rng);
+                let p = if rng.below(2) == 0 { "even" } else { "odd" };
+                out.push_str(&format!("proc p{procs} = filter {p} c{a} -> c{ch}\n"));
+                eqs.push(format!("eq c{ch} <= filter({p}, c{a})"));
+            }
+            3 => {
+                let a = take(&mut open, &mut rng);
+                let v = rng.below(10);
+                out.push_str(&format!("proc p{procs} = delay [{v}] c{a} -> c{ch}\n"));
+                eqs.push(format!("eq c{ch} <= concat([{v}], c{a})"));
+            }
+            4 => {
+                let a = take(&mut open, &mut rng);
+                let m = 1 + rng.below(3);
+                let b = rng.below(3);
+                out.push_str(&format!(
+                    "proc p{procs} = expr c{ch} := map(affine({m},{b}), c{a})\n"
+                ));
+                eqs.push(format!("eq c{ch} <= map(affine({m},{b}), c{a})"));
+            }
+            5 => {
+                let a = take(&mut open, &mut rng);
+                let b = take(&mut open, &mut rng);
+                out.push_str(&format!("proc p{procs} = zip add c{a} c{b} -> c{ch}\n"));
+                eqs.push(format!("eq c{ch} <= zip(add, c{a}, c{b})"));
+            }
+            _ => {
+                let a = take(&mut open, &mut rng);
+                let b = take(&mut open, &mut rng);
+                let k = 2 + rng.below(3);
+                out.push_str(&format!("proc p{procs} = merge({k}) c{a} c{b} -> c{ch}\n"));
+                // Nondeterministic: no defining equation for the output.
+            }
+        }
+        procs += 1;
+        open.push(ch);
+    }
+
+    for eq in eqs {
+        out.push_str(&eq);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::random_program;
+    use crate::{parse, NetLimits};
+
+    #[test]
+    fn generated_programs_always_parse() {
+        let limits = NetLimits::default();
+        for seed in 0..200 {
+            let src = random_program(seed);
+            assert!(src.is_ascii(), "seed {seed}: non-printable program");
+            let p = parse(&src, &limits)
+                .unwrap_or_else(|e| panic!("seed {seed}: generated program rejected: {e}\n{src}"));
+            assert!(!p.procs().is_empty());
+            let net = p.build(seed);
+            assert_eq!(net.len(), p.procs().len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(random_program(42), random_program(42));
+        assert_ne!(random_program(1), random_program(2));
+    }
+}

@@ -42,6 +42,7 @@ pub mod finite_ticks;
 pub mod folklore;
 pub mod fork;
 pub mod implication;
+pub mod netlang_zoo;
 pub mod random_bit;
 pub mod random_number;
 pub mod ticks;

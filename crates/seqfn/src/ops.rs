@@ -160,7 +160,9 @@ impl ValueMap {
     pub fn apply(self, v: &Value) -> Value {
         match self {
             ValueMap::Affine { a, b } => match v {
-                Value::Int(n) => Value::Int(a * n + b),
+                // Wrapping: coefficients can come from untrusted tenant
+                // programs, and the map must be total on every i64.
+                Value::Int(n) => Value::Int(a.wrapping_mul(*n).wrapping_add(b)),
                 other => *other,
             },
             ValueMap::R => match v {
@@ -267,7 +269,8 @@ impl ValueZip {
                 _ => Value::Bit(false),
             },
             ValueZip::AddInts => match (x, y) {
-                (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+                // Wrapping: total on every operand pair (untrusted input).
+                (Value::Int(a), Value::Int(b)) => Value::Int(a.wrapping_add(*b)),
                 _ => Value::Int(0),
             },
         }
