@@ -22,6 +22,11 @@
 //!   tree-walking interpreter, plus the one-time lowering cost and an
 //!   instruction-count table (combinator nodes vs fused instructions).
 //!
+//! * `telemetry` — the sketch-capture tax (mergeable quantile/heavy-
+//!   hitter/HLL sketches on vs off, gate ≤1.05×) and the zero-copy
+//!   dividend (`CheckpointView` skim-and-move resume vs the allocating
+//!   decoder on a ≥1MB image, asserted byte-identical and gated >1×).
+//!
 //! Results are emitted to `BENCH_runtime.json` at the repository root,
 //! including the computed checkpoint-capture and ARQ overhead ratios, the
 //! compiled monitor overhead (gate ≤1.15×), and the IR stats line. Under
@@ -266,14 +271,49 @@ fn sharded_pipeline(lanes: usize) -> Network {
 /// workload, across worker counts. The byte-identity contract means the
 /// *only* thing allowed to vary here is wall-clock time; `shards-1`
 /// (the inline backend: full epoch protocol, no threads) is gated at
-/// ≤1.05× the unsharded engine.
-fn bench_sharded(c: &mut Criterion) {
+/// ≤1.05× the unsharded engine. The gated ratio comes from the returned
+/// interleaved paired measurement, not from the sequential criterion
+/// medians below: back-to-back A/B pairs cancel the machine-load drift
+/// that makes two medians taken minutes apart swing ±10% either way.
+fn bench_sharded(c: &mut Criterion) -> f64 {
     let opts = RunOptions {
         max_steps: 1_000_000,
         seed: 7,
         ..RunOptions::default()
     };
     let lanes = 48;
+
+    let run_unsharded = || {
+        let mut net = sharded_pipeline(lanes);
+        net.run_report(&mut RoundRobin::new(), opts).steps
+    };
+    let run_one_shard = || {
+        let mut net = sharded_pipeline(lanes);
+        net.run_report_sharded(&mut RoundRobin::new(), opts.with_shards(1))
+            .steps
+    };
+    let sharded_one_overhead = if criterion::smoke_mode() {
+        1.0
+    } else {
+        let mut bases = Vec::new();
+        let mut ones = Vec::new();
+        for _ in 0..3 {
+            black_box(run_unsharded());
+            black_box(run_one_shard());
+        }
+        for _ in 0..30 {
+            let t0 = std::time::Instant::now();
+            black_box(run_unsharded());
+            bases.push(t0.elapsed().as_secs_f64());
+            let t1 = std::time::Instant::now();
+            black_box(run_one_shard());
+            ones.push(t1.elapsed().as_secs_f64());
+        }
+        bases.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        ones.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        ones[ones.len() / 2] / bases[bases.len() / 2]
+    };
+
     let mut g = c.benchmark_group("sharded");
     g.sample_size(10);
     g.bench_function("unsharded", |b| {
@@ -294,6 +334,7 @@ fn bench_sharded(c: &mut Criterion) {
         });
     }
     g.finish();
+    sharded_one_overhead
 }
 
 /// The ARQ tax: the checkpoint pipeline with its stage channel protected
@@ -340,6 +381,196 @@ fn bench_reliable(c: &mut Criterion) {
         })
     });
     g.finish();
+}
+
+/// The telemetry workload for the sketch-capture gate: a single long
+/// source → double lane, so every step commits a sketch observation and
+/// the per-step sketch tax has nowhere to hide behind scheduling or
+/// fan-out.
+fn telemetry_pipeline(n: i64) -> Network {
+    let stage = Chan::new(260);
+    let out = Chan::new(261);
+    let mut net = Network::new();
+    net.add(procs::Source::new(
+        "env",
+        stage,
+        (0..n).map(Value::Int).collect::<Vec<_>>(),
+    ));
+    net.add(procs::Apply::int_affine("double", stage, out, 2, 0));
+    net
+}
+
+fn telemetry_description(n: i64) -> Description {
+    let stage = Chan::new(260);
+    let out = Chan::new(261);
+    Description::new("telemetry-pipeline")
+        .equation(ch(stage), SeqExpr::const_ints(0..n))
+        .equation(ch(out), SeqExpr::affine(2, 0, ch(stage)))
+}
+
+/// Measures the sketch-capture overhead for the ≤1.05× gate: the
+/// monitored telemetry pipeline (PR 3's budgeted configuration — every
+/// send certified online, sketches riding the same loop) with sketches
+/// off and on, timed as *interleaved pairs*. Sequential A/B medians are
+/// worthless under container CPU contention — the machine drifts ±10%
+/// between two back-to-back criterion groups, which is twice the effect
+/// being measured. Pairing each off-run with an immediately following
+/// on-run and taking medians over the pairs cancels the drift; observed
+/// spread on the ratio is ±0.02 where sequential medians swing ±0.10.
+fn sketch_capture_ratio() -> f64 {
+    let n = 16_000i64;
+    let opts = RunOptions {
+        max_steps: 160_000,
+        seed: 7,
+        ..RunOptions::default()
+    };
+    let desc = telemetry_description(n);
+    let run = |sketches: bool| {
+        telemetry_pipeline(n)
+            .run_report_monitored(&desc, &mut RoundRobin::new(), opts.with_sketches(sketches))
+            .0
+            .steps
+    };
+    if criterion::smoke_mode() {
+        // exercise both configurations once; the timing gate is skipped
+        black_box(run(false));
+        black_box(run(true));
+        return 1.0;
+    }
+    let mut offs = Vec::new();
+    let mut ons = Vec::new();
+    for _ in 0..4 {
+        black_box(run(false));
+        black_box(run(true));
+    }
+    for _ in 0..40 {
+        let t0 = std::time::Instant::now();
+        black_box(run(false));
+        offs.push(t0.elapsed().as_secs_f64());
+        let t1 = std::time::Instant::now();
+        black_box(run(true));
+        ons.push(t1.elapsed().as_secs_f64());
+    }
+    offs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    ons.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    ons[ons.len() / 2] / offs[offs.len() / 2]
+}
+
+/// The `telemetry` group. Two questions:
+/// * the sketch-capture overhead — the in-loop price of the mergeable
+///   quantile/HLL sketch capture on the monitored pipeline, measured by
+///   [`sketch_capture_ratio`] as interleaved off/on pairs (acceptance:
+///   ≤1.05× the sketch-free run) and returned to `main` for the gate;
+/// * `decode-resume` vs `view-resume` — the per-resume cost of
+///   rehydrating a ≥1MB checkpoint image. This is eqpd's evict/resume
+///   hot path: the segment bytes are the durable copy, a session is
+///   evicted and resumed from them repeatedly. The decode path pays
+///   `decode_checkpoint` (checksum + validating allocating walk) plus a
+///   deep clone into the engine on every resume — a decoded
+///   `Checkpoint` can't be retained, it is exactly the memory being
+///   evicted. The view path validates once up front (`view-validate`,
+///   timed separately — a `CheckpointView` is a `Copy` handle over the
+///   mapped bytes, free to retain) and each resume is a single
+///   materializing walk moved into the engine, no re-validation and no
+///   clone. The two paths are asserted verdict- and
+///   fingerprint-identical here (even under smoke), and the per-resume
+///   speedup is gated >1× in the timing pass.
+fn bench_telemetry(c: &mut Criterion) -> f64 {
+    use eqp_kahn::{decode_checkpoint, encode_checkpoint, CheckpointView};
+
+    let sketch_capture_overhead = sketch_capture_ratio();
+    let mut g = c.benchmark_group("telemetry");
+    g.sample_size(20);
+
+    // The zero-copy corpus: capture near the end of a long run so the
+    // image carries the full trace (≥1MB on the wire) and the resume
+    // itself replays only a tail — the measurement is image-rehydration
+    // cost, not re-execution.
+    let big_opts = RunOptions {
+        max_steps: 200_000,
+        seed: 7,
+        ..RunOptions::default()
+    };
+    let n = 24_000i64;
+    let full = telemetry_pipeline(n).run_report(&mut RoundRobin::new(), big_opts);
+    assert!(full.quiescent, "zero-copy corpus run must quiesce");
+    let at_step = full.steps - 8;
+    let (_, ckpt) =
+        telemetry_pipeline(n).run_report_checkpointed(&mut RoundRobin::new(), big_opts, at_step);
+    let ckpt = ckpt.expect("late-run checkpoint");
+    let bytes = encode_checkpoint(&ckpt).expect("encodable image");
+    assert!(
+        bytes.len() >= 1 << 20,
+        "zero-copy corpus must be a ≥1MB image, got {} bytes",
+        bytes.len()
+    );
+
+    // Identity first, timing second: both rehydration paths must finish
+    // the run byte-identically to the uninterrupted one, from the same
+    // fingerprint.
+    assert_eq!(
+        decode_checkpoint(&bytes).expect("decodes").fingerprint(),
+        CheckpointView::new(&bytes)
+            .expect("views")
+            .to_checkpoint()
+            .fingerprint(),
+        "view and decode must rehydrate to the same fingerprint"
+    );
+    let via_decode = {
+        let rehydrated = decode_checkpoint(&bytes).expect("decodes");
+        telemetry_pipeline(n)
+            .resume_report(&rehydrated, &mut RoundRobin::new(), big_opts)
+            .expect("decode-path resume")
+    };
+    let via_view = {
+        let view = CheckpointView::new(&bytes).expect("views");
+        telemetry_pipeline(n)
+            .resume_report_view(&view, &mut RoundRobin::new(), big_opts)
+            .expect("view-path resume")
+    };
+    assert_eq!(
+        format!("{via_view:?}"),
+        format!("{via_decode:?}"),
+        "view-path resume must be byte-identical to the decode path"
+    );
+    assert_eq!(
+        format!("{via_view:?}"),
+        format!("{full:?}"),
+        "resumed run must be byte-identical to the uninterrupted run"
+    );
+
+    g.bench_function("decode-resume", |b| {
+        b.iter(|| {
+            let rehydrated = decode_checkpoint(&bytes).expect("decodes");
+            let mut fresh = telemetry_pipeline(n);
+            black_box(
+                fresh
+                    .resume_report(&rehydrated, &mut RoundRobin::new(), big_opts)
+                    .expect("resume")
+                    .steps,
+            )
+        })
+    });
+    // One-time cost of certifying the mapped segment, reported for
+    // transparency: the view path below does not hide it, it amortizes
+    // it across every resume from the same segment.
+    g.bench_function("view-validate", |b| {
+        b.iter(|| black_box(CheckpointView::new(&bytes).expect("views").trace_len()))
+    });
+    let view = CheckpointView::new(&bytes).expect("views");
+    g.bench_function("view-resume", |b| {
+        b.iter(|| {
+            let mut fresh = telemetry_pipeline(n);
+            black_box(
+                fresh
+                    .resume_report_view(&view, &mut RoundRobin::new(), big_opts)
+                    .expect("resume")
+                    .steps,
+            )
+        })
+    });
+    g.finish();
+    sketch_capture_overhead
 }
 
 /// A deep-trace pipeline parameterized by length: `n` sourced values
@@ -526,7 +757,8 @@ fn main() {
     bench_conformance_only(&mut c, &desc);
     bench_faulty_link(&mut c);
     bench_checkpoint(&mut c);
-    bench_sharded(&mut c);
+    let sharded_one_overhead = bench_sharded(&mut c);
+    let sketch_capture_overhead = bench_telemetry(&mut c);
     bench_reliable(&mut c);
     bench_monitored(&mut c);
     bench_compiled(&mut c, &desc);
@@ -583,7 +815,11 @@ fn main() {
             (k, ns, ns / sharded_base)
         })
         .collect();
-    let sharded_one_overhead = shard_scaling[0].2;
+    // sharded_one_overhead and sketch_capture_overhead came back from
+    // their groups' interleaved paired measurements, not from
+    // sequential medians
+    let zero_copy_resume_speedup =
+        median("telemetry/decode-resume") / median("telemetry/view-resume");
     if criterion::smoke_mode() {
         println!(
             "EQP_BENCH_SMOKE: fusion gates passed; skipping BENCH_runtime.json and timing gates"
@@ -617,6 +853,14 @@ fn main() {
         "  \"sharded_one_overhead\": {sharded_one_overhead:.4},\n"
     ));
     json.push_str("  \"sharded_one_overhead_gate\": 1.05,\n");
+    json.push_str(&format!(
+        "  \"sketch_capture_overhead\": {sketch_capture_overhead:.4},\n"
+    ));
+    json.push_str("  \"sketch_capture_overhead_gate\": 1.05,\n");
+    json.push_str(&format!(
+        "  \"zero_copy_resume_speedup\": {zero_copy_resume_speedup:.4},\n"
+    ));
+    json.push_str("  \"zero_copy_resume_speedup_gate\": 1.00,\n");
     json.push_str("  \"shard_scaling\": [\n");
     for (i, (k, ns, ratio)) in shard_scaling.iter().enumerate() {
         json.push_str(&format!(
@@ -704,5 +948,19 @@ fn main() {
         sharded_one_overhead <= 1.05,
         "one-shard epoch protocol costs {sharded_one_overhead:.4}× over the unsharded \
          engine, above the 1.05× gate"
+    );
+    assert!(
+        sketch_capture_overhead.is_finite(),
+        "sketch-capture overhead must be measurable"
+    );
+    assert!(
+        sketch_capture_overhead <= 1.05,
+        "sketch telemetry costs {sketch_capture_overhead:.4}× over the sketch-free run, \
+         above the 1.05× gate"
+    );
+    assert!(
+        zero_copy_resume_speedup.is_finite() && zero_copy_resume_speedup > 1.0,
+        "zero-copy view resume must beat the allocating decode path on a ≥1MB image \
+         (got {zero_copy_resume_speedup:.4}×)"
     );
 }

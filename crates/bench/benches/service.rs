@@ -11,8 +11,9 @@
 //!
 //! Emits `BENCH_service.json` at the repository root with p50/p99
 //! admission latency (submit→ack, fsync included), p50/p99 verdict
-//! latency (release→verdict event), and the daemon's eviction/resume
-//! counters. Under `EQP_BENCH_SMOKE=1` the fleet is scaled down to 200
+//! latency (release→verdict event), the daemon's eviction/resume
+//! counters, and the `fleet_report` rollup latency (merging every
+//! finished session's telemetry sketch block into one fleet summary). Under `EQP_BENCH_SMOKE=1` the fleet is scaled down to 200
 //! sessions but every gate still asserts and the JSON is still written
 //! (tagged `"smoke": true`).
 
@@ -217,6 +218,49 @@ fn main() {
         "netlang admission p99 ({netlang_p99}us) exceeds 2x named-workload p99 ({named_p99}us)"
     );
 
+    // Fleet rollup: merge every finished session's sketch block into one
+    // fleet-wide summary over the RPC. The scan decodes and folds
+    // `sessions + 2*extra` fixed-size sketch images per call, so the
+    // latency bound is per-session linear with generous headroom — the
+    // assert catches a scan or merge that goes superlinear, not machine
+    // drift.
+    let fleet_sessions = (sessions + 2 * extra) as u64;
+    let rollup_iters = if smoke { 10 } else { 30 };
+    let mut rollup_us = Vec::with_capacity(rollup_iters);
+    let mut fleet = None;
+    for _ in 0..rollup_iters {
+        let t0 = Instant::now();
+        let report = gate_client
+            .fleet_report()
+            .expect("io")
+            .expect("fleet_report");
+        rollup_us.push(t0.elapsed().as_micros() as u64);
+        fleet = Some(report);
+    }
+    let fleet = fleet.expect("at least one rollup");
+    assert_eq!(
+        fleet.sessions, fleet_sessions,
+        "the rollup must scan every finished session"
+    );
+    // Sessions whose sampled observation count is zero (tiny runs under
+    // 1-in-32 sampling) store no sketch block at all, so contribution
+    // is a strong-majority floor rather than an equality.
+    assert!(
+        fleet.with_sketches > fleet_sessions / 2 && fleet.with_sketches <= fleet_sessions,
+        "most sessions must contribute a sketch block: {} of {fleet_sessions}",
+        fleet.with_sketches
+    );
+    assert!(
+        fleet.events > 0 && fleet.sketches.is_some(),
+        "the merged fleet summary must carry observations: {fleet:?}"
+    );
+    let rollup_p50 = percentile_us(&rollup_us, 50.0);
+    let rollup_p99 = percentile_us(&rollup_us, 99.0);
+    assert!(
+        rollup_p99 <= 200 * fleet_sessions.max(1),
+        "fleet rollup p99 ({rollup_p99}us) exceeds 200us/session over {fleet_sessions} sessions"
+    );
+
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -235,6 +279,11 @@ fn main() {
             "  \"named_admission_us\": {{\"p50\": {nap50}, \"p99\": {nap99}}},\n",
             "  \"netlang_admission_us\": {{\"p50\": {lap50}, \"p99\": {lap99}}},\n",
             "  \"verdict_us\": {{\"p50\": {vp50}, \"p99\": {vp99}}},\n",
+            "  \"fleet_rollup_us\": {{\"p50\": {rp50}, \"p99\": {rp99}}},\n",
+            "  \"fleet_sessions\": {fleet_sessions},\n",
+            "  \"fleet_with_sketches\": {fleet_with_sketches},\n",
+            "  \"fleet_events\": {fleet_events},\n",
+            "  \"fleet_distinct_values\": {fleet_distinct},\n",
             "  \"drain_s\": {drain_s:.3},\n",
             "  \"evicted\": {evicted},\n",
             "  \"resumed\": {resumed},\n",
@@ -255,6 +304,12 @@ fn main() {
         lap99 = netlang_p99,
         vp50 = percentile_us(&verdict_us, 50.0),
         vp99 = percentile_us(&verdict_us, 99.0),
+        rp50 = rollup_p50,
+        rp99 = rollup_p99,
+        fleet_sessions = fleet_sessions,
+        fleet_with_sketches = fleet.with_sketches,
+        fleet_events = fleet.events,
+        fleet_distinct = fleet.distinct_values,
         drain_s = drain_s,
         evicted = stats.evicted,
         resumed = stats.resumed,

@@ -2,14 +2,32 @@
 //!
 //! Layout: one directory per session under the journal root,
 //! `s<id>/spec.json` (tenant + spec, written *before* the Admitted ack
-//! — an acked session is always recoverable), `s<id>/ckpt.bin` (the
-//! latest parked checkpoint image, rewritten after every chunk), and
+//! — an acked session is always recoverable), `s<id>/ckpt-<seq>.seg`
+//! (rotating parked-checkpoint segments, see below), and
 //! `s<id>/verdict.json` (the certified result — its presence marks the
-//! session finished). Every write is atomic: temp file, `sync_all`,
-//! rename. A daemon killed at any instant therefore leaves each session
-//! in exactly one of three states — unstarted (spec only), parked
-//! (spec + checkpoint), or finished (spec + verdict) — and
-//! [`Journal::recover`] re-materializes the first two.
+//! session finished). JSON writes are atomic: temp file, `sync_all`,
+//! rename, then a *directory* fsync so the rename itself is durable. A
+//! daemon killed at any instant therefore leaves each session in exactly
+//! one of three states — unstarted (spec only), parked (spec +
+//! checkpoint), or finished (spec + verdict) — and [`Journal::recover`]
+//! re-materializes the first two.
+//!
+//! ## Checkpoint segments
+//!
+//! Parked checkpoints rotate through numbered *segments* instead of
+//! rewriting one file. Each `ckpt-<seq>.seg` is a self-framed record —
+//! magic, sequence number, payload length, the checkpoint image, and an
+//! FNV-1a trailer over everything before it — written directly (no
+//! temp + rename dance) and fsynced. Crash safety comes from *rotation*, not
+//! atomic replace: a torn newest segment fails its frame checksum and
+//! recovery falls back to the previous one (newest-valid-wins), which is
+//! exactly the durability the rename gave, one metadata round-trip
+//! cheaper on the hot park path. After each durable write the directory
+//! is compacted down to the newest `KEEP_SEGMENTS` segments. The
+//! payload is additionally validated as a checkpoint image with the
+//! zero-copy [`eqp_kahn::CheckpointView`] skim — no decode allocations —
+//! so a recovered daemon never re-admits a session whose image cannot
+//! resume.
 //!
 //! Live migration adds two more artifacts. On the *source*,
 //! `s<id>/migrate.json` records the handoff phase (`intent` →
@@ -31,6 +49,76 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Journal {
     dir: PathBuf,
+}
+
+/// Segment frame magic + version.
+const SEG_MAGIC: &[u8; 8] = b"EQPDSEG1";
+
+/// How many checkpoint segments compaction retains per session: the
+/// newest (the live resume point) plus one predecessor (the torn-tail
+/// fallback).
+const KEEP_SEGMENTS: usize = 2;
+
+/// Segment-frame checksum: FNV-1a folded over 8-byte words (byte-wise
+/// tail), matching the engine wire format's trailer hash — megabyte
+/// checkpoint payloads are summed on every rotation and every recovery
+/// scan, so the fold runs at word granularity.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Frames a checkpoint image into a segment record.
+fn seg_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(SEG_MAGIC.len() + 16 + payload.len() + 8);
+    buf.extend_from_slice(SEG_MAGIC);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Unframes a segment record: returns `(seq, payload)` iff the magic,
+/// announced length, and trailer all check out. Total — a torn or
+/// corrupt segment is `None`, never a panic.
+fn seg_unframe(bytes: &[u8]) -> Option<(u64, &[u8])> {
+    let header = SEG_MAGIC.len() + 16;
+    if bytes.len() < header + 8 || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return None;
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a(body) != sum {
+        return None;
+    }
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    if len != (body.len() - header) as u64 {
+        return None;
+    }
+    Some((seq, &body[header..]))
+}
+
+/// Fsyncs a directory so a just-created or just-renamed entry inside it
+/// survives power loss. Best-effort on platforms where directories
+/// cannot be opened for sync.
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
 }
 
 /// Source-side migration phase, journaled before each protocol step.
@@ -155,8 +243,11 @@ impl Journal {
         self.dir.join(format!("s{id}"))
     }
 
-    /// Atomic write: temp + fsync + rename, so readers (including a
-    /// recovering daemon) never observe a torn file.
+    /// Atomic write: temp + fsync + rename + parent-directory fsync, so
+    /// readers (including a recovering daemon) never observe a torn file
+    /// and the rename itself survives power loss — without the directory
+    /// sync, a crash after `rename` returns can still resurface the old
+    /// file (or nothing), silently un-acking an acked session.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         let tmp = path.with_extension("tmp");
         {
@@ -164,7 +255,11 @@ impl Journal {
             f.write_all(bytes)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, path)
+        fs::rename(&tmp, path)?;
+        match path.parent() {
+            Some(dir) => fsync_dir(dir),
+            None => Ok(()),
+        }
     }
 
     /// Durably records an admitted session. Called *before* the Admitted
@@ -184,13 +279,78 @@ impl Journal {
         self.write_atomic(&dir.join("spec.json"), doc.to_line().as_bytes())
     }
 
-    /// Durably records the latest parked checkpoint image.
-    pub fn record_checkpoint(&self, id: u64, bytes: &[u8]) -> io::Result<()> {
-        self.write_atomic(&self.session_dir(id).join("ckpt.bin"), bytes)
+    /// Numbered checkpoint segments in a session dir, sorted by sequence.
+    fn segments(&self, id: u64) -> io::Result<Vec<(u64, PathBuf)>> {
+        let dir = self.session_dir(id);
+        let mut segs = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(segs),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            if let Some(seq) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix("ckpt-"))
+                .and_then(|n| n.strip_suffix(".seg"))
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                segs.push((seq, entry.path()));
+            }
+        }
+        segs.sort_by_key(|(seq, _)| *seq);
+        Ok(segs)
     }
 
-    /// Loads the latest parked checkpoint image, if any.
+    /// Durably records the latest parked checkpoint image as a fresh
+    /// rotating segment, then compacts older segments down to
+    /// `KEEP_SEGMENTS`. The write is direct (frame + fsync + dir
+    /// fsync): rotation, not rename, provides the crash safety — a torn
+    /// segment fails its checksum and recovery falls back to the
+    /// predecessor.
+    pub fn record_checkpoint(&self, id: u64, bytes: &[u8]) -> io::Result<()> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir)?;
+        let segs = self.segments(id)?;
+        let seq = segs.last().map_or(1, |(s, _)| s + 1);
+        let path = dir.join(format!("ckpt-{seq}.seg"));
+        {
+            let mut f = File::create(&path)?;
+            f.write_all(&seg_frame(seq, bytes))?;
+            f.sync_all()?;
+        }
+        fsync_dir(&dir)?;
+        // compact only after the new segment is durable: the retained
+        // window always holds at least one valid resume point
+        if segs.len() + 1 > KEEP_SEGMENTS {
+            for (_, old) in &segs[..segs.len() + 1 - KEEP_SEGMENTS] {
+                let _ = fs::remove_file(old);
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads the latest parked checkpoint image, if any: scans segments
+    /// newest-first and returns the first whose frame checksum *and*
+    /// zero-copy [`eqp_kahn::CheckpointView`] validation both pass — a
+    /// torn tail silently falls back to its predecessor. Reads the
+    /// legacy un-segmented `ckpt.bin` as a last resort so journals
+    /// written by older daemons still recover.
     pub fn load_checkpoint(&self, id: u64) -> io::Result<Option<Vec<u8>>> {
+        for (seq, path) in self.segments(id)?.into_iter().rev() {
+            let Ok(raw) = fs::read(&path) else { continue };
+            if let Some((stored, payload)) = seg_unframe(&raw) {
+                if stored == seq && eqp_kahn::CheckpointView::new(payload).is_ok() {
+                    return Ok(Some(payload.to_vec()));
+                }
+            }
+            eprintln!(
+                "eqpd: journal: s{id} segment {} is torn or invalid; falling back",
+                path.display()
+            );
+        }
         match fs::read(self.session_dir(id).join("ckpt.bin")) {
             Ok(b) => Ok(Some(b)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
@@ -199,7 +359,8 @@ impl Journal {
     }
 
     /// Durably records the certified result, finishing the session. The
-    /// checkpoint image is dropped afterwards — the verdict supersedes it.
+    /// checkpoint segments are dropped afterwards — the verdict
+    /// supersedes them.
     pub fn record_result(&self, id: u64, result: &SessionResult) -> io::Result<()> {
         let dir = self.session_dir(id);
         fs::create_dir_all(&dir)?;
@@ -207,11 +368,36 @@ impl Journal {
             &dir.join("verdict.json"),
             result.to_json().to_line().as_bytes(),
         )?;
+        for (_, path) in self.segments(id)? {
+            let _ = fs::remove_file(path);
+        }
         match fs::remove_file(dir.join("ckpt.bin")) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
+    }
+
+    /// Iterates every finished session's journaled result — the fleet
+    /// rollup's source. Unreadable or malformed verdicts are skipped.
+    pub fn finished_results(&self) -> io::Result<Vec<(u64, SessionResult)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(id) = entry
+                .file_name()
+                .to_str()
+                .and_then(|n| n.strip_prefix('s'))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if let Ok(Some(result)) = self.load_result(id) {
+                out.push((id, result));
+            }
+        }
+        out.sort_by_key(|(id, _)| *id);
+        Ok(out)
     }
 
     /// Loads a finished session's result, if present.
@@ -474,20 +660,31 @@ mod tests {
         }
     }
 
+    /// A real checkpoint image captured at step `at` of the test spec —
+    /// segment recovery validates payloads as checkpoint images, so the
+    /// tests must park the genuine article.
+    fn image(at: usize) -> Vec<u8> {
+        let sp = spec();
+        let mut net = sp.build_network(sp.seed);
+        let mut sched = sp.sched.build();
+        let (_, ckpt) = net.run_report_checkpointed(&mut &mut *sched, sp.run_options(64), at);
+        eqp_kahn::encode_checkpoint(&ckpt.expect("run reaches the capture step")).expect("encodes")
+    }
+
     #[test]
     fn lifecycle_spec_checkpoint_verdict() {
         let j = tmp_journal();
         j.record_spec(7, "alice", &spec()).expect("spec");
-        j.record_checkpoint(7, b"image-1").expect("ckpt");
-        j.record_checkpoint(7, b"image-2").expect("ckpt rewrite");
-        assert_eq!(j.load_checkpoint(7).expect("io"), Some(b"image-2".to_vec()));
+        j.record_checkpoint(7, &image(5)).expect("ckpt");
+        j.record_checkpoint(7, &image(9)).expect("ckpt rewrite");
+        assert_eq!(j.load_checkpoint(7).expect("io"), Some(image(9)));
 
         let (interrupted, next) = j.recover().expect("scan");
         assert_eq!(interrupted.len(), 1);
         assert_eq!(interrupted[0].id, 7);
         assert_eq!(interrupted[0].tenant, "alice");
         assert_eq!(interrupted[0].spec, spec());
-        assert_eq!(interrupted[0].checkpoint.as_deref(), Some(&b"image-2"[..]));
+        assert_eq!(interrupted[0].checkpoint, Some(image(9)));
         assert_eq!(next, 8);
 
         let result = crate::session::SessionResult {
@@ -500,6 +697,7 @@ mod tests {
             faults: 0,
             trace_hash: 0xabc,
             wall_deadline_expired: false,
+            sketches: None,
         };
         j.record_result(7, &result).expect("verdict");
         assert_eq!(j.load_result(7).expect("io"), Some(result));
@@ -509,6 +707,53 @@ mod tests {
             interrupted.is_empty(),
             "finished sessions are not recovered"
         );
+        let finished = j.finished_results().expect("scan");
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].0, 7);
+        let _ = fs::remove_dir_all(j.dir());
+    }
+
+    #[test]
+    fn segments_rotate_and_compact() {
+        let j = tmp_journal();
+        j.record_spec(2, "dana", &spec()).expect("spec");
+        for at in [3, 5, 7, 9, 11] {
+            j.record_checkpoint(2, &image(at)).expect("ckpt");
+        }
+        let segs = j.segments(2).expect("scan");
+        assert_eq!(
+            segs.len(),
+            KEEP_SEGMENTS,
+            "compaction keeps the newest {KEEP_SEGMENTS}"
+        );
+        assert_eq!(segs.last().expect("newest").0, 5, "sequence keeps rising");
+        assert_eq!(j.load_checkpoint(2).expect("io"), Some(image(11)));
+        let _ = fs::remove_dir_all(j.dir());
+    }
+
+    #[test]
+    fn torn_newest_segment_falls_back_to_its_predecessor() {
+        let j = tmp_journal();
+        j.record_spec(3, "erin", &spec()).expect("spec");
+        j.record_checkpoint(3, &image(5)).expect("ckpt");
+        j.record_checkpoint(3, &image(9)).expect("ckpt");
+        // tear the newest segment mid-write: truncate half its bytes
+        let (_, newest) = j.segments(3).expect("scan").pop().expect("has segments");
+        let raw = fs::read(&newest).expect("read");
+        fs::write(&newest, &raw[..raw.len() / 2]).expect("tear");
+        assert_eq!(
+            j.load_checkpoint(3).expect("io"),
+            Some(image(5)),
+            "newest-valid-wins falls back past the torn tail"
+        );
+        // a valid frame wrapping a non-checkpoint payload is also skipped
+        fs::write(&newest, seg_frame(2, b"not a checkpoint")).expect("rewrite");
+        assert_eq!(j.load_checkpoint(3).expect("io"), Some(image(5)));
+        // with every segment gone there is nothing to resume
+        for (_, p) in j.segments(3).expect("scan") {
+            fs::remove_file(p).expect("rm");
+        }
+        assert_eq!(j.load_checkpoint(3).expect("io"), None);
         let _ = fs::remove_dir_all(j.dir());
     }
 

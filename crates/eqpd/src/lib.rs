@@ -38,8 +38,8 @@ pub mod spec;
 pub use admission::{Admission, AdmissionConfig, Decision};
 pub use journal::Journal;
 pub use load::{
-    percentile_us, run_load, run_migration_storm, Client, LoadOptions, LoadReport, RpcError,
-    StormReport,
+    percentile_us, run_load, run_migration_storm, Client, FleetReport, LoadOptions, LoadReport,
+    RpcError, StormReport,
 };
 pub use server::{start, ServerConfig, ServerHandle, Stats};
 pub use session::{ChunkOutcome, SessionError, SessionResult, SessionRun};

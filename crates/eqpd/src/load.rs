@@ -141,6 +141,52 @@ impl Client {
             .call("submit", obj([("tenant", s(tenant)), ("spec", spec)]))?
             .map(|r| r.get("session").and_then(Json::as_u64).unwrap_or(0)))
     }
+
+    /// Convenience: fetches the daemon's merged fleet telemetry rollup
+    /// (the `fleet_report` RPC). The result carries headline percentiles
+    /// plus the merged sketch image (hex in `sketches`) — merge that
+    /// image with other daemons' to roll a whole fleet up client-side.
+    pub fn fleet_report(&mut self) -> io::Result<Result<FleetReport, RpcError>> {
+        Ok(self.call("fleet_report", obj([]))?.map(|r| FleetReport {
+            sessions: r.get("sessions").and_then(Json::as_u64).unwrap_or(0),
+            with_sketches: r.get("with_sketches").and_then(Json::as_u64).unwrap_or(0),
+            events: r.get("events").and_then(Json::as_u64).unwrap_or(0),
+            depth_p50: r.get("depth_p50").and_then(Json::as_u64).unwrap_or(0),
+            depth_p99: r.get("depth_p99").and_then(Json::as_u64).unwrap_or(0),
+            latency_p50: r.get("latency_p50").and_then(Json::as_u64).unwrap_or(0),
+            latency_p99: r.get("latency_p99").and_then(Json::as_u64).unwrap_or(0),
+            distinct_values: r.get("distinct_values").and_then(Json::as_u64).unwrap_or(0),
+            sketches: r
+                .get("sketches")
+                .and_then(Json::as_str)
+                .and_then(crate::session::from_hex)
+                .and_then(|b| eqp_kahn::TelemetrySketches::from_bytes(&b).ok()),
+        }))
+    }
+}
+
+/// A decoded `fleet_report` response.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Finished sessions the journal scan found.
+    pub sessions: u64,
+    /// How many of them contributed a sketch block.
+    pub with_sketches: u64,
+    /// Total send observations across the fleet.
+    pub events: u64,
+    /// Fleet-wide median queue depth after a send.
+    pub depth_p50: u64,
+    /// Fleet-wide 99th-percentile queue depth after a send.
+    pub depth_p99: u64,
+    /// Fleet-wide median message wait, in scheduler rounds.
+    pub latency_p50: u64,
+    /// Fleet-wide 99th-percentile message wait, in scheduler rounds.
+    pub latency_p99: u64,
+    /// Estimated distinct message values across the fleet.
+    pub distinct_values: u64,
+    /// The merged sketch block itself — merge with other daemons'
+    /// responses for a cross-fleet rollup.
+    pub sketches: Option<eqp_kahn::TelemetrySketches>,
 }
 
 /// Load-run configuration.

@@ -591,6 +591,7 @@ fn dispatch(sh: &Arc<Shared>, req: &Request, writer: &Arc<Mutex<TcpStream>>) -> 
         "migrate_commit" => handle_migrate_commit(sh, req),
         "workloads" => handle_workloads(req),
         "stats" => handle_stats(sh, req),
+        "fleet_report" => handle_fleet_report(sh, req),
         "pause" => handle_pause(sh, req),
         "shutdown" => handle_shutdown(sh, req),
         other => proto::response_err(req.id, -32601, &format!("unknown method `{other}`"), None),
@@ -1261,6 +1262,51 @@ fn handle_stats(sh: &Arc<Shared>, req: &Request) -> Json {
             ("in_flight", Json::UInt(core.admission.in_flight() as u64)),
             ("queued", Json::UInt(core.queue.len() as u64)),
             ("resident", Json::UInt(core.resident.len() as u64)),
+        ]),
+    )
+}
+
+/// `fleet_report`: folds the durable sketch summary of every finished
+/// session in the journal into one fleet-level telemetry block. The
+/// sketches form a commutative monoid, so this rollup equals the sketch
+/// a single observer of the union stream would have built — and the
+/// response carries the merged image itself (hex), so rollups compose
+/// *across* daemons the same way they compose across sessions.
+fn handle_fleet_report(sh: &Arc<Shared>, req: &Request) -> Json {
+    let finished = match sh.journal.finished_results() {
+        Ok(f) => f,
+        Err(e) => {
+            return proto::response_err(req.id, -32000, &format!("journal scan failed: {e}"), None)
+        }
+    };
+    let mut merged = eqp_kahn::TelemetrySketches::default();
+    let mut with_sketches = 0u64;
+    for (_, result) in &finished {
+        if let Some(sk) = result.decode_sketches() {
+            merged.merge(&sk);
+            with_sketches += 1;
+        }
+    }
+    let st = merged.stats();
+    let top = Json::Arr(
+        st.top_channels
+            .iter()
+            .map(|(c, n)| Json::Arr(vec![Json::UInt(*c), Json::UInt(*n)]))
+            .collect(),
+    );
+    proto::response_ok(
+        req.id,
+        obj([
+            ("sessions", Json::UInt(finished.len() as u64)),
+            ("with_sketches", Json::UInt(with_sketches)),
+            ("events", Json::UInt(st.events)),
+            ("depth_p50", Json::UInt(st.depth_p50)),
+            ("depth_p99", Json::UInt(st.depth_p99)),
+            ("latency_p50", Json::UInt(st.latency_p50)),
+            ("latency_p99", Json::UInt(st.latency_p99)),
+            ("distinct_values", Json::UInt(st.distinct_values)),
+            ("top_channels", top),
+            ("sketches", s(crate::session::to_hex(&merged.to_bytes()))),
         ]),
     )
 }

@@ -69,6 +69,13 @@ pub struct SessionResult {
     pub trace_hash: u64,
     /// True iff the daemon cut the session on its wall-clock deadline.
     pub wall_deadline_expired: bool,
+    /// Hex-encoded [`eqp_kahn::TelemetrySketches`] byte image of the
+    /// run's sketch telemetry, if the run captured any. Mergeable: the
+    /// `fleet_report` RPC folds these across every finished session.
+    /// Absent for sketch-disabled runs, aborted sessions, and verdicts
+    /// journaled by older daemons (`from_json` tolerates the missing
+    /// field).
+    pub sketches: Option<String>,
 }
 
 impl SessionResult {
@@ -84,12 +91,13 @@ impl SessionResult {
             faults: 0,
             trace_hash: 0,
             wall_deadline_expired: false,
+            sketches: None,
         }
     }
 
     /// Journal/wire form.
     pub fn to_json(&self) -> Json {
-        obj([
+        let mut doc = obj([
             ("verdict", s(self.verdict.clone())),
             ("conformant", Json::Bool(self.conformant)),
             ("status", s(self.status.clone())),
@@ -102,7 +110,11 @@ impl SessionResult {
                 "wall_deadline_expired",
                 Json::Bool(self.wall_deadline_expired),
             ),
-        ])
+        ]);
+        if let (Json::Obj(pairs), Some(hex)) = (&mut doc, &self.sketches) {
+            pairs.insert("sketches".to_owned(), s(hex.clone()));
+        }
+        doc
     }
 
     /// Parses the journal form back. Total.
@@ -117,8 +129,44 @@ impl SessionResult {
             faults: j.get("faults")?.as_u64()?,
             trace_hash: j.get("trace_hash")?.as_u64()?,
             wall_deadline_expired: j.get("wall_deadline_expired")?.as_bool()?,
+            sketches: j.get("sketches").and_then(Json::as_str).map(str::to_owned),
         })
     }
+
+    /// Decodes the hex sketch field back into mergeable sketches.
+    /// `None` when absent or malformed — a fleet rollup skips such
+    /// sessions rather than failing.
+    pub fn decode_sketches(&self) -> Option<eqp_kahn::TelemetrySketches> {
+        let bytes = from_hex(self.sketches.as_deref()?)?;
+        eqp_kahn::TelemetrySketches::from_bytes(&bytes).ok()
+    }
+}
+
+/// Lowercase hex encoding — the journal-safe form of a sketch image.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Inverse of [`to_hex`]. Total: odd length or a non-hex digit is `None`.
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u8> = text
+        .bytes()
+        .map(|c| match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
 }
 
 /// Renders a [`Verdict`] into its stable wire name.
@@ -312,6 +360,11 @@ impl SessionRun {
             faults: report.fault_log().len() as u64,
             trace_hash: trace_hash(report),
             wall_deadline_expired: expired,
+            sketches: report
+                .sketches
+                .as_ref()
+                .filter(|s| !s.is_empty())
+                .map(|s| to_hex(&s.to_bytes())),
         }
     }
 }

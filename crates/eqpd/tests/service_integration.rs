@@ -412,6 +412,57 @@ fn one_shot_check_certifies_textual_traces() {
 }
 
 #[test]
+fn fleet_report_merges_durable_session_sketches() {
+    let dir = temp_dir("fleet");
+    let (handle, addr) = start(ServerConfig {
+        journal_dir: dir.clone(),
+        workers: 2,
+        ..Default::default()
+    });
+    let mut client = Client::connect(&addr).expect("connects");
+    let jobs: Vec<(&str, u64)> = vec![
+        ("fair-merge", 31),
+        ("bag", 32),
+        ("ticks", 33),
+        ("sec23-merge", 34),
+    ];
+    let mut per_session = Vec::new();
+    for (w, seed) in &jobs {
+        let id = client
+            .submit("fleet", spec_json(w, *seed))
+            .expect("io")
+            .expect("admitted");
+        // every certified verdict carries its hex sketch block
+        let r = poll_done(&mut client, id);
+        let hex = r
+            .get("sketches")
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{w} verdict has no sketches: {r:?}"));
+        let bytes = eqpd::session::from_hex(hex).expect("hex decodes");
+        per_session.push(eqp_kahn::TelemetrySketches::from_bytes(&bytes).expect("block decodes"));
+    }
+
+    // The daemon's rollup must equal a client-side fold of the same
+    // per-session blocks — the merge is a commutative monoid, so both
+    // sides summarize the identical union stream.
+    let mut manual = eqp_kahn::TelemetrySketches::default();
+    for sk in &per_session {
+        manual.merge(sk);
+    }
+    let mut fleet = client.fleet_report().expect("io").expect("rpc ok");
+    assert_eq!(fleet.sessions, jobs.len() as u64, "{fleet:?}");
+    assert_eq!(fleet.with_sketches, jobs.len() as u64, "{fleet:?}");
+    let merged = fleet.sketches.take().expect("merged image decodes");
+    assert_eq!(merged, manual, "daemon rollup == client-side fold");
+    let st = manual.stats();
+    assert_eq!(fleet.events, st.events);
+    assert_eq!(fleet.depth_p99, st.depth_p99);
+    assert!(fleet.events > 0 && fleet.distinct_values > 0, "{fleet:?}");
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn graceful_drain_checkpoints_and_next_incarnation_finishes_identically() {
     let dir = temp_dir("drain");
     // Incarnation 1: paused workers, so submitted sessions are accepted

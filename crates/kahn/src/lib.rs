@@ -66,6 +66,17 @@
 //!   ([`OverflowPolicy::Shed`]), plus a round deadline for overload
 //!   runs. Every quiescent bounded run certifies identically to the
 //!   unbounded run.
+//! * **Sketch telemetry + zero-copy durable images** —
+//!   [`RunReport::sketches`] carries fixed-memory mergeable summaries
+//!   (queue-depth/message-wait quantiles, heavy-hitter channels,
+//!   distinct-value estimate; [`TelemetrySketches`]) captured inline at
+//!   a gated ≤5% cost, identical across every backend and shard count,
+//!   accumulated through checkpoint resume, and merged fleet-wide by
+//!   `eqpd`. Checkpoint images (wire v2) validate and resume through
+//!   the borrowing [`CheckpointView`] — full structural certification
+//!   with zero decode allocation, then a single materializing walk
+//!   moved into the engine ([`Network::resume_report_view`]), ~2× the
+//!   decode+clone resume on large images.
 //!
 //! # Example
 //!
@@ -128,6 +139,7 @@ pub use scheduler::{Adversarial, RandomSched, RoundRobin, Scheduler};
 pub use snapshot::{Checkpoint, SnapshotError, StateCell};
 pub use spsc::{ring, Spsc, SpscReceiver};
 pub use supervisor::{RecoveryRecord, RestartPolicy, RestoreMethod, SupervisorOptions};
-pub use wire::{decode_checkpoint, encode_checkpoint, WireError};
+pub use wire::{decode_checkpoint, encode_checkpoint, CheckpointView, WireError};
 
+pub use eqp_sketch::{SketchStats, TelemetrySketches};
 pub use eqp_trace::Trace;

@@ -14,6 +14,7 @@ use crate::report::{
 use crate::scheduler::Scheduler;
 use crate::snapshot::{Checkpoint, SnapshotError, StateCell};
 use crate::supervisor::{Journal, RecoveryRecord, Replay, RestoreMethod, SupervisorOptions};
+use crate::wire::CheckpointView;
 use eqp_core::Description;
 use eqp_trace::{Chan, Event, Trace, Value};
 use rand::rngs::StdRng;
@@ -74,6 +75,13 @@ pub struct RunOptions {
     /// default) runs inline without spawning threads. Clamped to the
     /// process count. Ignored by the single-threaded run methods.
     pub shards: usize,
+    /// Accumulate mergeable telemetry sketches inline during the run
+    /// (queue-depth/latency quantiles, heavy-hitter channels,
+    /// distinct-value cardinality — see
+    /// [`RunReport::sketches`](crate::RunReport)). On by default; the
+    /// capture cost is a few arithmetic ops per event against a fixed
+    /// memory footprint. Disable for the leanest possible hot loop.
+    pub sketches: bool,
 }
 
 impl Default for RunOptions {
@@ -86,6 +94,7 @@ impl Default for RunOptions {
             deadline_rounds: None,
             monitor: MonitorPolicy::Observe,
             shards: 1,
+            sketches: true,
         }
     }
 }
@@ -135,6 +144,13 @@ impl RunOptions {
     pub fn with_shards(mut self, n: usize) -> RunOptions {
         assert!(n >= 1, "a run needs at least one shard");
         self.shards = n;
+        self
+    }
+
+    /// Enables or disables inline sketch telemetry capture.
+    #[must_use]
+    pub fn with_sketches(mut self, on: bool) -> RunOptions {
+        self.sketches = on;
         self
     }
 }
@@ -406,6 +422,48 @@ impl Network {
         ckpt.restore_scheduler(sched)?;
         let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
         engine.resume_from(ckpt);
+        Ok(engine.run(sched))
+    }
+
+    /// Resumes from a validated zero-copy [`CheckpointView`] — the
+    /// durable fast path. The view already structure-validated the whole
+    /// image at construction, so materialization cannot fail; the
+    /// materialized checkpoint is then *moved* into the engine (queues,
+    /// trace, telemetry, counters), skipping the second deep copy
+    /// [`resume_report`](Network::resume_report) pays when resuming from
+    /// a borrowed checkpoint. The resumed run is byte-identical to the
+    /// decode-then-resume path — same trace, same report, same verdict.
+    pub fn resume_report_view<S: Scheduler>(
+        &mut self,
+        view: &CheckpointView<'_>,
+        sched: &mut S,
+        opts: RunOptions,
+    ) -> Result<RunReport, SnapshotError> {
+        self.assert_live();
+        let ckpt = view.to_checkpoint();
+        if ckpt.processes.len() != self.processes.len() {
+            return Err(SnapshotError::ArityMismatch {
+                expected: ckpt.processes.len(),
+                found: self.processes.len(),
+            });
+        }
+        for (i, cell) in ckpt.processes.iter().enumerate() {
+            let cell = cell
+                .as_ref()
+                .ok_or_else(|| SnapshotError::UnsupportedProcess {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                })?;
+            if !self.processes[i].restore(cell) {
+                return Err(SnapshotError::RestoreRejected {
+                    index: i,
+                    name: self.processes[i].name().to_owned(),
+                });
+            }
+        }
+        ckpt.restore_scheduler(sched)?;
+        let mut engine = Engine::new(&mut self.processes, ChanMap::default(), opts);
+        engine.resume_from_owned(ckpt);
         Ok(engine.run(sched))
     }
 
@@ -987,6 +1045,12 @@ impl<'a> Engine<'a> {
         let declared: Vec<Vec<Chan>> = processes.iter().map(|p| p.inputs()).collect();
         let declared_out: Vec<Vec<Chan>> = processes.iter().map(|p| p.outputs()).collect();
         let mut telemetry = Telemetry::default();
+        if opts.sketches {
+            telemetry.sketches = Some(crate::report::capture_sketches());
+            // Without flow control no transaction can roll a step back,
+            // so observations may skip the staging buffer entirely.
+            telemetry.direct = opts.channel_capacity.is_none();
+        }
         for (c, q) in &queues {
             telemetry.note_preload(*c, q.len());
         }
@@ -1123,6 +1187,41 @@ impl<'a> Engine<'a> {
             .as_ref()
             .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation);
         self.fed = self.trace.len();
+        // `capture` advances `rounds` past a just-finished round but the
+        // telemetry clone predates that adjustment — re-sync so resumed
+        // latency stamps use the same round clock the uninterrupted run
+        // would.
+        self.telemetry.round = self.rounds as u64;
+        // execution-mode flag, not run state: recompute for *this*
+        // engine's flow configuration, whatever the capturer's was
+        self.telemetry.direct = self.telemetry.sketches.is_some() && self.flow.is_none();
+    }
+
+    /// [`resume_from`](Engine::resume_from) that consumes its checkpoint,
+    /// *moving* the queues, trace, telemetry, and counters into the
+    /// engine instead of deep-cloning them — the zero-copy resume path
+    /// fed by [`CheckpointView::to_checkpoint`], whose materialization is
+    /// already the run's single owned copy.
+    fn resume_from_owned(&mut self, ckpt: Checkpoint) {
+        self.queues = ckpt.queues;
+        self.trace = ckpt.trace;
+        self.rng = ckpt.rng;
+        self.telemetry = ckpt.telemetry;
+        self.counters = ckpt.counters;
+        self.steps = ckpt.steps;
+        self.rounds = ckpt.rounds;
+        self.pending = ckpt.pending_round;
+        self.round_progressed = ckpt.round_progressed;
+        self.monitor = ckpt.monitor;
+        self.abort_armed = self
+            .monitor
+            .as_ref()
+            .is_some_and(|m| m.policy() == MonitorPolicy::AbortOnViolation);
+        self.fed = self.trace.len();
+        // same round-clock re-sync and mode recompute as the borrowing
+        // path above
+        self.telemetry.round = self.rounds as u64;
+        self.telemetry.direct = self.telemetry.sketches.is_some() && self.flow.is_none();
     }
 
     fn run(&mut self, sched: &mut dyn Scheduler) -> RunReport {
@@ -1169,6 +1268,7 @@ impl<'a> Engine<'a> {
                 }
             }
             self.rounds += 1;
+            self.telemetry.round = self.rounds as u64;
             // both pumps see the same pre-pump progress picture: `force`
             // makes buffering media release even in no-progress rounds,
             // so link buffers drain (or ARQ timers tick) before
@@ -1181,6 +1281,9 @@ impl<'a> Engine<'a> {
             if !self.reliables.is_empty() && self.pump_reliables(force) {
                 pumped = true;
             }
+            // pump deliveries commit outside step_slot and never roll
+            // back — flush their sketch observations immediately
+            self.telemetry.commit_staged();
             if pumped {
                 self.round_progressed = true;
             }
@@ -1356,6 +1459,8 @@ impl<'a> Engine<'a> {
             self.account_blocked(i, chan);
             return false;
         }
+        // the step committed: fold its staged sketch observations in
+        self.telemetry.commit_staged();
         self.counters[i].blocked_streak = 0;
         match r {
             StepResult::Progress => {
@@ -1384,6 +1489,8 @@ impl<'a> Engine<'a> {
         trace_mark: usize,
         journal_mark: usize,
     ) {
+        // sketch observations staged by the undone step never happened
+        self.telemetry.discard_staged();
         let mut txn = std::mem::take(&mut self.flow.as_mut().expect("flow armed").txn);
         for c in txn.sends.iter().rev() {
             let undone = self.queues.get_mut(c).and_then(VecDeque::pop_back);
@@ -1395,8 +1502,11 @@ impl<'a> Engine<'a> {
         self.trace.truncate(trace_mark);
         for (c, saved) in txn.saved.drain(..) {
             match saved {
-                Some(k) => {
-                    self.telemetry.channels.insert(c, k);
+                // restore the meters in place; the stamp queue was not
+                // touched inside the transaction (stamp maintenance is
+                // deferred to commit) and survives as-is
+                Some(snap) => {
+                    self.telemetry.channels.entry(c).or_default().restore(snap);
                 }
                 None => {
                     self.telemetry.channels.remove(&c);
@@ -1789,6 +1899,10 @@ impl<'a> Engine<'a> {
                 event: e.clone(),
             })
             .collect();
+        debug_assert!(
+            self.telemetry.staged.is_empty(),
+            "sketch observations staged past their commit point"
+        );
         RunReport {
             trace: Trace::finite(std::mem::take(&mut self.trace)),
             quiescent,
@@ -1800,6 +1914,7 @@ impl<'a> Engine<'a> {
             consumer_violations,
             faults,
             recoveries: std::mem::take(&mut self.recoveries),
+            sketches: self.telemetry.finish_sketches(),
         }
     }
 }

@@ -5,7 +5,7 @@ use crate::chanmap::ChanMap;
 use crate::faults::{EngineLink, FaultEvent};
 use crate::network::OverflowPolicy;
 use crate::reliable::ReliableLink;
-use crate::report::{ChannelCounters, Telemetry};
+use crate::report::{ChannelCounters, CounterSnap, Telemetry};
 use crate::snapshot::StateCell;
 use crate::supervisor::{Journal, Op, Replay};
 use eqp_trace::{Chan, Event, Value};
@@ -107,9 +107,12 @@ pub(crate) struct FlowTxn {
     pub(crate) sends: Vec<Chan>,
     /// Values popped during the step, in pop order.
     pub(crate) pops: Vec<(Chan, Value)>,
-    /// Per-channel telemetry counters saved before the step's first
-    /// mutation (`None` = the channel had no counters entry yet).
-    pub(crate) saved: Vec<(Chan, Option<ChannelCounters>)>,
+    /// Per-channel telemetry meter snapshots saved before the step's
+    /// first mutation (`None` = the channel had no counters entry yet).
+    /// `Copy` meters only — stamp queues are never touched inside a
+    /// transaction (see [`CounterSnap`]), so the save path never
+    /// allocates.
+    pub(crate) saved: Vec<(Chan, Option<CounterSnap>)>,
 }
 
 impl FlowTxn {
@@ -148,13 +151,13 @@ impl<'a> StepCtx<'a> {
         }
     }
 
-    /// Saves channel `c`'s telemetry counters into the flow transaction
+    /// Saves channel `c`'s telemetry meters into the flow transaction
     /// (first touch only), so a rolled-back step restores them exactly.
     fn flow_save(&mut self, c: Chan) {
         let prev = self
             .telemetry
             .as_deref()
-            .and_then(|t| t.channels.get(&c).cloned());
+            .and_then(|t| t.channels.get(&c).map(ChannelCounters::snap));
         let Some(f) = self.flow.as_deref_mut() else {
             return;
         };
@@ -430,7 +433,7 @@ pub(crate) fn raw_send(
     q.push_back(v);
     let depth = q.len();
     if let Some(t) = telemetry {
-        t.note_send(c, depth);
+        t.note_send(c, depth, v);
     }
 }
 

@@ -483,9 +483,17 @@ pub(crate) fn run_sharded(
         captured: None,
         resume_rng: StdRng::seed_from_u64(opts.seed),
     };
+    if opts.sketches {
+        state.telemetry.sketches = Some(crate::report::capture_sketches());
+        // slot results commit on the canonical state in plan order and
+        // never roll back, so the coordinator inserts directly
+        state.telemetry.direct = true;
+    }
     if let Some(ckpt) = job.resume {
         state.mirror = ckpt.queues.clone();
         state.trace = ckpt.trace.clone();
+        // the restored telemetry carries the captured sketch block (and
+        // its enablement), stamps, and round clock wholesale
         state.telemetry = ckpt.telemetry.clone();
         state.counters = ckpt.counters.clone();
         state.steps = ckpt.steps;
@@ -501,6 +509,14 @@ pub(crate) fn run_sharded(
             .collect();
         state.monitor = ckpt.monitor.clone();
         state.resume_rng = ckpt.rng.clone();
+        // sharded captures land at round boundaries with the counter
+        // already advanced, so this is a no-op re-sync — kept for parity
+        // with the single-threaded resume contract
+        state.telemetry.round = state.rounds as u64;
+        // the coordinator's notes already run in canonical plan order
+        // with no rollback, so direct insertion is always safe here —
+        // recompute rather than trust the captured flag
+        state.telemetry.direct = state.telemetry.sketches.is_some();
     } else if let Some((desc, policy)) = job.monitor {
         state.monitor = Some(SmoothnessMonitor::new(desc, None, policy));
     }
@@ -593,6 +609,7 @@ fn drive(
             if state.pending.is_empty() {
                 // no processes: one empty round, then quiescence
                 state.rounds += 1;
+                state.telemetry.round = state.rounds as u64;
                 return Decision::Quiescent;
             }
         }
@@ -620,6 +637,10 @@ fn drive(
         for &slot in &plan {
             backend.execute_slot(state, slot);
         }
+        // every slot committed on the canonical state in plan order (the
+        // sharded runtime has no rollback), so sketch observations were
+        // inserted directly at note time — identically for every shard
+        // count; nothing is ever staged here
         if state.abort_armed {
             if let Some(k) = drain_monitor(state) {
                 return Decision::MonitorAborted(k);
@@ -627,6 +648,7 @@ fn drive(
         }
         if state.pending.is_empty() {
             state.rounds += 1;
+            state.telemetry.round = state.rounds as u64;
             if !state.round_progressed {
                 return Decision::Quiescent;
             }
@@ -665,7 +687,7 @@ fn commit_slot(state: &mut ShardState, slot: Slot, res: SlotResult) {
         let q = state.mirror.entry(c).or_default();
         q.push_back(v);
         let depth = q.len();
-        state.telemetry.note_send(c, depth);
+        state.telemetry.note_send(c, depth, v);
         if let Some(&consumer) = state.consumer_of.get(&c) {
             state.deliveries[consumer % shards].push((c, v));
         }
@@ -837,6 +859,10 @@ fn finish(
             event: e.clone(),
         })
         .collect();
+    debug_assert!(
+        state.telemetry.staged.is_empty(),
+        "sketch observations staged past their epoch commit"
+    );
     let report = RunReport {
         trace: Trace::finite(std::mem::take(&mut state.trace)),
         quiescent,
@@ -848,6 +874,7 @@ fn finish(
         consumer_violations,
         faults,
         recoveries: Vec::new(),
+        sketches: state.telemetry.finish_sketches(),
     };
     let conformance = state.monitor.as_ref().map(|m| m.finish(&report.status));
     ShardOutcome {

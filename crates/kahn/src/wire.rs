@@ -33,18 +33,27 @@ use crate::chanmap::ChanMap;
 use crate::network::ProcCounters;
 use crate::report::{ChannelCounters, FaultSource, Telemetry};
 use crate::snapshot::{Checkpoint, StateCell};
+use eqp_sketch::TelemetrySketches;
 use eqp_trace::{Chan, Event, Value};
 use rand::rngs::StdRng;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Format magic + version. Bump the trailing digit on any layout change.
-const MAGIC: &[u8; 8] = b"EQPCKPT1";
+/// Version 2 added the sketch-telemetry block: per-channel queue stamps,
+/// the round clock, and the embedded [`TelemetrySketches`] bytes.
+const MAGIC: &[u8; 8] = b"EQPCKPT2";
 
 /// Maximum [`StateCell`] nesting the decoder will follow — far above any
 /// real process (the deepest zoo cell nests 3 levels), low enough that a
 /// hostile image cannot overflow the stack.
 const MAX_CELL_DEPTH: usize = 64;
+
+/// Minimum encoded size of one per-channel telemetry record: channel id,
+/// sends/receives/high_water, a one-byte consumer tag, blocked/shed, and
+/// the stamp-queue length prefix. Used to validate the record count
+/// against the bytes actually remaining.
+const CHAN_RECORD_MIN: usize = 8 + 3 * 8 + 1 + 2 * 8 + 8;
 
 /// Why a checkpoint image could not be encoded or decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +80,9 @@ pub enum WireError {
     Unsupported(&'static str),
     /// A nested [`StateCell`] exceeded the decoder's depth limit.
     TooDeep,
+    /// The embedded telemetry sketch block failed its own (checksummed,
+    /// length-validated) codec.
+    BadSketches,
 }
 
 impl fmt::Display for WireError {
@@ -91,6 +103,7 @@ impl fmt::Display for WireError {
                 write!(f, "checkpoint carries undurable state: {what}")
             }
             WireError::TooDeep => f.write_str("checkpoint image nests state cells too deeply"),
+            WireError::BadSketches => f.write_str("checkpoint image carries a bad sketch block"),
         }
     }
 }
@@ -201,11 +214,22 @@ impl Enc {
     }
 }
 
+/// The frame checksum: FNV-1a folded over 8-byte words, byte-wise over
+/// the tail. Corruption detection needs the multiply-mix, not byte
+/// granularity — folding words runs near memory bandwidth, which matters
+/// because every megabyte-scale image is summed once at encode and once
+/// per validation (decode *or* zero-copy view).
 fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        h ^= u64::from_le_bytes(w.try_into().expect("8 bytes"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in words.remainder() {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(PRIME);
     }
     h
 }
@@ -263,6 +287,11 @@ pub fn encode_checkpoint(ckpt: &Checkpoint) -> Result<Vec<u8>, WireError> {
         }
         e.usize(k.blocked);
         e.usize(k.shed);
+        e.usize(k.stamps.len());
+        for (round, n) in &k.stamps {
+            e.u64(*round);
+            e.u64(*n);
+        }
     }
     e.usize(ckpt.telemetry.violations.len());
     for (c, a, b) in &ckpt.telemetry.violations {
@@ -286,6 +315,20 @@ pub fn encode_checkpoint(ckpt: &Checkpoint) -> Result<Vec<u8>, WireError> {
         e.usize(ev.seq);
         e.u64(ev.kind.code());
         e.value(ev.value);
+    }
+    // sketch telemetry (v2): the round clock plus the embedded sketch
+    // block, length-prefixed so the view walker can skip over it. Staged
+    // observations are transient (always empty at a round/step boundary,
+    // where every capture happens) and are not encoded.
+    e.u64(ckpt.telemetry.round);
+    match &ckpt.telemetry.sketches {
+        None => e.u8(0),
+        Some(s) => {
+            e.u8(1);
+            let raw = s.to_bytes();
+            e.usize(raw.len());
+            e.buf.extend_from_slice(&raw);
+        }
     }
     e.usize(ckpt.counters.len());
     for k in &ckpt.counters {
@@ -375,6 +418,52 @@ impl<'a> Dec<'a> {
             tag => Err(WireError::BadTag { what: "value", tag }),
         }
     }
+    /// Owning twin of [`Dec::skim_events`]: decodes one trace record with
+    /// a single bounds check instead of one per field. Accepts exactly
+    /// what `chan` + `value` accept.
+    fn event(&mut self) -> Result<Event, WireError> {
+        let rest = self.rest;
+        if rest.len() < 9 {
+            return Err(WireError::Truncated);
+        }
+        let chan = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        let c = u32::try_from(chan)
+            .map(Chan::new)
+            .map_err(|_| WireError::BadTag {
+                what: "channel index",
+                tag: 255,
+            })?;
+        let (value, used) = match rest[8] {
+            0 => {
+                if rest.len() < 17 {
+                    return Err(WireError::Truncated);
+                }
+                let n = i64::from_le_bytes(rest[9..17].try_into().expect("8 bytes"));
+                (Value::Int(n), 17)
+            }
+            1 => {
+                if rest.len() < 10 {
+                    return Err(WireError::Truncated);
+                }
+                let b = match rest[9] {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(WireError::BadTag { what: "bool", tag }),
+                };
+                (Value::Bit(b), 10)
+            }
+            2 => {
+                if rest.len() < 18 {
+                    return Err(WireError::Truncated);
+                }
+                let n = i64::from_le_bytes(rest[10..18].try_into().expect("8 bytes"));
+                (Value::Pair(rest[9], n), 18)
+            }
+            tag => return Err(WireError::BadTag { what: "value", tag }),
+        };
+        self.rest = &rest[used..];
+        Ok(Event::new(c, value))
+    }
     fn rng(&mut self) -> Result<StdRng, WireError> {
         let mut s = [0u64; 4];
         for w in &mut s {
@@ -430,11 +519,127 @@ impl<'a> Dec<'a> {
             }),
         }
     }
+
+    // --- skim variants: validate the same grammar without building
+    // anything. Each mirrors its decoding twin exactly — same tags
+    // accepted, same lengths demanded — so [`CheckpointView::new`] and
+    // [`decode_checkpoint`] agree byte-for-byte on accept/reject.
+
+    fn skim_value(&mut self) -> Result<(), WireError> {
+        match self.u8()? {
+            0 => {
+                self.take(8)?;
+            }
+            1 => {
+                self.bool()?;
+            }
+            2 => {
+                self.take(9)?;
+            }
+            tag => return Err(WireError::BadTag { what: "value", tag }),
+        }
+        Ok(())
+    }
+
+    /// The trace fast path: validates `n` consecutive `(chan, value)`
+    /// records with one length check per record instead of one per
+    /// field. Mirrors [`Dec::chan`] + [`Dec::skim_value`] exactly — the
+    /// same constraints (channel fits `u32`, value tag known, `Bit`
+    /// payload is a bool) and the same errors — it only hoists the
+    /// bounds arithmetic out of the field reads. The trace is the bulk
+    /// of a long run's image, so this loop is most of a view's
+    /// validation time.
+    fn skim_events(&mut self, n: usize) -> Result<(), WireError> {
+        for _ in 0..n {
+            let rest = self.rest;
+            if rest.len() < 9 {
+                return Err(WireError::Truncated);
+            }
+            let chan = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+            if chan >> 32 != 0 {
+                return Err(WireError::BadTag {
+                    what: "channel index",
+                    tag: 255,
+                });
+            }
+            let used = match rest[8] {
+                0 => 17,
+                1 => {
+                    if rest.len() < 10 {
+                        return Err(WireError::Truncated);
+                    }
+                    if rest[9] > 1 {
+                        return Err(WireError::BadTag {
+                            what: "bool",
+                            tag: rest[9],
+                        });
+                    }
+                    10
+                }
+                2 => 18,
+                tag => return Err(WireError::BadTag { what: "value", tag }),
+            };
+            if rest.len() < used {
+                return Err(WireError::Truncated);
+            }
+            self.rest = &rest[used..];
+        }
+        Ok(())
+    }
+
+    fn skim_cell(&mut self, depth: usize) -> Result<(), WireError> {
+        if depth > MAX_CELL_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8()? {
+            0 => {}
+            1 => {
+                self.bool()?;
+            }
+            2 | 3 => {
+                self.take(8)?;
+            }
+            4 => self.skim_value()?,
+            5 => {
+                let n = self.len(2)?;
+                for _ in 0..n {
+                    self.skim_value()?;
+                }
+            }
+            6 => {
+                let n = self.len(8)?;
+                self.take(n * 8)?;
+            }
+            7 => {
+                self.take(32)?;
+            }
+            8 => {
+                let n = self.len(1)?;
+                for _ in 0..n {
+                    self.skim_cell(depth + 1)?;
+                }
+            }
+            tag => return Err(WireError::BadTag { what: "cell", tag }),
+        }
+        Ok(())
+    }
+
+    fn skim_opt_cell(&mut self) -> Result<(), WireError> {
+        match self.u8()? {
+            0 => Ok(()),
+            1 => self.skim_cell(0),
+            tag => Err(WireError::BadTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
 }
 
-/// Decodes an image produced by [`encode_checkpoint`]. Total: any
-/// malformed input yields a typed [`WireError`].
-pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
+/// Splits an image into its body (past the magic) and validates the
+/// framing: length, magic, FNV-1a trailer. Shared by the owning decoder
+/// and the zero-copy view.
+fn frame(bytes: &[u8]) -> Result<&[u8], WireError> {
     if bytes.len() < MAGIC.len() + 8 {
         return Err(WireError::Truncated);
     }
@@ -446,9 +651,27 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     if fnv1a(body) != sum {
         return Err(WireError::ChecksumMismatch);
     }
+    Ok(&body[MAGIC.len()..])
+}
+
+/// Decodes an image produced by [`encode_checkpoint`]. Total: any
+/// malformed input yields a typed [`WireError`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     let mut d = Dec {
-        rest: &body[MAGIC.len()..],
+        rest: frame(bytes)?,
     };
+    let ckpt = decode_body(&mut d)?;
+    if !d.rest.is_empty() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(ckpt)
+}
+
+/// The body walk proper — everything between the magic and the trailer.
+/// [`decode_checkpoint`] and [`CheckpointView::to_checkpoint`] both drive
+/// this; the view's constructor runs the allocation-free mirror
+/// ([`skim_body`]) over the same grammar.
+fn decode_body(d: &mut Dec<'_>) -> Result<Checkpoint, WireError> {
     let steps = d.u64()? as usize;
     let rounds = d.u64()? as usize;
     let nq = d.len(16)?;
@@ -465,12 +688,11 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
     let nt = d.len(10)?;
     let mut trace = Vec::with_capacity(nt);
     for _ in 0..nt {
-        let c = d.chan()?;
-        trace.push(Event::new(c, d.value()?));
+        trace.push(d.event()?);
     }
     let rng = d.rng()?;
     let mut telemetry = Telemetry::default();
-    let nc = d.len(8 + 6 * 8)?;
+    let nc = d.len(CHAN_RECORD_MIN)?;
     let mut channels = BTreeMap::new();
     for _ in 0..nc {
         let c = d.chan()?;
@@ -489,6 +711,13 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         };
         let blocked = d.u64()? as usize;
         let shed = d.u64()? as usize;
+        let ns = d.len(16)?;
+        let mut stamps = VecDeque::with_capacity(ns);
+        for _ in 0..ns {
+            let round = d.u64()?;
+            let n = d.u64()?;
+            stamps.push_back((round, n));
+        }
         channels.insert(
             c,
             ChannelCounters {
@@ -498,6 +727,7 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
                 consumer,
                 blocked,
                 shed,
+                stamps,
             },
         );
     }
@@ -538,6 +768,22 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
             },
         ));
     }
+    telemetry.round = d.u64()?;
+    telemetry.sketches = match d.u8()? {
+        0 => None,
+        1 => {
+            let n = d.len(1)?;
+            let raw = d.take(n)?;
+            let s = TelemetrySketches::from_bytes(raw).map_err(|_| WireError::BadSketches)?;
+            Some(Box::new(s))
+        }
+        tag => {
+            return Err(WireError::BadTag {
+                what: "option",
+                tag,
+            })
+        }
+    };
     let npc = d.len(7 * 8)?;
     let mut counters = Vec::with_capacity(npc);
     for _ in 0..npc {
@@ -563,9 +809,6 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         pending_round.push_back(d.u64()? as usize);
     }
     let round_progressed = d.bool()?;
-    if !d.rest.is_empty() {
-        return Err(WireError::TrailingBytes);
-    }
     Ok(Checkpoint {
         steps,
         rounds,
@@ -580,6 +823,185 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<Checkpoint, WireError> {
         round_progressed,
         monitor: None,
     })
+}
+
+/// The allocation-free mirror of [`decode_body`]: walks the whole image
+/// grammar enforcing every constraint the owning decoder enforces —
+/// channel ids fit `u32`, variant tags are known, cell nesting is
+/// bounded, fault kinds decode, lengths fit the remaining bytes — while
+/// building nothing. The one exception is the embedded sketch block,
+/// which has a small fixed footprint and is validated by its own real
+/// decoder. Returns the skimmed `(steps, rounds, trace_len)` header.
+fn skim_body(d: &mut Dec<'_>) -> Result<(usize, usize, usize), WireError> {
+    let steps = d.u64()? as usize;
+    let rounds = d.u64()? as usize;
+    let nq = d.len(16)?;
+    for _ in 0..nq {
+        d.chan()?;
+        let n = d.len(2)?;
+        for _ in 0..n {
+            d.skim_value()?;
+        }
+    }
+    let trace_len = d.len(10)?;
+    d.skim_events(trace_len)?;
+    d.take(32)?; // rng: four free-form words
+    let nc = d.len(CHAN_RECORD_MIN)?;
+    for _ in 0..nc {
+        d.chan()?;
+        d.take(3 * 8)?; // sends, receives, high_water
+        match d.u8()? {
+            0 => {}
+            1 => {
+                d.take(8)?;
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "option",
+                    tag,
+                })
+            }
+        }
+        d.take(2 * 8)?; // blocked, shed
+        let ns = d.len(16)?;
+        d.take(ns * 16)?; // stamps (round, count) pairs
+    }
+    let nv = d.len(24)?;
+    for _ in 0..nv {
+        d.chan()?;
+        d.take(16)?;
+    }
+    let nf = d.len(9)?;
+    for _ in 0..nf {
+        match d.u8()? {
+            0 => {
+                d.take(8)?;
+            }
+            1 => {
+                d.chan()?;
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "fault source",
+                    tag,
+                })
+            }
+        }
+        d.chan()?;
+        d.take(8)?; // seq
+        if crate::faults::FaultKind::from_code(d.u64()?).is_none() {
+            return Err(WireError::BadTag {
+                what: "fault kind",
+                tag: 255,
+            });
+        }
+        d.skim_value()?;
+    }
+    d.take(8)?; // round clock
+    match d.u8()? {
+        0 => {}
+        1 => {
+            let n = d.len(1)?;
+            let raw = d.take(n)?;
+            TelemetrySketches::from_bytes(raw).map_err(|_| WireError::BadSketches)?;
+        }
+        tag => {
+            return Err(WireError::BadTag {
+                what: "option",
+                tag,
+            })
+        }
+    }
+    let npc = d.len(7 * 8)?;
+    d.take(npc * 7 * 8)?;
+    let np = d.len(1)?;
+    for _ in 0..np {
+        d.skim_opt_cell()?;
+    }
+    d.skim_opt_cell()?; // scheduler
+    let npr = d.len(8)?;
+    d.take(npr * 8)?; // pending round
+    d.bool()?; // round_progressed
+    Ok((steps, rounds, trace_len))
+}
+
+/// A validated zero-copy view over a checkpoint image.
+///
+/// Construction ([`CheckpointView::new`]) verifies the checksum and runs
+/// an allocation-free structural walk over the *entire* image — every
+/// constraint [`decode_checkpoint`] enforces is enforced here, so a view
+/// that constructs is guaranteed to materialize. That makes validation of
+/// a memory-mapped or sliced journal segment cheap (no queue/trace/cell
+/// allocations), and [`CheckpointView::to_checkpoint`] an infallible
+/// single materialization when the caller decides to actually resume.
+///
+/// The intended resume path is `Network::resume_report_view`, which
+/// materializes the view once and *moves* its parts into the engine —
+/// skipping the second deep copy the borrowing
+/// [`resume_report`](crate::Network::resume_report) path pays.
+#[derive(Clone, Copy)]
+pub struct CheckpointView<'a> {
+    /// The image body past the magic, trailer excluded — already
+    /// checksum- and structure-validated.
+    body: &'a [u8],
+    steps: usize,
+    rounds: usize,
+    trace_len: usize,
+}
+
+impl fmt::Debug for CheckpointView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointView")
+            .field("steps", &self.steps)
+            .field("rounds", &self.rounds)
+            .field("trace_len", &self.trace_len)
+            .field("image_bytes", &(self.body.len() + MAGIC.len() + 8))
+            .finish()
+    }
+}
+
+impl<'a> CheckpointView<'a> {
+    /// Validates `bytes` as a checkpoint image without decoding it.
+    ///
+    /// Accepts exactly the images [`decode_checkpoint`] accepts and
+    /// rejects exactly the ones it rejects (pinned by the consistency
+    /// test below), but allocates nothing along the way.
+    pub fn new(bytes: &'a [u8]) -> Result<CheckpointView<'a>, WireError> {
+        let body = frame(bytes)?;
+        let mut d = Dec { rest: body };
+        let (steps, rounds, trace_len) = skim_body(&mut d)?;
+        if !d.rest.is_empty() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(CheckpointView {
+            body,
+            steps,
+            rounds,
+            trace_len,
+        })
+    }
+
+    /// Step count at capture, read during the validation skim.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Round count at capture, read during the validation skim.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Trace length at capture, read during the validation skim.
+    pub fn trace_len(&self) -> usize {
+        self.trace_len
+    }
+
+    /// Materializes the checkpoint. Infallible: the constructor already
+    /// walked the full grammar, so the owning decode cannot fail.
+    pub fn to_checkpoint(&self) -> Checkpoint {
+        let mut d = Dec { rest: self.body };
+        decode_body(&mut d).expect("view was structure-validated at construction")
+    }
 }
 
 impl Checkpoint {
@@ -691,6 +1113,68 @@ mod tests {
             }
         };
         assert_eq!(format!("{full:?}"), format!("{final_report:?}"));
+    }
+
+    #[test]
+    fn view_resumes_byte_identically_to_decode() {
+        let full = merge_net().run_report(&mut RandomSched::new(5), opts());
+        let ckpt = mid_checkpoint();
+        let bytes = encode_checkpoint(&ckpt).expect("encodes");
+        let view = CheckpointView::new(&bytes).expect("own image validates");
+        assert_eq!(view.steps(), ckpt.steps());
+        assert_eq!(view.trace_len(), ckpt.trace_len());
+        // the zero-copy resume must match both the uninterrupted run and
+        // the decode-then-resume path, byte for byte
+        let via_decode = {
+            let back = decode_checkpoint(&bytes).expect("decodes");
+            merge_net()
+                .resume_report(&back, &mut RandomSched::new(5), opts())
+                .expect("resume")
+        };
+        let via_view = merge_net()
+            .resume_report_view(&view, &mut RandomSched::new(5), opts())
+            .expect("resume");
+        assert_eq!(format!("{full:?}"), format!("{via_view:?}"));
+        assert_eq!(format!("{via_decode:?}"), format!("{via_view:?}"));
+        // materialization is infallible and fingerprint-faithful
+        assert_eq!(view.to_checkpoint().fingerprint(), ckpt.fingerprint());
+    }
+
+    #[test]
+    fn view_and_decode_agree_on_every_single_byte_corruption() {
+        // the skim walk must mirror the owning decoder exactly: for every
+        // single-byte corruption — with the trailer re-fixed so the
+        // corruption reaches the structural walk instead of dying at the
+        // checksum — View::new and decode_checkpoint accept or reject
+        // together
+        let ckpt = mid_checkpoint();
+        let good = encode_checkpoint(&ckpt).expect("encodes");
+        let body_len = good.len() - 8;
+        for i in 0..body_len {
+            let mut bad = good.clone();
+            bad[i] ^= 0x5a;
+            let sum = fnv1a(&bad[..body_len]);
+            bad[body_len..].copy_from_slice(&sum.to_le_bytes());
+            let owned = decode_checkpoint(&bad);
+            let view = CheckpointView::new(&bad);
+            assert_eq!(
+                owned.is_ok(),
+                view.is_ok(),
+                "byte {i}: decode={owned:?} view={:?}",
+                view.as_ref().map(|_| ()).map_err(Clone::clone),
+            );
+            if let (Ok(o), Ok(v)) = (owned, view) {
+                assert_eq!(o.fingerprint(), v.to_checkpoint().fingerprint());
+            }
+        }
+        // truncations agree too (every prefix fails framing in both)
+        for cut in 0..good.len() {
+            assert_eq!(
+                decode_checkpoint(&good[..cut]).is_ok(),
+                CheckpointView::new(&good[..cut]).is_ok(),
+                "truncation at {cut} disagrees"
+            );
+        }
     }
 
     #[test]

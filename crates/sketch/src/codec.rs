@@ -1,0 +1,350 @@
+//! The versioned, checksummed byte format for [`TelemetrySketches`].
+//!
+//! Layout (all integers little-endian `u64` unless noted):
+//!
+//! ```text
+//! "EQSK" | version u8 | value_sample_log2 u8 |
+//!   quantile(queue_depth) | quantile(latency) | heavy-hitters | hll |
+//! fnv1a-64 of everything above
+//! ```
+//!
+//! * quantile: `bits u8, zero, total, n, n × (bucket idx, count)` —
+//!   pairs strictly increasing, counts non-zero, sums checked.
+//! * heavy-hitters: `rows u8, cols_log2 u8, capacity u64, total, n,
+//!   n × (cell idx, count), m, m × (key, count)` — cells strictly
+//!   increasing, candidates strictly increasing by key, `m ≤ capacity`.
+//! * hll: `bits u8, n, n × (register idx, rank u8)` — strictly
+//!   increasing, ranks within `1..=64-bits+1`.
+//!
+//! Decoding is **total**: every length is validated against the bytes
+//! actually remaining before any allocation, every shape field is
+//! range-checked, and corruption surfaces as a typed
+//! [`SketchCodecError`] — never a panic or an attacker-sized `Vec`.
+
+use crate::hh::HeavyHitters;
+use crate::hll::Hll;
+use crate::quantile::QuantileSketch;
+use crate::TelemetrySketches;
+use std::fmt;
+
+/// Format magic.
+pub const MAGIC: &[u8; 4] = b"EQSK";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Why a sketch byte string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchCodecError {
+    /// Fewer bytes than a declared length requires.
+    Truncated,
+    /// The leading magic is not `EQSK`.
+    BadMagic,
+    /// A version this build does not read.
+    BadVersion(u8),
+    /// The FNV-1a trailer does not match the payload.
+    ChecksumMismatch,
+    /// Bytes remain after the trailer.
+    TrailingBytes,
+    /// A field failed validation (range, ordering, or sum check).
+    BadField(&'static str),
+}
+
+impl fmt::Display for SketchCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchCodecError::Truncated => write!(f, "sketch bytes truncated"),
+            SketchCodecError::BadMagic => write!(f, "bad sketch magic"),
+            SketchCodecError::BadVersion(v) => write!(f, "unsupported sketch version {v}"),
+            SketchCodecError::ChecksumMismatch => write!(f, "sketch checksum mismatch"),
+            SketchCodecError::TrailingBytes => write!(f, "trailing bytes after sketch"),
+            SketchCodecError::BadField(what) => write!(f, "invalid sketch field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SketchCodecError {}
+
+/// FNV-1a over `bytes` (the workspace's standard integrity hash).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn pairs(&mut self, pairs: &[(u64, u64)]) {
+        self.u64(pairs.len() as u64);
+        for &(a, b) in pairs {
+            self.u64(a);
+            self.u64(b);
+        }
+    }
+}
+
+struct Dec<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SketchCodecError> {
+        if self.rest.len() < n {
+            return Err(SketchCodecError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+    fn u8(&mut self) -> Result<u8, SketchCodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, SketchCodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    /// A declared element count, validated against the bytes remaining
+    /// (each element occupies at least `min_elem` bytes) *before* any
+    /// allocation — a length bomb fails as `Truncated`, cheaply.
+    fn len(&mut self, min_elem: usize) -> Result<usize, SketchCodecError> {
+        let n = self.u64()?;
+        let n: usize = n.try_into().map_err(|_| SketchCodecError::Truncated)?;
+        if n.checked_mul(min_elem)
+            .is_none_or(|need| need > self.rest.len())
+        {
+            return Err(SketchCodecError::Truncated);
+        }
+        Ok(n)
+    }
+    fn pairs(&mut self) -> Result<Vec<(u64, u64)>, SketchCodecError> {
+        let n = self.len(16)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = self.u64()?;
+            let b = self.u64()?;
+            out.push((a, b));
+        }
+        Ok(out)
+    }
+}
+
+fn encode_quantile(e: &mut Enc, s: &QuantileSketch) {
+    let (zero, total, pairs) = s.sparse();
+    e.u8(s.bits());
+    e.u64(zero);
+    e.u64(total);
+    e.pairs(&pairs);
+}
+
+fn decode_quantile(d: &mut Dec<'_>) -> Result<QuantileSketch, SketchCodecError> {
+    let bits = d.u8()?;
+    let zero = d.u64()?;
+    let total = d.u64()?;
+    let pairs = d.pairs()?;
+    QuantileSketch::from_sparse(bits, zero, total, &pairs)
+        .ok_or(SketchCodecError::BadField("quantile"))
+}
+
+fn encode_hh(e: &mut Enc, s: &HeavyHitters) {
+    let (rows, cols_log2, capacity, total, decremented) = s.shape();
+    let (cells, candidates) = s.sparse();
+    e.u8(rows);
+    e.u8(cols_log2);
+    e.u64(capacity as u64);
+    e.u64(total);
+    e.u64(decremented);
+    e.pairs(&cells);
+    e.pairs(&candidates);
+}
+
+fn decode_hh(d: &mut Dec<'_>) -> Result<HeavyHitters, SketchCodecError> {
+    let rows = d.u8()?;
+    let cols_log2 = d.u8()?;
+    let capacity = d.u64()?;
+    let total = d.u64()?;
+    let decremented = d.u64()?;
+    let cells = d.pairs()?;
+    let candidates = d.pairs()?;
+    let capacity: u16 = capacity
+        .try_into()
+        .map_err(|_| SketchCodecError::BadField("hh capacity"))?;
+    HeavyHitters::from_sparse(
+        rows,
+        cols_log2,
+        capacity,
+        total,
+        decremented,
+        &cells,
+        &candidates,
+    )
+    .ok_or(SketchCodecError::BadField("heavy hitters"))
+}
+
+fn encode_hll(e: &mut Enc, s: &Hll) {
+    e.u8(s.bits());
+    let pairs = s.sparse();
+    e.u64(pairs.len() as u64);
+    for (idx, r) in pairs {
+        e.u64(idx);
+        e.u8(r);
+    }
+}
+
+fn decode_hll(d: &mut Dec<'_>) -> Result<Hll, SketchCodecError> {
+    let bits = d.u8()?;
+    let n = d.len(9)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let idx = d.u64()?;
+        let r = d.u8()?;
+        pairs.push((idx, r));
+    }
+    Hll::from_sparse(bits, &pairs).ok_or(SketchCodecError::BadField("hll"))
+}
+
+/// Serialises a [`TelemetrySketches`] block.
+pub fn encode(s: &TelemetrySketches) -> Vec<u8> {
+    let mut e = Enc {
+        buf: Vec::with_capacity(256),
+    };
+    e.buf.extend_from_slice(MAGIC);
+    e.u8(VERSION);
+    e.u8(s.value_sample_log2);
+    encode_quantile(&mut e, &s.queue_depth);
+    encode_quantile(&mut e, &s.latency);
+    encode_hh(&mut e, &s.channel_traffic);
+    encode_hll(&mut e, &s.distinct_values);
+    let sum = fnv1a(&e.buf);
+    e.u64(sum);
+    e.buf
+}
+
+/// Parses a [`TelemetrySketches`] block. Total over arbitrary bytes.
+pub fn decode(bytes: &[u8]) -> Result<TelemetrySketches, SketchCodecError> {
+    if bytes.len() < MAGIC.len() + 1 + 8 {
+        return Err(SketchCodecError::Truncated);
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+    if fnv1a(payload) != sum {
+        return Err(SketchCodecError::ChecksumMismatch);
+    }
+    let mut d = Dec { rest: payload };
+    if d.take(MAGIC.len())? != MAGIC {
+        return Err(SketchCodecError::BadMagic);
+    }
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(SketchCodecError::BadVersion(version));
+    }
+    let value_sample_log2 = d.u8()?;
+    if value_sample_log2 > 16 {
+        return Err(SketchCodecError::BadField("value sample exponent"));
+    }
+    let queue_depth = decode_quantile(&mut d)?;
+    let latency = decode_quantile(&mut d)?;
+    let channel_traffic = decode_hh(&mut d)?;
+    let distinct_values = decode_hll(&mut d)?;
+    if !d.rest.is_empty() {
+        return Err(SketchCodecError::TrailingBytes);
+    }
+    Ok(TelemetrySketches {
+        queue_depth,
+        latency,
+        channel_traffic,
+        distinct_values,
+        value_sample_log2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix64;
+
+    fn sample() -> TelemetrySketches {
+        let mut s = TelemetrySketches::default();
+        for i in 0..500u64 {
+            s.queue_depth.insert(i % 17);
+            s.latency.insert(i % 5);
+            s.channel_traffic.insert(i % 9, 1 + i % 2);
+            s.distinct_values.insert(splitmix64(i));
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let s = sample();
+        let bytes = encode(&s);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, s);
+        // The empty block round-trips too (the merge identity survives
+        // the wire).
+        let empty = TelemetrySketches::default();
+        assert_eq!(decode(&encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = encode(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bitflip_errors() {
+        let bytes = encode(&sample());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "bitflip at byte {i} must not parse cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn length_bomb_does_not_allocate() {
+        // A huge declared pair count against a tiny buffer must fail
+        // fast on the remaining-bytes check, not try to reserve.
+        let mut e = Enc { buf: Vec::new() };
+        e.buf.extend_from_slice(MAGIC);
+        e.u8(VERSION);
+        e.u8(6);
+        e.u64(0);
+        e.u64(0);
+        e.u64(u64::MAX); // bucket-count bomb
+        let sum = fnv1a(&e.buf);
+        e.u64(sum);
+        assert_eq!(decode(&e.buf), Err(SketchCodecError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&sample());
+        // Valid checksum over an extended payload, but junk after the
+        // sketch sections.
+        bytes.truncate(bytes.len() - 8);
+        bytes.push(0xEE);
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(SketchCodecError::TrailingBytes));
+    }
+}

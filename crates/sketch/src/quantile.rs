@@ -1,0 +1,390 @@
+//! A log-bucketed quantile sketch with an exactly associative merge.
+//!
+//! For a value `v ≥ 1` with exponent `e = ⌊log₂ v⌋`, the bucket index is
+//! `(e << k) | m` where `m` is the top `k` mantissa bits below the
+//! leading one (zero-padded when `v` has fewer than `k` mantissa bits).
+//! The index is monotone in `v`, and dropping one mantissa bit is
+//! exactly `idx >> 1` — so a sketch at precision `k` folds losslessly
+//! onto the bucketing of any coarser precision `k' < k`, and merging is
+//! bucketwise addition after folding both sides to the coarser
+//! precision. Zero values get their own exact counter.
+//!
+//! Consequences, all load-bearing for fleet roll-ups:
+//!
+//! * **Exact monoid.** Merge is associative and commutative with the
+//!   empty sketch as identity: the result's precision is the minimum
+//!   over the non-empty inputs, and its buckets are the fold-then-add of
+//!   the inputs' buckets — a pure function of the input multiset.
+//! * **Insert ≡ singleton merge.** Building a sketch from a stream is
+//!   the same as merging per-element singletons, so worker-local
+//!   sketches merged in any order equal the single-stream build exactly.
+//! * **Bounded relative error.** Bucket `[lo, hi]` has width
+//!   `≤ lo · 2^-k`, so reporting the midpoint puts the estimate within
+//!   relative error `2^-k` of any true value in the bucket. Rank error
+//!   is zero — quantile queries walk exact counts.
+//!
+//! Storage is a dense `Vec<u64>` of `64·2^k` counters (`k = 6` → 32 KiB)
+//! for branch-free O(1) inserts on the engine hot path; the wire codec
+//! stores only non-zero buckets.
+
+use std::fmt;
+
+/// Maximum supported mantissa bits (bounds the dense allocation to
+/// `64·2^12` counters = 2 MiB).
+pub const MAX_BITS: u8 = 12;
+
+/// The log-bucket quantile sketch. See the module docs for the algebra.
+#[derive(Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    bits: u8,
+    zero: u64,
+    total: u64,
+    buckets: Vec<u64>,
+}
+
+#[inline]
+fn bucket_index(v: u64, bits: u8) -> usize {
+    debug_assert!(v > 0);
+    let e = 63 - v.leading_zeros() as u64;
+    let k = bits as u64;
+    let mask = (1u64 << k) - 1;
+    let m = if e >= k {
+        (v >> (e - k)) & mask
+    } else {
+        (v << (k - e)) & mask
+    };
+    ((e << k) | m) as usize
+}
+
+impl QuantileSketch {
+    /// An empty sketch with `bits` mantissa bits (clamped to `1..=MAX_BITS`).
+    pub fn new(bits: u8) -> QuantileSketch {
+        let bits = bits.clamp(1, MAX_BITS);
+        QuantileSketch {
+            bits,
+            zero: 0,
+            total: 0,
+            buckets: vec![0; 64 << bits],
+        }
+    }
+
+    /// The sketch's mantissa precision `k`.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Total observations recorded (exact).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True iff nothing has been recorded (the merge identity).
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The guaranteed relative value error bound at this precision.
+    pub fn relative_error_bound(&self) -> f64 {
+        1.0 / (1u64 << self.bits) as f64
+    }
+
+    /// Records one observation of `v`.
+    #[inline]
+    pub fn insert(&mut self, v: u64) {
+        self.insert_n(v, 1);
+    }
+
+    /// Records `n` observations of `v`.
+    #[inline]
+    pub fn insert_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.total += n;
+        if v == 0 {
+            self.zero += n;
+        } else {
+            self.buckets[bucket_index(v, self.bits)] += n;
+        }
+    }
+
+    /// `[lo, hi]` value bounds of bucket `idx` at this precision.
+    fn bounds(&self, idx: usize) -> (u64, u64) {
+        let k = self.bits as u32;
+        let e = (idx as u32) >> k;
+        let m = (idx as u64) & ((1u64 << k) - 1);
+        let lower = |e: u32, m: u64| -> u64 {
+            if e >= k {
+                ((1u64 << k) + m) << (e - k)
+            } else {
+                ((1u64 << k) + m) >> (k - e)
+            }
+        };
+        let lo = lower(e, m);
+        let hi = if idx + 1 < self.buckets.len() {
+            let next = idx + 1;
+            let ne = (next as u32) >> k;
+            let nm = (next as u64) & ((1u64 << k) - 1);
+            lower(ne, nm).saturating_sub(1).max(lo)
+        } else {
+            u64::MAX
+        };
+        (lo, hi)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (bucket midpoint; exact for
+    /// values below `2^k`). Returns 0 on an empty sketch.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.total - 1) as f64).round() as u64;
+        if rank < self.zero {
+            return 0;
+        }
+        let mut seen = self.zero;
+        let mut last = 0usize;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            last = idx;
+            if rank < seen {
+                let (lo, hi) = self.bounds(idx);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        // Unreachable when counts are consistent; report the top bucket.
+        let (lo, hi) = self.bounds(last);
+        lo + (hi - lo) / 2
+    }
+
+    /// Folds this sketch down to a coarser precision (no-op if `bits`
+    /// is not strictly coarser). Lossless with respect to the coarser
+    /// bucketing: `idx` collapses to `idx >> d`.
+    pub fn fold_to(&mut self, bits: u8) {
+        let bits = bits.clamp(1, MAX_BITS);
+        if bits >= self.bits {
+            return;
+        }
+        let d = self.bits - bits;
+        let mut folded = vec![0u64; 64 << bits];
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                folded[idx >> d] += n;
+            }
+        }
+        self.buckets = folded;
+        self.bits = bits;
+    }
+
+    /// Folds `other` in. Exactly associative and commutative; the empty
+    /// sketch is the identity (merging with it never changes precision).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        if other.bits < self.bits {
+            self.fold_to(other.bits);
+        }
+        let d = other.bits - self.bits;
+        for (idx, &n) in other.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[idx >> d] += n;
+            }
+        }
+        self.zero += other.zero;
+        self.total += other.total;
+    }
+
+    /// Non-zero `(bucket index, count)` pairs in ascending index order,
+    /// plus the zero counter — the sparse form the codec stores.
+    pub(crate) fn sparse(&self) -> (u64, u64, Vec<(u64, u64)>) {
+        let pairs = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u64, n))
+            .collect();
+        (self.zero, self.total, pairs)
+    }
+
+    /// Rebuilds from the sparse form (codec use). Pairs must be strictly
+    /// increasing and in range; counts must sum (with `zero`) to `total`.
+    pub(crate) fn from_sparse(
+        bits: u8,
+        zero: u64,
+        total: u64,
+        pairs: &[(u64, u64)],
+    ) -> Option<QuantileSketch> {
+        let mut s = QuantileSketch::new(bits);
+        if s.bits != bits {
+            return None;
+        }
+        let mut sum = zero;
+        let mut prev: Option<u64> = None;
+        for &(idx, n) in pairs {
+            if idx >= s.buckets.len() as u64 || n == 0 || prev.is_some_and(|p| idx <= p) {
+                return None;
+            }
+            s.buckets[idx as usize] = n;
+            sum = sum.checked_add(n)?;
+            prev = Some(idx);
+        }
+        if sum != total {
+            return None;
+        }
+        s.zero = zero;
+        s.total = total;
+        Some(s)
+    }
+}
+
+impl fmt::Debug for QuantileSketch {
+    /// Compact: only non-zero buckets, so checkpoint fingerprints and
+    /// differential Debug comparisons stay readable and cheap.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (zero, total, pairs) = self.sparse();
+        f.debug_struct("QuantileSketch")
+            .field("bits", &self.bits)
+            .field("zero", &zero)
+            .field("total", &total)
+            .field("buckets", &pairs)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new(6);
+        for v in 0..64u64 {
+            s.insert(v);
+        }
+        for (i, v) in (0..64u64).enumerate() {
+            let q = i as f64 / 63.0;
+            assert_eq!(s.quantile(q), v, "q={q}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bound_holds_on_wide_range() {
+        let mut s = QuantileSketch::new(6);
+        let vals: Vec<u64> = (0..2000u64)
+            .map(|i| (i * i * 977) % 1_000_000 + 1)
+            .collect();
+        for &v in &vals {
+            s.insert(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            let truth = sorted[rank] as f64;
+            let est = s.quantile(q) as f64;
+            let bound = 2.0 * s.relative_error_bound();
+            assert!(
+                (est - truth).abs() / truth <= bound,
+                "q={q}: est {est} vs true {truth} exceeds {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_matches_coarse_build() {
+        let vals: Vec<u64> = (1..5000u64).map(|i| i * 31 % 100_000 + 1).collect();
+        let mut fine = QuantileSketch::new(9);
+        let mut coarse = QuantileSketch::new(5);
+        for &v in &vals {
+            fine.insert(v);
+            coarse.insert(v);
+        }
+        fine.fold_to(5);
+        assert_eq!(fine, coarse);
+    }
+
+    #[test]
+    fn mixed_precision_merge_is_exact_monoid() {
+        let mut a = QuantileSketch::new(8);
+        let mut b = QuantileSketch::new(5);
+        let mut c = QuantileSketch::new(6);
+        for v in 1..100u64 {
+            a.insert(v * 7);
+            b.insert(v * 13);
+            c.insert(v * 29);
+        }
+        // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // commutative
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+        // identity preserves precision
+        let mut id = a.clone();
+        id.merge(&QuantileSketch::new(1));
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let vals: Vec<u64> = (0..3000u64)
+            .map(|i| i.wrapping_mul(0x9e37) % 65536)
+            .collect();
+        let mut bulk = QuantileSketch::new(7);
+        for &v in &vals {
+            bulk.insert(v);
+        }
+        let mut merged = QuantileSketch::new(7);
+        for chunk in vals.chunks(173) {
+            let mut part = QuantileSketch::new(7);
+            for &v in chunk {
+                part.insert(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, bulk);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut s = QuantileSketch::new(MAX_BITS);
+        s.insert(u64::MAX);
+        s.insert(1);
+        s.insert(0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.0), 0);
+        assert!(s.quantile(1.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut s = QuantileSketch::new(6);
+        for v in [0, 1, 5, 77, 1 << 40, u64::MAX] {
+            s.insert_n(v, 3);
+        }
+        let (zero, total, pairs) = s.sparse();
+        let back = QuantileSketch::from_sparse(6, zero, total, &pairs).unwrap();
+        assert_eq!(back, s);
+        // Tampered totals are rejected.
+        assert!(QuantileSketch::from_sparse(6, zero, total + 1, &pairs).is_none());
+    }
+}

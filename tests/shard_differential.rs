@@ -270,6 +270,61 @@ fn sharded_checkpoint_resume_is_byte_identical_across_shard_counts() {
     );
 }
 
+/// The telemetry-sketch differential, stated explicitly rather than via
+/// report Debug-identity: for every zoo entry the merged sketch summary
+/// (quantiles, heavy hitters, distinct count) and the serialized sketch
+/// image itself are identical across shard counts {1, 2, 4, 8}. Worker
+/// threads stage observations locally and the committer folds them in
+/// plan order, so partitioning must not perturb a single bucket.
+#[test]
+fn zoo_sketch_summaries_identical_across_shard_counts() {
+    let seed = 17u64;
+    let mut with_sketches = 0usize;
+    for entry in conformance_zoo() {
+        let mut base_sched = schedulers(seed).remove(0);
+        let (base_report, _) = entry.certify_sharded(&mut *base_sched, seed, 1);
+        let base_image = base_report
+            .sketches
+            .as_ref()
+            .map(eqp::kahn::TelemetrySketches::to_bytes);
+        let base_stats = base_report.sketch_stats();
+        if base_report.steps > 0 {
+            let stats = base_stats
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: active run must carry sketches", entry.name));
+            assert!(
+                stats.events > 0,
+                "{}: sketches must have observed the run",
+                entry.name
+            );
+            with_sketches += 1;
+        }
+        for shards in &SHARD_COUNTS[1..] {
+            let mut sched = schedulers(seed).remove(0);
+            let (report, _) = entry.certify_sharded(&mut *sched, seed, *shards);
+            assert_eq!(
+                report
+                    .sketches
+                    .as_ref()
+                    .map(eqp::kahn::TelemetrySketches::to_bytes),
+                base_image,
+                "{}: sketch image differs at {shards} shards",
+                entry.name
+            );
+            assert_eq!(
+                rendered(&report.sketch_stats()),
+                rendered(&base_stats),
+                "{}: sketch summary differs at {shards} shards",
+                entry.name
+            );
+        }
+    }
+    assert!(
+        with_sketches >= 10,
+        "the sketch matrix must exercise most of the zoo, got {with_sketches}"
+    );
+}
+
 /// A 220-channel wide network — 110 parallel source → doubler lanes —
 /// certified end-to-end by the *online* monitor on the sharded runtime.
 /// Channel ids run past 128, so the compiled support masks overflow and
